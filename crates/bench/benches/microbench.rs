@@ -1,0 +1,138 @@
+//! Criterion micro-benchmarks for the performance-critical kernels:
+//! snapshot construction, the pricing search, energy-ledger recursion and
+//! an end-to-end tiny simulation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sb_cear::{Cear, CearParams, Decision, NetworkState, RoutingAlgorithm};
+use sb_demand::{RateProfile, Request, RequestId};
+use sb_energy::{EnergyLedger, EnergyParams};
+use sb_geo::coords::Geodetic;
+use sb_geo::Epoch;
+use sb_orbit::walker::WalkerConstellation;
+use sb_sim::engine::{self, AlgorithmKind};
+use sb_sim::ScenarioConfig;
+use sb_topology::series::build_snapshot;
+use sb_topology::{NetworkNodes, SlotIndex, TopologyConfig, TopologySeries};
+
+fn network() -> (NetworkState, sb_topology::NodeId, sb_topology::NodeId) {
+    let shell = WalkerConstellation::delta(16, 16, 5, 550e3, 53f64.to_radians());
+    let mut nodes = NetworkNodes::from_walker(&shell);
+    let a = nodes.add_ground_site(Geodetic::from_degrees(35.8, -78.6, 0.0));
+    let b = nodes.add_ground_site(Geodetic::from_degrees(48.9, 2.3, 0.0));
+    let cfg =
+        TopologyConfig { min_elevation_rad: 15f64.to_radians(), ..TopologyConfig::default() };
+    let series = TopologySeries::build(&nodes, &cfg, 10, 60.0);
+    (NetworkState::new(series, &EnergyParams::default()), a, b)
+}
+
+fn bench_snapshot_build(c: &mut Criterion) {
+    let shell = WalkerConstellation::starlink_shell1();
+    let mut nodes = NetworkNodes::from_walker(&shell);
+    nodes.add_ground_site(Geodetic::from_degrees(35.8, -78.6, 0.0));
+    nodes.add_ground_site(Geodetic::from_degrees(48.9, 2.3, 0.0));
+    let cfg = TopologyConfig::default();
+    c.bench_function("snapshot_build_1584sats", |b| {
+        b.iter(|| build_snapshot(&nodes, &cfg, SlotIndex(0), Epoch::from_seconds(0.0)))
+    });
+}
+
+fn bench_cear_decision(c: &mut Criterion) {
+    let (state, src, dst) = network();
+    let request = Request {
+        id: RequestId(0),
+        source: src,
+        destination: dst,
+        rate: RateProfile::Constant(1250.0),
+        start: SlotIndex(0),
+        end: SlotIndex(4),
+        valuation: 2.3e9,
+    };
+    c.bench_function("cear_process_5slot_request_256sats", |b| {
+        b.iter_batched(
+            || (state.clone(), Cear::new(CearParams::default())),
+            |(mut st, mut cear)| {
+                let d = cear.process(&request, &mut st);
+                assert!(matches!(d, Decision::Accepted { .. } | Decision::Rejected { .. }));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_energy_recursion(c: &mut Criterion) {
+    let params = EnergyParams::default();
+    // One satellite, 384 slots alternating a 60/36 sunlit/umbra cycle.
+    let profile: Vec<bool> = (0..384).map(|t| t % 96 < 60).collect();
+    let ledger = EnergyLedger::new(&params, 60.0, &[profile]);
+    c.bench_function("ledger_peek_deep_deficit", |b| {
+        b.iter(|| ledger.peek(0, 60, 50_000.0))
+    });
+    c.bench_function("ledger_commit_deep_deficit", |b| {
+        b.iter_batched(
+            || ledger.clone(),
+            |mut l| l.commit(0, 60, 50_000.0),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_tiny_end_to_end(c: &mut Criterion) {
+    let scenario = ScenarioConfig::tiny();
+    let prepared = engine::prepare(&scenario, 0);
+    let requests = engine::workload(&scenario, &prepared, 0);
+    c.bench_function("end_to_end_tiny_cear", |b| {
+        b.iter(|| {
+            engine::run_prepared(
+                &scenario,
+                &prepared,
+                &requests,
+                &AlgorithmKind::Cear(CearParams::default()),
+                0,
+            )
+        })
+    });
+}
+
+fn bench_ground_grid(c: &mut Criterion) {
+    c.bench_function("ground_grid_generate_sub3", |b| {
+        b.iter(|| sb_topology::ground::GroundGrid::generate(3, 400))
+    });
+}
+
+fn bench_tle_parse(c: &mut Criterion) {
+    let l1 = "1 25544U 98067A   24001.50000000  .00016717  00000-0  10270-3 0  9009";
+    let l2 = "2 25544  51.6400 208.9163 0006317  69.9862 290.2553 15.49560532    00";
+    c.bench_function("tle_parse", |b| {
+        b.iter(|| sb_orbit::tle::Tle::parse("ISS", l1, l2).unwrap())
+    });
+}
+
+fn bench_coverage(c: &mut Criterion) {
+    let shell = WalkerConstellation::delta(16, 16, 5, 550e3, 53f64.to_radians());
+    let constellation = sb_orbit::Constellation::from_walker(&shell);
+    c.bench_function("global_coverage_256sats", |b| {
+        b.iter(|| {
+            sb_topology::coverage::global_coverage(
+                &constellation,
+                Epoch::from_seconds(0.0),
+                25f64.to_radians(),
+            )
+        })
+    });
+}
+
+fn bench_failure_injection(c: &mut Criterion) {
+    let (state, _, _) = network();
+    let snap = state.series().snapshot(SlotIndex(0)).clone();
+    let model = sb_topology::failures::LinkFailureModel::new(0.05, 7);
+    c.bench_function("failure_apply_256sats", |b| b.iter(|| model.apply(&snap)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_snapshot_build, bench_cear_decision, bench_energy_recursion,
+              bench_tiny_end_to_end, bench_ground_grid, bench_tle_parse,
+              bench_coverage, bench_failure_injection
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Ablation study: which of CEAR's mechanisms buys what?
+//!
+//! DESIGN.md calls out three load-bearing design choices — exponential
+//! congestion pricing, deficit-propagated energy pricing, and price-based
+//! admission control. This harness removes them one at a time and reports
+//! welfare, congestion and battery health side by side.
+//!
+//! ```text
+//! cargo run -p sb-bench --release --bin ablation -- --scale fast
+//! ```
+
+use sb_bench::parse_args;
+use sb_cear::AblationFlags;
+use sb_sim::engine::{self, AlgorithmKind};
+use sb_sim::metrics;
+use sb_sim::RunMetrics;
+
+fn main() {
+    let opts = parse_args(std::env::args().skip(1));
+    let scenario = opts.scenario.clone();
+
+    let variants: Vec<AlgorithmKind> = vec![
+        AlgorithmKind::Cear(scenario.cear),
+        AlgorithmKind::CearAblated(
+            scenario.cear,
+            AblationFlags { price_bandwidth: false, ..AblationFlags::default() },
+        ),
+        AlgorithmKind::CearAblated(
+            scenario.cear,
+            AblationFlags { price_energy: false, ..AblationFlags::default() },
+        ),
+        AlgorithmKind::CearAblated(
+            scenario.cear,
+            AblationFlags { admission_control: false, ..AblationFlags::default() },
+        ),
+        AlgorithmKind::CearAblated(
+            scenario.cear,
+            AblationFlags {
+                price_bandwidth: false,
+                price_energy: false,
+                admission_control: false,
+            },
+        ),
+    ];
+
+    println!("# CEAR ablation ({} scale, {} seeds)\n", scenario.name, opts.seeds);
+    println!("| variant | welfare ratio | mean congested links | mean depleted sats | revenue |");
+    println!("|---|---|---|---|---|");
+    for kind in &variants {
+        let runs: Vec<RunMetrics> = (0..opts.seeds)
+            .map(|seed| {
+                let prepared = engine::prepare(&scenario, seed);
+                let requests = engine::workload(&scenario, &prepared, seed);
+                engine::run_prepared(&scenario, &prepared, &requests, kind, seed)
+            })
+            .collect();
+        let ratio = metrics::mean_std(
+            &runs.iter().map(|m| m.social_welfare_ratio).collect::<Vec<_>>(),
+        );
+        let congested =
+            runs.iter().map(RunMetrics::mean_congested).sum::<f64>() / runs.len() as f64;
+        let depleted =
+            runs.iter().map(RunMetrics::mean_depleted).sum::<f64>() / runs.len() as f64;
+        let revenue = runs.iter().map(|m| m.revenue).sum::<f64>() / runs.len() as f64;
+        println!(
+            "| {} | {:.4} ± {:.4} | {congested:.2} | {depleted:.2} | {revenue:.3e} |",
+            kind.name(),
+            ratio.mean,
+            ratio.std
+        );
+    }
+    println!(
+        "\nVariant naming: -nobw drops the congestion price term, -noenergy the battery \
+         term, -noadmission the valuation check, -custom all pricing and admission \
+         (feasibility-greedy routing)."
+    );
+}

@@ -1,0 +1,52 @@
+//! Fig. 6 — social-welfare ratio of the five algorithms under varying
+//! request arrival rates (5, 10, 15, 20, 25 per minute), mean ± std over
+//! seeds.
+//!
+//! ```text
+//! cargo run -p sb-bench --release --bin fig6 -- --scale fast
+//! cargo run -p sb-bench --release --bin fig6 -- --scale paper   # full
+//! ```
+
+use sb_bench::parse_args;
+use sb_sim::engine::{self, AlgorithmKind};
+use sb_sim::output::{markdown_table, write_series_csv, SeriesPoint};
+use sb_sim::{metrics, RunMetrics};
+
+fn main() {
+    let opts = parse_args(std::env::args().skip(1));
+    // The paper sweeps 5..=25 requests/min; the fast scenario scales the
+    // sweep around its own default load.
+    let base = opts.scenario.arrivals_per_slot;
+    let rates: Vec<f64> = [0.5, 1.0, 1.5, 2.0, 2.5].iter().map(|m| m * base).collect();
+
+    let mut points = Vec::new();
+    for &rate in &rates {
+        let mut scenario = opts.scenario.clone();
+        scenario.arrivals_per_slot = rate;
+        let mut values = Vec::new();
+        for kind in AlgorithmKind::all(&scenario) {
+            let runs: Vec<RunMetrics> = (0..opts.seeds)
+                .map(|seed| {
+                    let prepared = engine::prepare(&scenario, seed);
+                    let requests = engine::workload(&scenario, &prepared, seed);
+                    engine::run_prepared(&scenario, &prepared, &requests, &kind, seed)
+                })
+                .collect();
+            let ratios: Vec<f64> = runs.iter().map(|m| m.social_welfare_ratio).collect();
+            values.push((kind.name().to_owned(), metrics::mean_std(&ratios)));
+            eprintln!(
+                "rate {rate:>5.1}/slot  {:<6} ratio {:.4} ({} runs)",
+                kind.name(),
+                metrics::mean_std(&ratios).mean,
+                runs.len()
+            );
+        }
+        points.push(SeriesPoint { x: rate, values });
+    }
+
+    println!("\n# Fig. 6 — social welfare ratio vs arrival rate ({} scale)\n", opts.scenario.name);
+    println!("{}", markdown_table("arrival rate (req/slot)", &points));
+    let path = opts.out_dir.join(format!("fig6_{}.csv", opts.scenario.name));
+    write_series_csv(&path, "arrival_rate", &points).expect("write CSV");
+    println!("CSV written to {}", path.display());
+}

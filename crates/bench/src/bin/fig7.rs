@@ -1,0 +1,80 @@
+//! Fig. 7 — energy-depleted satellites over time (left, default arrival
+//! rate) and congested links over time (right, 2.5× the default rate —
+//! the paper uses rate 25 against a default of 10).
+//!
+//! ```text
+//! cargo run -p sb-bench --release --bin fig7 -- --scale fast
+//! ```
+
+use sb_bench::parse_args;
+use sb_sim::engine::{self, AlgorithmKind};
+use sb_sim::output::write_timeseries_csv;
+
+fn main() {
+    let opts = parse_args(std::env::args().skip(1));
+
+    // Left subfigure: depleted satellites at the default rate.
+    let scenario = opts.scenario.clone();
+    let mut depleted_series = Vec::new();
+    for kind in AlgorithmKind::all(&scenario) {
+        let m = {
+            let prepared = engine::prepare(&scenario, 0);
+            let requests = engine::workload(&scenario, &prepared, 0);
+            engine::run_prepared(&scenario, &prepared, &requests, &kind, 0)
+        };
+        eprintln!(
+            "{:<6} depleted: mean {:.2} peak {}",
+            kind.name(),
+            m.mean_depleted(),
+            m.peak_depleted()
+        );
+        depleted_series.push((
+            kind.name().to_owned(),
+            m.depleted_satellites_over_time.iter().map(|&c| c as f64).collect(),
+        ));
+    }
+
+    // Right subfigure: congested links at 2.5× the default rate.
+    let mut hot = opts.scenario.clone();
+    hot.arrivals_per_slot *= 2.5;
+    let mut congested_series = Vec::new();
+    for kind in AlgorithmKind::all(&hot) {
+        let m = {
+            let prepared = engine::prepare(&hot, 0);
+            let requests = engine::workload(&hot, &prepared, 0);
+            engine::run_prepared(&hot, &prepared, &requests, &kind, 0)
+        };
+        eprintln!(
+            "{:<6} congested: mean {:.2} peak {}",
+            kind.name(),
+            m.mean_congested(),
+            m.peak_congested()
+        );
+        congested_series.push((
+            kind.name().to_owned(),
+            m.congested_links_over_time.iter().map(|&c| c as f64).collect(),
+        ));
+    }
+
+    println!("\n# Fig. 7 — over-time resource health ({} scale)\n", opts.scenario.name);
+    println!("## Energy-depleted satellites (battery < 20 %), rate {}/slot", opts.scenario.arrivals_per_slot);
+    print_summary(&depleted_series);
+    println!("\n## Congested links (residual < 10 %), rate {}/slot", hot.arrivals_per_slot);
+    print_summary(&congested_series);
+
+    let left = opts.out_dir.join(format!("fig7_depleted_{}.csv", opts.scenario.name));
+    let right = opts.out_dir.join(format!("fig7_congested_{}.csv", opts.scenario.name));
+    write_timeseries_csv(&left, &depleted_series).expect("write CSV");
+    write_timeseries_csv(&right, &congested_series).expect("write CSV");
+    println!("\nCSV written to {} and {}", left.display(), right.display());
+}
+
+fn print_summary(series: &[(String, Vec<f64>)]) {
+    println!("| algorithm | mean over time | peak |");
+    println!("|---|---|---|");
+    for (name, values) in series {
+        let mean = values.iter().sum::<f64>() / values.len().max(1) as f64;
+        let peak = values.iter().copied().fold(0.0, f64::max);
+        println!("| {name} | {mean:.2} | {peak:.0} |");
+    }
+}

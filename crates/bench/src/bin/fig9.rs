@@ -1,0 +1,69 @@
+//! Fig. 9 — CEAR's social-welfare ratio under (left) varying request
+//! valuations and (right) varying energy conservativeness `F₂`.
+//!
+//! ```text
+//! cargo run -p sb-bench --release --bin fig9 -- --scale fast
+//! ```
+
+use sb_bench::parse_args;
+use sb_sim::engine::{self, AlgorithmKind};
+use sb_sim::metrics;
+use sb_sim::output::{markdown_table, write_series_csv, SeriesPoint};
+use sb_demand::ValuationModel;
+
+fn main() {
+    let opts = parse_args(std::env::args().skip(1));
+
+    // Left: valuation sweep. The paper saturates at its default 2.3e9, so
+    // the sweep reaches down to where prices actually bind (the interesting
+    // rising part of the curve) and up to the saturated plateau.
+    let valuations = [0.001, 0.01, 0.05, 0.25, 1.0].map(|m| m * 2.3e9);
+    let mut val_points = Vec::new();
+    for v in valuations {
+        let mut scenario = opts.scenario.clone();
+        scenario.valuation = ValuationModel::Constant(v);
+        let kind = AlgorithmKind::Cear(scenario.cear);
+        let ratios: Vec<f64> = (0..opts.seeds)
+            .map(|seed| engine::run(&scenario, &kind, seed).social_welfare_ratio)
+            .collect();
+        eprintln!("valuation {v:>10.2e}: ratio {:.4}", metrics::mean_std(&ratios).mean);
+        val_points.push(SeriesPoint {
+            x: v,
+            values: vec![("CEAR".to_owned(), metrics::mean_std(&ratios))],
+        });
+    }
+
+    // Right: F2 sweep, wide enough for the energy price to start binding.
+    let f2s = [0.5, 2.0, 8.0, 32.0, 128.0];
+    let mut f2_points = Vec::new();
+    for f2 in f2s {
+        let mut scenario = opts.scenario.clone();
+        scenario.cear.f2 = f2;
+        let kind = AlgorithmKind::Cear(scenario.cear);
+        let runs: Vec<_> =
+            (0..opts.seeds).map(|seed| engine::run(&scenario, &kind, seed)).collect();
+        let ratios: Vec<f64> = runs.iter().map(|m| m.social_welfare_ratio).collect();
+        let depleted =
+            runs.iter().map(|m| m.mean_depleted()).sum::<f64>() / runs.len() as f64;
+        eprintln!(
+            "F2 {f2:>5.1}: ratio {:.4}, mean depleted satellites {depleted:.1}",
+            metrics::mean_std(&ratios).mean
+        );
+        f2_points.push(SeriesPoint {
+            x: f2,
+            values: vec![("CEAR".to_owned(), metrics::mean_std(&ratios))],
+        });
+    }
+
+    println!("\n# Fig. 9 — CEAR sensitivity ({} scale)\n", opts.scenario.name);
+    println!("## Social welfare ratio vs valuation\n");
+    println!("{}", markdown_table("valuation", &val_points));
+    println!("## Social welfare ratio vs F2\n");
+    println!("{}", markdown_table("F2", &f2_points));
+
+    let left = opts.out_dir.join(format!("fig9_valuation_{}.csv", opts.scenario.name));
+    let right = opts.out_dir.join(format!("fig9_f2_{}.csv", opts.scenario.name));
+    write_series_csv(&left, "valuation", &val_points).expect("write CSV");
+    write_series_csv(&right, "f2", &f2_points).expect("write CSV");
+    println!("CSV written to {} and {}", left.display(), right.display());
+}

@@ -1,0 +1,50 @@
+//! Robustness study (extension): welfare under ISL failures.
+//!
+//! Sweeps the per-slot ISL failure probability and reports every
+//! algorithm's social-welfare ratio — how gracefully each degrades when
+//! the +Grid starts losing links. CEAR and the congestion-aware baselines
+//! route around failures; SSP's fixed min-hop corridors are brittle.
+//!
+//! ```text
+//! cargo run -p sb-bench --release --bin robustness -- --scale fast
+//! ```
+
+use sb_bench::parse_args;
+use sb_sim::engine::{self, AlgorithmKind};
+use sb_sim::metrics;
+use sb_sim::output::{markdown_table, write_series_csv, SeriesPoint};
+
+fn main() {
+    let opts = parse_args(std::env::args().skip(1));
+    let probs = [0.0, 0.02, 0.05, 0.1, 0.2];
+
+    let mut points = Vec::new();
+    for &p in &probs {
+        let mut scenario = opts.scenario.clone();
+        scenario.isl_failure_prob = p;
+        let mut values = Vec::new();
+        for kind in AlgorithmKind::all(&scenario) {
+            let ratios: Vec<f64> = (0..opts.seeds)
+                .map(|seed| {
+                    let prepared = engine::prepare(&scenario, seed);
+                    let requests = engine::workload(&scenario, &prepared, seed);
+                    engine::run_prepared(&scenario, &prepared, &requests, &kind, seed)
+                        .social_welfare_ratio
+                })
+                .collect();
+            let ms = metrics::mean_std(&ratios);
+            eprintln!("failure {p:>5.2}  {:<6} ratio {:.4}", kind.name(), ms.mean);
+            values.push((kind.name().to_owned(), ms));
+        }
+        points.push(SeriesPoint { x: p, values });
+    }
+
+    println!(
+        "\n# Robustness — social welfare ratio vs ISL failure probability ({} scale)\n",
+        opts.scenario.name
+    );
+    println!("{}", markdown_table("ISL failure prob", &points));
+    let path = opts.out_dir.join(format!("robustness_{}.csv", opts.scenario.name));
+    write_series_csv(&path, "failure_prob", &points).expect("write CSV");
+    println!("CSV written to {}", path.display());
+}

@@ -1,0 +1,108 @@
+//! Shared helpers for the figure-regeneration binaries.
+//!
+//! Each paper figure has a binary (`fig6` … `fig9`) accepting
+//! `--scale {paper,fast}` and `--seeds N`; this crate holds the argument
+//! parsing and run-loop plumbing they share.
+
+use sb_sim::ScenarioConfig;
+
+/// Command-line options shared by every figure binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureOptions {
+    /// The scenario to run ("paper" or "fast").
+    pub scenario: ScenarioConfig,
+    /// Number of seeds per configuration (paper: 5).
+    pub seeds: u64,
+    /// Output directory for CSV files.
+    pub out_dir: std::path::PathBuf,
+}
+
+impl Default for FigureOptions {
+    fn default() -> Self {
+        FigureOptions {
+            scenario: ScenarioConfig::fast(),
+            seeds: 3,
+            out_dir: std::path::PathBuf::from("results"),
+        }
+    }
+}
+
+/// Parses `--scale {paper,fast}`, `--seeds N` and `--out DIR` from an
+/// argument iterator.
+///
+/// # Panics
+///
+/// Panics with a usage message on unknown arguments — these are
+/// experiment drivers, not long-lived services.
+pub fn parse_args(args: impl Iterator<Item = String>) -> FigureOptions {
+    let mut opts = FigureOptions::default();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().expect("--scale needs a value");
+                opts.scenario = match v.as_str() {
+                    "paper" => {
+                        opts.seeds = 5;
+                        ScenarioConfig::paper()
+                    }
+                    "fast" => ScenarioConfig::fast(),
+                    "tiny" => ScenarioConfig::tiny(),
+                    other => panic!("unknown scale `{other}` (use paper|fast|tiny)"),
+                };
+            }
+            "--seeds" => {
+                opts.seeds = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seeds needs an integer");
+            }
+            "--out" => {
+                opts.out_dir = args.next().expect("--out needs a path").into();
+            }
+            other => panic!("unknown argument `{other}` (use --scale/--seeds/--out)"),
+        }
+    }
+    opts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> FigureOptions {
+        parse_args(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]);
+        assert_eq!(o.scenario.name, "fast");
+        assert_eq!(o.seeds, 3);
+    }
+
+    #[test]
+    fn paper_scale_sets_five_seeds() {
+        let o = parse(&["--scale", "paper"]);
+        assert_eq!(o.scenario.name, "paper");
+        assert_eq!(o.seeds, 5);
+    }
+
+    #[test]
+    fn explicit_seeds_override() {
+        let o = parse(&["--scale", "paper", "--seeds", "2"]);
+        assert_eq!(o.seeds, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scale")]
+    fn bad_scale_panics() {
+        let _ = parse(&["--scale", "warp"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn bad_flag_panics() {
+        let _ = parse(&["--frobnicate"]);
+    }
+}

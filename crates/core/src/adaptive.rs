@@ -1,0 +1,205 @@
+//! Adaptive conservativeness tuning (§V-B of the paper).
+//!
+//! The competitive analysis fixes `F₁, F₂` for the worst case, but §V-B
+//! observes that in practice the operator should "monitor the historical
+//! minimum and maximum demand and value of requests, and then periodically
+//! update F₁ and F₂ based on historical trends". [`AdaptiveCear`]
+//! implements that feedback loop in the spirit of the
+//! algorithms-with-predictions framework the paper cites as future work:
+//!
+//! * every `retune_every` processed requests it observes the network —
+//!   mean battery utilization at the current slot and the recent
+//!   rejection mix;
+//! * if batteries are more utilized than the operator's target, `F₂` is
+//!   raised multiplicatively (pricier energy, more conservation);
+//!   if they are comfortably below target, `F₂` is lowered toward the
+//!   welfare-maximizing end;
+//! * `F₂` stays inside operator-set bounds, so the worst-case competitive
+//!   guarantee of the most conservative setting is never abandoned.
+
+use crate::algorithm::{Cear, Decision, RoutingAlgorithm};
+use crate::params::CearParams;
+use crate::state::NetworkState;
+use sb_demand::Request;
+use serde::{Deserialize, Serialize};
+
+/// Operator policy for the adaptive loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptivePolicy {
+    /// Desired mean battery utilization across the constellation at the
+    /// decision slot, `[0, 1]`. Above it `F₂` rises; below, falls.
+    pub target_battery_utilization: f64,
+    /// How many processed requests between retunes.
+    pub retune_every: usize,
+    /// Multiplicative step applied to `F₂` per retune (> 1).
+    pub step: f64,
+    /// Inclusive lower bound for `F₂`.
+    pub f2_min: f64,
+    /// Inclusive upper bound for `F₂`.
+    pub f2_max: f64,
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> Self {
+        AdaptivePolicy {
+            target_battery_utilization: 0.5,
+            retune_every: 25,
+            step: 1.5,
+            f2_min: 0.25,
+            f2_max: 64.0,
+        }
+    }
+}
+
+/// CEAR with an operator feedback loop on the energy conservativeness
+/// parameter `F₂`.
+///
+/// # Example
+///
+/// ```
+/// use sb_cear::adaptive::{AdaptiveCear, AdaptivePolicy};
+/// use sb_cear::CearParams;
+///
+/// let adaptive = AdaptiveCear::new(CearParams::default(), AdaptivePolicy::default());
+/// assert_eq!(adaptive.current_f2(), 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveCear {
+    inner: Cear,
+    policy: AdaptivePolicy,
+    processed: usize,
+    f2_history: Vec<f64>,
+}
+
+impl AdaptiveCear {
+    /// Creates the adaptive wrapper around CEAR's base parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy bounds are inverted or the step is ≤ 1.
+    pub fn new(params: CearParams, policy: AdaptivePolicy) -> Self {
+        assert!(policy.f2_min > 0.0 && policy.f2_min <= policy.f2_max, "invalid F2 bounds");
+        assert!(policy.step > 1.0, "step must exceed 1");
+        assert!(policy.retune_every > 0, "retune_every must be positive");
+        AdaptiveCear { inner: Cear::new(params), policy, processed: 0, f2_history: Vec::new() }
+    }
+
+    /// The current value of `F₂`.
+    pub fn current_f2(&self) -> f64 {
+        self.inner.params().f2
+    }
+
+    /// Every `F₂` value the loop has set, in order (useful for plotting
+    /// the adaptation trajectory).
+    pub fn f2_history(&self) -> &[f64] {
+        &self.f2_history
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &AdaptivePolicy {
+        &self.policy
+    }
+
+    fn retune(&mut self, request: &Request, state: &NetworkState) {
+        let t = request.start.index().min(state.horizon().saturating_sub(1));
+        let observed = state.ledger().mean_utilization(t);
+        let mut params = *self.inner.params();
+        if observed > self.policy.target_battery_utilization {
+            params.f2 = (params.f2 * self.policy.step).min(self.policy.f2_max);
+        } else {
+            params.f2 = (params.f2 / self.policy.step).max(self.policy.f2_min);
+        }
+        self.f2_history.push(params.f2);
+        self.inner = Cear::new(params);
+    }
+}
+
+impl RoutingAlgorithm for AdaptiveCear {
+    fn name(&self) -> &'static str {
+        "CEAR-adaptive"
+    }
+
+    fn process(&mut self, request: &Request, state: &mut NetworkState) -> Decision {
+        if self.processed > 0 && self.processed % self.policy.retune_every == 0 {
+            self.retune(request, state);
+        }
+        self.processed += 1;
+        self.inner.process(request, state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::testutil::{build_state, request};
+
+    #[test]
+    fn f2_rises_under_battery_pressure() {
+        let (mut state, src, dst) = build_state(3);
+        let policy = AdaptivePolicy {
+            target_battery_utilization: 0.0005, // absurdly strict target
+            retune_every: 2,
+            ..AdaptivePolicy::default()
+        };
+        let mut adaptive = AdaptiveCear::new(CearParams::default(), policy);
+        for _ in 0..12 {
+            let _ = adaptive.process(&request(src, dst, 1500.0, 0, 2), &mut state);
+        }
+        assert!(
+            adaptive.current_f2() > 1.0,
+            "F2 should rise under pressure, got {}",
+            adaptive.current_f2()
+        );
+        assert!(!adaptive.f2_history().is_empty());
+    }
+
+    #[test]
+    fn f2_falls_when_network_is_idle() {
+        let (mut state, src, dst) = build_state(3);
+        let policy =
+            AdaptivePolicy { target_battery_utilization: 0.99, retune_every: 1, ..Default::default() };
+        let mut adaptive = AdaptiveCear::new(CearParams::default(), policy);
+        for _ in 0..10 {
+            // Tiny requests: the network never approaches the target.
+            let _ = adaptive.process(&request(src, dst, 1.0, 0, 0), &mut state);
+        }
+        assert!(adaptive.current_f2() < 1.0);
+        assert!(adaptive.current_f2() >= adaptive.policy().f2_min);
+    }
+
+    #[test]
+    fn f2_respects_bounds() {
+        let (mut state, src, dst) = build_state(2);
+        let policy = AdaptivePolicy {
+            target_battery_utilization: 0.0,
+            retune_every: 1,
+            step: 10.0,
+            f2_min: 0.5,
+            f2_max: 4.0,
+        };
+        let mut adaptive = AdaptiveCear::new(CearParams::default(), policy);
+        for _ in 0..20 {
+            let _ = adaptive.process(&request(src, dst, 1500.0, 0, 1), &mut state);
+        }
+        for &f2 in adaptive.f2_history() {
+            assert!((0.5..=4.0).contains(&f2), "F2 {f2} out of bounds");
+        }
+        assert_eq!(adaptive.current_f2(), 4.0, "strict target should pin F2 at the cap");
+    }
+
+    #[test]
+    fn still_makes_valid_decisions() {
+        let (mut state, src, dst) = build_state(2);
+        let mut adaptive = AdaptiveCear::new(CearParams::default(), AdaptivePolicy::default());
+        let d = adaptive.process(&request(src, dst, 800.0, 0, 1), &mut state);
+        assert!(d.is_accepted(), "fresh network should accept");
+        assert_eq!(adaptive.name(), "CEAR-adaptive");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid F2 bounds")]
+    fn inverted_bounds_panic() {
+        let policy = AdaptivePolicy { f2_min: 8.0, f2_max: 1.0, ..Default::default() };
+        let _ = AdaptiveCear::new(CearParams::default(), policy);
+    }
+}

@@ -1,0 +1,200 @@
+//! Validators for the competitive analysis' Assumptions 1–2 (§V-A).
+//!
+//! Theorem 1's `2·log₂(μ₁μ₂) + 1` competitive ratio holds when the
+//! workload satisfies:
+//!
+//! * **Assumption 1** — every valuation is sandwiched:
+//!   `max{n𝕋·δ_i(T), n𝕋·Σ_{T_a} Ω_s(T_a, i)} ≤ ρ_i ≤ n𝕋F₁ + n𝕋F₂`;
+//! * **Assumption 2** — no single request can saturate a resource:
+//!   `δ_i(T) ≤ min_e c_e / log₂ μ₁` and
+//!   `Σ_{T_a} Ω_s(T_a, i) ≤ min_s ϖ_s / log₂ μ₂`.
+//!
+//! The paper notes these are analysis devices, not operational
+//! requirements; this module lets an experimenter check how far a concrete
+//! workload strays from them (the paper's own evaluation, with
+//! ρ = 2.3 × 10⁹, deliberately exceeds the Assumption-1 upper bound to
+//! match the success-ratio metric).
+
+use crate::params::CearParams;
+use sb_demand::Request;
+use sb_energy::{EnergyParams, SatelliteRole};
+use serde::{Deserialize, Serialize};
+
+/// Per-request assumption check outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AssumptionViolation {
+    /// Index of the request in the checked slice.
+    pub request_index: usize,
+    /// Which assumption was violated (1 or 2).
+    pub assumption: u8,
+    /// Human-readable description of the violation.
+    pub detail: String,
+}
+
+/// The result of checking a workload against Assumptions 1–2.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AssumptionReport {
+    /// All violations found (empty means both assumptions hold).
+    pub violations: Vec<AssumptionViolation>,
+    /// Number of requests checked.
+    pub checked: usize,
+}
+
+impl AssumptionReport {
+    /// `true` when every request satisfies both assumptions.
+    pub fn all_hold(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violations of a specific assumption.
+    pub fn of_assumption(&self, which: u8) -> impl Iterator<Item = &AssumptionViolation> {
+        self.violations.iter().filter(move |v| v.assumption == which)
+    }
+}
+
+/// The worst-case per-slot energy consumption of a request on one
+/// satellite: the most expensive role (bent-pipe) at the request's peak
+/// rate.
+fn worst_case_consumption_j(request: &Request, energy: &EnergyParams, slot_s: f64) -> f64 {
+    energy.consumption_j(SatelliteRole::BentPipe, request.rate.peak_rate(), slot_s)
+}
+
+/// Checks a workload against Assumptions 1 and 2.
+///
+/// `min_capacity_mbps` and `min_battery_j` are the network-wide minimum
+/// link capacity and battery capacity (the `min_e c_e(T)` / `min_s ϖ_s` of
+/// Assumption 2).
+pub fn check_assumptions(
+    requests: &[Request],
+    params: &CearParams,
+    energy: &EnergyParams,
+    slot_duration_s: f64,
+    min_capacity_mbps: f64,
+    min_battery_j: f64,
+) -> AssumptionReport {
+    let nt = params.max_hops * params.max_duration_slots;
+    let rho_max = nt * params.f1 + nt * params.f2;
+    let delta_cap = min_capacity_mbps / params.mu1().log2();
+    let omega_cap = min_battery_j / params.mu2().log2();
+
+    let mut report = AssumptionReport { checked: requests.len(), ..Default::default() };
+    for (i, r) in requests.iter().enumerate() {
+        let peak = r.rate.peak_rate();
+        let total_omega =
+            worst_case_consumption_j(r, energy, slot_duration_s) * r.duration_slots() as f64;
+
+        // Assumption 1.
+        let rho_min = (nt * peak).max(nt * total_omega);
+        if r.valuation < rho_min {
+            report.violations.push(AssumptionViolation {
+                request_index: i,
+                assumption: 1,
+                detail: format!("valuation {} below lower bound {rho_min}", r.valuation),
+            });
+        }
+        if r.valuation > rho_max {
+            report.violations.push(AssumptionViolation {
+                request_index: i,
+                assumption: 1,
+                detail: format!("valuation {} above upper bound {rho_max}", r.valuation),
+            });
+        }
+
+        // Assumption 2.
+        if peak > delta_cap {
+            report.violations.push(AssumptionViolation {
+                request_index: i,
+                assumption: 2,
+                detail: format!("rate {peak} Mbps exceeds min capacity/log2(mu1) = {delta_cap}"),
+            });
+        }
+        if total_omega > omega_cap {
+            report.violations.push(AssumptionViolation {
+                request_index: i,
+                assumption: 2,
+                detail: format!(
+                    "total energy {total_omega} J exceeds min battery/log2(mu2) = {omega_cap}"
+                ),
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_demand::{RateProfile, RequestId};
+    use sb_topology::{NodeId, SlotIndex};
+
+    fn request(rate: f64, slots: u32, valuation: f64) -> Request {
+        Request {
+            id: RequestId(0),
+            source: NodeId(0),
+            destination: NodeId(1),
+            rate: RateProfile::Constant(rate),
+            start: SlotIndex(0),
+            end: SlotIndex(slots - 1),
+            valuation,
+        }
+    }
+
+    fn params() -> (CearParams, EnergyParams) {
+        (CearParams::default(), EnergyParams::default())
+    }
+
+    #[test]
+    fn empty_workload_holds() {
+        let (p, e) = params();
+        let report = check_assumptions(&[], &p, &e, 60.0, 4000.0, 117_000.0);
+        assert!(report.all_hold());
+        assert_eq!(report.checked, 0);
+    }
+
+    #[test]
+    fn paper_workload_violates_assumption1_upper_bound() {
+        // ρ = 2.3e9 ≫ n𝕋F₁+n𝕋F₂ = 400: the paper's own evaluation
+        // deliberately exceeds the analysis regime.
+        let (p, e) = params();
+        let r = request(1250.0, 5, 2.3e9);
+        let report = check_assumptions(&[r], &p, &e, 60.0, 4000.0, 117_000.0);
+        assert!(!report.all_hold());
+        assert!(report.of_assumption(1).any(|v| v.detail.contains("above upper bound")));
+    }
+
+    #[test]
+    fn assumption2_rate_violation_detected() {
+        let (p, e) = params();
+        // min capacity 4000, log2(402) ≈ 8.65 → cap ≈ 462 Mbps.
+        let r = request(1000.0, 1, 1e12);
+        let report = check_assumptions(&[r], &p, &e, 60.0, 4000.0, 117_000.0);
+        assert!(report.of_assumption(2).any(|v| v.detail.contains("Mbps")));
+    }
+
+    #[test]
+    fn small_request_passes_assumption2() {
+        let (p, e) = params();
+        // Tiny rate and a huge battery floor: assumption 2 holds even
+        // though assumption 1's bounds are odd at paper units.
+        let r = request(1.0, 1, 1e12);
+        let report = check_assumptions(&[r], &p, &e, 60.0, 4000.0, 1e12);
+        assert!(report.of_assumption(2).next().is_none());
+    }
+
+    #[test]
+    fn low_valuation_violates_assumption1_lower_bound() {
+        let (p, e) = params();
+        let r = request(1250.0, 10, 0.5);
+        let report = check_assumptions(&[r], &p, &e, 60.0, 4000.0, 117_000.0);
+        assert!(report.of_assumption(1).any(|v| v.detail.contains("below lower bound")));
+    }
+
+    #[test]
+    fn report_counts() {
+        let (p, e) = params();
+        let rs = vec![request(1250.0, 5, 2.3e9), request(600.0, 2, 2.3e9)];
+        let report = check_assumptions(&rs, &p, &e, 60.0, 4000.0, 117_000.0);
+        assert_eq!(report.checked, 2);
+        assert!(report.violations.iter().all(|v| v.request_index < 2));
+    }
+}

@@ -1,0 +1,198 @@
+//! Multipath splitting (extension beyond the paper).
+//!
+//! Algorithm 1 reserves a *single* path per slot, which caps a request's
+//! rate at the thinnest link on the best path — in practice the 4 Gbps
+//! user access link. A 6 Gbps broadcast feed is simply unroutable.
+//! [`MultipathCear`] generalizes the paper's formulation (whose constraint
+//! 7a already allows path *sets*): when the single-path search finds no
+//! feasible route, the request is split into `k` equal-rate subflows,
+//! each priced and reserved by plain CEAR sequentially — so later subflows
+//! see the earlier ones' reservations and the combined plan respects every
+//! capacity and battery constraint. All-or-nothing semantics are kept by
+//! rolling the state back if any subflow fails.
+//!
+//! The rollback currently snapshots the network state, which is cheap at
+//! example scale and O(network size) at paper scale; use only where
+//! elephant flows matter.
+
+use crate::algorithm::{Cear, Decision, RejectReason, RoutingAlgorithm};
+use crate::params::CearParams;
+use crate::plan::ReservationPlan;
+use crate::state::NetworkState;
+use sb_demand::{RateProfile, Request};
+
+/// CEAR with split-on-demand multipath fallback.
+#[derive(Debug, Clone)]
+pub struct MultipathCear {
+    inner: Cear,
+    max_splits: u32,
+}
+
+impl MultipathCear {
+    /// Creates the wrapper; `max_splits` is the largest number of subflows
+    /// tried (2 is usually enough to clear the access-link cap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_splits` is zero.
+    pub fn new(params: CearParams, max_splits: u32) -> Self {
+        assert!(max_splits >= 1, "need at least one subflow");
+        MultipathCear { inner: Cear::new(params), max_splits }
+    }
+
+    /// The maximum number of subflows tried.
+    pub fn max_splits(&self) -> u32 {
+        self.max_splits
+    }
+
+    /// Builds the `i`-th of `k` equal subflows of a request.
+    fn subflow(request: &Request, k: u32) -> Request {
+        let rate = match &request.rate {
+            RateProfile::Constant(r) => RateProfile::Constant(r / k as f64),
+            RateProfile::PerSlot(v) => {
+                RateProfile::PerSlot(v.iter().map(|r| r / k as f64).collect())
+            }
+        };
+        Request { rate, valuation: request.valuation / k as f64, ..request.clone() }
+    }
+}
+
+impl RoutingAlgorithm for MultipathCear {
+    fn name(&self) -> &'static str {
+        "CEAR-multipath"
+    }
+
+    fn process(&mut self, request: &Request, state: &mut NetworkState) -> Decision {
+        // Plain CEAR first: single-path reservations are strictly cheaper
+        // to operate, so splitting is a fallback, not a preference.
+        match self.inner.process(request, state) {
+            Decision::Rejected { reason: RejectReason::NoFeasiblePath }
+                if self.max_splits >= 2 => {}
+            decision => return decision,
+        }
+
+        for k in 2..=self.max_splits {
+            let backup = state.clone();
+            let sub = Self::subflow(request, k);
+            let mut slot_paths = Vec::new();
+            let mut price = 0.0;
+            let mut all_ok = true;
+            for _ in 0..k {
+                match self.inner.process(&sub, state) {
+                    Decision::Accepted { plan, price: p } => {
+                        slot_paths.extend(plan.slot_paths);
+                        price += p;
+                    }
+                    Decision::Rejected { .. } => {
+                        all_ok = false;
+                        break;
+                    }
+                }
+            }
+            if all_ok {
+                // Keep the combined plan sorted by slot for readability;
+                // per-slot it now lists k paths.
+                slot_paths.sort_by_key(|sp| sp.slot);
+                let plan = ReservationPlan { slot_paths, total_cost: price };
+                return Decision::Accepted { plan, price };
+            }
+            *state = backup;
+        }
+        Decision::Rejected { reason: RejectReason::NoFeasiblePath }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::testutil::{build_state, request};
+
+    #[test]
+    fn falls_back_to_single_path_when_possible() {
+        let (mut state, src, dst) = build_state(1);
+        let mut mp = MultipathCear::new(CearParams::default(), 4);
+        let d = mp.process(&request(src, dst, 1000.0, 0, 0), &mut state);
+        let Decision::Accepted { plan, .. } = d else { panic!("expected accept") };
+        // One path per slot: the single-path fast path served it.
+        assert_eq!(plan.slot_paths.len(), 1);
+    }
+
+    #[test]
+    fn splits_rates_beyond_usl_capacity() {
+        // 6 Gbps exceeds the 4 Gbps USL: plain CEAR must reject, the
+        // 2-way split must carry it over two access links.
+        let (mut state, src, dst) = build_state(1);
+        let mut plain = Cear::new(CearParams::default());
+        let big = request(src, dst, 6000.0, 0, 0);
+        assert!(!plain.process(&big, &mut state.clone()).is_accepted());
+
+        let mut mp = MultipathCear::new(CearParams::default(), 2);
+        let d = mp.process(&big, &mut state);
+        let Decision::Accepted { plan, .. } = d else {
+            panic!("expected multipath accept, got {d:?}");
+        };
+        assert_eq!(plan.slot_paths.len(), 2, "two subflow paths in the slot");
+        // The two subflows must leave the source over different USLs.
+        let first_hops: Vec<_> = plan.slot_paths.iter().map(|sp| sp.nodes[1]).collect();
+        assert_ne!(first_hops[0], first_hops[1]);
+    }
+
+    #[test]
+    fn rolls_back_atomically_when_split_fails() {
+        let (mut state, src, dst) = build_state(1);
+        // 9 Gbps over ≤4 USLs of 4 Gbps: 2-way (4.5 each) infeasible;
+        // with max_splits=2 the whole request must fail *without residue*.
+        let before = state.clone();
+        let mut mp = MultipathCear::new(CearParams::default(), 2);
+        let d = mp.process(&request(src, dst, 9000.0, 0, 0), &mut state);
+        assert!(!d.is_accepted());
+        assert_eq!(state.ledger(), before.ledger(), "no energy residue");
+        let slot = sb_topology::SlotIndex(0);
+        let snap = state.series().snapshot(slot);
+        for idx in 0..snap.num_edges() {
+            let e = sb_topology::graph::EdgeId(idx as u32);
+            assert_eq!(
+                state.reserved_mbps(slot, e),
+                before.reserved_mbps(slot, e),
+                "no bandwidth residue"
+            );
+        }
+    }
+
+    #[test]
+    fn deeper_splits_carry_more() {
+        // 9 Gbps fits as 3 × 3 Gbps over three USLs.
+        let (mut state, src, dst) = build_state(1);
+        let mut mp = MultipathCear::new(CearParams::default(), 3);
+        let d = mp.process(&request(src, dst, 9000.0, 0, 0), &mut state);
+        assert!(d.is_accepted(), "3-way split should fit: {d:?}");
+    }
+
+    #[test]
+    fn price_sums_subflows() {
+        let (mut state, src, dst) = build_state(1);
+        // Load the network to make prices nonzero, then split a big flow.
+        let mut plain = Cear::new(CearParams::default());
+        for _ in 0..4 {
+            let _ = plain.process(&request(src, dst, 1500.0, 0, 0), &mut state);
+        }
+        let mut mp = MultipathCear::new(CearParams::default(), 2);
+        if let Decision::Accepted { plan, price } =
+            mp.process(&request(src, dst, 4500.0, 0, 0), &mut state)
+        {
+            assert!((plan.total_cost - price).abs() < 1e-9);
+            assert!(price > 0.0, "loaded network must price the split");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one subflow")]
+    fn zero_splits_panics() {
+        let _ = MultipathCear::new(CearParams::default(), 0);
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(MultipathCear::new(CearParams::default(), 2).name(), "CEAR-multipath");
+    }
+}

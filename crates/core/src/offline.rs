@@ -1,0 +1,228 @@
+//! Hindsight references for the offline optimum.
+//!
+//! Definition 1's offline problem is NP-hard (an unsplittable multi-slot
+//! flow packing), and the paper itself never computes it exactly — it only
+//! uses the offline optimum inside the competitive analysis. For empirical
+//! grounding we provide two practical references:
+//!
+//! * [`total_valuation`] — the trivial upper bound `Σ_i ρ_i` (accept
+//!   everything);
+//! * [`hindsight_welfare`] — a hindsight greedy: with the full request set
+//!   known, admit requests in order of decreasing value density
+//!   (valuation ÷ requested resource volume) using any routing algorithm.
+//!   This is the classic offline greedy for online-packing problems and
+//!   upper-bounds what value-ordering alone can recover;
+//! * [`exact_offline_welfare`] — branch-and-bound over accept/reject
+//!   decisions (with a fixed routing policy) for small instances: the
+//!   strongest computable offline reference, used to measure empirical
+//!   competitive ratios in the tests.
+
+use crate::algorithm::RoutingAlgorithm;
+use crate::state::NetworkState;
+use sb_demand::{Request, RequestId};
+
+/// The trivial offline upper bound: the total valuation of all requests.
+pub fn total_valuation(requests: &[Request]) -> f64 {
+    requests.iter().map(|r| r.valuation).sum()
+}
+
+/// Runs `algorithm` over the requests in decreasing value-density order
+/// (valuation per megabit of requested volume) against a fresh state,
+/// returning `(welfare, accepted_count)`.
+///
+/// With the paper's constant valuations this admits small requests first —
+/// the packing-friendly order an offline scheduler would prefer.
+pub fn hindsight_welfare(
+    requests: &[Request],
+    state: &mut NetworkState,
+    algorithm: &mut dyn RoutingAlgorithm,
+) -> (f64, usize) {
+    let slot_s = state.slot_duration_s();
+    let mut order: Vec<&Request> = requests.iter().collect();
+    order.sort_by(|a, b| {
+        let da = a.valuation / a.total_volume_mbit(slot_s).max(f64::MIN_POSITIVE);
+        let db = b.valuation / b.total_volume_mbit(slot_s).max(f64::MIN_POSITIVE);
+        db.total_cmp(&da)
+    });
+    let mut welfare = 0.0;
+    let mut accepted = 0;
+    for request in order {
+        if algorithm.process(request, state).is_accepted() {
+            welfare += request.valuation;
+            accepted += 1;
+        }
+    }
+    (welfare, accepted)
+}
+
+/// Exhaustive branch-and-bound over accept/reject subsets of `requests`
+/// (processed in the given order), using `make_router` to route each
+/// accepted request. Returns the best achievable welfare and the accepted
+/// request ids.
+///
+/// This is the exact optimum *for the chosen routing policy*: Definition
+/// 1's full problem also optimizes the paths themselves, which is NP-hard
+/// in a stronger sense; with a min-cost router the gap is small on
+/// uncongested instances. Complexity is `O(2^n)` state clones — intended
+/// for instances of at most ~20 requests (enforced by `limit`).
+///
+/// # Panics
+///
+/// Panics when `requests.len()` exceeds `limit` (guards against
+/// accidentally exponential runs).
+pub fn exact_offline_welfare(
+    requests: &[Request],
+    base: &NetworkState,
+    make_router: impl Fn() -> Box<dyn RoutingAlgorithm>,
+    limit: usize,
+) -> (f64, Vec<RequestId>) {
+    assert!(
+        requests.len() <= limit,
+        "exact offline solver limited to {limit} requests, got {}",
+        requests.len()
+    );
+    // Suffix sums of valuations for the upper-bound prune.
+    let mut suffix = vec![0.0; requests.len() + 1];
+    for i in (0..requests.len()).rev() {
+        suffix[i] = suffix[i + 1] + requests[i].valuation;
+    }
+
+    struct Search<'a, F: Fn() -> Box<dyn RoutingAlgorithm>> {
+        requests: &'a [Request],
+        suffix: Vec<f64>,
+        make_router: F,
+        best: f64,
+        best_set: Vec<RequestId>,
+    }
+
+    impl<F: Fn() -> Box<dyn RoutingAlgorithm>> Search<'_, F> {
+        fn dfs(&mut self, i: usize, state: &NetworkState, welfare: f64, chosen: &mut Vec<RequestId>) {
+            if welfare + self.suffix[i] <= self.best {
+                return; // cannot beat the incumbent
+            }
+            if i == self.requests.len() {
+                if welfare > self.best {
+                    self.best = welfare;
+                    self.best_set = chosen.clone();
+                }
+                return;
+            }
+            let request = &self.requests[i];
+            // Branch 1: try to accept (feasibility decided by the router).
+            let mut accept_state = state.clone();
+            let mut router = (self.make_router)();
+            if router.process(request, &mut accept_state).is_accepted() {
+                chosen.push(request.id);
+                self.dfs(i + 1, &accept_state, welfare + request.valuation, chosen);
+                chosen.pop();
+            }
+            // Branch 2: reject.
+            self.dfs(i + 1, state, welfare, chosen);
+        }
+    }
+
+    let mut search =
+        Search { requests, suffix, make_router, best: f64::NEG_INFINITY, best_set: Vec::new() };
+    search.dfs(0, base, 0.0, &mut Vec::new());
+    (search.best.max(0.0), search.best_set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::testutil::{build_state, request};
+    use crate::baselines::Ssp;
+    use sb_demand::RateProfile;
+
+    #[test]
+    fn total_valuation_sums() {
+        let (_, src, dst) = build_state(1);
+        let rs = vec![request(src, dst, 100.0, 0, 0), request(src, dst, 100.0, 0, 0)];
+        assert_eq!(total_valuation(&rs), 2.0 * 2.3e9);
+        assert_eq!(total_valuation(&[]), 0.0);
+    }
+
+    #[test]
+    fn hindsight_prefers_high_density() {
+        let (mut state, src, dst) = build_state(1);
+        // One huge low-density request and several small high-density ones
+        // competing for the same USLs.
+        let mut rs = Vec::new();
+        let mut big = request(src, dst, 2000.0, 0, 0);
+        big.valuation = 2.3e9;
+        rs.push(big);
+        for _ in 0..6 {
+            let mut small = request(src, dst, 600.0, 0, 0);
+            small.valuation = 2.3e9; // same value, much smaller volume
+            rs.push(small);
+        }
+        let (welfare, accepted) = hindsight_welfare(&rs, &mut state, &mut Ssp::new());
+        assert!(accepted >= 6, "small requests should be packed first, got {accepted}");
+        assert!(welfare >= 6.0 * 2.3e9);
+    }
+
+    #[test]
+    fn hindsight_on_empty_request_set() {
+        let (mut state, _, _) = build_state(1);
+        let (welfare, accepted) = hindsight_welfare(&[], &mut state, &mut Ssp::new());
+        assert_eq!(welfare, 0.0);
+        assert_eq!(accepted, 0);
+    }
+
+    #[test]
+    fn exact_dominates_hindsight_and_online() {
+        let (state, src, dst) = build_state(1);
+        // Six medium requests and one big one contending for USLs.
+        let mut rs: Vec<_> = (0..5).map(|_| request(src, dst, 900.0, 0, 0)).collect();
+        rs.push(request(src, dst, 2000.0, 0, 0));
+        for (i, r) in rs.iter_mut().enumerate() {
+            r.id = sb_demand::RequestId(i as u32);
+        }
+
+        let (exact, accepted) = exact_offline_welfare(
+            &rs,
+            &state,
+            || Box::new(Ssp::new()),
+            16,
+        );
+        let mut greedy_state = state.clone();
+        let (greedy, _) = hindsight_welfare(&rs, &mut greedy_state, &mut Ssp::new());
+        assert!(exact + 1e-6 >= greedy, "exact {exact} < greedy {greedy}");
+        assert!(exact <= total_valuation(&rs) + 1e-6);
+        assert_eq!(accepted.len(), (exact / 2.3e9).round() as usize);
+    }
+
+    #[test]
+    fn exact_finds_the_obvious_packing() {
+        let (state, src, dst) = build_state(1);
+        // Two small requests that fit together beat one that blocks both.
+        let mut rs = vec![
+            request(src, dst, 600.0, 0, 0),
+            request(src, dst, 600.0, 0, 0),
+        ];
+        for (i, r) in rs.iter_mut().enumerate() {
+            r.id = sb_demand::RequestId(i as u32);
+        }
+        let (exact, accepted) =
+            exact_offline_welfare(&rs, &state, || Box::new(Ssp::new()), 8);
+        assert_eq!(accepted.len(), 2);
+        assert!((exact - 2.0 * 2.3e9).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to")]
+    fn exact_guards_against_blowup() {
+        let (state, src, dst) = build_state(1);
+        let rs: Vec<_> = (0..5).map(|_| request(src, dst, 100.0, 0, 0)).collect();
+        let _ = exact_offline_welfare(&rs, &state, || Box::new(Ssp::new()), 3);
+    }
+
+    #[test]
+    fn zero_volume_request_does_not_divide_by_zero() {
+        let (mut state, src, dst) = build_state(1);
+        let mut r = request(src, dst, 0.0, 0, 0);
+        r.rate = RateProfile::Constant(0.0);
+        let (_, accepted) = hindsight_welfare(&[r], &mut state, &mut Ssp::new());
+        assert!(accepted <= 1);
+    }
+}

@@ -1,0 +1,119 @@
+//! CEAR pricing parameters (§V of the paper).
+//!
+//! The conservativeness parameters `F₁` (bandwidth) and `F₂` (energy),
+//! together with the maximum hop count `n` and the maximum request duration
+//! `𝕋`, define the exponential base price factors
+//! `μ₁ = 2(n𝕋F₁ + 1)` and `μ₂ = 2(n𝕋F₂ + 1)` used by the cost functions
+//! (Eqs. 10–11), and through them the competitive ratio
+//! `2·log₂(μ₁μ₂) + 1` of Theorem 1.
+
+use serde::{Deserialize, Serialize};
+
+/// The tunable parameters of CEAR's pricing scheme.
+///
+/// Defaults match the paper's evaluation: `n = 20`, `𝕋 = 10`,
+/// `F₁ = F₂ = 1`, giving `μ₁ = μ₂ = 402` and a competitive ratio of
+/// `2·log₂(402²) + 1 ≈ 35.6`.
+///
+/// # Example
+///
+/// ```
+/// use sb_cear::CearParams;
+/// let p = CearParams::default();
+/// assert_eq!(p.mu1(), 402.0);
+/// assert!((p.competitive_ratio() - 35.6).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CearParams {
+    /// Bandwidth conservativeness parameter `F₁`.
+    pub f1: f64,
+    /// Energy conservativeness parameter `F₂`.
+    pub f2: f64,
+    /// Maximum number of hops in any path, `n`.
+    pub max_hops: f64,
+    /// Maximum request duration in slots, `𝕋`.
+    pub max_duration_slots: f64,
+}
+
+impl Default for CearParams {
+    fn default() -> Self {
+        CearParams { f1: 1.0, f2: 1.0, max_hops: 20.0, max_duration_slots: 10.0 }
+    }
+}
+
+impl CearParams {
+    /// Creates parameters with custom conservativeness factors and the
+    /// paper's `n = 20`, `𝕋 = 10`.
+    pub fn with_conservativeness(f1: f64, f2: f64) -> Self {
+        CearParams { f1, f2, ..CearParams::default() }
+    }
+
+    /// The bandwidth base price factor `μ₁ = 2(n𝕋F₁ + 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the result is not > 1 (the exponential
+    /// pricing scheme needs a base above one).
+    pub fn mu1(&self) -> f64 {
+        let mu = 2.0 * (self.max_hops * self.max_duration_slots * self.f1 + 1.0);
+        debug_assert!(mu > 1.0, "mu1 must exceed 1, got {mu}");
+        mu
+    }
+
+    /// The energy base price factor `μ₂ = 2(n𝕋F₂ + 1)`.
+    pub fn mu2(&self) -> f64 {
+        let mu = 2.0 * (self.max_hops * self.max_duration_slots * self.f2 + 1.0);
+        debug_assert!(mu > 1.0, "mu2 must exceed 1, got {mu}");
+        mu
+    }
+
+    /// The competitive ratio guaranteed by Theorem 1:
+    /// `2·log₂(μ₁μ₂) + 1`.
+    pub fn competitive_ratio(&self) -> f64 {
+        2.0 * (self.mu1() * self.mu2()).log2() + 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_defaults() {
+        let p = CearParams::default();
+        assert_eq!(p.mu1(), 402.0);
+        assert_eq!(p.mu2(), 402.0);
+        // 2·log2(402²)+1 = 4·log2(402)+1 ≈ 35.58
+        assert!((p.competitive_ratio() - 35.58).abs() < 0.05);
+    }
+
+    #[test]
+    fn conservativeness_scales_mu() {
+        let p = CearParams::with_conservativeness(2.0, 0.5);
+        assert_eq!(p.mu1(), 2.0 * (20.0 * 10.0 * 2.0 + 1.0));
+        assert_eq!(p.mu2(), 2.0 * (20.0 * 10.0 * 0.5 + 1.0));
+    }
+
+    #[test]
+    fn higher_f_means_higher_ratio() {
+        let low = CearParams::with_conservativeness(1.0, 1.0);
+        let high = CearParams::with_conservativeness(4.0, 4.0);
+        assert!(high.competitive_ratio() > low.competitive_ratio());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ratio_monotone_in_f2(f2a in 0.1..8.0f64, extra in 0.0..8.0f64) {
+            let a = CearParams::with_conservativeness(1.0, f2a);
+            let b = CearParams::with_conservativeness(1.0, f2a + extra);
+            prop_assert!(b.competitive_ratio() >= a.competitive_ratio() - 1e-9);
+        }
+
+        #[test]
+        fn prop_mu_formula(f1 in 0.1..8.0f64, n in 1.0..50.0f64, t in 1.0..20.0f64) {
+            let p = CearParams { f1, f2: 1.0, max_hops: n, max_duration_slots: t };
+            prop_assert!((p.mu1() - 2.0 * (n * t * f1 + 1.0)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Reservation plans: the output of a routing decision.
+//!
+//! A plan `ψ_i` fixes, for every active slot of a request, the path used in
+//! that slot's snapshot graph. Because the topology changes per slot, paths
+//! in different slots may differ freely (the paper's `y_p(T, i)` variables
+//! are per-slot).
+
+use sb_energy::SatelliteRole;
+use sb_topology::graph::EdgeId;
+use sb_topology::{LinkType, NodeId, SlotIndex, TopologySnapshot};
+use serde::{Deserialize, Serialize};
+
+/// The path used in one time slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotPath {
+    /// Which slot this path serves.
+    pub slot: SlotIndex,
+    /// The nodes along the path, source user first, destination user last.
+    pub nodes: Vec<NodeId>,
+    /// The edges along the path (in the slot's snapshot), `nodes.len() − 1`
+    /// of them.
+    pub edges: Vec<EdgeId>,
+}
+
+impl SlotPath {
+    /// Number of hops (edges).
+    pub fn num_hops(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The satellites on the path with their energy roles, derived from the
+    /// link types adjacent to each satellite (see
+    /// [`SatelliteRole::from_link_types`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path's edges do not belong to `snapshot` or disagree
+    /// with `nodes`.
+    pub fn satellite_roles(&self, snapshot: &TopologySnapshot) -> Vec<(NodeId, SatelliteRole)> {
+        assert_eq!(self.edges.len() + 1, self.nodes.len(), "malformed path");
+        let mut roles = Vec::new();
+        for (k, node) in self.nodes.iter().enumerate() {
+            if !snapshot.kind(*node).is_satellite() {
+                continue;
+            }
+            // A satellite strictly inside the path has both an incoming and
+            // an outgoing edge.
+            assert!(k > 0 && k < self.nodes.len() - 1, "satellite at path endpoint");
+            let in_edge = snapshot.edge(self.edges[k - 1]);
+            let out_edge = snapshot.edge(self.edges[k]);
+            debug_assert_eq!(in_edge.dst, *node);
+            debug_assert_eq!(out_edge.src, *node);
+            let role = SatelliteRole::from_link_types(
+                in_edge.link_type == LinkType::Isl,
+                out_edge.link_type == LinkType::Isl,
+            );
+            roles.push((*node, role));
+        }
+        roles
+    }
+}
+
+/// A complete reservation plan for one request: one [`SlotPath`] per active
+/// slot, in slot order, plus the total price quoted by the cost model that
+/// produced it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReservationPlan {
+    /// The per-slot paths, ordered by slot.
+    pub slot_paths: Vec<SlotPath>,
+    /// The total cost `σ(ψ_i)` of the plan under the pricing at decision
+    /// time (Eq. 12); zero for cost-oblivious baselines.
+    pub total_cost: f64,
+}
+
+impl ReservationPlan {
+    /// The maximum hop count over all slots — the paper's `n` for this
+    /// plan.
+    pub fn max_hops(&self) -> usize {
+        self.slot_paths.iter().map(SlotPath::num_hops).max().unwrap_or(0)
+    }
+
+    /// Total number of satellite-slot reservations in the plan.
+    pub fn satellite_slot_count(&self, snapshots: &[TopologySnapshot]) -> usize {
+        self.slot_paths
+            .iter()
+            .map(|sp| sp.satellite_roles(&snapshots[sp.slot.index()]).len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_geo::coords::Eci;
+    use sb_geo::Vec3;
+    use sb_topology::graph::{Edge, NodeKind, TopologySnapshot};
+
+    /// user0 —USL→ sat1 —ISL→ sat2 —USL→ user3, plus a bent-pipe
+    /// user0 —USL→ sat4 —USL→ user3.
+    fn snapshot() -> TopologySnapshot {
+        let kinds = vec![
+            NodeKind::GroundUser(0),
+            NodeKind::Satellite(0),
+            NodeKind::Satellite(1),
+            NodeKind::GroundUser(1),
+            NodeKind::Satellite(2),
+        ];
+        let pos = vec![Eci(Vec3::ZERO); 5];
+        let mk = |s: u32, d: u32, lt| Edge {
+            src: NodeId(s),
+            dst: NodeId(d),
+            link_type: lt,
+            capacity_mbps: 4000.0,
+            length_m: 1.0,
+        };
+        let edges = vec![
+            mk(0, 1, LinkType::Usl),
+            mk(1, 2, LinkType::Isl),
+            mk(2, 3, LinkType::Usl),
+            mk(0, 4, LinkType::Usl),
+            mk(4, 3, LinkType::Usl),
+        ];
+        TopologySnapshot::from_edges(SlotIndex(0), kinds, pos, vec![true; 5], edges)
+    }
+
+    fn edge_id(snap: &TopologySnapshot, s: u32, d: u32) -> EdgeId {
+        snap.find_edge(NodeId(s), NodeId(d)).unwrap()
+    }
+
+    #[test]
+    fn roles_on_two_sat_path() {
+        let snap = snapshot();
+        let path = SlotPath {
+            slot: SlotIndex(0),
+            nodes: vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            edges: vec![edge_id(&snap, 0, 1), edge_id(&snap, 1, 2), edge_id(&snap, 2, 3)],
+        };
+        let roles = path.satellite_roles(&snap);
+        assert_eq!(
+            roles,
+            vec![
+                (NodeId(1), SatelliteRole::IngressGateway),
+                (NodeId(2), SatelliteRole::EgressGateway),
+            ]
+        );
+        assert_eq!(path.num_hops(), 3);
+    }
+
+    #[test]
+    fn bent_pipe_role() {
+        let snap = snapshot();
+        let path = SlotPath {
+            slot: SlotIndex(0),
+            nodes: vec![NodeId(0), NodeId(4), NodeId(3)],
+            edges: vec![edge_id(&snap, 0, 4), edge_id(&snap, 4, 3)],
+        };
+        assert_eq!(path.satellite_roles(&snap), vec![(NodeId(4), SatelliteRole::BentPipe)]);
+    }
+
+    #[test]
+    fn middle_role_with_three_sats() {
+        // Extend: user0→sat1→sat2 ... simulate a middle by a longer path on
+        // a custom snapshot.
+        let kinds = vec![
+            NodeKind::GroundUser(0),
+            NodeKind::Satellite(0),
+            NodeKind::Satellite(1),
+            NodeKind::Satellite(2),
+            NodeKind::GroundUser(1),
+        ];
+        let pos = vec![Eci(Vec3::ZERO); 5];
+        let mk = |s: u32, d: u32, lt| Edge {
+            src: NodeId(s),
+            dst: NodeId(d),
+            link_type: lt,
+            capacity_mbps: 4000.0,
+            length_m: 1.0,
+        };
+        let edges = vec![
+            mk(0, 1, LinkType::Usl),
+            mk(1, 2, LinkType::Isl),
+            mk(2, 3, LinkType::Isl),
+            mk(3, 4, LinkType::Usl),
+        ];
+        let snap = TopologySnapshot::from_edges(SlotIndex(0), kinds, pos, vec![true; 5], edges);
+        let path = SlotPath {
+            slot: SlotIndex(0),
+            nodes: (0..5).map(NodeId).collect(),
+            edges: (0..4)
+                .map(|k| snap.find_edge(NodeId(k), NodeId(k + 1)).unwrap())
+                .collect(),
+        };
+        let roles = path.satellite_roles(&snap);
+        assert_eq!(roles[0].1, SatelliteRole::IngressGateway);
+        assert_eq!(roles[1].1, SatelliteRole::Middle);
+        assert_eq!(roles[2].1, SatelliteRole::EgressGateway);
+    }
+
+    #[test]
+    fn plan_max_hops() {
+        let snap = snapshot();
+        let long = SlotPath {
+            slot: SlotIndex(0),
+            nodes: vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            edges: vec![edge_id(&snap, 0, 1), edge_id(&snap, 1, 2), edge_id(&snap, 2, 3)],
+        };
+        let short = SlotPath {
+            slot: SlotIndex(0),
+            nodes: vec![NodeId(0), NodeId(4), NodeId(3)],
+            edges: vec![edge_id(&snap, 0, 4), edge_id(&snap, 4, 3)],
+        };
+        let plan = ReservationPlan { slot_paths: vec![long, short], total_cost: 0.0 };
+        assert_eq!(plan.max_hops(), 3);
+        assert_eq!(plan.satellite_slot_count(std::slice::from_ref(&snap)), 3);
+    }
+
+    #[test]
+    fn empty_plan() {
+        let plan = ReservationPlan { slot_paths: vec![], total_cost: 0.0 };
+        assert_eq!(plan.max_hops(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed path")]
+    fn malformed_path_panics() {
+        let snap = snapshot();
+        let bad = SlotPath {
+            slot: SlotIndex(0),
+            nodes: vec![NodeId(0), NodeId(1)],
+            edges: vec![],
+        };
+        let _ = bad.satellite_roles(&snap);
+    }
+}

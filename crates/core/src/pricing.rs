@@ -1,0 +1,131 @@
+//! The exponential price functions of §IV-B (Eqs. 8–12).
+//!
+//! Both resources are priced exponentially in their utilization, following
+//! the multiplicative-weights-update tradition:
+//!
+//! * **congestion cost** of link `e`: `σ_e(T) = c_e(T)·(μ₁^{λ_e(T)} − 1)`,
+//!   charged per reserved Mbps as `σ_e/c_e · δ = δ·(μ₁^{λ_e} − 1)`;
+//! * **energy cost** of satellite `s`: `σ_s(T) = ϖ_s·(μ₂^{λ_s(T)} − 1)`,
+//!   charged per joule-slot of persisting deficit as
+//!   `σ_s/ϖ_s · Ω̄ = Ω̄·(μ₂^{λ_s} − 1)`.
+//!
+//! The *unit* prices (the `μ^λ − 1` factors) are what the search layer
+//! actually needs, so they are the primitive here.
+
+/// The unit price factor `μ^λ − 1` for a resource at utilization `λ`.
+///
+/// Zero at zero utilization (fresh resources are free — any path is as good
+/// as another on an empty network) and `μ − 1` at full utilization.
+///
+/// # Example
+///
+/// ```
+/// use sb_cear::pricing::unit_price;
+/// assert_eq!(unit_price(402.0, 0.0), 0.0);
+/// assert_eq!(unit_price(402.0, 1.0), 401.0);
+/// assert!(unit_price(402.0, 0.5) > 0.0);
+/// ```
+#[inline]
+pub fn unit_price(mu: f64, utilization: f64) -> f64 {
+    debug_assert!(mu > 1.0, "price base must exceed 1");
+    debug_assert!(
+        (-1e-9..=1.0 + 1e-9).contains(&utilization),
+        "utilization out of [0,1]: {utilization}"
+    );
+    mu.powf(utilization) - 1.0
+}
+
+/// The absolute congestion cost `σ_e(T) = c_e·(μ₁^{λ_e} − 1)` (Eq. 10).
+#[inline]
+pub fn congestion_cost(capacity_mbps: f64, mu1: f64, utilization: f64) -> f64 {
+    capacity_mbps * unit_price(mu1, utilization)
+}
+
+/// The absolute energy cost `σ_s(T) = ϖ_s·(μ₂^{λ_s} − 1)` (Eq. 11).
+#[inline]
+pub fn energy_cost(battery_capacity_j: f64, mu2: f64, utilization: f64) -> f64 {
+    battery_capacity_j * unit_price(mu2, utilization)
+}
+
+/// The bandwidth component of Eq. (12) for one link and slot:
+/// `σ_e/c_e · δ`.
+#[inline]
+pub fn bandwidth_price(mu1: f64, utilization: f64, rate_mbps: f64) -> f64 {
+    rate_mbps * unit_price(mu1, utilization)
+}
+
+/// The energy component of Eq. (12) for one satellite consumption: the
+/// deficit trace priced slot-by-slot at each slot's battery utilization,
+/// `Σ_T (μ₂^{λ_s(T)} − 1) · Ω̄_s(T_a, T)`.
+#[inline]
+pub fn deficit_price(
+    mu2: f64,
+    trace: &sb_energy::DeficitTrace,
+    utilization_at: impl Fn(usize) -> f64,
+) -> f64 {
+    trace.per_slot.iter().map(|&(t, d)| unit_price(mu2, utilization_at(t)) * d).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sb_energy::DeficitTrace;
+
+    #[test]
+    fn unit_price_extremes() {
+        assert_eq!(unit_price(402.0, 0.0), 0.0);
+        assert_eq!(unit_price(402.0, 1.0), 401.0);
+    }
+
+    #[test]
+    fn absolute_costs_scale_with_capacity() {
+        assert_eq!(congestion_cost(20_000.0, 402.0, 1.0), 20_000.0 * 401.0);
+        assert_eq!(energy_cost(117_000.0, 402.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_price_matches_eq12() {
+        // σ_e/c_e·δ = δ(μ^λ−1): independent of capacity.
+        let lam = 0.3;
+        assert!(
+            (bandwidth_price(402.0, lam, 1250.0) - 1250.0 * (402f64.powf(0.3) - 1.0)).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn deficit_price_sums_slots() {
+        let trace = DeficitTrace { per_slot: vec![(3, 100.0), (4, 50.0)], added_deficit_j: 150.0 };
+        // Utilization 0 at slot 3 (free), 1.0 at slot 4.
+        let price = deficit_price(402.0, &trace, |t| if t == 3 { 0.0 } else { 1.0 });
+        assert!((price - 50.0 * 401.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_is_free() {
+        let trace = DeficitTrace::default();
+        assert_eq!(deficit_price(402.0, &trace, |_| 1.0), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_unit_price_monotone(mu in 1.5..1000.0f64, a in 0.0..1.0f64, b in 0.0..1.0f64) {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            prop_assert!(unit_price(mu, lo) <= unit_price(mu, hi) + 1e-12);
+        }
+
+        #[test]
+        fn prop_unit_price_convex(mu in 1.5..1000.0f64, lam in 0.0..0.5f64) {
+            // Convexity: midpoint value below the chord.
+            let mid = unit_price(mu, lam + 0.25);
+            let chord = 0.5 * (unit_price(mu, lam) + unit_price(mu, lam + 0.5));
+            prop_assert!(mid <= chord + 1e-9);
+        }
+
+        #[test]
+        fn prop_higher_mu_higher_price(lam in 0.01..1.0f64, mu in 2.0..500.0f64, extra in 0.1..500.0f64) {
+            prop_assert!(unit_price(mu + extra, lam) >= unit_price(mu, lam));
+        }
+    }
+}

@@ -1,0 +1,531 @@
+//! Per-slot minimum-cost path search.
+//!
+//! Algorithm 1 line 5 needs, for each active slot, the cheapest path from
+//! the request's source user to its destination user under the current
+//! prices. The subtlety is that a satellite's energy price depends on its
+//! *role* (Eq. 1) — ingress gateway, middle relay, egress gateway or
+//! bent-pipe — which is determined by the link types immediately before and
+//! after it on the path. We therefore run Dijkstra over **states**
+//! `(node, incoming-link-type)`: when relaxing an edge `(a → b)` the link
+//! type by which `a` was reached plus the edge's own type fully determine
+//! `a`'s role, so the edge's weight can include `a`'s exact energy cost.
+//!
+//! Path-shape rules enforced by the search:
+//!
+//! * user nodes never appear in the middle of a path (edges *into* a user
+//!   are only relaxed when that user is the destination, and only the
+//!   source's out-edges are expanded among user nodes);
+//! * the cost callback may prune any edge (return `None`) to express
+//!   feasibility constraints (insufficient residual bandwidth, battery
+//!   over-draw, link pruning à la ERU).
+
+use sb_topology::graph::{Edge, EdgeId};
+use sb_topology::{LinkType, NodeId, SlotIndex, TopologySnapshot};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Everything a cost model gets to see when an edge is relaxed.
+#[derive(Debug)]
+pub struct EdgeContext<'a> {
+    /// The slot being routed.
+    pub slot: SlotIndex,
+    /// The edge's id in the slot's snapshot.
+    pub edge_id: EdgeId,
+    /// The edge itself.
+    pub edge: &'a Edge,
+    /// How the edge's source node was reached: `None` when the source node
+    /// is the request's source user, otherwise the incoming link type.
+    pub incoming: Option<LinkType>,
+}
+
+/// A found path with its cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoundPath {
+    /// Nodes from source user to destination user.
+    pub nodes: Vec<NodeId>,
+    /// Edges, one fewer than nodes.
+    pub edges: Vec<EdgeId>,
+    /// Sum of edge costs as returned by the cost model.
+    pub cost: f64,
+}
+
+/// Max-heap entry inverted into a min-heap by ordering on `Reverse`d cost.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    state: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the cheapest first.
+        other.cost.total_cmp(&self.cost)
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// State encoding: `2·node + (incoming == Usl ? 1 : 0)`.
+#[inline]
+fn state_of(node: NodeId, incoming: LinkType) -> usize {
+    node.index() * 2 + usize::from(incoming == LinkType::Usl)
+}
+
+#[inline]
+fn node_of_state(state: usize) -> NodeId {
+    NodeId((state / 2) as u32)
+}
+
+#[inline]
+fn incoming_of_state(state: usize) -> LinkType {
+    if state % 2 == 1 {
+        LinkType::Usl
+    } else {
+        LinkType::Isl
+    }
+}
+
+/// Finds the minimum-cost path from `source` to `destination` in one
+/// snapshot under an arbitrary edge-cost model.
+///
+/// `cost_fn` is called once per relaxation attempt and returns the
+/// non-negative cost of taking that edge, or `None` to prune it. Costs may
+/// depend on the incoming link type (see [`EdgeContext`]); negative costs
+/// are a logic error (checked in debug builds).
+///
+/// Returns `None` when the destination is unreachable under the model, or
+/// when `source == destination`.
+pub fn min_cost_path(
+    snapshot: &TopologySnapshot,
+    source: NodeId,
+    destination: NodeId,
+    mut cost_fn: impl FnMut(&EdgeContext<'_>) -> Option<f64>,
+) -> Option<FoundPath> {
+    if source == destination {
+        return None;
+    }
+    let slot = snapshot.slot();
+    let n_states = snapshot.num_nodes() * 2;
+    let mut dist = vec![f64::INFINITY; n_states];
+    // Predecessor: (previous state or usize::MAX for the source, edge id).
+    let mut pred: Vec<(usize, EdgeId)> = vec![(usize::MAX, EdgeId(0)); n_states];
+    let mut heap = BinaryHeap::new();
+
+    // Seed with the source's out-edges.
+    for (edge_id, edge) in snapshot.out_edges(source) {
+        if edge.dst != destination && snapshot.kind(edge.dst).is_user() {
+            continue; // users are never intermediate
+        }
+        let ctx = EdgeContext { slot, edge_id, edge, incoming: None };
+        if let Some(cost) = cost_fn(&ctx) {
+            debug_assert!(cost >= 0.0, "negative edge cost {cost}");
+            let state = state_of(edge.dst, edge.link_type);
+            if cost < dist[state] {
+                dist[state] = cost;
+                pred[state] = (usize::MAX, edge_id);
+                heap.push(HeapEntry { cost, state });
+            }
+        }
+    }
+
+    let mut best_final: Option<usize> = None;
+    while let Some(HeapEntry { cost, state }) = heap.pop() {
+        if cost > dist[state] {
+            continue; // stale entry
+        }
+        let node = node_of_state(state);
+        if node == destination {
+            best_final = Some(state);
+            break;
+        }
+        if snapshot.kind(node).is_user() {
+            continue; // never expand out of a user node (only the source is)
+        }
+        let incoming = incoming_of_state(state);
+        for (edge_id, edge) in snapshot.out_edges(node) {
+            if edge.dst == source {
+                continue;
+            }
+            if edge.dst != destination && snapshot.kind(edge.dst).is_user() {
+                continue;
+            }
+            let ctx = EdgeContext { slot, edge_id, edge, incoming: Some(incoming) };
+            let Some(step) = cost_fn(&ctx) else { continue };
+            debug_assert!(step >= 0.0, "negative edge cost {step}");
+            let next = state_of(edge.dst, edge.link_type);
+            let next_cost = cost + step;
+            if next_cost < dist[next] {
+                dist[next] = next_cost;
+                pred[next] = (state, edge_id);
+                heap.push(HeapEntry { cost: next_cost, state: next });
+            }
+        }
+    }
+
+    let final_state = best_final?;
+
+    // Reconstruct.
+    let mut edges = Vec::new();
+    let mut nodes = vec![destination];
+    let mut cur = final_state;
+    loop {
+        let (prev, edge_id) = pred[cur];
+        edges.push(edge_id);
+        if prev == usize::MAX {
+            nodes.push(source);
+            break;
+        }
+        nodes.push(node_of_state(prev));
+        cur = prev;
+    }
+    nodes.reverse();
+    edges.reverse();
+    Some(FoundPath { nodes, edges, cost: dist[final_state] })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sb_geo::coords::Eci;
+    use sb_geo::Vec3;
+    use sb_topology::graph::NodeKind;
+
+    /// Builds a diamond:
+    ///
+    /// ```text
+    ///        sat1 --- sat2
+    ///       /              \
+    /// user0                 user5
+    ///       \              /
+    ///        sat3 --- sat4
+    /// ```
+    fn diamond() -> TopologySnapshot {
+        let kinds = vec![
+            NodeKind::GroundUser(0),
+            NodeKind::Satellite(0),
+            NodeKind::Satellite(1),
+            NodeKind::Satellite(2),
+            NodeKind::Satellite(3),
+            NodeKind::GroundUser(1),
+        ];
+        let pos = vec![Eci(Vec3::ZERO); 6];
+        let mk = |s: u32, d: u32, lt| Edge {
+            src: NodeId(s),
+            dst: NodeId(d),
+            link_type: lt,
+            capacity_mbps: 4000.0,
+            length_m: 1.0,
+        };
+        let mut edges = Vec::new();
+        for (s, d, lt) in [
+            (0, 1, LinkType::Usl),
+            (0, 3, LinkType::Usl),
+            (1, 2, LinkType::Isl),
+            (3, 4, LinkType::Isl),
+            (2, 5, LinkType::Usl),
+            (4, 5, LinkType::Usl),
+        ] {
+            edges.push(mk(s, d, lt));
+            edges.push(mk(d, s, lt));
+        }
+        TopologySnapshot::from_edges(SlotIndex(0), kinds, pos, vec![true; 6], edges)
+    }
+
+    #[test]
+    fn unit_costs_find_a_shortest_path() {
+        let g = diamond();
+        let p = min_cost_path(&g, NodeId(0), NodeId(5), |_| Some(1.0)).unwrap();
+        assert_eq!(p.cost, 3.0);
+        assert_eq!(p.nodes.len(), 4);
+        assert_eq!(p.nodes[0], NodeId(0));
+        assert_eq!(p.nodes[3], NodeId(5));
+    }
+
+    #[test]
+    fn weighted_costs_choose_the_cheap_branch() {
+        let g = diamond();
+        // Make the top branch expensive via its middle ISL.
+        let p = min_cost_path(&g, NodeId(0), NodeId(5), |ctx| {
+            if ctx.edge.src == NodeId(1) && ctx.edge.dst == NodeId(2) {
+                Some(100.0)
+            } else {
+                Some(1.0)
+            }
+        })
+        .unwrap();
+        assert_eq!(p.nodes, vec![NodeId(0), NodeId(3), NodeId(4), NodeId(5)]);
+    }
+
+    #[test]
+    fn pruning_forces_the_other_branch() {
+        let g = diamond();
+        let p = min_cost_path(&g, NodeId(0), NodeId(5), |ctx| {
+            (ctx.edge.src != NodeId(3)).then_some(1.0)
+        })
+        .unwrap();
+        assert_eq!(p.nodes, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(5)]);
+    }
+
+    #[test]
+    fn fully_pruned_graph_has_no_path() {
+        let g = diamond();
+        assert!(min_cost_path(&g, NodeId(0), NodeId(5), |_| None).is_none());
+    }
+
+    #[test]
+    fn same_source_destination_is_none() {
+        let g = diamond();
+        assert!(min_cost_path(&g, NodeId(0), NodeId(0), |_| Some(1.0)).is_none());
+    }
+
+    #[test]
+    fn incoming_link_type_is_reported_correctly() {
+        let g = diamond();
+        let mut seen_first_hop = false;
+        let mut seen_usl_incoming = false;
+        let mut seen_isl_incoming = false;
+        let _ = min_cost_path(&g, NodeId(0), NodeId(5), |ctx| {
+            match ctx.incoming {
+                None => seen_first_hop = true,
+                Some(LinkType::Usl) => seen_usl_incoming = true,
+                Some(LinkType::Isl) => seen_isl_incoming = true,
+            }
+            Some(1.0)
+        });
+        assert!(seen_first_hop);
+        assert!(seen_usl_incoming, "satellites reached via USL relax onward");
+        assert!(seen_isl_incoming, "satellites reached via ISL relax onward");
+    }
+
+    #[test]
+    fn users_are_never_intermediate() {
+        // Add a tempting shortcut through a third user.
+        let kinds = vec![
+            NodeKind::GroundUser(0),
+            NodeKind::Satellite(0),
+            NodeKind::GroundUser(2), // decoy user
+            NodeKind::Satellite(1),
+            NodeKind::GroundUser(1),
+        ];
+        let pos = vec![Eci(Vec3::ZERO); 5];
+        let mk = |s: u32, d: u32, lt| Edge {
+            src: NodeId(s),
+            dst: NodeId(d),
+            link_type: lt,
+            capacity_mbps: 4000.0,
+            length_m: 1.0,
+        };
+        let mut edges = Vec::new();
+        for (s, d, lt) in [
+            (0, 1, LinkType::Usl),
+            (1, 2, LinkType::Usl), // sat0 → decoy
+            (2, 3, LinkType::Usl), // decoy → sat1
+            (3, 4, LinkType::Usl),
+            (1, 3, LinkType::Isl), // legit ISL, "longer" cost-wise below
+        ] {
+            edges.push(mk(s, d, lt));
+            edges.push(mk(d, s, lt));
+        }
+        let g = TopologySnapshot::from_edges(SlotIndex(0), kinds, pos, vec![true; 5], edges);
+        let p = min_cost_path(&g, NodeId(0), NodeId(4), |ctx| {
+            // Make the user shortcut cheap and the ISL expensive: the
+            // search must still refuse to route through the decoy user.
+            if ctx.edge.link_type == LinkType::Isl {
+                Some(10.0)
+            } else {
+                Some(0.1)
+            }
+        })
+        .unwrap();
+        assert_eq!(p.nodes, vec![NodeId(0), NodeId(1), NodeId(3), NodeId(4)]);
+    }
+
+    #[test]
+    fn cost_depends_on_incoming_type() {
+        // The same satellite can be priced differently per role: make USL
+        // arrivals expensive to forward, ISL arrivals cheap. Diamond's
+        // first sat after the source always has USL incoming; verify that
+        // cost lands in the total.
+        let g = diamond();
+        let p = min_cost_path(&g, NodeId(0), NodeId(5), |ctx| {
+            Some(match ctx.incoming {
+                None => 0.0,
+                Some(LinkType::Usl) => 5.0, // forwarding out of a gateway
+                Some(LinkType::Isl) => 1.0,
+            })
+        })
+        .unwrap();
+        // Hops: user0→sat (0.0), sat→sat (5.0), sat→user5 (1.0).
+        assert_eq!(p.cost, 6.0);
+    }
+
+    #[test]
+    fn disconnected_destination() {
+        let kinds = vec![NodeKind::GroundUser(0), NodeKind::Satellite(0), NodeKind::GroundUser(1)];
+        let pos = vec![Eci(Vec3::ZERO); 3];
+        let edges = vec![Edge {
+            src: NodeId(0),
+            dst: NodeId(1),
+            link_type: LinkType::Usl,
+            capacity_mbps: 1.0,
+            length_m: 1.0,
+        }];
+        let g = TopologySnapshot::from_edges(SlotIndex(0), kinds, pos, vec![true; 3], edges);
+        assert!(min_cost_path(&g, NodeId(0), NodeId(2), |_| Some(1.0)).is_none());
+    }
+
+    #[test]
+    fn brute_force_agreement_on_diamond() {
+        // Enumerate all simple paths of the diamond and compare with the
+        // search under a nontrivial cost model.
+        let g = diamond();
+        let cost_model = |src: u32, dst: u32| -> f64 {
+            // Deterministic pseudo-random positive weights.
+            ((src * 7 + dst * 13) % 11) as f64 + 0.5
+        };
+        let paths: Vec<Vec<u32>> = vec![vec![0, 1, 2, 5], vec![0, 3, 4, 5]];
+        let brute = paths
+            .iter()
+            .map(|p| {
+                p.windows(2).map(|w| cost_model(w[0], w[1])).sum::<f64>()
+            })
+            .fold(f64::INFINITY, f64::min);
+        let found = min_cost_path(&g, NodeId(0), NodeId(5), |ctx| {
+            Some(cost_model(ctx.edge.src.0, ctx.edge.dst.0))
+        })
+        .unwrap();
+        assert!((found.cost - brute).abs() < 1e-12, "found {} brute {brute}", found.cost);
+    }
+
+    /// Exhaustive DFS over simple paths (user endpoints, satellites
+    /// in the middle) for cross-checking Dijkstra on small graphs.
+    fn brute_force_min_cost(
+        snapshot: &TopologySnapshot,
+        source: NodeId,
+        destination: NodeId,
+        cost: &impl Fn(u32, u32) -> f64,
+    ) -> Option<f64> {
+        fn dfs(
+            snapshot: &TopologySnapshot,
+            here: NodeId,
+            destination: NodeId,
+            visited: &mut Vec<bool>,
+            acc: f64,
+            best: &mut Option<f64>,
+            cost: &impl Fn(u32, u32) -> f64,
+        ) {
+            if here == destination {
+                *best = Some(best.map_or(acc, |b: f64| b.min(acc)));
+                return;
+            }
+            for (_, e) in snapshot.out_edges(here) {
+                let next = e.dst;
+                if visited[next.index()] {
+                    continue;
+                }
+                if next != destination && snapshot.kind(next).is_user() {
+                    continue;
+                }
+                visited[next.index()] = true;
+                dfs(snapshot, next, destination, visited, acc + cost(here.0, next.0), best, cost);
+                visited[next.index()] = false;
+            }
+        }
+        let mut visited = vec![false; snapshot.num_nodes()];
+        visited[source.index()] = true;
+        let mut best = None;
+        dfs(snapshot, source, destination, &mut visited, 0.0, &mut best, cost);
+        best
+    }
+
+    /// Builds a random snapshot: node 0 = source user, node n−1 =
+    /// destination user, everything between a satellite; edges from a seed.
+    fn random_snapshot(n: usize, seed: u64) -> TopologySnapshot {
+        let mut kinds = vec![NodeKind::GroundUser(0)];
+        for i in 1..n - 1 {
+            kinds.push(NodeKind::Satellite(i - 1));
+        }
+        kinds.push(NodeKind::GroundUser(1));
+        let pos = vec![Eci(Vec3::ZERO); n];
+        let mut edges = Vec::new();
+        let mut rng = seed;
+        let mut next = || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng >> 33
+        };
+        for a in 0..n as u32 {
+            for b in 0..n as u32 {
+                if a == b {
+                    continue;
+                }
+                // ~45% edge density.
+                if next() % 100 < 45 {
+                    let user_endpoint = a == 0 || b == 0 || a == n as u32 - 1 || b == n as u32 - 1;
+                    edges.push(Edge {
+                        src: NodeId(a),
+                        dst: NodeId(b),
+                        link_type: if user_endpoint { LinkType::Usl } else { LinkType::Isl },
+                        capacity_mbps: 4000.0,
+                        length_m: 1.0,
+                    });
+                }
+            }
+        }
+        TopologySnapshot::from_edges(SlotIndex(0), kinds, pos, vec![true; n], edges)
+    }
+
+    proptest! {
+        /// Dijkstra over (node, link-type) states must agree with an
+        /// exhaustive enumeration of simple paths whenever edge costs do
+        /// not depend on the incoming link type (then the state expansion
+        /// is cost-neutral and walks are never cheaper than simple paths).
+        #[test]
+        fn prop_search_matches_brute_force(seed in 0u64..300, n in 4usize..8) {
+            let snapshot = random_snapshot(n, seed);
+            let cost = |a: u32, b: u32| ((a * 31 + b * 17) % 23) as f64 + 1.0;
+            let brute =
+                brute_force_min_cost(&snapshot, NodeId(0), NodeId(n as u32 - 1), &cost);
+            let found = min_cost_path(&snapshot, NodeId(0), NodeId(n as u32 - 1), |ctx| {
+                Some(cost(ctx.edge.src.0, ctx.edge.dst.0))
+            });
+            match (brute, found) {
+                (None, None) => {}
+                (Some(b), Some(f)) => prop_assert!(
+                    (b - f.cost).abs() < 1e-9,
+                    "brute {b} vs dijkstra {}", f.cost
+                ),
+                (b, f) => prop_assert!(false, "reachability disagrees: {b:?} vs {:?}", f.map(|p| p.cost)),
+            }
+        }
+
+        /// The returned edge list must be a connected path from source to
+        /// destination whose cost sums to the reported total.
+        #[test]
+        fn prop_returned_path_is_consistent(seed in 0u64..300, n in 4usize..8) {
+            let snapshot = random_snapshot(n, seed);
+            let cost = |a: u32, b: u32| ((a * 13 + b * 7) % 19) as f64 + 0.5;
+            if let Some(p) = min_cost_path(&snapshot, NodeId(0), NodeId(n as u32 - 1), |ctx| {
+                Some(cost(ctx.edge.src.0, ctx.edge.dst.0))
+            }) {
+                prop_assert_eq!(p.nodes.len(), p.edges.len() + 1);
+                prop_assert_eq!(*p.nodes.first().unwrap(), NodeId(0));
+                prop_assert_eq!(*p.nodes.last().unwrap(), NodeId(n as u32 - 1));
+                let mut total = 0.0;
+                for (k, &eid) in p.edges.iter().enumerate() {
+                    let e = snapshot.edge(eid);
+                    prop_assert_eq!(e.src, p.nodes[k]);
+                    prop_assert_eq!(e.dst, p.nodes[k + 1]);
+                    total += cost(e.src.0, e.dst.0);
+                }
+                prop_assert!((total - p.cost).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Seeded workload generation reproducing the paper's demand model.
+//!
+//! Per §VI-A of the paper:
+//!
+//! * arrivals are Poisson with a per-minute rate (default 10; the sweep
+//!   uses 5, 15, 20, 25);
+//! * each request's duration is uniform in 1–10 minutes;
+//! * request sizes follow an exponential distribution "ranging from 500
+//!   Mbps to 2000 Mbps with an expected value of 1250 Mbps" — implemented
+//!   as an exponential draw with the given mean, clamped into the range;
+//! * source-destination pairs are drawn uniformly from a pre-selected pair
+//!   catalog (the paper selects ten such pairs);
+//! * the valuation is constant by default (2.3 × 10⁹), so the social
+//!   welfare ratio equals the request success ratio.
+
+use crate::pattern::ArrivalPattern;
+use crate::request::{RateProfile, Request, RequestId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sb_topology::{NodeId, SlotIndex};
+use serde::{Deserialize, Serialize};
+
+/// How request rates (Mbps) are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SizeDistribution {
+    /// Exponential with the given mean, clamped into `[min, max]`
+    /// (the paper's distribution).
+    Exponential {
+        /// Mean of the (pre-clamp) exponential, Mbps.
+        mean: f64,
+        /// Lower clamp, Mbps.
+        min: f64,
+        /// Upper clamp, Mbps.
+        max: f64,
+    },
+    /// Uniform in `[min, max]`.
+    Uniform {
+        /// Lower bound, Mbps.
+        min: f64,
+        /// Upper bound, Mbps.
+        max: f64,
+    },
+    /// Every request demands the same rate.
+    Constant(f64),
+}
+
+impl SizeDistribution {
+    /// The paper's default: Exp(mean 1250) clamped to [500, 2000] Mbps.
+    pub fn paper_default() -> Self {
+        SizeDistribution::Exponential { mean: 1250.0, min: 500.0, max: 2000.0 }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        match *self {
+            SizeDistribution::Exponential { mean, min, max } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                (-mean * u.ln()).clamp(min, max)
+            }
+            SizeDistribution::Uniform { min, max } => rng.gen_range(min..=max),
+            SizeDistribution::Constant(r) => r,
+        }
+    }
+}
+
+/// How request valuations are assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ValuationModel {
+    /// Every request has the same valuation (paper default: 2.3 × 10⁹),
+    /// making social-welfare ratio ≡ request success ratio.
+    Constant(f64),
+    /// Valuation proportional to the request's total data volume:
+    /// `per_mbit × Σ_T δ(T)·slot` — models per-byte pricing.
+    PerMbit {
+        /// Price per megabit.
+        per_mbit: f64,
+    },
+    /// Uniform in `[min, max]` — heterogeneous-value auctions.
+    Uniform {
+        /// Lower bound.
+        min: f64,
+        /// Upper bound.
+        max: f64,
+    },
+}
+
+impl ValuationModel {
+    /// The paper's default constant valuation.
+    pub fn paper_default() -> Self {
+        ValuationModel::Constant(2.3e9)
+    }
+}
+
+/// Workload generator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Candidate source-destination pairs; each request picks one
+    /// uniformly. Must be non-empty.
+    pub pairs: Vec<(NodeId, NodeId)>,
+    /// Mean request arrivals per slot (paper: slots are one minute, so
+    /// this is the paper's "requests per minute").
+    pub arrivals_per_slot: f64,
+    /// Number of slots over which requests arrive.
+    pub horizon_slots: u32,
+    /// Request duration in slots: uniform in
+    /// `[min_duration_slots, max_duration_slots]`.
+    pub min_duration_slots: u32,
+    /// Maximum duration, inclusive.
+    pub max_duration_slots: u32,
+    /// Rate distribution.
+    pub size: SizeDistribution,
+    /// Valuation model.
+    pub valuation: ValuationModel,
+    /// Slot duration in seconds (used by volume-proportional valuations).
+    pub slot_duration_s: f64,
+    /// Time-varying modulation of the arrival rate.
+    pub pattern: ArrivalPattern,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            pairs: Vec::new(),
+            arrivals_per_slot: 10.0,
+            horizon_slots: 384,
+            min_duration_slots: 1,
+            max_duration_slots: 10,
+            size: SizeDistribution::paper_default(),
+            valuation: ValuationModel::paper_default(),
+            slot_duration_s: 60.0,
+            pattern: ArrivalPattern::Constant,
+        }
+    }
+}
+
+/// Generates the full request sequence for one run, deterministically from
+/// `seed`.
+///
+/// Requests are ordered by arrival slot (their `start`), with ids in
+/// arrival order. Durations are truncated at the horizon end so every
+/// request fits inside the simulated window.
+///
+/// # Panics
+///
+/// Panics if the pair catalog is empty, the horizon is zero, or the
+/// duration range is inverted.
+pub fn generate_workload(config: &WorkloadConfig, seed: u64) -> Vec<Request> {
+    assert!(!config.pairs.is_empty(), "workload needs at least one source-destination pair");
+    assert!(config.horizon_slots > 0, "horizon must be non-empty");
+    assert!(
+        config.min_duration_slots >= 1 && config.min_duration_slots <= config.max_duration_slots,
+        "invalid duration range"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut requests = Vec::new();
+    for slot in 0..config.horizon_slots {
+        let rate = config.arrivals_per_slot * config.pattern.multiplier_at(slot);
+        let n = poisson(&mut rng, rate);
+        for _ in 0..n {
+            let (source, destination) = config.pairs[rng.gen_range(0..config.pairs.len())];
+            let duration =
+                rng.gen_range(config.min_duration_slots..=config.max_duration_slots);
+            let start = SlotIndex(slot);
+            let end = SlotIndex((slot + duration - 1).min(config.horizon_slots - 1));
+            let rate_mbps = config.size.sample(&mut rng);
+            let mut request = Request {
+                id: RequestId(requests.len() as u32),
+                source,
+                destination,
+                rate: RateProfile::Constant(rate_mbps),
+                start,
+                end,
+                valuation: 0.0,
+            };
+            request.valuation = match config.valuation {
+                ValuationModel::Constant(v) => v,
+                ValuationModel::PerMbit { per_mbit } => {
+                    per_mbit * request.total_volume_mbit(config.slot_duration_s)
+                }
+                ValuationModel::Uniform { min, max } => rng.gen_range(min..=max),
+            };
+            requests.push(request);
+        }
+    }
+    requests
+}
+
+/// Draws from a Poisson distribution by Knuth's product-of-uniforms method
+/// (adequate for the paper's small rates, ≤ 25/slot).
+fn poisson(rng: &mut StdRng, lambda: f64) -> u32 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u32;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen_range(0.0..1.0f64);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cfg() -> WorkloadConfig {
+        WorkloadConfig {
+            pairs: vec![(NodeId(100), NodeId(200)), (NodeId(300), NodeId(400))],
+            horizon_slots: 100,
+            ..WorkloadConfig::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_workload(&cfg(), 7);
+        let b = generate_workload(&cfg(), 7);
+        assert_eq!(a, b);
+        let c = generate_workload(&cfg(), 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrival_rate_roughly_matches() {
+        let requests = generate_workload(&cfg(), 1);
+        // E[count] = 10/slot × 100 slots = 1000; Poisson σ ≈ 32.
+        let n = requests.len() as f64;
+        assert!((850.0..1150.0).contains(&n), "count {n}");
+    }
+
+    #[test]
+    fn ids_are_sequential_and_sorted_by_arrival() {
+        let requests = generate_workload(&cfg(), 2);
+        for (k, r) in requests.iter().enumerate() {
+            assert_eq!(r.id, RequestId(k as u32));
+        }
+        for w in requests.windows(2) {
+            assert!(w[0].start <= w[1].start, "arrivals out of order");
+        }
+    }
+
+    #[test]
+    fn durations_within_bounds_and_horizon() {
+        let requests = generate_workload(&cfg(), 3);
+        for r in &requests {
+            assert!(r.duration_slots() >= 1 && r.duration_slots() <= 10);
+            assert!(r.end.0 < 100);
+        }
+    }
+
+    #[test]
+    fn rates_within_clamp() {
+        let requests = generate_workload(&cfg(), 4);
+        let mut saw_low = false;
+        let mut saw_high = false;
+        for r in &requests {
+            let rate = r.rate.peak_rate();
+            assert!((500.0..=2000.0).contains(&rate), "rate {rate}");
+            saw_low |= rate < 900.0;
+            saw_high |= rate > 1600.0;
+        }
+        assert!(saw_low && saw_high, "distribution should span the clamp range");
+    }
+
+    #[test]
+    fn exponential_mass_concentrates_low() {
+        // An exponential clamped to [500,2000] puts far more mass below the
+        // midpoint than a uniform would.
+        let requests = generate_workload(&cfg(), 5);
+        let below = requests.iter().filter(|r| r.rate.peak_rate() < 1250.0).count();
+        assert!(below * 2 > requests.len(), "{below}/{}", requests.len());
+    }
+
+    #[test]
+    fn constant_valuation_applied() {
+        let requests = generate_workload(&cfg(), 6);
+        assert!(requests.iter().all(|r| r.valuation == 2.3e9));
+    }
+
+    #[test]
+    fn per_mbit_valuation_scales_with_volume() {
+        let mut config = cfg();
+        config.valuation = ValuationModel::PerMbit { per_mbit: 2.0 };
+        let requests = generate_workload(&config, 7);
+        for r in &requests {
+            let expected = 2.0 * r.total_volume_mbit(60.0);
+            assert!((r.valuation - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pairs_both_used() {
+        let requests = generate_workload(&cfg(), 8);
+        let first = requests.iter().filter(|r| r.source == NodeId(100)).count();
+        assert!(first > 0 && first < requests.len());
+    }
+
+    #[test]
+    fn burst_pattern_concentrates_arrivals() {
+        let mut config = cfg();
+        config.pattern =
+            ArrivalPattern::Burst { start_slot: 40, duration_slots: 20, multiplier: 6.0 };
+        let requests = generate_workload(&config, 11);
+        let in_burst =
+            requests.iter().filter(|r| (40..60).contains(&r.start.0)).count() as f64;
+        let outside = (requests.len() as f64 - in_burst).max(1.0);
+        // Burst slots are 20/100 of the horizon but 6× the rate: the
+        // per-slot density inside should be ~6× the density outside.
+        let density_ratio = (in_burst / 20.0) / (outside / 80.0);
+        assert!(density_ratio > 3.0, "burst density ratio {density_ratio}");
+    }
+
+    #[test]
+    fn diurnal_pattern_keeps_volume_comparable() {
+        let mut config = cfg();
+        config.pattern =
+            ArrivalPattern::Diurnal { amplitude: 0.8, period_slots: 50.0, phase: 0.0 };
+        let modulated = generate_workload(&config, 12).len() as f64;
+        config.pattern = ArrivalPattern::Constant;
+        let constant = generate_workload(&config, 12).len() as f64;
+        assert!((modulated / constant - 1.0).abs() < 0.25, "{modulated} vs {constant}");
+    }
+
+    #[test]
+    fn zero_rate_yields_no_requests() {
+        let mut config = cfg();
+        config.arrivals_per_slot = 0.0;
+        assert!(generate_workload(&config, 9).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one source-destination pair")]
+    fn empty_pairs_panics() {
+        let config = WorkloadConfig { pairs: vec![], ..WorkloadConfig::default() };
+        let _ = generate_workload(&config, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_poisson_mean_tracks_lambda(seed in 0u64..1000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 400;
+            let total: u32 = (0..n).map(|_| poisson(&mut rng, 5.0)).sum();
+            let mean = total as f64 / n as f64;
+            // 5 ± 5σ/√n ≈ 5 ± 0.56
+            prop_assert!((4.2..5.8).contains(&mean), "mean {mean}");
+        }
+
+        #[test]
+        fn prop_workload_valid_for_any_seed(seed in 0u64..200, rate in 0.1..30.0f64) {
+            let mut config = cfg();
+            config.arrivals_per_slot = rate;
+            config.horizon_slots = 20;
+            for r in generate_workload(&config, seed) {
+                prop_assert!(r.start <= r.end);
+                prop_assert!(r.end.0 < 20);
+                prop_assert!(r.valuation > 0.0);
+                prop_assert!(r.rate.peak_rate() >= 500.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Request and workload models for the space-booking simulator.
+//!
+//! The paper's demand model (§III-B): online-arriving data-transfer
+//! requests `R_i = (u_s, u_d, δ_i, st_i, ed_i, ρ_i)` — source, destination,
+//! per-slot data-rate demand, start/end slots and a valuation (the maximum
+//! price the user will pay). The evaluation generates them with Poisson
+//! arrivals (5–25 per minute), durations uniform in 1–10 minutes, rates
+//! exponential in [500, 2000] Mbps with mean 1250, and a constant valuation.
+//!
+//! * [`request`] — the request type and rate profiles;
+//! * [`generator`] — the seeded workload generator reproducing the paper's
+//!   distributions;
+//! * [`pattern`] — time-varying arrival-rate modulation (diurnal cycles,
+//!   flash-crowd bursts) extending the paper's constant-rate setting.
+//!
+//! # Example
+//!
+//! ```
+//! use sb_demand::generator::{WorkloadConfig, generate_workload};
+//! use sb_topology::NodeId;
+//!
+//! let cfg = WorkloadConfig {
+//!     pairs: vec![(NodeId(10), NodeId(20)), (NodeId(30), NodeId(40))],
+//!     horizon_slots: 60,
+//!     ..WorkloadConfig::default()
+//! };
+//! let requests = generate_workload(&cfg, 42);
+//! // Same seed → identical workload.
+//! assert_eq!(requests, generate_workload(&cfg, 42));
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod generator;
+pub mod pattern;
+pub mod request;
+
+pub use generator::{generate_workload, SizeDistribution, ValuationModel, WorkloadConfig};
+pub use pattern::ArrivalPattern;
+pub use request::{RateProfile, Request, RequestId};

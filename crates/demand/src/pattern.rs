@@ -1,0 +1,142 @@
+//! Time-varying arrival patterns.
+//!
+//! The paper's evaluation uses a constant Poisson rate, but its motivation
+//! is all about *uneven* demand: diurnal cycles follow population across
+//! time zones, and disasters produce sudden regional bursts. This module
+//! modulates the per-slot arrival rate so those regimes can be simulated
+//! (and CEAR's long-horizon pricing stressed) without changing the
+//! generator.
+
+use serde::{Deserialize, Serialize};
+
+/// How the mean arrival rate evolves over the horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalPattern {
+    /// The paper's setting: the same mean rate in every slot.
+    Constant,
+    /// A sinusoidal diurnal cycle: rate multiplied by
+    /// `1 + amplitude·sin(2π·(t/period + phase))`, clamped at zero.
+    Diurnal {
+        /// Relative swing, `[0, 1]` for a non-negative rate.
+        amplitude: f64,
+        /// Cycle length in slots (e.g. 1440 one-minute slots per day).
+        period_slots: f64,
+        /// Phase offset as a fraction of the period.
+        phase: f64,
+    },
+    /// A flash-crowd burst: the base rate everywhere except
+    /// `[start, start+duration)`, where it is multiplied by `multiplier`.
+    Burst {
+        /// First slot of the burst.
+        start_slot: u32,
+        /// Burst length in slots.
+        duration_slots: u32,
+        /// Rate multiplier during the burst (≥ 0; e.g. 5.0).
+        multiplier: f64,
+    },
+}
+
+impl Default for ArrivalPattern {
+    fn default() -> Self {
+        ArrivalPattern::Constant
+    }
+}
+
+impl ArrivalPattern {
+    /// The rate multiplier for slot `t` (the base rate is multiplied by
+    /// this; always ≥ 0).
+    pub fn multiplier_at(&self, t: u32) -> f64 {
+        match *self {
+            ArrivalPattern::Constant => 1.0,
+            ArrivalPattern::Diurnal { amplitude, period_slots, phase } => {
+                let x = t as f64 / period_slots + phase;
+                (1.0 + amplitude * (core::f64::consts::TAU * x).sin()).max(0.0)
+            }
+            ArrivalPattern::Burst { start_slot, duration_slots, multiplier } => {
+                if (start_slot..start_slot.saturating_add(duration_slots)).contains(&t) {
+                    multiplier.max(0.0)
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+
+    /// The average multiplier over a horizon — useful for keeping total
+    /// offered load comparable across patterns.
+    pub fn mean_multiplier(&self, horizon_slots: u32) -> f64 {
+        if horizon_slots == 0 {
+            return 1.0;
+        }
+        (0..horizon_slots).map(|t| self.multiplier_at(t)).sum::<f64>() / horizon_slots as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constant_is_identity() {
+        let p = ArrivalPattern::Constant;
+        for t in [0, 7, 1000] {
+            assert_eq!(p.multiplier_at(t), 1.0);
+        }
+        assert_eq!(p.mean_multiplier(100), 1.0);
+    }
+
+    #[test]
+    fn diurnal_oscillates_around_one() {
+        let p = ArrivalPattern::Diurnal { amplitude: 0.5, period_slots: 96.0, phase: 0.0 };
+        assert!((p.multiplier_at(24) - 1.5).abs() < 1e-9); // quarter period: peak
+        assert!((p.multiplier_at(72) - 0.5).abs() < 1e-9); // three quarters: trough
+        let mean = p.mean_multiplier(96);
+        assert!((mean - 1.0).abs() < 1e-6, "full cycles average to 1, got {mean}");
+    }
+
+    #[test]
+    fn diurnal_clamps_at_zero() {
+        let p = ArrivalPattern::Diurnal { amplitude: 2.0, period_slots: 4.0, phase: 0.0 };
+        assert_eq!(p.multiplier_at(3), 0.0); // 1 + 2·sin(3π/2) = −1 → 0
+    }
+
+    #[test]
+    fn burst_window_is_half_open() {
+        let p = ArrivalPattern::Burst { start_slot: 10, duration_slots: 5, multiplier: 4.0 };
+        assert_eq!(p.multiplier_at(9), 1.0);
+        assert_eq!(p.multiplier_at(10), 4.0);
+        assert_eq!(p.multiplier_at(14), 4.0);
+        assert_eq!(p.multiplier_at(15), 1.0);
+    }
+
+    #[test]
+    fn burst_mean_accounts_for_window() {
+        let p = ArrivalPattern::Burst { start_slot: 0, duration_slots: 10, multiplier: 3.0 };
+        // 10 slots at 3× plus 10 at 1× over 20 slots → 2.0.
+        assert!((p.mean_multiplier(20) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn burst_saturating_end() {
+        let p =
+            ArrivalPattern::Burst { start_slot: u32::MAX - 1, duration_slots: 10, multiplier: 2.0 };
+        assert_eq!(p.multiplier_at(u32::MAX - 1), 2.0);
+        assert_eq!(p.multiplier_at(0), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_multiplier_nonnegative(amp in 0.0..5.0f64, period in 1.0..500.0f64, phase in 0.0..1.0f64, t in 0u32..10_000) {
+            let p = ArrivalPattern::Diurnal { amplitude: amp, period_slots: period, phase };
+            prop_assert!(p.multiplier_at(t) >= 0.0);
+        }
+
+        #[test]
+        fn prop_mean_multiplier_bounded(mult in 0.0..10.0f64, start in 0u32..50, dur in 0u32..50) {
+            let p = ArrivalPattern::Burst { start_slot: start, duration_slots: dur, multiplier: mult };
+            let mean = p.mean_multiplier(100);
+            prop_assert!(mean >= 0.0 && mean <= mult.max(1.0) + 1e-9);
+        }
+    }
+}

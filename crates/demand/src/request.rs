@@ -1,0 +1,195 @@
+//! The data-transfer request type.
+
+use sb_topology::{NodeId, SlotIndex};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a request, in arrival order.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct RequestId(pub u32);
+
+impl RequestId {
+    /// The request id as a `usize` array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// The per-slot data-rate demand `δ_i(T)` of a request.
+///
+/// The paper's evaluation uses constant rates; arbitrary per-slot profiles
+/// are supported for completeness (e.g. ramping video traffic).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RateProfile {
+    /// The same rate in every active slot, Mbps.
+    Constant(f64),
+    /// An explicit rate per active slot, Mbps, indexed from the start slot.
+    /// Slots beyond the vector reuse its last entry.
+    PerSlot(Vec<f64>),
+}
+
+impl RateProfile {
+    /// The demanded rate (Mbps) in the `k`-th active slot of the request
+    /// (`k = 0` at the start slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `PerSlot` profile is empty.
+    pub fn rate_at_offset(&self, k: usize) -> f64 {
+        match self {
+            RateProfile::Constant(r) => *r,
+            RateProfile::PerSlot(v) => {
+                assert!(!v.is_empty(), "empty per-slot rate profile");
+                v[k.min(v.len() - 1)]
+            }
+        }
+    }
+
+    /// The maximum rate over all active slots, Mbps.
+    pub fn peak_rate(&self) -> f64 {
+        match self {
+            RateProfile::Constant(r) => *r,
+            RateProfile::PerSlot(v) => v.iter().copied().fold(0.0, f64::max),
+        }
+    }
+}
+
+/// An online-arriving data-transfer request
+/// `R_i = (u_s, u_d, δ_i, st_i, ed_i, ρ_i)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Identifier (arrival order).
+    pub id: RequestId,
+    /// Source node `u_s` (a ground or space user).
+    pub source: NodeId,
+    /// Destination node `u_d`.
+    pub destination: NodeId,
+    /// Per-slot rate demand `δ_i`.
+    pub rate: RateProfile,
+    /// First active slot `st_i`.
+    pub start: SlotIndex,
+    /// Last active slot `ed_i` (inclusive).
+    pub end: SlotIndex,
+    /// Valuation `ρ_i`: the maximum total price the user will pay.
+    pub valuation: f64,
+}
+
+impl Request {
+    /// Number of active slots (`ed − st + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `end < start`.
+    pub fn duration_slots(&self) -> usize {
+        debug_assert!(self.end >= self.start, "request ends before it starts");
+        (self.end.0 - self.start.0 + 1) as usize
+    }
+
+    /// `true` when the request is active at `slot` — the paper's
+    /// `κ(T, i)` indicator.
+    pub fn is_active_at(&self, slot: SlotIndex) -> bool {
+        self.start <= slot && slot <= self.end
+    }
+
+    /// The demanded rate (Mbps) at an absolute slot, or 0 when inactive.
+    pub fn rate_at(&self, slot: SlotIndex) -> f64 {
+        if !self.is_active_at(slot) {
+            return 0.0;
+        }
+        self.rate.rate_at_offset((slot.0 - self.start.0) as usize)
+    }
+
+    /// Iterates over the request's active slots.
+    pub fn active_slots(&self) -> impl Iterator<Item = SlotIndex> {
+        (self.start.0..=self.end.0).map(SlotIndex)
+    }
+
+    /// Total data volume over the request's lifetime, megabits, assuming
+    /// `slot_duration_s`-second slots.
+    pub fn total_volume_mbit(&self, slot_duration_s: f64) -> f64 {
+        self.active_slots().map(|t| self.rate_at(t) * slot_duration_s).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req() -> Request {
+        Request {
+            id: RequestId(7),
+            source: NodeId(1),
+            destination: NodeId(2),
+            rate: RateProfile::Constant(1000.0),
+            start: SlotIndex(5),
+            end: SlotIndex(9),
+            valuation: 2.3e9,
+        }
+    }
+
+    #[test]
+    fn duration_and_activity() {
+        let r = req();
+        assert_eq!(r.duration_slots(), 5);
+        assert!(!r.is_active_at(SlotIndex(4)));
+        assert!(r.is_active_at(SlotIndex(5)));
+        assert!(r.is_active_at(SlotIndex(9)));
+        assert!(!r.is_active_at(SlotIndex(10)));
+        assert_eq!(r.active_slots().count(), 5);
+    }
+
+    #[test]
+    fn rate_constant_profile() {
+        let r = req();
+        assert_eq!(r.rate_at(SlotIndex(5)), 1000.0);
+        assert_eq!(r.rate_at(SlotIndex(9)), 1000.0);
+        assert_eq!(r.rate_at(SlotIndex(4)), 0.0);
+        assert_eq!(r.rate.peak_rate(), 1000.0);
+    }
+
+    #[test]
+    fn rate_per_slot_profile() {
+        let mut r = req();
+        r.rate = RateProfile::PerSlot(vec![100.0, 200.0, 300.0]);
+        assert_eq!(r.rate_at(SlotIndex(5)), 100.0);
+        assert_eq!(r.rate_at(SlotIndex(6)), 200.0);
+        assert_eq!(r.rate_at(SlotIndex(7)), 300.0);
+        // Beyond the vector: last entry repeats.
+        assert_eq!(r.rate_at(SlotIndex(9)), 300.0);
+        assert_eq!(r.rate.peak_rate(), 300.0);
+    }
+
+    #[test]
+    fn total_volume() {
+        let r = req();
+        // 5 slots × 1000 Mbps × 60 s = 300000 Mbit.
+        assert_eq!(r.total_volume_mbit(60.0), 300_000.0);
+    }
+
+    #[test]
+    fn single_slot_request() {
+        let mut r = req();
+        r.end = r.start;
+        assert_eq!(r.duration_slots(), 1);
+        assert_eq!(r.active_slots().count(), 1);
+    }
+
+    #[test]
+    fn request_id_display() {
+        assert_eq!(format!("{}", RequestId(3)), "R3");
+        assert_eq!(RequestId(3).index(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty per-slot")]
+    fn empty_per_slot_profile_panics() {
+        let _ = RateProfile::PerSlot(vec![]).rate_at_offset(0);
+    }
+}

@@ -1,0 +1,427 @@
+//! The per-satellite, per-slot energy ledger: Eqs. (2)–(5) and Algorithm 1
+//! lines 9–16 of the paper.
+//!
+//! For every satellite `s` and slot `T` the ledger tracks:
+//!
+//! * `α_s(T)` — **remaining solar energy**: the slot's solar input minus
+//!   whatever committed consumptions (and their propagated deficits) have
+//!   already absorbed (Eq. 3);
+//! * `D_s(T) = ϖ_s − b_s(T)` — the **cumulative battery deficit** at the
+//!   end of slot `T` from all committed requests (Eq. 4).
+//!
+//! Committing a consumption `Ω` at slot `T_a` runs the paper's recursion:
+//! the part of `Ω` not covered by `α_s(T_a)` becomes a deficit that rolls
+//! forward, being repaid by remaining solar input of subsequent slots, and
+//! every slot the deficit persists it is added to that slot's cumulative
+//! deficit (Eq. 2). [`EnergyLedger::peek`] runs the same recursion without
+//! mutating, returning the would-be per-slot deficits so the pricing layer
+//! can cost them — and reports infeasibility when the battery would be
+//! over-drawn (`b_s(T) < 0`).
+
+use crate::params::EnergyParams;
+use serde::{Deserialize, Serialize};
+
+/// The result of a [`EnergyLedger::peek`]: where a candidate consumption's
+/// deficit would land.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DeficitTrace {
+    /// `(slot, deficit_j)` pairs: the deficit that would persist at the end
+    /// of each affected slot, starting at the consumption slot and ending
+    /// when the deficit is fully repaid (or the horizon ends).
+    pub per_slot: Vec<(usize, f64)>,
+    /// Total new deficit·slots added (the sum of `per_slot` values) —
+    /// `Σ_T Ω̄_s(T_a, T, i)`, the quantity the pricing layer charges for.
+    pub added_deficit_j: f64,
+}
+
+/// The energy state of every satellite over the whole horizon.
+///
+/// Indexing is satellite-major: entry `sat * horizon + t`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    params: EnergyParams,
+    horizon: usize,
+    num_satellites: usize,
+    /// Remaining solar energy α_s(T), joules.
+    solar_j: Vec<f64>,
+    /// Cumulative committed deficit D_s(T) = ϖ − b_s(T), joules.
+    deficit_j: Vec<f64>,
+}
+
+impl EnergyLedger {
+    /// Creates a ledger from per-satellite sunlit profiles.
+    ///
+    /// `sunlit[s][t]` says whether satellite `s` harvests solar energy in
+    /// slot `t`; every profile must have the same length (the horizon).
+    /// Batteries start full and solar energy unused, as in the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if profiles have inconsistent lengths.
+    pub fn new(params: &EnergyParams, slot_duration_s: f64, sunlit: &[Vec<bool>]) -> Self {
+        let horizon = sunlit.first().map_or(0, Vec::len);
+        let per_slot = params.solar_input_per_slot_j(slot_duration_s);
+        let mut solar_j = Vec::with_capacity(sunlit.len() * horizon);
+        for profile in sunlit {
+            assert_eq!(profile.len(), horizon, "ragged sunlit profiles");
+            solar_j.extend(profile.iter().map(|&lit| if lit { per_slot } else { 0.0 }));
+        }
+        EnergyLedger {
+            params: *params,
+            horizon,
+            num_satellites: sunlit.len(),
+            deficit_j: vec![0.0; solar_j.len()],
+            solar_j,
+        }
+    }
+
+    /// The physical parameters this ledger was built with.
+    pub fn params(&self) -> &EnergyParams {
+        &self.params
+    }
+
+    /// Number of slots tracked.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Number of satellites tracked.
+    pub fn num_satellites(&self) -> usize {
+        self.num_satellites
+    }
+
+    #[inline]
+    fn idx(&self, sat: usize, t: usize) -> usize {
+        debug_assert!(sat < self.num_satellites && t < self.horizon);
+        sat * self.horizon + t
+    }
+
+    #[inline]
+    pub(crate) fn flat_index(&self, sat: usize, t: usize) -> usize {
+        self.idx(sat, t)
+    }
+
+    #[inline]
+    pub(crate) fn solar_flat(&self, i: usize) -> f64 {
+        self.solar_j[i]
+    }
+
+    #[inline]
+    pub(crate) fn deficit_flat(&self, i: usize) -> f64 {
+        self.deficit_j[i]
+    }
+
+    /// Opens a copy-on-write transactional view for atomically validating
+    /// and applying a multi-consumption reservation plan.
+    pub fn overlay(&self) -> crate::overlay::LedgerOverlay<'_> {
+        crate::overlay::LedgerOverlay::new(self)
+    }
+
+    /// Applies a successfully validated overlay's changes to the ledger.
+    ///
+    /// The delta must come from an overlay of this ledger on which every
+    /// `try_commit` returned `Some`; absorbing a failed overlay's delta
+    /// would corrupt the battery invariant.
+    pub fn absorb(&mut self, delta: crate::overlay::LedgerDelta) {
+        let (solar, deficit) = delta.into_parts();
+        for (i, v) in solar {
+            self.solar_j[i] = v;
+        }
+        for (i, v) in deficit {
+            self.deficit_j[i] = v;
+        }
+    }
+
+    /// Remaining (unconsumed) solar energy of satellite `sat` in slot `t`,
+    /// joules — `α_s(T)` after all commits so far.
+    pub fn remaining_solar_j(&self, sat: usize, t: usize) -> f64 {
+        self.solar_j[self.idx(sat, t)]
+    }
+
+    /// Cumulative battery deficit of satellite `sat` at end of slot `t`,
+    /// joules — `ϖ_s − b_s(T)`.
+    pub fn deficit_j(&self, sat: usize, t: usize) -> f64 {
+        self.deficit_j[self.idx(sat, t)]
+    }
+
+    /// Battery charge level `b_s(T)`, joules.
+    pub fn battery_level_j(&self, sat: usize, t: usize) -> f64 {
+        self.params.battery_capacity_j - self.deficit_j(sat, t)
+    }
+
+    /// Battery utilization `λ_s(T) = (ϖ_s − b_s(T)) / ϖ_s ∈ [0, 1]`
+    /// (Eq. 9).
+    pub fn battery_utilization(&self, sat: usize, t: usize) -> f64 {
+        self.deficit_j(sat, t) / self.params.battery_capacity_j
+    }
+
+    /// Runs the deficit recursion for a candidate consumption of
+    /// `consumption_j` joules by satellite `sat` at slot `t_a`, **without
+    /// mutating the ledger**.
+    ///
+    /// Returns `None` when the consumption is infeasible — i.e. some slot's
+    /// battery level would drop below zero (violating constraint 7c).
+    /// Otherwise returns the per-slot deficits the consumption would add.
+    pub fn peek(&self, sat: usize, t_a: usize, consumption_j: f64) -> Option<DeficitTrace> {
+        self.overlay().peek(sat, t_a, consumption_j)
+    }
+
+    /// Commits a consumption of `consumption_j` joules by satellite `sat`
+    /// at slot `t_a`: Algorithm 1 lines 9–16.
+    ///
+    /// Consumes remaining solar energy, rolls the uncovered deficit
+    /// forward, and adds it to each affected slot's cumulative deficit.
+    /// Returns the per-slot deficits actually added.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the commit would over-draw the battery; call
+    /// [`EnergyLedger::peek`] first to check feasibility.
+    pub fn commit(&mut self, sat: usize, t_a: usize, consumption_j: f64) -> DeficitTrace {
+        let mut tx = self.overlay();
+        let trace = tx
+            .try_commit(sat, t_a, consumption_j)
+            .expect("battery over-drawn: peek before committing");
+        let delta = tx.into_delta();
+        self.absorb(delta);
+        trace
+    }
+
+    /// Number of satellites whose battery level at slot `t` is below
+    /// `threshold_frac` of capacity — the paper's *energy-depleted
+    /// satellites* metric uses `threshold_frac = 0.2`.
+    pub fn depleted_count(&self, t: usize, threshold_frac: f64) -> usize {
+        let cutoff = threshold_frac * self.params.battery_capacity_j;
+        (0..self.num_satellites).filter(|&s| self.battery_level_j(s, t) < cutoff).count()
+    }
+
+    /// Mean battery utilization across all satellites at slot `t`.
+    pub fn mean_utilization(&self, t: usize) -> f64 {
+        if self.num_satellites == 0 {
+            return 0.0;
+        }
+        (0..self.num_satellites).map(|s| self.battery_utilization(s, t)).sum::<f64>()
+            / self.num_satellites as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// 1-minute slots, default paper params: 1200 J solar per sunlit slot.
+    fn ledger(profiles: &[Vec<bool>]) -> EnergyLedger {
+        EnergyLedger::new(&EnergyParams::default(), 60.0, profiles)
+    }
+
+    #[test]
+    fn fresh_ledger_is_full_and_charged() {
+        let l = ledger(&[vec![true, false, true]]);
+        assert_eq!(l.horizon(), 3);
+        assert_eq!(l.num_satellites(), 1);
+        assert_eq!(l.remaining_solar_j(0, 0), 1200.0);
+        assert_eq!(l.remaining_solar_j(0, 1), 0.0);
+        assert_eq!(l.deficit_j(0, 0), 0.0);
+        assert_eq!(l.battery_level_j(0, 2), 117_000.0);
+        assert_eq!(l.battery_utilization(0, 0), 0.0);
+    }
+
+    #[test]
+    fn sunlit_consumption_within_solar_is_free() {
+        let mut l = ledger(&[vec![true, true]]);
+        let trace = l.commit(0, 0, 1000.0);
+        assert!(trace.per_slot.is_empty());
+        assert_eq!(trace.added_deficit_j, 0.0);
+        assert_eq!(l.remaining_solar_j(0, 0), 200.0);
+        assert_eq!(l.deficit_j(0, 0), 0.0);
+    }
+
+    #[test]
+    fn umbra_consumption_creates_persistent_deficit() {
+        // Umbra at slots 0–2, sun at slot 3 with 1200 J.
+        let mut l = ledger(&[vec![false, false, false, true]]);
+        let trace = l.commit(0, 0, 1000.0);
+        // Deficit of 1000 J persists through slots 0,1,2 and is repaid at 3.
+        assert_eq!(trace.per_slot, vec![(0, 1000.0), (1, 1000.0), (2, 1000.0)]);
+        assert_eq!(trace.added_deficit_j, 3000.0);
+        assert_eq!(l.deficit_j(0, 2), 1000.0);
+        assert_eq!(l.deficit_j(0, 3), 0.0);
+        // The repaying slot's solar is partially consumed.
+        assert_eq!(l.remaining_solar_j(0, 3), 200.0);
+    }
+
+    #[test]
+    fn partial_solar_coverage_rolls_remainder() {
+        // Slot 0 sunlit (1200 J), consumption 2000 J → 800 J deficit.
+        // Slot 1 umbra → persists. Slot 2 sunlit → repaid.
+        let mut l = ledger(&[vec![true, false, true]]);
+        let trace = l.commit(0, 0, 2000.0);
+        assert_eq!(trace.per_slot, vec![(0, 800.0), (1, 800.0)]);
+        assert_eq!(l.remaining_solar_j(0, 0), 0.0);
+        assert_eq!(l.remaining_solar_j(0, 2), 400.0);
+        assert_eq!(l.battery_level_j(0, 1), 117_000.0 - 800.0);
+        assert_eq!(l.battery_level_j(0, 2), 117_000.0);
+    }
+
+    #[test]
+    fn deficit_can_persist_to_horizon_end() {
+        let mut l = ledger(&[vec![false, false]]);
+        let trace = l.commit(0, 0, 500.0);
+        assert_eq!(trace.per_slot, vec![(0, 500.0), (1, 500.0)]);
+        assert_eq!(l.deficit_j(0, 1), 500.0);
+    }
+
+    #[test]
+    fn sequential_commits_share_solar() {
+        let mut l = ledger(&[vec![true, true]]);
+        l.commit(0, 0, 700.0);
+        // Only 500 J of slot-0 solar remains for the second request.
+        let trace = l.commit(0, 0, 800.0);
+        assert_eq!(trace.per_slot[0], (0, 300.0));
+        assert_eq!(l.deficit_j(0, 0), 300.0);
+        // Slot 1's solar (1200 J) repays it.
+        assert_eq!(l.deficit_j(0, 1), 0.0);
+        assert_eq!(l.remaining_solar_j(0, 1), 900.0);
+    }
+
+    #[test]
+    fn peek_matches_commit() {
+        let profiles = vec![vec![true, false, false, true, false]];
+        let mut l = ledger(&profiles);
+        l.commit(0, 0, 1500.0); // introduce prior state
+        let peeked = l.peek(0, 1, 2500.0).unwrap();
+        let committed = l.commit(0, 1, 2500.0);
+        assert_eq!(peeked, committed);
+    }
+
+    #[test]
+    fn peek_does_not_mutate() {
+        let l = ledger(&[vec![false, true]]);
+        let before = l.clone();
+        let _ = l.peek(0, 0, 900.0);
+        assert_eq!(l, before);
+    }
+
+    #[test]
+    fn infeasible_when_battery_would_be_overdrawn() {
+        let mut l = ledger(&[vec![false, false]]);
+        // Nearly drain the battery with a prior commit.
+        l.commit(0, 0, 116_500.0);
+        // Another 1000 J in umbra would push the deficit past 117 kJ.
+        assert!(l.peek(0, 0, 1000.0).is_none());
+        assert!(l.peek(0, 1, 1000.0).is_none());
+        // A small consumption still fits.
+        assert!(l.peek(0, 1, 400.0).is_some());
+    }
+
+    #[test]
+    fn depleted_count_thresholds() {
+        let mut l = ledger(&[vec![false; 2], vec![false; 2]]);
+        // Satellite 0 drained below 20%: deficit > 93600 J.
+        l.commit(0, 0, 100_000.0);
+        assert_eq!(l.depleted_count(0, 0.2), 1);
+        assert_eq!(l.depleted_count(1, 0.2), 1);
+        assert_eq!(l.depleted_count(0, 0.0), 0);
+        // Mean utilization reflects one drained, one full.
+        let mu = l.mean_utilization(0);
+        assert!((mu - 0.5 * (100_000.0 / 117_000.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_satellites_do_not_interact() {
+        let mut l = ledger(&[vec![false, false], vec![false, false]]);
+        l.commit(0, 0, 5000.0);
+        assert_eq!(l.deficit_j(1, 0), 0.0);
+        assert_eq!(l.battery_level_j(1, 1), 117_000.0);
+    }
+
+    #[test]
+    fn empty_ledger() {
+        let l = ledger(&[]);
+        assert_eq!(l.num_satellites(), 0);
+        assert_eq!(l.horizon(), 0);
+        assert_eq!(l.mean_utilization(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_profiles_panic() {
+        let _ = ledger(&[vec![true, false], vec![true]]);
+    }
+
+    proptest! {
+        /// The fundamental invariant: deficits are non-negative and never
+        /// exceed capacity; battery level stays within [0, ϖ].
+        #[test]
+        fn prop_battery_within_bounds(
+            commits in proptest::collection::vec((0usize..8, 0.0..40_000.0f64), 0..12),
+            sunlit in proptest::collection::vec(any::<bool>(), 8),
+        ) {
+            let mut l = ledger(&[sunlit]);
+            for (t, e) in commits {
+                if l.peek(0, t, e).is_some() {
+                    l.commit(0, t, e);
+                }
+                for slot in 0..8 {
+                    let b = l.battery_level_j(0, slot);
+                    prop_assert!((-1e-6..=117_000.0 + 1e-6).contains(&b), "b={b}");
+                    prop_assert!(l.remaining_solar_j(0, slot) >= 0.0);
+                }
+            }
+        }
+
+        /// Peek must always agree exactly with a subsequent commit.
+        #[test]
+        fn prop_peek_commit_agree(
+            prior in proptest::collection::vec((0usize..6, 0.0..30_000.0f64), 0..6),
+            t_a in 0usize..6,
+            e in 0.0..50_000.0f64,
+            sunlit in proptest::collection::vec(any::<bool>(), 6),
+        ) {
+            let mut l = ledger(&[sunlit]);
+            for (t, pe) in prior {
+                if l.peek(0, t, pe).is_some() {
+                    l.commit(0, t, pe);
+                }
+            }
+            if let Some(peeked) = l.peek(0, t_a, e) {
+                let committed = l.commit(0, t_a, e);
+                prop_assert_eq!(peeked, committed);
+            }
+        }
+
+        /// Deficit traces are contiguous slot runs starting at t_a with
+        /// non-increasing magnitudes (solar can only repay, never add).
+        #[test]
+        fn prop_trace_monotone(
+            t_a in 0usize..6,
+            e in 0.0..80_000.0f64,
+            sunlit in proptest::collection::vec(any::<bool>(), 6),
+        ) {
+            let l = ledger(&[sunlit]);
+            if let Some(trace) = l.peek(0, t_a, e) {
+                for (k, &(slot, d)) in trace.per_slot.iter().enumerate() {
+                    prop_assert_eq!(slot, t_a + k);
+                    prop_assert!(d > 0.0);
+                    if k > 0 {
+                        prop_assert!(d <= trace.per_slot[k - 1].1 + 1e-9);
+                    }
+                }
+            }
+        }
+
+        /// Monotonicity: more consumption never shrinks the added deficit.
+        #[test]
+        fn prop_deficit_monotone_in_consumption(
+            e1 in 0.0..40_000.0f64,
+            extra in 0.0..40_000.0f64,
+            sunlit in proptest::collection::vec(any::<bool>(), 6),
+        ) {
+            let l = ledger(&[sunlit]);
+            if let (Some(a), Some(b)) = (l.peek(0, 0, e1), l.peek(0, 0, e1 + extra)) {
+                prop_assert!(b.added_deficit_j >= a.added_deficit_j - 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Satellite energy model: solar harvest, battery, and the deficit
+//! recursion of the CEAR paper (Eqs. 1–5).
+//!
+//! The paper's key modeling insight is that satellite energy is neither a
+//! purely instantaneous resource (like link bandwidth) nor a simple budget:
+//!
+//! * in **sunlight** the solar panel harvests a fixed power; energy used up
+//!   to that input is free (and surplus input is *wasted* once the battery
+//!   is full — it cannot be banked beyond capacity);
+//! * in **umbra** (or when consumption exceeds solar input) the battery
+//!   discharges, creating a **deficit** that persists — and keeps hurting —
+//!   every slot until future solar surplus repays it.
+//!
+//! [`params`] holds the physical constants and the role-dependent
+//! per-request consumption of Eq. (1); [`ledger`] implements the per-slot
+//! deficit recursion of Eqs. (2)–(5) with both a non-mutating *peek* (used
+//! by the pricing layer to cost a candidate path) and an exact *commit*
+//! (Algorithm 1 lines 9–16).
+//!
+//! # Example
+//!
+//! ```
+//! use sb_energy::params::{EnergyParams, SatelliteRole};
+//! use sb_energy::ledger::EnergyLedger;
+//!
+//! let params = EnergyParams::default();
+//! // One satellite, 4 slots of 60 s: sunlit, umbra, umbra, sunlit.
+//! let sunlit = vec![vec![true, false, false, true]];
+//! let mut ledger = EnergyLedger::new(&params, 60.0, &sunlit);
+//!
+//! // Relay 1250 Mbps through the satellite during the first umbra slot.
+//! let joules = params.consumption_j(SatelliteRole::Middle, 1250.0, 60.0);
+//! let trace = ledger.peek(0, 1, joules).expect("battery can absorb this");
+//! assert!(trace.added_deficit_j > 0.0);
+//! ledger.commit(0, 1, joules);
+//! assert!(ledger.battery_level_j(0, 1) < params.battery_capacity_j);
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod ledger;
+pub mod overlay;
+pub mod params;
+pub mod wear;
+
+pub use ledger::{DeficitTrace, EnergyLedger};
+pub use overlay::{LedgerDelta, LedgerOverlay};
+pub use params::{EnergyParams, SatelliteRole};
+pub use wear::{fleet_wear, FleetWear, SatelliteWear};

@@ -1,0 +1,191 @@
+//! Physical energy parameters and the role-dependent consumption model.
+//!
+//! Defaults reproduce the paper's evaluation settings: 20 W solar harvest,
+//! 117 kJ battery, and unit energies of 0.25/0.2 J/MByte for ISL
+//! transmit/receive and 1.0/0.8 J/MByte for USL transmit/receive.
+
+use serde::{Deserialize, Serialize};
+
+/// Bits per megabyte, for converting Mbps·s to MByte.
+const BITS_PER_MBYTE: f64 = 8.0;
+
+/// Physical energy constants of a broadband satellite.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// Solar panel harvest power while sunlit, watts (paper: 20 W).
+    pub solar_harvest_w: f64,
+    /// Battery capacity ϖ_s, joules (paper: 117 kJ).
+    pub battery_capacity_j: f64,
+    /// ISL transmit unit energy ω_ISL^tx, J/MByte (paper: 0.25).
+    pub isl_tx_j_per_mbyte: f64,
+    /// ISL receive unit energy ω_ISL^rx, J/MByte (paper: 0.2).
+    pub isl_rx_j_per_mbyte: f64,
+    /// USL transmit unit energy ω_USL^tx, J/MByte (paper: 1.0).
+    pub usl_tx_j_per_mbyte: f64,
+    /// USL receive unit energy ω_USL^rx, J/MByte (paper: 0.8).
+    pub usl_rx_j_per_mbyte: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams {
+            solar_harvest_w: 20.0,
+            battery_capacity_j: 117_000.0,
+            isl_tx_j_per_mbyte: 0.25,
+            isl_rx_j_per_mbyte: 0.2,
+            usl_tx_j_per_mbyte: 1.0,
+            usl_rx_j_per_mbyte: 0.8,
+        }
+    }
+}
+
+impl EnergyParams {
+    /// Solar energy harvested in one sunlit slot of `slot_s` seconds,
+    /// joules (`α̂_s(T)` when sunlit; zero in umbra).
+    pub fn solar_input_per_slot_j(&self, slot_s: f64) -> f64 {
+        self.solar_harvest_w * slot_s
+    }
+
+    /// Megabytes carried in one slot at `rate_mbps`.
+    pub fn mbytes_per_slot(rate_mbps: f64, slot_s: f64) -> f64 {
+        rate_mbps * slot_s / BITS_PER_MBYTE
+    }
+
+    /// Energy consumed by a satellite in one slot for a request flowing at
+    /// `rate_mbps`, given the satellite's role on the path — Eq. (1) of the
+    /// paper.
+    pub fn consumption_j(&self, role: SatelliteRole, rate_mbps: f64, slot_s: f64) -> f64 {
+        let mb = Self::mbytes_per_slot(rate_mbps, slot_s);
+        let unit = match role {
+            SatelliteRole::Middle => self.isl_rx_j_per_mbyte + self.isl_tx_j_per_mbyte,
+            SatelliteRole::IngressGateway => self.usl_rx_j_per_mbyte + self.isl_tx_j_per_mbyte,
+            SatelliteRole::EgressGateway => self.isl_rx_j_per_mbyte + self.usl_tx_j_per_mbyte,
+            SatelliteRole::BentPipe => self.usl_rx_j_per_mbyte + self.usl_tx_j_per_mbyte,
+        };
+        mb * unit
+    }
+}
+
+/// A satellite's role on a request's path, which determines which link
+/// types it transmits/receives on (Eq. 1).
+///
+/// Roles are derived purely from the link types adjacent to the satellite
+/// on the path: users attach over USLs, satellites interconnect over ISLs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SatelliteRole {
+    /// ISL in, ISL out — a relay in the middle of the path.
+    Middle,
+    /// USL in (from the source user), ISL out — the ingress gateway.
+    IngressGateway,
+    /// ISL in, USL out (to the destination user) — the egress gateway.
+    EgressGateway,
+    /// USL in, USL out — the classic bent-pipe case where source and
+    /// destination share one access satellite.
+    BentPipe,
+}
+
+impl SatelliteRole {
+    /// Derives the role from the link types entering and leaving the
+    /// satellite along the path. `Isl=false` means USL.
+    pub fn from_link_types(in_is_isl: bool, out_is_isl: bool) -> SatelliteRole {
+        match (in_is_isl, out_is_isl) {
+            (true, true) => SatelliteRole::Middle,
+            (false, true) => SatelliteRole::IngressGateway,
+            (true, false) => SatelliteRole::EgressGateway,
+            (false, false) => SatelliteRole::BentPipe,
+        }
+    }
+}
+
+impl core::fmt::Display for SatelliteRole {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SatelliteRole::Middle => write!(f, "middle"),
+            SatelliteRole::IngressGateway => write!(f, "ingress-gateway"),
+            SatelliteRole::EgressGateway => write!(f, "egress-gateway"),
+            SatelliteRole::BentPipe => write!(f, "bent-pipe"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = EnergyParams::default();
+        assert_eq!(p.solar_harvest_w, 20.0);
+        assert_eq!(p.battery_capacity_j, 117_000.0);
+        assert_eq!(p.isl_tx_j_per_mbyte, 0.25);
+        assert_eq!(p.isl_rx_j_per_mbyte, 0.2);
+        assert_eq!(p.usl_tx_j_per_mbyte, 1.0);
+        assert_eq!(p.usl_rx_j_per_mbyte, 0.8);
+    }
+
+    #[test]
+    fn solar_input_one_minute() {
+        // 20 W × 60 s = 1200 J per one-minute slot.
+        assert_eq!(EnergyParams::default().solar_input_per_slot_j(60.0), 1200.0);
+    }
+
+    #[test]
+    fn mbytes_conversion() {
+        // 1250 Mbps × 60 s = 75000 Mbit = 9375 MByte.
+        assert_eq!(EnergyParams::mbytes_per_slot(1250.0, 60.0), 9375.0);
+    }
+
+    #[test]
+    fn consumption_per_role_matches_eq1() {
+        let p = EnergyParams::default();
+        let mb = EnergyParams::mbytes_per_slot(1000.0, 60.0); // 7500 MB
+        assert_eq!(p.consumption_j(SatelliteRole::Middle, 1000.0, 60.0), mb * 0.45);
+        assert_eq!(p.consumption_j(SatelliteRole::IngressGateway, 1000.0, 60.0), mb * 1.05);
+        assert_eq!(p.consumption_j(SatelliteRole::EgressGateway, 1000.0, 60.0), mb * 1.2);
+        assert_eq!(p.consumption_j(SatelliteRole::BentPipe, 1000.0, 60.0), mb * 1.8);
+    }
+
+    #[test]
+    fn gateway_roles_cost_more_than_middle() {
+        let p = EnergyParams::default();
+        let mid = p.consumption_j(SatelliteRole::Middle, 500.0, 60.0);
+        for role in
+            [SatelliteRole::IngressGateway, SatelliteRole::EgressGateway, SatelliteRole::BentPipe]
+        {
+            assert!(p.consumption_j(role, 500.0, 60.0) > mid, "{role}");
+        }
+    }
+
+    #[test]
+    fn role_from_link_types() {
+        assert_eq!(SatelliteRole::from_link_types(true, true), SatelliteRole::Middle);
+        assert_eq!(SatelliteRole::from_link_types(false, true), SatelliteRole::IngressGateway);
+        assert_eq!(SatelliteRole::from_link_types(true, false), SatelliteRole::EgressGateway);
+        assert_eq!(SatelliteRole::from_link_types(false, false), SatelliteRole::BentPipe);
+    }
+
+    #[test]
+    fn role_display() {
+        assert_eq!(format!("{}", SatelliteRole::BentPipe), "bent-pipe");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_consumption_linear_in_rate(rate in 1.0..5000.0f64, k in 1.0..4.0f64) {
+            let p = EnergyParams::default();
+            let a = p.consumption_j(SatelliteRole::Middle, rate, 60.0);
+            let b = p.consumption_j(SatelliteRole::Middle, rate * k, 60.0);
+            prop_assert!((b - a * k).abs() < 1e-6 * b.max(1.0));
+        }
+
+        #[test]
+        fn prop_consumption_nonnegative(rate in 0.0..5000.0f64, slot in 1.0..600.0f64) {
+            let p = EnergyParams::default();
+            for role in [SatelliteRole::Middle, SatelliteRole::IngressGateway,
+                         SatelliteRole::EgressGateway, SatelliteRole::BentPipe] {
+                prop_assert!(p.consumption_j(role, rate, slot) >= 0.0);
+            }
+        }
+    }
+}

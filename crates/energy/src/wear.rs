@@ -1,0 +1,197 @@
+//! Battery-wear accounting.
+//!
+//! The paper's §I motivation: "excessive energy consumption can degrade
+//! batteries, shorten satellite lifespans, and compromise overall network
+//! performance", and batteries cannot be replaced on orbit. This module
+//! turns a completed [`EnergyLedger`] into the standard wear figures used
+//! in battery sizing:
+//!
+//! * **discharge throughput** — total energy drawn from the battery over
+//!   the horizon (joules);
+//! * **equivalent full cycles** — throughput ÷ capacity, the metric cycle
+//!   ratings are quoted against;
+//! * **maximum depth of discharge (DoD)** — the deepest excursion, which
+//!   dominates Li-ion aging;
+//! * a coarse **lifetime projection** from a rated cycle count at the
+//!   observed cycling rate.
+
+use crate::ledger::EnergyLedger;
+use serde::{Deserialize, Serialize};
+
+/// Rated full cycles of a LEO-qualified Li-ion pack at moderate DoD — the
+/// order of magnitude used for 10–15-year missions (≈ 30 000 cycles at
+/// ~25 % DoD).
+pub const DEFAULT_RATED_CYCLES: f64 = 30_000.0;
+
+/// Wear figures for one satellite over the simulated horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SatelliteWear {
+    /// Total energy drawn from the battery, joules.
+    pub discharge_throughput_j: f64,
+    /// Equivalent full cycles = throughput / capacity.
+    pub equivalent_cycles: f64,
+    /// Deepest depth of discharge observed, fraction of capacity `[0, 1]`.
+    pub max_depth_of_discharge: f64,
+}
+
+/// Computes per-satellite wear from a ledger's deficit history.
+///
+/// Discharge throughput is the sum of positive slot-to-slot deficit
+/// increases (energy can only leave the battery when the cumulative
+/// deficit grows; repayment by solar surplus is charging, not discharge).
+pub fn wear_per_satellite(ledger: &EnergyLedger) -> Vec<SatelliteWear> {
+    let capacity = ledger.params().battery_capacity_j;
+    (0..ledger.num_satellites())
+        .map(|s| {
+            let mut throughput = 0.0;
+            let mut max_deficit: f64 = 0.0;
+            let mut prev = 0.0;
+            for t in 0..ledger.horizon() {
+                let d = ledger.deficit_j(s, t);
+                if d > prev {
+                    throughput += d - prev;
+                }
+                max_deficit = max_deficit.max(d);
+                prev = d;
+            }
+            SatelliteWear {
+                discharge_throughput_j: throughput,
+                equivalent_cycles: if capacity > 0.0 { throughput / capacity } else { 0.0 },
+                max_depth_of_discharge: if capacity > 0.0 {
+                    (max_deficit / capacity).min(1.0)
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect()
+}
+
+/// Fleet-level summary of [`wear_per_satellite`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FleetWear {
+    /// Mean equivalent full cycles across the fleet.
+    pub mean_equivalent_cycles: f64,
+    /// Worst satellite's equivalent cycles.
+    pub max_equivalent_cycles: f64,
+    /// Worst satellite's depth of discharge.
+    pub max_depth_of_discharge: f64,
+}
+
+impl FleetWear {
+    /// Aggregates per-satellite wear.
+    pub fn from_satellites(wear: &[SatelliteWear]) -> FleetWear {
+        if wear.is_empty() {
+            return FleetWear::default();
+        }
+        FleetWear {
+            mean_equivalent_cycles: wear.iter().map(|w| w.equivalent_cycles).sum::<f64>()
+                / wear.len() as f64,
+            max_equivalent_cycles: wear
+                .iter()
+                .map(|w| w.equivalent_cycles)
+                .fold(0.0, f64::max),
+            max_depth_of_discharge: wear
+                .iter()
+                .map(|w| w.max_depth_of_discharge)
+                .fold(0.0, f64::max),
+        }
+    }
+
+    /// Years until the *worst-cycled* satellite exhausts `rated_cycles`,
+    /// extrapolating the observed cycling rate over `horizon_s` seconds of
+    /// simulated time. `None` when no cycling was observed.
+    pub fn projected_lifetime_years(&self, rated_cycles: f64, horizon_s: f64) -> Option<f64> {
+        if self.max_equivalent_cycles <= 0.0 || horizon_s <= 0.0 {
+            return None;
+        }
+        let cycles_per_second = self.max_equivalent_cycles / horizon_s;
+        Some(rated_cycles / cycles_per_second / (365.25 * 86_400.0))
+    }
+}
+
+/// Convenience: fleet wear straight from a ledger.
+pub fn fleet_wear(ledger: &EnergyLedger) -> FleetWear {
+    FleetWear::from_satellites(&wear_per_satellite(ledger))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::EnergyParams;
+
+    fn ledger(profiles: &[Vec<bool>]) -> EnergyLedger {
+        EnergyLedger::new(&EnergyParams::default(), 60.0, profiles)
+    }
+
+    #[test]
+    fn untouched_fleet_has_no_wear() {
+        let l = ledger(&[vec![true; 4], vec![false; 4]]);
+        let wear = wear_per_satellite(&l);
+        assert!(wear.iter().all(|w| w.equivalent_cycles == 0.0));
+        assert_eq!(FleetWear::from_satellites(&wear), FleetWear::default());
+        assert_eq!(fleet_wear(&l).projected_lifetime_years(30_000.0, 240.0), None);
+    }
+
+    #[test]
+    fn single_discharge_counts_once() {
+        let mut l = ledger(&[vec![false, false, true, true]]);
+        // 5000 J drawn in umbra, repaid in sunlight later.
+        l.commit(0, 0, 5000.0);
+        let w = &wear_per_satellite(&l)[0];
+        assert!((w.discharge_throughput_j - 5000.0).abs() < 1e-9);
+        assert!((w.equivalent_cycles - 5000.0 / 117_000.0).abs() < 1e-12);
+        assert!((w.max_depth_of_discharge - 5000.0 / 117_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repayment_is_not_discharge() {
+        // Deficit rises to 5000 then falls back to 0: throughput must be
+        // 5000, not 10000.
+        let mut l = ledger(&[vec![false, true, true, true, true, true]]);
+        l.commit(0, 0, 5000.0);
+        let w = &wear_per_satellite(&l)[0];
+        assert!((w.discharge_throughput_j - 5000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_cycling_accumulates() {
+        // Discharge 2000 J in each umbra slot of an alternating profile:
+        // each is repaid before the next, so deficits cycle 0→2000→0…
+        let profile: Vec<bool> = (0..8).map(|t| t % 2 == 1).collect();
+        let mut l = ledger(&[profile]);
+        for t in [0, 2, 4, 6] {
+            l.commit(0, t, 2000.0);
+        }
+        let w = &wear_per_satellite(&l)[0];
+        // Solar repays 1200 of each 2000 within the same... actually each
+        // commit lands in an umbra slot (deficit 2000), repaid next slot
+        // (solar 1200 covers 1200, remainder 800 rolls)… total discharge
+        // equals total committed energy not covered by same-slot solar.
+        assert!(w.discharge_throughput_j > 2000.0, "cycling should accumulate");
+        assert!(w.equivalent_cycles > 0.017);
+    }
+
+    #[test]
+    fn fleet_summary_and_lifetime() {
+        let mut l = ledger(&[vec![false; 4], vec![false; 4]]);
+        l.commit(0, 0, 58_500.0); // 50% DoD
+        let fleet = fleet_wear(&l);
+        assert!((fleet.max_depth_of_discharge - 0.5).abs() < 1e-9);
+        assert!(fleet.max_equivalent_cycles > 0.0);
+        assert!(fleet.mean_equivalent_cycles < fleet.max_equivalent_cycles);
+        // 0.5 equivalent cycles over 240 s → 30000 cycles last 0.0456 yr.
+        let yrs = fleet.projected_lifetime_years(30_000.0, 240.0).unwrap();
+        assert!(yrs > 0.0 && yrs < 1.0, "lifetime {yrs} years");
+    }
+
+    #[test]
+    fn dod_capped_at_one() {
+        let w = SatelliteWear {
+            discharge_throughput_j: 1.0,
+            equivalent_cycles: 1.0,
+            max_depth_of_discharge: 1.0,
+        };
+        assert!(w.max_depth_of_discharge <= 1.0);
+    }
+}

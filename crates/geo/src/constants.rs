@@ -1,0 +1,68 @@
+//! Physical constants used across the simulator.
+//!
+//! Values follow the WGS-84 / IERS conventions at the precision the
+//! simulator needs (topology and eclipse geometry, not precision orbit
+//! determination).
+
+/// Mean Earth radius in meters (spherical Earth model).
+pub const EARTH_RADIUS_M: f64 = 6_371_000.0;
+
+/// Earth's standard gravitational parameter μ = GM, in m³/s².
+pub const EARTH_MU: f64 = 3.986_004_418e14;
+
+/// Earth's sidereal rotation rate in rad/s.
+pub const EARTH_ROTATION_RATE: f64 = 7.292_115_9e-5;
+
+/// Mean Sun-Earth distance (1 au) in meters.
+pub const AU_M: f64 = 1.495_978_707e11;
+
+/// Obliquity of the ecliptic in radians (~23.44°).
+pub const ECLIPTIC_OBLIQUITY_RAD: f64 = 0.409_092_8;
+
+/// Mean motion of the Earth around the Sun in rad/s (2π per tropical year).
+pub const EARTH_ORBIT_RATE: f64 = 1.991_021e-7;
+
+/// Speed of light in vacuum, m/s. Used for propagation-delay estimates.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// Computes the orbital period (seconds) of a circular orbit at the given
+/// altitude above the mean Earth radius.
+///
+/// # Example
+///
+/// ```
+/// // Starlink Shell 1 sits at 550 km: the paper's 96-minute period.
+/// let p = sb_geo::circular_orbit_period(550_000.0);
+/// assert!((p / 60.0 - 95.6).abs() < 0.5);
+/// ```
+pub fn circular_orbit_period(altitude_m: f64) -> f64 {
+    let a = EARTH_RADIUS_M + altitude_m;
+    core::f64::consts::TAU * (a * a * a / EARTH_MU).sqrt()
+}
+
+/// Computes the circular orbital velocity (m/s) at the given altitude.
+pub fn circular_orbit_velocity(altitude_m: f64) -> f64 {
+    ((EARTH_MU) / (EARTH_RADIUS_M + altitude_m)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leo_period_matches_paper() {
+        // The paper: "96 minutes corresponds to the orbital period".
+        let p_min = circular_orbit_period(550_000.0) / 60.0;
+        assert!((95.0..97.0).contains(&p_min), "period {p_min} min");
+    }
+
+    #[test]
+    fn velocity_decreases_with_altitude() {
+        assert!(circular_orbit_velocity(500_000.0) > circular_orbit_velocity(2_000_000.0));
+    }
+
+    #[test]
+    fn period_increases_with_altitude() {
+        assert!(circular_orbit_period(500_000.0) < circular_orbit_period(1_200_000.0));
+    }
+}

@@ -1,0 +1,226 @@
+//! Coordinate frames and conversions.
+//!
+//! Three frames matter to the simulator:
+//!
+//! * **Geodetic** — latitude/longitude/altitude on a spherical Earth. Ground
+//!   users and gateway sites are specified here.
+//! * **ECEF** (Earth-Centered Earth-Fixed) — rotates with the Earth. Ground
+//!   stations are static in this frame.
+//! * **ECI** (Earth-Centered Inertial) — does not rotate. Orbits are
+//!   propagated here; the Sun direction is expressed here.
+//!
+//! ECI and ECEF are linked by a rotation about +Z by the Greenwich angle
+//! ([`crate::Epoch::gmst`]). A spherical Earth is used throughout: the ~21 km
+//! equatorial bulge is negligible for link-visibility and eclipse geometry at
+//! LEO scales.
+
+use crate::{Epoch, Vec3, EARTH_RADIUS_M};
+use serde::{Deserialize, Serialize};
+
+/// A geodetic position: latitude, longitude (radians) and altitude above the
+/// mean Earth radius (meters).
+///
+/// # Example
+///
+/// ```
+/// use sb_geo::coords::Geodetic;
+/// let raleigh = Geodetic::new(35.78_f64.to_radians(), -78.64_f64.to_radians(), 0.0);
+/// let ecef = raleigh.to_ecef();
+/// let back = ecef.to_geodetic();
+/// assert!((back.latitude_rad - raleigh.latitude_rad).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Geodetic {
+    /// Latitude in radians, in `[-π/2, π/2]`.
+    pub latitude_rad: f64,
+    /// Longitude in radians, in `(-π, π]`.
+    pub longitude_rad: f64,
+    /// Altitude above the mean Earth radius, in meters.
+    pub altitude_m: f64,
+}
+
+impl Geodetic {
+    /// Creates a geodetic position.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when latitude is outside `[-π/2, π/2]`.
+    pub fn new(latitude_rad: f64, longitude_rad: f64, altitude_m: f64) -> Self {
+        debug_assert!(
+            (-core::f64::consts::FRAC_PI_2..=core::f64::consts::FRAC_PI_2)
+                .contains(&latitude_rad),
+            "latitude out of range: {latitude_rad}"
+        );
+        Geodetic { latitude_rad, longitude_rad, altitude_m }
+    }
+
+    /// Creates a geodetic position from degrees (convenience for test data
+    /// and embedded gazetteers).
+    pub fn from_degrees(lat_deg: f64, lon_deg: f64, altitude_m: f64) -> Self {
+        Self::new(lat_deg.to_radians(), lon_deg.to_radians(), altitude_m)
+    }
+
+    /// Converts to the Earth-fixed frame.
+    pub fn to_ecef(self) -> Ecef {
+        let r = EARTH_RADIUS_M + self.altitude_m;
+        let (slat, clat) = self.latitude_rad.sin_cos();
+        let (slon, clon) = self.longitude_rad.sin_cos();
+        Ecef(Vec3::new(r * clat * clon, r * clat * slon, r * slat))
+    }
+
+    /// Great-circle central angle (radians) to another geodetic point,
+    /// ignoring altitude.
+    pub fn central_angle_to(self, other: Geodetic) -> f64 {
+        let a = Geodetic { altitude_m: 0.0, ..self }.to_ecef().0;
+        let b = Geodetic { altitude_m: 0.0, ..other }.to_ecef().0;
+        a.angle_to(b)
+    }
+
+    /// Great-circle surface distance (meters) to another geodetic point.
+    pub fn surface_distance_to(self, other: Geodetic) -> f64 {
+        self.central_angle_to(other) * EARTH_RADIUS_M
+    }
+}
+
+impl core::fmt::Display for Geodetic {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "({:.3}°, {:.3}°, {:.0} m)",
+            self.latitude_rad.to_degrees(),
+            self.longitude_rad.to_degrees(),
+            self.altitude_m
+        )
+    }
+}
+
+/// A position in the Earth-Centered Earth-Fixed frame, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Ecef(pub Vec3);
+
+impl Ecef {
+    /// Converts to geodetic coordinates on the spherical Earth.
+    pub fn to_geodetic(self) -> Geodetic {
+        let v = self.0;
+        let r = v.norm();
+        let latitude_rad = if r == 0.0 { 0.0 } else { (v.z / r).clamp(-1.0, 1.0).asin() };
+        let longitude_rad = v.y.atan2(v.x);
+        Geodetic { latitude_rad, longitude_rad, altitude_m: r - EARTH_RADIUS_M }
+    }
+
+    /// Rotates into the inertial frame at the given epoch.
+    pub fn to_eci(self, epoch: Epoch) -> Eci {
+        Eci(self.0.rotate_z(epoch.gmst()))
+    }
+}
+
+/// A position in the Earth-Centered Inertial frame, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Eci(pub Vec3);
+
+impl Eci {
+    /// Rotates into the Earth-fixed frame at the given epoch.
+    pub fn to_ecef(self, epoch: Epoch) -> Ecef {
+        Ecef(self.0.rotate_z(-epoch.gmst()))
+    }
+
+    /// Straight-line distance to another inertial position, meters.
+    pub fn distance(self, other: Eci) -> f64 {
+        self.0.distance(other.0)
+    }
+}
+
+impl From<Vec3> for Eci {
+    fn from(v: Vec3) -> Self {
+        Eci(v)
+    }
+}
+
+impl From<Vec3> for Ecef {
+    fn from(v: Vec3) -> Self {
+        Ecef(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn equator_prime_meridian() {
+        let p = Geodetic::new(0.0, 0.0, 0.0).to_ecef();
+        assert!(p.0.distance(Vec3::new(EARTH_RADIUS_M, 0.0, 0.0)) < 1e-6);
+    }
+
+    #[test]
+    fn north_pole() {
+        let p = Geodetic::new(core::f64::consts::FRAC_PI_2, 0.0, 1000.0).to_ecef();
+        assert!(p.0.distance(Vec3::new(0.0, 0.0, EARTH_RADIUS_M + 1000.0)) < 1e-6);
+    }
+
+    #[test]
+    fn eci_ecef_identity_at_t0() {
+        let p = Geodetic::from_degrees(10.0, 20.0, 500.0).to_ecef();
+        let eci = p.to_eci(Epoch::from_seconds(0.0));
+        assert!(eci.0.distance(p.0) < 1e-9);
+    }
+
+    #[test]
+    fn ground_station_moves_in_eci() {
+        let p = Geodetic::from_degrees(0.0, 0.0, 0.0).to_ecef();
+        let a = p.to_eci(Epoch::from_seconds(0.0));
+        let b = p.to_eci(Epoch::from_seconds(3600.0));
+        // One hour of Earth rotation at the equator ≈ 1670 km of arc.
+        assert!(a.distance(b) > 1.0e6);
+    }
+
+    #[test]
+    fn surface_distance_quarter_circumference() {
+        let a = Geodetic::from_degrees(0.0, 0.0, 0.0);
+        let b = Geodetic::from_degrees(0.0, 90.0, 0.0);
+        let quarter = core::f64::consts::FRAC_PI_2 * EARTH_RADIUS_M;
+        assert!((a.surface_distance_to(b) - quarter).abs() < 1.0);
+    }
+
+    fn arb_geodetic() -> impl Strategy<Value = Geodetic> {
+        (
+            -1.5..1.5f64, // stay away from the exact poles where longitude degenerates
+            -3.1..3.1f64,
+            0.0..2_000_000.0f64,
+        )
+            .prop_map(|(lat, lon, alt)| Geodetic::new(lat, lon, alt))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_geodetic_ecef_roundtrip(g in arb_geodetic()) {
+            let back = g.to_ecef().to_geodetic();
+            prop_assert!((back.latitude_rad - g.latitude_rad).abs() < 1e-9);
+            prop_assert!((back.longitude_rad - g.longitude_rad).abs() < 1e-9);
+            prop_assert!((back.altitude_m - g.altitude_m).abs() < 1e-4);
+        }
+
+        #[test]
+        fn prop_eci_ecef_roundtrip(g in arb_geodetic(), t in 0.0..1e6f64) {
+            let epoch = Epoch::from_seconds(t);
+            let ecef = g.to_ecef();
+            let back = ecef.to_eci(epoch).to_ecef(epoch);
+            prop_assert!(back.0.distance(ecef.0) < 1e-4);
+        }
+
+        #[test]
+        fn prop_frame_rotation_preserves_radius(g in arb_geodetic(), t in 0.0..1e6f64) {
+            let ecef = g.to_ecef();
+            let eci = ecef.to_eci(Epoch::from_seconds(t));
+            prop_assert!((eci.0.norm() - ecef.0.norm()).abs() < 1e-4);
+        }
+
+        #[test]
+        fn prop_surface_distance_symmetric(a in arb_geodetic(), b in arb_geodetic()) {
+            let d1 = a.surface_distance_to(b);
+            let d2 = b.surface_distance_to(a);
+            prop_assert!((d1 - d2).abs() < 1e-4);
+        }
+    }
+}

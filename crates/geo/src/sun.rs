@@ -1,0 +1,187 @@
+//! Solar ephemeris and Earth-shadow (umbra) geometry.
+//!
+//! The satellite energy model (Fig. 3 of the paper) needs exactly one
+//! question answered per satellite per time slot: *is the satellite in
+//! sunlight or in the Earth's umbra?* In sunlight the solar panel harvests a
+//! fixed power; in umbra the battery discharges.
+//!
+//! We use a low-precision analytic Sun: the Sun moves on a circular orbit in
+//! the ecliptic plane at the mean motion of the Earth's heliocentric orbit.
+//! The shadow test is the standard cylindrical-umbra approximation: a
+//! satellite is shadowed iff it is on the anti-Sun side of the Earth and its
+//! distance from the Earth-Sun axis is less than the Earth radius. At LEO
+//! altitudes the penumbra transition lasts under ten seconds — far below the
+//! one-minute slot granularity — so a cylinder is an excellent model.
+
+use crate::coords::Eci;
+use crate::{Epoch, Vec3, AU_M, EARTH_ORBIT_RATE, EARTH_RADIUS_M, ECLIPTIC_OBLIQUITY_RAD};
+
+/// Unit vector from the Earth's center toward the Sun in the ECI frame at
+/// the given epoch.
+///
+/// The Sun starts at ecliptic longitude 0 (vernal-equinox direction) at
+/// simulation start and advances at the Earth's mean heliocentric rate.
+///
+/// # Example
+///
+/// ```
+/// use sb_geo::{sun, Epoch};
+/// let d = sun::sun_direction(Epoch::from_seconds(0.0));
+/// assert!((d.norm() - 1.0).abs() < 1e-12);
+/// ```
+pub fn sun_direction(epoch: Epoch) -> Vec3 {
+    let ecliptic_longitude = EARTH_ORBIT_RATE * epoch.as_seconds();
+    let in_ecliptic = Vec3::new(ecliptic_longitude.cos(), ecliptic_longitude.sin(), 0.0);
+    // Tilt the ecliptic plane into the equatorial ECI frame.
+    in_ecliptic.rotate_x(ECLIPTIC_OBLIQUITY_RAD)
+}
+
+/// Position of the Sun in the ECI frame (meters).
+pub fn sun_position(epoch: Epoch) -> Eci {
+    Eci(sun_direction(epoch) * AU_M)
+}
+
+/// Returns `true` when the given inertial position lies inside the Earth's
+/// cylindrical umbra at the given epoch.
+///
+/// A point is shadowed iff its projection onto the Sun direction is negative
+/// (anti-Sun side) **and** its distance from the Earth-Sun axis is below the
+/// Earth radius.
+///
+/// # Example
+///
+/// ```
+/// use sb_geo::{sun, Epoch, Vec3};
+/// use sb_geo::coords::Eci;
+/// let t = Epoch::from_seconds(0.0);
+/// let s = sun::sun_direction(t);
+/// // A point 7000 km directly behind the Earth is in shadow…
+/// assert!(sun::in_umbra(Eci(-s * 7.0e6), t));
+/// // …while the sub-solar point is lit.
+/// assert!(!sun::in_umbra(Eci(s * 7.0e6), t));
+/// ```
+pub fn in_umbra(position: Eci, epoch: Epoch) -> bool {
+    let s = sun_direction(epoch);
+    let p = position.0;
+    let along = p.dot(s);
+    if along >= 0.0 {
+        return false; // sunward hemisphere is always lit
+    }
+    let radial = (p - s * along).norm();
+    radial < EARTH_RADIUS_M
+}
+
+/// Fraction of a circular-orbit period a satellite at `altitude_m` spends in
+/// umbra, assuming the orbit plane contains the Earth-Sun axis (the
+/// worst-case, maximum-eclipse geometry).
+///
+/// Useful for sanity-checking energy budgets: at 550 km the maximum eclipse
+/// fraction is ≈ 0.38.
+pub fn max_eclipse_fraction(altitude_m: f64) -> f64 {
+    let r = EARTH_RADIUS_M + altitude_m;
+    // With θ measured from the anti-solar point, the satellite's distance
+    // from the shadow axis is r·|sin θ|, so it is shadowed for
+    // θ ∈ (−asin(Re/r), +asin(Re/r)): an arc of 2·asin(Re/r) out of 2π.
+    (EARTH_RADIUS_M / r).asin() / core::f64::consts::PI
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sun_direction_is_unit() {
+        for t in [0.0, 1e4, 1e6, 3e7] {
+            assert!((sun_direction(Epoch::from_seconds(t)).norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sun_advances_along_ecliptic() {
+        let a = sun_direction(Epoch::from_seconds(0.0));
+        // Quarter year later the Sun should be ~90° away.
+        let quarter_year = core::f64::consts::FRAC_PI_2 / EARTH_ORBIT_RATE;
+        let b = sun_direction(Epoch::from_seconds(quarter_year));
+        assert!((a.angle_to(b) - core::f64::consts::FRAC_PI_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn subsolar_point_lit_antisolar_shadowed() {
+        let t = Epoch::from_seconds(12345.0);
+        let s = sun_direction(t);
+        assert!(!in_umbra(Eci(s * (EARTH_RADIUS_M + 550e3)), t));
+        assert!(in_umbra(Eci(-s * (EARTH_RADIUS_M + 550e3)), t));
+    }
+
+    #[test]
+    fn terminator_side_is_lit() {
+        let t = Epoch::from_seconds(0.0);
+        let s = sun_direction(t);
+        // A direction perpendicular to the Sun line, slightly sunward.
+        let perp = s.cross(Vec3::new(0.0, 0.0, 1.0)).normalized();
+        let p = Eci(perp * (EARTH_RADIUS_M + 550e3));
+        assert!(!in_umbra(p, t));
+    }
+
+    #[test]
+    fn deep_space_behind_earth_but_outside_cylinder_is_lit() {
+        let t = Epoch::from_seconds(0.0);
+        let s = sun_direction(t);
+        let perp = s.cross(Vec3::new(0.0, 0.0, 1.0)).normalized();
+        // Behind the Earth along -s, but displaced 3 Earth radii sideways.
+        let p = Eci(-s * 4.0e7 + perp * (3.0 * EARTH_RADIUS_M));
+        assert!(!in_umbra(p, t));
+    }
+
+    #[test]
+    fn max_eclipse_fraction_at_550km() {
+        let f = max_eclipse_fraction(550e3);
+        assert!((f - 0.372).abs() < 0.01, "fraction {f}");
+    }
+
+    #[test]
+    fn leo_orbit_has_expected_eclipse_fraction() {
+        // Simulate one orbit in the ecliptic plane (worst case) and count
+        // shadowed samples; expect roughly 35–40% at 550 km.
+        let t = Epoch::from_seconds(0.0);
+        let s = sun_direction(t);
+        let up = Vec3::new(0.0, 0.0, 1.0);
+        let e1 = s;
+        let e2 = s.cross(up).normalized();
+        let r = EARTH_RADIUS_M + 550e3;
+        let n = 10_000;
+        let shadowed = (0..n)
+            .filter(|i| {
+                let th = core::f64::consts::TAU * (*i as f64) / n as f64;
+                let p = Eci((e1 * th.cos() + e2 * th.sin()) * r);
+                in_umbra(p, t)
+            })
+            .count();
+        let frac = shadowed as f64 / n as f64;
+        assert!((0.30..0.45).contains(&frac), "eclipse fraction {frac}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sunward_never_shadowed(t in 0.0..3.2e7f64, x in -1.0..1.0f64, y in -1.0..1.0f64, z in -1.0..1.0f64, scale in 1.05..10.0f64) {
+            let epoch = Epoch::from_seconds(t);
+            let dir = Vec3::new(x, y, z);
+            prop_assume!(dir.norm() > 1e-3);
+            let p = dir.normalized() * (EARTH_RADIUS_M * scale);
+            let s = sun_direction(epoch);
+            prop_assume!(p.dot(s) > 0.0);
+            prop_assert!(!in_umbra(Eci(p), epoch));
+        }
+
+        #[test]
+        fn prop_umbra_monotone_along_axis(t in 0.0..3.2e7f64, d1 in 1.1..5.0f64, d2 in 1.1..5.0f64) {
+            // Any point exactly on the anti-solar axis is shadowed regardless
+            // of distance (cylindrical model).
+            let epoch = Epoch::from_seconds(t);
+            let s = sun_direction(epoch);
+            prop_assert!(in_umbra(Eci(-s * (EARTH_RADIUS_M * d1)), epoch));
+            prop_assert!(in_umbra(Eci(-s * (EARTH_RADIUS_M * d2)), epoch));
+        }
+    }
+}

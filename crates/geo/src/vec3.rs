@@ -1,0 +1,259 @@
+//! A minimal 3-vector tailored to orbital geometry.
+//!
+//! The simulator needs only a handful of vector operations; a dependency-free
+//! implementation keeps the numeric core auditable and fast.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A 3-component double-precision vector.
+///
+/// Used for positions and directions in the ECI and ECEF frames (meters for
+/// positions, unitless for directions).
+///
+/// # Example
+///
+/// ```
+/// use sb_geo::Vec3;
+/// let x = Vec3::new(1.0, 0.0, 0.0);
+/// let y = Vec3::new(0.0, 1.0, 0.0);
+/// assert_eq!(x.cross(y), Vec3::new(0.0, 0.0, 1.0));
+/// assert_eq!(x.dot(y), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+    /// Z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a vector from its components.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product.
+    pub fn cross(self, other: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * other.z - self.z * other.y,
+            y: self.z * other.x - self.x * other.z,
+            z: self.x * other.y - self.y * other.x,
+        }
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm (avoids the square root when comparing).
+    pub fn norm_squared(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Returns the unit vector in the same direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the vector is (numerically) zero.
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        debug_assert!(n > 0.0, "cannot normalize the zero vector");
+        self / n
+    }
+
+    /// Distance between two points.
+    pub fn distance(self, other: Vec3) -> f64 {
+        (self - other).norm()
+    }
+
+    /// The angle between two vectors, in radians, in `[0, π]`.
+    ///
+    /// Robust near parallel/antiparallel configurations (clamps the cosine).
+    pub fn angle_to(self, other: Vec3) -> f64 {
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            return 0.0;
+        }
+        (self.dot(other) / denom).clamp(-1.0, 1.0).acos()
+    }
+
+    /// Rotates the vector by `angle` radians about the +X axis.
+    pub fn rotate_x(self, angle: f64) -> Vec3 {
+        let (s, c) = angle.sin_cos();
+        Vec3 {
+            x: self.x,
+            y: c * self.y - s * self.z,
+            z: s * self.y + c * self.z,
+        }
+    }
+
+    /// Rotates the vector by `angle` radians about the +Y axis.
+    pub fn rotate_y(self, angle: f64) -> Vec3 {
+        let (s, c) = angle.sin_cos();
+        Vec3 {
+            x: c * self.x + s * self.z,
+            y: self.y,
+            z: -s * self.x + c * self.z,
+        }
+    }
+
+    /// Rotates the vector by `angle` radians about the +Z axis.
+    pub fn rotate_z(self, angle: f64) -> Vec3 {
+        let (s, c) = angle.sin_cos();
+        Vec3 {
+            x: c * self.x - s * self.y,
+            y: s * self.x + c * self.y,
+            z: self.z,
+        }
+    }
+
+    /// Component-wise linear interpolation: `self + t * (other - self)`.
+    pub fn lerp(self, other: Vec3, t: f64) -> Vec3 {
+        self + (other - self) * t
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    fn div(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl core::fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "({:.3}, {:.3}, {:.3})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_algebra() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+        assert_eq!(a.dot(b), 32.0);
+    }
+
+    #[test]
+    fn cross_is_orthogonal() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-2.0, 0.5, 4.0);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-12);
+        assert!(c.dot(b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let v = Vec3::new(3.0, -4.0, 12.0);
+        for ang in [0.1, 1.0, 2.5, -0.7] {
+            assert!((v.rotate_x(ang).norm() - 13.0).abs() < 1e-9);
+            assert!((v.rotate_y(ang).norm() - 13.0).abs() < 1e-9);
+            assert!((v.rotate_z(ang).norm() - 13.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rotate_z_quarter_turn() {
+        let v = Vec3::new(1.0, 0.0, 0.0).rotate_z(core::f64::consts::FRAC_PI_2);
+        assert!(v.distance(Vec3::new(0.0, 1.0, 0.0)) < 1e-12);
+    }
+
+    #[test]
+    fn angle_between_axes() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        assert!((x.angle_to(y) - core::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!(x.angle_to(x) < 1e-7);
+        assert!((x.angle_to(-x) - core::f64::consts::PI).abs() < 1e-7);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Vec3::new(0.0, 0.0, 0.0);
+        let b = Vec3::new(2.0, 4.0, 8.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::new(1.0, 2.0, 4.0));
+    }
+
+    fn arb_vec3() -> impl Strategy<Value = Vec3> {
+        (-1e7..1e7f64, -1e7..1e7f64, -1e7..1e7f64).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rotation_roundtrip(v in arb_vec3(), ang in -6.0..6.0f64) {
+            let back = v.rotate_z(ang).rotate_z(-ang);
+            prop_assert!(v.distance(back) < 1e-6 * (1.0 + v.norm()));
+        }
+
+        #[test]
+        fn prop_triangle_inequality(a in arb_vec3(), b in arb_vec3()) {
+            prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-6);
+        }
+
+        #[test]
+        fn prop_normalized_unit(v in arb_vec3()) {
+            prop_assume!(v.norm() > 1e-3);
+            prop_assert!((v.normalized().norm() - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_cross_anticommutes(a in arb_vec3(), b in arb_vec3()) {
+            let lhs = a.cross(b);
+            let rhs = -(b.cross(a));
+            prop_assert!(lhs.distance(rhs) < 1e-6 * (1.0 + lhs.norm()));
+        }
+    }
+}

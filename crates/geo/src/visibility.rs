@@ -1,0 +1,187 @@
+//! Line-of-sight and elevation-angle tests for link existence.
+//!
+//! Two kinds of visibility matter in an LSN:
+//!
+//! * **Ground ↔ satellite**: a user-satellite link (USL) exists when the
+//!   satellite is above the user's minimum elevation angle (Starlink
+//!   terminals use ≈ 25°).
+//! * **Satellite ↔ satellite**: an inter-satellite link (ISL) or a
+//!   space-user link exists when the straight line between the two does not
+//!   intersect the Earth (plus an atmospheric grazing margin) and is within
+//!   the terminal's range.
+
+use crate::coords::Eci;
+use crate::{Vec3, EARTH_RADIUS_M};
+
+/// Default minimum elevation angle for ground terminals, radians (25°).
+pub const DEFAULT_MIN_ELEVATION_RAD: f64 = 25.0 * core::f64::consts::PI / 180.0;
+
+/// Default atmospheric grazing margin for space-space line of sight, meters.
+/// Links dipping below ~80 km suffer atmospheric attenuation.
+pub const DEFAULT_GRAZING_MARGIN_M: f64 = 80_000.0;
+
+/// Elevation angle (radians) of a target as seen from an observer on or near
+/// the Earth's surface.
+///
+/// Positive when the target is above the observer's local horizon. Both
+/// positions must be in the same frame (use ECI at a common epoch).
+///
+/// # Example
+///
+/// ```
+/// use sb_geo::{visibility, Vec3, EARTH_RADIUS_M};
+/// use sb_geo::coords::Eci;
+/// let observer = Eci(Vec3::new(EARTH_RADIUS_M, 0.0, 0.0));
+/// let overhead = Eci(Vec3::new(EARTH_RADIUS_M + 550e3, 0.0, 0.0));
+/// let el = visibility::elevation_angle(observer, overhead);
+/// assert!((el - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+/// ```
+pub fn elevation_angle(observer: Eci, target: Eci) -> f64 {
+    let up = observer.0.normalized();
+    let los = target.0 - observer.0;
+    if los.norm() == 0.0 {
+        return core::f64::consts::FRAC_PI_2;
+    }
+    core::f64::consts::FRAC_PI_2 - up.angle_to(los)
+}
+
+/// Returns `true` when the target is above `min_elevation_rad` as seen from
+/// the observer.
+pub fn visible_above_elevation(observer: Eci, target: Eci, min_elevation_rad: f64) -> bool {
+    elevation_angle(observer, target) >= min_elevation_rad
+}
+
+/// Returns `true` when the straight segment between two space positions
+/// clears the Earth by at least `grazing_margin_m`.
+///
+/// This is the ISL / space-user line-of-sight test: the minimum distance
+/// from the Earth's center to the segment must exceed
+/// `EARTH_RADIUS_M + grazing_margin_m`.
+pub fn line_of_sight_clear(a: Eci, b: Eci, grazing_margin_m: f64) -> bool {
+    segment_min_distance_to_origin(a.0, b.0) > EARTH_RADIUS_M + grazing_margin_m
+}
+
+/// Minimum distance from the origin to the segment `[a, b]`.
+fn segment_min_distance_to_origin(a: Vec3, b: Vec3) -> f64 {
+    let ab = b - a;
+    let len2 = ab.norm_squared();
+    if len2 == 0.0 {
+        return a.norm();
+    }
+    // Projection of the origin onto the segment's supporting line, clamped.
+    let t = (-a.dot(ab) / len2).clamp(0.0, 1.0);
+    (a + ab * t).norm()
+}
+
+/// Slant range (meters) from an observer at `observer_alt_m` to a satellite
+/// at `sat_alt_m` when the satellite sits exactly at elevation
+/// `elevation_rad`. Useful for sizing coverage footprints.
+pub fn slant_range(observer_alt_m: f64, sat_alt_m: f64, elevation_rad: f64) -> f64 {
+    let r_o = EARTH_RADIUS_M + observer_alt_m;
+    let r_s = EARTH_RADIUS_M + sat_alt_m;
+    // Law of cosines in the Earth-center / observer / satellite triangle.
+    let gamma = elevation_rad + core::f64::consts::FRAC_PI_2;
+    // r_s² = r_o² + d² − 2·r_o·d·cos(γ) → solve the quadratic for d ≥ 0.
+    let b = -2.0 * r_o * gamma.cos();
+    let c = r_o * r_o - r_s * r_s;
+    let disc = b * b - 4.0 * c;
+    debug_assert!(disc >= 0.0);
+    (-b + disc.sqrt()) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn surface(lon: f64) -> Eci {
+        Eci(Vec3::new(EARTH_RADIUS_M * lon.cos(), EARTH_RADIUS_M * lon.sin(), 0.0))
+    }
+
+    #[test]
+    fn zenith_satellite_at_90_degrees() {
+        let obs = surface(0.0);
+        let sat = Eci(obs.0.normalized() * (EARTH_RADIUS_M + 550e3));
+        assert!((elevation_angle(obs, sat) - core::f64::consts::FRAC_PI_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn antipodal_satellite_below_horizon() {
+        let obs = surface(0.0);
+        let sat = Eci(-obs.0.normalized() * (EARTH_RADIUS_M + 550e3));
+        assert!(elevation_angle(obs, sat) < 0.0);
+        assert!(!visible_above_elevation(obs, sat, DEFAULT_MIN_ELEVATION_RAD));
+    }
+
+    #[test]
+    fn isl_through_earth_is_blocked() {
+        let a = Eci(Vec3::new(EARTH_RADIUS_M + 550e3, 0.0, 0.0));
+        let b = Eci(Vec3::new(-(EARTH_RADIUS_M + 550e3), 0.0, 0.0));
+        assert!(!line_of_sight_clear(a, b, DEFAULT_GRAZING_MARGIN_M));
+    }
+
+    #[test]
+    fn adjacent_satellites_have_clear_los() {
+        let r = EARTH_RADIUS_M + 550e3;
+        let a = Eci(Vec3::new(r, 0.0, 0.0));
+        let b = Eci(Vec3::new(r * 0.1f64.cos(), r * 0.1f64.sin(), 0.0));
+        assert!(line_of_sight_clear(a, b, DEFAULT_GRAZING_MARGIN_M));
+    }
+
+    #[test]
+    fn grazing_margin_blocks_low_passes() {
+        // Two satellites whose chord passes 50 km above the surface: clear
+        // with zero margin, blocked with the default 80 km margin.
+        let r = EARTH_RADIUS_M + 50_000.0;
+        let half_angle = (r / (EARTH_RADIUS_M + 550e3)).acos();
+        let rs = EARTH_RADIUS_M + 550e3;
+        let a = Eci(Vec3::new(rs * half_angle.cos(), -rs * half_angle.sin(), 0.0));
+        let b = Eci(Vec3::new(rs * half_angle.cos(), rs * half_angle.sin(), 0.0));
+        assert!(line_of_sight_clear(a, b, 0.0));
+        assert!(!line_of_sight_clear(a, b, DEFAULT_GRAZING_MARGIN_M));
+    }
+
+    #[test]
+    fn slant_range_zenith_is_altitude_difference() {
+        let d = slant_range(0.0, 550e3, core::f64::consts::FRAC_PI_2);
+        assert!((d - 550e3).abs() < 1.0);
+    }
+
+    #[test]
+    fn slant_range_decreases_with_elevation() {
+        let lo = slant_range(0.0, 550e3, 25f64.to_radians());
+        let hi = slant_range(0.0, 550e3, 60f64.to_radians());
+        assert!(lo > hi);
+        // At 25° elevation a 550 km satellite is roughly 1000–1200 km away.
+        assert!((0.9e6..1.4e6).contains(&lo), "slant {lo}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_elevation_symmetric_under_rotation(lon in 0.0..6.28f64, alt in 300e3..2e6f64, off in -0.5..0.5f64) {
+            // Rotating both observer and satellite by the same angle about Z
+            // leaves the elevation invariant.
+            let obs = surface(lon);
+            let sat = Eci(Vec3::new(
+                (EARTH_RADIUS_M + alt) * (lon + off).cos(),
+                (EARTH_RADIUS_M + alt) * (lon + off).sin(),
+                0.0,
+            ));
+            let e1 = elevation_angle(obs, sat);
+            let rot = 1.234;
+            let e2 = elevation_angle(Eci(obs.0.rotate_z(rot)), Eci(sat.0.rotate_z(rot)));
+            prop_assert!((e1 - e2).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_los_symmetric(ax in -1.0..1.0f64, ay in -1.0..1.0f64, bx in -1.0..1.0f64, by in -1.0..1.0f64) {
+            let r = EARTH_RADIUS_M + 550e3;
+            let a = Eci(Vec3::new(ax, ay, 0.3).normalized() * r);
+            let b = Eci(Vec3::new(bx, by, -0.2).normalized() * r);
+            prop_assert_eq!(
+                line_of_sight_clear(a, b, DEFAULT_GRAZING_MARGIN_M),
+                line_of_sight_clear(b, a, DEFAULT_GRAZING_MARGIN_M)
+            );
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Synthetic Earth-observation (EO) fleet.
+//!
+//! The paper's space users are 223 medium/high-resolution EO satellites
+//! operated by Planet Labs, propagated from real space-track TLEs. Live
+//! ephemerides are not redistributable, so this module generates a
+//! *deterministic synthetic fleet* with the same statistical profile:
+//!
+//! * sun-synchronous-like inclination (~97.4°) — where imaging
+//!   constellations actually fly;
+//! * altitudes spread over the 475–525 km band (Planet's Flock/SkySat
+//!   range, below the 550 km broadband shell);
+//! * right-ascension and phase spread deterministically over the fleet so
+//!   coverage is global.
+//!
+//! Real TLEs can be substituted via [`crate::tle::Tle::parse_many`] +
+//! [`crate::tle::Tle::to_elements`]; both paths produce the same
+//! [`Satellite`] type.
+
+use crate::kepler::OrbitalElements;
+use crate::{Satellite, SatelliteKind};
+use sb_geo::Epoch;
+
+/// Number of EO satellites in the paper's evaluation (Planet Labs fleet).
+pub const PAPER_EO_FLEET_SIZE: usize = 223;
+
+/// Nominal sun-synchronous inclination for ~500 km, radians (≈97.4°).
+pub const SUN_SYNC_INCLINATION_RAD: f64 = 97.4 * core::f64::consts::PI / 180.0;
+
+/// Minimum altitude of the synthetic fleet, meters.
+pub const EO_ALTITUDE_MIN_M: f64 = 475_000.0;
+
+/// Maximum altitude of the synthetic fleet, meters.
+pub const EO_ALTITUDE_MAX_M: f64 = 525_000.0;
+
+/// Generates a deterministic synthetic EO fleet of `count` satellites.
+///
+/// The generator is a pure function of `count`: phases, planes and
+/// altitudes are spread with low-discrepancy (golden-ratio) sequences so
+/// any fleet size yields near-uniform global coverage, and repeated calls
+/// are bit-identical (important for seeded experiments).
+///
+/// # Example
+///
+/// ```
+/// use sb_orbit::eo;
+/// let fleet = eo::synthetic_fleet(223);
+/// assert_eq!(fleet.len(), 223);
+/// assert!(fleet.iter().all(|s| s.kind == sb_orbit::SatelliteKind::EarthObservation));
+/// ```
+pub fn synthetic_fleet(count: usize) -> Vec<Satellite> {
+    let tau = core::f64::consts::TAU;
+    // Golden-ratio fractional part: the classic low-discrepancy sequence.
+    const PHI_FRAC: f64 = 0.618_033_988_749_894_9;
+    (0..count)
+        .map(|i| {
+            let u = (i as f64 * PHI_FRAC).fract();
+            let v = (i as f64 * PHI_FRAC * PHI_FRAC).fract();
+            let w = (i as f64 * 0.414_213_562_373_095).fract(); // frac(√2−1 scaled)
+            let altitude = EO_ALTITUDE_MIN_M + (EO_ALTITUDE_MAX_M - EO_ALTITUDE_MIN_M) * w;
+            let elements = OrbitalElements::circular(
+                altitude,
+                SUN_SYNC_INCLINATION_RAD,
+                tau * u,
+                tau * v,
+                Epoch::from_seconds(0.0),
+            );
+            Satellite {
+                name: format!("EO-{i:03}"),
+                kind: SatelliteKind::EarthObservation,
+                elements,
+                plane: None,
+                slot_in_plane: None,
+            }
+        })
+        .collect()
+}
+
+/// Generates the paper-scale fleet of [`PAPER_EO_FLEET_SIZE`] satellites.
+pub fn paper_fleet() -> Vec<Satellite> {
+    synthetic_fleet(PAPER_EO_FLEET_SIZE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_geo::EARTH_RADIUS_M;
+
+    #[test]
+    fn paper_fleet_size() {
+        assert_eq!(paper_fleet().len(), PAPER_EO_FLEET_SIZE);
+    }
+
+    #[test]
+    fn fleet_is_deterministic() {
+        assert_eq!(synthetic_fleet(50), synthetic_fleet(50));
+    }
+
+    #[test]
+    fn altitudes_in_band() {
+        for s in synthetic_fleet(223) {
+            let alt = s.elements.semi_major_axis_m - EARTH_RADIUS_M;
+            assert!(
+                (EO_ALTITUDE_MIN_M..=EO_ALTITUDE_MAX_M).contains(&alt),
+                "altitude {alt} out of band"
+            );
+        }
+    }
+
+    #[test]
+    fn eo_flies_below_broadband_shell() {
+        for s in synthetic_fleet(223) {
+            assert!(s.elements.semi_major_axis_m < EARTH_RADIUS_M + 550e3);
+        }
+    }
+
+    #[test]
+    fn raan_spread_is_global() {
+        // The 223 RAANs should cover all four quadrants.
+        let fleet = synthetic_fleet(223);
+        let mut quadrants = [false; 4];
+        for s in &fleet {
+            let q = (s.elements.raan_rad / (core::f64::consts::TAU / 4.0)) as usize;
+            quadrants[q.min(3)] = true;
+        }
+        assert!(quadrants.iter().all(|&q| q), "quadrants {quadrants:?}");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let fleet = synthetic_fleet(100);
+        let mut names: Vec<&str> = fleet.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 100);
+    }
+
+    #[test]
+    fn empty_fleet_is_fine() {
+        assert!(synthetic_fleet(0).is_empty());
+    }
+
+    #[test]
+    fn sun_sync_inclination_is_retrograde() {
+        // i > 90°: the defining property of sun-synchronous orbits.
+        assert!(SUN_SYNC_INCLINATION_RAD > core::f64::consts::FRAC_PI_2);
+        for s in synthetic_fleet(5) {
+            assert_eq!(s.elements.inclination_rad, SUN_SYNC_INCLINATION_RAD);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Secular J2 perturbations.
+//!
+//! The Earth's equatorial bulge (the J2 spherical-harmonic term) makes
+//! orbital planes precess: the ascending node drifts at `Ω̇` and the
+//! argument of perigee at `ω̇`, both functions of altitude, eccentricity
+//! and inclination. Over the paper's 6.4-hour horizon the effect on
+//! topology is negligible (DESIGN.md records the SGP4→Kepler
+//! substitution), but for multi-day studies — battery wear over weeks,
+//! constellation maintenance — the secular drift matters, and it is what
+//! makes sun-synchronous EO orbits sun-synchronous in the first place.
+//!
+//! [`J2Propagator`] wraps [`OrbitalElements`] and applies the secular
+//! rates before evaluating the underlying Keplerian position.
+
+use crate::kepler::OrbitalElements;
+use sb_geo::coords::Eci;
+use sb_geo::{Epoch, EARTH_MU, EARTH_RADIUS_M};
+
+/// Earth's J2 zonal harmonic coefficient (dimensionless).
+pub const EARTH_J2: f64 = 1.082_626_68e-3;
+
+/// Secular drift rates induced by J2, radians per second.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecularRates {
+    /// Nodal precession rate `Ω̇`.
+    pub raan_rate: f64,
+    /// Apsidal rotation rate `ω̇`.
+    pub arg_perigee_rate: f64,
+    /// Correction to the mean motion (drag-free).
+    pub mean_motion_delta: f64,
+}
+
+/// Computes the classical first-order secular J2 rates for an orbit.
+pub fn secular_rates(elements: &OrbitalElements) -> SecularRates {
+    let a = elements.semi_major_axis_m;
+    let e = elements.eccentricity;
+    let i = elements.inclination_rad;
+    let n = (EARTH_MU / (a * a * a)).sqrt();
+    let p = a * (1.0 - e * e);
+    let factor = 1.5 * EARTH_J2 * (EARTH_RADIUS_M / p).powi(2) * n;
+    let cos_i = i.cos();
+    let sin2_i = i.sin().powi(2);
+    SecularRates {
+        raan_rate: -factor * cos_i,
+        arg_perigee_rate: factor * (2.0 - 2.5 * sin2_i),
+        mean_motion_delta: factor * (1.0 - 1.5 * sin2_i) * (1.0 - e * e).sqrt(),
+    }
+}
+
+/// A J2-aware propagator: Keplerian motion plus secular plane drift.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct J2Propagator {
+    elements: OrbitalElements,
+    rates: SecularRates,
+}
+
+impl J2Propagator {
+    /// Wraps elements with their secular J2 rates.
+    pub fn new(elements: OrbitalElements) -> Self {
+        J2Propagator { rates: secular_rates(&elements), elements }
+    }
+
+    /// The underlying (epoch) elements.
+    pub fn elements(&self) -> &OrbitalElements {
+        &self.elements
+    }
+
+    /// The secular rates in effect.
+    pub fn rates(&self) -> &SecularRates {
+        &self.rates
+    }
+
+    /// The osculating-mean elements drifted to `epoch`.
+    pub fn elements_at(&self, epoch: Epoch) -> OrbitalElements {
+        let dt = epoch.as_seconds() - self.elements.epoch.as_seconds();
+        let tau = core::f64::consts::TAU;
+        OrbitalElements {
+            raan_rad: (self.elements.raan_rad + self.rates.raan_rate * dt).rem_euclid(tau),
+            arg_perigee_rad: (self.elements.arg_perigee_rad
+                + self.rates.arg_perigee_rate * dt)
+                .rem_euclid(tau),
+            mean_anomaly_rad: (self.elements.mean_anomaly_rad
+                + self.rates.mean_motion_delta * dt)
+                .rem_euclid(tau),
+            ..self.elements
+        }
+    }
+
+    /// Inertial position at `epoch`, including the secular drift.
+    pub fn position_at(&self, epoch: Epoch) -> Eci {
+        self.elements_at(epoch).position_at(epoch)
+    }
+}
+
+/// The inclination (radians) that makes a circular orbit at `altitude_m`
+/// sun-synchronous: nodal precession equal to the Earth's mean motion
+/// around the Sun.
+///
+/// Returns `None` when no inclination achieves it (altitude too high).
+pub fn sun_synchronous_inclination(altitude_m: f64) -> Option<f64> {
+    let a = EARTH_RADIUS_M + altitude_m;
+    let n = (EARTH_MU / (a * a * a)).sqrt();
+    let factor = 1.5 * EARTH_J2 * (EARTH_RADIUS_M / a).powi(2) * n;
+    let cos_i = -sb_geo::EARTH_ORBIT_RATE / factor;
+    (-1.0..=1.0).contains(&cos_i).then(|| cos_i.acos())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leo(inclination_deg: f64) -> OrbitalElements {
+        OrbitalElements::circular(
+            550e3,
+            inclination_deg.to_radians(),
+            0.0,
+            0.0,
+            Epoch::from_seconds(0.0),
+        )
+    }
+
+    #[test]
+    fn prograde_orbits_precess_westward() {
+        let rates = secular_rates(&leo(53.0));
+        assert!(rates.raan_rate < 0.0, "prograde → westward nodal drift");
+        // Starlink-class: ≈ −5°/day.
+        let deg_per_day = rates.raan_rate.to_degrees() * 86_400.0;
+        assert!((-6.0..-4.0).contains(&deg_per_day), "drift {deg_per_day}°/day");
+    }
+
+    #[test]
+    fn retrograde_orbits_precess_eastward() {
+        let rates = secular_rates(&leo(97.4));
+        assert!(rates.raan_rate > 0.0, "retrograde → eastward nodal drift");
+    }
+
+    #[test]
+    fn polar_orbit_has_no_nodal_drift() {
+        let rates = secular_rates(&leo(90.0));
+        assert!(rates.raan_rate.abs() < 1e-12);
+    }
+
+    #[test]
+    fn sun_synchronous_inclination_at_500km() {
+        // Textbook value: ≈ 97.4° at 500 km.
+        let i = sun_synchronous_inclination(500e3).unwrap().to_degrees();
+        assert!((97.0..98.0).contains(&i), "inclination {i}");
+    }
+
+    #[test]
+    fn sun_sync_impossible_at_very_high_altitude() {
+        assert!(sun_synchronous_inclination(1.0e9).is_none());
+    }
+
+    #[test]
+    fn sun_sync_orbit_tracks_the_sun() {
+        // Propagate a sun-synchronous orbit a quarter year: its RAAN must
+        // advance ~90°, staying fixed relative to the Sun.
+        let alt = 500e3;
+        let inc = sun_synchronous_inclination(alt).unwrap();
+        let el = OrbitalElements::circular(alt, inc, 0.0, 0.0, Epoch::from_seconds(0.0));
+        let prop = J2Propagator::new(el);
+        let quarter_year = core::f64::consts::FRAC_PI_2 / sb_geo::EARTH_ORBIT_RATE;
+        let drifted = prop.elements_at(Epoch::from_seconds(quarter_year));
+        let expected = core::f64::consts::FRAC_PI_2;
+        assert!(
+            (drifted.raan_rad - expected).abs() < 0.01,
+            "RAAN {} vs {expected}",
+            drifted.raan_rad
+        );
+    }
+
+    #[test]
+    fn drift_is_rigid_across_a_walker_shell() {
+        // Over the paper's 6.4 h horizon the RAAN drift is ≈ 1.2°, but it
+        // is *identical* for every satellite of a shell (same a, e, i), so
+        // the constellation rotates rigidly and the ISL wiring and USL
+        // visibility statistics are unchanged — the DESIGN.md
+        // justification for the SGP4 → Kepler substitution, asserted.
+        let a = secular_rates(&leo(53.0));
+        let mut other = leo(53.0);
+        other.raan_rad = 2.0;
+        other.mean_anomaly_rad = 1.0;
+        let b = secular_rates(&other);
+        assert!((a.raan_rate - b.raan_rate).abs() < 1e-18);
+        let raan_shift_deg = (a.raan_rate * 384.0 * 60.0).to_degrees().abs();
+        assert!((1.0..1.5).contains(&raan_shift_deg), "shift {raan_shift_deg}°");
+    }
+
+    #[test]
+    fn position_continuous_with_kepler_at_epoch() {
+        let el = leo(53.0);
+        let prop = J2Propagator::new(el);
+        let p_kepler = el.position_at(Epoch::from_seconds(0.0));
+        let p_j2 = prop.position_at(Epoch::from_seconds(0.0));
+        assert!(p_kepler.0.distance(p_j2.0) < 1e-6);
+    }
+}

@@ -1,0 +1,317 @@
+//! Classical orbital elements and two-body Keplerian propagation.
+//!
+//! The simulator propagates orbits with the unperturbed two-body model.
+//! Perturbations (J2 precession, drag) shift orbital planes by well under a
+//! degree over the paper's 6.4-hour evaluation horizon and do not change ISL
+//! wiring or USL visibility statistics; DESIGN.md records this substitution
+//! for SGP4.
+
+use sb_geo::coords::Eci;
+use sb_geo::{Epoch, Vec3, EARTH_MU};
+use serde::{Deserialize, Serialize};
+
+/// Maximum Newton iterations when solving Kepler's equation.
+const KEPLER_MAX_ITER: usize = 30;
+
+/// Convergence tolerance (radians) for Kepler's equation.
+const KEPLER_TOL: f64 = 1e-12;
+
+/// Classical (Keplerian) orbital elements at a reference epoch.
+///
+/// Angles are radians; the semi-major axis is meters. Elements are valid for
+/// closed orbits (`eccentricity < 1`).
+///
+/// # Example
+///
+/// ```
+/// use sb_orbit::kepler::OrbitalElements;
+/// use sb_geo::{Epoch, EARTH_RADIUS_M};
+///
+/// let elements = OrbitalElements::circular(
+///     550e3,                   // altitude
+///     53f64.to_radians(),      // inclination
+///     0.0,                     // RAAN
+///     0.0,                     // initial phase
+///     Epoch::from_seconds(0.0),
+/// );
+/// let p = elements.position_at(Epoch::from_seconds(0.0));
+/// assert!((p.0.norm() - (EARTH_RADIUS_M + 550e3)).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OrbitalElements {
+    /// Semi-major axis, meters.
+    pub semi_major_axis_m: f64,
+    /// Eccentricity, `[0, 1)`.
+    pub eccentricity: f64,
+    /// Inclination, radians.
+    pub inclination_rad: f64,
+    /// Right ascension of the ascending node, radians.
+    pub raan_rad: f64,
+    /// Argument of perigee, radians.
+    pub arg_perigee_rad: f64,
+    /// Mean anomaly at `epoch`, radians.
+    pub mean_anomaly_rad: f64,
+    /// Reference epoch for `mean_anomaly_rad`.
+    pub epoch: Epoch,
+}
+
+impl OrbitalElements {
+    /// Elements of a circular orbit at `altitude_m` above the mean Earth
+    /// radius. `phase_rad` is the argument of latitude (angle from the
+    /// ascending node) at `epoch`.
+    pub fn circular(
+        altitude_m: f64,
+        inclination_rad: f64,
+        raan_rad: f64,
+        phase_rad: f64,
+        epoch: Epoch,
+    ) -> Self {
+        OrbitalElements {
+            semi_major_axis_m: sb_geo::EARTH_RADIUS_M + altitude_m,
+            eccentricity: 0.0,
+            inclination_rad,
+            raan_rad,
+            arg_perigee_rad: 0.0,
+            mean_anomaly_rad: phase_rad,
+            epoch,
+        }
+    }
+
+    /// Mean motion, radians per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when the semi-major axis is non-positive.
+    pub fn mean_motion(&self) -> f64 {
+        let a = self.semi_major_axis_m;
+        debug_assert!(a > 0.0, "semi-major axis must be positive");
+        (EARTH_MU / (a * a * a)).sqrt()
+    }
+
+    /// Orbital period, seconds.
+    pub fn period(&self) -> f64 {
+        core::f64::consts::TAU / self.mean_motion()
+    }
+
+    /// Mean anomaly at an arbitrary epoch, radians in `[0, 2π)`.
+    pub fn mean_anomaly_at(&self, epoch: Epoch) -> f64 {
+        let dt = epoch.as_seconds() - self.epoch.as_seconds();
+        let m = self.mean_anomaly_rad + self.mean_motion() * dt;
+        m.rem_euclid(core::f64::consts::TAU)
+    }
+
+    /// Solves Kepler's equation `M = E − e·sin E` for the eccentric anomaly
+    /// by Newton iteration.
+    pub fn eccentric_anomaly_at(&self, epoch: Epoch) -> f64 {
+        let m = self.mean_anomaly_at(epoch);
+        let e = self.eccentricity;
+        if e == 0.0 {
+            return m;
+        }
+        let mut ea = if e < 0.8 { m } else { core::f64::consts::PI };
+        for _ in 0..KEPLER_MAX_ITER {
+            let f = ea - e * ea.sin() - m;
+            let fp = 1.0 - e * ea.cos();
+            let step = f / fp;
+            ea -= step;
+            if step.abs() < KEPLER_TOL {
+                break;
+            }
+        }
+        ea
+    }
+
+    /// True anomaly at an arbitrary epoch, radians.
+    pub fn true_anomaly_at(&self, epoch: Epoch) -> f64 {
+        let ea = self.eccentric_anomaly_at(epoch);
+        let e = self.eccentricity;
+        if e == 0.0 {
+            return ea;
+        }
+        let (s, c) = ea.sin_cos();
+        let sv = (1.0 - e * e).sqrt() * s;
+        let cv = c - e;
+        sv.atan2(cv).rem_euclid(core::f64::consts::TAU)
+    }
+
+    /// Inertial position at `epoch`.
+    pub fn position_at(&self, epoch: Epoch) -> Eci {
+        let nu = self.true_anomaly_at(epoch);
+        let e = self.eccentricity;
+        let r = self.semi_major_axis_m * (1.0 - e * e) / (1.0 + e * nu.cos());
+        // Position in the perifocal frame (z = 0).
+        let perifocal = Vec3::new(r * nu.cos(), r * nu.sin(), 0.0);
+        // Perifocal → ECI: Rz(Ω) · Rx(i) · Rz(ω).
+        let rotated = perifocal
+            .rotate_z(self.arg_perigee_rad)
+            .rotate_x(self.inclination_rad)
+            .rotate_z(self.raan_rad);
+        Eci(rotated)
+    }
+
+    /// Inertial velocity at `epoch`, m/s, by analytic differentiation of the
+    /// perifocal position.
+    pub fn velocity_at(&self, epoch: Epoch) -> Vec3 {
+        let nu = self.true_anomaly_at(epoch);
+        let e = self.eccentricity;
+        let p = self.semi_major_axis_m * (1.0 - e * e);
+        let h = (EARTH_MU * p).sqrt(); // specific angular momentum
+        let vr = EARTH_MU / h * e * nu.sin();
+        let vt = EARTH_MU / h * (1.0 + e * nu.cos());
+        let perifocal =
+            Vec3::new(vr * nu.cos() - vt * nu.sin(), vr * nu.sin() + vt * nu.cos(), 0.0);
+        perifocal
+            .rotate_z(self.arg_perigee_rad)
+            .rotate_x(self.inclination_rad)
+            .rotate_z(self.raan_rad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sb_geo::EARTH_RADIUS_M;
+
+    fn circ() -> OrbitalElements {
+        OrbitalElements::circular(550e3, 53f64.to_radians(), 0.4, 0.7, Epoch::from_seconds(0.0))
+    }
+
+    #[test]
+    fn circular_radius_constant() {
+        let el = circ();
+        for t in [0.0, 100.0, 1000.0, 5000.0] {
+            let r = el.position_at(Epoch::from_seconds(t)).0.norm();
+            assert!((r - (EARTH_RADIUS_M + 550e3)).abs() < 1e-3, "r {r} at {t}");
+        }
+    }
+
+    #[test]
+    fn period_matches_mean_motion() {
+        let el = circ();
+        assert!((el.period() * el.mean_motion() - core::f64::consts::TAU).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_period_returns_to_start() {
+        let el = circ();
+        let p0 = el.position_at(Epoch::from_seconds(0.0));
+        let p1 = el.position_at(Epoch::from_seconds(el.period()));
+        assert!(p0.0.distance(p1.0) < 1.0, "drift {}", p0.0.distance(p1.0));
+    }
+
+    #[test]
+    fn half_period_is_antipodal() {
+        let el = circ();
+        let p0 = el.position_at(Epoch::from_seconds(0.0));
+        let p1 = el.position_at(Epoch::from_seconds(el.period() / 2.0));
+        assert!(p0.0.distance(-p1.0) < 1.0);
+    }
+
+    #[test]
+    fn inclination_bounds_latitude() {
+        let el = circ();
+        let r = EARTH_RADIUS_M + 550e3;
+        let max_z = r * 53f64.to_radians().sin();
+        for i in 0..200 {
+            let t = el.period() * i as f64 / 200.0;
+            let z = el.position_at(Epoch::from_seconds(t)).0.z;
+            assert!(z.abs() <= max_z + 1.0);
+        }
+    }
+
+    #[test]
+    fn kepler_equation_solution_valid() {
+        let mut el = circ();
+        el.eccentricity = 0.3;
+        for t in [0.0, 500.0, 2000.0, 4000.0] {
+            let epoch = Epoch::from_seconds(t);
+            let m = el.mean_anomaly_at(epoch);
+            let ea = el.eccentric_anomaly_at(epoch);
+            let recon = (ea - el.eccentricity * ea.sin()).rem_euclid(core::f64::consts::TAU);
+            assert!(
+                (recon - m).abs() < 1e-9 || (recon - m).abs() > core::f64::consts::TAU - 1e-9,
+                "M mismatch {recon} vs {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn eccentric_orbit_radius_range() {
+        let mut el = circ();
+        el.eccentricity = 0.1;
+        let a = el.semi_major_axis_m;
+        let (mut rmin, mut rmax) = (f64::MAX, 0.0f64);
+        for i in 0..1000 {
+            let t = el.period() * i as f64 / 1000.0;
+            let r = el.position_at(Epoch::from_seconds(t)).0.norm();
+            rmin = rmin.min(r);
+            rmax = rmax.max(r);
+        }
+        assert!((rmin - a * 0.9).abs() < a * 1e-3, "perigee {rmin}");
+        assert!((rmax - a * 1.1).abs() < a * 1e-3, "apogee {rmax}");
+    }
+
+    #[test]
+    fn velocity_magnitude_circular() {
+        let el = circ();
+        let v = el.velocity_at(Epoch::from_seconds(333.0)).norm();
+        let expected = sb_geo::circular_orbit_velocity(550e3);
+        assert!((v - expected).abs() < 1.0, "v {v} vs {expected}");
+    }
+
+    #[test]
+    fn velocity_tangent_to_circular_orbit() {
+        let el = circ();
+        let t = Epoch::from_seconds(777.0);
+        let r = el.position_at(t).0;
+        let v = el.velocity_at(t);
+        assert!(r.dot(v).abs() / (r.norm() * v.norm()) < 1e-9);
+    }
+
+    #[test]
+    fn velocity_matches_finite_difference() {
+        let mut el = circ();
+        el.eccentricity = 0.05;
+        let t = 444.0;
+        let h = 1e-3;
+        let p0 = el.position_at(Epoch::from_seconds(t - h)).0;
+        let p1 = el.position_at(Epoch::from_seconds(t + h)).0;
+        let fd = (p1 - p0) / (2.0 * h);
+        let v = el.velocity_at(Epoch::from_seconds(t));
+        assert!(fd.distance(v) < 1e-2 * v.norm(), "fd {fd} vs {v}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_kepler_converges(e in 0.0..0.9f64, m in 0.0..6.28f64) {
+            let mut el = circ();
+            el.eccentricity = e;
+            el.mean_anomaly_rad = m;
+            let ea = el.eccentric_anomaly_at(Epoch::from_seconds(0.0));
+            let recon = (ea - e * ea.sin()).rem_euclid(core::f64::consts::TAU);
+            let m0 = m.rem_euclid(core::f64::consts::TAU);
+            let diff = (recon - m0).abs();
+            prop_assert!(diff < 1e-8 || diff > core::f64::consts::TAU - 1e-8);
+        }
+
+        #[test]
+        fn prop_radius_within_apsides(e in 0.0..0.5f64, t in 0.0..20000.0f64) {
+            let mut el = circ();
+            el.eccentricity = e;
+            let a = el.semi_major_axis_m;
+            let r = el.position_at(Epoch::from_seconds(t)).0.norm();
+            prop_assert!(r >= a * (1.0 - e) - 1e-3);
+            prop_assert!(r <= a * (1.0 + e) + 1e-3);
+        }
+
+        #[test]
+        fn prop_propagation_periodic(t in 0.0..10000.0f64) {
+            let el = circ();
+            let p = el.period();
+            let a = el.position_at(Epoch::from_seconds(t));
+            let b = el.position_at(Epoch::from_seconds(t + p));
+            prop_assert!(a.0.distance(b.0) < 1.0);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Orbit propagation for the space-booking LSN simulator.
+//!
+//! Implements everything the topology layer needs to know about where
+//! satellites are:
+//!
+//! * [`kepler`] — classical orbital elements and two-body Keplerian
+//!   propagation (circular and low-eccentricity orbits);
+//! * [`walker`] — Walker-delta constellation generation (used to model
+//!   SpaceX Starlink Shell 1: 22 planes × 72 satellites, 550 km, 53°);
+//! * [`tle`] — a checksum-validating two-line-element (TLE) parser so real
+//!   ephemerides (e.g. Planet Labs from space-track.org) can be ingested;
+//! * [`j2`] — secular J2 nodal/apsidal precession for multi-day studies
+//!   (and the sun-synchronous inclination calculator);
+//! * [`eo`] — a deterministic synthetic Earth-observation fleet standing in
+//!   for the paper's 223 Planet Labs satellites (see DESIGN.md for the
+//!   substitution rationale);
+//! * [`Constellation`] — a propagatable collection of satellites with
+//!   sunlight/umbra annotation.
+//!
+//! # Example
+//!
+//! ```
+//! use sb_orbit::{walker::WalkerConstellation, Constellation};
+//! use sb_geo::Epoch;
+//!
+//! // A small Walker constellation: 3 planes × 4 satellites at 550 km, 53°.
+//! let shell = WalkerConstellation::delta(3, 4, 1, 550e3, 53f64.to_radians());
+//! let constellation = Constellation::from_walker(&shell);
+//! let states = constellation.propagate(Epoch::from_seconds(120.0));
+//! assert_eq!(states.len(), 12);
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod eo;
+pub mod j2;
+pub mod kepler;
+pub mod tle;
+pub mod walker;
+
+use kepler::OrbitalElements;
+use sb_geo::coords::Eci;
+use sb_geo::{sun, Epoch};
+use serde::{Deserialize, Serialize};
+
+/// What role a satellite plays in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SatelliteKind {
+    /// A broadband relay satellite: part of the LSN backbone, has ISLs and
+    /// USLs, consumes energy to forward traffic.
+    Broadband,
+    /// An Earth-observation satellite: a *space user* that sources data
+    /// transfer requests but does not route third-party traffic.
+    EarthObservation,
+}
+
+impl core::fmt::Display for SatelliteKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SatelliteKind::Broadband => write!(f, "broadband"),
+            SatelliteKind::EarthObservation => write!(f, "earth-observation"),
+        }
+    }
+}
+
+/// A satellite: identity, role and orbit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Satellite {
+    /// Human-readable designation, e.g. `"WALKER P03-S41"`.
+    pub name: String,
+    /// Network role.
+    pub kind: SatelliteKind,
+    /// Orbital elements used for propagation.
+    pub elements: OrbitalElements,
+    /// Index of the orbital plane within its constellation, when generated
+    /// from a Walker shell (used for ISL wiring); `None` for TLE-ingested or
+    /// ad-hoc satellites.
+    pub plane: Option<usize>,
+    /// Index of the satellite within its plane, when generated from a Walker
+    /// shell; `None` otherwise.
+    pub slot_in_plane: Option<usize>,
+}
+
+/// The instantaneous state of one satellite.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SatelliteState {
+    /// Inertial position, meters.
+    pub position: Eci,
+    /// `true` when the satellite is in sunlight (solar panels harvesting),
+    /// `false` when inside the Earth's umbra.
+    pub sunlit: bool,
+}
+
+/// A propagatable collection of satellites.
+///
+/// The constellation is the boundary between the orbital-mechanics layer and
+/// the network layer: the topology builder consumes `Vec<SatelliteState>`
+/// snapshots and never touches orbital elements directly.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Constellation {
+    satellites: Vec<Satellite>,
+}
+
+impl Constellation {
+    /// Creates an empty constellation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a constellation of [`SatelliteKind::Broadband`] satellites
+    /// from a Walker shell.
+    pub fn from_walker(shell: &walker::WalkerConstellation) -> Self {
+        let satellites = shell
+            .elements()
+            .map(|(plane, slot, elements)| Satellite {
+                name: format!("WALKER P{plane:02}-S{slot:02}"),
+                kind: SatelliteKind::Broadband,
+                elements,
+                plane: Some(plane),
+                slot_in_plane: Some(slot),
+            })
+            .collect();
+        Constellation { satellites }
+    }
+
+    /// Adds a satellite, returning its index.
+    pub fn push(&mut self, satellite: Satellite) -> usize {
+        self.satellites.push(satellite);
+        self.satellites.len() - 1
+    }
+
+    /// Appends all satellites from another constellation.
+    pub fn extend_from(&mut self, other: &Constellation) {
+        self.satellites.extend_from_slice(&other.satellites);
+    }
+
+    /// The satellites in index order.
+    pub fn satellites(&self) -> &[Satellite] {
+        &self.satellites
+    }
+
+    /// Number of satellites.
+    pub fn len(&self) -> usize {
+        self.satellites.len()
+    }
+
+    /// `true` when the constellation holds no satellites.
+    pub fn is_empty(&self) -> bool {
+        self.satellites.is_empty()
+    }
+
+    /// Propagates every satellite to `epoch`, annotating each with its
+    /// sunlight state.
+    pub fn propagate(&self, epoch: Epoch) -> Vec<SatelliteState> {
+        self.satellites
+            .iter()
+            .map(|s| {
+                let position = s.elements.position_at(epoch);
+                SatelliteState { position, sunlit: !sun::in_umbra(position, epoch) }
+            })
+            .collect()
+    }
+}
+
+impl FromIterator<Satellite> for Constellation {
+    fn from_iter<I: IntoIterator<Item = Satellite>>(iter: I) -> Self {
+        Constellation { satellites: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Satellite> for Constellation {
+    fn extend<I: IntoIterator<Item = Satellite>>(&mut self, iter: I) {
+        self.satellites.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walker::WalkerConstellation;
+
+    #[test]
+    fn constellation_from_walker_has_all_sats() {
+        let shell = WalkerConstellation::delta(4, 5, 1, 550e3, 53f64.to_radians());
+        let c = Constellation::from_walker(&shell);
+        assert_eq!(c.len(), 20);
+        assert!(!c.is_empty());
+        assert!(c.satellites().iter().all(|s| s.kind == SatelliteKind::Broadband));
+        assert_eq!(c.satellites()[0].plane, Some(0));
+    }
+
+    #[test]
+    fn propagation_returns_leo_radii() {
+        let shell = WalkerConstellation::delta(2, 3, 0, 550e3, 53f64.to_radians());
+        let c = Constellation::from_walker(&shell);
+        for st in c.propagate(Epoch::from_seconds(500.0)) {
+            let r = st.position.0.norm();
+            assert!((r - (sb_geo::EARTH_RADIUS_M + 550e3)).abs() < 1.0, "radius {r}");
+        }
+    }
+
+    #[test]
+    fn some_sats_sunlit_some_shadowed() {
+        // A full shell must straddle the terminator.
+        let shell = WalkerConstellation::delta(6, 12, 1, 550e3, 53f64.to_radians());
+        let c = Constellation::from_walker(&shell);
+        let states = c.propagate(Epoch::from_seconds(0.0));
+        let lit = states.iter().filter(|s| s.sunlit).count();
+        assert!(lit > 0 && lit < states.len(), "lit {lit}/{}", states.len());
+    }
+
+    #[test]
+    fn extend_and_collect() {
+        let shell = WalkerConstellation::delta(1, 2, 0, 550e3, 0.9);
+        let mut a = Constellation::from_walker(&shell);
+        let b: Constellation = a.satellites().to_vec().into_iter().collect();
+        a.extend_from(&b);
+        assert_eq!(a.len(), 4);
+    }
+}

@@ -1,0 +1,405 @@
+//! Two-line element (TLE) parsing.
+//!
+//! The paper drives its space users from real Planet Labs ephemerides
+//! downloaded from space-track.org. Those feeds distribute orbits in the
+//! NORAD two-line element format. This module parses TLEs — including the
+//! modulo-10 line checksum — and converts them to [`OrbitalElements`] so a
+//! user of this library can drop in genuine ephemerides.
+//!
+//! Propagation of TLE-derived elements uses the same unperturbed Keplerian
+//! model as the rest of the crate (a deliberate substitution for SGP4; see
+//! DESIGN.md). The parsed drag/ndot fields are retained for completeness.
+//!
+//! # Example
+//!
+//! ```
+//! use sb_orbit::tle::Tle;
+//!
+//! let l1 = "1 25544U 98067A   24001.50000000  .00016717  00000-0  10270-3 0  9009";
+//! let l2 = "2 25544  51.6400 208.9163 0006317  69.9862 290.2553 15.49560532    00";
+//! let tle = Tle::parse("ISS (ZARYA)", l1, l2)?;
+//! assert_eq!(tle.catalog_number, 25544);
+//! assert!((tle.inclination_deg - 51.64).abs() < 1e-6);
+//! # Ok::<(), sb_orbit::tle::ParseTleError>(())
+//! ```
+
+use crate::kepler::OrbitalElements;
+use sb_geo::{Epoch, EARTH_MU};
+use serde::{Deserialize, Serialize};
+
+/// Error returned when a TLE line cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseTleError {
+    /// A line is shorter than the mandatory 68 characters.
+    LineTooShort {
+        /// Which line (1 or 2).
+        line: u8,
+        /// Actual length found.
+        len: usize,
+    },
+    /// A line does not start with the expected line number.
+    WrongLineNumber {
+        /// Which line (1 or 2) was expected.
+        expected: u8,
+    },
+    /// The modulo-10 checksum does not match.
+    ChecksumMismatch {
+        /// Which line (1 or 2).
+        line: u8,
+        /// Checksum computed from the line body.
+        computed: u32,
+        /// Checksum digit present in the line.
+        found: u32,
+    },
+    /// A numeric field failed to parse.
+    BadField {
+        /// Name of the field.
+        field: &'static str,
+    },
+    /// The catalog numbers of line 1 and line 2 disagree.
+    CatalogMismatch,
+}
+
+impl core::fmt::Display for ParseTleError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ParseTleError::LineTooShort { line, len } => {
+                write!(f, "TLE line {line} too short ({len} chars, need 68)")
+            }
+            ParseTleError::WrongLineNumber { expected } => {
+                write!(f, "expected TLE line {expected}")
+            }
+            ParseTleError::ChecksumMismatch { line, computed, found } => {
+                write!(f, "TLE line {line} checksum mismatch (computed {computed}, found {found})")
+            }
+            ParseTleError::BadField { field } => write!(f, "unparsable TLE field `{field}`"),
+            ParseTleError::CatalogMismatch => {
+                write!(f, "catalog numbers of line 1 and line 2 disagree")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseTleError {}
+
+/// A parsed two-line element set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tle {
+    /// Satellite name (line 0, or caller-provided).
+    pub name: String,
+    /// NORAD catalog number.
+    pub catalog_number: u32,
+    /// Epoch year (full, e.g. 2024).
+    pub epoch_year: u32,
+    /// Epoch day-of-year with fraction.
+    pub epoch_day: f64,
+    /// Inclination, degrees.
+    pub inclination_deg: f64,
+    /// Right ascension of the ascending node, degrees.
+    pub raan_deg: f64,
+    /// Eccentricity (dimensionless).
+    pub eccentricity: f64,
+    /// Argument of perigee, degrees.
+    pub arg_perigee_deg: f64,
+    /// Mean anomaly, degrees.
+    pub mean_anomaly_deg: f64,
+    /// Mean motion, revolutions per day.
+    pub mean_motion_rev_per_day: f64,
+    /// First derivative of mean motion ÷ 2 (rev/day²), as encoded.
+    pub ndot_over_2: f64,
+    /// BSTAR drag term (1/Earth radii), as encoded.
+    pub bstar: f64,
+}
+
+impl Tle {
+    /// Parses a TLE from its two data lines (plus a caller-supplied name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTleError`] when a line is malformed, a checksum fails,
+    /// or the two lines describe different satellites.
+    pub fn parse(name: &str, line1: &str, line2: &str) -> Result<Tle, ParseTleError> {
+        validate_line(line1, 1)?;
+        validate_line(line2, 2)?;
+
+        let cat1: u32 = field(line1, 2, 7, "catalog number (line 1)")?;
+        let cat2: u32 = field(line2, 2, 7, "catalog number (line 2)")?;
+        if cat1 != cat2 {
+            return Err(ParseTleError::CatalogMismatch);
+        }
+
+        let epoch_yy: u32 = field(line1, 18, 20, "epoch year")?;
+        // Per convention: 57–99 → 1957–1999, 00–56 → 2000–2056.
+        let epoch_year = if epoch_yy >= 57 { 1900 + epoch_yy } else { 2000 + epoch_yy };
+        let epoch_day: f64 = field(line1, 20, 32, "epoch day")?;
+        let ndot_over_2: f64 = field_signed_decimal(line1, 33, 43, "ndot/2")?;
+        let bstar = implied_decimal(line1.get(53..61).unwrap_or(""), "bstar")?;
+
+        let inclination_deg: f64 = field(line2, 8, 16, "inclination")?;
+        let raan_deg: f64 = field(line2, 17, 25, "raan")?;
+        let ecc_str = line2.get(26..33).ok_or(ParseTleError::BadField { field: "eccentricity" })?;
+        let eccentricity: f64 = format!("0.{}", ecc_str.trim())
+            .parse()
+            .map_err(|_| ParseTleError::BadField { field: "eccentricity" })?;
+        let arg_perigee_deg: f64 = field(line2, 34, 42, "argument of perigee")?;
+        let mean_anomaly_deg: f64 = field(line2, 43, 51, "mean anomaly")?;
+        let mean_motion_rev_per_day: f64 = field(line2, 52, 63, "mean motion")?;
+
+        Ok(Tle {
+            name: name.trim().to_owned(),
+            catalog_number: cat1,
+            epoch_year,
+            epoch_day,
+            inclination_deg,
+            raan_deg,
+            eccentricity,
+            arg_perigee_deg,
+            mean_anomaly_deg,
+            mean_motion_rev_per_day,
+            ndot_over_2,
+            bstar,
+        })
+    }
+
+    /// Parses a sequence of concatenated 2-line or 3-line (named) element
+    /// sets, skipping blank lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first parse error encountered.
+    pub fn parse_many(text: &str) -> Result<Vec<Tle>, ParseTleError> {
+        let lines: Vec<&str> = text.lines().map(str::trim_end).filter(|l| !l.trim().is_empty()).collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        let mut anon = 0u32;
+        while i < lines.len() {
+            let (name, l1, l2) = if lines[i].starts_with("1 ") {
+                anon += 1;
+                let (l1, l2) = (lines[i], *lines.get(i + 1).unwrap_or(&"")) ;
+                i += 2;
+                (format!("SAT-{anon:04}"), l1, l2)
+            } else {
+                let name = lines[i].to_owned();
+                let (l1, l2) = (*lines.get(i + 1).unwrap_or(&""), *lines.get(i + 2).unwrap_or(&""));
+                i += 3;
+                (name, l1, l2)
+            };
+            out.push(Tle::parse(&name, l1, l2)?);
+        }
+        Ok(out)
+    }
+
+    /// Semi-major axis implied by the mean motion, meters.
+    pub fn semi_major_axis_m(&self) -> f64 {
+        let n = self.mean_motion_rev_per_day * core::f64::consts::TAU / 86_400.0; // rad/s
+        (EARTH_MU / (n * n)).cbrt()
+    }
+
+    /// Converts to [`OrbitalElements`] for Keplerian propagation, placing the
+    /// TLE's own epoch at simulation second `epoch_offset_s`.
+    pub fn to_elements(&self, epoch_offset_s: f64) -> OrbitalElements {
+        OrbitalElements {
+            semi_major_axis_m: self.semi_major_axis_m(),
+            eccentricity: self.eccentricity,
+            inclination_rad: self.inclination_deg.to_radians(),
+            raan_rad: self.raan_deg.to_radians(),
+            arg_perigee_rad: self.arg_perigee_deg.to_radians(),
+            mean_anomaly_rad: self.mean_anomaly_deg.to_radians(),
+            epoch: Epoch::from_seconds(epoch_offset_s),
+        }
+    }
+}
+
+/// Computes the NORAD modulo-10 checksum of a line body (all characters
+/// except the final checksum digit): digits count their value, `-` counts 1.
+pub fn checksum(body: &str) -> u32 {
+    body.chars()
+        .map(|c| match c {
+            '0'..='9' => c as u32 - '0' as u32,
+            '-' => 1,
+            _ => 0,
+        })
+        .sum::<u32>()
+        % 10
+}
+
+fn validate_line(line: &str, which: u8) -> Result<(), ParseTleError> {
+    if line.len() < 68 {
+        return Err(ParseTleError::LineTooShort { line: which, len: line.len() });
+    }
+    if !line.starts_with(&format!("{which} ")) {
+        return Err(ParseTleError::WrongLineNumber { expected: which });
+    }
+    if line.len() >= 69 {
+        let found = line
+            .chars()
+            .nth(68)
+            .and_then(|c| c.to_digit(10))
+            .ok_or(ParseTleError::BadField { field: "checksum" })?;
+        let computed = checksum(&line[..68]);
+        if computed != found {
+            return Err(ParseTleError::ChecksumMismatch { line: which, computed, found });
+        }
+    }
+    Ok(())
+}
+
+fn field<T: core::str::FromStr>(
+    line: &str,
+    start: usize,
+    end: usize,
+    name: &'static str,
+) -> Result<T, ParseTleError> {
+    line.get(start..end)
+        .map(str::trim)
+        .and_then(|s| s.parse().ok())
+        .ok_or(ParseTleError::BadField { field: name })
+}
+
+/// Parses fields like ` .00016717` / `-.00002182` (decimal with omitted
+/// leading zero).
+fn field_signed_decimal(
+    line: &str,
+    start: usize,
+    end: usize,
+    name: &'static str,
+) -> Result<f64, ParseTleError> {
+    let raw = line.get(start..end).map(str::trim).ok_or(ParseTleError::BadField { field: name })?;
+    let normalized = if let Some(rest) = raw.strip_prefix("-.") {
+        format!("-0.{rest}")
+    } else if let Some(rest) = raw.strip_prefix('.') {
+        format!("0.{rest}")
+    } else if let Some(rest) = raw.strip_prefix("+.") {
+        format!("0.{rest}")
+    } else {
+        raw.to_owned()
+    };
+    normalized.parse().map_err(|_| ParseTleError::BadField { field: name })
+}
+
+/// Parses the TLE "implied decimal point with exponent" notation, e.g.
+/// `10270-3` → 0.10270e-3 and `00000-0` → 0.0.
+fn implied_decimal(raw: &str, name: &'static str) -> Result<f64, ParseTleError> {
+    let s = raw.trim();
+    if s.is_empty() {
+        return Ok(0.0);
+    }
+    let (sign, rest) = match s.strip_prefix('-') {
+        Some(r) => (-1.0, r),
+        None => (1.0, s.strip_prefix('+').unwrap_or(s)),
+    };
+    // Split mantissa and exponent at the last +/-.
+    let split = rest.rfind(['+', '-']);
+    let (mant_str, exp_str) = match split {
+        Some(idx) if idx > 0 => rest.split_at(idx),
+        _ => (rest, "0"),
+    };
+    let mant: f64 = format!("0.{}", mant_str.trim())
+        .parse()
+        .map_err(|_| ParseTleError::BadField { field: name })?;
+    let exp: i32 = exp_str.parse().map_err(|_| ParseTleError::BadField { field: name })?;
+    Ok(sign * mant * 10f64.powi(exp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ISS_L1: &str =
+        "1 25544U 98067A   24001.50000000  .00016717  00000-0  10270-3 0  9009";
+    const ISS_L2: &str =
+        "2 25544  51.6400 208.9163 0006317  69.9862 290.2553 15.49560532    00";
+
+    #[test]
+    fn parses_iss() {
+        let t = Tle::parse("ISS", ISS_L1, ISS_L2).unwrap();
+        assert_eq!(t.catalog_number, 25544);
+        assert_eq!(t.epoch_year, 2024);
+        assert!((t.epoch_day - 1.5).abs() < 1e-9);
+        assert!((t.inclination_deg - 51.64).abs() < 1e-9);
+        assert!((t.eccentricity - 0.0006317).abs() < 1e-9);
+        assert!((t.mean_motion_rev_per_day - 15.49560532).abs() < 1e-9);
+        assert!((t.ndot_over_2 - 0.00016717).abs() < 1e-12);
+        assert!((t.bstar - 0.10270e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iss_semi_major_axis_reasonable() {
+        let t = Tle::parse("ISS", ISS_L1, ISS_L2).unwrap();
+        let alt_km = (t.semi_major_axis_m() - sb_geo::EARTH_RADIUS_M) / 1000.0;
+        assert!((350.0..450.0).contains(&alt_km), "ISS altitude {alt_km} km");
+    }
+
+    #[test]
+    fn checksum_computation() {
+        assert_eq!(checksum(&ISS_L1[..68]), 9);
+        assert_eq!(checksum(&ISS_L2[..68]), 0);
+        assert_eq!(checksum("1 "), 1);
+        assert_eq!(checksum("---"), 3);
+    }
+
+    #[test]
+    fn rejects_bad_checksum() {
+        let mut bad = ISS_L1.to_owned();
+        bad.replace_range(68..69, "3");
+        let err = Tle::parse("ISS", &bad, ISS_L2).unwrap_err();
+        assert!(matches!(err, ParseTleError::ChecksumMismatch { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_short_line() {
+        let err = Tle::parse("X", "1 25544U", ISS_L2).unwrap_err();
+        assert!(matches!(err, ParseTleError::LineTooShort { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_swapped_lines() {
+        let err = Tle::parse("X", ISS_L2, ISS_L1).unwrap_err();
+        assert!(matches!(err, ParseTleError::WrongLineNumber { expected: 1 }));
+    }
+
+    #[test]
+    fn rejects_catalog_mismatch() {
+        let l2 = "2 25545  51.6400 208.9163 0006317  69.9862 290.2553 15.49560532    05";
+        // Fix the checksum for the altered digit.
+        let body = &l2[..68];
+        let l2_fixed = format!("{body}{}", checksum(body));
+        let err = Tle::parse("X", ISS_L1, &l2_fixed).unwrap_err();
+        assert_eq!(err, ParseTleError::CatalogMismatch);
+    }
+
+    #[test]
+    fn to_elements_roundtrip_orbit_size() {
+        let t = Tle::parse("ISS", ISS_L1, ISS_L2).unwrap();
+        let el = t.to_elements(0.0);
+        // Period from elements should match the TLE mean motion.
+        let period_s = el.period();
+        let revs_per_day = 86_400.0 / period_s;
+        assert!((revs_per_day - t.mean_motion_rev_per_day).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parse_many_with_and_without_names() {
+        let text = format!("ISS (ZARYA)\n{ISS_L1}\n{ISS_L2}\n\n{ISS_L1}\n{ISS_L2}\n");
+        let tles = Tle::parse_many(&text).unwrap();
+        assert_eq!(tles.len(), 2);
+        assert_eq!(tles[0].name, "ISS (ZARYA)");
+        assert_eq!(tles[1].name, "SAT-0001");
+    }
+
+    #[test]
+    fn implied_decimal_forms() {
+        assert!((implied_decimal("10270-3", "x").unwrap() - 0.10270e-3).abs() < 1e-15);
+        assert!((implied_decimal("-11606-4", "x").unwrap() + 0.11606e-4).abs() < 1e-15);
+        assert_eq!(implied_decimal("00000-0", "x").unwrap(), 0.0);
+        assert_eq!(implied_decimal("", "x").unwrap(), 0.0);
+        assert!((implied_decimal("12345+1", "x").unwrap() - 1.2345).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_display_is_meaningful() {
+        let e = ParseTleError::ChecksumMismatch { line: 2, computed: 3, found: 7 };
+        let msg = format!("{e}");
+        assert!(msg.contains("checksum") && msg.contains('2'));
+    }
+}

@@ -1,0 +1,237 @@
+//! Walker-delta constellation generation.
+//!
+//! A Walker delta pattern `i: t/p/f` distributes `t` satellites over `p`
+//! evenly-spaced orbital planes at inclination `i`, with `t/p` satellites
+//! per plane and an inter-plane phasing factor `f ∈ [0, p)`: a satellite in
+//! plane `k+1` leads its plane-`k` counterpart by `f · 360°/t`.
+//!
+//! SpaceX Starlink Shell 1 — the topology the paper evaluates on — is
+//! modelled as Walker delta 53°: 1584/22/17 at 550 km (22 planes × 72
+//! satellites; the phasing factor is not public, 17 gives the familiar
+//! near-uniform coverage pattern and any `f` produces the same ISL grid).
+
+use crate::kepler::OrbitalElements;
+use sb_geo::Epoch;
+use serde::{Deserialize, Serialize};
+
+/// A Walker-delta constellation specification.
+///
+/// # Example
+///
+/// ```
+/// use sb_orbit::walker::WalkerConstellation;
+/// // Starlink Shell 1 as used in the paper.
+/// let shell = WalkerConstellation::starlink_shell1();
+/// assert_eq!(shell.total_satellites(), 1584);
+/// assert_eq!(shell.planes(), 22);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WalkerConstellation {
+    planes: usize,
+    sats_per_plane: usize,
+    phasing: usize,
+    altitude_m: f64,
+    inclination_rad: f64,
+    epoch: Epoch,
+}
+
+impl WalkerConstellation {
+    /// Creates a Walker-delta specification with `planes × sats_per_plane`
+    /// satellites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `planes` or `sats_per_plane` is zero, or if
+    /// `phasing >= planes`.
+    pub fn delta(
+        planes: usize,
+        sats_per_plane: usize,
+        phasing: usize,
+        altitude_m: f64,
+        inclination_rad: f64,
+    ) -> Self {
+        assert!(planes > 0, "need at least one plane");
+        assert!(sats_per_plane > 0, "need at least one satellite per plane");
+        assert!(phasing < planes, "phasing factor must be < planes");
+        WalkerConstellation {
+            planes,
+            sats_per_plane,
+            phasing,
+            altitude_m,
+            inclination_rad,
+            epoch: Epoch::from_seconds(0.0),
+        }
+    }
+
+    /// The SpaceX Starlink Shell-1 parameters used in the paper's
+    /// evaluation: 22 planes × 72 satellites, 550 km altitude, 53°
+    /// inclination.
+    pub fn starlink_shell1() -> Self {
+        Self::delta(22, 72, 17, 550_000.0, 53f64.to_radians())
+    }
+
+    /// Number of orbital planes.
+    pub fn planes(&self) -> usize {
+        self.planes
+    }
+
+    /// Satellites per plane.
+    pub fn sats_per_plane(&self) -> usize {
+        self.sats_per_plane
+    }
+
+    /// Total satellite count.
+    pub fn total_satellites(&self) -> usize {
+        self.planes * self.sats_per_plane
+    }
+
+    /// Orbit altitude, meters.
+    pub fn altitude_m(&self) -> f64 {
+        self.altitude_m
+    }
+
+    /// Orbit inclination, radians.
+    pub fn inclination_rad(&self) -> f64 {
+        self.inclination_rad
+    }
+
+    /// Iterates over `(plane, slot_in_plane, elements)` for every satellite.
+    ///
+    /// Planes are spread uniformly over 360° of RAAN (delta pattern); the
+    /// in-plane phase advances by `360°/sats_per_plane` per slot plus the
+    /// Walker phasing offset between planes.
+    pub fn elements(&self) -> impl Iterator<Item = (usize, usize, OrbitalElements)> + '_ {
+        let tau = core::f64::consts::TAU;
+        let total = self.total_satellites() as f64;
+        (0..self.planes).flat_map(move |plane| {
+            (0..self.sats_per_plane).map(move |slot| {
+                let raan = tau * plane as f64 / self.planes as f64;
+                let base_phase = tau * slot as f64 / self.sats_per_plane as f64;
+                let walker_offset = tau * (self.phasing * plane) as f64 / total;
+                let elements = OrbitalElements::circular(
+                    self.altitude_m,
+                    self.inclination_rad,
+                    raan,
+                    (base_phase + walker_offset).rem_euclid(tau),
+                    self.epoch,
+                );
+                (plane, slot, elements)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sb_geo::EARTH_RADIUS_M;
+
+    #[test]
+    fn starlink_shell1_counts() {
+        let s = WalkerConstellation::starlink_shell1();
+        assert_eq!(s.total_satellites(), 1584);
+        assert_eq!(s.planes(), 22);
+        assert_eq!(s.sats_per_plane(), 72);
+        assert!((s.altitude_m() - 550e3).abs() < 1.0);
+        assert!((s.inclination_rad().to_degrees() - 53.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn element_count_matches() {
+        let s = WalkerConstellation::delta(5, 7, 2, 600e3, 1.0);
+        assert_eq!(s.elements().count(), 35);
+    }
+
+    #[test]
+    fn planes_evenly_spaced_in_raan() {
+        let s = WalkerConstellation::delta(4, 2, 1, 550e3, 0.9);
+        let raans: Vec<f64> = s
+            .elements()
+            .filter(|(_, slot, _)| *slot == 0)
+            .map(|(_, _, el)| el.raan_rad)
+            .collect();
+        assert_eq!(raans.len(), 4);
+        for (k, r) in raans.iter().enumerate() {
+            let expected = core::f64::consts::TAU * k as f64 / 4.0;
+            assert!((r - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn in_plane_slots_evenly_phased() {
+        let s = WalkerConstellation::delta(2, 6, 0, 550e3, 0.9);
+        let phases: Vec<f64> = s
+            .elements()
+            .filter(|(plane, _, _)| *plane == 0)
+            .map(|(_, _, el)| el.mean_anomaly_rad)
+            .collect();
+        for (k, m) in phases.iter().enumerate() {
+            let expected = core::f64::consts::TAU * k as f64 / 6.0;
+            assert!((m - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn walker_phasing_offsets_planes() {
+        let s = WalkerConstellation::delta(3, 4, 1, 550e3, 0.9);
+        let slot0: Vec<f64> = s
+            .elements()
+            .filter(|(_, slot, _)| *slot == 0)
+            .map(|(_, _, el)| el.mean_anomaly_rad)
+            .collect();
+        let expected_step = core::f64::consts::TAU / 12.0; // f·360°/t
+        assert!((slot0[1] - slot0[0] - expected_step).abs() < 1e-12);
+        assert!((slot0[2] - slot0[0] - 2.0 * expected_step).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "phasing factor")]
+    fn invalid_phasing_panics() {
+        let _ = WalkerConstellation::delta(3, 4, 3, 550e3, 0.9);
+    }
+
+    #[test]
+    fn min_satellite_spacing_is_sane() {
+        // In a 22×72 shell no two satellites should be closer than ~100 km
+        // at epoch 0 (no collisions in the generated pattern).
+        let s = WalkerConstellation::starlink_shell1();
+        let pos: Vec<_> = s
+            .elements()
+            .map(|(_, _, el)| el.position_at(Epoch::from_seconds(0.0)).0)
+            .collect();
+        let mut min_d = f64::MAX;
+        // Sample pairs rather than all 1584² for test speed.
+        for i in (0..pos.len()).step_by(13) {
+            for j in (i + 1..pos.len()).step_by(7) {
+                min_d = min_d.min(pos[i].distance(pos[j]));
+            }
+        }
+        assert!(min_d > 50_000.0, "min spacing {min_d}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_all_at_correct_radius(planes in 1usize..8, spp in 1usize..10, alt in 400e3..1500e3f64) {
+            let s = WalkerConstellation::delta(planes, spp, 0, alt, 1.0);
+            for (_, _, el) in s.elements() {
+                let r = el.position_at(Epoch::from_seconds(0.0)).0.norm();
+                prop_assert!((r - (EARTH_RADIUS_M + alt)).abs() < 1e-3);
+            }
+        }
+
+        #[test]
+        fn prop_phases_distinct_within_plane(spp in 2usize..20) {
+            let s = WalkerConstellation::delta(2, spp, 1, 550e3, 0.9);
+            let mut phases: Vec<f64> = s
+                .elements()
+                .filter(|(p, _, _)| *p == 0)
+                .map(|(_, _, el)| el.mean_anomaly_rad)
+                .collect();
+            phases.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for w in phases.windows(2) {
+                prop_assert!(w[1] - w[0] > 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! End-to-end deterministic simulation runs.
+//!
+//! [`run`] executes the full pipeline for one `(scenario, algorithm,
+//! seed)` triple:
+//!
+//! 1. build the Walker shell, ground grid and EO fleet;
+//! 2. draw the scenario's source-destination pairs (GDP-weighted ground
+//!    sites; EO satellites for space-user pairs) with the seeded RNG;
+//! 3. build the per-slot topology series and a fresh [`NetworkState`];
+//! 4. generate the Poisson workload with the same seed;
+//! 5. feed requests in arrival order to the algorithm;
+//! 6. collect the paper's metrics.
+//!
+//! Identical inputs give bit-identical outputs — the error bars in the
+//! figures come solely from varying the seed.
+
+use crate::metrics::RunMetrics;
+use crate::scenario::ScenarioConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sb_cear::{AblationFlags, Cear, CearParams, Decision, NetworkState, RejectReason, RoutingAlgorithm};
+use sb_demand::generator::{generate_workload, WorkloadConfig};
+use sb_demand::Request;
+use sb_orbit::walker::WalkerConstellation;
+use sb_topology::ground::GroundGrid;
+use sb_topology::{NetworkNodes, NodeId, SlotIndex, TopologySeries};
+use serde::{Deserialize, Serialize};
+
+/// Which algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AlgorithmKind {
+    /// CEAR with the given pricing parameters.
+    Cear(CearParams),
+    /// An ablated CEAR variant (for ablation studies).
+    CearAblated(CearParams, AblationFlags),
+    /// Single Shortest Path.
+    Ssp,
+    /// ECARS with default factors.
+    Ecars,
+    /// ERU with its default depth-of-discharge threshold.
+    Eru,
+    /// ERA with its default threshold and factor pairs.
+    Era,
+}
+
+impl AlgorithmKind {
+    /// All five algorithms of the paper's comparison, CEAR configured from
+    /// the scenario.
+    pub fn all(scenario: &ScenarioConfig) -> Vec<AlgorithmKind> {
+        vec![
+            AlgorithmKind::Cear(scenario.cear),
+            AlgorithmKind::Ssp,
+            AlgorithmKind::Ecars,
+            AlgorithmKind::Eru,
+            AlgorithmKind::Era,
+        ]
+    }
+
+    /// Instantiates the algorithm.
+    pub fn instantiate(&self) -> Box<dyn RoutingAlgorithm> {
+        match self {
+            AlgorithmKind::Cear(params) => Box::new(Cear::new(*params)),
+            AlgorithmKind::CearAblated(params, flags) => {
+                Box::new(Cear::with_ablation(*params, *flags))
+            }
+            AlgorithmKind::Ssp => Box::new(sb_cear::Ssp::new()),
+            AlgorithmKind::Ecars => Box::new(sb_cear::Ecars::new()),
+            AlgorithmKind::Eru => Box::new(sb_cear::Eru::new()),
+            AlgorithmKind::Era => Box::new(sb_cear::Era::new()),
+        }
+    }
+
+    /// The algorithm's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlgorithmKind::Cear(_) => "CEAR",
+            AlgorithmKind::CearAblated(_, flags) => match flags.suffix() {
+                "-nobw" => "CEAR-nobw",
+                "-noenergy" => "CEAR-noenergy",
+                "-noadmission" => "CEAR-noadmission",
+                "-noprice" => "CEAR-noprice",
+                "" => "CEAR",
+                _ => "CEAR-custom",
+            },
+            AlgorithmKind::Ssp => "SSP",
+            AlgorithmKind::Ecars => "ECARS",
+            AlgorithmKind::Eru => "ERU",
+            AlgorithmKind::Era => "ERA",
+        }
+    }
+}
+
+/// The prepared, workload-independent part of a run: node table, topology
+/// series and endpoint pairs. Building this is the expensive step at paper
+/// scale, so it is exposed separately for reuse across algorithms (the
+/// comparison figures run all five algorithms on the *same* prepared
+/// network and workload).
+#[derive(Debug, Clone)]
+pub struct PreparedNetwork {
+    /// The node table used to build the series.
+    pub pairs: Vec<(NodeId, NodeId)>,
+    /// The topology snapshots for the whole horizon.
+    pub series: TopologySeries,
+}
+
+/// Builds the constellation, selects endpoint pairs and builds the
+/// topology series for a scenario. Endpoint selection uses its own RNG
+/// stream derived from `seed` so workload and topology draws never
+/// interfere.
+pub fn prepare(scenario: &ScenarioConfig, seed: u64) -> PreparedNetwork {
+    let shell = WalkerConstellation::delta(
+        scenario.planes,
+        scenario.sats_per_plane,
+        scenario.phasing,
+        scenario.altitude_m,
+        scenario.inclination_deg.to_radians(),
+    );
+    let mut nodes = NetworkNodes::from_walker(&shell);
+
+    let grid = GroundGrid::generate(scenario.grid_subdivisions, scenario.ground_site_count);
+    let fleet = sb_orbit::eo::synthetic_fleet(scenario.eo_fleet_size);
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_7090_dead_beef);
+    let mut pairs = Vec::with_capacity(scenario.num_pairs);
+    for _ in 0..scenario.num_pairs {
+        let dst_site = grid.weighted_site_index(rng.gen_range(0.0..1.0));
+        let dst = nodes.add_ground_site(grid.sites()[dst_site].0);
+        let src = if rng.gen_range(0.0..1.0) < scenario.eo_pair_fraction && !fleet.is_empty() {
+            // A space-user pair: EO satellite downlinking to the ground.
+            let eo = rng.gen_range(0..fleet.len());
+            nodes.add_space_user(fleet[eo].clone())
+        } else {
+            let src_site = grid.weighted_site_index(rng.gen_range(0.0..1.0));
+            nodes.add_ground_site(grid.sites()[src_site].0)
+        };
+        pairs.push((src, dst));
+    }
+
+    let mut series = TopologySeries::build(
+        &nodes,
+        &scenario.topology,
+        scenario.horizon_slots,
+        scenario.slot_duration_s,
+    );
+    if scenario.isl_failure_prob > 0.0 {
+        let model = sb_topology::failures::LinkFailureModel::new(
+            scenario.isl_failure_prob,
+            seed ^ 0xfa11_fa11,
+        );
+        series = series.with_failures(&model);
+    }
+    PreparedNetwork { pairs, series }
+}
+
+/// Generates the workload for a prepared network.
+pub fn workload(scenario: &ScenarioConfig, prepared: &PreparedNetwork, seed: u64) -> Vec<Request> {
+    let config = WorkloadConfig {
+        pairs: prepared.pairs.clone(),
+        arrivals_per_slot: scenario.arrivals_per_slot,
+        horizon_slots: scenario.horizon_slots as u32,
+        min_duration_slots: scenario.min_duration_slots,
+        max_duration_slots: scenario.max_duration_slots,
+        size: scenario.size,
+        valuation: scenario.valuation,
+        slot_duration_s: scenario.slot_duration_s,
+        pattern: scenario.pattern,
+    };
+    generate_workload(&config, seed)
+}
+
+/// Runs one algorithm over a prepared network and workload, returning the
+/// metrics. The state is built fresh, so the same `PreparedNetwork` can be
+/// reused across algorithms.
+pub fn run_prepared(
+    scenario: &ScenarioConfig,
+    prepared: &PreparedNetwork,
+    requests: &[Request],
+    kind: &AlgorithmKind,
+    seed: u64,
+) -> RunMetrics {
+    let mut algorithm = kind.instantiate();
+    run_with_algorithm(scenario, prepared, requests, algorithm.as_mut(), seed)
+}
+
+/// Like [`run_prepared`] but with a caller-supplied algorithm instance —
+/// for stateful algorithms outside the [`AlgorithmKind`] enum (e.g.
+/// [`sb_cear::AdaptiveCear`]).
+pub fn run_with_algorithm(
+    scenario: &ScenarioConfig,
+    prepared: &PreparedNetwork,
+    requests: &[Request],
+    algorithm: &mut dyn RoutingAlgorithm,
+    seed: u64,
+) -> RunMetrics {
+    let mut state = NetworkState::new(prepared.series.clone(), &scenario.energy);
+
+    let start = std::time::Instant::now();
+    let mut welfare = 0.0;
+    let mut revenue = 0.0;
+    let mut accepted = 0usize;
+    let mut accepted_after_retry = 0usize;
+    let (mut no_path, mut by_price, mut at_commit) = (0usize, 0usize, 0usize);
+    // Cumulative welfare ratio by arrival slot.
+    let mut accepted_value_by_slot = vec![0.0; scenario.horizon_slots];
+    let mut total_value_by_slot = vec![0.0; scenario.horizon_slots];
+
+    // Retry queue (§III-B resubmission): rejected requests come back
+    // `delay_slots` later with the same duration and valuation, ordered by
+    // their new start slot. Welfare attributes to the *original* arrival.
+    // Entries: (new_start_slot, original_arrival, attempts_left, request).
+    let mut retries: std::collections::VecDeque<(u32, usize, u32, Request)> =
+        Default::default();
+
+    let handle = |request: &Request,
+                      original_arrival: usize,
+                      attempts_left: u32,
+                      algorithm: &mut dyn RoutingAlgorithm,
+                      state: &mut NetworkState,
+                      welfare: &mut f64,
+                      revenue: &mut f64,
+                      accepted: &mut usize,
+                      accepted_after_retry: &mut usize,
+                      no_path: &mut usize,
+                      by_price: &mut usize,
+                      at_commit: &mut usize,
+                      accepted_value_by_slot: &mut [f64],
+                      retries: &mut std::collections::VecDeque<(u32, usize, u32, Request)>| {
+        match algorithm.process(request, state) {
+            Decision::Accepted { price, .. } => {
+                *welfare += request.valuation;
+                *revenue += price;
+                *accepted += 1;
+                if attempts_left < scenario.retry.map_or(0, |r| r.max_attempts) {
+                    *accepted_after_retry += 1;
+                }
+                accepted_value_by_slot[original_arrival] += request.valuation;
+            }
+            Decision::Rejected { reason } => {
+                match reason {
+                    RejectReason::NoFeasiblePath => *no_path += 1,
+                    RejectReason::PriceAboveValuation => *by_price += 1,
+                    RejectReason::CommitFailed => *at_commit += 1,
+                }
+                if let Some(policy) = scenario.retry {
+                    if attempts_left > 0 {
+                        let new_start = request.start.0 + policy.delay_slots;
+                        let duration = request.end.0 - request.start.0;
+                        if (new_start as usize) < scenario.horizon_slots {
+                            let mut retried = request.clone();
+                            retried.start = SlotIndex(new_start);
+                            retried.end = SlotIndex(
+                                (new_start + duration)
+                                    .min(scenario.horizon_slots as u32 - 1),
+                            );
+                            retries.push_back((
+                                new_start,
+                                original_arrival,
+                                attempts_left - 1,
+                                retried,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    };
+
+    let initial_attempts = scenario.retry.map_or(0, |r| r.max_attempts);
+    for request in requests {
+        let arrival = request.start.index().min(scenario.horizon_slots - 1);
+        // Process any retries due before this arrival (queue is in
+        // insertion order; delays are constant so it stays slot-sorted).
+        while retries
+            .front()
+            .is_some_and(|(due, _, _, _)| (*due as usize) <= arrival)
+        {
+            let (_, orig, left, retried) = retries.pop_front().unwrap();
+            handle(
+                &retried, orig, left, algorithm, &mut state, &mut welfare, &mut revenue,
+                &mut accepted, &mut accepted_after_retry, &mut no_path, &mut by_price,
+                &mut at_commit, &mut accepted_value_by_slot, &mut retries,
+            );
+        }
+        total_value_by_slot[arrival] += request.valuation;
+        handle(
+            request, arrival, initial_attempts, algorithm, &mut state, &mut welfare,
+            &mut revenue, &mut accepted, &mut accepted_after_retry, &mut no_path,
+            &mut by_price, &mut at_commit, &mut accepted_value_by_slot, &mut retries,
+        );
+    }
+    // Drain retries that fall after the last arrival.
+    while let Some((_, orig, left, retried)) = retries.pop_front() {
+        handle(
+            &retried, orig, left, algorithm, &mut state, &mut welfare, &mut revenue,
+            &mut accepted, &mut accepted_after_retry, &mut no_path, &mut by_price,
+            &mut at_commit, &mut accepted_value_by_slot, &mut retries,
+        );
+    }
+    let processing_ms = start.elapsed().as_millis();
+
+    let total_valuation: f64 = requests.iter().map(|r| r.valuation).sum();
+    let mut welfare_ratio_over_time = Vec::with_capacity(scenario.horizon_slots);
+    let (mut cum_acc, mut cum_tot) = (0.0, 0.0);
+    for t in 0..scenario.horizon_slots {
+        cum_acc += accepted_value_by_slot[t];
+        cum_tot += total_value_by_slot[t];
+        welfare_ratio_over_time.push(if cum_tot > 0.0 { cum_acc / cum_tot } else { 1.0 });
+    }
+
+    let depleted_satellites_over_time = (0..scenario.horizon_slots)
+        .map(|t| state.depleted_satellite_count(SlotIndex(t as u32), scenario.depleted_threshold_frac))
+        .collect();
+    let congested_links_over_time = (0..scenario.horizon_slots)
+        .map(|t| state.congested_link_count(SlotIndex(t as u32), scenario.congested_threshold_frac))
+        .collect();
+
+    RunMetrics {
+        algorithm: algorithm.name().to_owned(),
+        scenario: scenario.name.clone(),
+        seed,
+        total_requests: requests.len(),
+        accepted_requests: accepted,
+        accepted_after_retry,
+        total_valuation,
+        welfare,
+        social_welfare_ratio: if total_valuation > 0.0 { welfare / total_valuation } else { 1.0 },
+        revenue,
+        depleted_satellites_over_time,
+        congested_links_over_time,
+        welfare_ratio_over_time,
+        rejected_no_path: no_path,
+        rejected_by_price: by_price,
+        rejected_at_commit: at_commit,
+        battery_wear: sb_energy::fleet_wear(state.ledger()),
+        processing_ms,
+    }
+}
+
+/// Convenience: prepare, generate and run in one call.
+pub fn run(scenario: &ScenarioConfig, kind: &AlgorithmKind, seed: u64) -> RunMetrics {
+    let prepared = prepare(scenario, seed);
+    let requests = workload(scenario, &prepared, seed);
+    run_prepared(scenario, &prepared, &requests, kind, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_is_deterministic() {
+        let scenario = ScenarioConfig::tiny();
+        let a = run(&scenario, &AlgorithmKind::Ssp, 3);
+        let mut b = run(&scenario, &AlgorithmKind::Ssp, 3);
+        b.processing_ms = a.processing_ms; // wall clock may differ
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let scenario = ScenarioConfig::tiny();
+        let a = run(&scenario, &AlgorithmKind::Ssp, 1);
+        let b = run(&scenario, &AlgorithmKind::Ssp, 2);
+        assert_ne!(a.total_requests, 0);
+        // Workloads differ, so at least the request count or welfare
+        // should (with overwhelming probability) differ.
+        assert!(a.total_requests != b.total_requests || a.welfare != b.welfare);
+    }
+
+    #[test]
+    fn accounting_adds_up() {
+        let scenario = ScenarioConfig::tiny();
+        for kind in [AlgorithmKind::Cear(CearParams::default()), AlgorithmKind::Ecars] {
+            let m = run(&scenario, &kind, 7);
+            assert_eq!(
+                m.accepted_requests
+                    + m.rejected_no_path
+                    + m.rejected_by_price
+                    + m.rejected_at_commit,
+                m.total_requests,
+                "{}",
+                m.algorithm
+            );
+            assert!(m.social_welfare_ratio >= 0.0 && m.social_welfare_ratio <= 1.0);
+            assert_eq!(m.depleted_satellites_over_time.len(), scenario.horizon_slots);
+            assert_eq!(m.congested_links_over_time.len(), scenario.horizon_slots);
+            // Final cumulative ratio equals the overall ratio.
+            let last = *m.welfare_ratio_over_time.last().unwrap();
+            assert!((last - m.social_welfare_ratio).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn all_algorithms_run_on_shared_network() {
+        let scenario = ScenarioConfig::tiny();
+        let prepared = prepare(&scenario, 5);
+        let requests = workload(&scenario, &prepared, 5);
+        assert_eq!(prepared.pairs.len(), scenario.num_pairs);
+        for kind in AlgorithmKind::all(&scenario) {
+            let m = run_prepared(&scenario, &prepared, &requests, &kind, 5);
+            assert_eq!(m.total_requests, requests.len(), "{}", m.algorithm);
+        }
+    }
+
+    #[test]
+    fn baseline_revenue_is_zero_cear_nonnegative() {
+        let scenario = ScenarioConfig::tiny();
+        let ssp = run(&scenario, &AlgorithmKind::Ssp, 11);
+        assert_eq!(ssp.revenue, 0.0);
+        let cear = run(&scenario, &AlgorithmKind::Cear(CearParams::default()), 11);
+        assert!(cear.revenue >= 0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! The paper's evaluation metrics (§VI-A, "metrics" paragraph).
+
+use serde::{Deserialize, Serialize};
+
+/// Everything measured in one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// Workload seed.
+    pub seed: u64,
+    /// Total requests generated.
+    pub total_requests: usize,
+    /// Requests accepted.
+    pub accepted_requests: usize,
+    /// Of the accepted requests, how many succeeded only on a
+    /// resubmission (0 unless the scenario sets a retry policy).
+    pub accepted_after_retry: usize,
+    /// Sum of all valuations (the trivial offline upper bound).
+    pub total_valuation: f64,
+    /// Sum of accepted valuations — the social welfare, Eq. (6).
+    pub welfare: f64,
+    /// `welfare / total_valuation` — with constant valuations this is also
+    /// the request success ratio.
+    pub social_welfare_ratio: f64,
+    /// Operator revenue: sum of prices charged (zero for baselines).
+    pub revenue: f64,
+    /// Per-slot count of satellites with battery below the depletion
+    /// threshold, over the whole horizon.
+    pub depleted_satellites_over_time: Vec<usize>,
+    /// Per-slot count of congested links over the whole horizon.
+    pub congested_links_over_time: Vec<usize>,
+    /// Cumulative social-welfare ratio by arrival slot: among requests
+    /// arriving in slots `0..=t`, the accepted-valuation fraction.
+    pub welfare_ratio_over_time: Vec<f64>,
+    /// Requests rejected for lack of any feasible path. With a retry
+    /// policy, rejection counters count *attempts*, so their sum can
+    /// exceed `total_requests − accepted_requests`.
+    pub rejected_no_path: usize,
+    /// Requests rejected by price-based admission control (CEAR only).
+    pub rejected_by_price: usize,
+    /// Requests rejected at atomic commit validation.
+    pub rejected_at_commit: usize,
+    /// Fleet battery-wear summary over the horizon (the paper's
+    /// lifetime-of-the-network motivation).
+    pub battery_wear: sb_energy::FleetWear,
+    /// Wall-clock milliseconds spent processing requests.
+    pub processing_ms: u128,
+}
+
+impl RunMetrics {
+    /// Peak number of energy-depleted satellites over the horizon.
+    pub fn peak_depleted(&self) -> usize {
+        self.depleted_satellites_over_time.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Peak number of congested links over the horizon.
+    pub fn peak_congested(&self) -> usize {
+        self.congested_links_over_time.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean number of energy-depleted satellites per slot.
+    pub fn mean_depleted(&self) -> f64 {
+        mean_usize(&self.depleted_satellites_over_time)
+    }
+
+    /// Mean number of congested links per slot.
+    pub fn mean_congested(&self) -> f64 {
+        mean_usize(&self.congested_links_over_time)
+    }
+}
+
+fn mean_usize(values: &[usize]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<usize>() as f64 / values.len() as f64
+}
+
+/// Mean and sample standard deviation of a set of values — the error bars
+/// of Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MeanStd {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std: f64,
+}
+
+/// Computes mean ± sample standard deviation.
+pub fn mean_std(values: &[f64]) -> MeanStd {
+    if values.is_empty() {
+        return MeanStd::default();
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    if values.len() < 2 {
+        return MeanStd { mean, std: 0.0 };
+    }
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    MeanStd { mean, std: var.sqrt() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunMetrics {
+        RunMetrics {
+            algorithm: "CEAR".into(),
+            scenario: "tiny".into(),
+            seed: 1,
+            total_requests: 10,
+            accepted_requests: 7,
+            accepted_after_retry: 1,
+            total_valuation: 10.0,
+            welfare: 7.0,
+            social_welfare_ratio: 0.7,
+            revenue: 3.5,
+            depleted_satellites_over_time: vec![0, 2, 5, 3],
+            congested_links_over_time: vec![1, 1, 4, 0],
+            welfare_ratio_over_time: vec![1.0, 0.9, 0.8, 0.7],
+            rejected_no_path: 1,
+            rejected_by_price: 2,
+            rejected_at_commit: 0,
+            battery_wear: sb_energy::FleetWear::default(),
+            processing_ms: 12,
+        }
+    }
+
+    #[test]
+    fn peaks_and_means() {
+        let m = sample();
+        assert_eq!(m.peak_depleted(), 5);
+        assert_eq!(m.peak_congested(), 4);
+        assert!((m.mean_depleted() - 2.5).abs() < 1e-12);
+        assert!((m.mean_congested() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series() {
+        let mut m = sample();
+        m.depleted_satellites_over_time.clear();
+        assert_eq!(m.peak_depleted(), 0);
+        assert_eq!(m.mean_depleted(), 0.0);
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let ms = mean_std(&[1.0, 2.0, 3.0]);
+        assert!((ms.mean - 2.0).abs() < 1e-12);
+        assert!((ms.std - 1.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), MeanStd::default());
+        assert_eq!(mean_std(&[5.0]).std, 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = sample();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: RunMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,194 @@
+//! CSV and Markdown emission for the figure harnesses.
+//!
+//! The figure binaries in `sb-bench` print paper-style tables to stdout
+//! and write machine-readable CSV under `results/` so EXPERIMENTS.md can
+//! reference exact numbers.
+
+use crate::metrics::{mean_std, MeanStd, RunMetrics};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// One aggregated point of a figure: an x value (arrival rate, valuation,
+/// F₂, …) with per-algorithm mean ± std of some metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesPoint {
+    /// The x coordinate (e.g. arrival rate).
+    pub x: f64,
+    /// `(algorithm, mean ± std)` pairs in presentation order.
+    pub values: Vec<(String, MeanStd)>,
+}
+
+/// Aggregates multiple seeds of the same `(algorithm, x)` cell into
+/// mean ± std of the chosen metric.
+pub fn aggregate<'a>(
+    runs: impl IntoIterator<Item = &'a RunMetrics>,
+    metric: impl Fn(&RunMetrics) -> f64,
+) -> MeanStd {
+    let values: Vec<f64> = runs.into_iter().map(metric).collect();
+    mean_std(&values)
+}
+
+/// Renders a series as an aligned Markdown table:
+/// one row per x, one `mean ± std` column per algorithm.
+pub fn markdown_table(x_label: &str, points: &[SeriesPoint]) -> String {
+    let mut out = String::new();
+    if points.is_empty() {
+        return out;
+    }
+    let algos: Vec<&str> = points[0].values.iter().map(|(a, _)| a.as_str()).collect();
+    let _ = write!(out, "| {x_label} |");
+    for a in &algos {
+        let _ = write!(out, " {a} |");
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "|---|");
+    for _ in &algos {
+        let _ = write!(out, "---|");
+    }
+    let _ = writeln!(out);
+    for p in points {
+        let _ = write!(out, "| {} |", trim_float(p.x));
+        for (_, ms) in &p.values {
+            let _ = write!(out, " {:.4} ± {:.4} |", ms.mean, ms.std);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Writes a series as CSV: `x,algorithm,mean,std`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from file creation/writing.
+pub fn write_series_csv(path: &Path, x_label: &str, points: &[SeriesPoint]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut body = format!("{x_label},algorithm,mean,std\n");
+    for p in points {
+        for (algo, ms) in &p.values {
+            let _ = writeln!(body, "{},{algo},{},{}", trim_float(p.x), ms.mean, ms.std);
+        }
+    }
+    std::fs::write(path, body)
+}
+
+/// Writes per-slot time series as CSV: `slot,algorithm,value` — the format
+/// of the Fig. 7/8 data files.
+///
+/// # Errors
+///
+/// Propagates I/O errors from file creation/writing.
+pub fn write_timeseries_csv(
+    path: &Path,
+    series: &[(String, Vec<f64>)],
+) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut body = String::from("slot,algorithm,value\n");
+    for (algo, values) in series {
+        for (t, v) in values.iter().enumerate() {
+            let _ = writeln!(body, "{t},{algo},{v}");
+        }
+    }
+    std::fs::write(path, body)
+}
+
+fn trim_float(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points() -> Vec<SeriesPoint> {
+        vec![
+            SeriesPoint {
+                x: 5.0,
+                values: vec![
+                    ("CEAR".into(), MeanStd { mean: 0.9, std: 0.01 }),
+                    ("SSP".into(), MeanStd { mean: 0.7, std: 0.02 }),
+                ],
+            },
+            SeriesPoint {
+                x: 10.0,
+                values: vec![
+                    ("CEAR".into(), MeanStd { mean: 0.8, std: 0.015 }),
+                    ("SSP".into(), MeanStd { mean: 0.5, std: 0.05 }),
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn markdown_has_header_and_rows() {
+        let md = markdown_table("rate", &points());
+        assert!(md.contains("| rate | CEAR | SSP |"));
+        assert!(md.contains("| 5 |"));
+        assert!(md.contains("0.9000 ± 0.0100"));
+        assert_eq!(md.lines().count(), 4);
+    }
+
+    #[test]
+    fn empty_series_is_empty_string() {
+        assert!(markdown_table("x", &[]).is_empty());
+    }
+
+    #[test]
+    fn csv_roundtrip_via_tempfile() {
+        let dir = std::env::temp_dir().join("sb_sim_output_test");
+        let path = dir.join("series.csv");
+        write_series_csv(&path, "rate", &points()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("rate,algorithm,mean,std\n"));
+        assert!(text.contains("5,CEAR,0.9,0.01"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn timeseries_csv_format() {
+        let dir = std::env::temp_dir().join("sb_sim_output_test_ts");
+        let path = dir.join("ts.csv");
+        write_timeseries_csv(&path, &[("SSP".into(), vec![1.0, 2.0])]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("0,SSP,1"));
+        assert!(text.contains("1,SSP,2"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn aggregate_computes_mean_std() {
+        let mk = |w: f64| RunMetrics {
+            algorithm: "X".into(),
+            scenario: "t".into(),
+            seed: 0,
+            total_requests: 1,
+            accepted_requests: 1,
+            accepted_after_retry: 0,
+            total_valuation: 1.0,
+            welfare: w,
+            social_welfare_ratio: w,
+            revenue: 0.0,
+            depleted_satellites_over_time: vec![],
+            congested_links_over_time: vec![],
+            welfare_ratio_over_time: vec![],
+            rejected_no_path: 0,
+            rejected_by_price: 0,
+            rejected_at_commit: 0,
+            battery_wear: sb_energy::FleetWear::default(),
+            processing_ms: 0,
+        };
+        let runs = vec![mk(0.4), mk(0.6)];
+        let ms = aggregate(runs.iter(), |m| m.social_welfare_ratio);
+        assert!((ms.mean - 0.5).abs() < 1e-12);
+        assert!(ms.std > 0.0);
+    }
+}

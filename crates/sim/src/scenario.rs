@@ -1,0 +1,216 @@
+//! Named experiment configurations.
+//!
+//! A [`ScenarioConfig`] pins down everything a run needs: constellation
+//! shape, topology and energy parameters, workload distributions and
+//! endpoint selection. Three presets are provided:
+//!
+//! * [`ScenarioConfig::paper`] — the paper's full evaluation setting
+//!   (1584 satellites, 384 one-minute slots, 1761 candidate ground sites,
+//!   223 EO satellites, 10 endpoint pairs, constant valuation 2.3 × 10⁹);
+//! * [`ScenarioConfig::fast`] — a reduced setting with the same *shape*
+//!   (denser-than-coverage shell, four orbital periods scaled down) that
+//!   runs in seconds — used by integration tests and CI-speed figure
+//!   regeneration;
+//! * [`ScenarioConfig::tiny`] — a minimal setting for unit tests.
+
+use sb_cear::CearParams;
+use sb_demand::{ArrivalPattern, SizeDistribution, ValuationModel};
+use sb_energy::EnergyParams;
+use sb_topology::TopologyConfig;
+use serde::{Deserialize, Serialize};
+
+/// How rejected requests are resubmitted.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Slots to wait before resubmitting.
+    pub delay_slots: u32,
+    /// Maximum resubmissions per request (beyond the first attempt).
+    pub max_attempts: u32,
+}
+
+/// A complete experiment configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Scenario name for reports.
+    pub name: String,
+    /// Walker shell: number of orbital planes.
+    pub planes: usize,
+    /// Walker shell: satellites per plane.
+    pub sats_per_plane: usize,
+    /// Walker shell: phasing factor.
+    pub phasing: usize,
+    /// Orbit altitude, meters.
+    pub altitude_m: f64,
+    /// Orbit inclination, degrees.
+    pub inclination_deg: f64,
+    /// Topology construction parameters.
+    pub topology: TopologyConfig,
+    /// Physical energy parameters.
+    pub energy: EnergyParams,
+    /// CEAR pricing parameters.
+    pub cear: CearParams,
+    /// Number of time slots simulated.
+    pub horizon_slots: usize,
+    /// Slot duration, seconds.
+    pub slot_duration_s: f64,
+    /// Number of source-destination pairs (paper: 10).
+    pub num_pairs: usize,
+    /// Fraction of pairs whose source is an EO satellite (space user).
+    pub eo_pair_fraction: f64,
+    /// Size of the synthetic EO fleet from which space users are drawn.
+    pub eo_fleet_size: usize,
+    /// Number of candidate ground sites kept from the GDP-weighted grid.
+    pub ground_site_count: usize,
+    /// Icosphere subdivision level of the ground grid.
+    pub grid_subdivisions: u32,
+    /// Mean request arrivals per slot (paper: 10 per minute).
+    pub arrivals_per_slot: f64,
+    /// Request duration bounds, slots (paper: 1–10 minutes).
+    pub min_duration_slots: u32,
+    /// Maximum request duration, slots.
+    pub max_duration_slots: u32,
+    /// Request rate distribution.
+    pub size: SizeDistribution,
+    /// Valuation model.
+    pub valuation: ValuationModel,
+    /// Time-varying modulation of the arrival rate.
+    pub pattern: ArrivalPattern,
+    /// Per-slot, per-link ISL failure probability (0 = the paper's
+    /// failure-free setting).
+    pub isl_failure_prob: f64,
+    /// Resubmission of rejected requests (§III-B: "if a request from a
+    /// space user is rejected, the user can wait for a period before
+    /// resubmitting"). `None` = no retries (the paper's evaluation).
+    pub retry: Option<RetryPolicy>,
+    /// Battery threshold fraction for the *energy-depleted satellites*
+    /// metric (paper: 0.2).
+    pub depleted_threshold_frac: f64,
+    /// Residual-capacity threshold fraction for the *congested links*
+    /// metric (paper: 0.1).
+    pub congested_threshold_frac: f64,
+}
+
+impl ScenarioConfig {
+    /// The paper's full evaluation configuration.
+    pub fn paper() -> Self {
+        ScenarioConfig {
+            name: "paper".to_owned(),
+            planes: 22,
+            sats_per_plane: 72,
+            phasing: 17,
+            altitude_m: 550_000.0,
+            inclination_deg: 53.0,
+            topology: TopologyConfig::default(),
+            energy: EnergyParams::default(),
+            cear: CearParams::default(),
+            horizon_slots: 384, // 96 min × 4 revolutions
+            slot_duration_s: 60.0,
+            num_pairs: 10,
+            eo_pair_fraction: 0.3,
+            eo_fleet_size: 223,
+            ground_site_count: 1761,
+            grid_subdivisions: 4,
+            arrivals_per_slot: 10.0,
+            min_duration_slots: 1,
+            max_duration_slots: 10,
+            size: SizeDistribution::paper_default(),
+            valuation: ValuationModel::paper_default(),
+            pattern: ArrivalPattern::Constant,
+            isl_failure_prob: 0.0,
+            retry: None,
+            depleted_threshold_frac: 0.2,
+            congested_threshold_frac: 0.1,
+        }
+    }
+
+    /// A reduced configuration preserving the experiment's *shape*: a
+    /// 16×16 shell (coverage-complete at a 15° mask), 96 slots (one
+    /// orbital period), fewer pairs, lighter load. Runs a full 5-algorithm
+    /// comparison in seconds.
+    pub fn fast() -> Self {
+        ScenarioConfig {
+            name: "fast".to_owned(),
+            planes: 16,
+            sats_per_plane: 16,
+            phasing: 5,
+            topology: sb_topology::TopologyConfig {
+                min_elevation_rad: 15f64.to_radians(),
+                ..sb_topology::TopologyConfig::default()
+            },
+            horizon_slots: 96,
+            num_pairs: 6,
+            eo_fleet_size: 20,
+            ground_site_count: 400,
+            grid_subdivisions: 3,
+            arrivals_per_slot: 4.0,
+            ..Self::paper()
+        }
+    }
+
+    /// A minimal configuration for unit tests: a 12×12 shell, 24 slots,
+    /// 3 pairs, light load.
+    pub fn tiny() -> Self {
+        ScenarioConfig {
+            name: "tiny".to_owned(),
+            planes: 12,
+            sats_per_plane: 12,
+            phasing: 3,
+            topology: sb_topology::TopologyConfig {
+                min_elevation_rad: 10f64.to_radians(),
+                ..sb_topology::TopologyConfig::default()
+            },
+            horizon_slots: 24,
+            num_pairs: 3,
+            eo_fleet_size: 8,
+            ground_site_count: 120,
+            grid_subdivisions: 2,
+            arrivals_per_slot: 1.0,
+            ..Self::paper()
+        }
+    }
+
+    /// Total satellites in the shell.
+    pub fn total_satellites(&self) -> usize {
+        self.planes * self.sats_per_plane
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_matches_evaluation_section() {
+        let p = ScenarioConfig::paper();
+        assert_eq!(p.total_satellites(), 1584);
+        assert_eq!(p.horizon_slots, 384);
+        assert_eq!(p.num_pairs, 10);
+        assert_eq!(p.ground_site_count, 1761);
+        assert_eq!(p.eo_fleet_size, 223);
+        assert_eq!(p.arrivals_per_slot, 10.0);
+        assert_eq!(p.topology.isl_capacity_mbps, 20_000.0);
+        assert_eq!(p.topology.usl_capacity_mbps, 4_000.0);
+        assert_eq!(p.energy.battery_capacity_j, 117_000.0);
+        assert_eq!(p.depleted_threshold_frac, 0.2);
+        assert_eq!(p.congested_threshold_frac, 0.1);
+    }
+
+    #[test]
+    fn presets_are_distinct_scales() {
+        let paper = ScenarioConfig::paper();
+        let fast = ScenarioConfig::fast();
+        let tiny = ScenarioConfig::tiny();
+        assert!(paper.total_satellites() > fast.total_satellites());
+        assert!(fast.total_satellites() > tiny.total_satellites());
+        assert!(paper.horizon_slots > fast.horizon_slots);
+        assert!(fast.horizon_slots > tiny.horizon_slots);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = ScenarioConfig::fast();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ScenarioConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,250 @@
+//! Per-request decision tracing.
+//!
+//! The aggregate metrics answer "how did the run go"; a trace answers
+//! *why*: which requests paid what, which were refused and for which
+//! resource, how long their paths were and how much propagation delay
+//! they got. Traces are plain data — CSV/JSON friendly — and are produced
+//! by [`run_traced`], a drop-in variant of
+//! [`crate::engine::run_with_algorithm`].
+
+use crate::engine::PreparedNetwork;
+use crate::scenario::ScenarioConfig;
+use sb_cear::{Decision, NetworkState, RoutingAlgorithm};
+use sb_demand::Request;
+use sb_topology::delay::path_delay_s;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// The outcome of one request, flattened for analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionRecord {
+    /// Request id (arrival order).
+    pub request: u32,
+    /// Arrival/start slot.
+    pub start_slot: u32,
+    /// Duration in slots.
+    pub duration_slots: u32,
+    /// Demanded rate, Mbps (peak over the profile).
+    pub rate_mbps: f64,
+    /// The request's valuation.
+    pub valuation: f64,
+    /// Accepted?
+    pub accepted: bool,
+    /// Price charged (0 for rejected requests and baselines).
+    pub price: f64,
+    /// Reject reason, when rejected.
+    pub reject_reason: Option<String>,
+    /// Maximum hop count over the plan's slot paths (accepted only).
+    pub max_hops: Option<usize>,
+    /// Propagation delay of the first slot's path, milliseconds
+    /// (accepted only).
+    pub first_slot_delay_ms: Option<f64>,
+}
+
+/// Runs an algorithm over a workload recording one [`DecisionRecord`] per
+/// request. Returns the records; the caller keeps the final state.
+pub fn run_traced(
+    scenario: &ScenarioConfig,
+    prepared: &PreparedNetwork,
+    requests: &[Request],
+    algorithm: &mut dyn RoutingAlgorithm,
+) -> (Vec<DecisionRecord>, NetworkState) {
+    let mut state = NetworkState::new(prepared.series.clone(), &scenario.energy);
+    let mut records = Vec::with_capacity(requests.len());
+    for request in requests {
+        let decision = algorithm.process(request, &mut state);
+        let record = match &decision {
+            Decision::Accepted { plan, price } => {
+                let first = &plan.slot_paths[0];
+                let snapshot = state.series().snapshot(first.slot);
+                DecisionRecord {
+                    request: request.id.0,
+                    start_slot: request.start.0,
+                    duration_slots: request.duration_slots() as u32,
+                    rate_mbps: request.rate.peak_rate(),
+                    valuation: request.valuation,
+                    accepted: true,
+                    price: *price,
+                    reject_reason: None,
+                    max_hops: Some(plan.max_hops()),
+                    first_slot_delay_ms: Some(path_delay_s(snapshot, &first.edges) * 1e3),
+                }
+            }
+            Decision::Rejected { reason } => DecisionRecord {
+                request: request.id.0,
+                start_slot: request.start.0,
+                duration_slots: request.duration_slots() as u32,
+                rate_mbps: request.rate.peak_rate(),
+                valuation: request.valuation,
+                accepted: false,
+                price: 0.0,
+                reject_reason: Some(reason.to_string()),
+                max_hops: None,
+                first_slot_delay_ms: None,
+            },
+        };
+        records.push(record);
+    }
+    (records, state)
+}
+
+/// Renders records as CSV (header + one row per request).
+pub fn records_to_csv(records: &[DecisionRecord]) -> String {
+    let mut out = String::from(
+        "request,start_slot,duration_slots,rate_mbps,valuation,accepted,price,reject_reason,max_hops,first_slot_delay_ms\n",
+    );
+    for r in records {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{}",
+            r.request,
+            r.start_slot,
+            r.duration_slots,
+            r.rate_mbps,
+            r.valuation,
+            r.accepted,
+            r.price,
+            r.reject_reason.as_deref().unwrap_or(""),
+            r.max_hops.map(|h| h.to_string()).unwrap_or_default(),
+            r.first_slot_delay_ms.map(|d| format!("{d:.3}")).unwrap_or_default(),
+        );
+    }
+    out
+}
+
+/// Summary statistics over a trace: acceptance by reject reason, price
+/// quartiles, hop/delay distributions.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Accepted requests.
+    pub accepted: usize,
+    /// Rejections keyed by reason string.
+    pub rejections: Vec<(String, usize)>,
+    /// Median price among accepted (0 if none).
+    pub median_price: f64,
+    /// Median hop count among accepted.
+    pub median_hops: usize,
+    /// Median first-slot delay among accepted, milliseconds.
+    pub median_delay_ms: f64,
+}
+
+/// Computes a [`TraceSummary`].
+pub fn summarize(records: &[DecisionRecord]) -> TraceSummary {
+    let mut prices: Vec<f64> = Vec::new();
+    let mut hops: Vec<usize> = Vec::new();
+    let mut delays: Vec<f64> = Vec::new();
+    let mut rejections: std::collections::BTreeMap<String, usize> = Default::default();
+    for r in records {
+        if r.accepted {
+            prices.push(r.price);
+            if let Some(h) = r.max_hops {
+                hops.push(h);
+            }
+            if let Some(d) = r.first_slot_delay_ms {
+                delays.push(d);
+            }
+        } else if let Some(reason) = &r.reject_reason {
+            *rejections.entry(reason.clone()).or_insert(0) += 1;
+        }
+    }
+    prices.sort_by(f64::total_cmp);
+    hops.sort_unstable();
+    delays.sort_by(f64::total_cmp);
+    TraceSummary {
+        accepted: prices.len(),
+        rejections: rejections.into_iter().collect(),
+        median_price: median_f(&prices),
+        median_hops: hops.get(hops.len() / 2).copied().unwrap_or(0),
+        median_delay_ms: median_f(&delays),
+    }
+}
+
+fn median_f(sorted: &[f64]) -> f64 {
+    if sorted.is_empty() {
+        0.0
+    } else {
+        sorted[sorted.len() / 2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{self, AlgorithmKind};
+    use crate::scenario::ScenarioConfig;
+
+    fn traced() -> (Vec<DecisionRecord>, NetworkState) {
+        let scenario = ScenarioConfig::tiny();
+        let prepared = engine::prepare(&scenario, 3);
+        let requests = engine::workload(&scenario, &prepared, 3);
+        let mut algo = AlgorithmKind::Cear(scenario.cear).instantiate();
+        run_traced(&scenario, &prepared, &requests, algo.as_mut())
+    }
+
+    #[test]
+    fn one_record_per_request() {
+        let scenario = ScenarioConfig::tiny();
+        let prepared = engine::prepare(&scenario, 3);
+        let requests = engine::workload(&scenario, &prepared, 3);
+        let (records, _) = traced();
+        assert_eq!(records.len(), requests.len());
+        for (r, req) in records.iter().zip(&requests) {
+            assert_eq!(r.request, req.id.0);
+            assert_eq!(r.start_slot, req.start.0);
+        }
+    }
+
+    #[test]
+    fn accepted_records_have_paths_rejected_have_reasons() {
+        let (records, _) = traced();
+        for r in &records {
+            if r.accepted {
+                assert!(r.max_hops.unwrap() >= 1);
+                assert!(r.first_slot_delay_ms.unwrap() > 0.0);
+                assert!(r.reject_reason.is_none());
+            } else {
+                assert!(r.reject_reason.is_some());
+                assert!(r.max_hops.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let (records, _) = traced();
+        let csv = records_to_csv(&records);
+        assert!(csv.starts_with("request,start_slot"));
+        assert_eq!(csv.lines().count(), records.len() + 1);
+    }
+
+    #[test]
+    fn summary_accounts_for_everything() {
+        let (records, _) = traced();
+        let summary = summarize(&records);
+        let rejected: usize = summary.rejections.iter().map(|(_, n)| n).sum();
+        assert_eq!(summary.accepted + rejected, records.len());
+        if summary.accepted > 0 {
+            assert!(summary.median_hops >= 1);
+            assert!(summary.median_delay_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn trace_agrees_with_engine_metrics() {
+        let scenario = ScenarioConfig::tiny();
+        let prepared = engine::prepare(&scenario, 3);
+        let requests = engine::workload(&scenario, &prepared, 3);
+        let metrics = engine::run_prepared(
+            &scenario,
+            &prepared,
+            &requests,
+            &AlgorithmKind::Cear(scenario.cear),
+            3,
+        );
+        let (records, _) = traced();
+        let accepted = records.iter().filter(|r| r.accepted).count();
+        assert_eq!(accepted, metrics.accepted_requests);
+        let revenue: f64 = records.iter().map(|r| r.price).sum();
+        assert!((revenue - metrics.revenue).abs() < 1e-6 * (1.0 + metrics.revenue));
+    }
+}

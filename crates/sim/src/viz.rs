@@ -1,0 +1,150 @@
+//! GeoJSON export for visualization.
+//!
+//! Every GIS tool, notebook plotting stack and web map speaks GeoJSON.
+//! This module projects a snapshot's satellites, links and reservation
+//! paths onto the Earth (sub-satellite points) so a run can be *seen*:
+//! drop the output into geojson.io or kepler.gl and the +Grid, the
+//! coverage gaps and the chosen detours are immediately visible.
+
+use sb_cear::plan::SlotPath;
+use sb_geo::coords::Eci;
+use sb_geo::Epoch;
+use sb_topology::{LinkType, NodeId, TopologySnapshot};
+use serde_json::{json, Value};
+
+/// Longitude/latitude (degrees) of a node's sub-satellite (or ground)
+/// point at `epoch`.
+fn lon_lat(position: Eci, epoch: Epoch) -> (f64, f64) {
+    let g = position.to_ecef(epoch).to_geodetic();
+    (g.longitude_rad.to_degrees(), g.latitude_rad.to_degrees())
+}
+
+/// GeoJSON `FeatureCollection` of every node in the snapshot: satellites
+/// as points with `kind` and `sunlit` properties, users as points with
+/// `kind: "user"`.
+pub fn nodes_geojson(snapshot: &TopologySnapshot, epoch: Epoch) -> Value {
+    let features: Vec<Value> = (0..snapshot.num_nodes())
+        .map(|i| {
+            let node = NodeId(i as u32);
+            let (lon, lat) = lon_lat(snapshot.position(node), epoch);
+            let kind = if snapshot.kind(node).is_satellite() { "satellite" } else { "user" };
+            json!({
+                "type": "Feature",
+                "geometry": { "type": "Point", "coordinates": [lon, lat] },
+                "properties": {
+                    "node": i,
+                    "kind": kind,
+                    "sunlit": snapshot.is_sunlit(node),
+                },
+            })
+        })
+        .collect();
+    json!({ "type": "FeatureCollection", "features": features })
+}
+
+/// GeoJSON `FeatureCollection` of the snapshot's links as great-circle
+/// chords (each undirected pair once), tagged `ISL`/`USL`.
+pub fn links_geojson(snapshot: &TopologySnapshot, epoch: Epoch) -> Value {
+    let mut features = Vec::new();
+    for e in snapshot.edges() {
+        if e.src >= e.dst {
+            continue; // one feature per undirected pair
+        }
+        let (lon_a, lat_a) = lon_lat(snapshot.position(e.src), epoch);
+        let (lon_b, lat_b) = lon_lat(snapshot.position(e.dst), epoch);
+        features.push(json!({
+            "type": "Feature",
+            "geometry": {
+                "type": "LineString",
+                "coordinates": [[lon_a, lat_a], [lon_b, lat_b]],
+            },
+            "properties": {
+                "link_type": match e.link_type { LinkType::Isl => "ISL", LinkType::Usl => "USL" },
+                "capacity_mbps": e.capacity_mbps,
+                "length_km": e.length_m / 1e3,
+            },
+        }));
+    }
+    json!({ "type": "FeatureCollection", "features": features })
+}
+
+/// GeoJSON `Feature` tracing one reservation path across the ground.
+pub fn path_geojson(snapshot: &TopologySnapshot, path: &SlotPath, epoch: Epoch) -> Value {
+    let coordinates: Vec<Value> = path
+        .nodes
+        .iter()
+        .map(|&n| {
+            let (lon, lat) = lon_lat(snapshot.position(n), epoch);
+            json!([lon, lat])
+        })
+        .collect();
+    json!({
+        "type": "Feature",
+        "geometry": { "type": "LineString", "coordinates": coordinates },
+        "properties": { "slot": path.slot.0, "hops": path.num_hops() },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{self, AlgorithmKind};
+    use crate::scenario::ScenarioConfig;
+    use sb_cear::Decision;
+    use sb_topology::SlotIndex;
+
+    fn snapshot_and_plan() -> (crate::engine::PreparedNetwork, SlotPath) {
+        let scenario = ScenarioConfig::tiny();
+        let prepared = engine::prepare(&scenario, 1);
+        let requests = engine::workload(&scenario, &prepared, 1);
+        let mut state =
+            sb_cear::NetworkState::new(prepared.series.clone(), &scenario.energy);
+        let mut algo = AlgorithmKind::Cear(scenario.cear).instantiate();
+        for r in &requests {
+            if let Decision::Accepted { plan, .. } = algo.process(r, &mut state) {
+                return (prepared, plan.slot_paths[0].clone());
+            }
+        }
+        panic!("tiny scenario should accept something");
+    }
+
+    #[test]
+    fn nodes_geojson_is_valid_and_complete() {
+        let (prepared, _) = snapshot_and_plan();
+        let snap = prepared.series.snapshot(SlotIndex(0));
+        let gj = nodes_geojson(snap, Epoch::from_seconds(0.0));
+        assert_eq!(gj["type"], "FeatureCollection");
+        assert_eq!(gj["features"].as_array().unwrap().len(), snap.num_nodes());
+        for f in gj["features"].as_array().unwrap() {
+            let coords = f["geometry"]["coordinates"].as_array().unwrap();
+            let lon = coords[0].as_f64().unwrap();
+            let lat = coords[1].as_f64().unwrap();
+            assert!((-180.0..=180.0).contains(&lon));
+            assert!((-90.0..=90.0).contains(&lat));
+        }
+    }
+
+    #[test]
+    fn links_geojson_halves_directed_edges() {
+        let (prepared, _) = snapshot_and_plan();
+        let snap = prepared.series.snapshot(SlotIndex(0));
+        let gj = links_geojson(snap, Epoch::from_seconds(0.0));
+        assert_eq!(gj["features"].as_array().unwrap().len(), snap.num_edges() / 2);
+    }
+
+    #[test]
+    fn path_geojson_traces_the_plan() {
+        let (prepared, path) = snapshot_and_plan();
+        let snap = prepared.series.snapshot(path.slot);
+        let epoch = Epoch::from_seconds(path.slot.0 as f64 * 60.0);
+        let gj = path_geojson(snap, &path, epoch);
+        assert_eq!(
+            gj["geometry"]["coordinates"].as_array().unwrap().len(),
+            path.nodes.len()
+        );
+        assert_eq!(gj["properties"]["hops"], path.num_hops());
+        // The whole document must serialize as valid JSON text.
+        let text = serde_json::to_string(&gj).unwrap();
+        assert!(text.contains("LineString"));
+    }
+}

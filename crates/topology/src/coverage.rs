@@ -1,0 +1,199 @@
+//! Constellation coverage analysis.
+//!
+//! Whether a request can be admitted at all starts with coverage: does the
+//! source see any satellite above its elevation mask *right now*? This
+//! module measures that — per latitude band and over time — which is how
+//! constellation designers size shells (and how this repository picked the
+//! test shells whose coverage holes would otherwise masquerade as
+//! algorithmic rejections).
+
+use crate::SlotIndex;
+use sb_geo::coords::{Eci, Geodetic};
+use sb_geo::{visibility, Epoch};
+use sb_orbit::Constellation;
+use serde::{Deserialize, Serialize};
+
+/// Coverage statistics for one latitude band.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BandCoverage {
+    /// Band center latitude, degrees.
+    pub latitude_deg: f64,
+    /// Fraction of sampled longitudes with at least one visible satellite.
+    pub covered_fraction: f64,
+    /// Mean number of visible satellites over the sampled points.
+    pub mean_visible: f64,
+}
+
+/// Samples coverage of a constellation at one epoch.
+///
+/// For each latitude band (spaced `lat_step_deg` apart) a ring of
+/// `lon_samples` test points is checked against the elevation mask.
+pub fn coverage_by_latitude(
+    constellation: &Constellation,
+    epoch: Epoch,
+    min_elevation_rad: f64,
+    lat_step_deg: f64,
+    lon_samples: usize,
+) -> Vec<BandCoverage> {
+    assert!(lat_step_deg > 0.0, "latitude step must be positive");
+    assert!(lon_samples > 0, "need at least one longitude sample");
+    let positions: Vec<Eci> =
+        constellation.propagate(epoch).iter().map(|s| s.position).collect();
+
+    let mut bands = Vec::new();
+    let mut lat = -90.0 + lat_step_deg / 2.0;
+    while lat < 90.0 {
+        let mut covered = 0usize;
+        let mut visible_total = 0usize;
+        for k in 0..lon_samples {
+            let lon = -180.0 + 360.0 * k as f64 / lon_samples as f64;
+            let p = Geodetic::from_degrees(lat, lon, 0.0).to_ecef().to_eci(epoch);
+            let visible = positions
+                .iter()
+                .filter(|&&sp| visibility::visible_above_elevation(p, sp, min_elevation_rad))
+                .count();
+            if visible > 0 {
+                covered += 1;
+            }
+            visible_total += visible;
+        }
+        bands.push(BandCoverage {
+            latitude_deg: lat,
+            covered_fraction: covered as f64 / lon_samples as f64,
+            mean_visible: visible_total as f64 / lon_samples as f64,
+        });
+        lat += lat_step_deg;
+    }
+    bands
+}
+
+/// Global coverage fraction (area-weighted by cos(latitude)) at one epoch.
+pub fn global_coverage(
+    constellation: &Constellation,
+    epoch: Epoch,
+    min_elevation_rad: f64,
+) -> f64 {
+    let bands = coverage_by_latitude(constellation, epoch, min_elevation_rad, 10.0, 24);
+    let (mut num, mut den) = (0.0, 0.0);
+    for b in &bands {
+        let w = b.latitude_deg.to_radians().cos().max(0.0);
+        num += b.covered_fraction * w;
+        den += w;
+    }
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+/// Worst-case (minimum) global coverage over a window of slots.
+pub fn min_coverage_over_time(
+    constellation: &Constellation,
+    slots: impl IntoIterator<Item = SlotIndex>,
+    slot_duration_s: f64,
+    min_elevation_rad: f64,
+) -> f64 {
+    slots
+        .into_iter()
+        .map(|t| {
+            global_coverage(
+                constellation,
+                Epoch::from_seconds(t.0 as f64 * slot_duration_s),
+                min_elevation_rad,
+            )
+        })
+        .fold(1.0, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_orbit::walker::WalkerConstellation;
+
+    fn shell(planes: usize, spp: usize) -> Constellation {
+        Constellation::from_walker(&WalkerConstellation::delta(
+            planes,
+            spp,
+            1,
+            550e3,
+            53f64.to_radians(),
+        ))
+    }
+
+    #[test]
+    fn paper_shell_covers_mid_latitudes_at_25_degrees() {
+        let c = shell(22, 72);
+        let bands = coverage_by_latitude(
+            &c,
+            Epoch::from_seconds(0.0),
+            25f64.to_radians(),
+            10.0,
+            36,
+        );
+        for b in bands.iter().filter(|b| b.latitude_deg.abs() < 50.0) {
+            assert!(
+                b.covered_fraction > 0.99,
+                "band {}° only {:.0}% covered",
+                b.latitude_deg,
+                b.covered_fraction * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn inclination_limits_polar_coverage() {
+        let c = shell(22, 72);
+        let bands = coverage_by_latitude(
+            &c,
+            Epoch::from_seconds(0.0),
+            25f64.to_radians(),
+            10.0,
+            24,
+        );
+        let polar = bands.iter().find(|b| b.latitude_deg > 80.0).unwrap();
+        assert!(
+            polar.covered_fraction < 0.5,
+            "a 53° shell cannot cover the pole: {:.0}%",
+            polar.covered_fraction * 100.0
+        );
+    }
+
+    #[test]
+    fn small_shell_has_holes_at_25_but_fewer_at_10_degrees() {
+        let c = shell(12, 12);
+        let epoch = Epoch::from_seconds(0.0);
+        let at25 = global_coverage(&c, epoch, 25f64.to_radians());
+        let at10 = global_coverage(&c, epoch, 10f64.to_radians());
+        assert!(at10 > at25, "lower mask must widen coverage: {at10} vs {at25}");
+        assert!(at25 < 0.9, "144 satellites cannot blanket the Earth at 25°");
+    }
+
+    #[test]
+    fn min_coverage_over_time_is_a_lower_bound() {
+        let c = shell(12, 12);
+        let slots: Vec<SlotIndex> = (0..4).map(SlotIndex).collect();
+        let min = min_coverage_over_time(&c, slots.clone(), 60.0, 10f64.to_radians());
+        for t in slots {
+            let g = global_coverage(
+                &c,
+                Epoch::from_seconds(t.0 as f64 * 60.0),
+                10f64.to_radians(),
+            );
+            assert!(g >= min - 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_constellation_covers_nothing() {
+        let c = Constellation::new();
+        assert_eq!(global_coverage(&c, Epoch::from_seconds(0.0), 0.4), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude step")]
+    fn invalid_step_panics() {
+        let c = shell(2, 2);
+        let _ = coverage_by_latitude(&c, Epoch::from_seconds(0.0), 0.4, 0.0, 4);
+    }
+}

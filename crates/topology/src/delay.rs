@@ -1,0 +1,111 @@
+//! Propagation-delay estimation.
+//!
+//! The whole point of an LSN backbone is latency: the paper's motivating
+//! applications (tele-conferencing, live broadcast) are delay-sensitive,
+//! and LEO paths beat terrestrial fiber on long routes because light
+//! travels ~1.5× faster in vacuum than in glass. This module turns paths
+//! through a snapshot into end-to-end propagation delays so reservations
+//! can be assessed against application latency budgets.
+
+use crate::graph::{EdgeId, TopologySnapshot};
+use sb_geo::SPEED_OF_LIGHT;
+
+/// Speed of light in optical fiber (refractive index ≈ 1.468), m/s — for
+/// comparing a satellite path against a terrestrial great-circle route.
+pub const FIBER_SPEED: f64 = SPEED_OF_LIGHT / 1.468;
+
+/// One-way propagation delay over a single edge, seconds.
+pub fn edge_delay_s(snapshot: &TopologySnapshot, edge: EdgeId) -> f64 {
+    snapshot.edge(edge).length_m / SPEED_OF_LIGHT
+}
+
+/// One-way propagation delay along a path of edges, seconds.
+///
+/// Only free-space propagation is counted; per-hop processing/queueing is
+/// deployment-specific and excluded (reservations eliminate queueing for
+/// admitted traffic by construction).
+pub fn path_delay_s(snapshot: &TopologySnapshot, edges: &[EdgeId]) -> f64 {
+    edges.iter().map(|&e| edge_delay_s(snapshot, e)).sum()
+}
+
+/// Total path length in meters.
+pub fn path_length_m(snapshot: &TopologySnapshot, edges: &[EdgeId]) -> f64 {
+    edges.iter().map(|&e| snapshot.edge(e).length_m).sum()
+}
+
+/// Delay of a hypothetical terrestrial fiber route covering
+/// `surface_distance_m` of great-circle distance, seconds. The classic
+/// benchmark a LEO path must beat on long routes.
+pub fn fiber_delay_s(surface_distance_m: f64) -> f64 {
+    surface_distance_m / FIBER_SPEED
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Edge, LinkType, NodeId, NodeKind};
+    use crate::SlotIndex;
+    use sb_geo::coords::Eci;
+    use sb_geo::Vec3;
+
+    fn snapshot_with_lengths(lengths: &[f64]) -> TopologySnapshot {
+        let n = lengths.len() + 1;
+        let kinds: Vec<NodeKind> = (0..n).map(NodeKind::Satellite).collect();
+        let pos = vec![Eci(Vec3::ZERO); n];
+        let edges = lengths
+            .iter()
+            .enumerate()
+            .map(|(i, &length_m)| Edge {
+                src: NodeId(i as u32),
+                dst: NodeId(i as u32 + 1),
+                link_type: LinkType::Isl,
+                capacity_mbps: 1.0,
+                length_m,
+            })
+            .collect();
+        TopologySnapshot::from_edges(SlotIndex(0), kinds, pos, vec![true; n], edges)
+    }
+
+    #[test]
+    fn single_edge_delay() {
+        let g = snapshot_with_lengths(&[299_792_458.0]);
+        let e = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        assert!((edge_delay_s(&g, e) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_delay_sums_edges() {
+        let g = snapshot_with_lengths(&[1.0e6, 2.0e6, 3.0e6]);
+        let edges: Vec<EdgeId> =
+            (0..3).map(|i| g.find_edge(NodeId(i), NodeId(i + 1)).unwrap()).collect();
+        let expected = 6.0e6 / SPEED_OF_LIGHT;
+        assert!((path_delay_s(&g, &edges) - expected).abs() < 1e-15);
+        assert!((path_length_m(&g, &edges) - 6.0e6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_path_is_instant() {
+        let g = snapshot_with_lengths(&[1.0e6]);
+        assert_eq!(path_delay_s(&g, &[]), 0.0);
+    }
+
+    #[test]
+    fn vacuum_beats_fiber_on_long_routes() {
+        // NY–Singapore great circle ≈ 15300 km; a LEO path is ~25% longer
+        // but propagates ~47% faster, so it wins. (On short routes like
+        // NY–London the up/down legs eat the advantage — also checked.)
+        let long = 15.3e6;
+        let leo_long = (long * 1.25 + 2.0 * 550e3) / SPEED_OF_LIGHT;
+        assert!(leo_long < fiber_delay_s(long), "LEO should win NY–Singapore");
+
+        let short = 1.0e6;
+        let leo_short = (short * 1.25 + 2.0 * 550e3) / SPEED_OF_LIGHT;
+        assert!(leo_short > fiber_delay_s(short), "fiber should win 1000 km routes");
+    }
+
+    #[test]
+    fn fiber_speed_is_slower_than_light() {
+        assert!(FIBER_SPEED < SPEED_OF_LIGHT);
+        assert!(FIBER_SPEED > 0.6 * SPEED_OF_LIGHT);
+    }
+}

@@ -1,0 +1,177 @@
+//! Link-failure injection.
+//!
+//! Real ISLs fail: pointing losses, radiation upsets, hardware death. The
+//! related work the paper builds on (e.g. resilient routing in
+//! space-terrestrial networks) treats link failure as a first-class
+//! concern, and any reservation scheme must at least degrade gracefully
+//! when links vanish. This module removes ISLs from snapshots
+//! deterministically — each unordered satellite pair fails independently
+//! per slot with a configured probability, decided by a seeded hash so
+//! that runs remain reproducible and both directions of a link always
+//! fail together.
+
+use crate::graph::{Edge, LinkType, TopologySnapshot};
+use serde::{Deserialize, Serialize};
+
+/// Per-slot, per-link independent ISL failure model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkFailureModel {
+    /// Probability that a given ISL is down in a given slot, `[0, 1]`.
+    pub isl_failure_prob: f64,
+    /// Seed decoupling failure draws from everything else.
+    pub seed: u64,
+}
+
+impl LinkFailureModel {
+    /// A model with no failures (identity).
+    pub fn none() -> Self {
+        LinkFailureModel { isl_failure_prob: 0.0, seed: 0 }
+    }
+
+    /// Creates a failure model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probability is outside `[0, 1]`.
+    pub fn new(isl_failure_prob: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&isl_failure_prob),
+            "failure probability must be in [0,1]"
+        );
+        LinkFailureModel { isl_failure_prob, seed }
+    }
+
+    /// Whether the ISL between nodes `a` and `b` is down at `slot`.
+    /// Symmetric in `a`/`b` so both directions agree.
+    pub fn is_down(&self, slot: crate::SlotIndex, a: u32, b: u32) -> bool {
+        if self.isl_failure_prob <= 0.0 {
+            return false;
+        }
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let h = splitmix64(
+            self.seed
+                ^ (u64::from(slot.0) << 40)
+                ^ (u64::from(lo) << 20)
+                ^ u64::from(hi),
+        );
+        // Map to [0, 1).
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        u < self.isl_failure_prob
+    }
+
+    /// Returns a copy of `snapshot` with failed ISLs removed. USLs are
+    /// never failed by this model (terminal outages are a user-side
+    /// phenomenon, not a network one).
+    pub fn apply(&self, snapshot: &TopologySnapshot) -> TopologySnapshot {
+        if self.isl_failure_prob <= 0.0 {
+            return snapshot.clone();
+        }
+        let slot = snapshot.slot();
+        let edges: Vec<Edge> = snapshot
+            .edges()
+            .iter()
+            .filter(|e| {
+                e.link_type != LinkType::Isl || !self.is_down(slot, e.src.0, e.dst.0)
+            })
+            .copied()
+            .collect();
+        TopologySnapshot::from_edges(
+            slot,
+            snapshot.kinds().to_vec(),
+            (0..snapshot.num_nodes())
+                .map(|i| snapshot.position(crate::NodeId(i as u32)))
+                .collect(),
+            (0..snapshot.num_nodes())
+                .map(|i| snapshot.is_sunlit(crate::NodeId(i as u32)))
+                .collect(),
+            edges,
+        )
+    }
+}
+
+/// SplitMix64: a tiny, high-quality 64-bit mixer (public domain).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::{build_snapshot, NetworkNodes, TopologyConfig};
+    use crate::SlotIndex;
+    use sb_geo::Epoch;
+    use sb_orbit::walker::WalkerConstellation;
+
+    fn snapshot() -> TopologySnapshot {
+        let shell = WalkerConstellation::delta(12, 12, 1, 550e3, 53f64.to_radians());
+        let mut nodes = NetworkNodes::from_walker(&shell);
+        nodes.add_ground_site(sb_geo::coords::Geodetic::from_degrees(35.8, -78.6, 0.0));
+        let cfg =
+            TopologyConfig { min_elevation_rad: 10f64.to_radians(), ..TopologyConfig::default() };
+        build_snapshot(&nodes, &cfg, SlotIndex(0), Epoch::from_seconds(0.0))
+    }
+
+    #[test]
+    fn zero_probability_is_identity() {
+        let snap = snapshot();
+        let out = LinkFailureModel::none().apply(&snap);
+        assert_eq!(out, snap);
+    }
+
+    #[test]
+    fn full_probability_kills_all_isls_but_no_usls() {
+        let snap = snapshot();
+        let out = LinkFailureModel::new(1.0, 7).apply(&snap);
+        assert!(out.edges().iter().all(|e| e.link_type == LinkType::Usl));
+        let usls_before =
+            snap.edges().iter().filter(|e| e.link_type == LinkType::Usl).count();
+        assert_eq!(out.num_edges(), usls_before);
+    }
+
+    #[test]
+    fn failure_rate_roughly_matches_probability() {
+        let snap = snapshot();
+        let isls_before = snap.edges().iter().filter(|e| e.link_type == LinkType::Isl).count();
+        let out = LinkFailureModel::new(0.3, 42).apply(&snap);
+        let isls_after = out.edges().iter().filter(|e| e.link_type == LinkType::Isl).count();
+        let survival = isls_after as f64 / isls_before as f64;
+        assert!((0.55..0.85).contains(&survival), "survival {survival}");
+    }
+
+    #[test]
+    fn directions_fail_together() {
+        let snap = snapshot();
+        let model = LinkFailureModel::new(0.5, 9);
+        let out = model.apply(&snap);
+        for e in out.edges().iter().filter(|e| e.link_type == LinkType::Isl) {
+            assert!(
+                out.find_edge(e.dst, e.src).is_some(),
+                "reverse of surviving ISL must also survive"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_slot() {
+        let snap = snapshot();
+        let a = LinkFailureModel::new(0.4, 1).apply(&snap);
+        let b = LinkFailureModel::new(0.4, 1).apply(&snap);
+        assert_eq!(a, b);
+        let c = LinkFailureModel::new(0.4, 2).apply(&snap);
+        assert_ne!(a.num_edges(), 0);
+        // Different seeds should (overwhelmingly) fail different links.
+        assert_ne!(
+            a.edges().iter().map(|e| (e.src, e.dst)).collect::<Vec<_>>(),
+            c.edges().iter().map(|e| (e.src, e.dst)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_panics() {
+        let _ = LinkFailureModel::new(1.5, 0);
+    }
+}

@@ -1,0 +1,326 @@
+//! The per-slot snapshot graph.
+//!
+//! Node identities are *stable across slots* (satellite k is node k in every
+//! snapshot); edges change from slot to slot as satellites move. The edge
+//! set is stored flat with a CSR-style adjacency index so that the pricing
+//! layer's Dijkstra runs allocation-free over a snapshot.
+
+use sb_geo::coords::Eci;
+use serde::{Deserialize, Serialize};
+
+/// Stable identifier of a network node across all time slots.
+///
+/// Numbering convention (enforced by [`crate::series::NetworkNodes`]):
+/// broadband satellites first, then ground users, then space users.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node as a `usize` array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A broadband relay satellite; `usize` is the constellation index.
+    Satellite(usize),
+    /// A ground user site; `usize` is the site index.
+    GroundUser(usize),
+    /// A space user (Earth-observation satellite); `usize` is the EO index.
+    SpaceUser(usize),
+}
+
+impl NodeKind {
+    /// `true` for broadband satellites (the only nodes that route traffic
+    /// and consume battery energy).
+    pub fn is_satellite(self) -> bool {
+        matches!(self, NodeKind::Satellite(_))
+    }
+
+    /// `true` for ground or space users.
+    pub fn is_user(self) -> bool {
+        !self.is_satellite()
+    }
+}
+
+impl core::fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NodeKind::Satellite(i) => write!(f, "sat[{i}]"),
+            NodeKind::GroundUser(i) => write!(f, "ground[{i}]"),
+            NodeKind::SpaceUser(i) => write!(f, "eo[{i}]"),
+        }
+    }
+}
+
+/// The physical type of a link, which determines its capacity and its unit
+/// energy consumption (the paper's `m_e ∈ {ISL, USL}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkType {
+    /// Inter-satellite link between two broadband satellites.
+    Isl,
+    /// User-satellite link (ground terminal or space user to a broadband
+    /// satellite).
+    Usl,
+}
+
+impl core::fmt::Display for LinkType {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LinkType::Isl => write!(f, "ISL"),
+            LinkType::Usl => write!(f, "USL"),
+        }
+    }
+}
+
+/// A directed edge in one snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Physical link type.
+    pub link_type: LinkType,
+    /// Bandwidth capacity `c_e(T)`, Mbps.
+    pub capacity_mbps: f64,
+    /// Straight-line length of the link, meters (for delay estimates).
+    pub length_m: f64,
+}
+
+/// Index of an edge within one snapshot's edge list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// The edge as a `usize` array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The network graph at one time slot: `G(T) = (V(T), E(T))`.
+///
+/// Construct via [`crate::series::TopologySeries::build`] or
+/// [`TopologySnapshot::from_edges`] (for hand-built test graphs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologySnapshot {
+    slot: crate::SlotIndex,
+    kinds: Vec<NodeKind>,
+    positions: Vec<Eci>,
+    sunlit: Vec<bool>,
+    edges: Vec<Edge>,
+    /// CSR: `adj_offsets[n] .. adj_offsets[n+1]` indexes `adj_edges` for the
+    /// out-edges of node `n`.
+    adj_offsets: Vec<u32>,
+    adj_edges: Vec<EdgeId>,
+}
+
+impl TopologySnapshot {
+    /// Builds a snapshot from node metadata and a directed edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a node outside `kinds`, or if the
+    /// metadata vectors disagree in length.
+    pub fn from_edges(
+        slot: crate::SlotIndex,
+        kinds: Vec<NodeKind>,
+        positions: Vec<Eci>,
+        sunlit: Vec<bool>,
+        mut edges: Vec<Edge>,
+    ) -> Self {
+        let n = kinds.len();
+        assert_eq!(positions.len(), n, "positions length mismatch");
+        assert_eq!(sunlit.len(), n, "sunlit length mismatch");
+        for e in &edges {
+            assert!(e.src.index() < n && e.dst.index() < n, "edge endpoint out of range");
+        }
+        // Sort edges by source for CSR layout; stable so test graphs keep
+        // deterministic edge order within a source.
+        edges.sort_by_key(|e| e.src);
+        let mut adj_offsets = vec![0u32; n + 1];
+        for e in &edges {
+            adj_offsets[e.src.index() + 1] += 1;
+        }
+        for i in 0..n {
+            adj_offsets[i + 1] += adj_offsets[i];
+        }
+        let adj_edges = (0..edges.len() as u32).map(EdgeId).collect();
+        TopologySnapshot { slot, kinds, positions, sunlit, edges, adj_offsets, adj_edges }
+    }
+
+    /// The slot this snapshot describes.
+    pub fn slot(&self) -> crate::SlotIndex {
+        self.slot
+    }
+
+    /// Number of nodes (same in every snapshot of a series).
+    pub fn num_nodes(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of directed edges in this snapshot.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The kind of a node.
+    pub fn kind(&self, node: NodeId) -> NodeKind {
+        self.kinds[node.index()]
+    }
+
+    /// All node kinds, indexed by node id.
+    pub fn kinds(&self) -> &[NodeKind] {
+        &self.kinds
+    }
+
+    /// The inertial position of a node at this slot.
+    pub fn position(&self, node: NodeId) -> Eci {
+        self.positions[node.index()]
+    }
+
+    /// Whether a node is in sunlight at this slot (always `true` for ground
+    /// users).
+    pub fn is_sunlit(&self, node: NodeId) -> bool {
+        self.sunlit[node.index()]
+    }
+
+    /// The edge with the given id.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// All edges in CSR order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Iterates over the out-edges of `node` as `(EdgeId, &Edge)`.
+    pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
+        let lo = self.adj_offsets[node.index()] as usize;
+        let hi = self.adj_offsets[node.index() + 1] as usize;
+        self.adj_edges[lo..hi].iter().map(move |&id| (id, &self.edges[id.index()]))
+    }
+
+    /// Out-degree of a node.
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        (self.adj_offsets[node.index() + 1] - self.adj_offsets[node.index()]) as usize
+    }
+
+    /// Finds the edge from `src` to `dst`, if present.
+    pub fn find_edge(&self, src: NodeId, dst: NodeId) -> Option<EdgeId> {
+        self.out_edges(src).find(|(_, e)| e.dst == dst).map(|(id, _)| id)
+    }
+
+    /// Total capacity (Mbps) of all directed edges — a sanity metric.
+    pub fn total_capacity_mbps(&self) -> f64 {
+        self.edges.iter().map(|e| e.capacity_mbps).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SlotIndex;
+    use sb_geo::Vec3;
+
+    fn tiny() -> TopologySnapshot {
+        // user0 -> sat1 -> sat2 -> user3
+        let kinds = vec![
+            NodeKind::GroundUser(0),
+            NodeKind::Satellite(0),
+            NodeKind::Satellite(1),
+            NodeKind::GroundUser(1),
+        ];
+        let pos = vec![Eci(Vec3::ZERO); 4];
+        let sunlit = vec![true; 4];
+        let mk = |s: u32, d: u32, lt| Edge {
+            src: NodeId(s),
+            dst: NodeId(d),
+            link_type: lt,
+            capacity_mbps: 1000.0,
+            length_m: 1.0e6,
+        };
+        let edges = vec![
+            mk(0, 1, LinkType::Usl),
+            mk(1, 0, LinkType::Usl),
+            mk(1, 2, LinkType::Isl),
+            mk(2, 1, LinkType::Isl),
+            mk(2, 3, LinkType::Usl),
+            mk(3, 2, LinkType::Usl),
+        ];
+        TopologySnapshot::from_edges(SlotIndex(0), kinds, pos, sunlit, edges)
+    }
+
+    #[test]
+    fn csr_adjacency_complete() {
+        let g = tiny();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.out_degree(NodeId(1)), 2);
+        let dsts: Vec<u32> = g.out_edges(NodeId(1)).map(|(_, e)| e.dst.0).collect();
+        assert!(dsts.contains(&0) && dsts.contains(&2));
+    }
+
+    #[test]
+    fn find_edge_works() {
+        let g = tiny();
+        assert!(g.find_edge(NodeId(0), NodeId(1)).is_some());
+        assert!(g.find_edge(NodeId(0), NodeId(2)).is_none());
+        let id = g.find_edge(NodeId(2), NodeId(3)).unwrap();
+        assert_eq!(g.edge(id).link_type, LinkType::Usl);
+    }
+
+    #[test]
+    fn kinds_and_predicates() {
+        let g = tiny();
+        assert!(g.kind(NodeId(1)).is_satellite());
+        assert!(g.kind(NodeId(0)).is_user());
+        assert_eq!(format!("{}", g.kind(NodeId(0))), "ground[0]");
+        assert_eq!(format!("{}", g.kind(NodeId(1))), "sat[0]");
+    }
+
+    #[test]
+    fn total_capacity() {
+        let g = tiny();
+        assert!((g.total_capacity_mbps() - 6000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge endpoint out of range")]
+    fn rejects_dangling_edge() {
+        let kinds = vec![NodeKind::Satellite(0)];
+        let pos = vec![Eci(Vec3::ZERO)];
+        let edges = vec![Edge {
+            src: NodeId(0),
+            dst: NodeId(7),
+            link_type: LinkType::Isl,
+            capacity_mbps: 1.0,
+            length_m: 1.0,
+        }];
+        let _ = TopologySnapshot::from_edges(SlotIndex(0), kinds, pos, vec![true], edges);
+    }
+
+    #[test]
+    fn isolated_node_has_no_edges() {
+        let kinds = vec![NodeKind::Satellite(0), NodeKind::Satellite(1)];
+        let pos = vec![Eci(Vec3::ZERO); 2];
+        let g = TopologySnapshot::from_edges(SlotIndex(1), kinds, pos, vec![true, false], vec![]);
+        assert_eq!(g.out_degree(NodeId(0)), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(!g.is_sunlit(NodeId(1)));
+        assert_eq!(g.slot(), SlotIndex(1));
+    }
+}

@@ -1,0 +1,394 @@
+//! Ground-user site grid.
+//!
+//! The paper divides the Earth's surface into triangles via a triangular
+//! tiling, takes each triangle's centroid as a potential ground-user site,
+//! and excludes areas unlikely to have users based on GDP distribution,
+//! "leaving 1761 potential source/destination locations globally".
+//!
+//! We reproduce the construction with:
+//!
+//! * an **icosphere** tiling — a regular icosahedron subdivided `n` times
+//!   gives `20·4ⁿ` near-equal spherical triangles (`n = 4` → 5120);
+//! * a **synthetic GDP density**: a Gaussian mixture over an embedded
+//!   gazetteer of the world's major metropolitan regions, weighted by a
+//!   rough GDP share. The top-`k` centroids by density form the candidate
+//!   site list (`k = 1761` at paper scale).
+//!
+//! The real GDP raster used by ICARUS is proprietary; DESIGN.md records the
+//! substitution. What matters to the algorithms downstream is only that
+//! demand concentrates in a few hot regions and oceans are empty — which
+//! the mixture preserves.
+
+use sb_geo::coords::Geodetic;
+use sb_geo::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Number of candidate ground sites at paper scale.
+pub const PAPER_SITE_COUNT: usize = 1761;
+
+/// Icosphere subdivision level at paper scale (20·4⁴ = 5120 triangles).
+pub const PAPER_SUBDIVISIONS: u32 = 4;
+
+/// Spatial spread (meters) of each gazetteer entry's economic footprint.
+const CITY_SIGMA_M: f64 = 900_000.0;
+
+/// Major metropolitan regions with rough relative GDP weights.
+///
+/// (latitude °, longitude °, weight). Weights are order-of-magnitude GDP
+/// shares, not precise figures — they only shape the demand density.
+const GAZETTEER: &[(f64, f64, f64)] = &[
+    // North America
+    (40.7, -74.0, 10.0),  // New York
+    (34.1, -118.2, 8.0),  // Los Angeles
+    (41.9, -87.6, 6.0),   // Chicago
+    (37.8, -122.4, 7.0),  // San Francisco Bay
+    (29.8, -95.4, 5.0),   // Houston
+    (32.8, -96.8, 5.0),   // Dallas
+    (38.9, -77.0, 5.0),   // Washington DC
+    (42.4, -71.1, 4.0),   // Boston
+    (47.6, -122.3, 4.0),  // Seattle
+    (33.7, -84.4, 4.0),   // Atlanta
+    (25.8, -80.2, 4.0),   // Miami
+    (43.7, -79.4, 5.0),   // Toronto
+    (45.5, -73.6, 3.0),   // Montreal
+    (19.4, -99.1, 5.0),   // Mexico City
+    // South America
+    (-23.6, -46.6, 5.0),  // São Paulo
+    (-22.9, -43.2, 3.0),  // Rio de Janeiro
+    (-34.6, -58.4, 3.0),  // Buenos Aires
+    (-33.4, -70.7, 2.0),  // Santiago
+    (4.7, -74.1, 2.0),    // Bogotá
+    (-12.0, -77.0, 2.0),  // Lima
+    // Europe
+    (51.5, -0.1, 8.0),    // London
+    (48.9, 2.3, 7.0),     // Paris
+    (52.5, 13.4, 4.0),    // Berlin
+    (50.1, 8.7, 4.0),     // Frankfurt
+    (48.1, 11.6, 4.0),    // Munich
+    (52.4, 4.9, 4.0),     // Amsterdam
+    (40.4, -3.7, 4.0),    // Madrid
+    (41.4, 2.2, 3.0),     // Barcelona
+    (45.5, 9.2, 4.0),     // Milan
+    (41.9, 12.5, 3.0),    // Rome
+    (59.3, 18.1, 2.5),    // Stockholm
+    (55.7, 12.6, 2.5),    // Copenhagen
+    (48.2, 16.4, 2.5),    // Vienna
+    (47.4, 8.5, 3.0),     // Zurich
+    (52.2, 21.0, 2.5),    // Warsaw
+    (55.8, 37.6, 5.0),    // Moscow
+    (59.9, 30.3, 2.5),    // St. Petersburg
+    (41.0, 29.0, 4.0),    // Istanbul
+    (37.9, 23.7, 1.5),    // Athens
+    (38.7, -9.1, 1.5),    // Lisbon
+    (53.3, -6.3, 2.0),    // Dublin
+    // Middle East & Africa
+    (25.2, 55.3, 4.0),    // Dubai
+    (24.7, 46.7, 3.0),    // Riyadh
+    (32.1, 34.8, 2.5),    // Tel Aviv
+    (30.0, 31.2, 3.0),    // Cairo
+    (6.5, 3.4, 2.5),      // Lagos
+    (-26.2, 28.0, 2.5),   // Johannesburg
+    (-1.3, 36.8, 1.5),    // Nairobi
+    (33.6, -7.6, 1.5),    // Casablanca
+    // South & Central Asia
+    (28.6, 77.2, 5.0),    // Delhi
+    (19.1, 72.9, 5.0),    // Mumbai
+    (12.9, 77.6, 4.0),    // Bangalore
+    (13.1, 80.3, 2.5),    // Chennai
+    (22.6, 88.4, 2.5),    // Kolkata
+    (24.9, 67.0, 2.0),    // Karachi
+    (23.8, 90.4, 2.0),    // Dhaka
+    // East Asia
+    (35.7, 139.7, 10.0),  // Tokyo
+    (34.7, 135.5, 5.0),   // Osaka
+    (37.6, 127.0, 6.0),   // Seoul
+    (31.2, 121.5, 8.0),   // Shanghai
+    (39.9, 116.4, 8.0),   // Beijing
+    (22.5, 114.1, 5.0),   // Shenzhen
+    (23.1, 113.3, 5.0),   // Guangzhou
+    (30.6, 104.1, 3.0),   // Chengdu
+    (22.3, 114.2, 5.0),   // Hong Kong
+    (25.0, 121.6, 4.0),   // Taipei
+    // Southeast Asia & Oceania
+    (1.35, 103.8, 5.0),   // Singapore
+    (13.8, 100.5, 3.0),   // Bangkok
+    (-6.2, 106.8, 3.5),   // Jakarta
+    (14.6, 121.0, 2.5),   // Manila
+    (10.8, 106.7, 2.5),   // Ho Chi Minh City
+    (3.1, 101.7, 2.5),    // Kuala Lumpur
+    (-33.9, 151.2, 4.0),  // Sydney
+    (-37.8, 145.0, 3.5),  // Melbourne
+    (-27.5, 153.0, 2.0),  // Brisbane
+    (-36.8, 174.8, 1.5),  // Auckland
+];
+
+/// Synthetic GDP density (arbitrary units) at a point: a Gaussian mixture
+/// over the embedded gazetteer using great-circle distances.
+///
+/// # Example
+///
+/// ```
+/// use sb_geo::coords::Geodetic;
+/// use sb_topology::ground::gdp_weight;
+/// let tokyo = Geodetic::from_degrees(35.7, 139.7, 0.0);
+/// let south_pacific = Geodetic::from_degrees(-45.0, -140.0, 0.0);
+/// assert!(gdp_weight(tokyo) > 100.0 * gdp_weight(south_pacific));
+/// ```
+pub fn gdp_weight(site: Geodetic) -> f64 {
+    GAZETTEER
+        .iter()
+        .map(|&(lat, lon, w)| {
+            let city = Geodetic::from_degrees(lat, lon, 0.0);
+            let d = site.surface_distance_to(city);
+            w * (-0.5 * (d / CITY_SIGMA_M).powi(2)).exp()
+        })
+        .sum()
+}
+
+/// Returns the centroids of a `subdivisions`-times subdivided icosahedron's
+/// faces as geodetic sites (altitude 0): `20·4^subdivisions` triangles.
+pub fn icosphere_face_centroids(subdivisions: u32) -> Vec<Geodetic> {
+    let (vertices, faces) = icosphere(subdivisions);
+    faces
+        .iter()
+        .map(|&[a, b, c]| {
+            let centroid = ((vertices[a] + vertices[b] + vertices[c]) / 3.0).normalized();
+            let g = sb_geo::coords::Ecef(centroid * sb_geo::EARTH_RADIUS_M).to_geodetic();
+            Geodetic::new(g.latitude_rad, g.longitude_rad, 0.0)
+        })
+        .collect()
+}
+
+/// Builds a unit icosphere: vertices and triangular faces.
+fn icosphere(subdivisions: u32) -> (Vec<Vec3>, Vec<[usize; 3]>) {
+    // Golden-ratio icosahedron.
+    let phi = (1.0 + 5f64.sqrt()) / 2.0;
+    let mut vertices: Vec<Vec3> = [
+        (-1.0, phi, 0.0),
+        (1.0, phi, 0.0),
+        (-1.0, -phi, 0.0),
+        (1.0, -phi, 0.0),
+        (0.0, -1.0, phi),
+        (0.0, 1.0, phi),
+        (0.0, -1.0, -phi),
+        (0.0, 1.0, -phi),
+        (phi, 0.0, -1.0),
+        (phi, 0.0, 1.0),
+        (-phi, 0.0, -1.0),
+        (-phi, 0.0, 1.0),
+    ]
+    .iter()
+    .map(|&(x, y, z)| Vec3::new(x, y, z).normalized())
+    .collect();
+
+    let mut faces: Vec<[usize; 3]> = vec![
+        [0, 11, 5],
+        [0, 5, 1],
+        [0, 1, 7],
+        [0, 7, 10],
+        [0, 10, 11],
+        [1, 5, 9],
+        [5, 11, 4],
+        [11, 10, 2],
+        [10, 7, 6],
+        [7, 1, 8],
+        [3, 9, 4],
+        [3, 4, 2],
+        [3, 2, 6],
+        [3, 6, 8],
+        [3, 8, 9],
+        [4, 9, 5],
+        [2, 4, 11],
+        [6, 2, 10],
+        [8, 6, 7],
+        [9, 8, 1],
+    ];
+
+    for _ in 0..subdivisions {
+        let mut midpoint_cache: std::collections::HashMap<(usize, usize), usize> =
+            std::collections::HashMap::new();
+        let mut new_faces = Vec::with_capacity(faces.len() * 4);
+        let mut midpoint = |a: usize, b: usize, vertices: &mut Vec<Vec3>| -> usize {
+            let key = (a.min(b), a.max(b));
+            *midpoint_cache.entry(key).or_insert_with(|| {
+                let m = ((vertices[a] + vertices[b]) / 2.0).normalized();
+                vertices.push(m);
+                vertices.len() - 1
+            })
+        };
+        for &[a, b, c] in &faces {
+            let ab = midpoint(a, b, &mut vertices);
+            let bc = midpoint(b, c, &mut vertices);
+            let ca = midpoint(c, a, &mut vertices);
+            new_faces.push([a, ab, ca]);
+            new_faces.push([b, bc, ab]);
+            new_faces.push([c, ca, bc]);
+            new_faces.push([ab, bc, ca]);
+        }
+        faces = new_faces;
+    }
+    (vertices, faces)
+}
+
+/// A weighted list of candidate ground-user sites.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroundGrid {
+    sites: Vec<(Geodetic, f64)>,
+}
+
+impl GroundGrid {
+    /// Generates a grid: subdivide, weight by GDP density, keep the top
+    /// `keep` sites by weight (ties broken deterministically by index).
+    pub fn generate(subdivisions: u32, keep: usize) -> GroundGrid {
+        let mut weighted: Vec<(Geodetic, f64)> = icosphere_face_centroids(subdivisions)
+            .into_iter()
+            .map(|g| (g, gdp_weight(g)))
+            .collect();
+        // Stable sort by descending weight keeps index order on ties.
+        weighted.sort_by(|a, b| b.1.total_cmp(&a.1));
+        weighted.truncate(keep);
+        GroundGrid { sites: weighted }
+    }
+
+    /// The paper-scale grid: 5120 triangles filtered to the top
+    /// [`PAPER_SITE_COUNT`] sites.
+    pub fn paper_scale() -> GroundGrid {
+        Self::generate(PAPER_SUBDIVISIONS, PAPER_SITE_COUNT)
+    }
+
+    /// The sites with their weights, ordered by descending weight.
+    pub fn sites(&self) -> &[(Geodetic, f64)] {
+        &self.sites
+    }
+
+    /// Number of sites in the grid.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// `true` when the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Samples a site index with probability proportional to its GDP
+    /// weight, using a uniform draw `u ∈ [0, 1)` supplied by the caller
+    /// (keeps this crate RNG-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is empty.
+    pub fn weighted_site_index(&self, u: f64) -> usize {
+        assert!(!self.is_empty(), "cannot sample an empty grid");
+        let total: f64 = self.sites.iter().map(|(_, w)| w).sum();
+        let mut target = u.clamp(0.0, 1.0 - f64::EPSILON) * total;
+        for (i, (_, w)) in self.sites.iter().enumerate() {
+            target -= w;
+            if target <= 0.0 {
+                return i;
+            }
+        }
+        self.sites.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn icosphere_face_counts() {
+        assert_eq!(icosphere_face_centroids(0).len(), 20);
+        assert_eq!(icosphere_face_centroids(1).len(), 80);
+        assert_eq!(icosphere_face_centroids(2).len(), 320);
+    }
+
+    #[test]
+    fn icosphere_vertex_count() {
+        // V = 10·4ⁿ + 2 for subdivided icosahedra.
+        let (v1, _) = icosphere(1);
+        assert_eq!(v1.len(), 42);
+        let (v2, _) = icosphere(2);
+        assert_eq!(v2.len(), 162);
+    }
+
+    #[test]
+    fn centroids_on_surface() {
+        for g in icosphere_face_centroids(2) {
+            assert!(g.altitude_m.abs() < 1.0, "altitude {}", g.altitude_m);
+        }
+    }
+
+    #[test]
+    fn centroids_cover_both_hemispheres() {
+        let cents = icosphere_face_centroids(3);
+        let north = cents.iter().filter(|g| g.latitude_rad > 0.0).count();
+        let south = cents.len() - north;
+        let ratio = north as f64 / south as f64;
+        assert!((0.8..1.25).contains(&ratio), "N/S ratio {ratio}");
+    }
+
+    #[test]
+    fn paper_scale_site_count() {
+        let grid = GroundGrid::paper_scale();
+        assert_eq!(grid.len(), PAPER_SITE_COUNT);
+    }
+
+    #[test]
+    fn sites_sorted_by_weight() {
+        let grid = GroundGrid::generate(2, 100);
+        for w in grid.sites().windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn hot_regions_beat_oceans() {
+        // Every selected paper-scale site should have meaningfully more GDP
+        // density than the middle of the South Pacific.
+        let grid = GroundGrid::generate(3, 400);
+        let ocean = gdp_weight(Geodetic::from_degrees(-45.0, -140.0, 0.0));
+        for (_, w) in grid.sites() {
+            assert!(*w > ocean);
+        }
+    }
+
+    #[test]
+    fn weighted_sampling_prefers_heavy_sites() {
+        let grid = GroundGrid::generate(2, 50);
+        // u=0 must select the heaviest site (index 0).
+        assert_eq!(grid.weighted_site_index(0.0), 0);
+        // u→1 selects one of the later (lighter) sites.
+        assert!(grid.weighted_site_index(0.999_999) > 0);
+    }
+
+    #[test]
+    fn generate_keep_larger_than_faces_keeps_all() {
+        let grid = GroundGrid::generate(0, 10_000);
+        assert_eq!(grid.len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty grid")]
+    fn sampling_empty_grid_panics() {
+        let grid = GroundGrid { sites: Vec::new() };
+        let _ = grid.weighted_site_index(0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_weighted_index_in_range(u in 0.0..1.0f64) {
+            let grid = GroundGrid::generate(1, 30);
+            let i = grid.weighted_site_index(u);
+            prop_assert!(i < grid.len());
+        }
+
+        #[test]
+        fn prop_gdp_weight_nonnegative(lat in -1.5..1.5f64, lon in -3.1..3.1f64) {
+            let w = gdp_weight(Geodetic::new(lat, lon, 0.0));
+            prop_assert!(w >= 0.0);
+            prop_assert!(w.is_finite());
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! +Grid inter-satellite link wiring.
+//!
+//! Operational LEO constellations (and the ICARUS simulator the paper
+//! extends) wire each satellite to four neighbors — the **+Grid**:
+//!
+//! * the satellite ahead and behind in the same orbital plane
+//!   (intra-plane ring), and
+//! * the same-slot satellite in the two adjacent planes (inter-plane
+//!   links, wrapping across the seam).
+//!
+//! Intra-plane links are permanent. Inter-plane links are dropped when the
+//! straight line between the two satellites would graze the Earth (only
+//! possible for exotic geometries; checked for robustness).
+
+use crate::graph::{Edge, LinkType, NodeId};
+use sb_geo::coords::Eci;
+use sb_geo::visibility;
+use sb_orbit::Satellite;
+
+/// The (plane, slot) grid coordinates of the broadband satellites, plus the
+/// plane/slot counts, extracted once per constellation.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    planes: usize,
+    sats_per_plane: usize,
+    /// `grid[plane][slot]` = constellation index of that satellite.
+    grid: Vec<Vec<usize>>,
+}
+
+impl GridIndex {
+    /// Builds the grid from Walker-generated satellites.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` when any satellite lacks plane/slot annotations or
+    /// the grid is ragged (not a full `planes × sats_per_plane` lattice).
+    pub fn from_satellites(satellites: &[Satellite]) -> Option<GridIndex> {
+        let mut planes = 0usize;
+        let mut spp = 0usize;
+        for s in satellites {
+            planes = planes.max(s.plane? + 1);
+            spp = spp.max(s.slot_in_plane? + 1);
+        }
+        if planes == 0 || spp == 0 || planes * spp != satellites.len() {
+            return None;
+        }
+        let mut grid = vec![vec![usize::MAX; spp]; planes];
+        for (idx, s) in satellites.iter().enumerate() {
+            let (p, k) = (s.plane?, s.slot_in_plane?);
+            if grid[p][k] != usize::MAX {
+                return None; // duplicate cell
+            }
+            grid[p][k] = idx;
+        }
+        Some(GridIndex { planes, sats_per_plane: spp, grid })
+    }
+
+    /// Number of orbital planes.
+    pub fn planes(&self) -> usize {
+        self.planes
+    }
+
+    /// Satellites per plane.
+    pub fn sats_per_plane(&self) -> usize {
+        self.sats_per_plane
+    }
+
+    /// Constellation index of the satellite at `(plane, slot)` (wrapping).
+    pub fn at(&self, plane: isize, slot: isize) -> usize {
+        let p = plane.rem_euclid(self.planes as isize) as usize;
+        let k = slot.rem_euclid(self.sats_per_plane as isize) as usize;
+        self.grid[p][k]
+    }
+
+    /// The four +Grid neighbor constellation indices of the satellite at
+    /// `(plane, slot)`: ahead, behind, left plane, right plane.
+    ///
+    /// Degenerate constellations (single plane or single slot) return fewer,
+    /// deduplicated neighbors.
+    pub fn neighbors(&self, plane: usize, slot: usize) -> Vec<usize> {
+        let p = plane as isize;
+        let k = slot as isize;
+        let me = self.at(p, k);
+        let mut out = Vec::with_capacity(4);
+        let mut push = |idx: usize| {
+            if idx != me && !out.contains(&idx) {
+                out.push(idx);
+            }
+        };
+        if self.sats_per_plane > 1 {
+            push(self.at(p, k + 1));
+            push(self.at(p, k - 1));
+        }
+        if self.planes > 1 {
+            push(self.at(p + 1, k));
+            push(self.at(p - 1, k));
+        }
+        out
+    }
+}
+
+/// Generates the directed ISL edge list for one snapshot.
+///
+/// `positions[i]` must be the position of constellation index `i`;
+/// `node_of(i)` maps a constellation index to its graph [`NodeId`]. Each
+/// undirected +Grid adjacency yields two directed edges with capacity
+/// `isl_capacity_mbps`. Links blocked by the Earth (including the grazing
+/// margin) are skipped.
+pub fn plus_grid_edges(
+    grid: &GridIndex,
+    positions: &[Eci],
+    node_of: impl Fn(usize) -> NodeId,
+    isl_capacity_mbps: f64,
+    grazing_margin_m: f64,
+) -> Vec<Edge> {
+    let mut edges = Vec::new();
+    for p in 0..grid.planes() {
+        for k in 0..grid.sats_per_plane() {
+            let a = grid.at(p as isize, k as isize);
+            for b in grid.neighbors(p, k) {
+                // Emit each undirected pair once (a < b), then both
+                // directions, to avoid duplicates.
+                if a >= b {
+                    continue;
+                }
+                let (pa, pb) = (positions[a], positions[b]);
+                if !visibility::line_of_sight_clear(pa, pb, grazing_margin_m) {
+                    continue;
+                }
+                let length_m = pa.distance(pb);
+                for (s, d) in [(a, b), (b, a)] {
+                    edges.push(Edge {
+                        src: node_of(s),
+                        dst: node_of(d),
+                        link_type: LinkType::Isl,
+                        capacity_mbps: isl_capacity_mbps,
+                        length_m,
+                    });
+                }
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_geo::Epoch;
+    use sb_orbit::walker::WalkerConstellation;
+    use sb_orbit::Constellation;
+
+    fn grid_for(planes: usize, spp: usize) -> (GridIndex, Vec<Eci>) {
+        let shell = WalkerConstellation::delta(planes, spp, 1 % planes, 550e3, 53f64.to_radians());
+        let c = Constellation::from_walker(&shell);
+        let grid = GridIndex::from_satellites(c.satellites()).unwrap();
+        let pos = c.propagate(Epoch::from_seconds(0.0)).iter().map(|s| s.position).collect();
+        (grid, pos)
+    }
+
+    #[test]
+    fn grid_index_shape() {
+        let (grid, _) = grid_for(4, 6);
+        assert_eq!(grid.planes(), 4);
+        assert_eq!(grid.sats_per_plane(), 6);
+        // Wrapping addressing.
+        assert_eq!(grid.at(-1, 0), grid.at(3, 0));
+        assert_eq!(grid.at(0, -1), grid.at(0, 5));
+    }
+
+    #[test]
+    fn four_neighbors_in_regular_grid() {
+        let (grid, _) = grid_for(4, 6);
+        for p in 0..4 {
+            for k in 0..6 {
+                assert_eq!(grid.neighbors(p, k).len(), 4, "at ({p},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_grids_have_fewer_neighbors() {
+        let (grid, _) = grid_for(1, 6);
+        assert_eq!(grid.neighbors(0, 0).len(), 2); // only intra-plane ring
+        let (grid2, _) = grid_for(4, 1);
+        assert_eq!(grid2.neighbors(0, 0).len(), 2); // only inter-plane
+    }
+
+    #[test]
+    fn plus_grid_edge_count() {
+        // Regular p×k grid: 2·p·k undirected links → 4·p·k directed edges
+        // (each sat has 4 neighbors; each link shared by 2 sats).
+        // Dense enough that every +Grid chord clears the Earth (adjacent
+        // nodes must be < 2·acos(Re/r) ≈ 46° apart at 550 km).
+        let (grid, pos) = grid_for(12, 12);
+        let edges = plus_grid_edges(&grid, &pos, |i| NodeId(i as u32), 20_000.0, 0.0);
+        assert_eq!(edges.len(), 4 * 12 * 12);
+    }
+
+    #[test]
+    fn edges_are_paired() {
+        let (grid, pos) = grid_for(3, 4);
+        let edges = plus_grid_edges(&grid, &pos, |i| NodeId(i as u32), 20_000.0, 0.0);
+        for e in &edges {
+            assert!(
+                edges.iter().any(|r| r.src == e.dst && r.dst == e.src),
+                "missing reverse of {:?}",
+                (e.src, e.dst)
+            );
+            assert_eq!(e.link_type, LinkType::Isl);
+            assert!(e.length_m > 0.0);
+        }
+    }
+
+    #[test]
+    fn neighbor_links_are_short() {
+        // In a 22×72 shell, +Grid neighbors are a few hundred km apart —
+        // far shorter than a random pair.
+        let (grid, pos) = grid_for(22, 72);
+        let edges = plus_grid_edges(&grid, &pos, |i| NodeId(i as u32), 20_000.0, 0.0);
+        assert_eq!(edges.len(), 4 * 22 * 72);
+        for e in &edges {
+            assert!(e.length_m < 4.0e6, "ISL length {} m", e.length_m);
+        }
+    }
+
+    #[test]
+    fn rejects_unannotated_satellites() {
+        let mut sats = Constellation::from_walker(&WalkerConstellation::delta(
+            2,
+            2,
+            0,
+            550e3,
+            0.9,
+        ))
+        .satellites()
+        .to_vec();
+        sats[0].plane = None;
+        assert!(GridIndex::from_satellites(&sats).is_none());
+    }
+
+    #[test]
+    fn rejects_ragged_grid() {
+        let sats = Constellation::from_walker(&WalkerConstellation::delta(2, 3, 0, 550e3, 0.9))
+            .satellites()
+            .to_vec();
+        // Drop one satellite → 5 sats cannot fill a 2×3 lattice.
+        assert!(GridIndex::from_satellites(&sats[..5]).is_none());
+    }
+}

@@ -1,0 +1,453 @@
+//! Building the time-slotted snapshot series.
+//!
+//! [`NetworkNodes`] fixes the node table (broadband satellites, ground
+//! users, space users) with stable [`NodeId`]s; [`TopologySeries::build`]
+//! then produces one [`TopologySnapshot`] per time slot by propagating all
+//! orbits, wiring the +Grid ISLs and discovering USLs.
+
+use crate::graph::{NodeId, NodeKind, TopologySnapshot};
+use crate::ground;
+use crate::isl::{self, GridIndex};
+use crate::usl;
+use crate::SlotIndex;
+use sb_geo::coords::{Eci, Geodetic};
+use sb_geo::{visibility, Epoch};
+use sb_orbit::{Constellation, Satellite, SatelliteKind};
+use serde::{Deserialize, Serialize};
+
+/// Tunable parameters of topology construction.
+///
+/// Defaults follow the paper's evaluation: ISL capacity 20 Gbps, USL
+/// capacity 4 Gbps, a 25° ground elevation mask, and up to 4 simultaneous
+/// links per user terminal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TopologyConfig {
+    /// ISL bandwidth capacity, Mbps (paper: 20 Gbps).
+    pub isl_capacity_mbps: f64,
+    /// USL bandwidth capacity, Mbps (paper: 4 Gbps).
+    pub usl_capacity_mbps: f64,
+    /// Minimum elevation for ground-user visibility, radians.
+    pub min_elevation_rad: f64,
+    /// Earth-grazing margin for space-user line-of-sight tests, meters.
+    pub grazing_margin_m: f64,
+    /// Earth-grazing margin for ISL line-of-sight tests, meters. Defaults
+    /// to zero: +Grid ISLs are engineered to stay above the horizon and are
+    /// blocked only by the solid Earth (sparse test shells would otherwise
+    /// lose their intra-plane rings).
+    pub isl_grazing_margin_m: f64,
+    /// Maximum simultaneous USLs per ground user.
+    pub max_usl_per_ground: usize,
+    /// Maximum simultaneous links per space user.
+    pub max_usl_per_eo: usize,
+    /// Maximum space-user link range, meters.
+    pub eo_link_range_m: f64,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        TopologyConfig {
+            isl_capacity_mbps: 20_000.0,
+            usl_capacity_mbps: 4_000.0,
+            min_elevation_rad: visibility::DEFAULT_MIN_ELEVATION_RAD,
+            grazing_margin_m: visibility::DEFAULT_GRAZING_MARGIN_M,
+            isl_grazing_margin_m: 0.0,
+            max_usl_per_ground: 4,
+            max_usl_per_eo: 4,
+            eo_link_range_m: 1_500_000.0,
+        }
+    }
+}
+
+/// The canonical node table: who exists in the network.
+///
+/// Node ids are assigned contiguously — broadband satellites first, then
+/// ground users, then space users — and remain stable across every slot.
+#[derive(Debug, Clone)]
+pub struct NetworkNodes {
+    broadband: Constellation,
+    grid: Option<GridIndex>,
+    ground_sites: Vec<Geodetic>,
+    space_users: Vec<Satellite>,
+}
+
+impl NetworkNodes {
+    /// Creates a node table from a broadband constellation.
+    ///
+    /// The +Grid index is derived from the satellites' plane/slot
+    /// annotations; constellations without full annotations get no ISLs
+    /// (useful only for degenerate tests).
+    pub fn new(broadband: Constellation) -> Self {
+        let grid = GridIndex::from_satellites(broadband.satellites());
+        NetworkNodes { broadband, grid, ground_sites: Vec::new(), space_users: Vec::new() }
+    }
+
+    /// Convenience: node table for a Walker shell.
+    pub fn from_walker(shell: &sb_orbit::walker::WalkerConstellation) -> Self {
+        Self::new(Constellation::from_walker(shell))
+    }
+
+    /// Adds a ground-user site, returning its [`NodeId`].
+    pub fn add_ground_site(&mut self, site: Geodetic) -> NodeId {
+        self.ground_sites.push(site);
+        self.ground_node(self.ground_sites.len() - 1)
+    }
+
+    /// Adds ground-user sites sampled from a [`ground::GroundGrid`] by
+    /// index, returning their [`NodeId`]s.
+    pub fn add_sites_from_grid(
+        &mut self,
+        grid: &ground::GroundGrid,
+        indices: impl IntoIterator<Item = usize>,
+    ) -> Vec<NodeId> {
+        indices.into_iter().map(|i| self.add_ground_site(grid.sites()[i].0)).collect()
+    }
+
+    /// Adds a space user (Earth-observation satellite), returning its
+    /// [`NodeId`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the satellite is not [`SatelliteKind::EarthObservation`].
+    pub fn add_space_user(&mut self, satellite: Satellite) -> NodeId {
+        assert_eq!(
+            satellite.kind,
+            SatelliteKind::EarthObservation,
+            "space users must be EO satellites"
+        );
+        self.space_users.push(satellite);
+        self.space_user_node(self.space_users.len() - 1)
+    }
+
+    /// Number of broadband satellites.
+    pub fn num_satellites(&self) -> usize {
+        self.broadband.len()
+    }
+
+    /// Number of ground-user sites.
+    pub fn num_ground_users(&self) -> usize {
+        self.ground_sites.len()
+    }
+
+    /// Number of space users.
+    pub fn num_space_users(&self) -> usize {
+        self.space_users.len()
+    }
+
+    /// Total node count.
+    pub fn num_nodes(&self) -> usize {
+        self.num_satellites() + self.num_ground_users() + self.num_space_users()
+    }
+
+    /// The broadband constellation.
+    pub fn broadband(&self) -> &Constellation {
+        &self.broadband
+    }
+
+    /// The ground sites in index order.
+    pub fn ground_sites(&self) -> &[Geodetic] {
+        &self.ground_sites
+    }
+
+    /// The space users in index order.
+    pub fn space_users(&self) -> &[Satellite] {
+        &self.space_users
+    }
+
+    /// [`NodeId`] of broadband satellite `i`.
+    pub fn satellite_node(&self, i: usize) -> NodeId {
+        debug_assert!(i < self.num_satellites());
+        NodeId(i as u32)
+    }
+
+    /// [`NodeId`] of ground user `i`.
+    pub fn ground_node(&self, i: usize) -> NodeId {
+        debug_assert!(i < self.num_ground_users());
+        NodeId((self.num_satellites() + i) as u32)
+    }
+
+    /// [`NodeId`] of space user `i`.
+    pub fn space_user_node(&self, i: usize) -> NodeId {
+        debug_assert!(i < self.num_space_users());
+        NodeId((self.num_satellites() + self.num_ground_users() + i) as u32)
+    }
+
+    /// The kind of a node id.
+    pub fn kind_of(&self, node: NodeId) -> NodeKind {
+        let i = node.index();
+        let s = self.num_satellites();
+        let g = self.num_ground_users();
+        if i < s {
+            NodeKind::Satellite(i)
+        } else if i < s + g {
+            NodeKind::GroundUser(i - s)
+        } else {
+            NodeKind::SpaceUser(i - s - g)
+        }
+    }
+
+    /// Builds the node-kind table in node-id order.
+    fn kinds(&self) -> Vec<NodeKind> {
+        (0..self.num_nodes()).map(|i| self.kind_of(NodeId(i as u32))).collect()
+    }
+}
+
+/// The full time-slotted topology: one snapshot per slot.
+#[derive(Debug, Clone)]
+pub struct TopologySeries {
+    slot_duration_s: f64,
+    snapshots: Vec<TopologySnapshot>,
+}
+
+impl TopologySeries {
+    /// Builds snapshots for slots `0..num_slots`, each `slot_duration_s`
+    /// seconds long. Orbits are sampled at each slot's start epoch.
+    pub fn build(
+        nodes: &NetworkNodes,
+        config: &TopologyConfig,
+        num_slots: usize,
+        slot_duration_s: f64,
+    ) -> TopologySeries {
+        let snapshots = (0..num_slots)
+            .map(|t| {
+                build_snapshot(
+                    nodes,
+                    config,
+                    SlotIndex(t as u32),
+                    Epoch::from_seconds(t as f64 * slot_duration_s),
+                )
+            })
+            .collect();
+        TopologySeries { slot_duration_s, snapshots }
+    }
+
+    /// Number of slots in the series.
+    pub fn num_slots(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Slot duration in seconds.
+    pub fn slot_duration_s(&self) -> f64 {
+        self.slot_duration_s
+    }
+
+    /// The snapshot for a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is outside the built horizon.
+    pub fn snapshot(&self, slot: SlotIndex) -> &TopologySnapshot {
+        &self.snapshots[slot.index()]
+    }
+
+    /// All snapshots in slot order.
+    pub fn snapshots(&self) -> &[TopologySnapshot] {
+        &self.snapshots
+    }
+
+    /// Per-slot sunlit flags for broadband satellite `sat_idx` across the
+    /// whole horizon (consumed by the energy model).
+    pub fn sunlit_profile(&self, sat_node: NodeId) -> Vec<bool> {
+        self.snapshots.iter().map(|s| s.is_sunlit(sat_node)).collect()
+    }
+
+    /// Returns a copy of the series with an ISL failure model applied to
+    /// every snapshot (see [`crate::failures::LinkFailureModel`]).
+    pub fn with_failures(&self, model: &crate::failures::LinkFailureModel) -> TopologySeries {
+        TopologySeries {
+            slot_duration_s: self.slot_duration_s,
+            snapshots: self.snapshots.iter().map(|s| model.apply(s)).collect(),
+        }
+    }
+}
+
+/// Builds the snapshot graph for one slot.
+pub fn build_snapshot(
+    nodes: &NetworkNodes,
+    config: &TopologyConfig,
+    slot: SlotIndex,
+    epoch: Epoch,
+) -> TopologySnapshot {
+    // Propagate everything.
+    let sat_states = nodes.broadband.propagate(epoch);
+    let sat_positions: Vec<Eci> = sat_states.iter().map(|s| s.position).collect();
+
+    let mut positions: Vec<Eci> = Vec::with_capacity(nodes.num_nodes());
+    let mut sunlit: Vec<bool> = Vec::with_capacity(nodes.num_nodes());
+    positions.extend(sat_positions.iter().copied());
+    sunlit.extend(sat_states.iter().map(|s| s.sunlit));
+
+    for site in nodes.ground_sites() {
+        positions.push(site.to_ecef().to_eci(epoch));
+        sunlit.push(true); // ground users draw no satellite battery power
+    }
+    for eo in nodes.space_users() {
+        let p = eo.elements.position_at(epoch);
+        positions.push(p);
+        sunlit.push(!sb_geo::sun::in_umbra(p, epoch));
+    }
+
+    let mut edges = Vec::new();
+
+    // ISLs.
+    if let Some(grid) = &nodes.grid {
+        edges.extend(isl::plus_grid_edges(
+            grid,
+            &sat_positions,
+            |i| nodes.satellite_node(i),
+            config.isl_capacity_mbps,
+            config.isl_grazing_margin_m,
+        ));
+    }
+
+    // Ground USLs.
+    for (gi, _site) in nodes.ground_sites().iter().enumerate() {
+        let user_node = nodes.ground_node(gi);
+        let user_pos = positions[user_node.index()];
+        let visible = usl::visible_sats_from_ground(
+            user_pos,
+            &sat_positions,
+            config.min_elevation_rad,
+            config.max_usl_per_ground,
+        );
+        edges.extend(usl::usl_edges(
+            user_node,
+            user_pos,
+            &visible,
+            &sat_positions,
+            |i| nodes.satellite_node(i),
+            config.usl_capacity_mbps,
+        ));
+    }
+
+    // Space-user links (modelled as USLs per the paper's two link classes).
+    for (ei, _eo) in nodes.space_users().iter().enumerate() {
+        let user_node = nodes.space_user_node(ei);
+        let user_pos = positions[user_node.index()];
+        let visible = usl::visible_sats_from_space(
+            user_pos,
+            &sat_positions,
+            config.eo_link_range_m,
+            config.grazing_margin_m,
+            config.max_usl_per_eo,
+        );
+        edges.extend(usl::usl_edges(
+            user_node,
+            user_pos,
+            &visible,
+            &sat_positions,
+            |i| nodes.satellite_node(i),
+            config.usl_capacity_mbps,
+        ));
+    }
+
+    TopologySnapshot::from_edges(slot, nodes.kinds(), positions, sunlit, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::LinkType;
+    use sb_orbit::walker::WalkerConstellation;
+
+    fn small_nodes() -> NetworkNodes {
+        let shell = WalkerConstellation::delta(12, 8, 1, 550e3, 53f64.to_radians());
+        let mut nodes = NetworkNodes::from_walker(&shell);
+        nodes.add_ground_site(Geodetic::from_degrees(35.8, -78.6, 0.0));
+        nodes.add_ground_site(Geodetic::from_degrees(-33.9, 151.2, 0.0));
+        for eo in sb_orbit::eo::synthetic_fleet(3) {
+            nodes.add_space_user(eo);
+        }
+        nodes
+    }
+
+    #[test]
+    fn node_numbering_is_contiguous() {
+        let nodes = small_nodes();
+        assert_eq!(nodes.num_nodes(), 96 + 2 + 3);
+        assert_eq!(nodes.satellite_node(0), NodeId(0));
+        assert_eq!(nodes.ground_node(0), NodeId(96));
+        assert_eq!(nodes.space_user_node(0), NodeId(98));
+        assert_eq!(nodes.kind_of(NodeId(0)), NodeKind::Satellite(0));
+        assert_eq!(nodes.kind_of(NodeId(97)), NodeKind::GroundUser(1));
+        assert_eq!(nodes.kind_of(NodeId(100)), NodeKind::SpaceUser(2));
+    }
+
+    #[test]
+    fn snapshot_has_isls_and_usls() {
+        let nodes = small_nodes();
+        let snap =
+            build_snapshot(&nodes, &TopologyConfig::default(), SlotIndex(0), Epoch::from_seconds(0.0));
+        let isls = snap.edges().iter().filter(|e| e.link_type == LinkType::Isl).count();
+        let usls = snap.edges().iter().filter(|e| e.link_type == LinkType::Usl).count();
+        assert_eq!(isls, 4 * 96, "+Grid should give 4 directed ISLs per sat");
+        assert!(usls > 0, "users should see some satellites");
+        assert!(usls % 2 == 0, "USLs come in directed pairs");
+    }
+
+    #[test]
+    fn series_builds_and_changes_over_time() {
+        let nodes = small_nodes();
+        let series = TopologySeries::build(&nodes, &TopologyConfig::default(), 4, 300.0);
+        assert_eq!(series.num_slots(), 4);
+        assert_eq!(series.slot_duration_s(), 300.0);
+        // Edge sets should differ across 5-minute slots (satellites move
+        // ~1400 km per slot).
+        let e0: Vec<_> =
+            series.snapshot(SlotIndex(0)).edges().iter().map(|e| (e.src, e.dst)).collect();
+        let e3: Vec<_> =
+            series.snapshot(SlotIndex(3)).edges().iter().map(|e| (e.src, e.dst)).collect();
+        assert_ne!(e0, e3, "topology should evolve");
+    }
+
+    #[test]
+    fn usl_capacity_from_config() {
+        let nodes = small_nodes();
+        let cfg = TopologyConfig { usl_capacity_mbps: 1234.0, ..TopologyConfig::default() };
+        let snap = build_snapshot(&nodes, &cfg, SlotIndex(0), Epoch::from_seconds(0.0));
+        for e in snap.edges().iter().filter(|e| e.link_type == LinkType::Usl) {
+            assert_eq!(e.capacity_mbps, 1234.0);
+        }
+    }
+
+    #[test]
+    fn ground_users_always_sunlit() {
+        let nodes = small_nodes();
+        let snap =
+            build_snapshot(&nodes, &TopologyConfig::default(), SlotIndex(0), Epoch::from_seconds(0.0));
+        assert!(snap.is_sunlit(nodes.ground_node(0)));
+        assert!(snap.is_sunlit(nodes.ground_node(1)));
+    }
+
+    #[test]
+    fn sunlit_profile_varies_over_orbit() {
+        let shell = WalkerConstellation::delta(2, 4, 0, 550e3, 53f64.to_radians());
+        let nodes = NetworkNodes::from_walker(&shell);
+        // Sample a full orbit at 1-minute slots.
+        let series = TopologySeries::build(&nodes, &TopologyConfig::default(), 96, 60.0);
+        let profile = series.sunlit_profile(nodes.satellite_node(0));
+        let lit = profile.iter().filter(|&&b| b).count();
+        // At 53° inclination near equinox the satellite must see both
+        // sunlight and umbra within one orbit.
+        assert!(lit > 0 && lit < 96, "lit {lit}/96");
+    }
+
+    #[test]
+    fn eo_sats_link_to_nearby_broadband() {
+        let shell = WalkerConstellation::delta(22, 72, 17, 550e3, 53f64.to_radians());
+        let mut nodes = NetworkNodes::from_walker(&shell);
+        let eo_node = nodes.add_space_user(sb_orbit::eo::synthetic_fleet(1).pop().unwrap());
+        let snap =
+            build_snapshot(&nodes, &TopologyConfig::default(), SlotIndex(0), Epoch::from_seconds(0.0));
+        // At paper density, an EO sat at ~500 km should see the shell.
+        assert!(snap.out_degree(eo_node) > 0, "EO sat sees no broadband satellites");
+    }
+
+    #[test]
+    #[should_panic(expected = "space users must be EO satellites")]
+    fn rejects_broadband_as_space_user() {
+        let shell = WalkerConstellation::delta(2, 2, 0, 550e3, 0.9);
+        let mut nodes = NetworkNodes::from_walker(&shell);
+        let sat = nodes.broadband().satellites()[0].clone();
+        nodes.add_space_user(sat);
+    }
+}

@@ -1,0 +1,163 @@
+//! User-satellite link (USL) discovery.
+//!
+//! Ground users see a broadband satellite when it is above their minimum
+//! elevation angle (≈25° for modern phased-array terminals). Space users
+//! (EO satellites flying below the broadband shell) link to broadband
+//! satellites within line-of-sight and terminal range. In both cases, the
+//! number of simultaneous links is limited by terminal hardware, so we keep
+//! the `max_links` *nearest* visible satellites.
+
+use crate::graph::{Edge, LinkType, NodeId};
+use sb_geo::coords::Eci;
+use sb_geo::visibility;
+
+/// Returns the indices of the `max_links` nearest satellites (into
+/// `sat_positions`) visible from a ground user, i.e. above
+/// `min_elevation_rad`.
+pub fn visible_sats_from_ground(
+    user: Eci,
+    sat_positions: &[Eci],
+    min_elevation_rad: f64,
+    max_links: usize,
+) -> Vec<usize> {
+    let mut candidates: Vec<(f64, usize)> = sat_positions
+        .iter()
+        .enumerate()
+        .filter(|(_, &sp)| visibility::visible_above_elevation(user, sp, min_elevation_rad))
+        .map(|(i, &sp)| (user.distance(sp), i))
+        .collect();
+    candidates.sort_by(|a, b| a.0.total_cmp(&b.0));
+    candidates.truncate(max_links);
+    candidates.into_iter().map(|(_, i)| i).collect()
+}
+
+/// Returns the indices of the `max_links` nearest satellites visible from a
+/// space user: within `max_range_m` and with an Earth-clear line of sight.
+pub fn visible_sats_from_space(
+    user: Eci,
+    sat_positions: &[Eci],
+    max_range_m: f64,
+    grazing_margin_m: f64,
+    max_links: usize,
+) -> Vec<usize> {
+    let mut candidates: Vec<(f64, usize)> = sat_positions
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &sp)| {
+            let d = user.distance(sp);
+            (d <= max_range_m && visibility::line_of_sight_clear(user, sp, grazing_margin_m))
+                .then_some((d, i))
+        })
+        .collect();
+    candidates.sort_by(|a, b| a.0.total_cmp(&b.0));
+    candidates.truncate(max_links);
+    candidates.into_iter().map(|(_, i)| i).collect()
+}
+
+/// Builds the bidirectional USL edges between one user node and a set of
+/// satellite nodes.
+pub fn usl_edges(
+    user_node: NodeId,
+    user_pos: Eci,
+    sats: &[usize],
+    sat_positions: &[Eci],
+    node_of_sat: impl Fn(usize) -> NodeId,
+    usl_capacity_mbps: f64,
+) -> Vec<Edge> {
+    let mut edges = Vec::with_capacity(sats.len() * 2);
+    for &s in sats {
+        let sat_node = node_of_sat(s);
+        let length_m = user_pos.distance(sat_positions[s]);
+        for (src, dst) in [(user_node, sat_node), (sat_node, user_node)] {
+            edges.push(Edge {
+                src,
+                dst,
+                link_type: LinkType::Usl,
+                capacity_mbps: usl_capacity_mbps,
+                length_m,
+            });
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_geo::{Vec3, EARTH_RADIUS_M};
+
+    fn ground_at_origin() -> Eci {
+        Eci(Vec3::new(EARTH_RADIUS_M, 0.0, 0.0))
+    }
+
+    fn sat_above(offset_rad: f64) -> Eci {
+        let r = EARTH_RADIUS_M + 550e3;
+        Eci(Vec3::new(r * offset_rad.cos(), r * offset_rad.sin(), 0.0))
+    }
+
+    #[test]
+    fn overhead_sat_is_visible() {
+        let sats = vec![sat_above(0.0)];
+        let v = visible_sats_from_ground(ground_at_origin(), &sats, 25f64.to_radians(), 4);
+        assert_eq!(v, vec![0]);
+    }
+
+    #[test]
+    fn horizon_sat_is_not_visible() {
+        // 40° of arc away: far below a 25° elevation mask.
+        let sats = vec![sat_above(0.7)];
+        let v = visible_sats_from_ground(ground_at_origin(), &sats, 25f64.to_radians(), 4);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn nearest_sats_kept_when_capped() {
+        let sats = vec![sat_above(0.04), sat_above(0.0), sat_above(0.02)];
+        let v = visible_sats_from_ground(ground_at_origin(), &sats, 25f64.to_radians(), 2);
+        assert_eq!(v, vec![1, 2]); // overhead first, then 0.02 rad away
+    }
+
+    #[test]
+    fn space_user_links_within_range() {
+        let eo = Eci(Vec3::new(EARTH_RADIUS_M + 500e3, 0.0, 0.0));
+        let sats = vec![
+            sat_above(0.0),  // ~50 km above the EO sat
+            sat_above(0.3),  // ~2000 km away around the arc
+            Eci(Vec3::new(-(EARTH_RADIUS_M + 550e3), 0.0, 0.0)), // other side of Earth
+        ];
+        let v = visible_sats_from_space(eo, &sats, 1_500_000.0, 80_000.0, 4);
+        assert_eq!(v, vec![0]);
+    }
+
+    #[test]
+    fn space_user_earth_blockage() {
+        let eo = Eci(Vec3::new(EARTH_RADIUS_M + 500e3, 0.0, 0.0));
+        let behind = Eci(Vec3::new(-(EARTH_RADIUS_M + 550e3), 0.0, 0.0));
+        let v = visible_sats_from_space(eo, &[behind], 5.0e7, 80_000.0, 4);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn usl_edges_bidirectional_with_capacity() {
+        let user = ground_at_origin();
+        let sats_pos = vec![sat_above(0.0)];
+        let edges = usl_edges(NodeId(10), user, &[0], &sats_pos, |i| NodeId(i as u32), 4000.0);
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[0].src, NodeId(10));
+        assert_eq!(edges[0].dst, NodeId(0));
+        assert_eq!(edges[1].src, NodeId(0));
+        assert_eq!(edges[1].dst, NodeId(10));
+        for e in &edges {
+            assert_eq!(e.link_type, LinkType::Usl);
+            assert!((e.capacity_mbps - 4000.0).abs() < 1e-12);
+            assert!((e.length_m - 550e3).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn zero_max_links_yields_nothing() {
+        let sats = vec![sat_above(0.0)];
+        let v = visible_sats_from_ground(ground_at_origin(), &sats, 25f64.to_radians(), 0);
+        assert!(v.is_empty());
+    }
+}

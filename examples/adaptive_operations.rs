@@ -1,0 +1,70 @@
+//! Operator's console: adaptive conservativeness under a flash crowd.
+//!
+//! A disaster strikes mid-simulation: arrivals quadruple for twenty
+//! minutes (the burst pattern), hammering satellite batteries. The
+//! §V-B-style adaptive loop watches mean battery utilization and raises
+//! the energy conservativeness `F₂` while the storm lasts, then relaxes
+//! it. The decision trace shows what the operator would see: prices,
+//! rejections by cause, and the `F₂` trajectory.
+//!
+//! ```text
+//! cargo run --release --example adaptive_operations
+//! ```
+
+use space_booking::sb_cear::{AdaptiveCear, AdaptivePolicy};
+use space_booking::sb_demand::ArrivalPattern;
+use space_booking::sb_sim::engine;
+use space_booking::sb_sim::trace::{run_traced, summarize};
+use space_booking::sb_sim::ScenarioConfig;
+
+fn main() {
+    // A fast-scale scenario with a 4× burst in slots 30–50.
+    let mut scenario = ScenarioConfig::fast();
+    scenario.arrivals_per_slot = 3.0;
+    scenario.pattern =
+        ArrivalPattern::Burst { start_slot: 30, duration_slots: 20, multiplier: 4.0 };
+
+    let prepared = engine::prepare(&scenario, 7);
+    let requests = engine::workload(&scenario, &prepared, 7);
+    let in_burst = requests.iter().filter(|r| (30..50).contains(&r.start.0)).count();
+    println!(
+        "workload: {} requests over {} slots — {in_burst} inside the 20-slot burst window\n",
+        requests.len(),
+        scenario.horizon_slots
+    );
+
+    // The adaptive operator policy: keep mean battery utilization ≤ 35%.
+    let policy = AdaptivePolicy {
+        target_battery_utilization: 0.35,
+        retune_every: 20,
+        ..AdaptivePolicy::default()
+    };
+    let mut algo = AdaptiveCear::new(scenario.cear, policy);
+    let (records, state) = run_traced(&scenario, &prepared, &requests, &mut algo);
+
+    let summary = summarize(&records);
+    println!("accepted            : {}", summary.accepted);
+    for (reason, n) in &summary.rejections {
+        println!("rejected ({reason:<22}): {n}");
+    }
+    println!("median price        : {:.3e}", summary.median_price);
+    println!("median hops         : {}", summary.median_hops);
+    println!("median one-way delay: {:.1} ms", summary.median_delay_ms);
+
+    println!("\nF2 trajectory as the loop retuned (every 20 requests):");
+    let history = algo.f2_history();
+    for (k, f2) in history.iter().enumerate() {
+        let bar = "#".repeat((f2.log2() + 3.0).max(0.0) as usize);
+        println!("  retune {k:>2}: F2 = {f2:<7.3} {bar}");
+    }
+    println!(
+        "\nfinal F2 {:.2}; mean battery utilization at horizon end: {:.1}%",
+        algo.current_f2(),
+        state.ledger().mean_utilization(scenario.horizon_slots - 1) * 100.0
+    );
+    println!(
+        "battery wear: mean {:.3} equivalent cycles, worst DoD {:.0}%",
+        space_booking::sb_energy::fleet_wear(state.ledger()).mean_equivalent_cycles,
+        space_booking::sb_energy::fleet_wear(state.ledger()).max_depth_of_discharge * 100.0
+    );
+}

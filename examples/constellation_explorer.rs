@@ -1,0 +1,78 @@
+//! Constellation explorer: inspect the dynamic topology the algorithms
+//! run on.
+//!
+//! Builds the full paper-scale Starlink Shell-1 (1584 satellites), the
+//! GDP-weighted ground grid and the synthetic EO fleet, then prints
+//! topology statistics over one orbital period: ISL/USL counts, coverage,
+//! sunlight fraction and how fast the user-facing topology churns.
+//!
+//! ```text
+//! cargo run --release --example constellation_explorer
+//! ```
+
+use space_booking::sb_geo::coords::Geodetic;
+use space_booking::sb_orbit::{eo, walker::WalkerConstellation};
+use space_booking::sb_topology::ground::GroundGrid;
+use space_booking::sb_topology::{
+    LinkType, NetworkNodes, SlotIndex, TopologyConfig, TopologySeries,
+};
+
+fn main() {
+    // The paper's constellation.
+    let shell = WalkerConstellation::starlink_shell1();
+    println!(
+        "constellation: {} planes × {} satellites = {} at {:.0} km / {:.0}°",
+        shell.planes(),
+        shell.sats_per_plane(),
+        shell.total_satellites(),
+        shell.altitude_m() / 1000.0,
+        shell.inclination_rad().to_degrees(),
+    );
+
+    // The paper's candidate ground sites.
+    let grid = GroundGrid::paper_scale();
+    println!("ground grid: {} GDP-weighted candidate sites", grid.len());
+    let (top, w) = (&grid.sites()[0].0, grid.sites()[0].1);
+    println!("densest site: {top} (weight {w:.2})");
+
+    // A handful of endpoints: three heavy sites plus two EO satellites.
+    let mut nodes = NetworkNodes::from_walker(&shell);
+    for k in 0..3 {
+        nodes.add_ground_site(grid.sites()[k * 50].0);
+    }
+    // A user in a low-GDP region for contrast.
+    let remote = nodes.add_ground_site(Geodetic::from_degrees(-51.7, -57.9, 0.0)); // Falklands
+    for sat in eo::synthetic_fleet(2) {
+        nodes.add_space_user(sat);
+    }
+
+    // One orbital period at one-minute slots.
+    let series = TopologySeries::build(&nodes, &TopologyConfig::default(), 96, 60.0);
+
+    println!("\nslot  ISLs  USLs  sunlit%  remote-user-degree");
+    let mut prev_gateways: Option<Vec<sb_topology::NodeId>> = None;
+    let mut handovers = 0usize;
+    for t in (0..96).step_by(8) {
+        let snap = series.snapshot(SlotIndex(t));
+        let isls = snap.edges().iter().filter(|e| e.link_type == LinkType::Isl).count();
+        let usls = snap.edges().iter().filter(|e| e.link_type == LinkType::Usl).count();
+        let sunlit = (0..shell.total_satellites())
+            .filter(|&i| snap.is_sunlit(sb_topology::NodeId(i as u32)))
+            .count();
+        println!(
+            "{t:>4}  {isls:>5}  {usls:>4}  {:>6.1}  {:>3}",
+            sunlit as f64 / shell.total_satellites() as f64 * 100.0,
+            snap.out_degree(remote),
+        );
+        // Track gateway churn for the remote user.
+        let gateways: Vec<_> = snap.out_edges(remote).map(|(_, e)| e.dst).collect();
+        if let Some(prev) = &prev_gateways {
+            handovers += gateways.iter().filter(|g| !prev.contains(g)).count();
+        }
+        prev_gateways = Some(gateways);
+    }
+    println!(
+        "\nremote user gained {handovers} new gateway satellites across the sampled slots — \
+         the topology dynamics CEAR's per-slot paths absorb"
+    );
+}

@@ -1,0 +1,76 @@
+//! The satellite charge/discharge cycle (the paper's Fig. 3), traced.
+//!
+//! Propagates one satellite through four orbits, prints its
+//! sunlight/umbra profile, and shows how a communication workload turns
+//! into battery deficits that persist until repaid by solar surplus —
+//! the paper's core energy-modeling insight.
+//!
+//! ```text
+//! cargo run --release --example energy_cycle
+//! ```
+
+use space_booking::sb_energy::{EnergyLedger, EnergyParams, SatelliteRole};
+use space_booking::sb_geo::{sun, Epoch};
+use space_booking::sb_orbit::kepler::OrbitalElements;
+
+fn main() {
+    // One satellite in the Starlink Shell-1 orbit.
+    let elements =
+        OrbitalElements::circular(550e3, 53f64.to_radians(), 0.3, 0.0, Epoch::from_seconds(0.0));
+    let period_min = (elements.period() / 60.0).round() as usize;
+    println!("orbital period: {period_min} minutes");
+    println!(
+        "max eclipse fraction at 550 km: {:.1}%\n",
+        sun::max_eclipse_fraction(550e3) * 100.0
+    );
+
+    // Build the sunlit profile for 4 orbits at one-minute slots.
+    let horizon = period_min * 4;
+    let sunlit: Vec<bool> = (0..horizon)
+        .map(|t| {
+            let epoch = Epoch::from_seconds(t as f64 * 60.0);
+            !sun::in_umbra(elements.position_at(epoch), epoch)
+        })
+        .collect();
+    let eclipse_slots = sunlit.iter().filter(|&&l| !l).count();
+    println!(
+        "observed eclipse fraction over 4 orbits: {:.1}%",
+        eclipse_slots as f64 / horizon as f64 * 100.0
+    );
+
+    let params = EnergyParams::default();
+    let mut ledger = EnergyLedger::new(&params, 60.0, std::slice::from_ref(&sunlit).to_vec().as_slice());
+
+    // A 10-minute relay job (middle role, 1250 Mbps) starting in the first
+    // umbra period.
+    let first_umbra = sunlit.iter().position(|&l| !l).expect("orbit has an umbra");
+    let consumption = params.consumption_j(SatelliteRole::Middle, 1250.0, 60.0);
+    println!(
+        "\nrelaying 1250 Mbps from minute {first_umbra}: {consumption:.0} J per slot \
+         (solar input is {:.0} J per sunlit slot)\n",
+        params.solar_input_per_slot_j(60.0)
+    );
+    for t in first_umbra..first_umbra + 10 {
+        ledger.commit(0, t, consumption);
+    }
+
+    // Plot the battery level as an ASCII strip, one char per 4 minutes.
+    println!("battery level over 4 orbits ('#' = sunlit slot group, '.' = umbra):");
+    for t in (0..horizon).step_by(4) {
+        let level = ledger.battery_level_j(0, t) / params.battery_capacity_j;
+        let bar = "=".repeat((level * 40.0).round() as usize);
+        let tag = if sunlit[t] { '#' } else { '.' };
+        println!("min {t:>3} {tag} |{bar:<40}| {:>5.1}%", level * 100.0);
+    }
+
+    // The deficit's life-cycle summary.
+    let max_deficit = (0..horizon)
+        .map(|t| ledger.deficit_j(0, t))
+        .fold(0.0f64, f64::max);
+    let repaid_at = (first_umbra..horizon).find(|&t| ledger.deficit_j(0, t) == 0.0);
+    println!("\npeak deficit: {max_deficit:.0} J ({:.1}% of battery)", max_deficit / 1170.0);
+    match repaid_at {
+        Some(t) => println!("deficit fully repaid by solar surplus at minute {t}"),
+        None => println!("deficit persists to the end of the horizon"),
+    }
+}

@@ -1,0 +1,70 @@
+//! Quickstart: reserve guaranteed bandwidth across a LEO constellation.
+//!
+//! Builds a small Walker shell, connects two ground users, and walks a few
+//! requests through CEAR — printing the price quoted for each and the
+//! accept/reject decision.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use space_booking::sb_cear::{Cear, CearParams, Decision, NetworkState, RoutingAlgorithm};
+use space_booking::sb_demand::{RateProfile, Request, RequestId};
+use space_booking::sb_energy::EnergyParams;
+use space_booking::sb_geo::coords::Geodetic;
+use space_booking::sb_orbit::walker::WalkerConstellation;
+use space_booking::sb_topology::{NetworkNodes, SlotIndex, TopologyConfig, TopologySeries};
+
+fn main() {
+    // 1. A 16×16 Walker shell at 550 km / 53° (a scaled-down Starlink).
+    let shell = WalkerConstellation::delta(16, 16, 5, 550e3, 53f64.to_radians());
+    let mut nodes = NetworkNodes::from_walker(&shell);
+
+    // 2. Two ground users: Raleigh and Paris.
+    let raleigh = nodes.add_ground_site(Geodetic::from_degrees(35.78, -78.64, 0.0));
+    let paris = nodes.add_ground_site(Geodetic::from_degrees(48.86, 2.35, 0.0));
+
+    // 3. Build 30 one-minute topology snapshots and a fresh network state.
+    let config =
+        TopologyConfig { min_elevation_rad: 15f64.to_radians(), ..TopologyConfig::default() };
+    let series = TopologySeries::build(&nodes, &config, 30, 60.0);
+    let mut state = NetworkState::new(series, &EnergyParams::default());
+
+    // 4. CEAR with the paper's pricing parameters.
+    let mut cear = Cear::new(CearParams::default());
+    println!(
+        "CEAR ready: {} satellites, competitive ratio {:.1}\n",
+        state.num_satellites(),
+        cear.params().competitive_ratio()
+    );
+
+    // 5. Stream a few requests of increasing demand at it.
+    for (k, rate) in [800.0, 1250.0, 2000.0, 2000.0, 2000.0, 2000.0].iter().enumerate() {
+        let request = Request {
+            id: RequestId(k as u32),
+            source: raleigh,
+            destination: paris,
+            rate: RateProfile::Constant(*rate),
+            start: SlotIndex(0),
+            end: SlotIndex(9),
+            valuation: 2.3e9,
+        };
+        match cear.process(&request, &mut state) {
+            Decision::Accepted { plan, price } => println!(
+                "{}: ACCEPTED {rate:6.0} Mbps for 10 min — price {price:12.1}, {} hops max",
+                request.id,
+                plan.max_hops()
+            ),
+            Decision::Rejected { reason } => {
+                println!("{}: REJECTED {rate:6.0} Mbps — {reason}", request.id)
+            }
+        }
+    }
+
+    // 6. Show the network-health metrics the paper tracks.
+    println!(
+        "\nAfter admissions: {} congested links, {} energy-depleted satellites (slot 0)",
+        state.congested_link_count(SlotIndex(0), 0.1),
+        state.depleted_satellite_count(SlotIndex(0), 0.2),
+    );
+}

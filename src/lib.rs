@@ -1,0 +1,26 @@
+//! Space Booking — facade crate.
+//!
+//! Re-exports every workspace crate under one roof so applications (and
+//! the examples and integration tests in this repository) can depend on a
+//! single package:
+//!
+//! * [`sb_geo`] — coordinate frames, sun geometry, visibility;
+//! * [`sb_orbit`] — Keplerian/J2 propagation, Walker shells, TLEs;
+//! * [`sb_topology`] — per-slot snapshot graphs, ground grid, coverage;
+//! * [`sb_energy`] — the battery-deficit energy model and wear accounting;
+//! * [`sb_demand`] — requests and workload generation;
+//! * [`sb_cear`] — the CEAR algorithm, baselines and offline references;
+//! * [`sb_sim`] — scenarios, the simulation engine, metrics and traces.
+//!
+//! See the README for a guided tour and `DESIGN.md`/`EXPERIMENTS.md` for
+//! the reproduction methodology.
+
+#![warn(missing_docs)]
+
+pub use sb_cear;
+pub use sb_demand;
+pub use sb_energy;
+pub use sb_geo;
+pub use sb_orbit;
+pub use sb_sim;
+pub use sb_topology;

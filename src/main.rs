@@ -1,0 +1,306 @@
+//! `space-booking` — the command-line front end.
+//!
+//! ```text
+//! space-booking scenario --emit fast            # dump a scenario JSON template
+//! space-booking run --scenario fast --algorithm cear --seed 0
+//! space-booking run --scenario my.json --algorithm ssp --out metrics.json
+//! space-booking quote --scenario tiny --pair 0 --rate 1250 --start 0 --end 9
+//! space-booking topology --scenario tiny --slot 0
+//! ```
+
+use space_booking::sb_cear::{Cear, NetworkState};
+use space_booking::sb_demand::{RateProfile, Request, RequestId};
+use space_booking::sb_sim::engine::{self, AlgorithmKind};
+use space_booking::sb_sim::ScenarioConfig;
+use space_booking::sb_topology::{LinkType, SlotIndex};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "scenario" => cmd_scenario(&args[1..]),
+        "run" => cmd_run(&args[1..]),
+        "quote" => cmd_quote(&args[1..]),
+        "topology" => cmd_topology(&args[1..]),
+        "export" => cmd_export(&args[1..]),
+        "coverage" => cmd_coverage(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "space-booking — CEAR LEO-satellite resource reservation
+
+USAGE:
+  space-booking scenario --emit <paper|fast|tiny>
+  space-booking run --scenario <name|file.json> --algorithm <cear|adaptive|ssp|ecars|eru|era>
+                    [--seed N] [--out metrics.json]
+  space-booking quote --scenario <name|file.json> --pair K --rate MBPS
+                      --start SLOT --end SLOT [--seed N]
+  space-booking topology --scenario <name|file.json> --slot N [--seed N]
+  space-booking export --scenario <name|file.json> --slot N --out map.geojson [--seed N]
+  space-booking coverage --scenario <name|file.json> [--elevation DEG]";
+
+/// Parses `--key value` pairs into a lookup.
+fn parse_flags(args: &[String]) -> Result<std::collections::HashMap<String, String>, String> {
+    let mut map = std::collections::HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got `{key}`"));
+        };
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        map.insert(name.to_owned(), value.clone());
+    }
+    Ok(map)
+}
+
+fn load_scenario(spec: &str) -> Result<ScenarioConfig, String> {
+    match spec {
+        "paper" => Ok(ScenarioConfig::paper()),
+        "fast" => Ok(ScenarioConfig::fast()),
+        "tiny" => Ok(ScenarioConfig::tiny()),
+        path => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read scenario `{path}`: {e}"))?;
+            serde_json::from_str(&text).map_err(|e| format!("invalid scenario JSON: {e}"))
+        }
+    }
+}
+
+fn cmd_scenario(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let name = flags.get("emit").map(String::as_str).unwrap_or("fast");
+    let scenario = load_scenario(name)?;
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&scenario).map_err(|e| e.to_string())?
+    );
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let scenario =
+        load_scenario(flags.get("scenario").map(String::as_str).unwrap_or("fast"))?;
+    let seed: u64 = flags.get("seed").map_or(Ok(0), |s| s.parse().map_err(|_| "bad --seed"))?;
+    let kind = match flags.get("algorithm").map(String::as_str).unwrap_or("cear") {
+        "cear" | "adaptive" => AlgorithmKind::Cear(scenario.cear),
+        "ssp" => AlgorithmKind::Ssp,
+        "ecars" => AlgorithmKind::Ecars,
+        "eru" => AlgorithmKind::Eru,
+        "era" => AlgorithmKind::Era,
+        other => return Err(format!("unknown algorithm `{other}`")),
+    };
+
+    // The adaptive variant is not an AlgorithmKind (it carries state), so
+    // run it directly through the engine's prepared pipeline.
+    let metrics = if flags.get("algorithm").map(String::as_str) == Some("adaptive") {
+        run_adaptive(&scenario, seed)
+    } else {
+        engine::run(&scenario, &kind, seed)
+    };
+
+    println!("algorithm           : {}", metrics.algorithm);
+    println!("scenario            : {} (seed {seed})", metrics.scenario);
+    println!("requests            : {} total, {} accepted", metrics.total_requests, metrics.accepted_requests);
+    println!("social welfare ratio: {:.4}", metrics.social_welfare_ratio);
+    println!("operator revenue    : {:.4e}", metrics.revenue);
+    println!("peak depleted sats  : {}", metrics.peak_depleted());
+    println!("peak congested links: {}", metrics.peak_congested());
+    println!(
+        "battery wear        : mean {:.3} cycles, worst DoD {:.1}%",
+        metrics.battery_wear.mean_equivalent_cycles,
+        metrics.battery_wear.max_depth_of_discharge * 100.0
+    );
+    println!("processing time     : {} ms", metrics.processing_ms);
+
+    if let Some(path) = flags.get("out") {
+        let json = serde_json::to_string_pretty(&metrics).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("metrics written to {path}");
+    }
+    Ok(())
+}
+
+fn run_adaptive(scenario: &ScenarioConfig, seed: u64) -> space_booking::sb_sim::RunMetrics {
+    use space_booking::sb_cear::{AdaptiveCear, AdaptivePolicy};
+    let prepared = engine::prepare(scenario, seed);
+    let requests = engine::workload(scenario, &prepared, seed);
+    let mut algo = AdaptiveCear::new(scenario.cear, AdaptivePolicy::default());
+    engine::run_with_algorithm(scenario, &prepared, &requests, &mut algo, seed)
+}
+
+fn cmd_quote(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let scenario =
+        load_scenario(flags.get("scenario").map(String::as_str).unwrap_or("fast"))?;
+    let seed: u64 = flags.get("seed").map_or(Ok(0), |s| s.parse().map_err(|_| "bad --seed"))?;
+    let pair: usize = flags.get("pair").map_or(Ok(0), |s| s.parse().map_err(|_| "bad --pair"))?;
+    let rate: f64 =
+        flags.get("rate").map_or(Ok(1250.0), |s| s.parse().map_err(|_| "bad --rate"))?;
+    let start: u32 = flags.get("start").map_or(Ok(0), |s| s.parse().map_err(|_| "bad --start"))?;
+    let end: u32 = flags.get("end").map_or(Ok(start), |s| s.parse().map_err(|_| "bad --end"))?;
+
+    let prepared = engine::prepare(&scenario, seed);
+    if pair >= prepared.pairs.len() {
+        return Err(format!("pair index {pair} out of range (scenario has {})", prepared.pairs.len()));
+    }
+    if end as usize >= scenario.horizon_slots || end < start {
+        return Err(format!("invalid window [{start}, {end}] for a {}-slot horizon", scenario.horizon_slots));
+    }
+    let (source, destination) = prepared.pairs[pair];
+    let state = NetworkState::new(prepared.series.clone(), &scenario.energy);
+    let cear = Cear::new(scenario.cear);
+    let request = Request {
+        id: RequestId(0),
+        source,
+        destination,
+        rate: RateProfile::Constant(rate),
+        start: SlotIndex(start),
+        end: SlotIndex(end),
+        valuation: f64::MAX,
+    };
+    match cear.quote(&request, &state) {
+        Ok((plan, price)) => {
+            println!("quote for pair {pair} ({source} → {destination}), {rate} Mbps, slots {start}..={end}:");
+            println!("  price    : {price:.4e}");
+            println!("  max hops : {}", plan.max_hops());
+            let snapshot = state.series().snapshot(SlotIndex(start));
+            let delay_ms = space_booking::sb_topology::delay::path_delay_s(
+                snapshot,
+                &plan.slot_paths[0].edges,
+            ) * 1e3;
+            println!("  first-slot propagation delay: {delay_ms:.2} ms");
+            Ok(())
+        }
+        Err(reason) => Err(format!("no quote: {reason}")),
+    }
+}
+
+fn cmd_topology(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let scenario =
+        load_scenario(flags.get("scenario").map(String::as_str).unwrap_or("fast"))?;
+    let seed: u64 = flags.get("seed").map_or(Ok(0), |s| s.parse().map_err(|_| "bad --seed"))?;
+    let slot: u32 = flags.get("slot").map_or(Ok(0), |s| s.parse().map_err(|_| "bad --slot"))?;
+    if slot as usize >= scenario.horizon_slots {
+        return Err(format!("slot {slot} beyond the {}-slot horizon", scenario.horizon_slots));
+    }
+    let prepared = engine::prepare(&scenario, seed);
+    let snap = prepared.series.snapshot(SlotIndex(slot));
+    let isls = snap.edges().iter().filter(|e| e.link_type == LinkType::Isl).count();
+    let usls = snap.edges().iter().filter(|e| e.link_type == LinkType::Usl).count();
+    let sunlit = (0..scenario.total_satellites())
+        .filter(|&i| snap.is_sunlit(space_booking::sb_topology::NodeId(i as u32)))
+        .count();
+    println!("scenario  : {} (seed {seed}), slot {slot}", scenario.name);
+    println!("nodes     : {} ({} satellites)", snap.num_nodes(), scenario.total_satellites());
+    println!("ISLs      : {isls} directed");
+    println!("USLs      : {usls} directed");
+    println!(
+        "sunlit    : {sunlit}/{} satellites ({:.1}%)",
+        scenario.total_satellites(),
+        sunlit as f64 / scenario.total_satellites() as f64 * 100.0
+    );
+    println!("capacity  : {:.1} Tbps total directed", snap.total_capacity_mbps() / 1e6);
+    for (k, (src, dst)) in prepared.pairs.iter().enumerate() {
+        println!("pair {k}: {src} → {dst} (degrees {} / {})", snap.out_degree(*src), snap.out_degree(*dst));
+    }
+    Ok(())
+}
+
+fn cmd_export(args: &[String]) -> Result<(), String> {
+    use space_booking::sb_geo::Epoch;
+    use space_booking::sb_sim::viz;
+    let flags = parse_flags(args)?;
+    let scenario =
+        load_scenario(flags.get("scenario").map(String::as_str).unwrap_or("fast"))?;
+    let seed: u64 = flags.get("seed").map_or(Ok(0), |s| s.parse().map_err(|_| "bad --seed"))?;
+    let slot: u32 = flags.get("slot").map_or(Ok(0), |s| s.parse().map_err(|_| "bad --slot"))?;
+    let out = flags.get("out").cloned().unwrap_or_else(|| "map.geojson".to_owned());
+    if slot as usize >= scenario.horizon_slots {
+        return Err(format!("slot {slot} beyond the {}-slot horizon", scenario.horizon_slots));
+    }
+    let prepared = engine::prepare(&scenario, seed);
+    let snap = prepared.series.snapshot(SlotIndex(slot));
+    let epoch = Epoch::from_seconds(slot as f64 * scenario.slot_duration_s);
+    let nodes = viz::nodes_geojson(snap, epoch);
+    let links = viz::links_geojson(snap, epoch);
+    let doc = serde_json::json!({
+        "type": "FeatureCollection",
+        "features": nodes["features"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .chain(links["features"].as_array().unwrap())
+            .cloned()
+            .collect::<Vec<_>>(),
+    });
+    std::fs::write(&out, serde_json::to_string(&doc).map_err(|e| e.to_string())?)
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote {} features to {out} (drop it into geojson.io or kepler.gl)",
+        doc["features"].as_array().unwrap().len()
+    );
+    Ok(())
+}
+
+fn cmd_coverage(args: &[String]) -> Result<(), String> {
+    use space_booking::sb_geo::Epoch;
+    use space_booking::sb_orbit::{walker::WalkerConstellation, Constellation};
+    use space_booking::sb_topology::coverage;
+    let flags = parse_flags(args)?;
+    let scenario =
+        load_scenario(flags.get("scenario").map(String::as_str).unwrap_or("fast"))?;
+    let elevation_deg: f64 = flags
+        .get("elevation")
+        .map_or(Ok(scenario.topology.min_elevation_rad.to_degrees()), |s| {
+            s.parse().map_err(|_| "bad --elevation")
+        })?;
+    let shell = WalkerConstellation::delta(
+        scenario.planes,
+        scenario.sats_per_plane,
+        scenario.phasing,
+        scenario.altitude_m,
+        scenario.inclination_deg.to_radians(),
+    );
+    let constellation = Constellation::from_walker(&shell);
+    let mask = elevation_deg.to_radians();
+    println!(
+        "constellation: {}×{} at {:.0} km / {:.0}°, elevation mask {elevation_deg:.0}°\n",
+        scenario.planes,
+        scenario.sats_per_plane,
+        scenario.altitude_m / 1e3,
+        scenario.inclination_deg
+    );
+    println!("lat band   covered   mean visible");
+    for b in coverage::coverage_by_latitude(&constellation, Epoch::from_seconds(0.0), mask, 15.0, 36)
+    {
+        println!(
+            "{:>7.1}°   {:>6.1}%   {:.2}",
+            b.latitude_deg,
+            b.covered_fraction * 100.0,
+            b.mean_visible
+        );
+    }
+    println!(
+        "\nglobal (area-weighted): {:.1}%",
+        coverage::global_coverage(&constellation, Epoch::from_seconds(0.0), mask) * 100.0
+    );
+    Ok(())
+}

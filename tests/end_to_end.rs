@@ -1,0 +1,116 @@
+//! End-to-end integration tests: the full pipeline from orbits to
+//! decisions, with the invariants of Lemma 1 checked on the final state.
+
+use space_booking::sb_cear::{CearParams, NetworkState, RoutingAlgorithm};
+use space_booking::sb_energy::EnergyParams;
+use space_booking::sb_sim::engine::{self, AlgorithmKind};
+use space_booking::sb_sim::ScenarioConfig;
+use space_booking::sb_topology::graph::EdgeId;
+use space_booking::sb_topology::SlotIndex;
+
+#[test]
+fn all_algorithms_complete_a_tiny_scenario() {
+    let scenario = ScenarioConfig::tiny();
+    let prepared = engine::prepare(&scenario, 1);
+    let requests = engine::workload(&scenario, &prepared, 1);
+    assert!(!requests.is_empty());
+    for kind in AlgorithmKind::all(&scenario) {
+        let m = engine::run_prepared(&scenario, &prepared, &requests, &kind, 1);
+        assert_eq!(
+            m.accepted_requests + m.rejected_no_path + m.rejected_by_price + m.rejected_at_commit,
+            m.total_requests,
+            "{} accounting",
+            m.algorithm
+        );
+        assert!(m.welfare <= m.total_valuation);
+        assert!((0.0..=1.0).contains(&m.social_welfare_ratio));
+    }
+}
+
+/// Lemma 1: after any sequence of online decisions, bandwidth reservations
+/// never exceed capacity and batteries never go negative — for every
+/// algorithm, not just CEAR.
+#[test]
+fn lemma1_feasibility_holds_for_every_algorithm() {
+    let scenario = ScenarioConfig::tiny();
+    let prepared = engine::prepare(&scenario, 2);
+    let requests = engine::workload(&scenario, &prepared, 2);
+    for kind in AlgorithmKind::all(&scenario) {
+        let mut state = NetworkState::new(prepared.series.clone(), &scenario.energy);
+        let mut algorithm = kind.instantiate();
+        for request in &requests {
+            let _ = algorithm.process(request, &mut state);
+        }
+        for t in 0..scenario.horizon_slots {
+            let slot = SlotIndex(t as u32);
+            let snap = state.series().snapshot(slot);
+            for idx in 0..snap.num_edges() {
+                let residual = state.residual_mbps(slot, EdgeId(idx as u32));
+                assert!(residual >= -1e-6, "{}: negative residual at {slot}", kind.name());
+            }
+            for sat in 0..state.num_satellites() {
+                let level = state.ledger().battery_level_j(sat, t);
+                assert!(
+                    (-1e-6..=scenario.energy.battery_capacity_j + 1e-6).contains(&level),
+                    "{}: battery out of range at {slot}: {level}",
+                    kind.name()
+                );
+                assert!(state.ledger().remaining_solar_j(sat, t) >= 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic_across_invocations() {
+    let scenario = ScenarioConfig::tiny();
+    for kind in [AlgorithmKind::Cear(CearParams::default()), AlgorithmKind::Era] {
+        let mut a = engine::run(&scenario, &kind, 9);
+        let mut b = engine::run(&scenario, &kind, 9);
+        a.processing_ms = 0;
+        b.processing_ms = 0;
+        assert_eq!(a, b, "{} determinism", kind.name());
+    }
+}
+
+#[test]
+fn energy_params_flow_through_the_stack() {
+    // Starving the satellites of battery should slash acceptance.
+    let scenario = ScenarioConfig::tiny();
+    let prepared = engine::prepare(&scenario, 3);
+    let requests = engine::workload(&scenario, &prepared, 3);
+
+    let rich = engine::run_prepared(&scenario, &prepared, &requests, &AlgorithmKind::Ssp, 3);
+
+    let mut poor_scenario = scenario.clone();
+    poor_scenario.energy =
+        EnergyParams { battery_capacity_j: 2_000.0, ..EnergyParams::default() };
+    let poor =
+        engine::run_prepared(&poor_scenario, &prepared, &requests, &AlgorithmKind::Ssp, 3);
+
+    assert!(
+        poor.accepted_requests < rich.accepted_requests,
+        "tiny batteries ({}) should not admit as much as full ones ({})",
+        poor.accepted_requests,
+        rich.accepted_requests
+    );
+}
+
+#[test]
+fn higher_load_never_increases_welfare_ratio_dramatically() {
+    // Sanity on the Fig. 6 trend: the welfare ratio at 4× the base load
+    // should not exceed the ratio at the base load by more than noise.
+    let mut low = ScenarioConfig::tiny();
+    low.arrivals_per_slot = 0.5;
+    let mut high = ScenarioConfig::tiny();
+    high.arrivals_per_slot = 2.0;
+    let kind = AlgorithmKind::Cear(CearParams::default());
+    let low_ratio: f64 =
+        (0..3).map(|s| engine::run(&low, &kind, s).social_welfare_ratio).sum::<f64>() / 3.0;
+    let high_ratio: f64 =
+        (0..3).map(|s| engine::run(&high, &kind, s).social_welfare_ratio).sum::<f64>() / 3.0;
+    assert!(
+        high_ratio <= low_ratio + 0.15,
+        "welfare ratio should degrade with load: low {low_ratio:.3} high {high_ratio:.3}"
+    );
+}

@@ -1,0 +1,158 @@
+//! Integration tests for the extension features: arrival patterns,
+//! failure injection, battery wear, adaptive tuning and multipath — all
+//! running through the full stack.
+
+use space_booking::sb_cear::{
+    AdaptiveCear, AdaptivePolicy, CearParams, MultipathCear, NetworkState,
+};
+use space_booking::sb_demand::ArrivalPattern;
+use space_booking::sb_sim::engine::{self, AlgorithmKind};
+use space_booking::sb_sim::ScenarioConfig;
+
+#[test]
+fn burst_pattern_degrades_welfare_during_the_burst() {
+    let mut calm = ScenarioConfig::tiny();
+    calm.arrivals_per_slot = 1.0;
+    let mut stormy = calm.clone();
+    stormy.pattern =
+        ArrivalPattern::Burst { start_slot: 8, duration_slots: 8, multiplier: 6.0 };
+
+    let kind = AlgorithmKind::Cear(CearParams::default());
+    let calm_ratio: f64 =
+        (0..3).map(|s| engine::run(&calm, &kind, s).social_welfare_ratio).sum::<f64>() / 3.0;
+    let stormy_ratio: f64 =
+        (0..3).map(|s| engine::run(&stormy, &kind, s).social_welfare_ratio).sum::<f64>() / 3.0;
+    assert!(
+        stormy_ratio < calm_ratio + 0.02,
+        "a 6× burst should not raise the welfare ratio: calm {calm_ratio:.3} stormy {stormy_ratio:.3}"
+    );
+}
+
+#[test]
+fn isl_failures_flow_through_scenarios() {
+    let mut scenario = ScenarioConfig::tiny();
+    scenario.isl_failure_prob = 0.15;
+    let m = engine::run(&scenario, &AlgorithmKind::Cear(CearParams::default()), 2);
+    // Still a valid run with sane accounting.
+    assert_eq!(
+        m.accepted_requests + m.rejected_no_path + m.rejected_by_price + m.rejected_at_commit,
+        m.total_requests
+    );
+    // The prepared topology really lost ISLs.
+    let intact = engine::prepare(&ScenarioConfig::tiny(), 2);
+    let failed = engine::prepare(&scenario, 2);
+    let count = |p: &engine::PreparedNetwork| {
+        p.series.snapshot(space_booking::sb_topology::SlotIndex(0)).num_edges()
+    };
+    assert!(count(&failed) < count(&intact), "failures must remove edges");
+}
+
+#[test]
+fn wear_metrics_track_load() {
+    let mut light = ScenarioConfig::tiny();
+    light.arrivals_per_slot = 0.3;
+    let mut heavy = ScenarioConfig::tiny();
+    heavy.arrivals_per_slot = 3.0;
+    let kind = AlgorithmKind::Ssp;
+    let light_wear = engine::run(&light, &kind, 1).battery_wear;
+    let heavy_wear = engine::run(&heavy, &kind, 1).battery_wear;
+    assert!(
+        heavy_wear.mean_equivalent_cycles >= light_wear.mean_equivalent_cycles,
+        "more traffic cannot cycle batteries less: {:?} vs {:?}",
+        heavy_wear,
+        light_wear
+    );
+    assert!(heavy_wear.max_depth_of_discharge <= 1.0);
+}
+
+#[test]
+fn adaptive_cear_completes_and_respects_bounds() {
+    let scenario = ScenarioConfig::tiny();
+    let prepared = engine::prepare(&scenario, 5);
+    let requests = engine::workload(&scenario, &prepared, 5);
+    let policy = AdaptivePolicy { retune_every: 5, ..AdaptivePolicy::default() };
+    let mut algo = AdaptiveCear::new(scenario.cear, policy);
+    let m = engine::run_with_algorithm(&scenario, &prepared, &requests, &mut algo, 5);
+    assert_eq!(m.algorithm, "CEAR-adaptive");
+    assert_eq!(m.total_requests, requests.len());
+    for &f2 in algo.f2_history() {
+        assert!((0.25..=64.0).contains(&f2));
+    }
+}
+
+#[test]
+fn multipath_never_loses_to_plain_cear() {
+    let scenario = ScenarioConfig::tiny();
+    let prepared = engine::prepare(&scenario, 6);
+    let requests = engine::workload(&scenario, &prepared, 6);
+
+    let plain = engine::run_prepared(
+        &scenario,
+        &prepared,
+        &requests,
+        &AlgorithmKind::Cear(scenario.cear),
+        6,
+    );
+
+    let mut mp = MultipathCear::new(scenario.cear, 2);
+    let multi = engine::run_with_algorithm(&scenario, &prepared, &requests, &mut mp, 6);
+    assert!(
+        multi.welfare >= plain.welfare - 1e-6,
+        "splitting can only add feasible options: {} vs {}",
+        multi.welfare,
+        plain.welfare
+    );
+}
+
+#[test]
+fn retries_recover_some_rejections() {
+    use space_booking::sb_sim::scenario::RetryPolicy;
+    // Load the network enough that rejections happen, then allow retries:
+    // welfare must not drop, and usually improves.
+    let mut base = ScenarioConfig::tiny();
+    base.arrivals_per_slot = 2.5;
+    let mut with_retry = base.clone();
+    with_retry.retry = Some(RetryPolicy { delay_slots: 3, max_attempts: 2 });
+
+    // Note: retries are not a free lunch — a resubmitted request competes
+    // with later fresh arrivals, so welfare can move either way. The test
+    // checks the mechanics: retries happen, accounting stays coherent, and
+    // the effect on welfare is bounded.
+    let kind = AlgorithmKind::Cear(CearParams::default());
+    let mut recovered = 0;
+    for seed in 0..3 {
+        let prepared = engine::prepare(&base, seed);
+        let requests = engine::workload(&base, &prepared, seed);
+        let plain = engine::run_prepared(&base, &prepared, &requests, &kind, seed);
+        let retried = engine::run_prepared(&with_retry, &prepared, &requests, &kind, seed);
+        assert_eq!(retried.total_requests, plain.total_requests);
+        assert!(retried.accepted_after_retry <= retried.accepted_requests);
+        assert!((0.0..=1.0).contains(&retried.social_welfare_ratio));
+        assert!(
+            (retried.social_welfare_ratio - plain.social_welfare_ratio).abs() < 0.3,
+            "retries should perturb, not upend, welfare: {} vs {}",
+            retried.social_welfare_ratio,
+            plain.social_welfare_ratio
+        );
+        recovered += retried.accepted_after_retry;
+    }
+    assert!(recovered > 0, "across seeds, some rejection should be recovered by retry");
+}
+
+#[test]
+fn failure_model_preserves_state_invariants() {
+    let mut scenario = ScenarioConfig::tiny();
+    scenario.isl_failure_prob = 0.3;
+    let prepared = engine::prepare(&scenario, 9);
+    let requests = engine::workload(&scenario, &prepared, 9);
+    let mut state = NetworkState::new(prepared.series.clone(), &scenario.energy);
+    let mut algo = AlgorithmKind::Cear(scenario.cear).instantiate();
+    for r in &requests {
+        let _ = algo.process(r, &mut state);
+    }
+    for sat in 0..state.num_satellites() {
+        for t in 0..scenario.horizon_slots {
+            assert!(state.ledger().battery_level_j(sat, t) >= -1e-6);
+        }
+    }
+}

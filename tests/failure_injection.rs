@@ -1,0 +1,166 @@
+//! Failure injection: the stack must degrade gracefully, not panic, when
+//! the environment is hostile — permanent eclipse, dead batteries, zero
+//! capacity, unreachable users, empty workloads.
+
+use space_booking::sb_cear::{Cear, CearParams, Decision, NetworkState, RejectReason, RoutingAlgorithm, Ssp};
+use space_booking::sb_demand::{RateProfile, Request, RequestId};
+use space_booking::sb_energy::EnergyParams;
+use space_booking::sb_geo::coords::Geodetic;
+use space_booking::sb_orbit::walker::WalkerConstellation;
+use space_booking::sb_sim::engine::{self, AlgorithmKind};
+use space_booking::sb_sim::ScenarioConfig;
+use space_booking::sb_topology::{NetworkNodes, NodeId, SlotIndex, TopologyConfig, TopologySeries};
+
+fn network(
+    topology: TopologyConfig,
+    energy: EnergyParams,
+    slots: usize,
+) -> (NetworkState, NodeId, NodeId) {
+    let shell = WalkerConstellation::delta(12, 12, 1, 550e3, 53f64.to_radians());
+    let mut nodes = NetworkNodes::from_walker(&shell);
+    let a = nodes.add_ground_site(Geodetic::from_degrees(35.8, -78.6, 0.0));
+    let b = nodes.add_ground_site(Geodetic::from_degrees(48.9, 2.3, 0.0));
+    let series = TopologySeries::build(&nodes, &topology, slots, 60.0);
+    (NetworkState::new(series, &energy), a, b)
+}
+
+fn request(src: NodeId, dst: NodeId, rate: f64) -> Request {
+    Request {
+        id: RequestId(0),
+        source: src,
+        destination: dst,
+        rate: RateProfile::Constant(rate),
+        start: SlotIndex(0),
+        end: SlotIndex(2),
+        valuation: f64::MAX,
+    }
+}
+
+#[test]
+fn impossible_elevation_mask_rejects_everything() {
+    // An 89.9° mask means no satellite is ever visible: every request must
+    // be rejected with NoFeasiblePath, never a panic.
+    let topology = TopologyConfig {
+        min_elevation_rad: 89.9f64.to_radians(),
+        ..TopologyConfig::default()
+    };
+    let (mut state, a, b) = network(topology, EnergyParams::default(), 3);
+    for algo in [&mut Cear::new(CearParams::default()) as &mut dyn RoutingAlgorithm, &mut Ssp::new()]
+    {
+        let d = algo.process(&request(a, b, 500.0), &mut state);
+        assert_eq!(d, Decision::Rejected { reason: RejectReason::NoFeasiblePath });
+    }
+}
+
+#[test]
+fn dead_batteries_and_no_sun_reject_on_energy() {
+    // Zero solar harvest and near-zero batteries: a gateway needs kJ per
+    // slot, so no request can be served.
+    let topology =
+        TopologyConfig { min_elevation_rad: 10f64.to_radians(), ..TopologyConfig::default() };
+    let energy = EnergyParams {
+        solar_harvest_w: 0.0,
+        battery_capacity_j: 1.0,
+        ..EnergyParams::default()
+    };
+    let (mut state, a, b) = network(topology, energy, 3);
+    let mut cear = Cear::new(CearParams::default());
+    let d = cear.process(&request(a, b, 500.0), &mut state);
+    assert_eq!(d, Decision::Rejected { reason: RejectReason::NoFeasiblePath });
+}
+
+#[test]
+fn permanent_umbra_still_serves_within_battery() {
+    // No sun at all, but a huge battery: requests are served until the
+    // battery budget runs out, and never beyond.
+    let topology =
+        TopologyConfig { min_elevation_rad: 10f64.to_radians(), ..TopologyConfig::default() };
+    let energy = EnergyParams {
+        solar_harvest_w: 0.0,
+        battery_capacity_j: 50_000.0,
+        ..EnergyParams::default()
+    };
+    let (mut state, a, b) = network(topology, energy, 3);
+    let mut cear = Cear::new(CearParams::default());
+    let mut accepted = 0;
+    for _ in 0..20 {
+        if cear.process(&request(a, b, 500.0), &mut state).is_accepted() {
+            accepted += 1;
+        }
+    }
+    assert!(accepted >= 1, "a 50 kJ battery covers at least one 3-slot request");
+    assert!(accepted < 20, "energy must eventually run out with zero harvest");
+    for sat in 0..state.num_satellites() {
+        for t in 0..3 {
+            assert!(state.ledger().battery_level_j(sat, t) >= -1e-6);
+        }
+    }
+}
+
+#[test]
+fn zero_capacity_links_reject_on_bandwidth() {
+    let topology = TopologyConfig {
+        min_elevation_rad: 10f64.to_radians(),
+        isl_capacity_mbps: 0.0,
+        usl_capacity_mbps: 0.0,
+        ..TopologyConfig::default()
+    };
+    let (mut state, a, b) = network(topology, EnergyParams::default(), 3);
+    let mut cear = Cear::new(CearParams::default());
+    let d = cear.process(&request(a, b, 1.0), &mut state);
+    assert_eq!(d, Decision::Rejected { reason: RejectReason::NoFeasiblePath });
+}
+
+#[test]
+fn same_source_and_destination_is_rejected() {
+    let topology =
+        TopologyConfig { min_elevation_rad: 10f64.to_radians(), ..TopologyConfig::default() };
+    let (mut state, a, _) = network(topology, EnergyParams::default(), 3);
+    let mut cear = Cear::new(CearParams::default());
+    let d = cear.process(&request(a, a, 500.0), &mut state);
+    assert_eq!(d, Decision::Rejected { reason: RejectReason::NoFeasiblePath });
+}
+
+#[test]
+fn empty_workload_scenario_runs() {
+    let mut scenario = ScenarioConfig::tiny();
+    scenario.arrivals_per_slot = 0.0;
+    let m = engine::run(&scenario, &AlgorithmKind::Cear(CearParams::default()), 0);
+    assert_eq!(m.total_requests, 0);
+    assert_eq!(m.social_welfare_ratio, 1.0, "vacuous success");
+    assert_eq!(m.welfare, 0.0);
+}
+
+#[test]
+fn request_longer_than_horizon_is_truncated_by_generator_but_direct_use_panics_safely() {
+    // The engine clamps durations; direct API users who exceed the horizon
+    // hit the snapshot bounds — verify the panic is the documented one,
+    // not UB or a wrong answer.
+    let topology =
+        TopologyConfig { min_elevation_rad: 10f64.to_radians(), ..TopologyConfig::default() };
+    let (mut state, a, b) = network(topology, EnergyParams::default(), 2);
+    let mut cear = Cear::new(CearParams::default());
+    let mut r = request(a, b, 500.0);
+    r.end = SlotIndex(10); // beyond the 2-slot horizon
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        cear.process(&r, &mut state)
+    }));
+    assert!(result.is_err(), "out-of-horizon request must not silently succeed");
+}
+
+#[test]
+fn baselines_survive_hostile_configs_too() {
+    let topology = TopologyConfig {
+        min_elevation_rad: 10f64.to_radians(),
+        isl_capacity_mbps: 10.0, // almost nothing
+        ..TopologyConfig::default()
+    };
+    let energy = EnergyParams { battery_capacity_j: 500.0, ..EnergyParams::default() };
+    let (mut state, a, b) = network(topology, energy, 3);
+    for kind in [AlgorithmKind::Ssp, AlgorithmKind::Ecars, AlgorithmKind::Eru, AlgorithmKind::Era]
+    {
+        let mut algo = kind.instantiate();
+        // Must terminate with a decision, not panic.
+        let _ = algo.process(&request(a, b, 900.0), &mut state);
+    }
+}

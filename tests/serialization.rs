@@ -1,0 +1,74 @@
+//! Serde round-trips of the public data types: configs and results must
+//! survive disk persistence unchanged (the figure harnesses depend on it).
+
+use space_booking::sb_cear::{CearParams, ReservationPlan, SlotPath};
+use space_booking::sb_demand::{RateProfile, Request, RequestId};
+use space_booking::sb_energy::{DeficitTrace, EnergyParams};
+use space_booking::sb_orbit::kepler::OrbitalElements;
+use space_booking::sb_orbit::tle::Tle;
+use space_booking::sb_sim::engine::AlgorithmKind;
+use space_booking::sb_sim::ScenarioConfig;
+use space_booking::sb_topology::graph::EdgeId;
+use space_booking::sb_topology::{NodeId, SlotIndex, TopologyConfig};
+
+fn roundtrip<T: serde::Serialize + serde::de::DeserializeOwned + PartialEq + std::fmt::Debug>(
+    value: &T,
+) {
+    let json = serde_json::to_string(value).unwrap();
+    let back: T = serde_json::from_str(&json).unwrap();
+    assert_eq!(value, &back);
+}
+
+#[test]
+fn request_roundtrip() {
+    roundtrip(&Request {
+        id: RequestId(7),
+        source: NodeId(3),
+        destination: NodeId(9),
+        rate: RateProfile::PerSlot(vec![100.0, 250.5]),
+        start: SlotIndex(2),
+        end: SlotIndex(5),
+        valuation: 2.3e9,
+    });
+}
+
+#[test]
+fn plan_roundtrip() {
+    roundtrip(&ReservationPlan {
+        slot_paths: vec![SlotPath {
+            slot: SlotIndex(0),
+            nodes: vec![NodeId(0), NodeId(1)],
+            edges: vec![EdgeId(4)],
+        }],
+        total_cost: 123.5,
+    });
+}
+
+#[test]
+fn configs_roundtrip() {
+    roundtrip(&ScenarioConfig::paper());
+    roundtrip(&ScenarioConfig::fast());
+    roundtrip(&TopologyConfig::default());
+    roundtrip(&EnergyParams::default());
+    roundtrip(&CearParams::default());
+    roundtrip(&AlgorithmKind::Cear(CearParams::with_conservativeness(2.0, 0.5)));
+}
+
+#[test]
+fn orbit_types_roundtrip() {
+    roundtrip(&OrbitalElements::circular(
+        550e3,
+        0.9,
+        0.1,
+        0.2,
+        space_booking::sb_geo::Epoch::from_seconds(0.0),
+    ));
+    let l1 = "1 25544U 98067A   24001.50000000  .00016717  00000-0  10270-3 0  9009";
+    let l2 = "2 25544  51.6400 208.9163 0006317  69.9862 290.2553 15.49560532    00";
+    roundtrip(&Tle::parse("ISS", l1, l2).unwrap());
+}
+
+#[test]
+fn deficit_trace_roundtrip() {
+    roundtrip(&DeficitTrace { per_slot: vec![(3, 10.5), (4, 2.0)], added_deficit_j: 12.5 });
+}
