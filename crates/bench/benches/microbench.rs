@@ -19,8 +19,7 @@ fn network() -> (NetworkState, sb_topology::NodeId, sb_topology::NodeId) {
     let mut nodes = NetworkNodes::from_walker(&shell);
     let a = nodes.add_ground_site(Geodetic::from_degrees(35.8, -78.6, 0.0));
     let b = nodes.add_ground_site(Geodetic::from_degrees(48.9, 2.3, 0.0));
-    let cfg =
-        TopologyConfig { min_elevation_rad: 15f64.to_radians(), ..TopologyConfig::default() };
+    let cfg = TopologyConfig { min_elevation_rad: 15f64.to_radians(), ..TopologyConfig::default() };
     let series = TopologySeries::build(&nodes, &cfg, 10, 60.0);
     (NetworkState::new(series, &EnergyParams::default()), a, b)
 }
@@ -64,15 +63,9 @@ fn bench_energy_recursion(c: &mut Criterion) {
     // One satellite, 384 slots alternating a 60/36 sunlit/umbra cycle.
     let profile: Vec<bool> = (0..384).map(|t| t % 96 < 60).collect();
     let ledger = EnergyLedger::new(&params, 60.0, &[profile]);
-    c.bench_function("ledger_peek_deep_deficit", |b| {
-        b.iter(|| ledger.peek(0, 60, 50_000.0))
-    });
+    c.bench_function("ledger_peek_deep_deficit", |b| b.iter(|| ledger.peek(0, 60, 50_000.0)));
     c.bench_function("ledger_commit_deep_deficit", |b| {
-        b.iter_batched(
-            || ledger.clone(),
-            |mut l| l.commit(0, 60, 50_000.0),
-            BatchSize::SmallInput,
-        )
+        b.iter_batched(|| ledger.clone(), |mut l| l.commit(0, 60, 50_000.0), BatchSize::SmallInput)
     });
 }
 
@@ -102,9 +95,7 @@ fn bench_ground_grid(c: &mut Criterion) {
 fn bench_tle_parse(c: &mut Criterion) {
     let l1 = "1 25544U 98067A   24001.50000000  .00016717  00000-0  10270-3 0  9009";
     let l2 = "2 25544  51.6400 208.9163 0006317  69.9862 290.2553 15.49560532    00";
-    c.bench_function("tle_parse", |b| {
-        b.iter(|| sb_orbit::tle::Tle::parse("ISS", l1, l2).unwrap())
-    });
+    c.bench_function("tle_parse", |b| b.iter(|| sb_orbit::tle::Tle::parse("ISS", l1, l2).unwrap()));
 }
 
 fn bench_coverage(c: &mut Criterion) {

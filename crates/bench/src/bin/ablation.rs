@@ -35,11 +35,7 @@ fn main() {
         ),
         AlgorithmKind::CearAblated(
             scenario.cear,
-            AblationFlags {
-                price_bandwidth: false,
-                price_energy: false,
-                admission_control: false,
-            },
+            AblationFlags { price_bandwidth: false, price_energy: false, admission_control: false },
         ),
     ];
 
@@ -54,13 +50,11 @@ fn main() {
                 engine::run_prepared(&scenario, &prepared, &requests, kind, seed)
             })
             .collect();
-        let ratio = metrics::mean_std(
-            &runs.iter().map(|m| m.social_welfare_ratio).collect::<Vec<_>>(),
-        );
+        let ratio =
+            metrics::mean_std(&runs.iter().map(|m| m.social_welfare_ratio).collect::<Vec<_>>());
         let congested =
             runs.iter().map(RunMetrics::mean_congested).sum::<f64>() / runs.len() as f64;
-        let depleted =
-            runs.iter().map(RunMetrics::mean_depleted).sum::<f64>() / runs.len() as f64;
+        let depleted = runs.iter().map(RunMetrics::mean_depleted).sum::<f64>() / runs.len() as f64;
         let revenue = runs.iter().map(|m| m.revenue).sum::<f64>() / runs.len() as f64;
         println!(
             "| {} | {:.4} ± {:.4} | {congested:.2} | {depleted:.2} | {revenue:.3e} |",

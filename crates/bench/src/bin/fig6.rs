@@ -7,7 +7,7 @@
 //! cargo run -p sb-bench --release --bin fig6 -- --scale paper   # full
 //! ```
 
-use sb_bench::parse_args;
+use sb_bench::{parse_args, write_csv};
 use sb_sim::engine::{self, AlgorithmKind};
 use sb_sim::output::{markdown_table, write_series_csv, SeriesPoint};
 use sb_sim::{metrics, RunMetrics};
@@ -47,6 +47,6 @@ fn main() {
     println!("\n# Fig. 6 — social welfare ratio vs arrival rate ({} scale)\n", opts.scenario.name);
     println!("{}", markdown_table("arrival rate (req/slot)", &points));
     let path = opts.out_dir.join(format!("fig6_{}.csv", opts.scenario.name));
-    write_series_csv(&path, "arrival_rate", &points).expect("write CSV");
+    write_csv(&path, |p| write_series_csv(p, "arrival_rate", &points));
     println!("CSV written to {}", path.display());
 }

@@ -6,7 +6,7 @@
 //! cargo run -p sb-bench --release --bin fig7 -- --scale fast
 //! ```
 
-use sb_bench::parse_args;
+use sb_bench::{parse_args, write_csv};
 use sb_sim::engine::{self, AlgorithmKind};
 use sb_sim::output::write_timeseries_csv;
 
@@ -57,15 +57,18 @@ fn main() {
     }
 
     println!("\n# Fig. 7 — over-time resource health ({} scale)\n", opts.scenario.name);
-    println!("## Energy-depleted satellites (battery < 20 %), rate {}/slot", opts.scenario.arrivals_per_slot);
+    println!(
+        "## Energy-depleted satellites (battery < 20 %), rate {}/slot",
+        opts.scenario.arrivals_per_slot
+    );
     print_summary(&depleted_series);
     println!("\n## Congested links (residual < 10 %), rate {}/slot", hot.arrivals_per_slot);
     print_summary(&congested_series);
 
     let left = opts.out_dir.join(format!("fig7_depleted_{}.csv", opts.scenario.name));
     let right = opts.out_dir.join(format!("fig7_congested_{}.csv", opts.scenario.name));
-    write_timeseries_csv(&left, &depleted_series).expect("write CSV");
-    write_timeseries_csv(&right, &congested_series).expect("write CSV");
+    write_csv(&left, |p| write_timeseries_csv(p, &depleted_series));
+    write_csv(&right, |p| write_timeseries_csv(p, &congested_series));
     println!("\nCSV written to {} and {}", left.display(), right.display());
 }
 

@@ -5,7 +5,7 @@
 //! cargo run -p sb-bench --release --bin fig8 -- --scale fast
 //! ```
 
-use sb_bench::parse_args;
+use sb_bench::{parse_args, write_csv};
 use sb_sim::engine::{self, AlgorithmKind};
 use sb_sim::output::write_timeseries_csv;
 
@@ -20,11 +20,7 @@ fn main() {
             let requests = engine::workload(&scenario, &prepared, 0);
             engine::run_prepared(&scenario, &prepared, &requests, &kind, 0)
         };
-        eprintln!(
-            "{:<6} final welfare ratio {:.4}",
-            kind.name(),
-            m.social_welfare_ratio
-        );
+        eprintln!("{:<6} final welfare ratio {:.4}", kind.name(), m.social_welfare_ratio);
         series.push((kind.name().to_owned(), m.welfare_ratio_over_time.clone()));
     }
 
@@ -43,6 +39,6 @@ fn main() {
     }
 
     let path = opts.out_dir.join(format!("fig8_{}.csv", scenario.name));
-    write_timeseries_csv(&path, &series).expect("write CSV");
+    write_csv(&path, |p| write_timeseries_csv(p, &series));
     println!("\nCSV written to {}", path.display());
 }

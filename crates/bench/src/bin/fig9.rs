@@ -5,11 +5,11 @@
 //! cargo run -p sb-bench --release --bin fig9 -- --scale fast
 //! ```
 
-use sb_bench::parse_args;
+use sb_bench::{parse_args, write_csv};
+use sb_demand::ValuationModel;
 use sb_sim::engine::{self, AlgorithmKind};
 use sb_sim::metrics;
 use sb_sim::output::{markdown_table, write_series_csv, SeriesPoint};
-use sb_demand::ValuationModel;
 
 fn main() {
     let opts = parse_args(std::env::args().skip(1));
@@ -43,8 +43,7 @@ fn main() {
         let runs: Vec<_> =
             (0..opts.seeds).map(|seed| engine::run(&scenario, &kind, seed)).collect();
         let ratios: Vec<f64> = runs.iter().map(|m| m.social_welfare_ratio).collect();
-        let depleted =
-            runs.iter().map(|m| m.mean_depleted()).sum::<f64>() / runs.len() as f64;
+        let depleted = runs.iter().map(|m| m.mean_depleted()).sum::<f64>() / runs.len() as f64;
         eprintln!(
             "F2 {f2:>5.1}: ratio {:.4}, mean depleted satellites {depleted:.1}",
             metrics::mean_std(&ratios).mean
@@ -63,7 +62,7 @@ fn main() {
 
     let left = opts.out_dir.join(format!("fig9_valuation_{}.csv", opts.scenario.name));
     let right = opts.out_dir.join(format!("fig9_f2_{}.csv", opts.scenario.name));
-    write_series_csv(&left, "valuation", &val_points).expect("write CSV");
-    write_series_csv(&right, "f2", &f2_points).expect("write CSV");
+    write_csv(&left, |p| write_series_csv(p, "valuation", &val_points));
+    write_csv(&right, |p| write_series_csv(p, "f2", &f2_points));
     println!("CSV written to {} and {}", left.display(), right.display());
 }

@@ -1,25 +1,38 @@
-//! Robustness study (extension): welfare under ISL failures.
+//! Robustness study (extension): reservations under link and node
+//! failures.
 //!
-//! Sweeps the per-slot ISL failure probability and reports every
-//! algorithm's social-welfare ratio — how gracefully each degrades when
-//! the +Grid starts losing links. CEAR and the congestion-aware baselines
-//! route around failures; SSP's fixed min-hop corridors are brittle.
+//! Two sweeps:
+//!
+//! 1. **Foresight baseline** — the original study: per-slot ISL failures
+//!    are applied to the topology *before* routing, so every algorithm
+//!    routes around them. Reports each algorithm's social-welfare ratio as
+//!    the +Grid loses links.
+//! 2. **Unforeseen failures** — outages strike *after* admission. CEAR is
+//!    run under each failure model (independent links, whole-satellite
+//!    outages, Gilbert–Elliott bursts) × repair policy
+//!    (drop / repair / repair-paid) and compared against the foresight
+//!    baseline at the same intensity. Reports delivered-welfare ratio,
+//!    interruption rate, repair success rate and repair latency.
 //!
 //! ```text
 //! cargo run -p sb-bench --release --bin robustness -- --scale fast
 //! ```
 
-use sb_bench::parse_args;
+use sb_bench::{parse_args, write_csv};
+use sb_cear::RepairPolicy;
 use sb_sim::engine::{self, AlgorithmKind};
-use sb_sim::metrics;
+use sb_sim::metrics::{self, RunMetrics};
 use sb_sim::output::{markdown_table, write_series_csv, SeriesPoint};
+use sb_sim::UnforeseenFailures;
+use sb_topology::failures::{FailureModel, GilbertElliottModel, LinkFailureModel, NodeOutageModel};
 
 fn main() {
     let opts = parse_args(std::env::args().skip(1));
-    let probs = [0.0, 0.02, 0.05, 0.1, 0.2];
 
-    let mut points = Vec::new();
-    for &p in &probs {
+    // ---- Part 1: foresight sweep, all algorithms ----------------------
+    let foresight_probs = [0.0, 0.02, 0.05, 0.1, 0.2];
+    let mut foresight_points = Vec::new();
+    for &p in &foresight_probs {
         let mut scenario = opts.scenario.clone();
         scenario.isl_failure_prob = p;
         let mut values = Vec::new();
@@ -33,18 +46,122 @@ fn main() {
                 })
                 .collect();
             let ms = metrics::mean_std(&ratios);
-            eprintln!("failure {p:>5.2}  {:<6} ratio {:.4}", kind.name(), ms.mean);
+            eprintln!("foresight {p:>5.2}  {:<6} ratio {:.4}", kind.name(), ms.mean);
             values.push((kind.name().to_owned(), ms));
         }
-        points.push(SeriesPoint { x: p, values });
+        foresight_points.push(SeriesPoint { x: p, values });
     }
 
-    println!(
-        "\n# Robustness — social welfare ratio vs ISL failure probability ({} scale)\n",
-        opts.scenario.name
-    );
-    println!("{}", markdown_table("ISL failure prob", &points));
-    let path = opts.out_dir.join(format!("robustness_{}.csv", opts.scenario.name));
-    write_series_csv(&path, "failure_prob", &points).expect("write CSV");
-    println!("CSV written to {}", path.display());
+    // ---- Part 2: unforeseen failures, CEAR, model × policy ------------
+    let unforeseen_probs = [0.05, 0.1];
+    let kind = AlgorithmKind::Cear(opts.scenario.cear);
+    // The routed series is clean for every unforeseen config, so network
+    // and workload are shared per seed across all models and policies.
+    let clean = opts.scenario.clone();
+    let prepared: Vec<_> = (0..opts.seeds).map(|s| engine::prepare(&clean, s)).collect();
+    let workloads: Vec<_> =
+        (0..opts.seeds).map(|s| engine::workload(&clean, &prepared[s as usize], s)).collect();
+
+    let mut delivered_points = Vec::new();
+    let mut interruption_points = Vec::new();
+    let mut repair_points = Vec::new();
+    let mut latency_points = Vec::new();
+    for &p in &unforeseen_probs {
+        let mut delivered = Vec::new();
+        let mut interruption = Vec::new();
+        let mut repair = Vec::new();
+        let mut latency = Vec::new();
+
+        // Foresight reference at the same intensity: with failures known
+        // in advance, booked welfare is delivered welfare.
+        let foresight = foresight_points
+            .iter()
+            .find(|pt| pt.x == p)
+            .and_then(|pt| pt.values.iter().find(|(a, _)| a == "CEAR"))
+            .map(|(_, ms)| *ms)
+            .expect("foresight sweep covers the unforeseen probabilities");
+        delivered.push(("foresight".to_owned(), foresight));
+
+        let models = [
+            ("independent", FailureModel::IndependentLinks(LinkFailureModel::new(p, 0xfa11))),
+            // A tenth of the link rate: a whole satellite dying for 1–5
+            // slots takes out dozens of links at once.
+            (
+                "node-outage",
+                FailureModel::NodeOutages(NodeOutageModel::new(p / 10.0, 1, 5, 0xfa11)),
+            ),
+            ("ge-burst", FailureModel::GilbertElliott(GilbertElliottModel::new(p, 0.3, 0xfa11))),
+        ];
+        for (model_name, model) in models {
+            for policy in RepairPolicy::all() {
+                let mut scenario = clean.clone();
+                scenario.unforeseen = Some(UnforeseenFailures { model, policy });
+                let runs: Vec<RunMetrics> = (0..opts.seeds)
+                    .map(|seed| {
+                        engine::run_prepared(
+                            &scenario,
+                            &prepared[seed as usize],
+                            &workloads[seed as usize],
+                            &kind,
+                            seed,
+                        )
+                    })
+                    .collect();
+                let label = format!("{model_name}/{}", policy.name());
+                let per_seed = |f: &dyn Fn(&RunMetrics) -> f64| {
+                    metrics::mean_std(&runs.iter().map(f).collect::<Vec<_>>())
+                };
+                let d = per_seed(&|m| m.delivered_welfare_ratio);
+                delivered.push((label.clone(), d));
+                interruption.push((
+                    label.clone(),
+                    per_seed(&|m| {
+                        if m.accepted_requests > 0 {
+                            m.interrupted_requests as f64 / m.accepted_requests as f64
+                        } else {
+                            0.0
+                        }
+                    }),
+                ));
+                repair.push((
+                    label.clone(),
+                    per_seed(&|m| {
+                        if m.repair_attempts > 0 {
+                            m.repairs_succeeded as f64 / m.repair_attempts as f64
+                        } else {
+                            0.0
+                        }
+                    }),
+                ));
+                latency.push((label.clone(), per_seed(&|m| m.mean_repair_latency_slots)));
+                eprintln!("unforeseen {p:>5.2}  {label:<24} delivered {:.4}", d.mean);
+            }
+        }
+        delivered_points.push(SeriesPoint { x: p, values: delivered });
+        interruption_points.push(SeriesPoint { x: p, values: interruption });
+        repair_points.push(SeriesPoint { x: p, values: repair });
+        latency_points.push(SeriesPoint { x: p, values: latency });
+    }
+
+    // ---- Reporting ----------------------------------------------------
+    let scale = &opts.scenario.name;
+    println!("\n# Robustness — social welfare ratio vs foreseen ISL failure probability ({scale} scale)\n");
+    println!("{}", markdown_table("ISL failure prob", &foresight_points));
+    println!("\n# Robustness — delivered welfare ratio under unforeseen failures, CEAR ({scale} scale)\n");
+    println!("{}", markdown_table("failure intensity", &delivered_points));
+    println!("\n# Repair success rate (successes / attempts)\n");
+    println!("{}", markdown_table("failure intensity", &repair_points));
+
+    let outputs: [(&str, &str, &[SeriesPoint]); 5] = [
+        ("robustness", "failure_prob", &foresight_points),
+        ("robustness_unforeseen", "failure_intensity", &delivered_points),
+        ("robustness_interruption", "failure_intensity", &interruption_points),
+        ("robustness_repair", "failure_intensity", &repair_points),
+        ("robustness_latency", "failure_intensity", &latency_points),
+    ];
+    for (stem, x_label, points) in outputs {
+        let path = opts.out_dir.join(format!("{stem}_{scale}.csv"));
+        write_csv(&path, |p| write_series_csv(p, x_label, points));
+        println!("CSV written to {}", path.display());
+    }
 }

@@ -52,10 +52,8 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> FigureOptions {
                 };
             }
             "--seeds" => {
-                opts.seeds = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--seeds needs an integer");
+                opts.seeds =
+                    args.next().and_then(|v| v.parse().ok()).expect("--seeds needs an integer");
             }
             "--out" => {
                 opts.out_dir = args.next().expect("--out needs a path").into();
@@ -64,6 +62,27 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> FigureOptions {
         }
     }
     opts
+}
+
+/// Runs a CSV writer against `path`, creating the output directory first.
+///
+/// The figure binaries used to `expect("write CSV")`, which on a missing
+/// or read-only output directory died without saying *which* path failed.
+/// This wrapper names the path in both failure modes.
+///
+/// # Panics
+///
+/// Panics with the offending path when the directory cannot be created or
+/// the writer reports an I/O error.
+pub fn write_csv(
+    path: &std::path::Path,
+    write: impl FnOnce(&std::path::Path) -> std::io::Result<()>,
+) {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)
+            .unwrap_or_else(|e| panic!("cannot create output directory {}: {e}", parent.display()));
+    }
+    write(path).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
 }
 
 #[cfg(test)]
@@ -104,5 +123,29 @@ mod tests {
     #[should_panic(expected = "unknown argument")]
     fn bad_flag_panics() {
         let _ = parse(&["--frobnicate"]);
+    }
+
+    #[test]
+    fn write_csv_creates_missing_directories() {
+        let dir = std::env::temp_dir().join("sb_bench_write_csv_test").join("nested");
+        let path = dir.join("out.csv");
+        let _ = std::fs::remove_dir_all(dir.parent().unwrap());
+        write_csv(&path, |p| std::fs::write(p, "a,b\n"));
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a,b\n");
+        let _ = std::fs::remove_dir_all(dir.parent().unwrap());
+    }
+
+    #[test]
+    fn write_csv_failure_names_the_path() {
+        // Parent exists but is a *file*, so directory creation must fail
+        // and the panic message must carry the path.
+        let blocker = std::env::temp_dir().join("sb_bench_write_csv_blocker");
+        std::fs::write(&blocker, "not a directory").unwrap();
+        let path = blocker.join("out.csv");
+        let err = std::panic::catch_unwind(|| write_csv(&path, |p| std::fs::write(p, "x")))
+            .expect_err("writing under a file must fail");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains(&blocker.display().to_string()), "panic message was: {msg}");
+        let _ = std::fs::remove_file(&blocker);
     }
 }

@@ -120,11 +120,22 @@ impl RoutingAlgorithm for AdaptiveCear {
     }
 
     fn process(&mut self, request: &Request, state: &mut NetworkState) -> Decision {
-        if self.processed > 0 && self.processed % self.policy.retune_every == 0 {
+        if self.processed > 0 && self.processed.is_multiple_of(self.policy.retune_every) {
             self.retune(request, state);
         }
         self.processed += 1;
         self.inner.process(request, state)
+    }
+
+    fn quote_plan(
+        &self,
+        request: &Request,
+        state: &NetworkState,
+        known: Option<&crate::lifecycle::KnownFailures>,
+    ) -> Result<(crate::plan::ReservationPlan, f64), crate::algorithm::RejectReason> {
+        // Quotes use the currently tuned parameters; retuning only happens
+        // on the `process` path (quoting must not mutate the tuner).
+        self.inner.quote_plan(request, state, known)
     }
 }
 
@@ -156,8 +167,11 @@ mod tests {
     #[test]
     fn f2_falls_when_network_is_idle() {
         let (mut state, src, dst) = build_state(3);
-        let policy =
-            AdaptivePolicy { target_battery_utilization: 0.99, retune_every: 1, ..Default::default() };
+        let policy = AdaptivePolicy {
+            target_battery_utilization: 0.99,
+            retune_every: 1,
+            ..Default::default()
+        };
         let mut adaptive = AdaptiveCear::new(CearParams::default(), policy);
         for _ in 0..10 {
             // Tiny requests: the network never approaches the target.

@@ -68,6 +68,24 @@ pub trait RoutingAlgorithm {
 
     /// Processes one request: route, decide, and (on acceptance) commit.
     fn process(&mut self, request: &Request, state: &mut NetworkState) -> Decision;
+
+    /// Computes the plan this algorithm would reserve for `request` under
+    /// the current state, and its price, **without committing** — the
+    /// routing half of [`RoutingAlgorithm::process`], exposed so plan
+    /// *repair* can re-run any algorithm's search for a broken
+    /// reservation's suffix. Edges listed in `known` are treated as down
+    /// and pruned from the search (price-oblivious baselines quote 0.0).
+    ///
+    /// # Errors
+    ///
+    /// The [`RejectReason`] the search produced (admission control is the
+    /// caller's job — see [`crate::lifecycle::try_repair`]).
+    fn quote_plan(
+        &self,
+        request: &Request,
+        state: &NetworkState,
+        known: Option<&crate::lifecycle::KnownFailures>,
+    ) -> Result<(ReservationPlan, f64), RejectReason>;
 }
 
 /// The CEAR algorithm: exponential pricing with admission control.
@@ -167,6 +185,17 @@ impl Cear {
         request: &Request,
         state: &NetworkState,
     ) -> Result<(ReservationPlan, f64), RejectReason> {
+        self.quote_avoiding(request, state, None)
+    }
+
+    /// [`Cear::quote`] with a set of known-down edges pruned from the
+    /// search — the repair path's entry point.
+    pub fn quote_avoiding(
+        &self,
+        request: &Request,
+        state: &NetworkState,
+        known: Option<&crate::lifecycle::KnownFailures>,
+    ) -> Result<(ReservationPlan, f64), RejectReason> {
         let ablation = self.ablation;
         let mu1 = self.params.mu1();
         let mu2 = self.params.mu2();
@@ -195,6 +224,10 @@ impl Cear {
             let found = {
                 let tx_ref = &tx;
                 min_cost_path(snapshot, request.source, request.destination, |ctx| {
+                    // Known-down edges are gone, whatever the price says.
+                    if known.is_some_and(|k| k.is_down(slot, ctx.edge_id)) {
+                        return None;
+                    }
                     // Bandwidth feasibility (7b) and price.
                     if state.residual_mbps(slot, ctx.edge_id) + 1e-9 < rate {
                         return None;
@@ -273,6 +306,15 @@ impl RoutingAlgorithm for Cear {
             Ok(()) => Decision::Accepted { plan, price },
             Err(_) => Decision::Rejected { reason: RejectReason::CommitFailed },
         }
+    }
+
+    fn quote_plan(
+        &self,
+        request: &Request,
+        state: &NetworkState,
+        known: Option<&crate::lifecycle::KnownFailures>,
+    ) -> Result<(ReservationPlan, f64), RejectReason> {
+        self.quote_avoiding(request, state, known)
     }
 }
 

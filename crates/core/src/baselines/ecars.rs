@@ -8,8 +8,10 @@
 //! ("their path selection was based on a linear function, which did not
 //! sensibly reflect resource usage") — and there is no admission control.
 
-use crate::algorithm::{Decision, RoutingAlgorithm};
-use crate::baselines::{edge_battery_utilization, route_and_commit, DELAY_NORM_M};
+use crate::algorithm::{Decision, RejectReason, RoutingAlgorithm};
+use crate::baselines::{edge_battery_utilization, route_and_commit, route_plan, DELAY_NORM_M};
+use crate::lifecycle::KnownFailures;
+use crate::plan::ReservationPlan;
 use crate::state::NetworkState;
 use sb_demand::Request;
 use serde::{Deserialize, Serialize};
@@ -85,6 +87,21 @@ impl RoutingAlgorithm for Ecars {
             let lambda_s = edge_battery_utilization(ctx, slot, st);
             Some(factors.edge_cost(lambda_e, lambda_s, ctx.edge.length_m))
         })
+    }
+
+    fn quote_plan(
+        &self,
+        request: &Request,
+        state: &NetworkState,
+        known: Option<&KnownFailures>,
+    ) -> Result<(ReservationPlan, f64), RejectReason> {
+        let factors = self.factors;
+        route_plan(request, state, known, |ctx, slot, st| {
+            let lambda_e = st.utilization(slot, ctx.edge_id);
+            let lambda_s = edge_battery_utilization(ctx, slot, st);
+            Some(factors.edge_cost(lambda_e, lambda_s, ctx.edge.length_m))
+        })
+        .map(|p| (p, 0.0))
     }
 }
 

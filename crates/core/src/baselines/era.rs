@@ -5,9 +5,13 @@
 //! a penalized weight profile — congestion factor 0.15, energy factor 0.7
 //! in the paper — steering traffic away without forbidding it.
 
-use crate::algorithm::{Decision, RoutingAlgorithm};
+use crate::algorithm::{Decision, RejectReason, RoutingAlgorithm};
 use crate::baselines::ecars::EcarsFactors;
-use crate::baselines::{edge_battery_deficit_j, edge_battery_utilization, route_and_commit};
+use crate::baselines::{
+    edge_battery_deficit_j, edge_battery_utilization, route_and_commit, route_plan,
+};
+use crate::lifecycle::KnownFailures;
+use crate::plan::ReservationPlan;
 use crate::state::NetworkState;
 use sb_demand::Request;
 
@@ -73,6 +77,24 @@ impl RoutingAlgorithm for Era {
             Some(factors.edge_cost(lambda_e, lambda_s, ctx.edge.length_m))
         })
     }
+
+    fn quote_plan(
+        &self,
+        request: &Request,
+        state: &NetworkState,
+        known: Option<&KnownFailures>,
+    ) -> Result<(ReservationPlan, f64), RejectReason> {
+        let (base, hot) = (self.base, self.hot);
+        let threshold_j = self.threshold_frac * state.energy_params().battery_capacity_j;
+        route_plan(request, state, known, |ctx, slot, st| {
+            let lambda_e = st.utilization(slot, ctx.edge_id);
+            let lambda_s = edge_battery_utilization(ctx, slot, st);
+            let factors =
+                if edge_battery_deficit_j(ctx, slot, st) > threshold_j { hot } else { base };
+            Some(factors.edge_cost(lambda_e, lambda_s, ctx.edge.length_m))
+        })
+        .map(|p| (p, 0.0))
+    }
 }
 
 #[cfg(test)]
@@ -92,7 +114,9 @@ mod tests {
         let run = |algo: &mut dyn crate::RoutingAlgorithm| {
             let (mut state, src, dst) = build_state(1);
             (0..10)
-                .filter(|_| algo.process(&request(src, dst, 1500.0, 0, 0), &mut state).is_accepted())
+                .filter(|_| {
+                    algo.process(&request(src, dst, 1500.0, 0, 0), &mut state).is_accepted()
+                })
                 .count()
         };
         let era_accepts = run(&mut Era::with_threshold(0.001));

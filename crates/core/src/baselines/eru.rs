@@ -7,9 +7,13 @@
 //! strategy pruned links even with slight network usage, making pathfinding
 //! difficult and lowering the social welfare ratio".
 
-use crate::algorithm::{Decision, RoutingAlgorithm};
+use crate::algorithm::{Decision, RejectReason, RoutingAlgorithm};
 use crate::baselines::ecars::EcarsFactors;
-use crate::baselines::{edge_battery_deficit_j, edge_battery_utilization, route_and_commit};
+use crate::baselines::{
+    edge_battery_deficit_j, edge_battery_utilization, route_and_commit, route_plan,
+};
+use crate::lifecycle::KnownFailures;
+use crate::plan::ReservationPlan;
 use crate::state::NetworkState;
 use sb_demand::Request;
 
@@ -59,8 +63,7 @@ impl RoutingAlgorithm for Eru {
 
     fn process(&mut self, request: &Request, state: &mut NetworkState) -> Decision {
         let factors = self.factors;
-        let threshold_j =
-            self.threshold_frac * state.energy_params().battery_capacity_j;
+        let threshold_j = self.threshold_frac * state.energy_params().battery_capacity_j;
         route_and_commit(request, state, |ctx, slot, st| {
             if edge_battery_deficit_j(ctx, slot, st) > threshold_j {
                 return None; // prune
@@ -69,6 +72,25 @@ impl RoutingAlgorithm for Eru {
             let lambda_s = edge_battery_utilization(ctx, slot, st);
             Some(factors.edge_cost(lambda_e, lambda_s, ctx.edge.length_m))
         })
+    }
+
+    fn quote_plan(
+        &self,
+        request: &Request,
+        state: &NetworkState,
+        known: Option<&KnownFailures>,
+    ) -> Result<(ReservationPlan, f64), RejectReason> {
+        let factors = self.factors;
+        let threshold_j = self.threshold_frac * state.energy_params().battery_capacity_j;
+        route_plan(request, state, known, |ctx, slot, st| {
+            if edge_battery_deficit_j(ctx, slot, st) > threshold_j {
+                return None; // prune
+            }
+            let lambda_e = st.utilization(slot, ctx.edge_id);
+            let lambda_s = edge_battery_utilization(ctx, slot, st);
+            Some(factors.edge_cost(lambda_e, lambda_s, ctx.edge.length_m))
+        })
+        .map(|p| (p, 0.0))
     }
 }
 
@@ -112,7 +134,9 @@ mod tests {
         let run = |algo: &mut dyn crate::RoutingAlgorithm| {
             let (mut state, src, dst) = build_state(1);
             (0..10)
-                .filter(|_| algo.process(&request(src, dst, 1500.0, 0, 0), &mut state).is_accepted())
+                .filter(|_| {
+                    algo.process(&request(src, dst, 1500.0, 0, 0), &mut state).is_accepted()
+                })
                 .count()
         };
         let eru_accepts = run(&mut Eru::with_threshold(0.001));

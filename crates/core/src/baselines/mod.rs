@@ -32,25 +32,31 @@ pub use eru::Eru;
 pub use ssp::Ssp;
 
 use crate::algorithm::{Decision, RejectReason};
+use crate::lifecycle::KnownFailures;
 use crate::plan::{ReservationPlan, SlotPath};
 use crate::search::{min_cost_path, EdgeContext};
 use crate::state::NetworkState;
 use sb_demand::Request;
 use sb_topology::SlotIndex;
 
-/// Shared baseline driver: routes every active slot with `weight_fn`
-/// (bandwidth feasibility is pre-checked before the weight function runs),
-/// then atomically commits. No price is charged.
-pub(crate) fn route_and_commit(
+/// Shared baseline search: routes every active slot with `weight_fn`
+/// (bandwidth feasibility and known-down pruning are pre-checked before
+/// the weight function runs) without committing anything. Baselines are
+/// price-oblivious, so the plan's `total_cost` is zero.
+pub(crate) fn route_plan(
     request: &Request,
-    state: &mut NetworkState,
+    state: &NetworkState,
+    known: Option<&KnownFailures>,
     mut weight_fn: impl FnMut(&EdgeContext<'_>, SlotIndex, &NetworkState) -> Option<f64>,
-) -> Decision {
+) -> Result<ReservationPlan, RejectReason> {
     let mut slot_paths = Vec::with_capacity(request.duration_slots());
     for slot in request.active_slots() {
         let rate = request.rate_at(slot);
         let snapshot = state.series().snapshot(slot);
         let found = min_cost_path(snapshot, request.source, request.destination, |ctx| {
+            if known.is_some_and(|k| k.is_down(slot, ctx.edge_id)) {
+                return None;
+            }
             if state.residual_mbps(slot, ctx.edge_id) + 1e-9 < rate {
                 return None;
             }
@@ -58,10 +64,23 @@ pub(crate) fn route_and_commit(
         });
         match found {
             Some(p) => slot_paths.push(SlotPath { slot, nodes: p.nodes, edges: p.edges }),
-            None => return Decision::Rejected { reason: RejectReason::NoFeasiblePath },
+            None => return Err(RejectReason::NoFeasiblePath),
         }
     }
-    let plan = ReservationPlan { slot_paths, total_cost: 0.0 };
+    Ok(ReservationPlan { slot_paths, total_cost: 0.0 })
+}
+
+/// Shared baseline driver: [`route_plan`], then atomically commit. No
+/// price is charged.
+pub(crate) fn route_and_commit(
+    request: &Request,
+    state: &mut NetworkState,
+    weight_fn: impl FnMut(&EdgeContext<'_>, SlotIndex, &NetworkState) -> Option<f64>,
+) -> Decision {
+    let plan = match route_plan(request, state, None, weight_fn) {
+        Ok(plan) => plan,
+        Err(reason) => return Decision::Rejected { reason },
+    };
     match state.try_commit_plan(request, &plan) {
         Ok(()) => Decision::Accepted { plan, price: 0.0 },
         Err(_) => Decision::Rejected { reason: RejectReason::CommitFailed },

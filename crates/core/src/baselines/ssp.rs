@@ -6,8 +6,10 @@
 //! and battery state, so it repeatedly loads the same short corridors — the
 //! behaviour the evaluation shows as early congestion and battery drain.
 
-use crate::algorithm::{Decision, RoutingAlgorithm};
-use crate::baselines::route_and_commit;
+use crate::algorithm::{Decision, RejectReason, RoutingAlgorithm};
+use crate::baselines::{route_and_commit, route_plan};
+use crate::lifecycle::KnownFailures;
+use crate::plan::ReservationPlan;
 use crate::state::NetworkState;
 use sb_demand::Request;
 
@@ -29,6 +31,15 @@ impl RoutingAlgorithm for Ssp {
 
     fn process(&mut self, request: &Request, state: &mut NetworkState) -> Decision {
         route_and_commit(request, state, |_ctx, _slot, _state| Some(1.0))
+    }
+
+    fn quote_plan(
+        &self,
+        request: &Request,
+        state: &NetworkState,
+        known: Option<&KnownFailures>,
+    ) -> Result<(ReservationPlan, f64), RejectReason> {
+        route_plan(request, state, known, |_ctx, _slot, _state| Some(1.0)).map(|p| (p, 0.0))
     }
 }
 

@@ -37,6 +37,9 @@
 //! * [`algorithm`] — the [`RoutingAlgorithm`] trait and [`Cear`] itself;
 //! * [`adaptive`] — the §V-B feedback loop that retunes `F₂` from
 //!   observed battery utilization;
+//! * [`lifecycle`] — reservation release and repair under unforeseen
+//!   failures (extension): [`RepairPolicy`], [`lifecycle::try_repair`],
+//!   [`NetworkState::release_from`];
 //! * [`baselines`] — SSP, ECARS, ERU and ERA comparison algorithms;
 //! * [`multipath`] — split-on-demand multipath reservations for flows
 //!   beyond single-link capacity (extension);
@@ -77,12 +80,12 @@
 //! assert!(decision.is_accepted());
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod adaptive;
 pub mod algorithm;
 pub mod analysis;
 pub mod baselines;
+pub mod lifecycle;
 pub mod multipath;
 pub mod offline;
 pub mod params;
@@ -94,7 +97,8 @@ pub mod state;
 pub use adaptive::{AdaptiveCear, AdaptivePolicy};
 pub use algorithm::{AblationFlags, Cear, Decision, RejectReason, RoutingAlgorithm};
 pub use baselines::{Ecars, Era, Eru, Ssp};
+pub use lifecycle::{repair, try_repair, KnownFailures, RepairOutcome, RepairPolicy};
 pub use multipath::MultipathCear;
 pub use params::CearParams;
 pub use plan::{ReservationPlan, SlotPath};
-pub use state::NetworkState;
+pub use state::{BookingId, NetworkState};

@@ -1,0 +1,321 @@
+//! Reservation lifecycle under unforeseen failures: release and repair.
+//!
+//! The paper's model admits a plan once and assumes it runs to completion.
+//! Real constellations break admitted plans mid-flight — an ISL fails, a
+//! satellite safes itself — and the operator must then *do something* with
+//! the broken reservation. This module provides the primitives:
+//!
+//! * [`KnownFailures`] — the set of `(slot, edge)` outages the operator
+//!   has observed, so a repair search does not route straight back onto a
+//!   dead link;
+//! * [`RepairPolicy`] — what the operator does with a broken plan:
+//!   [`RepairPolicy::Drop`] it (refund, SLA violation),
+//!   [`RepairPolicy::Repair`] the unserved suffix at no extra charge, or
+//!   [`RepairPolicy::RepairPaid`] only if the incremental price still fits
+//!   the request's valuation;
+//! * [`try_repair`] — re-run any [`RoutingAlgorithm`]'s priced search for
+//!   the suffix and commit it; [`repair`] — release a broken plan's
+//!   remaining resources first, then attempt the re-route.
+//!
+//! The primitives are engine-agnostic: `sb-sim`'s event-driven engine
+//! drives them at slot boundaries, but they work just as well for a
+//! one-off operator console action.
+
+use crate::algorithm::{RejectReason, RoutingAlgorithm};
+use crate::plan::SlotPath;
+use crate::state::{BookingId, NetworkState};
+use sb_demand::Request;
+use sb_topology::graph::EdgeId;
+use sb_topology::SlotIndex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// What the operator does with a reservation broken by an unforeseen
+/// failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RepairPolicy {
+    /// Tear the booking down: refund the unserved fraction and count an
+    /// SLA violation. The paper's implicit policy, made explicit.
+    Drop,
+    /// Re-route the unserved suffix if any feasible plan exists at current
+    /// prices, at no extra charge to the user.
+    Repair,
+    /// Re-route only if the incremental price of the suffix still fits
+    /// under the request's valuation; charge it. Otherwise drop.
+    RepairPaid,
+}
+
+impl RepairPolicy {
+    /// All policies, for sweep benches.
+    pub fn all() -> [RepairPolicy; 3] {
+        [RepairPolicy::Drop, RepairPolicy::Repair, RepairPolicy::RepairPaid]
+    }
+
+    /// A short stable name for CSV labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RepairPolicy::Drop => "drop",
+            RepairPolicy::Repair => "repair",
+            RepairPolicy::RepairPaid => "repair-paid",
+        }
+    }
+}
+
+/// The failures the operator has observed so far: `(slot, edge)` pairs
+/// known to be down. A repair search prunes these so it cannot route back
+/// onto a link that just failed.
+///
+/// Edge ids refer to the *unfailed* topology snapshots — under unforeseen
+/// failures the engine routes on the clean series and discovers outages at
+/// slot boundaries, which is exactly what makes them unforeseen.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KnownFailures {
+    down: HashSet<(SlotIndex, EdgeId)>,
+}
+
+impl KnownFailures {
+    /// An empty set (nothing known to be down).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `edge` is down at `slot`.
+    pub fn insert(&mut self, slot: SlotIndex, edge: EdgeId) {
+        self.down.insert((slot, edge));
+    }
+
+    /// Whether `edge` is known to be down at `slot`.
+    pub fn is_down(&self, slot: SlotIndex, edge: EdgeId) -> bool {
+        self.down.contains(&(slot, edge))
+    }
+
+    /// Number of recorded `(slot, edge)` outages.
+    pub fn len(&self) -> usize {
+        self.down.len()
+    }
+
+    /// Whether nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.down.is_empty()
+    }
+}
+
+/// The outcome of a repair attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RepairOutcome {
+    /// The booking was (or stays) torn down — by policy, or because a paid
+    /// repair no longer fits the valuation.
+    Dropped,
+    /// The suffix was re-routed and committed.
+    Repaired {
+        /// The *incremental* price charged for the repair: the quoted
+        /// suffix price under [`RepairPolicy::RepairPaid`], zero under
+        /// [`RepairPolicy::Repair`].
+        price: f64,
+        /// The committed suffix, one path per remaining slot.
+        slot_paths: Vec<SlotPath>,
+        /// The booking handle of the committed suffix.
+        booking: BookingId,
+    },
+    /// No feasible (or affordable-by-policy) repair exists *right now*;
+    /// the caller may retry at a later slot while the request is active.
+    Pending {
+        /// Why this attempt failed.
+        reason: RejectReason,
+    },
+}
+
+/// Attempts to re-route the unserved suffix of `request` (slots
+/// `from..=end`) with `algorithm`'s priced search, under `policy`.
+///
+/// `paid` is what the user already paid at admission (plus prior paid
+/// repairs); [`RepairPolicy::RepairPaid`] drops the booking when
+/// `paid + suffix price` exceeds the valuation. The broken plan's
+/// resources must already be released (see [`repair`] /
+/// [`NetworkState::release_from`]) — otherwise the suffix double-books
+/// against itself.
+///
+/// # Panics
+///
+/// Panics in debug builds when `from` is after the request's end.
+pub fn try_repair(
+    algorithm: &dyn RoutingAlgorithm,
+    policy: RepairPolicy,
+    request: &Request,
+    paid: f64,
+    state: &mut NetworkState,
+    from: SlotIndex,
+    known: &KnownFailures,
+) -> RepairOutcome {
+    debug_assert!(from <= request.end, "repairing past the request's end");
+    if policy == RepairPolicy::Drop {
+        return RepairOutcome::Dropped;
+    }
+    let suffix = request.suffix_from(from);
+    let (plan, price) = match algorithm.quote_plan(&suffix, state, Some(known)) {
+        Ok(found) => found,
+        Err(reason) => return RepairOutcome::Pending { reason },
+    };
+    if policy == RepairPolicy::RepairPaid && paid + price > request.valuation {
+        return RepairOutcome::Dropped;
+    }
+    match state.try_commit_plan(&suffix, &plan) {
+        Ok(()) => RepairOutcome::Repaired {
+            price: if policy == RepairPolicy::RepairPaid { price } else { 0.0 },
+            slot_paths: plan.slot_paths,
+            booking: state.last_booking().expect("commit just succeeded"),
+        },
+        Err(_) => RepairOutcome::Pending { reason: RejectReason::CommitFailed },
+    }
+}
+
+/// Releases a broken plan's remaining resources and attempts the re-route
+/// in one step: [`NetworkState::release_from`] on every booking of the
+/// broken plan, then [`try_repair`] for the suffix from `slot`.
+///
+/// The release happens unconditionally — even under [`RepairPolicy::Drop`]
+/// or when no feasible repair exists yet, the dead reservation must stop
+/// blocking other traffic.
+#[allow(clippy::too_many_arguments)]
+pub fn repair(
+    algorithm: &dyn RoutingAlgorithm,
+    policy: RepairPolicy,
+    request: &Request,
+    paid: f64,
+    broken: &[BookingId],
+    state: &mut NetworkState,
+    slot: SlotIndex,
+    known: &KnownFailures,
+) -> RepairOutcome {
+    for &id in broken {
+        state.release_from(id, slot);
+    }
+    try_repair(algorithm, policy, request, paid, state, slot, known)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::Cear;
+    use crate::baselines::testutil::{build_state, request};
+    use crate::params::CearParams;
+    use crate::Decision;
+
+    #[test]
+    fn known_failures_basics() {
+        let mut k = KnownFailures::new();
+        assert!(k.is_empty());
+        k.insert(SlotIndex(2), EdgeId(7));
+        k.insert(SlotIndex(2), EdgeId(7));
+        assert_eq!(k.len(), 1);
+        assert!(k.is_down(SlotIndex(2), EdgeId(7)));
+        assert!(!k.is_down(SlotIndex(3), EdgeId(7)));
+        assert_eq!(RepairPolicy::all().map(|p| p.name()), ["drop", "repair", "repair-paid"]);
+    }
+
+    #[test]
+    fn drop_policy_never_routes() {
+        let (mut state, src, dst) = build_state(2);
+        let req = request(src, dst, 500.0, 0, 1);
+        let cear = Cear::new(CearParams::default());
+        let before = state.clone();
+        let out = try_repair(
+            &cear,
+            RepairPolicy::Drop,
+            &req,
+            0.0,
+            &mut state,
+            SlotIndex(1),
+            &KnownFailures::new(),
+        );
+        assert_eq!(out, RepairOutcome::Dropped);
+        assert_eq!(state.ledger(), before.ledger(), "drop must not touch the state");
+    }
+
+    #[test]
+    fn repair_reroutes_released_suffix() {
+        let (mut state, src, dst) = build_state(3);
+        let mut cear = Cear::new(CearParams::default());
+        let req = request(src, dst, 800.0, 0, 2);
+        let Decision::Accepted { .. } =
+            (&mut cear as &mut dyn crate::RoutingAlgorithm).process(&req, &mut state)
+        else {
+            panic!("fresh network must accept");
+        };
+        let booking = state.last_booking().unwrap();
+        // "Failure" at slot 1: release and repair the suffix.
+        let out = repair(
+            &cear,
+            RepairPolicy::Repair,
+            &req,
+            0.0,
+            &[booking],
+            &mut state,
+            SlotIndex(1),
+            &KnownFailures::new(),
+        );
+        let RepairOutcome::Repaired { price, slot_paths, booking: b2 } = out else {
+            panic!("repair on an idle network must succeed, got {out:?}");
+        };
+        assert_eq!(price, 0.0, "Repair never charges");
+        assert_eq!(slot_paths.len(), 2, "suffix covers slots 1..=2");
+        assert_eq!(slot_paths[0].slot, SlotIndex(1));
+        assert!(b2 > booking);
+    }
+
+    #[test]
+    fn repair_paid_drops_when_over_valuation() {
+        let (mut state, src, dst) = build_state(1);
+        let cear = Cear::new(CearParams::default());
+        // A request that already paid its whole valuation: any positive
+        // suffix price exceeds it; a zero-price suffix still repairs.
+        let mut req = request(src, dst, 800.0, 0, 0);
+        req.valuation = 0.0;
+        // Load the network so prices are strictly positive.
+        let mut loader = Cear::new(CearParams::default());
+        for _ in 0..4 {
+            let filler = request(src, dst, 1800.0, 0, 0);
+            let _ = (&mut loader as &mut dyn crate::RoutingAlgorithm).process(&filler, &mut state);
+        }
+        let quoted = cear.quote(&req, &state).map(|(_, p)| p).unwrap_or(0.0);
+        let out = try_repair(
+            &cear,
+            RepairPolicy::RepairPaid,
+            &req,
+            0.0,
+            &mut state,
+            SlotIndex(0),
+            &KnownFailures::new(),
+        );
+        if quoted > 0.0 {
+            assert_eq!(out, RepairOutcome::Dropped, "price {quoted} exceeds valuation 0");
+        } else {
+            assert!(matches!(out, RepairOutcome::Repaired { .. }));
+        }
+    }
+
+    #[test]
+    fn known_failures_prune_the_repair_search() {
+        let (mut state, src, dst) = build_state(1);
+        let cear = Cear::new(CearParams::default());
+        let req = request(src, dst, 500.0, 0, 0);
+        // Quote once cleanly, then declare its first edge down; the
+        // repair must route differently or report no path.
+        let (plan, _) = cear.quote(&req, &state).expect("feasible");
+        let dead = plan.slot_paths[0].edges[0];
+        let mut known = KnownFailures::new();
+        known.insert(SlotIndex(0), dead);
+        let out =
+            try_repair(&cear, RepairPolicy::Repair, &req, 0.0, &mut state, SlotIndex(0), &known);
+        match out {
+            RepairOutcome::Repaired { slot_paths, .. } => {
+                assert!(
+                    !slot_paths[0].edges.contains(&dead),
+                    "repair routed onto the known-dead edge"
+                );
+            }
+            RepairOutcome::Pending { .. } => {} // no alternative existed
+            RepairOutcome::Dropped => panic!("Repair policy never drops"),
+        }
+    }
+}

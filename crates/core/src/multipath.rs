@@ -66,8 +66,8 @@ impl RoutingAlgorithm for MultipathCear {
         // Plain CEAR first: single-path reservations are strictly cheaper
         // to operate, so splitting is a fallback, not a preference.
         match self.inner.process(request, state) {
-            Decision::Rejected { reason: RejectReason::NoFeasiblePath }
-                if self.max_splits >= 2 => {}
+            Decision::Rejected { reason: RejectReason::NoFeasiblePath } if self.max_splits >= 2 => {
+            }
             decision => return decision,
         }
 
@@ -99,6 +99,19 @@ impl RoutingAlgorithm for MultipathCear {
             *state = backup;
         }
         Decision::Rejected { reason: RejectReason::NoFeasiblePath }
+    }
+
+    fn quote_plan(
+        &self,
+        request: &Request,
+        state: &NetworkState,
+        known: Option<&crate::lifecycle::KnownFailures>,
+    ) -> Result<(ReservationPlan, f64), RejectReason> {
+        // Repair quotes use the single-path search only: split repairs
+        // would need to commit subflows sequentially to price them, which
+        // a non-mutating quote cannot do. A suffix that only fits split is
+        // reported as having no feasible path.
+        self.inner.quote_plan(request, state, known)
     }
 }
 

@@ -96,7 +96,13 @@ pub fn exact_offline_welfare(
     }
 
     impl<F: Fn() -> Box<dyn RoutingAlgorithm>> Search<'_, F> {
-        fn dfs(&mut self, i: usize, state: &NetworkState, welfare: f64, chosen: &mut Vec<RequestId>) {
+        fn dfs(
+            &mut self,
+            i: usize,
+            state: &NetworkState,
+            welfare: f64,
+            chosen: &mut Vec<RequestId>,
+        ) {
             if welfare + self.suffix[i] <= self.best {
                 return; // cannot beat the incumbent
             }
@@ -179,12 +185,7 @@ mod tests {
             r.id = sb_demand::RequestId(i as u32);
         }
 
-        let (exact, accepted) = exact_offline_welfare(
-            &rs,
-            &state,
-            || Box::new(Ssp::new()),
-            16,
-        );
+        let (exact, accepted) = exact_offline_welfare(&rs, &state, || Box::new(Ssp::new()), 16);
         let mut greedy_state = state.clone();
         let (greedy, _) = hindsight_welfare(&rs, &mut greedy_state, &mut Ssp::new());
         assert!(exact + 1e-6 >= greedy, "exact {exact} < greedy {greedy}");
@@ -196,15 +197,11 @@ mod tests {
     fn exact_finds_the_obvious_packing() {
         let (state, src, dst) = build_state(1);
         // Two small requests that fit together beat one that blocks both.
-        let mut rs = vec![
-            request(src, dst, 600.0, 0, 0),
-            request(src, dst, 600.0, 0, 0),
-        ];
+        let mut rs = vec![request(src, dst, 600.0, 0, 0), request(src, dst, 600.0, 0, 0)];
         for (i, r) in rs.iter_mut().enumerate() {
             r.id = sb_demand::RequestId(i as u32);
         }
-        let (exact, accepted) =
-            exact_offline_welfare(&rs, &state, || Box::new(Ssp::new()), 8);
+        let (exact, accepted) = exact_offline_welfare(&rs, &state, || Box::new(Ssp::new()), 8);
         assert_eq!(accepted.len(), 2);
         assert!((exact - 2.0 * 2.3e9).abs() < 1.0);
     }

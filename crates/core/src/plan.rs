@@ -81,10 +81,7 @@ impl ReservationPlan {
 
     /// Total number of satellite-slot reservations in the plan.
     pub fn satellite_slot_count(&self, snapshots: &[TopologySnapshot]) -> usize {
-        self.slot_paths
-            .iter()
-            .map(|sp| sp.satellite_roles(&snapshots[sp.slot.index()]).len())
-            .sum()
+        self.slot_paths.iter().map(|sp| sp.satellite_roles(&snapshots[sp.slot.index()]).len()).sum()
     }
 }
 
@@ -186,9 +183,7 @@ mod tests {
         let path = SlotPath {
             slot: SlotIndex(0),
             nodes: (0..5).map(NodeId).collect(),
-            edges: (0..4)
-                .map(|k| snap.find_edge(NodeId(k), NodeId(k + 1)).unwrap())
-                .collect(),
+            edges: (0..4).map(|k| snap.find_edge(NodeId(k), NodeId(k + 1)).unwrap()).collect(),
         };
         let roles = path.satellite_roles(&snap);
         assert_eq!(roles[0].1, SatelliteRole::IngressGateway);
@@ -224,11 +219,7 @@ mod tests {
     #[should_panic(expected = "malformed path")]
     fn malformed_path_panics() {
         let snap = snapshot();
-        let bad = SlotPath {
-            slot: SlotIndex(0),
-            nodes: vec![NodeId(0), NodeId(1)],
-            edges: vec![],
-        };
+        let bad = SlotPath { slot: SlotIndex(0), nodes: vec![NodeId(0), NodeId(1)], edges: vec![] };
         let _ = bad.satellite_roles(&snap);
     }
 }

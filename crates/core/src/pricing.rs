@@ -89,8 +89,7 @@ mod tests {
         // σ_e/c_e·δ = δ(μ^λ−1): independent of capacity.
         let lam = 0.3;
         assert!(
-            (bandwidth_price(402.0, lam, 1250.0) - 1250.0 * (402f64.powf(0.3) - 1.0)).abs()
-                < 1e-9
+            (bandwidth_price(402.0, lam, 1250.0) - 1250.0 * (402f64.powf(0.3) - 1.0)).abs() < 1e-9
         );
     }
 

@@ -393,9 +393,7 @@ mod tests {
         let paths: Vec<Vec<u32>> = vec![vec![0, 1, 2, 5], vec![0, 3, 4, 5]];
         let brute = paths
             .iter()
-            .map(|p| {
-                p.windows(2).map(|w| cost_model(w[0], w[1])).sum::<f64>()
-            })
+            .map(|p| p.windows(2).map(|w| cost_model(w[0], w[1])).sum::<f64>())
             .fold(f64::INFINITY, f64::min);
         let found = min_cost_path(&g, NodeId(0), NodeId(5), |ctx| {
             Some(cost_model(ctx.edge.src.0, ctx.edge.dst.0))

@@ -12,7 +12,7 @@ use sb_demand::Request;
 use sb_energy::{EnergyLedger, EnergyParams};
 use sb_topology::graph::EdgeId;
 use sb_topology::{NodeKind, SlotIndex, TopologySeries};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Why a plan commit was refused.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,6 +52,31 @@ impl core::fmt::Display for CommitError {
 
 impl std::error::Error for CommitError {}
 
+/// Handle to one committed reservation, in commit order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BookingId(pub usize);
+
+/// The resource footprint of one committed plan, recorded so the booking
+/// can later be (partially) released — a failure-recovery primitive.
+///
+/// Exact-release invariant: every `reserved_mbps` cell equals the fold, in
+/// commit order, of the bandwidth contributions of the bookings that still
+/// cover it, and every satellite's ledger rows equal the replay, in commit
+/// order, of its surviving energy consumptions. Releases maintain the
+/// invariant by recomputing affected cells/rows from the log instead of
+/// subtracting (f64 subtraction is not an exact inverse of addition), so a
+/// release followed by an identical re-commit restores the state
+/// bit-identically.
+#[derive(Debug, Clone)]
+struct BookingEntry {
+    /// Aggregated bandwidth demand per cell, sorted by `(slot, edge)` for
+    /// deterministic iteration.
+    bw: Vec<(SlotIndex, EdgeId, f64)>,
+    /// Energy consumptions `(satellite, slot, joules)` in the exact order
+    /// they were committed to the ledger.
+    energy: Vec<(usize, usize, f64)>,
+}
+
 /// The operator's view of the network over the whole horizon.
 #[derive(Debug, Clone)]
 pub struct NetworkState {
@@ -61,6 +86,8 @@ pub struct NetworkState {
     ledger: EnergyLedger,
     /// Reserved bandwidth per slot, indexed by the slot's snapshot edge id.
     reserved_mbps: Vec<Vec<f64>>,
+    /// Every committed booking, in commit order (see [`BookingEntry`]).
+    bookings: Vec<BookingEntry>,
 }
 
 impl NetworkState {
@@ -75,9 +102,15 @@ impl NetworkState {
             .map(|i| series.sunlit_profile(sb_topology::NodeId(i as u32)))
             .collect();
         let ledger = EnergyLedger::new(energy_params, series.slot_duration_s(), &sunlit);
-        let reserved_mbps =
-            series.snapshots().iter().map(|s| vec![0.0; s.num_edges()]).collect();
-        NetworkState { series, num_satellites, energy_params: *energy_params, ledger, reserved_mbps }
+        let reserved_mbps = series.snapshots().iter().map(|s| vec![0.0; s.num_edges()]).collect();
+        NetworkState {
+            series,
+            num_satellites,
+            energy_params: *energy_params,
+            ledger,
+            reserved_mbps,
+            bookings: Vec::new(),
+        }
     }
 
     /// The underlying topology series.
@@ -181,6 +214,7 @@ impl NetworkState {
         // Energy validation on a transactional overlay, in slot order —
         // exactly the sequential recursion of Algorithm 1 lines 9–16.
         let mut tx = self.ledger.overlay();
+        let mut energy_log = Vec::new();
         for sp in &plan.slot_paths {
             let snapshot = self.series.snapshot(sp.slot);
             let rate = request.rate_at(sp.slot);
@@ -194,6 +228,7 @@ impl NetworkState {
                 if tx.try_commit(sat, sp.slot.index(), consumption).is_none() {
                     return Err(CommitError::EnergyInfeasible { slot: sp.slot, satellite: sat });
                 }
+                energy_log.push((sat, sp.slot.index(), consumption));
             }
         }
         let delta = tx.into_delta();
@@ -203,7 +238,82 @@ impl NetworkState {
             self.reserved_mbps[slot.index()][edge.index()] += mbps;
         }
         self.ledger.absorb(delta);
+        let mut bw: Vec<(SlotIndex, EdgeId, f64)> =
+            demand.into_iter().map(|((s, e), m)| (s, e, m)).collect();
+        bw.sort_by_key(|&(s, e, _)| (s, e));
+        self.bookings.push(BookingEntry { bw, energy: energy_log });
         Ok(())
+    }
+
+    /// Number of bookings committed so far. With the next commit's id
+    /// being `BookingId(booking_count())`, a caller can bracket a
+    /// multi-commit operation and collect exactly the ids it produced.
+    pub fn booking_count(&self) -> usize {
+        self.bookings.len()
+    }
+
+    /// The id of the most recently committed booking.
+    pub fn last_booking(&self) -> Option<BookingId> {
+        self.bookings.len().checked_sub(1).map(BookingId)
+    }
+
+    /// Releases a booking's resources from slot `from` onwards: its
+    /// reserved bandwidth in slots `≥ from` returns to the pool and its
+    /// battery consumptions there are un-booked (deficits recomputed).
+    /// Slots before `from` stay reserved — they were already served.
+    ///
+    /// Restoration is *exact*: affected bandwidth cells are re-folded and
+    /// affected satellites' ledger rows replayed from the surviving
+    /// booking log in commit order, so releasing a booking and committing
+    /// an identical plan again yields a bit-identical [`NetworkState`]
+    /// (see [`BookingEntry`]). Releasing an already-released range is a
+    /// no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never issued by this state.
+    pub fn release_from(&mut self, id: BookingId, from: SlotIndex) {
+        let entry = &mut self.bookings[id.0];
+        let released_cells: HashSet<(SlotIndex, EdgeId)> =
+            entry.bw.iter().filter(|&&(s, _, _)| s >= from).map(|&(s, e, _)| (s, e)).collect();
+        let released_sats: HashSet<usize> = entry
+            .energy
+            .iter()
+            .filter(|&&(_, t, _)| t >= from.index())
+            .map(|&(sat, _, _)| sat)
+            .collect();
+        if released_cells.is_empty() && released_sats.is_empty() {
+            return;
+        }
+        entry.bw.retain(|&(s, _, _)| s < from);
+        entry.energy.retain(|&(_, t, _)| t < from.index());
+
+        // Re-fold affected bandwidth cells from the surviving log.
+        for &(s, e) in &released_cells {
+            self.reserved_mbps[s.index()][e.index()] = 0.0;
+        }
+        for b in &self.bookings {
+            for &(s, e, mbps) in &b.bw {
+                if released_cells.contains(&(s, e)) {
+                    self.reserved_mbps[s.index()][e.index()] += mbps;
+                }
+            }
+        }
+
+        // Replay affected satellites' ledger rows. Every surviving commit
+        // was feasible in the original sequence, which drained strictly
+        // more (it included the released consumptions), and adding energy
+        // headroom never breaks feasibility — so replay cannot panic.
+        for &sat in &released_sats {
+            self.ledger.reset_satellite(sat);
+        }
+        for b in &self.bookings {
+            for &(sat, t, j) in &b.energy {
+                if released_sats.contains(&sat) {
+                    self.ledger.commit(sat, t, j);
+                }
+            }
+        }
     }
 
     /// Number of links at `slot` whose residual capacity is below
@@ -255,7 +365,12 @@ mod tests {
 
     /// Builds a 1-slot plan along actual snapshot edges from `src` by
     /// following its first USL and the satellite's first USL back down.
-    fn direct_plan(state: &NetworkState, src: NodeId, dst: NodeId, slot: SlotIndex) -> Option<ReservationPlan> {
+    fn direct_plan(
+        state: &NetworkState,
+        src: NodeId,
+        dst: NodeId,
+        slot: SlotIndex,
+    ) -> Option<ReservationPlan> {
         let snap = state.series().snapshot(slot);
         for (e1, edge1) in snap.out_edges(src) {
             let sat = edge1.dst;
@@ -345,7 +460,12 @@ mod tests {
 
     /// Builds a random user→sat→…→user walk in the slot-0 snapshot by
     /// following out-edges with a seeded LCG; may or may not be feasible.
-    fn random_plan(state: &NetworkState, src: NodeId, dst: NodeId, seed: u64) -> Option<ReservationPlan> {
+    fn random_plan(
+        state: &NetworkState,
+        src: NodeId,
+        dst: NodeId,
+        seed: u64,
+    ) -> Option<ReservationPlan> {
         let snap = state.series().snapshot(SlotIndex(0));
         let mut rng = seed;
         let mut next = move || {
@@ -401,11 +521,10 @@ mod tests {
                 Err(_) => {
                     rejected += 1;
                     assert_eq!(state.ledger(), &before_ledger, "ledger mutated on reject");
-                    let snap = state.series().snapshot(SlotIndex(0));
-                    for i in 0..snap.num_edges() {
+                    for (i, &before) in before_reserved.iter().enumerate() {
                         assert_eq!(
                             state.reserved_mbps(SlotIndex(0), EdgeId(i as u32)),
-                            before_reserved[i],
+                            before,
                             "bandwidth mutated on reject"
                         );
                     }
@@ -422,6 +541,111 @@ mod tests {
         }
         assert!(committed > 0, "some random walks must commit");
         assert!(rejected > 0, "saturation must eventually reject");
+    }
+
+    /// Bit-exact resource comparison across the whole horizon.
+    fn assert_resources_eq(a: &NetworkState, b: &NetworkState) {
+        assert_eq!(a.ledger(), b.ledger(), "ledgers differ");
+        for t in 0..a.horizon() {
+            let slot = SlotIndex(t as u32);
+            let snap = a.series().snapshot(slot);
+            for i in 0..snap.num_edges() {
+                let e = EdgeId(i as u32);
+                assert!(
+                    a.reserved_mbps(slot, e).to_bits() == b.reserved_mbps(slot, e).to_bits(),
+                    "reserved bandwidth differs at {slot} edge {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn release_then_recommit_restores_state_exactly() {
+        // The ISSUE's regression requirement: release_from followed by an
+        // identical re-reservation restores utilization exactly — both
+        // the bandwidth plane and the battery ledger, bit for bit.
+        let (mut state, src, dst) = small_state();
+        let Some(plan_a) = direct_plan(&state, src, dst, SlotIndex(0)) else { return };
+        let req = request(src, dst, 900.0);
+        state.try_commit_plan(&req, &plan_a).unwrap();
+        let after_a = state.clone();
+
+        // A second booking over (typically) the same links and satellites.
+        state.try_commit_plan(&req, &plan_a).unwrap();
+        let after_b = state.clone();
+        let b = state.last_booking().unwrap();
+
+        state.release_from(b, SlotIndex(0));
+        assert_resources_eq(&state, &after_a);
+
+        state.try_commit_plan(&req, &plan_a).unwrap();
+        assert_resources_eq(&state, &after_b);
+    }
+
+    #[test]
+    fn partial_release_keeps_served_prefix() {
+        let (mut state, src, dst) = small_state();
+        // A 2-slot plan: the same bent pipe in slots 0 and 1 (node motion
+        // may break slot 1; skip then).
+        let Some(p0) = direct_plan(&state, src, dst, SlotIndex(0)) else { return };
+        let Some(p1) = direct_plan(&state, src, dst, SlotIndex(1)) else { return };
+        let plan = ReservationPlan {
+            slot_paths: vec![p0.slot_paths[0].clone(), p1.slot_paths[0].clone()],
+            total_cost: 0.0,
+        };
+        let req = Request { end: SlotIndex(1), ..request(src, dst, 700.0) };
+        state.try_commit_plan(&req, &plan).unwrap();
+        let id = state.last_booking().unwrap();
+
+        state.release_from(id, SlotIndex(1));
+        // Slot 0 stays reserved, slot 1 is free again.
+        for &e in &plan.slot_paths[0].edges {
+            assert_eq!(state.reserved_mbps(SlotIndex(0), e), 700.0);
+        }
+        for &e in &plan.slot_paths[1].edges {
+            assert_eq!(state.reserved_mbps(SlotIndex(1), e), 0.0);
+        }
+        // Releasing the same suffix again is a no-op.
+        let snapshot = state.clone();
+        state.release_from(id, SlotIndex(1));
+        assert_resources_eq(&state, &snapshot);
+    }
+
+    #[test]
+    fn release_interleaved_bookings_is_exact() {
+        // Releasing a booking sandwiched between two others must leave
+        // exactly the state that committing only the other two produces.
+        let (mut state, src, dst) = small_state();
+        let Some(plan) = direct_plan(&state, src, dst, SlotIndex(0)) else { return };
+        let req = request(src, dst, 400.0);
+
+        let mut reference = state.clone();
+        reference.try_commit_plan(&req, &plan).unwrap();
+        reference.try_commit_plan(&req, &plan).unwrap();
+
+        state.try_commit_plan(&req, &plan).unwrap();
+        state.try_commit_plan(&req, &plan).unwrap();
+        let middle = state.last_booking().unwrap();
+        state.try_commit_plan(&req, &plan).unwrap();
+        state.release_from(middle, SlotIndex(0));
+
+        // Survivors (1st, 3rd) re-fold in log order; with identical plans
+        // that fold matches the reference's (1st, 2nd) bit-for-bit.
+        assert_resources_eq(&state, &reference);
+    }
+
+    #[test]
+    fn booking_ids_are_sequential() {
+        let (mut state, src, dst) = small_state();
+        assert_eq!(state.booking_count(), 0);
+        assert_eq!(state.last_booking(), None);
+        let Some(plan) = direct_plan(&state, src, dst, SlotIndex(0)) else { return };
+        let req = request(src, dst, 100.0);
+        state.try_commit_plan(&req, &plan).unwrap();
+        assert_eq!(state.booking_count(), 1);
+        assert_eq!(state.last_booking(), Some(BookingId(0)));
+        state.try_commit_plan(&req, &plan).unwrap();
+        assert_eq!(state.last_booking(), Some(BookingId(1)));
     }
 
     #[test]

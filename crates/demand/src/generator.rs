@@ -157,8 +157,7 @@ pub fn generate_workload(config: &WorkloadConfig, seed: u64) -> Vec<Request> {
         let n = poisson(&mut rng, rate);
         for _ in 0..n {
             let (source, destination) = config.pairs[rng.gen_range(0..config.pairs.len())];
-            let duration =
-                rng.gen_range(config.min_duration_slots..=config.max_duration_slots);
+            let duration = rng.gen_range(config.min_duration_slots..=config.max_duration_slots);
             let start = SlotIndex(slot);
             let end = SlotIndex((slot + duration - 1).min(config.horizon_slots - 1));
             let rate_mbps = config.size.sample(&mut rng);
@@ -305,8 +304,7 @@ mod tests {
         config.pattern =
             ArrivalPattern::Burst { start_slot: 40, duration_slots: 20, multiplier: 6.0 };
         let requests = generate_workload(&config, 11);
-        let in_burst =
-            requests.iter().filter(|r| (40..60).contains(&r.start.0)).count() as f64;
+        let in_burst = requests.iter().filter(|r| (40..60).contains(&r.start.0)).count() as f64;
         let outside = (requests.len() as f64 - in_burst).max(1.0);
         // Burst slots are 20/100 of the horizon but 6× the rate: the
         // per-slot density inside should be ~6× the density outside.
@@ -317,8 +315,7 @@ mod tests {
     #[test]
     fn diurnal_pattern_keeps_volume_comparable() {
         let mut config = cfg();
-        config.pattern =
-            ArrivalPattern::Diurnal { amplitude: 0.8, period_slots: 50.0, phase: 0.0 };
+        config.pattern = ArrivalPattern::Diurnal { amplitude: 0.8, period_slots: 50.0, phase: 0.0 };
         let modulated = generate_workload(&config, 12).len() as f64;
         config.pattern = ArrivalPattern::Constant;
         let constant = generate_workload(&config, 12).len() as f64;

@@ -29,7 +29,6 @@
 //! assert_eq!(requests, generate_workload(&cfg, 42));
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod generator;
 pub mod pattern;

@@ -10,9 +10,10 @@
 use serde::{Deserialize, Serialize};
 
 /// How the mean arrival rate evolves over the horizon.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub enum ArrivalPattern {
     /// The paper's setting: the same mean rate in every slot.
+    #[default]
     Constant,
     /// A sinusoidal diurnal cycle: rate multiplied by
     /// `1 + amplitude·sin(2π·(t/period + phase))`, clamped at zero.
@@ -34,12 +35,6 @@ pub enum ArrivalPattern {
         /// Rate multiplier during the burst (≥ 0; e.g. 5.0).
         multiplier: f64,
     },
-}
-
-impl Default for ArrivalPattern {
-    fn default() -> Self {
-        ArrivalPattern::Constant
-    }
 }
 
 impl ArrivalPattern {

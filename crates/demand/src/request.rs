@@ -116,6 +116,31 @@ impl Request {
     pub fn total_volume_mbit(&self, slot_duration_s: f64) -> f64 {
         self.active_slots().map(|t| self.rate_at(t) * slot_duration_s).sum()
     }
+
+    /// The unserved tail of the request from slot `from` on: same
+    /// endpoints, valuation and end slot, but starting at
+    /// `max(from, start)`, with the rate profile re-based so that
+    /// [`Request::rate_at`] returns the same per-slot rates as the
+    /// original. Used by plan repair to re-route what a failure broke.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `from > end` (there is no suffix), and
+    /// on an empty `PerSlot` profile.
+    pub fn suffix_from(&self, from: SlotIndex) -> Request {
+        debug_assert!(from <= self.end, "suffix starts after the request ends");
+        let from = from.max(self.start);
+        let rate = match &self.rate {
+            RateProfile::Constant(r) => RateProfile::Constant(*r),
+            RateProfile::PerSlot(v) => {
+                assert!(!v.is_empty(), "empty per-slot rate profile");
+                let skip = (from.0 - self.start.0) as usize;
+                let tail = if skip >= v.len() { vec![v[v.len() - 1]] } else { v[skip..].to_vec() };
+                RateProfile::PerSlot(tail)
+            }
+        };
+        Request { rate, start: from, ..self.clone() }
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +204,23 @@ mod tests {
         r.end = r.start;
         assert_eq!(r.duration_slots(), 1);
         assert_eq!(r.active_slots().count(), 1);
+    }
+
+    #[test]
+    fn suffix_preserves_per_slot_rates() {
+        let mut r = req();
+        r.rate = RateProfile::PerSlot(vec![100.0, 200.0, 300.0, 400.0, 500.0]);
+        let s = r.suffix_from(SlotIndex(7));
+        assert_eq!(s.start, SlotIndex(7));
+        assert_eq!(s.end, r.end);
+        assert_eq!(s.valuation, r.valuation);
+        for t in 7..=9 {
+            assert_eq!(s.rate_at(SlotIndex(t)), r.rate_at(SlotIndex(t)), "slot {t}");
+        }
+        assert_eq!(s.rate_at(SlotIndex(6)), 0.0, "suffix inactive before its start");
+        // Constant profiles are untouched; `from` before start clamps.
+        let c = req().suffix_from(SlotIndex(0));
+        assert_eq!(c, req());
     }
 
     #[test]

@@ -46,6 +46,11 @@ pub struct EnergyLedger {
     solar_j: Vec<f64>,
     /// Cumulative committed deficit D_s(T) = ϖ − b_s(T), joules.
     deficit_j: Vec<f64>,
+    /// Solar input of one sunlit slot, joules (kept for row resets).
+    solar_per_slot_j: f64,
+    /// Flat sunlit profile (same indexing as `solar_j`), so a satellite's
+    /// rows can be restored to their pristine state on release.
+    sunlit: Vec<bool>,
 }
 
 impl EnergyLedger {
@@ -62,9 +67,11 @@ impl EnergyLedger {
         let horizon = sunlit.first().map_or(0, Vec::len);
         let per_slot = params.solar_input_per_slot_j(slot_duration_s);
         let mut solar_j = Vec::with_capacity(sunlit.len() * horizon);
+        let mut flat_sunlit = Vec::with_capacity(sunlit.len() * horizon);
         for profile in sunlit {
             assert_eq!(profile.len(), horizon, "ragged sunlit profiles");
             solar_j.extend(profile.iter().map(|&lit| if lit { per_slot } else { 0.0 }));
+            flat_sunlit.extend(profile.iter().copied());
         }
         EnergyLedger {
             params: *params,
@@ -72,6 +79,8 @@ impl EnergyLedger {
             num_satellites: sunlit.len(),
             deficit_j: vec![0.0; solar_j.len()],
             solar_j,
+            solar_per_slot_j: per_slot,
+            sunlit: flat_sunlit,
         }
     }
 
@@ -185,6 +194,24 @@ impl EnergyLedger {
         let delta = tx.into_delta();
         self.absorb(delta);
         trace
+    }
+
+    /// Restores satellite `sat`'s rows to their pristine (no-commit) state:
+    /// full solar input in every sunlit slot, zero deficit everywhere.
+    ///
+    /// Satellites are fully independent in the ledger, so this touches
+    /// nothing else. Callers releasing one booking of several must replay
+    /// the satellite's surviving commits afterwards (in original commit
+    /// order) to land on a bit-identical state — the deficit recursion is
+    /// deterministic, and every surviving commit was feasible against a
+    /// state with *more* drain, so replay cannot fail.
+    pub fn reset_satellite(&mut self, sat: usize) {
+        let base = sat * self.horizon;
+        for t in 0..self.horizon {
+            self.solar_j[base + t] =
+                if self.sunlit[base + t] { self.solar_per_slot_j } else { 0.0 };
+            self.deficit_j[base + t] = 0.0;
+        }
     }
 
     /// Number of satellites whose battery level at slot `t` is below
@@ -334,6 +361,30 @@ mod tests {
         l.commit(0, 0, 5000.0);
         assert_eq!(l.deficit_j(1, 0), 0.0);
         assert_eq!(l.battery_level_j(1, 1), 117_000.0);
+    }
+
+    #[test]
+    fn reset_satellite_restores_pristine_rows() {
+        let mut l = ledger(&[vec![true, false, true], vec![false, true, false]]);
+        let pristine = l.clone();
+        l.commit(0, 0, 2000.0);
+        l.commit(1, 1, 3000.0);
+        assert_ne!(l, pristine);
+        l.reset_satellite(0);
+        l.reset_satellite(1);
+        assert_eq!(l, pristine);
+    }
+
+    #[test]
+    fn reset_then_replay_is_bit_identical() {
+        let mut l = ledger(&[vec![true, false, false, true]]);
+        l.commit(0, 0, 1500.0);
+        let after_first = l.clone();
+        l.commit(0, 1, 2500.0);
+        // Drop the second commit by reset + replaying only the first.
+        l.reset_satellite(0);
+        l.commit(0, 0, 1500.0);
+        assert_eq!(l, after_first);
     }
 
     #[test]

@@ -36,7 +36,6 @@
 //! assert!(ledger.battery_level_j(0, 1) < params.battery_capacity_j);
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod ledger;
 pub mod overlay;

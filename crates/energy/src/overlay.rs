@@ -115,7 +115,12 @@ impl<'a> LedgerOverlay<'a> {
     /// Runs the commit recursion (Algorithm 1 lines 9–16) against the
     /// overlay. Returns `None` — leaving the overlay dirty, discard it —
     /// when some slot's battery would be over-drawn.
-    pub fn try_commit(&mut self, sat: usize, t_a: usize, consumption_j: f64) -> Option<DeficitTrace> {
+    pub fn try_commit(
+        &mut self,
+        sat: usize,
+        t_a: usize,
+        consumption_j: f64,
+    ) -> Option<DeficitTrace> {
         let horizon = self.base.horizon();
         let cap = self.base.params().battery_capacity_j;
         let mut trace = DeficitTrace::default();

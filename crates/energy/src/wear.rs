@@ -87,10 +87,7 @@ impl FleetWear {
         FleetWear {
             mean_equivalent_cycles: wear.iter().map(|w| w.equivalent_cycles).sum::<f64>()
                 / wear.len() as f64,
-            max_equivalent_cycles: wear
-                .iter()
-                .map(|w| w.equivalent_cycles)
-                .fold(0.0, f64::max),
+            max_equivalent_cycles: wear.iter().map(|w| w.equivalent_cycles).fold(0.0, f64::max),
             max_depth_of_discharge: wear
                 .iter()
                 .map(|w| w.max_depth_of_discharge)

@@ -47,8 +47,7 @@ impl Geodetic {
     /// Panics in debug builds when latitude is outside `[-π/2, π/2]`.
     pub fn new(latitude_rad: f64, longitude_rad: f64, altitude_m: f64) -> Self {
         debug_assert!(
-            (-core::f64::consts::FRAC_PI_2..=core::f64::consts::FRAC_PI_2)
-                .contains(&latitude_rad),
+            (-core::f64::consts::FRAC_PI_2..=core::f64::consts::FRAC_PI_2).contains(&latitude_rad),
             "latitude out of range: {latitude_rad}"
         );
         Geodetic { latitude_rad, longitude_rad, altitude_m }

@@ -29,7 +29,6 @@
 //! # let _ = lit;
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod constants;
 pub mod coords;

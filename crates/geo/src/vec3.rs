@@ -93,31 +93,19 @@ impl Vec3 {
     /// Rotates the vector by `angle` radians about the +X axis.
     pub fn rotate_x(self, angle: f64) -> Vec3 {
         let (s, c) = angle.sin_cos();
-        Vec3 {
-            x: self.x,
-            y: c * self.y - s * self.z,
-            z: s * self.y + c * self.z,
-        }
+        Vec3 { x: self.x, y: c * self.y - s * self.z, z: s * self.y + c * self.z }
     }
 
     /// Rotates the vector by `angle` radians about the +Y axis.
     pub fn rotate_y(self, angle: f64) -> Vec3 {
         let (s, c) = angle.sin_cos();
-        Vec3 {
-            x: c * self.x + s * self.z,
-            y: self.y,
-            z: -s * self.x + c * self.z,
-        }
+        Vec3 { x: c * self.x + s * self.z, y: self.y, z: -s * self.x + c * self.z }
     }
 
     /// Rotates the vector by `angle` radians about the +Z axis.
     pub fn rotate_z(self, angle: f64) -> Vec3 {
         let (s, c) = angle.sin_cos();
-        Vec3 {
-            x: c * self.x - s * self.y,
-            y: s * self.x + c * self.y,
-            z: self.z,
-        }
+        Vec3 { x: c * self.x - s * self.y, y: s * self.x + c * self.y, z: self.z }
     }
 
     /// Component-wise linear interpolation: `self + t * (other - self)`.

@@ -141,8 +141,9 @@ mod tests {
 
     #[test]
     fn sun_sync_inclination_is_retrograde() {
-        // i > 90°: the defining property of sun-synchronous orbits.
-        assert!(SUN_SYNC_INCLINATION_RAD > core::f64::consts::FRAC_PI_2);
+        // i > 90°: the defining property of sun-synchronous orbits,
+        // checked at compile time (the assertion is on constants).
+        const _: () = assert!(SUN_SYNC_INCLINATION_RAD > core::f64::consts::FRAC_PI_2);
         for s in synthetic_fleet(5) {
             assert_eq!(s.elements.inclination_rad, SUN_SYNC_INCLINATION_RAD);
         }

@@ -76,11 +76,9 @@ impl J2Propagator {
         let tau = core::f64::consts::TAU;
         OrbitalElements {
             raan_rad: (self.elements.raan_rad + self.rates.raan_rate * dt).rem_euclid(tau),
-            arg_perigee_rad: (self.elements.arg_perigee_rad
-                + self.rates.arg_perigee_rate * dt)
+            arg_perigee_rad: (self.elements.arg_perigee_rad + self.rates.arg_perigee_rate * dt)
                 .rem_euclid(tau),
-            mean_anomaly_rad: (self.elements.mean_anomaly_rad
-                + self.rates.mean_motion_delta * dt)
+            mean_anomaly_rad: (self.elements.mean_anomaly_rad + self.rates.mean_motion_delta * dt)
                 .rem_euclid(tau),
             ..self.elements
         }

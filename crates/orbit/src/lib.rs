@@ -30,7 +30,6 @@
 //! assert_eq!(states.len(), 12);
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod eo;
 pub mod j2;

@@ -168,14 +168,15 @@ impl Tle {
     ///
     /// Returns the first parse error encountered.
     pub fn parse_many(text: &str) -> Result<Vec<Tle>, ParseTleError> {
-        let lines: Vec<&str> = text.lines().map(str::trim_end).filter(|l| !l.trim().is_empty()).collect();
+        let lines: Vec<&str> =
+            text.lines().map(str::trim_end).filter(|l| !l.trim().is_empty()).collect();
         let mut out = Vec::new();
         let mut i = 0;
         let mut anon = 0u32;
         while i < lines.len() {
             let (name, l1, l2) = if lines[i].starts_with("1 ") {
                 anon += 1;
-                let (l1, l2) = (lines[i], *lines.get(i + 1).unwrap_or(&"")) ;
+                let (l1, l2) = (lines[i], *lines.get(i + 1).unwrap_or(&""));
                 i += 2;
                 (format!("SAT-{anon:04}"), l1, l2)
             } else {
@@ -305,10 +306,8 @@ fn implied_decimal(raw: &str, name: &'static str) -> Result<f64, ParseTleError> 
 mod tests {
     use super::*;
 
-    const ISS_L1: &str =
-        "1 25544U 98067A   24001.50000000  .00016717  00000-0  10270-3 0  9009";
-    const ISS_L2: &str =
-        "2 25544  51.6400 208.9163 0006317  69.9862 290.2553 15.49560532    00";
+    const ISS_L1: &str = "1 25544U 98067A   24001.50000000  .00016717  00000-0  10270-3 0  9009";
+    const ISS_L2: &str = "2 25544  51.6400 208.9163 0006317  69.9862 290.2553 15.49560532    00";
 
     #[test]
     fn parses_iss() {

@@ -146,11 +146,8 @@ mod tests {
     #[test]
     fn planes_evenly_spaced_in_raan() {
         let s = WalkerConstellation::delta(4, 2, 1, 550e3, 0.9);
-        let raans: Vec<f64> = s
-            .elements()
-            .filter(|(_, slot, _)| *slot == 0)
-            .map(|(_, _, el)| el.raan_rad)
-            .collect();
+        let raans: Vec<f64> =
+            s.elements().filter(|(_, slot, _)| *slot == 0).map(|(_, _, el)| el.raan_rad).collect();
         assert_eq!(raans.len(), 4);
         for (k, r) in raans.iter().enumerate() {
             let expected = core::f64::consts::TAU * k as f64 / 4.0;
@@ -196,10 +193,8 @@ mod tests {
         // In a 22×72 shell no two satellites should be closer than ~100 km
         // at epoch 0 (no collisions in the generated pattern).
         let s = WalkerConstellation::starlink_shell1();
-        let pos: Vec<_> = s
-            .elements()
-            .map(|(_, _, el)| el.position_at(Epoch::from_seconds(0.0)).0)
-            .collect();
+        let pos: Vec<_> =
+            s.elements().map(|(_, _, el)| el.position_at(Epoch::from_seconds(0.0)).0).collect();
         let mut min_d = f64::MAX;
         // Sample pairs rather than all 1584² for test speed.
         for i in (0..pos.len()).step_by(13) {

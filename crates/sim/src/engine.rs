@@ -8,23 +8,40 @@
 //!    sites; EO satellites for space-user pairs) with the seeded RNG;
 //! 3. build the per-slot topology series and a fresh [`NetworkState`];
 //! 4. generate the Poisson workload with the same seed;
-//! 5. feed requests in arrival order to the algorithm;
-//! 6. collect the paper's metrics.
+//! 5. step the horizon slot by slot — each slot admits its due retries and
+//!    arrivals in workload order, then (when the scenario configures
+//!    unforeseen failures) discovers the slot's outages and applies the
+//!    repair policy to every reservation they broke;
+//! 6. collect the paper's metrics plus the delivered-welfare and repair
+//!    accounting.
+//!
+//! Unforeseen failures are drawn *after* admission: requests route on the
+//! clean topology series, outages surface only at slot boundaries via
+//! [`FailureOracle`], and a request admitted in the very slot an outage is
+//! active is caught by the same boundary pass. With no unforeseen failures
+//! configured the slot loop performs exactly the request-ordered
+//! processing sequence of the foresight-only engine, so those runs stay
+//! bit-identical.
 //!
 //! Identical inputs give bit-identical outputs — the error bars in the
 //! figures come solely from varying the seed.
 
 use crate::metrics::RunMetrics;
+use crate::outage::FailureOracle;
 use crate::scenario::ScenarioConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sb_cear::{AblationFlags, Cear, CearParams, Decision, NetworkState, RejectReason, RoutingAlgorithm};
+use sb_cear::{
+    repair, try_repair, AblationFlags, BookingId, Cear, CearParams, Decision, KnownFailures,
+    NetworkState, RejectReason, RepairOutcome, RepairPolicy, RoutingAlgorithm, SlotPath,
+};
 use sb_demand::generator::{generate_workload, WorkloadConfig};
 use sb_demand::Request;
 use sb_orbit::walker::WalkerConstellation;
 use sb_topology::ground::GroundGrid;
 use sb_topology::{NetworkNodes, NodeId, SlotIndex, TopologySeries};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// Which algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -182,6 +199,228 @@ pub fn run_prepared(
     run_with_algorithm(scenario, prepared, requests, algorithm.as_mut(), seed)
 }
 
+/// One admitted reservation, tracked across the horizon so unforeseen
+/// failures can break it and the repair policy can act on it.
+struct ActiveBooking {
+    request: Request,
+    /// Admission price plus any paid repairs — the basis for refunds and
+    /// for RepairPaid affordability checks.
+    paid: f64,
+    /// Every [`BookingId`] backing the plan (admission plus repairs); a
+    /// later break releases the suffix of all of them.
+    ids: Vec<BookingId>,
+    /// The current plan view: admission paths, truncated at breaks,
+    /// extended by repaired suffixes.
+    slot_paths: Vec<SlotPath>,
+    /// The slot at which the plan broke, while a repair is still pending.
+    pending_since: Option<SlotIndex>,
+    /// Booked slots that went unserved (dropped or awaiting repair).
+    missed_slots: u32,
+    dropped: bool,
+    interrupted: bool,
+}
+
+/// The mutable bookkeeping of one run: counters, the §III-B retry queue
+/// and the active-booking table.
+struct Tally {
+    welfare: f64,
+    revenue: f64,
+    accepted: usize,
+    accepted_after_retry: usize,
+    no_path: usize,
+    by_price: usize,
+    at_commit: usize,
+    accepted_value_by_slot: Vec<f64>,
+    /// Retry queue (§III-B resubmission): rejected requests come back
+    /// `delay_slots` later with the same duration and valuation. Entries:
+    /// `(new_start_slot, original_arrival, attempts_left, request)`; the
+    /// queue stays due-sorted because delays are constant and pushes
+    /// happen in slot order.
+    retries: VecDeque<(u32, usize, u32, Request)>,
+    bookings: Vec<ActiveBooking>,
+    repair_attempts: usize,
+    repairs_succeeded: usize,
+    repair_latency_sum: u64,
+    repair_revenue: f64,
+}
+
+impl Tally {
+    fn new(horizon: usize) -> Self {
+        Tally {
+            welfare: 0.0,
+            revenue: 0.0,
+            accepted: 0,
+            accepted_after_retry: 0,
+            no_path: 0,
+            by_price: 0,
+            at_commit: 0,
+            accepted_value_by_slot: vec![0.0; horizon],
+            retries: VecDeque::new(),
+            bookings: Vec::new(),
+            repair_attempts: 0,
+            repairs_succeeded: 0,
+            repair_latency_sum: 0,
+            repair_revenue: 0.0,
+        }
+    }
+
+    /// Admits or rejects one request (arrival or retry), updating the
+    /// counters and the booking table. Welfare attributes to the *original*
+    /// arrival slot.
+    fn handle(
+        &mut self,
+        request: &Request,
+        original_arrival: usize,
+        attempts_left: u32,
+        algorithm: &mut dyn RoutingAlgorithm,
+        state: &mut NetworkState,
+        scenario: &ScenarioConfig,
+    ) {
+        let ids_before = state.booking_count();
+        match algorithm.process(request, state) {
+            Decision::Accepted { plan, price } => {
+                self.welfare += request.valuation;
+                self.revenue += price;
+                self.accepted += 1;
+                if attempts_left < scenario.retry.map_or(0, |r| r.max_attempts) {
+                    self.accepted_after_retry += 1;
+                }
+                self.accepted_value_by_slot[original_arrival] += request.valuation;
+                self.bookings.push(ActiveBooking {
+                    request: request.clone(),
+                    paid: price,
+                    ids: (ids_before..state.booking_count()).map(BookingId).collect(),
+                    slot_paths: plan.slot_paths,
+                    pending_since: None,
+                    missed_slots: 0,
+                    dropped: false,
+                    interrupted: false,
+                });
+            }
+            Decision::Rejected { reason } => {
+                match reason {
+                    RejectReason::NoFeasiblePath => self.no_path += 1,
+                    RejectReason::PriceAboveValuation => self.by_price += 1,
+                    RejectReason::CommitFailed => self.at_commit += 1,
+                }
+                if let Some(policy) = scenario.retry {
+                    if attempts_left > 0 {
+                        let new_start = request.start.0 + policy.delay_slots;
+                        let duration = request.end.0 - request.start.0;
+                        if (new_start as usize) < scenario.horizon_slots {
+                            let mut retried = request.clone();
+                            retried.start = SlotIndex(new_start);
+                            retried.end = SlotIndex(
+                                (new_start + duration).min(scenario.horizon_slots as u32 - 1),
+                            );
+                            self.retries.push_back((
+                                new_start,
+                                original_arrival,
+                                attempts_left - 1,
+                                retried,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pops and handles every queued retry due at or before slot `t`, in
+    /// queue order.
+    fn drain_due_retries(
+        &mut self,
+        t: usize,
+        algorithm: &mut dyn RoutingAlgorithm,
+        state: &mut NetworkState,
+        scenario: &ScenarioConfig,
+    ) {
+        while self.retries.front().is_some_and(|&(due, ..)| due as usize <= t) {
+            let (_, orig, left, retried) = self.retries.pop_front().unwrap();
+            self.handle(&retried, orig, left, algorithm, state, scenario);
+        }
+    }
+
+    /// Reacts to the slot's freshly discovered failures: retries pending
+    /// repairs, and breaks every reservation whose current-slot path
+    /// crosses a dead edge, applying the operator's policy.
+    fn slot_boundary(
+        &mut self,
+        slot: SlotIndex,
+        policy: RepairPolicy,
+        known: &KnownFailures,
+        algorithm: &mut dyn RoutingAlgorithm,
+        state: &mut NetworkState,
+    ) {
+        for i in 0..self.bookings.len() {
+            if self.bookings[i].dropped || self.bookings[i].request.end < slot {
+                continue;
+            }
+            if let Some(broke) = self.bookings[i].pending_since {
+                // Resources were already released at the break; keep
+                // trying the suffix while the window is still open.
+                self.repair_attempts += 1;
+                let request = self.bookings[i].request.clone();
+                let paid = self.bookings[i].paid;
+                let outcome = try_repair(algorithm, policy, &request, paid, state, slot, known);
+                self.apply_outcome(i, outcome, slot, broke);
+                continue;
+            }
+            let broken = self.bookings[i]
+                .slot_paths
+                .iter()
+                .any(|sp| sp.slot == slot && sp.edges.iter().any(|&e| known.is_down(slot, e)));
+            if !broken {
+                continue;
+            }
+            let b = &mut self.bookings[i];
+            b.interrupted = true;
+            b.slot_paths.retain(|sp| sp.slot < slot);
+            let request = b.request.clone();
+            let paid = b.paid;
+            let ids = b.ids.clone();
+            if policy != RepairPolicy::Drop {
+                self.repair_attempts += 1;
+            }
+            let outcome = repair(algorithm, policy, &request, paid, &ids, state, slot, known);
+            self.apply_outcome(i, outcome, slot, slot);
+        }
+    }
+
+    /// Folds one repair outcome into booking `i`. `broke` is the slot the
+    /// plan originally broke at (repair latency measures from there).
+    fn apply_outcome(
+        &mut self,
+        i: usize,
+        outcome: RepairOutcome,
+        now: SlotIndex,
+        broke: SlotIndex,
+    ) {
+        let b = &mut self.bookings[i];
+        match outcome {
+            RepairOutcome::Dropped => {
+                b.dropped = true;
+                b.pending_since = None;
+                b.missed_slots += b.request.end.0 - now.0 + 1;
+            }
+            RepairOutcome::Repaired { price, slot_paths, booking } => {
+                b.paid += price;
+                b.ids.push(booking);
+                b.slot_paths.extend(slot_paths);
+                b.pending_since = None;
+                self.repairs_succeeded += 1;
+                self.repair_latency_sum += u64::from(now.0 - broke.0);
+                self.repair_revenue += price;
+            }
+            RepairOutcome::Pending { .. } => {
+                // This slot goes unserved; try again at the next boundary.
+                b.pending_since = Some(broke);
+                b.missed_slots += 1;
+            }
+        }
+    }
+}
+
 /// Like [`run_prepared`] but with a caller-supplied algorithm instance —
 /// for stateful algorithms outside the [`AlgorithmKind`] enum (e.g.
 /// [`sb_cear::AdaptiveCear`]).
@@ -193,124 +432,86 @@ pub fn run_with_algorithm(
     seed: u64,
 ) -> RunMetrics {
     let mut state = NetworkState::new(prepared.series.clone(), &scenario.energy);
+    let horizon = scenario.horizon_slots;
+
+    let unforeseen = scenario.unforeseen.filter(|u| !u.model.is_trivial());
+    let mut oracle = unforeseen.map(|u| FailureOracle::new(u.model));
+
+    // Arrivals grouped by (clamped) start slot, preserving workload order
+    // within each slot.
+    let mut arrivals_by_slot: Vec<Vec<&Request>> = vec![Vec::new(); horizon];
+    for request in requests {
+        arrivals_by_slot[request.start.index().min(horizon - 1)].push(request);
+    }
 
     let start = std::time::Instant::now();
-    let mut welfare = 0.0;
-    let mut revenue = 0.0;
-    let mut accepted = 0usize;
-    let mut accepted_after_retry = 0usize;
-    let (mut no_path, mut by_price, mut at_commit) = (0usize, 0usize, 0usize);
-    // Cumulative welfare ratio by arrival slot.
-    let mut accepted_value_by_slot = vec![0.0; scenario.horizon_slots];
-    let mut total_value_by_slot = vec![0.0; scenario.horizon_slots];
-
-    // Retry queue (§III-B resubmission): rejected requests come back
-    // `delay_slots` later with the same duration and valuation, ordered by
-    // their new start slot. Welfare attributes to the *original* arrival.
-    // Entries: (new_start_slot, original_arrival, attempts_left, request).
-    let mut retries: std::collections::VecDeque<(u32, usize, u32, Request)> =
-        Default::default();
-
-    let handle = |request: &Request,
-                      original_arrival: usize,
-                      attempts_left: u32,
-                      algorithm: &mut dyn RoutingAlgorithm,
-                      state: &mut NetworkState,
-                      welfare: &mut f64,
-                      revenue: &mut f64,
-                      accepted: &mut usize,
-                      accepted_after_retry: &mut usize,
-                      no_path: &mut usize,
-                      by_price: &mut usize,
-                      at_commit: &mut usize,
-                      accepted_value_by_slot: &mut [f64],
-                      retries: &mut std::collections::VecDeque<(u32, usize, u32, Request)>| {
-        match algorithm.process(request, state) {
-            Decision::Accepted { price, .. } => {
-                *welfare += request.valuation;
-                *revenue += price;
-                *accepted += 1;
-                if attempts_left < scenario.retry.map_or(0, |r| r.max_attempts) {
-                    *accepted_after_retry += 1;
-                }
-                accepted_value_by_slot[original_arrival] += request.valuation;
-            }
-            Decision::Rejected { reason } => {
-                match reason {
-                    RejectReason::NoFeasiblePath => *no_path += 1,
-                    RejectReason::PriceAboveValuation => *by_price += 1,
-                    RejectReason::CommitFailed => *at_commit += 1,
-                }
-                if let Some(policy) = scenario.retry {
-                    if attempts_left > 0 {
-                        let new_start = request.start.0 + policy.delay_slots;
-                        let duration = request.end.0 - request.start.0;
-                        if (new_start as usize) < scenario.horizon_slots {
-                            let mut retried = request.clone();
-                            retried.start = SlotIndex(new_start);
-                            retried.end = SlotIndex(
-                                (new_start + duration)
-                                    .min(scenario.horizon_slots as u32 - 1),
-                            );
-                            retries.push_back((
-                                new_start,
-                                original_arrival,
-                                attempts_left - 1,
-                                retried,
-                            ));
-                        }
-                    }
-                }
-            }
-        }
-    };
-
+    let mut tally = Tally::new(horizon);
+    let mut total_value_by_slot = vec![0.0; horizon];
     let initial_attempts = scenario.retry.map_or(0, |r| r.max_attempts);
-    for request in requests {
-        let arrival = request.start.index().min(scenario.horizon_slots - 1);
-        // Process any retries due before this arrival (queue is in
-        // insertion order; delays are constant so it stays slot-sorted).
-        while retries
-            .front()
-            .is_some_and(|(due, _, _, _)| (*due as usize) <= arrival)
-        {
-            let (_, orig, left, retried) = retries.pop_front().unwrap();
-            handle(
-                &retried, orig, left, algorithm, &mut state, &mut welfare, &mut revenue,
-                &mut accepted, &mut accepted_after_retry, &mut no_path, &mut by_price,
-                &mut at_commit, &mut accepted_value_by_slot, &mut retries,
-            );
+
+    for t in 0..horizon {
+        let slot = SlotIndex(t as u32);
+        // Retries that came due since the last processed slot, then this
+        // slot's arrivals — interleaved exactly as the request-ordered
+        // loop would have (a zero-delay retry pushed mid-slot re-enters
+        // before the next same-slot arrival).
+        tally.drain_due_retries(t, algorithm, &mut state, scenario);
+        for request in &arrivals_by_slot[t] {
+            tally.drain_due_retries(t, algorithm, &mut state, scenario);
+            total_value_by_slot[t] += request.valuation;
+            tally.handle(request, t, initial_attempts, algorithm, &mut state, scenario);
         }
-        total_value_by_slot[arrival] += request.valuation;
-        handle(
-            request, arrival, initial_attempts, algorithm, &mut state, &mut welfare,
-            &mut revenue, &mut accepted, &mut accepted_after_retry, &mut no_path,
-            &mut by_price, &mut at_commit, &mut accepted_value_by_slot, &mut retries,
-        );
+        // Unforeseen failures strike during the slot; the operator detects
+        // broken plans and reacts at the boundary — admission never saw
+        // the outage coming.
+        if let (Some(u), Some(oracle)) = (unforeseen, oracle.as_mut()) {
+            let _ = oracle.advance(state.series().snapshot(slot));
+            tally.slot_boundary(slot, u.policy, oracle.known(), algorithm, &mut state);
+        }
     }
-    // Drain retries that fall after the last arrival.
-    while let Some((_, orig, left, retried)) = retries.pop_front() {
-        handle(
-            &retried, orig, left, algorithm, &mut state, &mut welfare, &mut revenue,
-            &mut accepted, &mut accepted_after_retry, &mut no_path, &mut by_price,
-            &mut at_commit, &mut accepted_value_by_slot, &mut retries,
-        );
+    // Retries pushed by the very last slot's decisions.
+    while let Some((_, orig, left, retried)) = tally.retries.pop_front() {
+        tally.handle(&retried, orig, left, algorithm, &mut state, scenario);
     }
     let processing_ms = start.elapsed().as_millis();
 
     let total_valuation: f64 = requests.iter().map(|r| r.valuation).sum();
-    let mut welfare_ratio_over_time = Vec::with_capacity(scenario.horizon_slots);
+    let mut welfare_ratio_over_time = Vec::with_capacity(horizon);
     let (mut cum_acc, mut cum_tot) = (0.0, 0.0);
-    for t in 0..scenario.horizon_slots {
-        cum_acc += accepted_value_by_slot[t];
-        cum_tot += total_value_by_slot[t];
+    for (acc, tot) in tally.accepted_value_by_slot.iter().zip(&total_value_by_slot) {
+        cum_acc += acc;
+        cum_tot += tot;
         welfare_ratio_over_time.push(if cum_tot > 0.0 { cum_acc / cum_tot } else { 1.0 });
     }
 
-    let depleted_satellites_over_time = (0..scenario.horizon_slots)
-        .map(|t| state.depleted_satellite_count(SlotIndex(t as u32), scenario.depleted_threshold_frac))
+    // Delivered-vs-booked accounting, pro-rata on served slots. With no
+    // unforeseen failures every booking has zero missed slots, the served
+    // fraction is exactly 1.0 and `delivered_welfare` reproduces `welfare`
+    // bit-for-bit (same additions in the same order).
+    let mut delivered_welfare = 0.0;
+    let mut interrupted_requests = 0usize;
+    let mut sla_violations = 0usize;
+    let mut refunded_revenue = 0.0;
+    for b in &tally.bookings {
+        let duration = b.request.end.0 - b.request.start.0 + 1;
+        let missed = b.missed_slots.min(duration);
+        let served_frac = f64::from(duration - missed) / f64::from(duration);
+        delivered_welfare += b.request.valuation * served_frac;
+        if b.interrupted {
+            interrupted_requests += 1;
+        }
+        if missed > 0 {
+            sla_violations += 1;
+            refunded_revenue += b.paid * f64::from(missed) / f64::from(duration);
+        }
+    }
+
+    let depleted_satellites_over_time = (0..horizon)
+        .map(|t| {
+            state.depleted_satellite_count(SlotIndex(t as u32), scenario.depleted_threshold_frac)
+        })
         .collect();
-    let congested_links_over_time = (0..scenario.horizon_slots)
+    let congested_links_over_time = (0..horizon)
         .map(|t| state.congested_link_count(SlotIndex(t as u32), scenario.congested_threshold_frac))
         .collect();
 
@@ -319,18 +520,39 @@ pub fn run_with_algorithm(
         scenario: scenario.name.clone(),
         seed,
         total_requests: requests.len(),
-        accepted_requests: accepted,
-        accepted_after_retry,
+        accepted_requests: tally.accepted,
+        accepted_after_retry: tally.accepted_after_retry,
         total_valuation,
-        welfare,
-        social_welfare_ratio: if total_valuation > 0.0 { welfare / total_valuation } else { 1.0 },
-        revenue,
+        welfare: tally.welfare,
+        social_welfare_ratio: if total_valuation > 0.0 {
+            tally.welfare / total_valuation
+        } else {
+            1.0
+        },
+        revenue: tally.revenue,
         depleted_satellites_over_time,
         congested_links_over_time,
         welfare_ratio_over_time,
-        rejected_no_path: no_path,
-        rejected_by_price: by_price,
-        rejected_at_commit: at_commit,
+        rejected_no_path: tally.no_path,
+        rejected_by_price: tally.by_price,
+        rejected_at_commit: tally.at_commit,
+        delivered_welfare,
+        delivered_welfare_ratio: if total_valuation > 0.0 {
+            delivered_welfare / total_valuation
+        } else {
+            1.0
+        },
+        interrupted_requests,
+        sla_violations,
+        repair_attempts: tally.repair_attempts,
+        repairs_succeeded: tally.repairs_succeeded,
+        mean_repair_latency_slots: if tally.repairs_succeeded > 0 {
+            tally.repair_latency_sum as f64 / tally.repairs_succeeded as f64
+        } else {
+            0.0
+        },
+        refunded_revenue,
+        repair_revenue: tally.repair_revenue,
         battery_wear: sb_energy::fleet_wear(state.ledger()),
         processing_ms,
     }
@@ -409,5 +631,82 @@ mod tests {
         assert_eq!(ssp.revenue, 0.0);
         let cear = run(&scenario, &AlgorithmKind::Cear(CearParams::default()), 11);
         assert!(cear.revenue >= 0.0);
+    }
+
+    #[test]
+    fn trivial_unforeseen_reproduces_the_failure_free_run_bit_identically() {
+        use crate::scenario::UnforeseenFailures;
+        use sb_topology::failures::{FailureModel, GilbertElliottModel, LinkFailureModel};
+
+        let base = ScenarioConfig::tiny();
+        let kind = AlgorithmKind::Cear(CearParams::default());
+        let reference = run(&base, &kind, 3);
+        assert_eq!(
+            reference.delivered_welfare.to_bits(),
+            reference.welfare.to_bits(),
+            "no failures: delivered must equal booked welfare bit-for-bit"
+        );
+        for policy in RepairPolicy::all() {
+            for model in [
+                FailureModel::None,
+                FailureModel::IndependentLinks(LinkFailureModel::new(0.0, 9)),
+                FailureModel::GilbertElliott(GilbertElliottModel::new(0.0, 0.5, 9)),
+            ] {
+                let mut scenario = base.clone();
+                scenario.unforeseen = Some(UnforeseenFailures { model, policy });
+                let mut m = run(&scenario, &kind, 3);
+                m.processing_ms = reference.processing_ms; // wall clock may differ
+                assert_eq!(m, reference, "policy {policy:?}, model {model:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn repair_delivers_strictly_more_welfare_than_drop() {
+        use crate::scenario::UnforeseenFailures;
+        use sb_topology::failures::{FailureModel, LinkFailureModel};
+
+        let delivered_with = |policy: RepairPolicy| -> (f64, usize) {
+            let mut scenario = ScenarioConfig::tiny();
+            scenario.unforeseen = Some(UnforeseenFailures {
+                model: FailureModel::IndependentLinks(LinkFailureModel::new(0.1, 0xfee1)),
+                policy,
+            });
+            let kind = AlgorithmKind::Cear(CearParams::default());
+            (1..=3)
+                .map(|seed| run(&scenario, &kind, seed))
+                .fold((0.0, 0), |(w, i), m| (w + m.delivered_welfare, i + m.interrupted_requests))
+        };
+        let (drop_welfare, drop_interrupted) = delivered_with(RepairPolicy::Drop);
+        let (repair_welfare, _) = delivered_with(RepairPolicy::Repair);
+        assert!(drop_interrupted > 0, "failures must actually break reservations");
+        assert!(
+            repair_welfare > drop_welfare,
+            "Repair must deliver strictly more than Drop: {repair_welfare} vs {drop_welfare}"
+        );
+    }
+
+    #[test]
+    fn unforeseen_failure_accounting_is_consistent() {
+        use crate::scenario::UnforeseenFailures;
+        use sb_topology::failures::{FailureModel, NodeOutageModel};
+
+        let mut scenario = ScenarioConfig::tiny();
+        scenario.unforeseen = Some(UnforeseenFailures {
+            model: FailureModel::NodeOutages(NodeOutageModel::new(0.02, 1, 3, 7)),
+            policy: RepairPolicy::RepairPaid,
+        });
+        let m = run(&scenario, &AlgorithmKind::Cear(CearParams::default()), 5);
+        assert_eq!(
+            m.accepted_requests + m.rejected_no_path + m.rejected_by_price + m.rejected_at_commit,
+            m.total_requests
+        );
+        assert!(m.delivered_welfare <= m.welfare * (1.0 + 1e-12));
+        assert!((0.0..=1.0).contains(&m.delivered_welfare_ratio));
+        assert!(m.repairs_succeeded <= m.repair_attempts);
+        assert!(m.interrupted_requests <= m.accepted_requests);
+        assert!(m.sla_violations <= m.accepted_requests);
+        assert!(m.mean_repair_latency_slots >= 0.0);
+        assert!(m.refunded_revenue >= 0.0 && m.repair_revenue >= 0.0);
     }
 }

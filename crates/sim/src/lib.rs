@@ -11,7 +11,10 @@
 //!   (paper scale and reduced scales for CI);
 //! * [`engine`] — deterministic end-to-end runs: build topology, generate
 //!   workload, dispatch to an algorithm, collect metrics;
-//! * [`metrics`] — the paper's metrics plus reject-reason accounting;
+//! * [`metrics`] — the paper's metrics plus reject-reason, delivered-
+//!   welfare and repair accounting;
+//! * [`outage`] — slot-boundary discovery of unforeseen failures (the
+//!   oracle behind the engine's break/repair loop);
 //! * [`output`] — CSV and Markdown emission for the figure harnesses;
 //! * [`trace`] — per-request decision records for post-hoc analysis;
 //! * [`viz`] — GeoJSON export of snapshots and reservation paths.
@@ -28,10 +31,10 @@
 //! assert!(metrics.social_welfare_ratio <= 1.0);
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod engine;
 pub mod metrics;
+pub mod outage;
 pub mod output;
 pub mod scenario;
 pub mod trace;
@@ -39,4 +42,5 @@ pub mod viz;
 
 pub use engine::AlgorithmKind;
 pub use metrics::RunMetrics;
-pub use scenario::ScenarioConfig;
+pub use outage::FailureOracle;
+pub use scenario::{ScenarioConfig, UnforeseenFailures};

@@ -43,6 +43,33 @@ pub struct RunMetrics {
     pub rejected_by_price: usize,
     /// Requests rejected at atomic commit validation.
     pub rejected_at_commit: usize,
+    /// Sum over accepted requests of `valuation × served/duration` — the
+    /// welfare actually *delivered* once unforeseen failures eat booked
+    /// slots. Equals [`RunMetrics::welfare`] bit-for-bit when the scenario
+    /// configures no unforeseen failures.
+    pub delivered_welfare: f64,
+    /// `delivered_welfare / total_valuation` (1 when nothing was asked).
+    pub delivered_welfare_ratio: f64,
+    /// Accepted requests whose plan was broken by an unforeseen failure at
+    /// least once.
+    pub interrupted_requests: usize,
+    /// Accepted requests that missed at least one booked slot — dropped,
+    /// or not repaired in time.
+    pub sla_violations: usize,
+    /// Suffix re-route attempts under the Repair/RepairPaid policies (one
+    /// per broken or still-pending booking per slot).
+    pub repair_attempts: usize,
+    /// Repair attempts that re-routed and committed the unserved suffix.
+    pub repairs_succeeded: usize,
+    /// Mean slots between a plan breaking and its successful repair
+    /// (0 when nothing was repaired; a same-slot repair also counts 0).
+    pub mean_repair_latency_slots: f64,
+    /// Revenue refunded for missed slots: `price paid × missed/duration`
+    /// summed over SLA-violated bookings.
+    pub refunded_revenue: f64,
+    /// Extra revenue charged by RepairPaid repairs (zero otherwise;
+    /// [`RunMetrics::revenue`] keeps its booked-at-admission meaning).
+    pub repair_revenue: f64,
     /// Fleet battery-wear summary over the horizon (the paper's
     /// lifetime-of-the-network motivation).
     pub battery_wear: sb_energy::FleetWear,
@@ -125,6 +152,15 @@ mod tests {
             rejected_no_path: 1,
             rejected_by_price: 2,
             rejected_at_commit: 0,
+            delivered_welfare: 6.5,
+            delivered_welfare_ratio: 0.65,
+            interrupted_requests: 2,
+            sla_violations: 1,
+            repair_attempts: 3,
+            repairs_succeeded: 1,
+            mean_repair_latency_slots: 2.0,
+            refunded_revenue: 0.25,
+            repair_revenue: 0.1,
             battery_wear: sb_energy::FleetWear::default(),
             processing_ms: 12,
         }

@@ -1,0 +1,215 @@
+//! Slot-boundary failure discovery for the event-driven engine.
+//!
+//! Under unforeseen failures the engine routes requests on the *clean*
+//! topology series and only learns which links are dead once a slot is
+//! underway. [`FailureOracle`] is that discovery step: fed the horizon's
+//! snapshots in slot order, it returns the edges that are down in each
+//! slot and accumulates them into a [`KnownFailures`] set that repair
+//! searches prune against.
+//!
+//! For [`FailureModel::GilbertElliott`] the oracle advances each satellite
+//! pair's two-state chain incrementally — O(edges) per slot — instead of
+//! replaying the walk from slot 0 as
+//! [`GilbertElliottModel::is_down`](sb_topology::failures::GilbertElliottModel::is_down)
+//! does, so a whole-horizon sweep stays linear in the horizon. A pair
+//! absent from a slot's snapshot keeps its chain state frozen until the
+//! link reappears.
+
+use sb_cear::KnownFailures;
+use sb_topology::failures::FailureModel;
+use sb_topology::graph::{EdgeId, NodeKind, TopologySnapshot};
+use sb_topology::LinkType;
+use std::collections::HashMap;
+
+/// Per-slot failure discovery over a topology series, driven by a
+/// [`FailureModel`]. Call [`FailureOracle::advance`] once per slot, in
+/// order.
+#[derive(Debug, Clone)]
+pub struct FailureOracle {
+    model: FailureModel,
+    /// Gilbert–Elliott chain state per unordered satellite pair.
+    ge_down: HashMap<(u32, u32), bool>,
+    /// The slot the next [`Self::advance`] call must carry.
+    next_slot: u32,
+    known: KnownFailures,
+}
+
+impl FailureOracle {
+    /// An oracle starting before slot 0 with nothing known to be down.
+    pub fn new(model: FailureModel) -> Self {
+        FailureOracle { model, ge_down: HashMap::new(), next_slot: 0, known: KnownFailures::new() }
+    }
+
+    /// The failures observed so far, for pruning repair searches.
+    pub fn known(&self) -> &KnownFailures {
+        &self.known
+    }
+
+    /// Discovers the down edges of `snapshot`'s slot, records them in
+    /// [`Self::known`] and returns them in edge-id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when snapshots are not fed in consecutive slot order — the
+    /// Gilbert–Elliott chains advance exactly one slot per call.
+    pub fn advance(&mut self, snapshot: &TopologySnapshot) -> Vec<EdgeId> {
+        let slot = snapshot.slot();
+        assert_eq!(slot.0, self.next_slot, "oracle must be fed consecutive slots");
+        self.next_slot += 1;
+
+        let mut down = Vec::new();
+        match &self.model {
+            FailureModel::None => {}
+            FailureModel::IndependentLinks(m) => {
+                for (idx, e) in snapshot.edges().iter().enumerate() {
+                    if e.link_type == LinkType::Isl && m.is_down(slot, e.src.0, e.dst.0) {
+                        down.push(EdgeId(idx as u32));
+                    }
+                }
+            }
+            FailureModel::NodeOutages(m) => {
+                // One outage draw per satellite, then every edge touching a
+                // down satellite — USLs included.
+                let mut out: HashMap<u32, bool> = HashMap::new();
+                let mut sat_down = |n| match snapshot.kind(n) {
+                    NodeKind::Satellite(i) => {
+                        *out.entry(i as u32).or_insert_with(|| m.is_down(slot, i as u32))
+                    }
+                    _ => false,
+                };
+                for (idx, e) in snapshot.edges().iter().enumerate() {
+                    if sat_down(e.src) || sat_down(e.dst) {
+                        down.push(EdgeId(idx as u32));
+                    }
+                }
+            }
+            FailureModel::GilbertElliott(m) => {
+                // Both directed copies of an ISL share one chain; step each
+                // pair at most once per slot.
+                let mut stepped: HashMap<(u32, u32), bool> = HashMap::new();
+                for (idx, e) in snapshot.edges().iter().enumerate() {
+                    if e.link_type != LinkType::Isl {
+                        continue;
+                    }
+                    let (a, b) = (e.src.0, e.dst.0);
+                    let key = if a <= b { (a, b) } else { (b, a) };
+                    let state = *stepped.entry(key).or_insert_with(|| {
+                        let prev = self.ge_down.get(&key).copied().unwrap_or(false);
+                        m.step(prev, slot, key.0, key.1)
+                    });
+                    if state {
+                        down.push(EdgeId(idx as u32));
+                    }
+                }
+                self.ge_down.extend(stepped);
+            }
+        }
+        for &e in &down {
+            self.known.insert(slot, e);
+        }
+        down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_geo::coords::Eci;
+    use sb_geo::Vec3;
+    use sb_topology::failures::{GilbertElliottModel, LinkFailureModel, NodeOutageModel};
+    use sb_topology::graph::Edge;
+    use sb_topology::{NodeId, SlotIndex};
+
+    /// user4 —USL→ sat0 —ISL↔ sat1 —ISL↔ sat2 —ISL↔ sat3, USL back down.
+    fn snapshot(slot: u32) -> TopologySnapshot {
+        let kinds = vec![
+            NodeKind::Satellite(0),
+            NodeKind::Satellite(1),
+            NodeKind::Satellite(2),
+            NodeKind::Satellite(3),
+            NodeKind::GroundUser(0),
+        ];
+        let mk = |s: u32, d: u32, lt| Edge {
+            src: NodeId(s),
+            dst: NodeId(d),
+            link_type: lt,
+            capacity_mbps: 4000.0,
+            length_m: 1.0,
+        };
+        let mut edges = vec![mk(4, 0, LinkType::Usl), mk(3, 4, LinkType::Usl)];
+        for (a, b) in [(0, 1), (1, 2), (2, 3)] {
+            edges.push(mk(a, b, LinkType::Isl));
+            edges.push(mk(b, a, LinkType::Isl));
+        }
+        TopologySnapshot::from_edges(
+            SlotIndex(slot),
+            kinds,
+            vec![Eci(Vec3::ZERO); 5],
+            vec![true; 5],
+            edges,
+        )
+    }
+
+    #[test]
+    fn gilbert_elliott_oracle_matches_the_model_walk() {
+        let model = GilbertElliottModel::new(0.3, 0.4, 77);
+        let mut oracle = FailureOracle::new(FailureModel::GilbertElliott(model));
+        for t in 0..40 {
+            let snap = snapshot(t);
+            let down = oracle.advance(&snap);
+            for (idx, e) in snap.edges().iter().enumerate() {
+                let expect =
+                    e.link_type == LinkType::Isl && model.is_down(SlotIndex(t), e.src.0, e.dst.0);
+                assert_eq!(down.contains(&EdgeId(idx as u32)), expect, "slot {t} edge {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn node_outages_take_usls_down_too() {
+        // Certain outage, so every satellite is out and every edge dies.
+        let model = NodeOutageModel::new(1.0, 2, 2, 5);
+        let mut oracle = FailureOracle::new(FailureModel::NodeOutages(model));
+        let snap = snapshot(0);
+        let down = oracle.advance(&snap);
+        assert_eq!(down.len(), snap.edges().len(), "USLs of out satellites must fail");
+    }
+
+    #[test]
+    fn independent_links_never_touch_usls() {
+        let model = LinkFailureModel::new(1.0, 5);
+        let mut oracle = FailureOracle::new(FailureModel::IndependentLinks(model));
+        let snap = snapshot(0);
+        let down = oracle.advance(&snap);
+        assert_eq!(down.len(), 6, "all six directed ISLs down, both USLs up");
+        for &e in &down {
+            assert_eq!(snap.edges()[e.0 as usize].link_type, LinkType::Isl);
+        }
+    }
+
+    #[test]
+    fn known_failures_accumulate_across_slots() {
+        let model = LinkFailureModel::new(1.0, 5);
+        let mut oracle = FailureOracle::new(FailureModel::IndependentLinks(model));
+        for t in 0..3 {
+            let _ = oracle.advance(&snapshot(t));
+        }
+        assert_eq!(oracle.known().len(), 18, "6 ISLs × 3 slots");
+    }
+
+    #[test]
+    #[should_panic(expected = "consecutive slots")]
+    fn skipping_a_slot_panics() {
+        let mut oracle =
+            FailureOracle::new(FailureModel::GilbertElliott(GilbertElliottModel::new(0.1, 0.5, 1)));
+        let _ = oracle.advance(&snapshot(0));
+        let _ = oracle.advance(&snapshot(2));
+    }
+
+    #[test]
+    fn trivial_model_reports_nothing() {
+        let mut oracle = FailureOracle::new(FailureModel::None);
+        assert!(oracle.advance(&snapshot(0)).is_empty());
+        assert!(oracle.known().is_empty());
+    }
+}

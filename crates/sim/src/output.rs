@@ -81,10 +81,7 @@ pub fn write_series_csv(path: &Path, x_label: &str, points: &[SeriesPoint]) -> i
 /// # Errors
 ///
 /// Propagates I/O errors from file creation/writing.
-pub fn write_timeseries_csv(
-    path: &Path,
-    series: &[(String, Vec<f64>)],
-) -> io::Result<()> {
+pub fn write_timeseries_csv(path: &Path, series: &[(String, Vec<f64>)]) -> io::Result<()> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
@@ -183,10 +180,19 @@ mod tests {
             rejected_no_path: 0,
             rejected_by_price: 0,
             rejected_at_commit: 0,
+            delivered_welfare: w,
+            delivered_welfare_ratio: w,
+            interrupted_requests: 0,
+            sla_violations: 0,
+            repair_attempts: 0,
+            repairs_succeeded: 0,
+            mean_repair_latency_slots: 0.0,
+            refunded_revenue: 0.0,
+            repair_revenue: 0.0,
             battery_wear: sb_energy::FleetWear::default(),
             processing_ms: 0,
         };
-        let runs = vec![mk(0.4), mk(0.6)];
+        let runs = [mk(0.4), mk(0.6)];
         let ms = aggregate(runs.iter(), |m| m.social_welfare_ratio);
         assert!((ms.mean - 0.5).abs() < 1e-12);
         assert!(ms.std > 0.0);

@@ -13,9 +13,10 @@
 //!   regeneration;
 //! * [`ScenarioConfig::tiny`] — a minimal setting for unit tests.
 
-use sb_cear::CearParams;
+use sb_cear::{CearParams, RepairPolicy};
 use sb_demand::{ArrivalPattern, SizeDistribution, ValuationModel};
 use sb_energy::EnergyParams;
+use sb_topology::failures::FailureModel;
 use sb_topology::TopologyConfig;
 use serde::{Deserialize, Serialize};
 
@@ -26,6 +27,25 @@ pub struct RetryPolicy {
     pub delay_slots: u32,
     /// Maximum resubmissions per request (beyond the first attempt).
     pub max_attempts: u32,
+}
+
+/// Unforeseen failures: a failure process drawn *after* admission plus the
+/// operator's reaction to the reservations it breaks.
+///
+/// Unlike [`ScenarioConfig::isl_failure_prob`] — which removes failed links
+/// from the topology *before* any request is routed, giving every algorithm
+/// perfect foresight — this model leaves the routed topology clean. The
+/// engine discovers outages at slot boundaries, marks the reservations
+/// whose current-slot path crosses a dead link as broken, and applies
+/// `policy` ([`RepairPolicy::Drop`] / [`RepairPolicy::Repair`] /
+/// [`RepairPolicy::RepairPaid`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnforeseenFailures {
+    /// The failure process (independent links, whole-satellite outages or
+    /// Gilbert–Elliott bursts).
+    pub model: FailureModel,
+    /// What the operator does with broken reservations.
+    pub policy: RepairPolicy,
 }
 
 /// A complete experiment configuration.
@@ -76,8 +96,13 @@ pub struct ScenarioConfig {
     /// Time-varying modulation of the arrival rate.
     pub pattern: ArrivalPattern,
     /// Per-slot, per-link ISL failure probability (0 = the paper's
-    /// failure-free setting).
+    /// failure-free setting). Failures drawn here are *foreseen*: the
+    /// topology series is pruned before routing.
     pub isl_failure_prob: f64,
+    /// Unforeseen failures and the repair policy applied to the
+    /// reservations they break. `None` (the paper's setting) keeps the
+    /// engine's behavior bit-identical to the foresight-only path.
+    pub unforeseen: Option<UnforeseenFailures>,
     /// Resubmission of rejected requests (§III-B: "if a request from a
     /// space user is rejected, the user can wait for a period before
     /// resubmitting"). `None` = no retries (the paper's evaluation).
@@ -117,6 +142,7 @@ impl ScenarioConfig {
             valuation: ValuationModel::paper_default(),
             pattern: ArrivalPattern::Constant,
             isl_failure_prob: 0.0,
+            unforeseen: None,
             retry: None,
             depleted_threshold_frac: 0.2,
             congested_threshold_frac: 0.1,

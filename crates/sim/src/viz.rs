@@ -97,8 +97,7 @@ mod tests {
         let scenario = ScenarioConfig::tiny();
         let prepared = engine::prepare(&scenario, 1);
         let requests = engine::workload(&scenario, &prepared, 1);
-        let mut state =
-            sb_cear::NetworkState::new(prepared.series.clone(), &scenario.energy);
+        let mut state = sb_cear::NetworkState::new(prepared.series.clone(), &scenario.energy);
         let mut algo = AlgorithmKind::Cear(scenario.cear).instantiate();
         for r in &requests {
             if let Decision::Accepted { plan, .. } = algo.process(r, &mut state) {
@@ -138,10 +137,7 @@ mod tests {
         let snap = prepared.series.snapshot(path.slot);
         let epoch = Epoch::from_seconds(path.slot.0 as f64 * 60.0);
         let gj = path_geojson(snap, &path, epoch);
-        assert_eq!(
-            gj["geometry"]["coordinates"].as_array().unwrap().len(),
-            path.nodes.len()
-        );
+        assert_eq!(gj["geometry"]["coordinates"].as_array().unwrap().len(), path.nodes.len());
         assert_eq!(gj["properties"]["hops"], path.num_hops());
         // The whole document must serialize as valid JSON text.
         let text = serde_json::to_string(&gj).unwrap();

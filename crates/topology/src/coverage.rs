@@ -37,8 +37,7 @@ pub fn coverage_by_latitude(
 ) -> Vec<BandCoverage> {
     assert!(lat_step_deg > 0.0, "latitude step must be positive");
     assert!(lon_samples > 0, "need at least one longitude sample");
-    let positions: Vec<Eci> =
-        constellation.propagate(epoch).iter().map(|s| s.position).collect();
+    let positions: Vec<Eci> = constellation.propagate(epoch).iter().map(|s| s.position).collect();
 
     let mut bands = Vec::new();
     let mut lat = -90.0 + lat_step_deg / 2.0;
@@ -68,11 +67,7 @@ pub fn coverage_by_latitude(
 }
 
 /// Global coverage fraction (area-weighted by cos(latitude)) at one epoch.
-pub fn global_coverage(
-    constellation: &Constellation,
-    epoch: Epoch,
-    min_elevation_rad: f64,
-) -> f64 {
+pub fn global_coverage(constellation: &Constellation, epoch: Epoch, min_elevation_rad: f64) -> f64 {
     let bands = coverage_by_latitude(constellation, epoch, min_elevation_rad, 10.0, 24);
     let (mut num, mut den) = (0.0, 0.0);
     for b in &bands {
@@ -124,13 +119,8 @@ mod tests {
     #[test]
     fn paper_shell_covers_mid_latitudes_at_25_degrees() {
         let c = shell(22, 72);
-        let bands = coverage_by_latitude(
-            &c,
-            Epoch::from_seconds(0.0),
-            25f64.to_radians(),
-            10.0,
-            36,
-        );
+        let bands =
+            coverage_by_latitude(&c, Epoch::from_seconds(0.0), 25f64.to_radians(), 10.0, 36);
         for b in bands.iter().filter(|b| b.latitude_deg.abs() < 50.0) {
             assert!(
                 b.covered_fraction > 0.99,
@@ -144,13 +134,8 @@ mod tests {
     #[test]
     fn inclination_limits_polar_coverage() {
         let c = shell(22, 72);
-        let bands = coverage_by_latitude(
-            &c,
-            Epoch::from_seconds(0.0),
-            25f64.to_radians(),
-            10.0,
-            24,
-        );
+        let bands =
+            coverage_by_latitude(&c, Epoch::from_seconds(0.0), 25f64.to_radians(), 10.0, 24);
         let polar = bands.iter().find(|b| b.latitude_deg > 80.0).unwrap();
         assert!(
             polar.covered_fraction < 0.5,
@@ -175,11 +160,7 @@ mod tests {
         let slots: Vec<SlotIndex> = (0..4).map(SlotIndex).collect();
         let min = min_coverage_over_time(&c, slots.clone(), 60.0, 10f64.to_radians());
         for t in slots {
-            let g = global_coverage(
-                &c,
-                Epoch::from_seconds(t.0 as f64 * 60.0),
-                10f64.to_radians(),
-            );
+            let g = global_coverage(&c, Epoch::from_seconds(t.0 as f64 * 60.0), 10f64.to_radians());
             assert!(g >= min - 1e-12);
         }
     }

@@ -1,16 +1,28 @@
-//! Link-failure injection.
+//! Deterministic failure injection.
 //!
-//! Real ISLs fail: pointing losses, radiation upsets, hardware death. The
-//! related work the paper builds on (e.g. resilient routing in
-//! space-terrestrial networks) treats link failure as a first-class
-//! concern, and any reservation scheme must at least degrade gracefully
-//! when links vanish. This module removes ISLs from snapshots
-//! deterministically — each unordered satellite pair fails independently
-//! per slot with a configured probability, decided by a seeded hash so
-//! that runs remain reproducible and both directions of a link always
-//! fail together.
+//! Real LSNs lose resources mid-flight: ISLs fail from pointing losses,
+//! radiation upsets and hardware death, and whole satellites drop out when
+//! an attitude-control or power subsystem safes the bus. The related work
+//! the paper builds on (e.g. resilient routing in space-terrestrial
+//! networks) treats link failure as a first-class concern, and any
+//! reservation scheme must at least degrade gracefully when resources
+//! vanish. This module provides three seeded, reproducible models:
+//!
+//! * [`LinkFailureModel`] — each unordered satellite pair fails
+//!   *independently* per slot with a configured probability;
+//! * [`NodeOutageModel`] — whole-satellite outages: every link of the
+//!   satellite (ISLs *and* USLs) is down for a seeded duration;
+//! * [`GilbertElliottModel`] — *correlated burst* link failures via a
+//!   per-link two-state Gilbert–Elliott chain, so a failed ISL tends to
+//!   stay failed for several slots.
+//!
+//! All draws come from seeded [`splitmix64`] chains, so identical seeds
+//! give bit-identical failure patterns and both directions of a link
+//! always agree. [`FailureModel`] wraps the three (plus "no failures")
+//! behind one enum for configuration plumbing.
 
 use crate::graph::{Edge, LinkType, TopologySnapshot};
+use crate::{NodeKind, SlotIndex};
 use serde::{Deserialize, Serialize};
 
 /// Per-slot, per-link independent ISL failure model.
@@ -32,31 +44,26 @@ impl LinkFailureModel {
     ///
     /// # Panics
     ///
-    /// Panics if the probability is outside `[0, 1]`.
+    /// Panics if the probability is NaN or outside `[0, 1]`.
     pub fn new(isl_failure_prob: f64, seed: u64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&isl_failure_prob),
-            "failure probability must be in [0,1]"
-        );
+        assert!(!isl_failure_prob.is_nan(), "failure probability must not be NaN");
+        assert!((0.0..=1.0).contains(&isl_failure_prob), "failure probability must be in [0,1]");
         LinkFailureModel { isl_failure_prob, seed }
     }
 
     /// Whether the ISL between nodes `a` and `b` is down at `slot`.
     /// Symmetric in `a`/`b` so both directions agree.
-    pub fn is_down(&self, slot: crate::SlotIndex, a: u32, b: u32) -> bool {
+    pub fn is_down(&self, slot: SlotIndex, a: u32, b: u32) -> bool {
         if self.isl_failure_prob <= 0.0 {
             return false;
         }
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        let h = splitmix64(
-            self.seed
-                ^ (u64::from(slot.0) << 40)
-                ^ (u64::from(lo) << 20)
-                ^ u64::from(hi),
-        );
-        // Map to [0, 1).
-        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
-        u < self.isl_failure_prob
+        // Each value gets its own full mixing round: a shifted-XOR pre-mix
+        // (`slot<<40 ^ lo<<20 ^ hi`) collides fields once node ids exceed
+        // 2^20, which paper-scale constellations with added user nodes can
+        // approach in principle and which silently correlates draws.
+        let h = mix3(self.seed, u64::from(slot.0), u64::from(lo), u64::from(hi));
+        unit_f64(h) < self.isl_failure_prob
     }
 
     /// Returns a copy of `snapshot` with failed ISLs removed. USLs are
@@ -67,26 +74,240 @@ impl LinkFailureModel {
             return snapshot.clone();
         }
         let slot = snapshot.slot();
-        let edges: Vec<Edge> = snapshot
-            .edges()
-            .iter()
-            .filter(|e| {
-                e.link_type != LinkType::Isl || !self.is_down(slot, e.src.0, e.dst.0)
-            })
-            .copied()
-            .collect();
-        TopologySnapshot::from_edges(
-            slot,
-            snapshot.kinds().to_vec(),
-            (0..snapshot.num_nodes())
-                .map(|i| snapshot.position(crate::NodeId(i as u32)))
-                .collect(),
-            (0..snapshot.num_nodes())
-                .map(|i| snapshot.is_sunlit(crate::NodeId(i as u32)))
-                .collect(),
-            edges,
-        )
+        rebuild_without(snapshot, |e| {
+            e.link_type == LinkType::Isl && self.is_down(slot, e.src.0, e.dst.0)
+        })
     }
+}
+
+/// Whole-satellite outage model: with probability `outage_prob` a new
+/// outage *starts* at a given satellite in a given slot and lasts a seeded
+/// number of slots in `[min_duration_slots, max_duration_slots]`. While a
+/// satellite is out, **all** of its links — ISLs and USLs — are down.
+///
+/// Overlapping outages simply merge: the satellite is down whenever at
+/// least one outage covers the slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeOutageModel {
+    /// Probability that an outage starts at a given satellite in a given
+    /// slot, `[0, 1]`.
+    pub outage_prob: f64,
+    /// Minimum outage duration, slots (≥ 1).
+    pub min_duration_slots: u32,
+    /// Maximum outage duration, slots (≥ min).
+    pub max_duration_slots: u32,
+    /// Seed decoupling outage draws from everything else.
+    pub seed: u64,
+}
+
+/// Domain-separation constants so the start and duration draws of
+/// [`NodeOutageModel`] never reuse a hash.
+const STREAM_OUTAGE_START: u64 = 0x6f75_7461_6765_0001;
+const STREAM_OUTAGE_DURATION: u64 = 0x6f75_7461_6765_0002;
+
+impl NodeOutageModel {
+    /// Creates an outage model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probability is NaN or outside `[0, 1]`, or if the
+    /// duration bounds are zero or inverted.
+    pub fn new(
+        outage_prob: f64,
+        min_duration_slots: u32,
+        max_duration_slots: u32,
+        seed: u64,
+    ) -> Self {
+        assert!(!outage_prob.is_nan(), "outage probability must not be NaN");
+        assert!((0.0..=1.0).contains(&outage_prob), "outage probability must be in [0,1]");
+        assert!(min_duration_slots >= 1, "outage duration must be at least one slot");
+        assert!(min_duration_slots <= max_duration_slots, "inverted outage duration bounds");
+        NodeOutageModel { outage_prob, min_duration_slots, max_duration_slots, seed }
+    }
+
+    fn outage_starts(&self, slot: u32, sat: u32) -> bool {
+        let h = mix3(self.seed ^ STREAM_OUTAGE_START, u64::from(slot), u64::from(sat), 0);
+        unit_f64(h) < self.outage_prob
+    }
+
+    fn outage_duration(&self, slot: u32, sat: u32) -> u32 {
+        let span = u64::from(self.max_duration_slots - self.min_duration_slots + 1);
+        let h = mix3(self.seed ^ STREAM_OUTAGE_DURATION, u64::from(slot), u64::from(sat), 0);
+        self.min_duration_slots + (h % span) as u32
+    }
+
+    /// Whether satellite `sat` (constellation index) is out at `slot`:
+    /// some outage started at `s ≤ slot` and still covers `slot`.
+    pub fn is_down(&self, slot: SlotIndex, sat: u32) -> bool {
+        if self.outage_prob <= 0.0 {
+            return false;
+        }
+        let t = slot.0;
+        let earliest = t.saturating_sub(self.max_duration_slots - 1);
+        (earliest..=t).any(|s| self.outage_starts(s, sat) && s + self.outage_duration(s, sat) > t)
+    }
+
+    /// Returns a copy of `snapshot` with every link of every out satellite
+    /// removed (ISLs and USLs alike — a safed bus serves no one).
+    pub fn apply(&self, snapshot: &TopologySnapshot) -> TopologySnapshot {
+        if self.outage_prob <= 0.0 {
+            return snapshot.clone();
+        }
+        let slot = snapshot.slot();
+        rebuild_without(snapshot, |e| {
+            [e.src, e.dst].into_iter().any(|n| match snapshot.kind(n) {
+                NodeKind::Satellite(i) => self.is_down(slot, i as u32),
+                _ => false,
+            })
+        })
+    }
+}
+
+/// Correlated burst ISL failures: each unordered satellite pair carries an
+/// independent two-state Gilbert–Elliott chain over slots. In the *good*
+/// state the link works; in the *bad* state it is down. Per slot the chain
+/// moves good→bad with probability `p_fail` and bad→good with probability
+/// `p_recover`, so failures arrive in bursts of mean length
+/// `1 / p_recover` and the steady-state down fraction is
+/// `p_fail / (p_fail + p_recover)`.
+///
+/// Chains start in the good state before slot 0 and are driven by seeded
+/// per-slot hashes, so the walk is reproducible and symmetric in the node
+/// pair. Querying slot `t` costs `O(t)` (the walk from slot 0); callers
+/// that sweep slots in order should advance incrementally via [`Self::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GilbertElliottModel {
+    /// Good→bad transition probability per slot, `[0, 1]`.
+    pub p_fail: f64,
+    /// Bad→good transition probability per slot, `[0, 1]`.
+    pub p_recover: f64,
+    /// Seed decoupling the chains from everything else.
+    pub seed: u64,
+}
+
+impl GilbertElliottModel {
+    /// Creates a burst-failure model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is NaN or outside `[0, 1]`.
+    pub fn new(p_fail: f64, p_recover: f64, seed: u64) -> Self {
+        assert!(!p_fail.is_nan() && !p_recover.is_nan(), "transition probability must not be NaN");
+        assert!((0.0..=1.0).contains(&p_fail), "p_fail must be in [0,1]");
+        assert!((0.0..=1.0).contains(&p_recover), "p_recover must be in [0,1]");
+        GilbertElliottModel { p_fail, p_recover, seed }
+    }
+
+    /// Advances the chain of the `(a, b)` pair by one slot: given the state
+    /// *after* slot `slot − 1` (`down`), returns the state at `slot`.
+    /// Symmetric in `a`/`b`.
+    pub fn step(&self, down: bool, slot: SlotIndex, a: u32, b: u32) -> bool {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let u = unit_f64(mix3(self.seed, u64::from(slot.0), u64::from(lo), u64::from(hi)));
+        if down {
+            u >= self.p_recover
+        } else {
+            u < self.p_fail
+        }
+    }
+
+    /// Whether the ISL between `a` and `b` is down at `slot`: the chain
+    /// walked from its good start through slots `0..=slot`.
+    pub fn is_down(&self, slot: SlotIndex, a: u32, b: u32) -> bool {
+        if self.p_fail <= 0.0 {
+            return false;
+        }
+        let mut down = false;
+        for s in 0..=slot.0 {
+            down = self.step(down, SlotIndex(s), a, b);
+        }
+        down
+    }
+
+    /// Returns a copy of `snapshot` with burst-failed ISLs removed. USLs
+    /// are never failed by this model.
+    pub fn apply(&self, snapshot: &TopologySnapshot) -> TopologySnapshot {
+        if self.p_fail <= 0.0 {
+            return snapshot.clone();
+        }
+        let slot = snapshot.slot();
+        rebuild_without(snapshot, |e| {
+            e.link_type == LinkType::Isl && self.is_down(slot, e.src.0, e.dst.0)
+        })
+    }
+}
+
+/// One of the failure models (or none), for configuration plumbing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FailureModel {
+    /// No failures ever.
+    None,
+    /// Independent per-slot, per-link ISL failures.
+    IndependentLinks(LinkFailureModel),
+    /// Whole-satellite outages with seeded durations.
+    NodeOutages(NodeOutageModel),
+    /// Correlated burst ISL failures (Gilbert–Elliott chains).
+    GilbertElliott(GilbertElliottModel),
+}
+
+impl FailureModel {
+    /// `true` when the model can never fail anything (so callers can skip
+    /// per-slot scans entirely).
+    pub fn is_trivial(&self) -> bool {
+        match self {
+            FailureModel::None => true,
+            FailureModel::IndependentLinks(m) => m.isl_failure_prob <= 0.0,
+            FailureModel::NodeOutages(m) => m.outage_prob <= 0.0,
+            FailureModel::GilbertElliott(m) => m.p_fail <= 0.0,
+        }
+    }
+
+    /// Whether the ISL between satellites `a` and `b` is down at `slot`
+    /// due to a *link-level* failure (node outages are reported via
+    /// [`Self::is_satellite_down`] instead). Symmetric in `a`/`b`.
+    pub fn is_isl_down(&self, slot: SlotIndex, a: u32, b: u32) -> bool {
+        match self {
+            FailureModel::None | FailureModel::NodeOutages(_) => false,
+            FailureModel::IndependentLinks(m) => m.is_down(slot, a, b),
+            FailureModel::GilbertElliott(m) => m.is_down(slot, a, b),
+        }
+    }
+
+    /// Whether satellite `sat` (constellation index) is entirely out at
+    /// `slot` — all of its links, ISL and USL, are down.
+    pub fn is_satellite_down(&self, slot: SlotIndex, sat: u32) -> bool {
+        match self {
+            FailureModel::NodeOutages(m) => m.is_down(slot, sat),
+            _ => false,
+        }
+    }
+
+    /// Returns a copy of `snapshot` with every failed edge removed. The
+    /// link-level models never remove USLs; node outages remove every edge
+    /// of the out satellite.
+    pub fn apply(&self, snapshot: &TopologySnapshot) -> TopologySnapshot {
+        match self {
+            FailureModel::None => snapshot.clone(),
+            FailureModel::IndependentLinks(m) => m.apply(snapshot),
+            FailureModel::NodeOutages(m) => m.apply(snapshot),
+            FailureModel::GilbertElliott(m) => m.apply(snapshot),
+        }
+    }
+}
+
+/// Rebuilds a snapshot without the edges matched by `down`.
+fn rebuild_without(
+    snapshot: &TopologySnapshot,
+    mut down: impl FnMut(&Edge) -> bool,
+) -> TopologySnapshot {
+    let edges: Vec<Edge> = snapshot.edges().iter().filter(|e| !down(e)).copied().collect();
+    TopologySnapshot::from_edges(
+        snapshot.slot(),
+        snapshot.kinds().to_vec(),
+        (0..snapshot.num_nodes()).map(|i| snapshot.position(crate::NodeId(i as u32))).collect(),
+        (0..snapshot.num_nodes()).map(|i| snapshot.is_sunlit(crate::NodeId(i as u32))).collect(),
+        edges,
+    )
 }
 
 /// SplitMix64: a tiny, high-quality 64-bit mixer (public domain).
@@ -95,6 +316,20 @@ fn splitmix64(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     x ^ (x >> 31)
+}
+
+/// Feeds the seed and three values through sequential [`splitmix64`]
+/// rounds, one round per value, so no field can collide with another.
+fn mix3(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+    let mut h = splitmix64(seed);
+    h = splitmix64(h ^ a);
+    h = splitmix64(h ^ b);
+    splitmix64(h ^ c)
+}
+
+/// Maps a hash to `[0, 1)` with 53 bits of precision.
+fn unit_f64(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
 #[cfg(test)]
@@ -126,8 +361,7 @@ mod tests {
         let snap = snapshot();
         let out = LinkFailureModel::new(1.0, 7).apply(&snap);
         assert!(out.edges().iter().all(|e| e.link_type == LinkType::Usl));
-        let usls_before =
-            snap.edges().iter().filter(|e| e.link_type == LinkType::Usl).count();
+        let usls_before = snap.edges().iter().filter(|e| e.link_type == LinkType::Usl).count();
         assert_eq!(out.num_edges(), usls_before);
     }
 
@@ -170,8 +404,200 @@ mod tests {
     }
 
     #[test]
+    fn link_draws_are_symmetric_and_bit_identical() {
+        // Property-style sweep: symmetry in (a, b) and bit-identical
+        // repeats for every model, over a grid of slots and node pairs —
+        // including ids past 2^20, where the old shifted-XOR mix collided.
+        let link = LinkFailureModel::new(0.37, 0xfeed);
+        let link2 = LinkFailureModel::new(0.37, 0xfeed);
+        let ge = GilbertElliottModel::new(0.2, 0.3, 0xfeed);
+        let ge2 = GilbertElliottModel::new(0.2, 0.3, 0xfeed);
+        for slot in [0u32, 1, 7, 31] {
+            let t = SlotIndex(slot);
+            for &(a, b) in &[(0u32, 1u32), (3, 200), (1 << 20, (1 << 20) + 1), (5_000_000, 17)] {
+                assert_eq!(link.is_down(t, a, b), link.is_down(t, b, a), "link symmetry");
+                assert_eq!(link.is_down(t, a, b), link2.is_down(t, a, b), "link determinism");
+                assert_eq!(ge.is_down(t, a, b), ge.is_down(t, b, a), "GE symmetry");
+                assert_eq!(ge.is_down(t, a, b), ge2.is_down(t, a, b), "GE determinism");
+            }
+        }
+        let outage = NodeOutageModel::new(0.1, 1, 4, 0xfeed);
+        let outage2 = NodeOutageModel::new(0.1, 1, 4, 0xfeed);
+        for slot in 0..32 {
+            for sat in [0u32, 7, 1 << 20] {
+                assert_eq!(
+                    outage.is_down(SlotIndex(slot), sat),
+                    outage2.is_down(SlotIndex(slot), sat),
+                    "outage determinism"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hash_fields_do_not_collide() {
+        // The fixed mix must distinguish draws that the old `lo<<20 ^ hi`
+        // pre-mix conflated: (lo, hi) = (1, 0) vs (0, 1<<20) XOR to the
+        // same pre-mix value. With one splitmix round per field, the two
+        // hashes (and many like them) must differ somewhere over a slot
+        // sweep.
+        let model = LinkFailureModel::new(0.5, 3);
+        let mut differed = false;
+        for slot in 0..64 {
+            let t = SlotIndex(slot);
+            if model.is_down(t, 0, 1) != model.is_down(t, 0, 1 << 20) {
+                differed = true;
+                break;
+            }
+        }
+        assert!(differed, "distinct pairs must decorrelate");
+    }
+
+    #[test]
+    fn apply_never_removes_usls_for_link_level_models() {
+        let snap = snapshot();
+        let usls = |s: &TopologySnapshot| {
+            s.edges().iter().filter(|e| e.link_type == LinkType::Usl).count()
+        };
+        let before = usls(&snap);
+        assert!(before > 0, "test network must have USLs");
+        for model in [
+            FailureModel::IndependentLinks(LinkFailureModel::new(1.0, 5)),
+            FailureModel::GilbertElliott(GilbertElliottModel::new(1.0, 0.0, 5)),
+        ] {
+            assert_eq!(usls(&model.apply(&snap)), before, "{model:?} removed a USL");
+        }
+    }
+
+    #[test]
+    fn node_outage_removes_every_link_of_the_satellite() {
+        let snap = snapshot();
+        let model = NodeOutageModel::new(0.2, 2, 5, 11);
+        let out = model.apply(&snap);
+        let slot = snap.slot();
+        // Every surviving edge touches only live satellites; every removed
+        // edge touched a dead one.
+        let is_dead = |n: crate::NodeId| match snap.kind(n) {
+            NodeKind::Satellite(i) => model.is_down(slot, i as u32),
+            _ => false,
+        };
+        for e in out.edges() {
+            assert!(!is_dead(e.src) && !is_dead(e.dst), "edge of a dead satellite survived");
+        }
+        let removed = snap.num_edges() - out.num_edges();
+        let expected_removed =
+            snap.edges().iter().filter(|e| is_dead(e.src) || is_dead(e.dst)).count();
+        assert_eq!(removed, expected_removed);
+        // With 144 satellites at 20% outage probability some must be down.
+        assert!(removed > 0, "expected at least one outage");
+    }
+
+    #[test]
+    fn node_outages_persist_for_their_duration() {
+        // An outage starting at slot s keeps the satellite down for its
+        // whole seeded duration: scan for a start and check continuity.
+        let model = NodeOutageModel::new(0.05, 3, 3, 99);
+        let mut checked = 0;
+        for sat in 0..200u32 {
+            for s in 0..40u32 {
+                if model.outage_starts(s, sat) {
+                    for k in 0..3 {
+                        assert!(
+                            model.is_down(SlotIndex(s + k), sat),
+                            "sat {sat} must stay down {k} slots after start {s}"
+                        );
+                    }
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 0, "expected some outage starts at p=0.05 over 8000 draws");
+    }
+
+    #[test]
+    fn gilbert_elliott_failures_are_bursty() {
+        // With p_fail small and p_recover small, P(down at t+1 | down at t)
+        // = 1 − p_recover must far exceed the steady-state down fraction —
+        // the defining correlation of the burst model.
+        let model = GilbertElliottModel::new(0.05, 0.2, 13);
+        let (mut down_slots, mut total, mut persist, mut down_pairs) = (0u32, 0u32, 0u32, 0u32);
+        for pair in 0..150u32 {
+            let (a, b) = (pair, pair + 1000);
+            let mut prev = false;
+            let mut down = false;
+            for slot in 0..60u32 {
+                down = model.step(down, SlotIndex(slot), a, b);
+                assert_eq!(down, model.is_down(SlotIndex(slot), a, b), "step vs walk");
+                total += 1;
+                if down {
+                    down_slots += 1;
+                }
+                if prev {
+                    down_pairs += 1;
+                    if down {
+                        persist += 1;
+                    }
+                }
+                prev = down;
+            }
+        }
+        let marginal = f64::from(down_slots) / f64::from(total);
+        let conditional = f64::from(persist) / f64::from(down_pairs.max(1));
+        assert!(marginal > 0.05 && marginal < 0.4, "marginal down rate {marginal}");
+        assert!(
+            conditional > marginal + 0.2,
+            "burstiness: P(down|down)={conditional} vs P(down)={marginal}"
+        );
+    }
+
+    #[test]
+    fn failure_model_enum_dispatch() {
+        let snap = snapshot();
+        assert!(FailureModel::None.is_trivial());
+        assert!(FailureModel::IndependentLinks(LinkFailureModel::none()).is_trivial());
+        assert!(FailureModel::NodeOutages(NodeOutageModel::new(0.0, 1, 1, 0)).is_trivial());
+        assert!(FailureModel::GilbertElliott(GilbertElliottModel::new(0.0, 0.5, 0)).is_trivial());
+        assert_eq!(FailureModel::None.apply(&snap), snap);
+        let busy = FailureModel::IndependentLinks(LinkFailureModel::new(0.9, 1));
+        assert!(!busy.is_trivial());
+        assert!(busy.apply(&snap).num_edges() < snap.num_edges());
+        assert!(!FailureModel::None.is_isl_down(SlotIndex(0), 0, 1));
+        assert!(!FailureModel::None.is_satellite_down(SlotIndex(0), 0));
+    }
+
+    #[test]
     #[should_panic(expected = "probability")]
     fn invalid_probability_panics() {
         let _ = LinkFailureModel::new(1.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_probability_panics() {
+        let _ = LinkFailureModel::new(f64::NAN, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_outage_probability_panics() {
+        let _ = NodeOutageModel::new(f64::NAN, 1, 2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_ge_probability_panics() {
+        let _ = GilbertElliottModel::new(0.1, f64::NAN, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration")]
+    fn zero_duration_outage_panics() {
+        let _ = NodeOutageModel::new(0.1, 0, 2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_duration_bounds_panic() {
+        let _ = NodeOutageModel::new(0.1, 5, 2, 0);
     }
 }

@@ -12,9 +12,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Numbering convention (enforced by [`crate::series::NetworkNodes`]):
 /// broadband satellites first, then ground users, then space users.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 
 impl NodeId {

@@ -38,88 +38,88 @@ const CITY_SIGMA_M: f64 = 900_000.0;
 /// shares, not precise figures — they only shape the demand density.
 const GAZETTEER: &[(f64, f64, f64)] = &[
     // North America
-    (40.7, -74.0, 10.0),  // New York
-    (34.1, -118.2, 8.0),  // Los Angeles
-    (41.9, -87.6, 6.0),   // Chicago
-    (37.8, -122.4, 7.0),  // San Francisco Bay
-    (29.8, -95.4, 5.0),   // Houston
-    (32.8, -96.8, 5.0),   // Dallas
-    (38.9, -77.0, 5.0),   // Washington DC
-    (42.4, -71.1, 4.0),   // Boston
-    (47.6, -122.3, 4.0),  // Seattle
-    (33.7, -84.4, 4.0),   // Atlanta
-    (25.8, -80.2, 4.0),   // Miami
-    (43.7, -79.4, 5.0),   // Toronto
-    (45.5, -73.6, 3.0),   // Montreal
-    (19.4, -99.1, 5.0),   // Mexico City
+    (40.7, -74.0, 10.0), // New York
+    (34.1, -118.2, 8.0), // Los Angeles
+    (41.9, -87.6, 6.0),  // Chicago
+    (37.8, -122.4, 7.0), // San Francisco Bay
+    (29.8, -95.4, 5.0),  // Houston
+    (32.8, -96.8, 5.0),  // Dallas
+    (38.9, -77.0, 5.0),  // Washington DC
+    (42.4, -71.1, 4.0),  // Boston
+    (47.6, -122.3, 4.0), // Seattle
+    (33.7, -84.4, 4.0),  // Atlanta
+    (25.8, -80.2, 4.0),  // Miami
+    (43.7, -79.4, 5.0),  // Toronto
+    (45.5, -73.6, 3.0),  // Montreal
+    (19.4, -99.1, 5.0),  // Mexico City
     // South America
-    (-23.6, -46.6, 5.0),  // São Paulo
-    (-22.9, -43.2, 3.0),  // Rio de Janeiro
-    (-34.6, -58.4, 3.0),  // Buenos Aires
-    (-33.4, -70.7, 2.0),  // Santiago
-    (4.7, -74.1, 2.0),    // Bogotá
-    (-12.0, -77.0, 2.0),  // Lima
+    (-23.6, -46.6, 5.0), // São Paulo
+    (-22.9, -43.2, 3.0), // Rio de Janeiro
+    (-34.6, -58.4, 3.0), // Buenos Aires
+    (-33.4, -70.7, 2.0), // Santiago
+    (4.7, -74.1, 2.0),   // Bogotá
+    (-12.0, -77.0, 2.0), // Lima
     // Europe
-    (51.5, -0.1, 8.0),    // London
-    (48.9, 2.3, 7.0),     // Paris
-    (52.5, 13.4, 4.0),    // Berlin
-    (50.1, 8.7, 4.0),     // Frankfurt
-    (48.1, 11.6, 4.0),    // Munich
-    (52.4, 4.9, 4.0),     // Amsterdam
-    (40.4, -3.7, 4.0),    // Madrid
-    (41.4, 2.2, 3.0),     // Barcelona
-    (45.5, 9.2, 4.0),     // Milan
-    (41.9, 12.5, 3.0),    // Rome
-    (59.3, 18.1, 2.5),    // Stockholm
-    (55.7, 12.6, 2.5),    // Copenhagen
-    (48.2, 16.4, 2.5),    // Vienna
-    (47.4, 8.5, 3.0),     // Zurich
-    (52.2, 21.0, 2.5),    // Warsaw
-    (55.8, 37.6, 5.0),    // Moscow
-    (59.9, 30.3, 2.5),    // St. Petersburg
-    (41.0, 29.0, 4.0),    // Istanbul
-    (37.9, 23.7, 1.5),    // Athens
-    (38.7, -9.1, 1.5),    // Lisbon
-    (53.3, -6.3, 2.0),    // Dublin
+    (51.5, -0.1, 8.0), // London
+    (48.9, 2.3, 7.0),  // Paris
+    (52.5, 13.4, 4.0), // Berlin
+    (50.1, 8.7, 4.0),  // Frankfurt
+    (48.1, 11.6, 4.0), // Munich
+    (52.4, 4.9, 4.0),  // Amsterdam
+    (40.4, -3.7, 4.0), // Madrid
+    (41.4, 2.2, 3.0),  // Barcelona
+    (45.5, 9.2, 4.0),  // Milan
+    (41.9, 12.5, 3.0), // Rome
+    (59.3, 18.1, 2.5), // Stockholm
+    (55.7, 12.6, 2.5), // Copenhagen
+    (48.2, 16.4, 2.5), // Vienna
+    (47.4, 8.5, 3.0),  // Zurich
+    (52.2, 21.0, 2.5), // Warsaw
+    (55.8, 37.6, 5.0), // Moscow
+    (59.9, 30.3, 2.5), // St. Petersburg
+    (41.0, 29.0, 4.0), // Istanbul
+    (37.9, 23.7, 1.5), // Athens
+    (38.7, -9.1, 1.5), // Lisbon
+    (53.3, -6.3, 2.0), // Dublin
     // Middle East & Africa
-    (25.2, 55.3, 4.0),    // Dubai
-    (24.7, 46.7, 3.0),    // Riyadh
-    (32.1, 34.8, 2.5),    // Tel Aviv
-    (30.0, 31.2, 3.0),    // Cairo
-    (6.5, 3.4, 2.5),      // Lagos
-    (-26.2, 28.0, 2.5),   // Johannesburg
-    (-1.3, 36.8, 1.5),    // Nairobi
-    (33.6, -7.6, 1.5),    // Casablanca
+    (25.2, 55.3, 4.0),  // Dubai
+    (24.7, 46.7, 3.0),  // Riyadh
+    (32.1, 34.8, 2.5),  // Tel Aviv
+    (30.0, 31.2, 3.0),  // Cairo
+    (6.5, 3.4, 2.5),    // Lagos
+    (-26.2, 28.0, 2.5), // Johannesburg
+    (-1.3, 36.8, 1.5),  // Nairobi
+    (33.6, -7.6, 1.5),  // Casablanca
     // South & Central Asia
-    (28.6, 77.2, 5.0),    // Delhi
-    (19.1, 72.9, 5.0),    // Mumbai
-    (12.9, 77.6, 4.0),    // Bangalore
-    (13.1, 80.3, 2.5),    // Chennai
-    (22.6, 88.4, 2.5),    // Kolkata
-    (24.9, 67.0, 2.0),    // Karachi
-    (23.8, 90.4, 2.0),    // Dhaka
+    (28.6, 77.2, 5.0), // Delhi
+    (19.1, 72.9, 5.0), // Mumbai
+    (12.9, 77.6, 4.0), // Bangalore
+    (13.1, 80.3, 2.5), // Chennai
+    (22.6, 88.4, 2.5), // Kolkata
+    (24.9, 67.0, 2.0), // Karachi
+    (23.8, 90.4, 2.0), // Dhaka
     // East Asia
-    (35.7, 139.7, 10.0),  // Tokyo
-    (34.7, 135.5, 5.0),   // Osaka
-    (37.6, 127.0, 6.0),   // Seoul
-    (31.2, 121.5, 8.0),   // Shanghai
-    (39.9, 116.4, 8.0),   // Beijing
-    (22.5, 114.1, 5.0),   // Shenzhen
-    (23.1, 113.3, 5.0),   // Guangzhou
-    (30.6, 104.1, 3.0),   // Chengdu
-    (22.3, 114.2, 5.0),   // Hong Kong
-    (25.0, 121.6, 4.0),   // Taipei
+    (35.7, 139.7, 10.0), // Tokyo
+    (34.7, 135.5, 5.0),  // Osaka
+    (37.6, 127.0, 6.0),  // Seoul
+    (31.2, 121.5, 8.0),  // Shanghai
+    (39.9, 116.4, 8.0),  // Beijing
+    (22.5, 114.1, 5.0),  // Shenzhen
+    (23.1, 113.3, 5.0),  // Guangzhou
+    (30.6, 104.1, 3.0),  // Chengdu
+    (22.3, 114.2, 5.0),  // Hong Kong
+    (25.0, 121.6, 4.0),  // Taipei
     // Southeast Asia & Oceania
-    (1.35, 103.8, 5.0),   // Singapore
-    (13.8, 100.5, 3.0),   // Bangkok
-    (-6.2, 106.8, 3.5),   // Jakarta
-    (14.6, 121.0, 2.5),   // Manila
-    (10.8, 106.7, 2.5),   // Ho Chi Minh City
-    (3.1, 101.7, 2.5),    // Kuala Lumpur
-    (-33.9, 151.2, 4.0),  // Sydney
-    (-37.8, 145.0, 3.5),  // Melbourne
-    (-27.5, 153.0, 2.0),  // Brisbane
-    (-36.8, 174.8, 1.5),  // Auckland
+    (1.35, 103.8, 5.0),  // Singapore
+    (13.8, 100.5, 3.0),  // Bangkok
+    (-6.2, 106.8, 3.5),  // Jakarta
+    (14.6, 121.0, 2.5),  // Manila
+    (10.8, 106.7, 2.5),  // Ho Chi Minh City
+    (3.1, 101.7, 2.5),   // Kuala Lumpur
+    (-33.9, 151.2, 4.0), // Sydney
+    (-37.8, 145.0, 3.5), // Melbourne
+    (-27.5, 153.0, 2.0), // Brisbane
+    (-36.8, 174.8, 1.5), // Auckland
 ];
 
 /// Synthetic GDP density (arbitrary units) at a point: a Gaussian mixture

@@ -226,15 +226,9 @@ mod tests {
 
     #[test]
     fn rejects_unannotated_satellites() {
-        let mut sats = Constellation::from_walker(&WalkerConstellation::delta(
-            2,
-            2,
-            0,
-            550e3,
-            0.9,
-        ))
-        .satellites()
-        .to_vec();
+        let mut sats = Constellation::from_walker(&WalkerConstellation::delta(2, 2, 0, 550e3, 0.9))
+            .satellites()
+            .to_vec();
         sats[0].plane = None;
         assert!(GridIndex::from_satellites(&sats).is_none());
     }

@@ -40,7 +40,6 @@
 //! assert!(snap.num_edges() > 0);
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod coverage;
 pub mod delay;

@@ -258,6 +258,15 @@ impl TopologySeries {
             snapshots: self.snapshots.iter().map(|s| model.apply(s)).collect(),
         }
     }
+
+    /// Returns a copy of the series with any [`crate::failures::FailureModel`]
+    /// applied to every snapshot.
+    pub fn with_failure_model(&self, model: &crate::failures::FailureModel) -> TopologySeries {
+        TopologySeries {
+            slot_duration_s: self.slot_duration_s,
+            snapshots: self.snapshots.iter().map(|s| model.apply(s)).collect(),
+        }
+    }
 }
 
 /// Builds the snapshot graph for one slot.
@@ -375,8 +384,12 @@ mod tests {
     #[test]
     fn snapshot_has_isls_and_usls() {
         let nodes = small_nodes();
-        let snap =
-            build_snapshot(&nodes, &TopologyConfig::default(), SlotIndex(0), Epoch::from_seconds(0.0));
+        let snap = build_snapshot(
+            &nodes,
+            &TopologyConfig::default(),
+            SlotIndex(0),
+            Epoch::from_seconds(0.0),
+        );
         let isls = snap.edges().iter().filter(|e| e.link_type == LinkType::Isl).count();
         let usls = snap.edges().iter().filter(|e| e.link_type == LinkType::Usl).count();
         assert_eq!(isls, 4 * 96, "+Grid should give 4 directed ISLs per sat");
@@ -412,8 +425,12 @@ mod tests {
     #[test]
     fn ground_users_always_sunlit() {
         let nodes = small_nodes();
-        let snap =
-            build_snapshot(&nodes, &TopologyConfig::default(), SlotIndex(0), Epoch::from_seconds(0.0));
+        let snap = build_snapshot(
+            &nodes,
+            &TopologyConfig::default(),
+            SlotIndex(0),
+            Epoch::from_seconds(0.0),
+        );
         assert!(snap.is_sunlit(nodes.ground_node(0)));
         assert!(snap.is_sunlit(nodes.ground_node(1)));
     }
@@ -436,8 +453,12 @@ mod tests {
         let shell = WalkerConstellation::delta(22, 72, 17, 550e3, 53f64.to_radians());
         let mut nodes = NetworkNodes::from_walker(&shell);
         let eo_node = nodes.add_space_user(sb_orbit::eo::synthetic_fleet(1).pop().unwrap());
-        let snap =
-            build_snapshot(&nodes, &TopologyConfig::default(), SlotIndex(0), Epoch::from_seconds(0.0));
+        let snap = build_snapshot(
+            &nodes,
+            &TopologyConfig::default(),
+            SlotIndex(0),
+            Epoch::from_seconds(0.0),
+        );
         // At paper density, an EO sat at ~500 km should see the shell.
         assert!(snap.out_degree(eo_node) > 0, "EO sat sees no broadband satellites");
     }

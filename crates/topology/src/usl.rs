@@ -121,8 +121,8 @@ mod tests {
     fn space_user_links_within_range() {
         let eo = Eci(Vec3::new(EARTH_RADIUS_M + 500e3, 0.0, 0.0));
         let sats = vec![
-            sat_above(0.0),  // ~50 km above the EO sat
-            sat_above(0.3),  // ~2000 km away around the arc
+            sat_above(0.0),                                      // ~50 km above the EO sat
+            sat_above(0.3),                                      // ~2000 km away around the arc
             Eci(Vec3::new(-(EARTH_RADIUS_M + 550e3), 0.0, 0.0)), // other side of Earth
         ];
         let v = visible_sats_from_space(eo, &sats, 1_500_000.0, 80_000.0, 4);

@@ -40,11 +40,8 @@ fn main() {
         // Two user classes: broadcasters (high value) and bulk (low value).
         let broadcaster = rng.gen_bool(0.4);
         let class = usize::from(!broadcaster);
-        let valuation = if broadcaster {
-            rng.gen_range(5.0e8..2.5e9)
-        } else {
-            rng.gen_range(1.0e6..5.0e7)
-        };
+        let valuation =
+            if broadcaster { rng.gen_range(5.0e8..2.5e9) } else { rng.gen_range(1.0e6..5.0e7) };
         offered[class] += 1;
         let request = Request {
             id: RequestId(k),
@@ -69,7 +66,8 @@ fn main() {
                 );
             }
             Decision::Rejected { reason } => {
-                let quoted = quote.map(|p| format!("{p:>14.3e}")).unwrap_or_else(|_| "  (no path)".into());
+                let quoted =
+                    quote.map(|p| format!("{p:>14.3e}")).unwrap_or_else(|_| "  (no path)".into());
                 println!(
                     "{:<4} {:>10} {:>14.3e} {quoted}  rejected: {reason}",
                     format!("R{k}"),

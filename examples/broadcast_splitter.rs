@@ -59,9 +59,7 @@ fn main() {
             println!(
                 "multipath CEAR: ACCEPTED as {paths_in_first_slot} subflows — total price {price:.3e}"
             );
-            for (k, sp) in
-                plan.slot_paths.iter().filter(|sp| sp.slot == SlotIndex(0)).enumerate()
-            {
+            for (k, sp) in plan.slot_paths.iter().filter(|sp| sp.slot == SlotIndex(0)).enumerate() {
                 let snapshot = state.series().snapshot(sp.slot);
                 println!(
                     "  subflow {k}: {} hops, {:.1} ms one-way",

@@ -19,10 +19,7 @@ fn main() {
         OrbitalElements::circular(550e3, 53f64.to_radians(), 0.3, 0.0, Epoch::from_seconds(0.0));
     let period_min = (elements.period() / 60.0).round() as usize;
     println!("orbital period: {period_min} minutes");
-    println!(
-        "max eclipse fraction at 550 km: {:.1}%\n",
-        sun::max_eclipse_fraction(550e3) * 100.0
-    );
+    println!("max eclipse fraction at 550 km: {:.1}%\n", sun::max_eclipse_fraction(550e3) * 100.0);
 
     // Build the sunlit profile for 4 orbits at one-minute slots.
     let horizon = period_min * 4;
@@ -39,7 +36,8 @@ fn main() {
     );
 
     let params = EnergyParams::default();
-    let mut ledger = EnergyLedger::new(&params, 60.0, std::slice::from_ref(&sunlit).to_vec().as_slice());
+    let mut ledger =
+        EnergyLedger::new(&params, 60.0, std::slice::from_ref(&sunlit).to_vec().as_slice());
 
     // A 10-minute relay job (middle role, 1250 Mbps) starting in the first
     // umbra period.
@@ -64,9 +62,7 @@ fn main() {
     }
 
     // The deficit's life-cycle summary.
-    let max_deficit = (0..horizon)
-        .map(|t| ledger.deficit_j(0, t))
-        .fold(0.0f64, f64::max);
+    let max_deficit = (0..horizon).map(|t| ledger.deficit_j(0, t)).fold(0.0f64, f64::max);
     let repaid_at = (first_umbra..horizon).find(|&t| ledger.deficit_j(0, t) == 0.0);
     println!("\npeak deficit: {max_deficit:.0} J ({:.1}% of battery)", max_deficit / 1170.0);
     match repaid_at {

@@ -10,28 +10,16 @@
 //! cargo run --release --example teleconference
 //! ```
 
-use space_booking::sb_cear::{
-    Cear, CearParams, NetworkState, RoutingAlgorithm, Ssp,
-};
+use space_booking::sb_cear::{Cear, CearParams, NetworkState, RoutingAlgorithm, Ssp};
 use space_booking::sb_demand::{RateProfile, Request, RequestId};
 use space_booking::sb_energy::EnergyParams;
 use space_booking::sb_geo::coords::Geodetic;
 use space_booking::sb_orbit::walker::WalkerConstellation;
-use space_booking::sb_topology::{
-    NetworkNodes, NodeId, SlotIndex, TopologyConfig, TopologySeries,
-};
+use space_booking::sb_topology::{NetworkNodes, NodeId, SlotIndex, TopologyConfig, TopologySeries};
 
 /// One scheduled meeting: (source city, destination city, start minute).
-const MEETINGS: &[(usize, usize, u32)] = &[
-    (0, 1, 0),
-    (1, 2, 2),
-    (2, 0, 4),
-    (0, 1, 6),
-    (1, 2, 8),
-    (2, 0, 10),
-    (0, 2, 12),
-    (1, 0, 14),
-];
+const MEETINGS: &[(usize, usize, u32)] =
+    &[(0, 1, 0), (1, 2, 2), (2, 0, 4), (0, 1, 6), (1, 2, 8), (2, 0, 10), (0, 2, 12), (1, 0, 14)];
 
 fn build() -> (NetworkState, Vec<NodeId>) {
     let shell = WalkerConstellation::delta(16, 16, 5, 550e3, 53f64.to_radians());
@@ -65,14 +53,10 @@ fn run(algo: &mut dyn RoutingAlgorithm) -> (usize, usize, usize) {
             booked += 1;
         }
     }
-    let congested = (0..40)
-        .map(|t| state.congested_link_count(SlotIndex(t), 0.1))
-        .max()
-        .unwrap_or(0);
-    let depleted = (0..40)
-        .map(|t| state.depleted_satellite_count(SlotIndex(t), 0.2))
-        .max()
-        .unwrap_or(0);
+    let congested =
+        (0..40).map(|t| state.congested_link_count(SlotIndex(t), 0.1)).max().unwrap_or(0);
+    let depleted =
+        (0..40).map(|t| state.depleted_satellite_count(SlotIndex(t), 0.2)).max().unwrap_or(0);
     (booked, congested, depleted)
 }
 

@@ -86,17 +86,13 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let name = flags.get("emit").map(String::as_str).unwrap_or("fast");
     let scenario = load_scenario(name)?;
-    println!(
-        "{}",
-        serde_json::to_string_pretty(&scenario).map_err(|e| e.to_string())?
-    );
+    println!("{}", serde_json::to_string_pretty(&scenario).map_err(|e| e.to_string())?);
     Ok(())
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
-    let scenario =
-        load_scenario(flags.get("scenario").map(String::as_str).unwrap_or("fast"))?;
+    let scenario = load_scenario(flags.get("scenario").map(String::as_str).unwrap_or("fast"))?;
     let seed: u64 = flags.get("seed").map_or(Ok(0), |s| s.parse().map_err(|_| "bad --seed"))?;
     let kind = match flags.get("algorithm").map(String::as_str).unwrap_or("cear") {
         "cear" | "adaptive" => AlgorithmKind::Cear(scenario.cear),
@@ -117,8 +113,21 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
     println!("algorithm           : {}", metrics.algorithm);
     println!("scenario            : {} (seed {seed})", metrics.scenario);
-    println!("requests            : {} total, {} accepted", metrics.total_requests, metrics.accepted_requests);
+    println!(
+        "requests            : {} total, {} accepted",
+        metrics.total_requests, metrics.accepted_requests
+    );
     println!("social welfare ratio: {:.4}", metrics.social_welfare_ratio);
+    if scenario.unforeseen.is_some() {
+        println!("delivered ratio     : {:.4}", metrics.delivered_welfare_ratio);
+        println!(
+            "interruptions       : {} broken, {} SLA violations, {}/{} repairs ok",
+            metrics.interrupted_requests,
+            metrics.sla_violations,
+            metrics.repairs_succeeded,
+            metrics.repair_attempts
+        );
+    }
     println!("operator revenue    : {:.4e}", metrics.revenue);
     println!("peak depleted sats  : {}", metrics.peak_depleted());
     println!("peak congested links: {}", metrics.peak_congested());
@@ -147,8 +156,7 @@ fn run_adaptive(scenario: &ScenarioConfig, seed: u64) -> space_booking::sb_sim::
 
 fn cmd_quote(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
-    let scenario =
-        load_scenario(flags.get("scenario").map(String::as_str).unwrap_or("fast"))?;
+    let scenario = load_scenario(flags.get("scenario").map(String::as_str).unwrap_or("fast"))?;
     let seed: u64 = flags.get("seed").map_or(Ok(0), |s| s.parse().map_err(|_| "bad --seed"))?;
     let pair: usize = flags.get("pair").map_or(Ok(0), |s| s.parse().map_err(|_| "bad --pair"))?;
     let rate: f64 =
@@ -158,10 +166,16 @@ fn cmd_quote(args: &[String]) -> Result<(), String> {
 
     let prepared = engine::prepare(&scenario, seed);
     if pair >= prepared.pairs.len() {
-        return Err(format!("pair index {pair} out of range (scenario has {})", prepared.pairs.len()));
+        return Err(format!(
+            "pair index {pair} out of range (scenario has {})",
+            prepared.pairs.len()
+        ));
     }
     if end as usize >= scenario.horizon_slots || end < start {
-        return Err(format!("invalid window [{start}, {end}] for a {}-slot horizon", scenario.horizon_slots));
+        return Err(format!(
+            "invalid window [{start}, {end}] for a {}-slot horizon",
+            scenario.horizon_slots
+        ));
     }
     let (source, destination) = prepared.pairs[pair];
     let state = NetworkState::new(prepared.series.clone(), &scenario.energy);
@@ -194,8 +208,7 @@ fn cmd_quote(args: &[String]) -> Result<(), String> {
 
 fn cmd_topology(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
-    let scenario =
-        load_scenario(flags.get("scenario").map(String::as_str).unwrap_or("fast"))?;
+    let scenario = load_scenario(flags.get("scenario").map(String::as_str).unwrap_or("fast"))?;
     let seed: u64 = flags.get("seed").map_or(Ok(0), |s| s.parse().map_err(|_| "bad --seed"))?;
     let slot: u32 = flags.get("slot").map_or(Ok(0), |s| s.parse().map_err(|_| "bad --slot"))?;
     if slot as usize >= scenario.horizon_slots {
@@ -219,7 +232,11 @@ fn cmd_topology(args: &[String]) -> Result<(), String> {
     );
     println!("capacity  : {:.1} Tbps total directed", snap.total_capacity_mbps() / 1e6);
     for (k, (src, dst)) in prepared.pairs.iter().enumerate() {
-        println!("pair {k}: {src} → {dst} (degrees {} / {})", snap.out_degree(*src), snap.out_degree(*dst));
+        println!(
+            "pair {k}: {src} → {dst} (degrees {} / {})",
+            snap.out_degree(*src),
+            snap.out_degree(*dst)
+        );
     }
     Ok(())
 }
@@ -228,8 +245,7 @@ fn cmd_export(args: &[String]) -> Result<(), String> {
     use space_booking::sb_geo::Epoch;
     use space_booking::sb_sim::viz;
     let flags = parse_flags(args)?;
-    let scenario =
-        load_scenario(flags.get("scenario").map(String::as_str).unwrap_or("fast"))?;
+    let scenario = load_scenario(flags.get("scenario").map(String::as_str).unwrap_or("fast"))?;
     let seed: u64 = flags.get("seed").map_or(Ok(0), |s| s.parse().map_err(|_| "bad --seed"))?;
     let slot: u32 = flags.get("slot").map_or(Ok(0), |s| s.parse().map_err(|_| "bad --slot"))?;
     let out = flags.get("out").cloned().unwrap_or_else(|| "map.geojson".to_owned());
@@ -265,8 +281,7 @@ fn cmd_coverage(args: &[String]) -> Result<(), String> {
     use space_booking::sb_orbit::{walker::WalkerConstellation, Constellation};
     use space_booking::sb_topology::coverage;
     let flags = parse_flags(args)?;
-    let scenario =
-        load_scenario(flags.get("scenario").map(String::as_str).unwrap_or("fast"))?;
+    let scenario = load_scenario(flags.get("scenario").map(String::as_str).unwrap_or("fast"))?;
     let elevation_deg: f64 = flags
         .get("elevation")
         .map_or(Ok(scenario.topology.min_elevation_rad.to_degrees()), |s| {
@@ -289,7 +304,8 @@ fn cmd_coverage(args: &[String]) -> Result<(), String> {
         scenario.inclination_deg
     );
     println!("lat band   covered   mean visible");
-    for b in coverage::coverage_by_latitude(&constellation, Epoch::from_seconds(0.0), mask, 15.0, 36)
+    for b in
+        coverage::coverage_by_latitude(&constellation, Epoch::from_seconds(0.0), mask, 15.0, 36)
     {
         println!(
             "{:>7.1}°   {:>6.1}%   {:.2}",

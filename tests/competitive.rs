@@ -67,12 +67,7 @@ fn cear_beats_exact_offline_over_ratio_bound() {
         })
         .collect();
 
-    let (exact, _) = offline::exact_offline_welfare(
-        &requests,
-        &state,
-        || Box::new(Ssp::new()),
-        12,
-    );
+    let (exact, _) = offline::exact_offline_welfare(&requests, &state, || Box::new(Ssp::new()), 12);
 
     let mut online_state = state.clone();
     let mut cear = Cear::new(params);

@@ -1,7 +1,7 @@
 //! End-to-end integration tests: the full pipeline from orbits to
 //! decisions, with the invariants of Lemma 1 checked on the final state.
 
-use space_booking::sb_cear::{CearParams, NetworkState, RoutingAlgorithm};
+use space_booking::sb_cear::{CearParams, NetworkState};
 use space_booking::sb_energy::EnergyParams;
 use space_booking::sb_sim::engine::{self, AlgorithmKind};
 use space_booking::sb_sim::ScenarioConfig;
@@ -83,10 +83,8 @@ fn energy_params_flow_through_the_stack() {
     let rich = engine::run_prepared(&scenario, &prepared, &requests, &AlgorithmKind::Ssp, 3);
 
     let mut poor_scenario = scenario.clone();
-    poor_scenario.energy =
-        EnergyParams { battery_capacity_j: 2_000.0, ..EnergyParams::default() };
-    let poor =
-        engine::run_prepared(&poor_scenario, &prepared, &requests, &AlgorithmKind::Ssp, 3);
+    poor_scenario.energy = EnergyParams { battery_capacity_j: 2_000.0, ..EnergyParams::default() };
+    let poor = engine::run_prepared(&poor_scenario, &prepared, &requests, &AlgorithmKind::Ssp, 3);
 
     assert!(
         poor.accepted_requests < rich.accepted_requests,

@@ -14,8 +14,7 @@ fn burst_pattern_degrades_welfare_during_the_burst() {
     let mut calm = ScenarioConfig::tiny();
     calm.arrivals_per_slot = 1.0;
     let mut stormy = calm.clone();
-    stormy.pattern =
-        ArrivalPattern::Burst { start_slot: 8, duration_slots: 8, multiplier: 6.0 };
+    stormy.pattern = ArrivalPattern::Burst { start_slot: 8, duration_slots: 8, multiplier: 6.0 };
 
     let kind = AlgorithmKind::Cear(CearParams::default());
     let calm_ratio: f64 =

@@ -1,14 +1,21 @@
 //! Failure injection: the stack must degrade gracefully, not panic, when
 //! the environment is hostile — permanent eclipse, dead batteries, zero
-//! capacity, unreachable users, empty workloads.
+//! capacity, unreachable users, empty workloads, and *unforeseen* outages
+//! that strike admitted reservations mid-flight. For the unforeseen case,
+//! every repair policy (`Drop` / `Repair` / `RepairPaid`) must survive
+//! worst-case failure processes — every satellite permanently down, or a
+//! battery too dead to admit anything — with consistent accounting.
 
-use space_booking::sb_cear::{Cear, CearParams, Decision, NetworkState, RejectReason, RoutingAlgorithm, Ssp};
+use space_booking::sb_cear::{
+    Cear, CearParams, Decision, NetworkState, RejectReason, RepairPolicy, RoutingAlgorithm, Ssp,
+};
 use space_booking::sb_demand::{RateProfile, Request, RequestId};
 use space_booking::sb_energy::EnergyParams;
 use space_booking::sb_geo::coords::Geodetic;
 use space_booking::sb_orbit::walker::WalkerConstellation;
 use space_booking::sb_sim::engine::{self, AlgorithmKind};
-use space_booking::sb_sim::ScenarioConfig;
+use space_booking::sb_sim::{ScenarioConfig, UnforeseenFailures};
+use space_booking::sb_topology::failures::{FailureModel, NodeOutageModel};
 use space_booking::sb_topology::{NetworkNodes, NodeId, SlotIndex, TopologyConfig, TopologySeries};
 
 fn network(
@@ -40,12 +47,11 @@ fn request(src: NodeId, dst: NodeId, rate: f64) -> Request {
 fn impossible_elevation_mask_rejects_everything() {
     // An 89.9° mask means no satellite is ever visible: every request must
     // be rejected with NoFeasiblePath, never a panic.
-    let topology = TopologyConfig {
-        min_elevation_rad: 89.9f64.to_radians(),
-        ..TopologyConfig::default()
-    };
+    let topology =
+        TopologyConfig { min_elevation_rad: 89.9f64.to_radians(), ..TopologyConfig::default() };
     let (mut state, a, b) = network(topology, EnergyParams::default(), 3);
-    for algo in [&mut Cear::new(CearParams::default()) as &mut dyn RoutingAlgorithm, &mut Ssp::new()]
+    for algo in
+        [&mut Cear::new(CearParams::default()) as &mut dyn RoutingAlgorithm, &mut Ssp::new()]
     {
         let d = algo.process(&request(a, b, 500.0), &mut state);
         assert_eq!(d, Decision::Rejected { reason: RejectReason::NoFeasiblePath });
@@ -58,11 +64,8 @@ fn dead_batteries_and_no_sun_reject_on_energy() {
     // slot, so no request can be served.
     let topology =
         TopologyConfig { min_elevation_rad: 10f64.to_radians(), ..TopologyConfig::default() };
-    let energy = EnergyParams {
-        solar_harvest_w: 0.0,
-        battery_capacity_j: 1.0,
-        ..EnergyParams::default()
-    };
+    let energy =
+        EnergyParams { solar_harvest_w: 0.0, battery_capacity_j: 1.0, ..EnergyParams::default() };
     let (mut state, a, b) = network(topology, energy, 3);
     let mut cear = Cear::new(CearParams::default());
     let d = cear.process(&request(a, b, 500.0), &mut state);
@@ -142,10 +145,68 @@ fn request_longer_than_horizon_is_truncated_by_generator_but_direct_use_panics_s
     let mut cear = Cear::new(CearParams::default());
     let mut r = request(a, b, 500.0);
     r.end = SlotIndex(10); // beyond the 2-slot horizon
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        cear.process(&r, &mut state)
-    }));
+    let result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cear.process(&r, &mut state)));
     assert!(result.is_err(), "out-of-horizon request must not silently succeed");
+}
+
+#[test]
+fn all_policies_survive_permanent_satellite_outage() {
+    // Outage probability 1.0 takes every satellite (and thus every edge,
+    // USLs included) down in every slot. Admission still happens on the
+    // clean routed topology, so each accepted plan breaks at its very
+    // first slot boundary and no repair can ever find a path. Every
+    // policy must finish the run with zero delivered welfare and sane
+    // accounting — never a panic.
+    let mut scenario = ScenarioConfig::tiny();
+    for policy in RepairPolicy::all() {
+        scenario.unforeseen = Some(UnforeseenFailures {
+            model: FailureModel::NodeOutages(NodeOutageModel::new(1.0, 1, 4, 0xdead)),
+            policy,
+        });
+        let m = engine::run(&scenario, &AlgorithmKind::Cear(CearParams::default()), 0);
+        assert!(m.accepted_requests > 0, "{policy:?}: the clean topology admits requests");
+        assert_eq!(
+            m.delivered_welfare, 0.0,
+            "{policy:?}: nothing can be delivered when every slot is down"
+        );
+        assert_eq!(
+            m.interrupted_requests, m.accepted_requests,
+            "{policy:?}: every accepted plan breaks at its first boundary"
+        );
+        assert_eq!(
+            m.sla_violations, m.accepted_requests,
+            "{policy:?}: every accepted request misses slots"
+        );
+        if policy == RepairPolicy::Drop {
+            assert_eq!(m.repair_attempts, 0, "Drop never attempts repair");
+        } else {
+            assert!(m.repair_attempts > 0, "{policy:?}: broken plans trigger repair attempts");
+        }
+        assert_eq!(m.repairs_succeeded, 0, "{policy:?}: no path exists to repair onto");
+    }
+}
+
+#[test]
+fn all_policies_survive_dead_battery_scenario() {
+    // Near-zero batteries and no sun: admission rejects everything, so the
+    // unforeseen-failure machinery has no active reservations to break.
+    // The run must still complete under every policy.
+    let mut scenario = ScenarioConfig::tiny();
+    scenario.energy.solar_harvest_w = 0.0;
+    scenario.energy.battery_capacity_j = 1.0;
+    for policy in RepairPolicy::all() {
+        scenario.unforeseen = Some(UnforeseenFailures {
+            model: FailureModel::NodeOutages(NodeOutageModel::new(0.5, 1, 4, 0xdead)),
+            policy,
+        });
+        let m = engine::run(&scenario, &AlgorithmKind::Cear(CearParams::default()), 0);
+        assert!(m.total_requests > 0, "{policy:?}: the workload is non-empty");
+        assert_eq!(m.accepted_requests, 0, "{policy:?}: dead batteries admit nothing");
+        assert_eq!(m.interrupted_requests, 0, "{policy:?}: nothing admitted, nothing broken");
+        assert_eq!(m.delivered_welfare, 0.0);
+        assert_eq!(m.repair_attempts, 0);
+    }
 }
 
 #[test]
@@ -157,8 +218,7 @@ fn baselines_survive_hostile_configs_too() {
     };
     let energy = EnergyParams { battery_capacity_j: 500.0, ..EnergyParams::default() };
     let (mut state, a, b) = network(topology, energy, 3);
-    for kind in [AlgorithmKind::Ssp, AlgorithmKind::Ecars, AlgorithmKind::Eru, AlgorithmKind::Era]
-    {
+    for kind in [AlgorithmKind::Ssp, AlgorithmKind::Ecars, AlgorithmKind::Eru, AlgorithmKind::Era] {
         let mut algo = kind.instantiate();
         // Must terminate with a decision, not panic.
         let _ = algo.process(&request(a, b, 900.0), &mut state);

@@ -30,7 +30,7 @@ fn comparison(scenario: &ScenarioConfig, seeds: u64) -> Vec<(String, f64, RunMet
     out
 }
 
-fn ratio_of<'a>(results: &'a [(String, f64, RunMetrics)], name: &str) -> f64 {
+fn ratio_of(results: &[(String, f64, RunMetrics)], name: &str) -> f64 {
     results.iter().find(|(n, _, _)| n == name).unwrap().1
 }
 
@@ -44,10 +44,7 @@ fn fig6_ordering_cear_wins_eru_loses() {
     let cear = ratio_of(&results, "CEAR");
     for name in ["SSP", "ECARS", "ERU"] {
         let other = ratio_of(&results, name);
-        assert!(
-            cear >= other - 0.02,
-            "CEAR ({cear:.3}) should dominate {name} ({other:.3})"
-        );
+        assert!(cear >= other - 0.02, "CEAR ({cear:.3}) should dominate {name} ({other:.3})");
     }
     // ERU's over-pruning makes it the weakest — the paper's stand-out
     // negative result.
@@ -145,8 +142,5 @@ fn fig9_higher_f2_is_more_conservative() {
     };
     let low = run_with_f2(1.0);
     let high = run_with_f2(16.0);
-    assert!(
-        high <= low + 0.02,
-        "F2=16 ({high:.3}) should not beat F2=1 ({low:.3}) on welfare"
-    );
+    assert!(high <= low + 0.02, "F2=16 ({high:.3}) should not beat F2=1 ({low:.3}) on welfare");
 }
