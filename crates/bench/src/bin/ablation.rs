@@ -8,8 +8,12 @@
 //! ```text
 //! cargo run -p sb-bench --release --bin ablation -- --scale fast
 //! ```
+//!
+//! Supports `--checkpoint-every N` (durable runs under `OUT/durable/`)
+//! and `--resume DIR` to continue an interrupted sweep; see the
+//! robustness binary for the workflow.
 
-use sb_bench::parse_args;
+use sb_bench::{parse_args, run_cell};
 use sb_cear::AblationFlags;
 use sb_sim::engine::{self, AlgorithmKind};
 use sb_sim::metrics;
@@ -43,11 +47,12 @@ fn main() {
     println!("| variant | welfare ratio | mean congested links | mean depleted sats | revenue |");
     println!("|---|---|---|---|---|");
     for kind in &variants {
+        let cell = format!("ablation-{}", kind.name());
         let runs: Vec<RunMetrics> = (0..opts.seeds)
             .map(|seed| {
                 let prepared = engine::prepare(&scenario, seed);
                 let requests = engine::workload(&scenario, &prepared, seed);
-                engine::run_prepared(&scenario, &prepared, &requests, kind, seed)
+                run_cell(&opts, &scenario, &prepared, &requests, kind, seed, &cell)
             })
             .collect();
         let ratio =

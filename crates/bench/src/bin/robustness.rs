@@ -17,8 +17,13 @@
 //! ```text
 //! cargo run -p sb-bench --release --bin robustness -- --scale fast
 //! ```
+//!
+//! Long paper-scale sweeps can checkpoint and resume: add
+//! `--checkpoint-every N` to journal every run into `OUT/durable/`, and
+//! after an interruption rerun with `--resume OUT/durable` to pick up at
+//! the last checkpoint (completed cells replay from their cached metrics).
 
-use sb_bench::{parse_args, write_csv};
+use sb_bench::{parse_args, run_cell, write_csv};
 use sb_cear::RepairPolicy;
 use sb_sim::engine::{self, AlgorithmKind};
 use sb_sim::metrics::{self, RunMetrics};
@@ -37,11 +42,12 @@ fn main() {
         scenario.isl_failure_prob = p;
         let mut values = Vec::new();
         for kind in AlgorithmKind::all(&scenario) {
+            let cell = format!("foresight-p{:03}-{}", (p * 100.0).round() as u32, kind.name());
             let ratios: Vec<f64> = (0..opts.seeds)
                 .map(|seed| {
                     let prepared = engine::prepare(&scenario, seed);
                     let requests = engine::workload(&scenario, &prepared, seed);
-                    engine::run_prepared(&scenario, &prepared, &requests, &kind, seed)
+                    run_cell(&opts, &scenario, &prepared, &requests, &kind, seed, &cell)
                         .social_welfare_ratio
                 })
                 .collect();
@@ -96,18 +102,25 @@ fn main() {
             for policy in RepairPolicy::all() {
                 let mut scenario = clean.clone();
                 scenario.unforeseen = Some(UnforeseenFailures { model, policy });
+                let label = format!("{model_name}/{}", policy.name());
+                let cell = format!(
+                    "unforeseen-p{:03}-{model_name}-{}",
+                    (p * 100.0).round() as u32,
+                    policy.name()
+                );
                 let runs: Vec<RunMetrics> = (0..opts.seeds)
                     .map(|seed| {
-                        engine::run_prepared(
+                        run_cell(
+                            &opts,
                             &scenario,
                             &prepared[seed as usize],
                             &workloads[seed as usize],
                             &kind,
                             seed,
+                            &cell,
                         )
                     })
                     .collect();
-                let label = format!("{model_name}/{}", policy.name());
                 let per_seed = |f: &dyn Fn(&RunMetrics) -> f64| {
                     metrics::mean_std(&runs.iter().map(f).collect::<Vec<_>>())
                 };

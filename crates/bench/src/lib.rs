@@ -4,7 +4,8 @@
 //! `--scale {paper,fast}` and `--seeds N`; this crate holds the argument
 //! parsing and run-loop plumbing they share.
 
-use sb_sim::ScenarioConfig;
+use sb_sim::engine::{self, AlgorithmKind, PreparedNetwork};
+use sb_sim::{DurabilityOptions, RunMetrics, RunOutcome, ScenarioConfig};
 
 /// Command-line options shared by every figure binary.
 #[derive(Debug, Clone, PartialEq)]
@@ -15,6 +16,13 @@ pub struct FigureOptions {
     pub seeds: u64,
     /// Output directory for CSV files.
     pub out_dir: std::path::PathBuf,
+    /// Checkpoint interval in slots for durable runs (`--checkpoint-every
+    /// N`; `0` journals without checkpointing). `None` leaves durability
+    /// off unless [`Self::resume_from`] turns it on.
+    pub checkpoint_every: Option<usize>,
+    /// Resume interrupted runs from this durability directory
+    /// (`--resume DIR`).
+    pub resume_from: Option<std::path::PathBuf>,
 }
 
 impl Default for FigureOptions {
@@ -23,12 +31,14 @@ impl Default for FigureOptions {
             scenario: ScenarioConfig::fast(),
             seeds: 3,
             out_dir: std::path::PathBuf::from("results"),
+            checkpoint_every: None,
+            resume_from: None,
         }
     }
 }
 
-/// Parses `--scale {paper,fast}`, `--seeds N` and `--out DIR` from an
-/// argument iterator.
+/// Parses `--scale {paper,fast}`, `--seeds N`, `--out DIR`,
+/// `--checkpoint-every N` and `--resume DIR` from an argument iterator.
 ///
 /// # Panics
 ///
@@ -58,10 +68,70 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> FigureOptions {
             "--out" => {
                 opts.out_dir = args.next().expect("--out needs a path").into();
             }
-            other => panic!("unknown argument `{other}` (use --scale/--seeds/--out)"),
+            "--checkpoint-every" => {
+                opts.checkpoint_every = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--checkpoint-every needs an integer"),
+                );
+            }
+            "--resume" => {
+                opts.resume_from = Some(args.next().expect("--resume needs a directory").into());
+            }
+            other => panic!(
+                "unknown argument `{other}` \
+                 (use --scale/--seeds/--out/--checkpoint-every/--resume)"
+            ),
         }
     }
     opts
+}
+
+/// Runs one `(cell, seed)` of a sweep, durably when the command line asked
+/// for it.
+///
+/// Without `--checkpoint-every` or `--resume` this is a plain in-memory
+/// [`engine::run_prepared`]. With either flag, the run is journaled and
+/// checkpointed into a per-cell subdirectory (under `--resume DIR`, or
+/// `OUT/durable` for a fresh durable run), and `--resume` picks up each
+/// cell where the interrupted sweep left it — completed cells return their
+/// cached metrics without re-running.
+///
+/// # Panics
+///
+/// Panics with the durable-run error (which names the offending file) when
+/// journaling, checkpointing or resume fails.
+pub fn run_cell(
+    opts: &FigureOptions,
+    scenario: &ScenarioConfig,
+    prepared: &PreparedNetwork,
+    requests: &[sb_demand::Request],
+    kind: &AlgorithmKind,
+    seed: u64,
+    cell: &str,
+) -> RunMetrics {
+    if opts.checkpoint_every.is_none() && opts.resume_from.is_none() {
+        return engine::run_prepared(scenario, prepared, requests, kind, seed);
+    }
+    let base = opts.resume_from.clone().unwrap_or_else(|| opts.out_dir.join("durable"));
+    // Cell labels may carry '/' (model/policy); keep the directory flat.
+    let safe: String = cell
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') { c } else { '-' })
+        .collect();
+    let durability = DurabilityOptions {
+        dir: base.join(format!("{safe}_s{seed}")),
+        checkpoint_every: opts.checkpoint_every.unwrap_or(1),
+        resume: opts.resume_from.is_some(),
+        halt_before_slot: None,
+    };
+    match sb_sim::run_durable(scenario, prepared, requests, kind, seed, &durability) {
+        Ok(RunOutcome::Completed(metrics)) => *metrics,
+        Ok(RunOutcome::Halted { next_slot }) => {
+            unreachable!("no halt requested, yet halted before slot {next_slot}")
+        }
+        Err(e) => panic!("durable run failed for cell `{cell}` seed {seed}: {e}"),
+    }
 }
 
 /// Runs a CSV writer against `path`, creating the output directory first.

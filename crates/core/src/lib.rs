@@ -40,6 +40,10 @@
 //! * [`lifecycle`] — reservation release and repair under unforeseen
 //!   failures (extension): [`RepairPolicy`], [`lifecycle::try_repair`],
 //!   [`NetworkState::release_from`];
+//! * [`audit`] — the state-conservation auditor: proves the live state
+//!   equals the fold of its own booking log, reporting structured
+//!   violations (used at slot boundaries under the `strict-audit`
+//!   feature);
 //! * [`baselines`] — SSP, ECARS, ERU and ERA comparison algorithms;
 //! * [`multipath`] — split-on-demand multipath reservations for flows
 //!   beyond single-link capacity (extension);
@@ -84,6 +88,7 @@
 pub mod adaptive;
 pub mod algorithm;
 pub mod analysis;
+pub mod audit;
 pub mod baselines;
 pub mod lifecycle;
 pub mod multipath;
@@ -96,6 +101,7 @@ pub mod state;
 
 pub use adaptive::{AdaptiveCear, AdaptivePolicy};
 pub use algorithm::{AblationFlags, Cear, Decision, RejectReason, RoutingAlgorithm};
+pub use audit::{audit, AuditReport, AuditViolation};
 pub use baselines::{Ecars, Era, Eru, Ssp};
 pub use lifecycle::{repair, try_repair, KnownFailures, RepairOutcome, RepairPolicy};
 pub use multipath::MultipathCear;

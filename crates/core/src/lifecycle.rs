@@ -98,6 +98,18 @@ impl KnownFailures {
     pub fn is_empty(&self) -> bool {
         self.down.is_empty()
     }
+
+    /// Iterates the recorded outages in unspecified order; callers that
+    /// need determinism (the checkpoint writer) must sort.
+    pub fn iter(&self) -> impl Iterator<Item = (SlotIndex, EdgeId)> + '_ {
+        self.down.iter().copied()
+    }
+}
+
+impl FromIterator<(SlotIndex, EdgeId)> for KnownFailures {
+    fn from_iter<I: IntoIterator<Item = (SlotIndex, EdgeId)>>(iter: I) -> Self {
+        KnownFailures { down: iter.into_iter().collect() }
+    }
 }
 
 /// The outcome of a repair attempt.

@@ -58,6 +58,28 @@ impl SlotPath {
         }
         roles
     }
+
+    /// Serializes the path into `w` (part of the journal and checkpoint
+    /// formats; see [`SlotPath::decode`]).
+    pub fn encode(&self, w: &mut sb_wire::Writer) {
+        w.u32(self.slot.0);
+        w.seq(&self.nodes, |w, n| w.u32(n.0));
+        w.seq(&self.edges, |w, e| w.u32(e.0));
+    }
+
+    /// Restores a path written by [`SlotPath::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`sb_wire::WireError`] on truncated input.
+    pub fn decode(r: &mut sb_wire::Reader<'_>) -> Result<Self, sb_wire::WireError> {
+        let slot = SlotIndex(r.u32()?);
+        let n = r.seq_len(4)?;
+        let nodes = (0..n).map(|_| r.u32().map(NodeId)).collect::<Result<_, _>>()?;
+        let n = r.seq_len(4)?;
+        let edges = (0..n).map(|_| r.u32().map(EdgeId)).collect::<Result<_, _>>()?;
+        Ok(SlotPath { slot, nodes, edges })
+    }
 }
 
 /// A complete reservation plan for one request: one [`SlotPath`] per active
@@ -213,6 +235,26 @@ mod tests {
     fn empty_plan() {
         let plan = ReservationPlan { slot_paths: vec![], total_cost: 0.0 };
         assert_eq!(plan.max_hops(), 0);
+    }
+
+    #[test]
+    fn slot_path_encode_decode_roundtrips() {
+        let path = SlotPath {
+            slot: SlotIndex(5),
+            nodes: vec![NodeId(0), NodeId(9), NodeId(3)],
+            edges: vec![EdgeId(4), EdgeId(17)],
+        };
+        let mut w = sb_wire::Writer::new();
+        path.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = sb_wire::Reader::new(&bytes);
+        let back = SlotPath::decode(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(back, path);
+        for cut in 0..bytes.len() {
+            let mut r = sb_wire::Reader::new(&bytes[..cut]);
+            assert!(SlotPath::decode(&mut r).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

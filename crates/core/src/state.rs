@@ -68,13 +68,13 @@ pub struct BookingId(pub usize);
 /// release followed by an identical re-commit restores the state
 /// bit-identically.
 #[derive(Debug, Clone)]
-struct BookingEntry {
+pub(crate) struct BookingEntry {
     /// Aggregated bandwidth demand per cell, sorted by `(slot, edge)` for
     /// deterministic iteration.
-    bw: Vec<(SlotIndex, EdgeId, f64)>,
+    pub(crate) bw: Vec<(SlotIndex, EdgeId, f64)>,
     /// Energy consumptions `(satellite, slot, joules)` in the exact order
     /// they were committed to the ledger.
-    energy: Vec<(usize, usize, f64)>,
+    pub(crate) energy: Vec<(usize, usize, f64)>,
 }
 
 /// The operator's view of the network over the whole horizon.
@@ -155,12 +155,22 @@ impl NetworkState {
     }
 
     /// Bandwidth utilization `λ_e(T) ∈ [0, 1]` (Eq. 8).
+    ///
+    /// Guarded against degenerate capacities: a zero, negative or NaN
+    /// capacity never yields NaN/inf — such an edge reads as fully
+    /// utilized when anything is booked on it (so pricing repels traffic)
+    /// and as idle otherwise.
     pub fn utilization(&self, slot: SlotIndex, edge: EdgeId) -> f64 {
         let cap = self.series.snapshot(slot).edge(edge).capacity_mbps;
-        if cap <= 0.0 {
-            return 1.0;
+        if cap.is_nan() || cap <= 0.0 {
+            return if self.reserved_mbps(slot, edge) > 0.0 { 1.0 } else { 0.0 };
         }
-        (self.reserved_mbps(slot, edge) / cap).clamp(0.0, 1.0)
+        let utilization = self.reserved_mbps(slot, edge) / cap;
+        // A NaN reservation cell maps to 0.0 too (clamp would propagate it).
+        if utilization.is_nan() {
+            return 0.0;
+        }
+        utilization.clamp(0.0, 1.0)
     }
 
     /// The constellation index of a node, when it is a broadband satellite.
@@ -314,6 +324,151 @@ impl NetworkState {
                 }
             }
         }
+
+        // Cheap self-check on every refolded cell (full-state audits live
+        // in `crate::audit` and run at slot boundaries).
+        #[cfg(feature = "strict-audit")]
+        for &(s, e) in &released_cells {
+            let cap = self.series.snapshot(s).edge(e).capacity_mbps;
+            let reserved = self.reserved_mbps[s.index()][e.index()];
+            assert!(
+                reserved >= 0.0 && reserved <= cap + 1e-6,
+                "release_from left {reserved} Mbps reserved on edge {} at {s} (capacity {cap})",
+                e.0
+            );
+        }
+    }
+
+    /// The booking log, for the conservation auditor.
+    pub(crate) fn bookings_log(&self) -> &[BookingEntry] {
+        &self.bookings
+    }
+
+    /// Serializes the mutable state — energy ledger, reserved-bandwidth
+    /// plane, booking log — bit-exactly into `w`. The topology series is
+    /// *not* written: it is deterministic given the scenario and is
+    /// rebuilt by the caller, which keeps snapshots small and lets
+    /// [`NetworkState::decode_snapshot`] cross-check the encoded
+    /// dimensions against the freshly built series.
+    pub fn encode_snapshot(&self, w: &mut sb_wire::Writer) {
+        self.ledger.encode(w);
+        w.usize(self.num_satellites);
+        w.seq(&self.reserved_mbps, |w, row| w.seq(row, |w, v| w.f64(*v)));
+        w.seq(&self.bookings, |w, b| {
+            w.seq(&b.bw, |w, &(s, e, m)| {
+                w.u32(s.0);
+                w.u32(e.0);
+                w.f64(m);
+            });
+            w.seq(&b.energy, |w, &(sat, t, j)| {
+                w.usize(sat);
+                w.usize(t);
+                w.f64(j);
+            });
+        });
+    }
+
+    /// Restores a state written by [`NetworkState::encode_snapshot`] on
+    /// top of a freshly rebuilt topology `series`.
+    ///
+    /// Every encoded dimension is validated against the series — slot
+    /// count, per-slot edge counts, satellite count, and every booking
+    /// coordinate — so a snapshot from a different scenario (or a
+    /// corrupted one) is rejected instead of producing a state that
+    /// panics on first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`sb_wire::WireError`] on truncated input or any
+    /// dimension mismatch.
+    pub fn decode_snapshot(
+        series: TopologySeries,
+        r: &mut sb_wire::Reader<'_>,
+    ) -> Result<Self, sb_wire::WireError> {
+        let invalid = |detail: String| sb_wire::WireError::Invalid { detail };
+        let ledger = EnergyLedger::decode(r)?;
+        let num_satellites = r.usize()?;
+        if ledger.num_satellites() != num_satellites {
+            return Err(invalid(format!(
+                "ledger tracks {} satellites, snapshot header says {num_satellites}",
+                ledger.num_satellites()
+            )));
+        }
+        if ledger.horizon() != series.num_slots() {
+            return Err(invalid(format!(
+                "ledger horizon {} does not match series horizon {}",
+                ledger.horizon(),
+                series.num_slots()
+            )));
+        }
+        let num_slots = r.seq_len(8)?;
+        if num_slots != series.num_slots() {
+            return Err(invalid(format!(
+                "snapshot holds {num_slots} reserved-bandwidth slots, series has {}",
+                series.num_slots()
+            )));
+        }
+        let mut reserved_mbps = Vec::with_capacity(num_slots);
+        for t in 0..num_slots {
+            let edges = series.snapshot(SlotIndex(t as u32)).num_edges();
+            let n = r.seq_len(8)?;
+            if n != edges {
+                return Err(invalid(format!(
+                    "slot {t} holds {n} reserved-bandwidth cells, snapshot has {edges} edges"
+                )));
+            }
+            reserved_mbps.push((0..n).map(|_| r.f64()).collect::<Result<Vec<f64>, _>>()?);
+        }
+        let num_bookings = r.seq_len(16)?;
+        let mut bookings = Vec::with_capacity(num_bookings);
+        for _ in 0..num_bookings {
+            let n_bw = r.seq_len(16)?;
+            let mut bw = Vec::with_capacity(n_bw);
+            for _ in 0..n_bw {
+                let (s, e, m) = (SlotIndex(r.u32()?), EdgeId(r.u32()?), r.f64()?);
+                if s.index() >= num_slots {
+                    return Err(invalid(format!("booking cell at out-of-range {s}")));
+                }
+                if e.index() >= series.snapshot(s).num_edges() {
+                    return Err(invalid(format!(
+                        "booking cell at {s} names edge {}, snapshot has {}",
+                        e.0,
+                        series.snapshot(s).num_edges()
+                    )));
+                }
+                bw.push((s, e, m));
+            }
+            let n_energy = r.seq_len(24)?;
+            let mut energy = Vec::with_capacity(n_energy);
+            for _ in 0..n_energy {
+                let (sat, t, j) = (r.usize()?, r.usize()?, r.f64()?);
+                if sat >= num_satellites || t >= num_slots {
+                    return Err(invalid(format!(
+                        "booking energy names satellite {sat} slot {t}, state has \
+                         {num_satellites} satellites over {num_slots} slots"
+                    )));
+                }
+                energy.push((sat, t, j));
+            }
+            bookings.push(BookingEntry { bw, energy });
+        }
+        let energy_params = *ledger.params();
+        Ok(NetworkState { series, num_satellites, energy_params, ledger, reserved_mbps, bookings })
+    }
+
+    /// Test-only corruption injector: overwrites one reserved-bandwidth
+    /// cell, bypassing the booking log. Exists so the conservation
+    /// auditor's detection paths can be exercised; never call it from
+    /// production code.
+    #[doc(hidden)]
+    pub fn debug_set_reserved(&mut self, slot: SlotIndex, edge: EdgeId, mbps: f64) {
+        self.reserved_mbps[slot.index()][edge.index()] = mbps;
+    }
+
+    /// Test-only mutable ledger access, for injecting ledger corruption.
+    #[doc(hidden)]
+    pub fn debug_ledger_mut(&mut self) -> &mut EnergyLedger {
+        &mut self.ledger
     }
 
     /// Number of links at `slot` whose residual capacity is below
@@ -646,6 +801,170 @@ mod tests {
         assert_eq!(state.last_booking(), Some(BookingId(0)));
         state.try_commit_plan(&req, &plan).unwrap();
         assert_eq!(state.last_booking(), Some(BookingId(1)));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_bit_exactly() {
+        let (mut state, src, dst) = small_state();
+        if let Some(plan) = direct_plan(&state, src, dst, SlotIndex(0)) {
+            let req = request(src, dst, 650.0);
+            state.try_commit_plan(&req, &plan).unwrap();
+            state.try_commit_plan(&req, &plan).unwrap();
+            state.release_from(BookingId(0), SlotIndex(0));
+        }
+        let mut w = sb_wire::Writer::new();
+        state.encode_snapshot(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = sb_wire::Reader::new(&bytes);
+        let back = NetworkState::decode_snapshot(state.series().clone(), &mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_resources_eq(&state, &back);
+        assert_eq!(back.booking_count(), state.booking_count());
+        // The restored state keeps working bit-identically: commit the
+        // same plan into both and compare again.
+        if let Some(plan) = direct_plan(&state, src, dst, SlotIndex(0)) {
+            let req = request(src, dst, 300.0);
+            let mut live = state.clone();
+            let mut restored = back.clone();
+            assert_eq!(
+                live.try_commit_plan(&req, &plan).is_ok(),
+                restored.try_commit_plan(&req, &plan).is_ok()
+            );
+            assert_resources_eq(&live, &restored);
+        }
+        // And it still audits clean.
+        assert!(crate::audit::audit(&back).is_clean());
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_truncation_and_foreign_series() {
+        let (state, _, _) = small_state();
+        let mut w = sb_wire::Writer::new();
+        state.encode_snapshot(&mut w);
+        let bytes = w.into_bytes();
+        // Every truncation point errors instead of panicking. Stride to
+        // keep the test quick (the buffer is tens of kilobytes).
+        for cut in (0..bytes.len()).step_by(97) {
+            let mut r = sb_wire::Reader::new(&bytes[..cut]);
+            assert!(
+                NetworkState::decode_snapshot(state.series().clone(), &mut r).is_err(),
+                "cut at {cut}"
+            );
+        }
+        // A series with a different horizon is rejected by dimension
+        // checks, not a panic.
+        let shell = WalkerConstellation::delta(12, 12, 1, 550e3, 53f64.to_radians());
+        let nodes = NetworkNodes::from_walker(&shell);
+        let cfg = TopologyConfig::default();
+        let foreign = TopologySeries::build(&nodes, &cfg, 2, 60.0);
+        let mut r = sb_wire::Reader::new(&bytes);
+        assert!(NetworkState::decode_snapshot(foreign, &mut r).is_err());
+    }
+
+    #[test]
+    fn random_admit_release_sequences_keep_the_auditor_green() {
+        // Satellite task: whatever interleaving of commits and (partial)
+        // releases happens, the state stays exactly the fold of its own
+        // booking log. Uses the same seeded-LCG plan generator as the
+        // atomicity property test.
+        let (mut state, src, dst) = small_state();
+        let mut live: Vec<BookingId> = Vec::new();
+        let mut rng: u64 = 0x5eed;
+        let mut next = move || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (rng >> 33) as usize
+        };
+        let mut committed = 0;
+        let mut released = 0;
+        for round in 0..120u64 {
+            if !live.is_empty() && next() % 3 == 0 {
+                // Release a random booking from a random slot onward.
+                let id = live.swap_remove(next() % live.len());
+                let from = SlotIndex((next() % state.horizon()) as u32);
+                state.release_from(id, from);
+                released += 1;
+            } else if let Some(plan) = random_plan(&state, src, dst, round.wrapping_mul(7919)) {
+                let req = request(src, dst, 800.0 + (round % 5) as f64 * 250.0);
+                if state.try_commit_plan(&req, &plan).is_ok() {
+                    live.push(state.last_booking().unwrap());
+                    committed += 1;
+                }
+            }
+            if round % 10 == 0 {
+                let report = crate::audit::audit(&state);
+                assert!(report.is_clean(), "round {round}: {report}");
+            }
+        }
+        let report = crate::audit::audit(&state);
+        assert!(report.is_clean(), "final: {report}");
+        assert!(committed > 0 && released > 0, "sequence must exercise both paths");
+    }
+
+    #[test]
+    fn release_recommit_restores_exact_residuals() {
+        // Satellite task: residual_mbps (what admission decisions read)
+        // is restored bit-exactly by release + identical re-commit, for
+        // every cell the booking touched.
+        let (mut state, src, dst) = small_state();
+        let Some(plan) = direct_plan(&state, src, dst, SlotIndex(0)) else { return };
+        let req = request(src, dst, 1200.0);
+        state.try_commit_plan(&req, &plan).unwrap();
+        let cells: Vec<(SlotIndex, EdgeId)> =
+            plan.slot_paths.iter().flat_map(|sp| sp.edges.iter().map(|&e| (sp.slot, e))).collect();
+        let before: Vec<u64> =
+            cells.iter().map(|&(s, e)| state.residual_mbps(s, e).to_bits()).collect();
+
+        let id = state.last_booking().unwrap();
+        state.release_from(id, SlotIndex(0));
+        state.try_commit_plan(&req, &plan).unwrap();
+        let after: Vec<u64> =
+            cells.iter().map(|&(s, e)| state.residual_mbps(s, e).to_bits()).collect();
+        assert_eq!(before, after, "residuals differ after release + re-commit");
+    }
+
+    /// One-slot state whose only edge has the given capacity.
+    fn degenerate_state(capacity_mbps: f64) -> NetworkState {
+        use sb_geo::coords::Eci;
+        use sb_geo::Vec3;
+        use sb_topology::graph::{Edge, LinkType, TopologySnapshot};
+        use sb_topology::NodeKind;
+        let kinds = vec![NodeKind::GroundUser(0), NodeKind::Satellite(0)];
+        let edges = vec![Edge {
+            src: NodeId(0),
+            dst: NodeId(1),
+            link_type: LinkType::Usl,
+            capacity_mbps,
+            length_m: 1.0e6,
+        }];
+        let snap = TopologySnapshot::from_edges(
+            SlotIndex(0),
+            kinds,
+            vec![Eci(Vec3::ZERO); 2],
+            vec![true; 2],
+            edges,
+        );
+        let series = TopologySeries::from_snapshots(vec![snap], 60.0);
+        NetworkState::new(series, &EnergyParams::default())
+    }
+
+    #[test]
+    fn utilization_guards_degenerate_capacity() {
+        // Zero/negative/NaN capacity must never leak NaN or inf out of
+        // utilization, whatever the reservation cell holds.
+        let (slot, edge) = (SlotIndex(0), EdgeId(0));
+        for cap in [0.0, -10.0, f64::NAN] {
+            let mut state = degenerate_state(cap);
+            assert_eq!(state.utilization(slot, edge), 0.0, "cap={cap}: idle");
+            state.debug_set_reserved(slot, edge, 250.0);
+            assert_eq!(state.utilization(slot, edge), 1.0, "cap={cap}: loaded");
+        }
+        // A NaN reservation over a healthy capacity reads as idle, not NaN.
+        let mut state = degenerate_state(1000.0);
+        state.debug_set_reserved(slot, edge, f64::NAN);
+        assert_eq!(state.utilization(slot, edge), 0.0);
+        // Healthy cells are unaffected by the guard.
+        state.debug_set_reserved(slot, edge, 250.0);
+        assert_eq!(state.utilization(slot, edge), 0.25);
     }
 
     #[test]

@@ -117,6 +117,50 @@ impl Request {
         self.active_slots().map(|t| self.rate_at(t) * slot_duration_s).sum()
     }
 
+    /// Serializes the request bit-exactly into `w` (part of the journal
+    /// and checkpoint formats; see [`Request::decode`]).
+    pub fn encode(&self, w: &mut sb_wire::Writer) {
+        w.u32(self.id.0);
+        w.u32(self.source.0);
+        w.u32(self.destination.0);
+        match &self.rate {
+            RateProfile::Constant(rate) => {
+                w.u8(0);
+                w.f64(*rate);
+            }
+            RateProfile::PerSlot(rates) => {
+                w.u8(1);
+                w.seq(rates, |w, rate| w.f64(*rate));
+            }
+        }
+        w.u32(self.start.0);
+        w.u32(self.end.0);
+        w.f64(self.valuation);
+    }
+
+    /// Restores a request written by [`Request::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`sb_wire::WireError`] on truncated or malformed input.
+    pub fn decode(r: &mut sb_wire::Reader<'_>) -> Result<Self, sb_wire::WireError> {
+        let id = RequestId(r.u32()?);
+        let source = NodeId(r.u32()?);
+        let destination = NodeId(r.u32()?);
+        let rate = match r.u8()? {
+            0 => RateProfile::Constant(r.f64()?),
+            1 => {
+                let n = r.seq_len(8)?;
+                RateProfile::PerSlot((0..n).map(|_| r.f64()).collect::<Result<_, _>>()?)
+            }
+            tag => return Err(sb_wire::WireError::BadTag { tag, context: "RateProfile" }),
+        };
+        let start = SlotIndex(r.u32()?);
+        let end = SlotIndex(r.u32()?);
+        let valuation = r.f64()?;
+        Ok(Request { id, source, destination, rate, start, end, valuation })
+    }
+
     /// The unserved tail of the request from slot `from` on: same
     /// endpoints, valuation and end slot, but starting at
     /// `max(from, start)`, with the rate profile re-based so that
@@ -233,5 +277,36 @@ mod tests {
     #[should_panic(expected = "empty per-slot")]
     fn empty_per_slot_profile_panics() {
         let _ = RateProfile::PerSlot(vec![]).rate_at_offset(0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrips() {
+        for rate in [RateProfile::Constant(812.5), RateProfile::PerSlot(vec![100.0, 250.25, 300.0])]
+        {
+            let mut r = req();
+            r.rate = rate;
+            let mut w = sb_wire::Writer::new();
+            r.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut reader = sb_wire::Reader::new(&bytes);
+            let back = Request::decode(&mut reader).unwrap();
+            assert!(reader.is_exhausted());
+            assert_eq!(back, r);
+            // Truncations error, never panic.
+            for cut in 0..bytes.len() {
+                let mut reader = sb_wire::Reader::new(&bytes[..cut]);
+                assert!(Request::decode(&mut reader).is_err(), "cut at {cut}");
+            }
+        }
+        // An unknown rate-profile tag is rejected.
+        let mut w = sb_wire::Writer::new();
+        req().encode(&mut w);
+        let mut bytes = w.into_bytes();
+        bytes[12] = 7; // the tag byte follows id/source/destination
+        let mut reader = sb_wire::Reader::new(&bytes);
+        assert!(matches!(
+            Request::decode(&mut reader),
+            Err(sb_wire::WireError::BadTag { tag: 7, .. })
+        ));
     }
 }

@@ -26,9 +26,10 @@
 //! Identical inputs give bit-identical outputs — the error bars in the
 //! figures come solely from varying the seed.
 
+use crate::journal::{JournalRecord, RepairEvent};
 use crate::metrics::RunMetrics;
 use crate::outage::FailureOracle;
-use crate::scenario::ScenarioConfig;
+use crate::scenario::{ScenarioConfig, UnforeseenFailures};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sb_cear::{
@@ -40,6 +41,7 @@ use sb_demand::Request;
 use sb_orbit::walker::WalkerConstellation;
 use sb_topology::ground::GroundGrid;
 use sb_topology::{NetworkNodes, NodeId, SlotIndex, TopologySeries};
+use sb_wire::{Reader, WireError, Writer};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -220,6 +222,45 @@ struct ActiveBooking {
     interrupted: bool,
 }
 
+impl ActiveBooking {
+    fn encode(&self, w: &mut Writer) {
+        self.request.encode(w);
+        w.f64(self.paid);
+        w.seq(&self.ids, |w, id| w.usize(id.0));
+        w.seq(&self.slot_paths, |w, sp| sp.encode(w));
+        match self.pending_since {
+            None => w.bool(false),
+            Some(s) => {
+                w.bool(true);
+                w.u32(s.0);
+            }
+        }
+        w.u32(self.missed_slots);
+        w.bool(self.dropped);
+        w.bool(self.interrupted);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let request = Request::decode(r)?;
+        let paid = r.f64()?;
+        let n = r.seq_len(8)?;
+        let ids = (0..n).map(|_| r.usize().map(BookingId)).collect::<Result<_, _>>()?;
+        let n = r.seq_len(20)?; // SlotPath is ≥ 20 bytes.
+        let slot_paths = (0..n).map(|_| SlotPath::decode(r)).collect::<Result<_, _>>()?;
+        let pending_since = if r.bool()? { Some(SlotIndex(r.u32()?)) } else { None };
+        Ok(ActiveBooking {
+            request,
+            paid,
+            ids,
+            slot_paths,
+            pending_since,
+            missed_slots: r.u32()?,
+            dropped: r.bool()?,
+            interrupted: r.bool()?,
+        })
+    }
+}
+
 /// The mutable bookkeeping of one run: counters, the §III-B retry queue
 /// and the active-booking table.
 struct Tally {
@@ -242,6 +283,10 @@ struct Tally {
     repairs_succeeded: usize,
     repair_latency_sum: u64,
     repair_revenue: f64,
+    /// When set, every decision pushes a [`JournalRecord`] onto
+    /// [`Tally::events`] for the durable driver to persist or verify.
+    record: bool,
+    events: Vec<JournalRecord>,
 }
 
 impl Tally {
@@ -261,15 +306,87 @@ impl Tally {
             repairs_succeeded: 0,
             repair_latency_sum: 0,
             repair_revenue: 0.0,
+            record: false,
+            events: Vec::new(),
         }
     }
 
+    /// Serializes the tally's durable state; the transient recording
+    /// buffer is not part of a checkpoint.
+    fn encode(&self, w: &mut Writer) {
+        w.f64(self.welfare);
+        w.f64(self.revenue);
+        w.usize(self.accepted);
+        w.usize(self.accepted_after_retry);
+        w.usize(self.no_path);
+        w.usize(self.by_price);
+        w.usize(self.at_commit);
+        w.seq(&self.accepted_value_by_slot, |w, v| w.f64(*v));
+        w.usize(self.retries.len());
+        for (due, orig, left, request) in &self.retries {
+            w.u32(*due);
+            w.usize(*orig);
+            w.u32(*left);
+            request.encode(w);
+        }
+        w.usize(self.bookings.len());
+        for booking in &self.bookings {
+            booking.encode(w);
+        }
+        w.usize(self.repair_attempts);
+        w.usize(self.repairs_succeeded);
+        w.u64(self.repair_latency_sum);
+        w.f64(self.repair_revenue);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let welfare = r.f64()?;
+        let revenue = r.f64()?;
+        let accepted = r.usize()?;
+        let accepted_after_retry = r.usize()?;
+        let no_path = r.usize()?;
+        let by_price = r.usize()?;
+        let at_commit = r.usize()?;
+        let n = r.seq_len(8)?;
+        let accepted_value_by_slot = (0..n).map(|_| r.f64()).collect::<Result<Vec<_>, _>>()?;
+        let n = r.seq_len(16)?; // retry entries are ≥ 16 bytes
+        let mut retries = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let due = r.u32()?;
+            let orig = r.usize()?;
+            let left = r.u32()?;
+            retries.push_back((due, orig, left, Request::decode(r)?));
+        }
+        let n = r.seq_len(32)?; // bookings are ≥ 32 bytes
+        let bookings = (0..n).map(|_| ActiveBooking::decode(r)).collect::<Result<Vec<_>, _>>()?;
+        Ok(Tally {
+            welfare,
+            revenue,
+            accepted,
+            accepted_after_retry,
+            no_path,
+            by_price,
+            at_commit,
+            accepted_value_by_slot,
+            retries,
+            bookings,
+            repair_attempts: r.usize()?,
+            repairs_succeeded: r.usize()?,
+            repair_latency_sum: r.u64()?,
+            repair_revenue: r.f64()?,
+            record: false,
+            events: Vec::new(),
+        })
+    }
+
     /// Admits or rejects one request (arrival or retry), updating the
-    /// counters and the booking table. Welfare attributes to the *original*
-    /// arrival slot.
+    /// counters and the booking table. `now` is the slot the decision is
+    /// made in; welfare attributes to the *original* arrival slot.
+    #[allow(clippy::too_many_arguments)]
     fn handle(
         &mut self,
         request: &Request,
+        now: usize,
         original_arrival: usize,
         attempts_left: u32,
         algorithm: &mut dyn RoutingAlgorithm,
@@ -279,6 +396,16 @@ impl Tally {
         let ids_before = state.booking_count();
         match algorithm.process(request, state) {
             Decision::Accepted { plan, price } => {
+                if self.record {
+                    self.events.push(JournalRecord::Admission {
+                        slot: now as u32,
+                        original_arrival: original_arrival as u32,
+                        attempts_left,
+                        request: request.clone(),
+                        price,
+                        slot_paths: plan.slot_paths.clone(),
+                    });
+                }
                 self.welfare += request.valuation;
                 self.revenue += price;
                 self.accepted += 1;
@@ -298,6 +425,15 @@ impl Tally {
                 });
             }
             Decision::Rejected { reason } => {
+                if self.record {
+                    self.events.push(JournalRecord::Rejection {
+                        slot: now as u32,
+                        original_arrival: original_arrival as u32,
+                        attempts_left,
+                        request_id: request.id.0,
+                        reason,
+                    });
+                }
                 match reason {
                     RejectReason::NoFeasiblePath => self.no_path += 1,
                     RejectReason::PriceAboveValuation => self.by_price += 1,
@@ -337,7 +473,7 @@ impl Tally {
     ) {
         while self.retries.front().is_some_and(|&(due, ..)| due as usize <= t) {
             let (_, orig, left, retried) = self.retries.pop_front().unwrap();
-            self.handle(&retried, orig, left, algorithm, state, scenario);
+            self.handle(&retried, t, orig, left, algorithm, state, scenario);
         }
     }
 
@@ -396,6 +532,19 @@ impl Tally {
         now: SlotIndex,
         broke: SlotIndex,
     ) {
+        if self.record {
+            self.events.push(JournalRecord::Repair {
+                slot: now.0,
+                booking_index: i as u32,
+                outcome: match &outcome {
+                    RepairOutcome::Dropped => RepairEvent::Dropped,
+                    RepairOutcome::Repaired { price, .. } => {
+                        RepairEvent::Repaired { price: *price }
+                    }
+                    RepairOutcome::Pending { .. } => RepairEvent::Pending,
+                },
+            });
+        }
         let b = &mut self.bookings[i];
         match outcome {
             RepairOutcome::Dropped => {
@@ -421,6 +570,361 @@ impl Tally {
     }
 }
 
+/// A stable digest of everything that determines a run: the full scenario
+/// and algorithm configurations (via their `Debug` forms, which list every
+/// field) and the seed. The engine is deterministic, so two runs with
+/// equal digests produce bit-identical journals, checkpoints and metrics —
+/// and a checkpoint or journal carrying a *different* digest must never be
+/// resumed into this run.
+pub fn run_digest(scenario: &ScenarioConfig, kind: &AlgorithmKind, seed: u64) -> u64 {
+    let mut w = Writer::new();
+    w.str(&format!("{scenario:?}"));
+    w.str(&format!("{kind:?}"));
+    w.u64(seed);
+    sb_wire::checksum(&w.into_bytes())
+}
+
+/// The resumable core of one run: all the mutable state
+/// [`run_with_algorithm`] tracks, behind a slot-stepped interface so the
+/// durable driver ([`crate::durable::run_durable`]) can journal events,
+/// checkpoint between slots and resume later.
+///
+/// Checkpoints capture only the *dynamic* state (network, tally, oracle,
+/// timing); the static inputs — scenario, prepared topology, workload —
+/// are re-supplied on restore and guarded by [`run_digest`].
+pub struct EngineCore {
+    scenario: ScenarioConfig,
+    unforeseen: Option<UnforeseenFailures>,
+    state: NetworkState,
+    tally: Tally,
+    oracle: Option<FailureOracle>,
+    /// Arrivals grouped by (clamped) start slot, preserving workload
+    /// order within each slot.
+    arrivals_by_slot: Vec<Vec<Request>>,
+    total_value_by_slot: Vec<f64>,
+    initial_attempts: u32,
+    next_slot: usize,
+    total_requests: usize,
+    total_valuation: f64,
+    seed: u64,
+    /// Wall-clock milliseconds accumulated across sessions (a resumed run
+    /// reports the total, not just the final session).
+    elapsed_ms: u64,
+}
+
+impl EngineCore {
+    /// A fresh core at slot 0.
+    pub fn new(
+        scenario: &ScenarioConfig,
+        prepared: &PreparedNetwork,
+        requests: &[Request],
+        seed: u64,
+    ) -> Self {
+        let horizon = scenario.horizon_slots;
+        let mut arrivals_by_slot: Vec<Vec<Request>> = vec![Vec::new(); horizon];
+        for request in requests {
+            arrivals_by_slot[request.start.index().min(horizon - 1)].push(request.clone());
+        }
+        let unforeseen = scenario.unforeseen.filter(|u| !u.model.is_trivial());
+        EngineCore {
+            scenario: scenario.clone(),
+            unforeseen,
+            state: NetworkState::new(prepared.series.clone(), &scenario.energy),
+            tally: Tally::new(horizon),
+            oracle: unforeseen.map(|u| FailureOracle::new(u.model)),
+            arrivals_by_slot,
+            total_value_by_slot: vec![0.0; horizon],
+            initial_attempts: scenario.retry.map_or(0, |r| r.max_attempts),
+            next_slot: 0,
+            total_requests: requests.len(),
+            total_valuation: requests.iter().map(|r| r.valuation).sum(),
+            seed,
+            elapsed_ms: 0,
+        }
+    }
+
+    /// The next slot [`EngineCore::step_slot`] will execute.
+    pub fn next_slot(&self) -> usize {
+        self.next_slot
+    }
+
+    /// Whether every slot of the horizon has been executed (the final
+    /// retry drain may still be pending; see [`EngineCore::drain_final`]).
+    pub fn is_complete(&self) -> bool {
+        self.next_slot >= self.scenario.horizon_slots
+    }
+
+    /// The network state, for audits and inspection.
+    pub fn state(&self) -> &NetworkState {
+        &self.state
+    }
+
+    /// Turns journal-event recording on or off. Off by default; recording
+    /// changes nothing about the decisions, only collects them.
+    pub fn set_recording(&mut self, on: bool) {
+        self.tally.record = on;
+    }
+
+    /// Drains the events recorded since the last call.
+    pub fn take_events(&mut self) -> Vec<JournalRecord> {
+        std::mem::take(&mut self.tally.events)
+    }
+
+    /// Runs the conservation auditor over the current network state.
+    pub fn audit(&self) -> sb_cear::AuditReport {
+        sb_cear::audit(&self.state)
+    }
+
+    /// Executes one slot: due retries, this slot's arrivals (interleaved
+    /// exactly as the request-ordered loop would — a zero-delay retry
+    /// pushed mid-slot re-enters before the next same-slot arrival), then
+    /// the failure-discovery and repair boundary pass when the scenario
+    /// configures unforeseen failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called after the horizon is complete.
+    pub fn step_slot(&mut self, algorithm: &mut dyn RoutingAlgorithm) {
+        assert!(!self.is_complete(), "stepping past the horizon");
+        let started = std::time::Instant::now();
+        let t = self.next_slot;
+        let slot = SlotIndex(t as u32);
+        if self.tally.record {
+            self.tally.events.push(JournalRecord::SlotStart { slot: slot.0 });
+        }
+        self.tally.drain_due_retries(t, algorithm, &mut self.state, &self.scenario);
+        for i in 0..self.arrivals_by_slot[t].len() {
+            let request = self.arrivals_by_slot[t][i].clone();
+            self.tally.drain_due_retries(t, algorithm, &mut self.state, &self.scenario);
+            self.total_value_by_slot[t] += request.valuation;
+            self.tally.handle(
+                &request,
+                t,
+                t,
+                self.initial_attempts,
+                algorithm,
+                &mut self.state,
+                &self.scenario,
+            );
+        }
+        // Unforeseen failures strike during the slot; the operator detects
+        // broken plans and reacts at the boundary — admission never saw
+        // the outage coming.
+        if let (Some(u), Some(oracle)) = (self.unforeseen, self.oracle.as_mut()) {
+            let down = oracle.advance(self.state.series().snapshot(slot));
+            if self.tally.record {
+                let edges = down.iter().map(|e| e.0).collect();
+                self.tally.events.push(JournalRecord::FailureDraw { slot: slot.0, edges });
+            }
+            self.tally.slot_boundary(slot, u.policy, oracle.known(), algorithm, &mut self.state);
+        }
+        self.next_slot += 1;
+        if self.tally.record {
+            self.tally.events.push(JournalRecord::SlotEnd { slot: slot.0 });
+        }
+        self.elapsed_ms += started.elapsed().as_millis() as u64;
+    }
+
+    /// Admits or rejects the retries still queued once the horizon is
+    /// done (pushed by the very last slot's decisions). Their journal
+    /// events carry `slot = horizon`.
+    pub fn drain_final(&mut self, algorithm: &mut dyn RoutingAlgorithm) {
+        let started = std::time::Instant::now();
+        let horizon = self.scenario.horizon_slots;
+        while let Some((_, orig, left, retried)) = self.tally.retries.pop_front() {
+            self.tally.handle(
+                &retried,
+                horizon,
+                orig,
+                left,
+                algorithm,
+                &mut self.state,
+                &self.scenario,
+            );
+        }
+        self.elapsed_ms += started.elapsed().as_millis() as u64;
+    }
+
+    /// Computes the run's metrics. Call after the horizon is complete and
+    /// [`EngineCore::drain_final`] has run.
+    pub fn finalize(self, algorithm: &dyn RoutingAlgorithm) -> RunMetrics {
+        let EngineCore {
+            scenario,
+            state,
+            tally,
+            total_value_by_slot,
+            total_valuation,
+            total_requests,
+            seed,
+            elapsed_ms,
+            ..
+        } = self;
+        let horizon = scenario.horizon_slots;
+        let mut welfare_ratio_over_time = Vec::with_capacity(horizon);
+        let (mut cum_acc, mut cum_tot) = (0.0, 0.0);
+        for (acc, tot) in tally.accepted_value_by_slot.iter().zip(&total_value_by_slot) {
+            cum_acc += acc;
+            cum_tot += tot;
+            welfare_ratio_over_time.push(if cum_tot > 0.0 { cum_acc / cum_tot } else { 1.0 });
+        }
+
+        // Delivered-vs-booked accounting, pro-rata on served slots. With no
+        // unforeseen failures every booking has zero missed slots, the served
+        // fraction is exactly 1.0 and `delivered_welfare` reproduces `welfare`
+        // bit-for-bit (same additions in the same order).
+        let mut delivered_welfare = 0.0;
+        let mut interrupted_requests = 0usize;
+        let mut sla_violations = 0usize;
+        let mut refunded_revenue = 0.0;
+        for b in &tally.bookings {
+            let duration = b.request.end.0 - b.request.start.0 + 1;
+            let missed = b.missed_slots.min(duration);
+            let served_frac = f64::from(duration - missed) / f64::from(duration);
+            delivered_welfare += b.request.valuation * served_frac;
+            if b.interrupted {
+                interrupted_requests += 1;
+            }
+            if missed > 0 {
+                sla_violations += 1;
+                refunded_revenue += b.paid * f64::from(missed) / f64::from(duration);
+            }
+        }
+
+        let depleted_satellites_over_time = (0..horizon)
+            .map(|t| {
+                state
+                    .depleted_satellite_count(SlotIndex(t as u32), scenario.depleted_threshold_frac)
+            })
+            .collect();
+        let congested_links_over_time = (0..horizon)
+            .map(|t| {
+                state.congested_link_count(SlotIndex(t as u32), scenario.congested_threshold_frac)
+            })
+            .collect();
+
+        RunMetrics {
+            algorithm: algorithm.name().to_owned(),
+            scenario: scenario.name.clone(),
+            seed,
+            total_requests,
+            accepted_requests: tally.accepted,
+            accepted_after_retry: tally.accepted_after_retry,
+            total_valuation,
+            welfare: tally.welfare,
+            social_welfare_ratio: if total_valuation > 0.0 {
+                tally.welfare / total_valuation
+            } else {
+                1.0
+            },
+            revenue: tally.revenue,
+            depleted_satellites_over_time,
+            congested_links_over_time,
+            welfare_ratio_over_time,
+            rejected_no_path: tally.no_path,
+            rejected_by_price: tally.by_price,
+            rejected_at_commit: tally.at_commit,
+            delivered_welfare,
+            delivered_welfare_ratio: if total_valuation > 0.0 {
+                delivered_welfare / total_valuation
+            } else {
+                1.0
+            },
+            interrupted_requests,
+            sla_violations,
+            repair_attempts: tally.repair_attempts,
+            repairs_succeeded: tally.repairs_succeeded,
+            mean_repair_latency_slots: if tally.repairs_succeeded > 0 {
+                tally.repair_latency_sum as f64 / tally.repairs_succeeded as f64
+            } else {
+                0.0
+            },
+            refunded_revenue,
+            repair_revenue: tally.repair_revenue,
+            battery_wear: sb_energy::fleet_wear(state.ledger()),
+            processing_ms: u128::from(elapsed_ms),
+        }
+    }
+
+    /// Serializes the dynamic state for a checkpoint.
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        w.usize(self.next_slot);
+        w.u64(self.elapsed_ms);
+        self.state.encode_snapshot(w);
+        self.tally.encode(w);
+        w.seq(&self.total_value_by_slot, |w, v| w.f64(*v));
+        match &self.oracle {
+            None => w.bool(false),
+            Some(oracle) => {
+                w.bool(true);
+                oracle.encode(w);
+            }
+        }
+    }
+
+    /// Restores a core from a checkpoint payload, re-deriving everything
+    /// static from the same inputs [`EngineCore::new`] takes. Every
+    /// decoded index is validated against the rebuilt static state so a
+    /// corrupt payload fails loudly instead of corrupting the run.
+    pub(crate) fn decode(
+        scenario: &ScenarioConfig,
+        prepared: &PreparedNetwork,
+        requests: &[Request],
+        seed: u64,
+        r: &mut Reader<'_>,
+    ) -> Result<Self, WireError> {
+        let mut core = EngineCore::new(scenario, prepared, requests, seed);
+        core.next_slot = r.usize()?;
+        if core.next_slot > scenario.horizon_slots {
+            return Err(WireError::Invalid {
+                detail: format!(
+                    "checkpoint slot {} past the horizon {}",
+                    core.next_slot, scenario.horizon_slots
+                ),
+            });
+        }
+        core.elapsed_ms = r.u64()?;
+        core.state = NetworkState::decode_snapshot(prepared.series.clone(), r)?;
+        core.tally = Tally::decode(r)?;
+        if core.tally.accepted_value_by_slot.len() != scenario.horizon_slots {
+            return Err(WireError::Invalid {
+                detail: "tally slot-value series does not match the horizon".into(),
+            });
+        }
+        for booking in &core.tally.bookings {
+            for id in &booking.ids {
+                if id.0 >= core.state.booking_count() {
+                    return Err(WireError::Invalid {
+                        detail: format!("active booking references unknown booking id {}", id.0),
+                    });
+                }
+            }
+        }
+        let n = r.seq_len(8)?;
+        if n != scenario.horizon_slots {
+            return Err(WireError::Invalid {
+                detail: "slot-value series does not match the horizon".into(),
+            });
+        }
+        core.total_value_by_slot = (0..n).map(|_| r.f64()).collect::<Result<Vec<_>, _>>()?;
+        core.oracle = if r.bool()? {
+            let model = core.unforeseen.map(|u| u.model).ok_or_else(|| WireError::Invalid {
+                detail: "checkpoint has a failure oracle but the scenario has no unforeseen \
+                         failures"
+                    .into(),
+            })?;
+            Some(FailureOracle::decode(model, r)?)
+        } else {
+            if core.unforeseen.is_some() {
+                return Err(WireError::Invalid {
+                    detail: "checkpoint lacks the failure oracle the scenario requires".into(),
+                });
+            }
+            None
+        };
+        Ok(core)
+    }
+}
+
 /// Like [`run_prepared`] but with a caller-supplied algorithm instance —
 /// for stateful algorithms outside the [`AlgorithmKind`] enum (e.g.
 /// [`sb_cear::AdaptiveCear`]).
@@ -431,131 +935,12 @@ pub fn run_with_algorithm(
     algorithm: &mut dyn RoutingAlgorithm,
     seed: u64,
 ) -> RunMetrics {
-    let mut state = NetworkState::new(prepared.series.clone(), &scenario.energy);
-    let horizon = scenario.horizon_slots;
-
-    let unforeseen = scenario.unforeseen.filter(|u| !u.model.is_trivial());
-    let mut oracle = unforeseen.map(|u| FailureOracle::new(u.model));
-
-    // Arrivals grouped by (clamped) start slot, preserving workload order
-    // within each slot.
-    let mut arrivals_by_slot: Vec<Vec<&Request>> = vec![Vec::new(); horizon];
-    for request in requests {
-        arrivals_by_slot[request.start.index().min(horizon - 1)].push(request);
+    let mut core = EngineCore::new(scenario, prepared, requests, seed);
+    while !core.is_complete() {
+        core.step_slot(algorithm);
     }
-
-    let start = std::time::Instant::now();
-    let mut tally = Tally::new(horizon);
-    let mut total_value_by_slot = vec![0.0; horizon];
-    let initial_attempts = scenario.retry.map_or(0, |r| r.max_attempts);
-
-    for t in 0..horizon {
-        let slot = SlotIndex(t as u32);
-        // Retries that came due since the last processed slot, then this
-        // slot's arrivals — interleaved exactly as the request-ordered
-        // loop would have (a zero-delay retry pushed mid-slot re-enters
-        // before the next same-slot arrival).
-        tally.drain_due_retries(t, algorithm, &mut state, scenario);
-        for request in &arrivals_by_slot[t] {
-            tally.drain_due_retries(t, algorithm, &mut state, scenario);
-            total_value_by_slot[t] += request.valuation;
-            tally.handle(request, t, initial_attempts, algorithm, &mut state, scenario);
-        }
-        // Unforeseen failures strike during the slot; the operator detects
-        // broken plans and reacts at the boundary — admission never saw
-        // the outage coming.
-        if let (Some(u), Some(oracle)) = (unforeseen, oracle.as_mut()) {
-            let _ = oracle.advance(state.series().snapshot(slot));
-            tally.slot_boundary(slot, u.policy, oracle.known(), algorithm, &mut state);
-        }
-    }
-    // Retries pushed by the very last slot's decisions.
-    while let Some((_, orig, left, retried)) = tally.retries.pop_front() {
-        tally.handle(&retried, orig, left, algorithm, &mut state, scenario);
-    }
-    let processing_ms = start.elapsed().as_millis();
-
-    let total_valuation: f64 = requests.iter().map(|r| r.valuation).sum();
-    let mut welfare_ratio_over_time = Vec::with_capacity(horizon);
-    let (mut cum_acc, mut cum_tot) = (0.0, 0.0);
-    for (acc, tot) in tally.accepted_value_by_slot.iter().zip(&total_value_by_slot) {
-        cum_acc += acc;
-        cum_tot += tot;
-        welfare_ratio_over_time.push(if cum_tot > 0.0 { cum_acc / cum_tot } else { 1.0 });
-    }
-
-    // Delivered-vs-booked accounting, pro-rata on served slots. With no
-    // unforeseen failures every booking has zero missed slots, the served
-    // fraction is exactly 1.0 and `delivered_welfare` reproduces `welfare`
-    // bit-for-bit (same additions in the same order).
-    let mut delivered_welfare = 0.0;
-    let mut interrupted_requests = 0usize;
-    let mut sla_violations = 0usize;
-    let mut refunded_revenue = 0.0;
-    for b in &tally.bookings {
-        let duration = b.request.end.0 - b.request.start.0 + 1;
-        let missed = b.missed_slots.min(duration);
-        let served_frac = f64::from(duration - missed) / f64::from(duration);
-        delivered_welfare += b.request.valuation * served_frac;
-        if b.interrupted {
-            interrupted_requests += 1;
-        }
-        if missed > 0 {
-            sla_violations += 1;
-            refunded_revenue += b.paid * f64::from(missed) / f64::from(duration);
-        }
-    }
-
-    let depleted_satellites_over_time = (0..horizon)
-        .map(|t| {
-            state.depleted_satellite_count(SlotIndex(t as u32), scenario.depleted_threshold_frac)
-        })
-        .collect();
-    let congested_links_over_time = (0..horizon)
-        .map(|t| state.congested_link_count(SlotIndex(t as u32), scenario.congested_threshold_frac))
-        .collect();
-
-    RunMetrics {
-        algorithm: algorithm.name().to_owned(),
-        scenario: scenario.name.clone(),
-        seed,
-        total_requests: requests.len(),
-        accepted_requests: tally.accepted,
-        accepted_after_retry: tally.accepted_after_retry,
-        total_valuation,
-        welfare: tally.welfare,
-        social_welfare_ratio: if total_valuation > 0.0 {
-            tally.welfare / total_valuation
-        } else {
-            1.0
-        },
-        revenue: tally.revenue,
-        depleted_satellites_over_time,
-        congested_links_over_time,
-        welfare_ratio_over_time,
-        rejected_no_path: tally.no_path,
-        rejected_by_price: tally.by_price,
-        rejected_at_commit: tally.at_commit,
-        delivered_welfare,
-        delivered_welfare_ratio: if total_valuation > 0.0 {
-            delivered_welfare / total_valuation
-        } else {
-            1.0
-        },
-        interrupted_requests,
-        sla_violations,
-        repair_attempts: tally.repair_attempts,
-        repairs_succeeded: tally.repairs_succeeded,
-        mean_repair_latency_slots: if tally.repairs_succeeded > 0 {
-            tally.repair_latency_sum as f64 / tally.repairs_succeeded as f64
-        } else {
-            0.0
-        },
-        refunded_revenue,
-        repair_revenue: tally.repair_revenue,
-        battery_wear: sb_energy::fleet_wear(state.ledger()),
-        processing_ms,
-    }
+    core.drain_final(algorithm);
+    core.finalize(&*algorithm)
 }
 
 /// Convenience: prepare, generate and run in one call.
@@ -708,5 +1093,50 @@ mod tests {
         assert!(m.sla_violations <= m.accepted_requests);
         assert!(m.mean_repair_latency_slots >= 0.0);
         assert!(m.refunded_revenue >= 0.0 && m.repair_revenue >= 0.0);
+    }
+
+    /// Steps `scenario` one slot at a time and runs the conservation
+    /// auditor at every boundary.
+    fn audit_every_boundary(scenario: &ScenarioConfig, kind: &AlgorithmKind, seed: u64) {
+        let prepared = prepare(scenario, seed);
+        let requests = workload(scenario, &prepared, seed);
+        let mut algorithm = kind.instantiate();
+        let mut core = EngineCore::new(scenario, &prepared, &requests, seed);
+        while !core.is_complete() {
+            core.step_slot(algorithm.as_mut());
+            let report = core.audit();
+            assert!(
+                report.is_clean(),
+                "{} violated conservation at slot {}: {report}",
+                kind.name(),
+                core.next_slot() - 1
+            );
+        }
+    }
+
+    #[test]
+    fn auditor_is_green_at_every_boundary_on_fast() {
+        let mut scenario = ScenarioConfig::fast();
+        for seed in [1, 2] {
+            audit_every_boundary(&scenario, &AlgorithmKind::Cear(CearParams::default()), seed);
+        }
+        scenario.unforeseen = Some(crate::scenario::UnforeseenFailures {
+            model: sb_topology::failures::FailureModel::IndependentLinks(
+                sb_topology::failures::LinkFailureModel::new(0.1, 9),
+            ),
+            policy: RepairPolicy::RepairPaid,
+        });
+        audit_every_boundary(&scenario, &AlgorithmKind::Cear(CearParams::default()), 1);
+        audit_every_boundary(&scenario, &AlgorithmKind::Ssp, 1);
+    }
+
+    #[test]
+    #[ignore = "paper-scale run, minutes of wall clock; run explicitly"]
+    fn auditor_is_green_at_every_boundary_on_paper() {
+        audit_every_boundary(
+            &ScenarioConfig::paper(),
+            &AlgorithmKind::Cear(CearParams::default()),
+            1,
+        );
     }
 }

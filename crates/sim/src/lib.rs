@@ -11,6 +11,11 @@
 //!   (paper scale and reduced scales for CI);
 //! * [`engine`] — deterministic end-to-end runs: build topology, generate
 //!   workload, dispatch to an algorithm, collect metrics;
+//! * [`journal`] — append-only, checksummed admission journal that
+//!   survives torn writes;
+//! * [`checkpoint`] — atomic, versioned snapshots of the engine state;
+//! * [`durable`] — crash-consistent runs: journal + checkpoints + resume
+//!   with verified replay;
 //! * [`metrics`] — the paper's metrics plus reject-reason, delivered-
 //!   welfare and repair accounting;
 //! * [`outage`] — slot-boundary discovery of unforeseen failures (the
@@ -32,7 +37,10 @@
 //! ```
 
 #![warn(missing_docs)]
+pub mod checkpoint;
+pub mod durable;
 pub mod engine;
+pub mod journal;
 pub mod metrics;
 pub mod outage;
 pub mod output;
@@ -40,6 +48,7 @@ pub mod scenario;
 pub mod trace;
 pub mod viz;
 
+pub use durable::{run_durable, DurabilityOptions, EngineError, RunOutcome};
 pub use engine::AlgorithmKind;
 pub use metrics::RunMetrics;
 pub use outage::FailureOracle;

@@ -78,6 +78,99 @@ pub struct RunMetrics {
 }
 
 impl RunMetrics {
+    /// Serializes the metrics bit-exactly (part of the durable-run result
+    /// cache; see [`RunMetrics::decode`]).
+    pub fn encode(&self, w: &mut sb_wire::Writer) {
+        w.str(&self.algorithm);
+        w.str(&self.scenario);
+        w.u64(self.seed);
+        w.usize(self.total_requests);
+        w.usize(self.accepted_requests);
+        w.usize(self.accepted_after_retry);
+        w.f64(self.total_valuation);
+        w.f64(self.welfare);
+        w.f64(self.social_welfare_ratio);
+        w.f64(self.revenue);
+        w.seq(&self.depleted_satellites_over_time, |w, v| w.usize(*v));
+        w.seq(&self.congested_links_over_time, |w, v| w.usize(*v));
+        w.seq(&self.welfare_ratio_over_time, |w, v| w.f64(*v));
+        w.usize(self.rejected_no_path);
+        w.usize(self.rejected_by_price);
+        w.usize(self.rejected_at_commit);
+        w.f64(self.delivered_welfare);
+        w.f64(self.delivered_welfare_ratio);
+        w.usize(self.interrupted_requests);
+        w.usize(self.sla_violations);
+        w.usize(self.repair_attempts);
+        w.usize(self.repairs_succeeded);
+        w.f64(self.mean_repair_latency_slots);
+        w.f64(self.refunded_revenue);
+        w.f64(self.repair_revenue);
+        w.f64(self.battery_wear.mean_equivalent_cycles);
+        w.f64(self.battery_wear.max_equivalent_cycles);
+        w.f64(self.battery_wear.max_depth_of_discharge);
+        w.u64((self.processing_ms >> 64) as u64);
+        w.u64(self.processing_ms as u64);
+    }
+
+    /// Restores metrics written by [`RunMetrics::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`sb_wire::WireError`] on truncated or malformed input.
+    pub fn decode(r: &mut sb_wire::Reader<'_>) -> Result<Self, sb_wire::WireError> {
+        let algorithm = r.str()?;
+        let scenario = r.str()?;
+        let seed = r.u64()?;
+        let total_requests = r.usize()?;
+        let accepted_requests = r.usize()?;
+        let accepted_after_retry = r.usize()?;
+        let total_valuation = r.f64()?;
+        let welfare = r.f64()?;
+        let social_welfare_ratio = r.f64()?;
+        let revenue = r.f64()?;
+        let n = r.seq_len(8)?;
+        let depleted_satellites_over_time =
+            (0..n).map(|_| r.usize()).collect::<Result<Vec<_>, _>>()?;
+        let n = r.seq_len(8)?;
+        let congested_links_over_time = (0..n).map(|_| r.usize()).collect::<Result<Vec<_>, _>>()?;
+        let n = r.seq_len(8)?;
+        let welfare_ratio_over_time = (0..n).map(|_| r.f64()).collect::<Result<Vec<_>, _>>()?;
+        Ok(RunMetrics {
+            algorithm,
+            scenario,
+            seed,
+            total_requests,
+            accepted_requests,
+            accepted_after_retry,
+            total_valuation,
+            welfare,
+            social_welfare_ratio,
+            revenue,
+            depleted_satellites_over_time,
+            congested_links_over_time,
+            welfare_ratio_over_time,
+            rejected_no_path: r.usize()?,
+            rejected_by_price: r.usize()?,
+            rejected_at_commit: r.usize()?,
+            delivered_welfare: r.f64()?,
+            delivered_welfare_ratio: r.f64()?,
+            interrupted_requests: r.usize()?,
+            sla_violations: r.usize()?,
+            repair_attempts: r.usize()?,
+            repairs_succeeded: r.usize()?,
+            mean_repair_latency_slots: r.f64()?,
+            refunded_revenue: r.f64()?,
+            repair_revenue: r.f64()?,
+            battery_wear: sb_energy::FleetWear {
+                mean_equivalent_cycles: r.f64()?,
+                max_equivalent_cycles: r.f64()?,
+                max_depth_of_discharge: r.f64()?,
+            },
+            processing_ms: (u128::from(r.u64()?) << 64) | u128::from(r.u64()?),
+        })
+    }
+
     /// Peak number of energy-depleted satellites over the horizon.
     pub fn peak_depleted(&self) -> usize {
         self.depleted_satellites_over_time.iter().copied().max().unwrap_or(0)
@@ -190,6 +283,29 @@ mod tests {
         assert!((ms.std - 1.0).abs() < 1e-12);
         assert_eq!(mean_std(&[]), MeanStd::default());
         assert_eq!(mean_std(&[5.0]).std, 0.0);
+    }
+
+    #[test]
+    fn wire_roundtrip_is_bit_exact() {
+        let mut m = sample();
+        m.processing_ms = u128::from(u64::MAX) + 17; // exercises both halves
+        m.welfare = f64::from_bits(0x7ff8_0000_0000_1234); // NaN payload survives
+        let mut w = sb_wire::Writer::new();
+        m.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = sb_wire::Reader::new(&bytes);
+        let mut back = RunMetrics::decode(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(back.processing_ms, m.processing_ms);
+        assert_eq!(back.welfare.to_bits(), m.welfare.to_bits());
+        // NaN != NaN would trip the whole-struct comparison below.
+        back.welfare = 0.0;
+        m.welfare = 0.0;
+        assert_eq!(back, m);
+        for cut in 0..bytes.len() {
+            let mut r = sb_wire::Reader::new(&bytes[..cut]);
+            assert!(RunMetrics::decode(&mut r).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

@@ -109,6 +109,57 @@ impl FailureOracle {
         }
         down
     }
+
+    /// Serializes the oracle's dynamic state — chain states, slot cursor
+    /// and the accumulated failure set — in a canonical (sorted) order so
+    /// identical oracles encode identically. The model itself is static
+    /// scenario configuration and is re-supplied to
+    /// [`FailureOracle::decode`].
+    pub fn encode(&self, w: &mut sb_wire::Writer) {
+        let mut chains: Vec<((u32, u32), bool)> =
+            self.ge_down.iter().map(|(k, v)| (*k, *v)).collect();
+        chains.sort_unstable_by_key(|(k, _)| *k);
+        w.usize(chains.len());
+        for ((a, b), down) in chains {
+            w.u32(a);
+            w.u32(b);
+            w.bool(down);
+        }
+        w.u32(self.next_slot);
+        let mut known: Vec<(sb_topology::SlotIndex, EdgeId)> = self.known.iter().collect();
+        known.sort_unstable_by_key(|&(s, e)| (s.0, e.0));
+        w.usize(known.len());
+        for (s, e) in known {
+            w.u32(s.0);
+            w.u32(e.0);
+        }
+    }
+
+    /// Restores an oracle written by [`FailureOracle::encode`], driven by
+    /// the scenario's `model`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`sb_wire::WireError`] on truncated or malformed input.
+    pub fn decode(
+        model: FailureModel,
+        r: &mut sb_wire::Reader<'_>,
+    ) -> Result<Self, sb_wire::WireError> {
+        let n = r.seq_len(9)?;
+        let mut ge_down = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let a = r.u32()?;
+            let b = r.u32()?;
+            ge_down.insert((a, b), r.bool()?);
+        }
+        let next_slot = r.u32()?;
+        let n = r.seq_len(8)?;
+        let mut pairs = Vec::with_capacity(n);
+        for _ in 0..n {
+            pairs.push((sb_topology::SlotIndex(r.u32()?), EdgeId(r.u32()?)));
+        }
+        Ok(FailureOracle { model, ge_down, next_slot, known: pairs.into_iter().collect() })
+    }
 }
 
 #[cfg(test)]
@@ -204,6 +255,31 @@ mod tests {
             FailureOracle::new(FailureModel::GilbertElliott(GilbertElliottModel::new(0.1, 0.5, 1)));
         let _ = oracle.advance(&snapshot(0));
         let _ = oracle.advance(&snapshot(2));
+    }
+
+    #[test]
+    fn oracle_encode_decode_preserves_future_behavior() {
+        let model = FailureModel::GilbertElliott(GilbertElliottModel::new(0.3, 0.4, 21));
+        let mut original = FailureOracle::new(model);
+        for t in 0..10 {
+            let _ = original.advance(&snapshot(t));
+        }
+        let mut w = sb_wire::Writer::new();
+        original.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = sb_wire::Reader::new(&bytes);
+        let mut restored = FailureOracle::decode(model, &mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(restored.known().len(), original.known().len());
+        // The restored oracle must draw the exact same future.
+        for t in 10..25 {
+            assert_eq!(restored.advance(&snapshot(t)), original.advance(&snapshot(t)), "slot {t}");
+        }
+        // Truncations error, never panic.
+        for cut in 0..bytes.len() {
+            let mut r = sb_wire::Reader::new(&bytes[..cut]);
+            assert!(FailureOracle::decode(model, &mut r).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

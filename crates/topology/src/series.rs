@@ -220,6 +220,16 @@ impl TopologySeries {
         TopologySeries { slot_duration_s, snapshots }
     }
 
+    /// Assembles a series from pre-built snapshots — hand-built test
+    /// topologies or replayed captures. Snapshots must be in slot order
+    /// and describe the same node set.
+    pub fn from_snapshots(
+        snapshots: Vec<TopologySnapshot>,
+        slot_duration_s: f64,
+    ) -> TopologySeries {
+        TopologySeries { slot_duration_s, snapshots }
+    }
+
     /// Number of slots in the series.
     pub fn num_slots(&self) -> usize {
         self.snapshots.len()

@@ -257,22 +257,14 @@ fn cmd_export(args: &[String]) -> Result<(), String> {
     let epoch = Epoch::from_seconds(slot as f64 * scenario.slot_duration_s);
     let nodes = viz::nodes_geojson(snap, epoch);
     let links = viz::links_geojson(snap, epoch);
-    let doc = serde_json::json!({
-        "type": "FeatureCollection",
-        "features": nodes["features"]
-            .as_array()
-            .unwrap()
-            .iter()
-            .chain(links["features"].as_array().unwrap())
-            .cloned()
-            .collect::<Vec<_>>(),
-    });
+    let node_features = nodes["features"].as_array().ok_or("node GeoJSON has no features array")?;
+    let link_features = links["features"].as_array().ok_or("link GeoJSON has no features array")?;
+    let features: Vec<_> = node_features.iter().chain(link_features).cloned().collect();
+    let count = features.len();
+    let doc = serde_json::json!({ "type": "FeatureCollection", "features": features });
     std::fs::write(&out, serde_json::to_string(&doc).map_err(|e| e.to_string())?)
         .map_err(|e| format!("cannot write {out}: {e}"))?;
-    println!(
-        "wrote {} features to {out} (drop it into geojson.io or kepler.gl)",
-        doc["features"].as_array().unwrap().len()
-    );
+    println!("wrote {count} features to {out} (drop it into geojson.io or kepler.gl)");
     Ok(())
 }
 
