@@ -119,11 +119,85 @@ fn bench_failure_injection(c: &mut Criterion) {
     c.bench_function("failure_apply_256sats", |b| b.iter(|| model.apply(&snap)));
 }
 
+fn bench_search_arena(c: &mut Criterion) {
+    use sb_cear::search::{min_cost_path, min_cost_path_in};
+    let (state, src, dst) = network();
+    let snap = state.series().snapshot(SlotIndex(0));
+    let weight = |ctx: &sb_cear::search::EdgeContext<'_>| Some(1.0 + ctx.edge.length_m * 1e-9);
+    c.bench_function("search_fresh_alloc_256sats", |b| {
+        b.iter(|| min_cost_path(snap, src, dst, weight))
+    });
+    let mut scratch = sb_cear::SearchScratch::new();
+    c.bench_function("search_arena_reuse_256sats", |b| {
+        b.iter(|| min_cost_path_in(&mut scratch, snap, src, dst, weight))
+    });
+}
+
+fn bench_price_cache(c: &mut Criterion) {
+    use sb_cear::pricing;
+    let (state, _, _) = network();
+    let params = CearParams::default();
+    let slot = SlotIndex(0);
+    let n_edges = state.series().snapshot(slot).num_edges();
+    c.bench_function("unit_price_powf_all_edges", |b| {
+        b.iter(|| {
+            (0..n_edges)
+                .map(|e| {
+                    let id = sb_topology::graph::EdgeId(e as u32);
+                    pricing::unit_price(params.mu1(), state.utilization(slot, id))
+                })
+                .sum::<f64>()
+        })
+    });
+    let mut cache = sb_cear::PriceCache::new(params.mu1(), params.mu2());
+    c.bench_function("unit_price_cached_all_edges", |b| {
+        b.iter(|| {
+            (0..n_edges)
+                .map(|e| cache.link_unit_price(&state, slot, sb_topology::graph::EdgeId(e as u32)))
+                .sum::<f64>()
+        })
+    });
+}
+
+fn bench_single_slot_admission(c: &mut Criterion) {
+    let (state, src, dst) = network();
+    let request = Request {
+        id: RequestId(0),
+        source: src,
+        destination: dst,
+        rate: RateProfile::Constant(1250.0),
+        start: SlotIndex(0),
+        end: SlotIndex(0),
+        valuation: 2.3e9,
+    };
+    c.bench_function("admission_1slot_reference", |b| {
+        b.iter_batched(
+            || (state.clone(), Cear::reference(CearParams::default())),
+            |(mut st, mut cear)| {
+                let d = cear.process(&request, &mut st);
+                assert!(matches!(d, Decision::Accepted { .. } | Decision::Rejected { .. }));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("admission_1slot_cached", |b| {
+        b.iter_batched(
+            || (state.clone(), Cear::new(CearParams::default())),
+            |(mut st, mut cear)| {
+                let d = cear.process(&request, &mut st);
+                assert!(matches!(d, Decision::Accepted { .. } | Decision::Rejected { .. }));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_snapshot_build, bench_cear_decision, bench_energy_recursion,
               bench_tiny_end_to_end, bench_ground_grid, bench_tle_parse,
-              bench_coverage, bench_failure_injection
+              bench_coverage, bench_failure_injection, bench_search_arena,
+              bench_price_cache, bench_single_slot_admission
 }
 criterion_main!(benches);

@@ -13,7 +13,7 @@
 //! and `--resume DIR` to continue an interrupted sweep; see the
 //! robustness binary for the workflow.
 
-use sb_bench::{parse_args, run_cell};
+use sb_bench::{parse_args, run_cell, run_cells};
 use sb_cear::AblationFlags;
 use sb_sim::engine::{self, AlgorithmKind};
 use sb_sim::metrics;
@@ -43,18 +43,21 @@ fn main() {
         ),
     ];
 
+    // Flat (variant, seed) cell list; durable per-cell directories are
+    // distinct per cell and seed, so parallel workers never collide.
+    let cells: Vec<(AlgorithmKind, u64)> =
+        variants.iter().flat_map(|&kind| (0..opts.seeds).map(move |seed| (kind, seed))).collect();
+    let flat = run_cells(opts.jobs, &cells, |_, (kind, seed)| {
+        let cell = format!("ablation-{}", kind.name());
+        let prepared = engine::prepare(&scenario, *seed);
+        let requests = engine::workload(&scenario, &prepared, *seed);
+        run_cell(&opts, &scenario, &prepared, &requests, kind, *seed, &cell)
+    });
+
     println!("# CEAR ablation ({} scale, {} seeds)\n", scenario.name, opts.seeds);
     println!("| variant | welfare ratio | mean congested links | mean depleted sats | revenue |");
     println!("|---|---|---|---|---|");
-    for kind in &variants {
-        let cell = format!("ablation-{}", kind.name());
-        let runs: Vec<RunMetrics> = (0..opts.seeds)
-            .map(|seed| {
-                let prepared = engine::prepare(&scenario, seed);
-                let requests = engine::workload(&scenario, &prepared, seed);
-                run_cell(&opts, &scenario, &prepared, &requests, kind, seed, &cell)
-            })
-            .collect();
+    for (kind, runs) in variants.iter().zip(flat.chunks(opts.seeds as usize)) {
         let ratio =
             metrics::mean_std(&runs.iter().map(|m| m.social_welfare_ratio).collect::<Vec<_>>());
         let congested =

@@ -5,12 +5,19 @@
 //! ```text
 //! cargo run -p sb-bench --release --bin fig6 -- --scale fast
 //! cargo run -p sb-bench --release --bin fig6 -- --scale paper   # full
+//! cargo run -p sb-bench --release --bin fig6 -- --jobs 8       # parallel
 //! ```
 
-use sb_bench::{parse_args, write_csv};
+use sb_bench::{parse_args, run_cells, write_csv};
 use sb_sim::engine::{self, AlgorithmKind};
 use sb_sim::output::{markdown_table, write_series_csv, SeriesPoint};
-use sb_sim::{metrics, RunMetrics};
+use sb_sim::{metrics, RunMetrics, ScenarioConfig};
+
+struct Cell {
+    scenario: ScenarioConfig,
+    kind: AlgorithmKind,
+    seed: u64,
+}
 
 fn main() {
     let opts = parse_args(std::env::args().skip(1));
@@ -19,19 +26,31 @@ fn main() {
     let base = opts.scenario.arrivals_per_slot;
     let rates: Vec<f64> = [0.5, 1.0, 1.5, 2.0, 2.5].iter().map(|m| m * base).collect();
 
-    let mut points = Vec::new();
+    // Flat cell list in deterministic (rate, algorithm, seed) order; the
+    // parallel runner returns results in exactly this order.
+    let mut cells = Vec::new();
     for &rate in &rates {
         let mut scenario = opts.scenario.clone();
         scenario.arrivals_per_slot = rate;
-        let mut values = Vec::new();
         for kind in AlgorithmKind::all(&scenario) {
-            let runs: Vec<RunMetrics> = (0..opts.seeds)
-                .map(|seed| {
-                    let prepared = engine::prepare(&scenario, seed);
-                    let requests = engine::workload(&scenario, &prepared, seed);
-                    engine::run_prepared(&scenario, &prepared, &requests, &kind, seed)
-                })
-                .collect();
+            for seed in 0..opts.seeds {
+                cells.push(Cell { scenario: scenario.clone(), kind, seed });
+            }
+        }
+    }
+    let metrics_flat = run_cells(opts.jobs, &cells, |_, c| {
+        let prepared = engine::prepare(&c.scenario, c.seed);
+        let requests = engine::workload(&c.scenario, &prepared, c.seed);
+        engine::run_prepared(&c.scenario, &prepared, &requests, &c.kind, c.seed)
+    });
+
+    let mut results = metrics_flat.into_iter();
+    let mut points = Vec::new();
+    for &rate in &rates {
+        let mut values = Vec::new();
+        for kind in AlgorithmKind::all(&opts.scenario) {
+            let runs: Vec<RunMetrics> =
+                (0..opts.seeds).map(|_| results.next().expect("one result per cell")).collect();
             let ratios: Vec<f64> = runs.iter().map(|m| m.social_welfare_ratio).collect();
             values.push((kind.name().to_owned(), metrics::mean_std(&ratios)));
             eprintln!(

@@ -6,22 +6,34 @@
 //! cargo run -p sb-bench --release --bin fig7 -- --scale fast
 //! ```
 
-use sb_bench::{parse_args, write_csv};
+use sb_bench::{parse_args, run_cells, write_csv};
 use sb_sim::engine::{self, AlgorithmKind};
 use sb_sim::output::write_timeseries_csv;
+use sb_sim::ScenarioConfig;
 
 fn main() {
     let opts = parse_args(std::env::args().skip(1));
 
-    // Left subfigure: depleted satellites at the default rate.
+    // Both subfigures as one flat cell list: (scenario, algorithm) pairs in
+    // deterministic order — left (default rate) first, then right (hot).
     let scenario = opts.scenario.clone();
+    let mut hot = opts.scenario.clone();
+    hot.arrivals_per_slot *= 2.5;
+    let cells: Vec<(ScenarioConfig, AlgorithmKind)> = AlgorithmKind::all(&scenario)
+        .into_iter()
+        .map(|k| (scenario.clone(), k))
+        .chain(AlgorithmKind::all(&hot).into_iter().map(|k| (hot.clone(), k)))
+        .collect();
+    let runs = run_cells(opts.jobs, &cells, |_, (sc, kind)| {
+        let prepared = engine::prepare(sc, 0);
+        let requests = engine::workload(sc, &prepared, 0);
+        engine::run_prepared(sc, &prepared, &requests, kind, 0)
+    });
+    let n_left = AlgorithmKind::all(&scenario).len();
+
+    // Left subfigure: depleted satellites at the default rate.
     let mut depleted_series = Vec::new();
-    for kind in AlgorithmKind::all(&scenario) {
-        let m = {
-            let prepared = engine::prepare(&scenario, 0);
-            let requests = engine::workload(&scenario, &prepared, 0);
-            engine::run_prepared(&scenario, &prepared, &requests, &kind, 0)
-        };
+    for ((_, kind), m) in cells.iter().zip(&runs).take(n_left) {
         eprintln!(
             "{:<6} depleted: mean {:.2} peak {}",
             kind.name(),
@@ -35,15 +47,8 @@ fn main() {
     }
 
     // Right subfigure: congested links at 2.5× the default rate.
-    let mut hot = opts.scenario.clone();
-    hot.arrivals_per_slot *= 2.5;
     let mut congested_series = Vec::new();
-    for kind in AlgorithmKind::all(&hot) {
-        let m = {
-            let prepared = engine::prepare(&hot, 0);
-            let requests = engine::workload(&hot, &prepared, 0);
-            engine::run_prepared(&hot, &prepared, &requests, &kind, 0)
-        };
+    for ((_, kind), m) in cells.iter().zip(&runs).skip(n_left) {
         eprintln!(
             "{:<6} congested: mean {:.2} peak {}",
             kind.name(),

@@ -5,7 +5,7 @@
 //! cargo run -p sb-bench --release --bin fig8 -- --scale fast
 //! ```
 
-use sb_bench::{parse_args, write_csv};
+use sb_bench::{parse_args, run_cells, write_csv};
 use sb_sim::engine::{self, AlgorithmKind};
 use sb_sim::output::write_timeseries_csv;
 
@@ -13,13 +13,15 @@ fn main() {
     let opts = parse_args(std::env::args().skip(1));
     let scenario = opts.scenario.clone();
 
+    let kinds = AlgorithmKind::all(&scenario);
+    let runs = run_cells(opts.jobs, &kinds, |_, kind| {
+        let prepared = engine::prepare(&scenario, 0);
+        let requests = engine::workload(&scenario, &prepared, 0);
+        engine::run_prepared(&scenario, &prepared, &requests, kind, 0)
+    });
+
     let mut series = Vec::new();
-    for kind in AlgorithmKind::all(&scenario) {
-        let m = {
-            let prepared = engine::prepare(&scenario, 0);
-            let requests = engine::workload(&scenario, &prepared, 0);
-            engine::run_prepared(&scenario, &prepared, &requests, &kind, 0)
-        };
+    for (kind, m) in kinds.iter().zip(&runs) {
         eprintln!("{:<6} final welfare ratio {:.4}", kind.name(), m.social_welfare_ratio);
         series.push((kind.name().to_owned(), m.welfare_ratio_over_time.clone()));
     }

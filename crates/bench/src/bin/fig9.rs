@@ -5,11 +5,23 @@
 //! cargo run -p sb-bench --release --bin fig9 -- --scale fast
 //! ```
 
-use sb_bench::{parse_args, write_csv};
+use sb_bench::{parse_args, run_cells, write_csv};
 use sb_demand::ValuationModel;
 use sb_sim::engine::{self, AlgorithmKind};
 use sb_sim::metrics;
 use sb_sim::output::{markdown_table, write_series_csv, SeriesPoint};
+use sb_sim::{RunMetrics, ScenarioConfig};
+
+/// Runs one sweep — `(scenario, seed)` cells in deterministic order — and
+/// regroups the flat results into per-configuration seed batches.
+fn sweep(jobs: usize, seeds: u64, scenarios: &[ScenarioConfig]) -> Vec<Vec<RunMetrics>> {
+    let cells: Vec<(ScenarioConfig, u64)> =
+        scenarios.iter().flat_map(|sc| (0..seeds).map(move |seed| (sc.clone(), seed))).collect();
+    let flat = run_cells(jobs, &cells, |_, (sc, seed)| {
+        engine::run(sc, &AlgorithmKind::Cear(sc.cear), *seed)
+    });
+    flat.chunks(seeds as usize).map(|c| c.to_vec()).collect()
+}
 
 fn main() {
     let opts = parse_args(std::env::args().skip(1));
@@ -18,14 +30,17 @@ fn main() {
     // the sweep reaches down to where prices actually bind (the interesting
     // rising part of the curve) and up to the saturated plateau.
     let valuations = [0.001, 0.01, 0.05, 0.25, 1.0].map(|m| m * 2.3e9);
+    let val_scenarios: Vec<ScenarioConfig> = valuations
+        .iter()
+        .map(|&v| {
+            let mut scenario = opts.scenario.clone();
+            scenario.valuation = ValuationModel::Constant(v);
+            scenario
+        })
+        .collect();
     let mut val_points = Vec::new();
-    for v in valuations {
-        let mut scenario = opts.scenario.clone();
-        scenario.valuation = ValuationModel::Constant(v);
-        let kind = AlgorithmKind::Cear(scenario.cear);
-        let ratios: Vec<f64> = (0..opts.seeds)
-            .map(|seed| engine::run(&scenario, &kind, seed).social_welfare_ratio)
-            .collect();
+    for (&v, runs) in valuations.iter().zip(sweep(opts.jobs, opts.seeds, &val_scenarios)) {
+        let ratios: Vec<f64> = runs.iter().map(|m| m.social_welfare_ratio).collect();
         eprintln!("valuation {v:>10.2e}: ratio {:.4}", metrics::mean_std(&ratios).mean);
         val_points.push(SeriesPoint {
             x: v,
@@ -35,13 +50,16 @@ fn main() {
 
     // Right: F2 sweep, wide enough for the energy price to start binding.
     let f2s = [0.5, 2.0, 8.0, 32.0, 128.0];
+    let f2_scenarios: Vec<ScenarioConfig> = f2s
+        .iter()
+        .map(|&f2| {
+            let mut scenario = opts.scenario.clone();
+            scenario.cear.f2 = f2;
+            scenario
+        })
+        .collect();
     let mut f2_points = Vec::new();
-    for f2 in f2s {
-        let mut scenario = opts.scenario.clone();
-        scenario.cear.f2 = f2;
-        let kind = AlgorithmKind::Cear(scenario.cear);
-        let runs: Vec<_> =
-            (0..opts.seeds).map(|seed| engine::run(&scenario, &kind, seed)).collect();
+    for (&f2, runs) in f2s.iter().zip(sweep(opts.jobs, opts.seeds, &f2_scenarios)) {
         let ratios: Vec<f64> = runs.iter().map(|m| m.social_welfare_ratio).collect();
         let depleted = runs.iter().map(|m| m.mean_depleted()).sum::<f64>() / runs.len() as f64;
         eprintln!(

@@ -1,0 +1,150 @@
+//! Performance measurement harness: times the sweep runner serially and in
+//! parallel, plus the two hot-path micro-kernels (search arena, price
+//! cache), and emits machine-readable `BENCH_perf.json`.
+//!
+//! ```text
+//! cargo run -p sb-bench --release --bin perf -- --scale fast --jobs 4
+//! ```
+//!
+//! The sweep section runs the fig6-style (algorithm × seed) grid once with
+//! one worker and once with `--jobs` workers, asserting the two result
+//! vectors are bit-identical (the parallel runner's determinism contract)
+//! before reporting the speedup. The micro section measures the per-slot
+//! path search with and without the reusable [`sb_cear::SearchScratch`]
+//! arena, and the exponential unit price via `powf` against the
+//! epoch-validated [`sb_cear::PriceCache`].
+
+use sb_bench::{parse_args, run_cells};
+use sb_cear::search::{min_cost_path, min_cost_path_in};
+use sb_cear::{pricing, CearParams, NetworkState, PriceCache, SearchScratch};
+use sb_energy::EnergyParams;
+use sb_geo::coords::Geodetic;
+use sb_orbit::walker::WalkerConstellation;
+use sb_sim::engine::{self, AlgorithmKind};
+use sb_topology::graph::EdgeId;
+use sb_topology::{NetworkNodes, SlotIndex, TopologyConfig, TopologySeries};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn micro_network() -> (NetworkState, sb_topology::NodeId, sb_topology::NodeId) {
+    let shell = WalkerConstellation::delta(16, 16, 5, 550e3, 53f64.to_radians());
+    let mut nodes = NetworkNodes::from_walker(&shell);
+    let a = nodes.add_ground_site(Geodetic::from_degrees(35.8, -78.6, 0.0));
+    let b = nodes.add_ground_site(Geodetic::from_degrees(48.9, 2.3, 0.0));
+    let cfg = TopologyConfig { min_elevation_rad: 15f64.to_radians(), ..TopologyConfig::default() };
+    let series = TopologySeries::build(&nodes, &cfg, 4, 60.0);
+    (NetworkState::new(series, &EnergyParams::default()), a, b)
+}
+
+fn main() {
+    let opts = parse_args(std::env::args().skip(1));
+    let scenario = opts.scenario.clone();
+
+    // ---- Sweep timing: (algorithm × seed) grid, 1 worker vs N ----------
+    let cells: Vec<(AlgorithmKind, u64)> = AlgorithmKind::all(&scenario)
+        .into_iter()
+        .flat_map(|kind| (0..opts.seeds).map(move |seed| (kind, seed)))
+        .collect();
+    let run = |_: usize, c: &(AlgorithmKind, u64)| {
+        let (kind, seed) = c;
+        let prepared = engine::prepare(&scenario, *seed);
+        let requests = engine::workload(&scenario, &prepared, *seed);
+        engine::run_prepared(&scenario, &prepared, &requests, kind, *seed)
+    };
+    eprintln!("sweep: {} cells, serial pass…", cells.len());
+    let t = Instant::now();
+    let serial = run_cells(1, &cells, run);
+    let serial_s = t.elapsed().as_secs_f64();
+    eprintln!("sweep: parallel pass with {} workers…", opts.jobs);
+    let t = Instant::now();
+    let parallel = run_cells(opts.jobs, &cells, run);
+    let parallel_s = t.elapsed().as_secs_f64();
+    let deterministic = serial
+        .iter()
+        .zip(&parallel)
+        .all(|(a, b)| a.social_welfare_ratio.to_bits() == b.social_welfare_ratio.to_bits());
+    assert!(deterministic, "parallel sweep diverged from the serial run");
+    let speedup = serial_s / parallel_s;
+    eprintln!("sweep: serial {serial_s:.2}s, parallel {parallel_s:.2}s, speedup {speedup:.2}x");
+
+    // ---- Micro: per-slot search, fresh allocation vs reused arena ------
+    let (state, src, dst) = micro_network();
+    let snap = state.series().snapshot(SlotIndex(0));
+    let iters = 300u32;
+    let t = Instant::now();
+    for _ in 0..iters {
+        black_box(min_cost_path(snap, src, dst, |ctx| Some(1.0 + ctx.edge.length_m * 1e-9)));
+    }
+    let fresh_us = t.elapsed().as_secs_f64() * 1e6 / iters as f64;
+    let mut scratch = SearchScratch::new();
+    let t = Instant::now();
+    for _ in 0..iters {
+        black_box(min_cost_path_in(&mut scratch, snap, src, dst, |ctx| {
+            Some(1.0 + ctx.edge.length_m * 1e-9)
+        }));
+    }
+    let scratch_us = t.elapsed().as_secs_f64() * 1e6 / iters as f64;
+    eprintln!("search: fresh {fresh_us:.1}µs, arena {scratch_us:.1}µs");
+
+    // ---- Micro: exponential unit price, powf vs cached -----------------
+    let params = CearParams::default();
+    let slot = SlotIndex(0);
+    let n_edges = snap.num_edges();
+    let passes = 100usize;
+    let t = Instant::now();
+    let mut acc = 0.0;
+    for _ in 0..passes {
+        for e in 0..n_edges {
+            acc += pricing::unit_price(params.mu1(), state.utilization(slot, EdgeId(e as u32)));
+        }
+    }
+    black_box(acc);
+    let powf_ns = t.elapsed().as_secs_f64() * 1e9 / (passes * n_edges) as f64;
+    let mut cache = PriceCache::new(params.mu1(), params.mu2());
+    let t = Instant::now();
+    let mut acc = 0.0;
+    for _ in 0..passes {
+        for e in 0..n_edges {
+            acc += cache.link_unit_price(&state, slot, EdgeId(e as u32));
+        }
+    }
+    black_box(acc);
+    let cached_ns = t.elapsed().as_secs_f64() * 1e9 / (passes * n_edges) as f64;
+    eprintln!("unit price: powf {powf_ns:.1}ns, cached {cached_ns:.1}ns");
+
+    // ---- Report --------------------------------------------------------
+    let json = format!(
+        "{{\n  \"scale\": \"{}\",\n  \"seeds\": {},\n  \"jobs\": {},\n  \
+         \"host_parallelism\": {},\n  \"sweep\": {{\n    \"cells\": {},\n    \
+         \"serial_s\": {:.4},\n    \"parallel_s\": {:.4},\n    \
+         \"serial_cells_per_s\": {:.4},\n    \"parallel_cells_per_s\": {:.4},\n    \
+         \"speedup\": {:.4},\n    \"deterministic\": {}\n  }},\n  \"micro\": {{\n    \
+         \"search_fresh_us\": {:.3},\n    \"search_arena_us\": {:.3},\n    \
+         \"search_speedup\": {:.4},\n    \"unit_price_powf_ns\": {:.3},\n    \
+         \"unit_price_cached_ns\": {:.3},\n    \"pricing_speedup\": {:.4}\n  }}\n}}\n",
+        scenario.name,
+        opts.seeds,
+        opts.jobs,
+        sb_bench::default_jobs(),
+        cells.len(),
+        serial_s,
+        parallel_s,
+        cells.len() as f64 / serial_s,
+        cells.len() as f64 / parallel_s,
+        speedup,
+        deterministic,
+        fresh_us,
+        scratch_us,
+        fresh_us / scratch_us,
+        powf_ns,
+        cached_ns,
+        powf_ns / cached_ns,
+    );
+    let path = opts.out_dir.join("BENCH_perf.json");
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("{json}");
+    println!("written to {}", path.display());
+}

@@ -22,36 +22,70 @@
 //! `--checkpoint-every N` to journal every run into `OUT/durable/`, and
 //! after an interruption rerun with `--resume OUT/durable` to pick up at
 //! the last checkpoint (completed cells replay from their cached metrics).
+//! `--jobs N` fans the independent sweep cells across N worker threads;
+//! outputs are byte-identical for every worker count.
 
-use sb_bench::{parse_args, run_cell, write_csv};
+use sb_bench::{parse_args, run_cell, run_cells, write_csv};
 use sb_cear::RepairPolicy;
 use sb_sim::engine::{self, AlgorithmKind};
 use sb_sim::metrics::{self, RunMetrics};
 use sb_sim::output::{markdown_table, write_series_csv, SeriesPoint};
-use sb_sim::UnforeseenFailures;
+use sb_sim::{ScenarioConfig, UnforeseenFailures};
 use sb_topology::failures::{FailureModel, GilbertElliottModel, LinkFailureModel, NodeOutageModel};
+
+/// The unforeseen failure models exercised at intensity `p`, in report
+/// order.
+fn failure_models(p: f64) -> [(&'static str, FailureModel); 3] {
+    [
+        ("independent", FailureModel::IndependentLinks(LinkFailureModel::new(p, 0xfa11))),
+        // A tenth of the link rate: a whole satellite dying for 1–5
+        // slots takes out dozens of links at once.
+        ("node-outage", FailureModel::NodeOutages(NodeOutageModel::new(p / 10.0, 1, 5, 0xfa11))),
+        ("ge-burst", FailureModel::GilbertElliott(GilbertElliottModel::new(p, 0.3, 0xfa11))),
+    ]
+}
 
 fn main() {
     let opts = parse_args(std::env::args().skip(1));
 
     // ---- Part 1: foresight sweep, all algorithms ----------------------
     let foresight_probs = [0.0, 0.02, 0.05, 0.1, 0.2];
-    let mut foresight_points = Vec::new();
+    struct ForesightCell {
+        scenario: ScenarioConfig,
+        kind: AlgorithmKind,
+        seed: u64,
+        cell: String,
+    }
+    let mut foresight_cells = Vec::new();
     for &p in &foresight_probs {
         let mut scenario = opts.scenario.clone();
         scenario.isl_failure_prob = p;
-        let mut values = Vec::new();
         for kind in AlgorithmKind::all(&scenario) {
             let cell = format!("foresight-p{:03}-{}", (p * 100.0).round() as u32, kind.name());
-            let ratios: Vec<f64> = (0..opts.seeds)
-                .map(|seed| {
-                    let prepared = engine::prepare(&scenario, seed);
-                    let requests = engine::workload(&scenario, &prepared, seed);
-                    run_cell(&opts, &scenario, &prepared, &requests, &kind, seed, &cell)
-                        .social_welfare_ratio
-                })
-                .collect();
-            let ms = metrics::mean_std(&ratios);
+            for seed in 0..opts.seeds {
+                foresight_cells.push(ForesightCell {
+                    scenario: scenario.clone(),
+                    kind,
+                    seed,
+                    cell: cell.clone(),
+                });
+            }
+        }
+    }
+    let foresight_ratios = run_cells(opts.jobs, &foresight_cells, |_, c| {
+        let prepared = engine::prepare(&c.scenario, c.seed);
+        let requests = engine::workload(&c.scenario, &prepared, c.seed);
+        run_cell(&opts, &c.scenario, &prepared, &requests, &c.kind, c.seed, &c.cell)
+            .social_welfare_ratio
+    });
+
+    let mut ratio_chunks = foresight_ratios.chunks(opts.seeds as usize);
+    let mut foresight_points = Vec::new();
+    for &p in &foresight_probs {
+        let mut values = Vec::new();
+        for kind in AlgorithmKind::all(&opts.scenario) {
+            let ratios = ratio_chunks.next().expect("one chunk per (prob, algorithm)");
+            let ms = metrics::mean_std(ratios);
             eprintln!("foresight {p:>5.2}  {:<6} ratio {:.4}", kind.name(), ms.mean);
             values.push((kind.name().to_owned(), ms));
         }
@@ -64,10 +98,45 @@ fn main() {
     // The routed series is clean for every unforeseen config, so network
     // and workload are shared per seed across all models and policies.
     let clean = opts.scenario.clone();
-    let prepared: Vec<_> = (0..opts.seeds).map(|s| engine::prepare(&clean, s)).collect();
-    let workloads: Vec<_> =
-        (0..opts.seeds).map(|s| engine::workload(&clean, &prepared[s as usize], s)).collect();
+    let seeds: Vec<u64> = (0..opts.seeds).collect();
+    let prep = run_cells(opts.jobs, &seeds, |_, &s| {
+        let prepared = engine::prepare(&clean, s);
+        let workload = engine::workload(&clean, &prepared, s);
+        (prepared, workload)
+    });
 
+    struct UnforeseenCell {
+        scenario: ScenarioConfig,
+        seed: u64,
+        cell: String,
+    }
+    let mut unforeseen_cells = Vec::new();
+    for &p in &unforeseen_probs {
+        for (model_name, model) in failure_models(p) {
+            for policy in RepairPolicy::all() {
+                let mut scenario = clean.clone();
+                scenario.unforeseen = Some(UnforeseenFailures { model, policy });
+                let cell = format!(
+                    "unforeseen-p{:03}-{model_name}-{}",
+                    (p * 100.0).round() as u32,
+                    policy.name()
+                );
+                for seed in 0..opts.seeds {
+                    unforeseen_cells.push(UnforeseenCell {
+                        scenario: scenario.clone(),
+                        seed,
+                        cell: cell.clone(),
+                    });
+                }
+            }
+        }
+    }
+    let unforeseen_runs = run_cells(opts.jobs, &unforeseen_cells, |_, c| {
+        let (prepared, workload) = &prep[c.seed as usize];
+        run_cell(&opts, &c.scenario, prepared, workload, &kind, c.seed, &c.cell)
+    });
+
+    let mut run_chunks = unforeseen_runs.chunks(opts.seeds as usize);
     let mut delivered_points = Vec::new();
     let mut interruption_points = Vec::new();
     let mut repair_points = Vec::new();
@@ -88,39 +157,10 @@ fn main() {
             .expect("foresight sweep covers the unforeseen probabilities");
         delivered.push(("foresight".to_owned(), foresight));
 
-        let models = [
-            ("independent", FailureModel::IndependentLinks(LinkFailureModel::new(p, 0xfa11))),
-            // A tenth of the link rate: a whole satellite dying for 1–5
-            // slots takes out dozens of links at once.
-            (
-                "node-outage",
-                FailureModel::NodeOutages(NodeOutageModel::new(p / 10.0, 1, 5, 0xfa11)),
-            ),
-            ("ge-burst", FailureModel::GilbertElliott(GilbertElliottModel::new(p, 0.3, 0xfa11))),
-        ];
-        for (model_name, model) in models {
+        for (model_name, _) in failure_models(p) {
             for policy in RepairPolicy::all() {
-                let mut scenario = clean.clone();
-                scenario.unforeseen = Some(UnforeseenFailures { model, policy });
                 let label = format!("{model_name}/{}", policy.name());
-                let cell = format!(
-                    "unforeseen-p{:03}-{model_name}-{}",
-                    (p * 100.0).round() as u32,
-                    policy.name()
-                );
-                let runs: Vec<RunMetrics> = (0..opts.seeds)
-                    .map(|seed| {
-                        run_cell(
-                            &opts,
-                            &scenario,
-                            &prepared[seed as usize],
-                            &workloads[seed as usize],
-                            &kind,
-                            seed,
-                            &cell,
-                        )
-                    })
-                    .collect();
+                let runs = run_chunks.next().expect("one chunk per (prob, model, policy)");
                 let per_seed = |f: &dyn Fn(&RunMetrics) -> f64| {
                     metrics::mean_std(&runs.iter().map(f).collect::<Vec<_>>())
                 };

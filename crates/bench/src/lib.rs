@@ -23,6 +23,10 @@ pub struct FigureOptions {
     /// Resume interrupted runs from this durability directory
     /// (`--resume DIR`).
     pub resume_from: Option<std::path::PathBuf>,
+    /// Worker threads for [`run_cells`] (`--jobs N`; default: available
+    /// parallelism). Cell *results* are ordered deterministically no matter
+    /// how many workers run, so CSVs are byte-identical across values.
+    pub jobs: usize,
 }
 
 impl Default for FigureOptions {
@@ -33,12 +37,23 @@ impl Default for FigureOptions {
             out_dir: std::path::PathBuf::from("results"),
             checkpoint_every: None,
             resume_from: None,
+            jobs: default_jobs(),
         }
     }
 }
 
-/// Parses `--scale {paper,fast}`, `--seeds N`, `--out DIR`,
-/// `--checkpoint-every N` and `--resume DIR` from an argument iterator.
+/// The default worker count: the host's available parallelism, 1 when it
+/// cannot be determined.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Parses `--scale {paper,fast,tiny}`, `--seeds N`, `--out DIR`,
+/// `--checkpoint-every N`, `--resume DIR` and `--jobs N` from an argument
+/// iterator.
+///
+/// `--scale paper` defaults the seed count to the paper's 5, but an
+/// explicit `--seeds N` wins regardless of argument order.
 ///
 /// # Panics
 ///
@@ -46,6 +61,8 @@ impl Default for FigureOptions {
 /// experiment drivers, not long-lived services.
 pub fn parse_args(args: impl Iterator<Item = String>) -> FigureOptions {
     let mut opts = FigureOptions::default();
+    let mut seeds_given = false;
+    let mut scale_paper = false;
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -53,17 +70,24 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> FigureOptions {
                 let v = args.next().expect("--scale needs a value");
                 opts.scenario = match v.as_str() {
                     "paper" => {
-                        opts.seeds = 5;
+                        scale_paper = true;
                         ScenarioConfig::paper()
                     }
-                    "fast" => ScenarioConfig::fast(),
-                    "tiny" => ScenarioConfig::tiny(),
+                    "fast" => {
+                        scale_paper = false;
+                        ScenarioConfig::fast()
+                    }
+                    "tiny" => {
+                        scale_paper = false;
+                        ScenarioConfig::tiny()
+                    }
                     other => panic!("unknown scale `{other}` (use paper|fast|tiny)"),
                 };
             }
             "--seeds" => {
                 opts.seeds =
                     args.next().and_then(|v| v.parse().ok()).expect("--seeds needs an integer");
+                seeds_given = true;
             }
             "--out" => {
                 opts.out_dir = args.next().expect("--out needs a path").into();
@@ -78,11 +102,19 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> FigureOptions {
             "--resume" => {
                 opts.resume_from = Some(args.next().expect("--resume needs a directory").into());
             }
+            "--jobs" => {
+                let n: usize =
+                    args.next().and_then(|v| v.parse().ok()).expect("--jobs needs an integer");
+                opts.jobs = n.max(1);
+            }
             other => panic!(
                 "unknown argument `{other}` \
-                 (use --scale/--seeds/--out/--checkpoint-every/--resume)"
+                 (use --scale/--seeds/--out/--checkpoint-every/--resume/--jobs)"
             ),
         }
+    }
+    if scale_paper && !seeds_given {
+        opts.seeds = 5;
     }
     opts
 }
@@ -134,6 +166,50 @@ pub fn run_cell(
     }
 }
 
+/// Fans the independent cells of a sweep across `jobs` worker threads and
+/// returns the results **in cell order**, so downstream CSV writing is
+/// byte-identical to a serial run no matter the worker count.
+///
+/// Workers pull cells from a shared atomic index (dynamic load balancing —
+/// sweep cells vary wildly in cost across algorithms and failure
+/// probabilities) and deposit each result into its cell's dedicated slot.
+/// With `jobs <= 1` the cells run inline on the caller's thread with no
+/// thread machinery at all.
+///
+/// # Panics
+///
+/// A panicking cell propagates: the scope joins every worker and re-raises
+/// the panic, so a sweep never silently drops cells.
+pub fn run_cells<I: Sync, T: Send>(
+    jobs: usize,
+    items: &[I],
+    run: impl Fn(usize, &I) -> T + Sync,
+) -> Vec<T> {
+    let jobs = jobs.clamp(1, items.len().max(1));
+    if jobs == 1 {
+        return items.iter().enumerate().map(|(i, item)| run(i, item)).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<T>>> =
+        (0..items.len()).map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = run(i, &items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("result slot poisoned").expect("worker filled every slot"))
+        .collect()
+}
+
 /// Runs a CSV writer against `path`, creating the output directory first.
 ///
 /// The figure binaries used to `expect("write CSV")`, which on a missing
@@ -181,6 +257,56 @@ mod tests {
     fn explicit_seeds_override() {
         let o = parse(&["--scale", "paper", "--seeds", "2"]);
         assert_eq!(o.seeds, 2);
+    }
+
+    #[test]
+    fn explicit_seeds_survive_later_paper_scale() {
+        // Regression: `--seeds 10 --scale paper` used to clobber the seed
+        // count back to the paper default of 5.
+        let o = parse(&["--seeds", "10", "--scale", "paper"]);
+        assert_eq!(o.scenario.name, "paper");
+        assert_eq!(o.seeds, 10);
+    }
+
+    #[test]
+    fn jobs_flag_parses_and_floors_at_one() {
+        assert_eq!(parse(&["--jobs", "4"]).jobs, 4);
+        assert_eq!(parse(&["--jobs", "0"]).jobs, 1);
+        assert!(parse(&[]).jobs >= 1);
+    }
+
+    #[test]
+    fn run_cells_preserves_cell_order() {
+        let items: Vec<usize> = (0..37).collect();
+        let serial = run_cells(1, &items, |i, &x| (i, x * x));
+        for jobs in [2, 3, 8, 64] {
+            let parallel = run_cells(jobs, &items, |i, &x| {
+                // Jitter completion order so slots genuinely race.
+                std::thread::sleep(std::time::Duration::from_micros(((x * 7) % 5) as u64 * 100));
+                (i, x * x)
+            });
+            assert_eq!(parallel, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn run_cells_handles_empty_input() {
+        let out: Vec<u32> = run_cells(8, &[] as &[u32], |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn run_cells_propagates_worker_panics() {
+        let items: Vec<usize> = (0..8).collect();
+        let r = std::panic::catch_unwind(|| {
+            run_cells(4, &items, |_, &x| {
+                if x == 5 {
+                    panic!("cell 5 exploded");
+                }
+                x
+            })
+        });
+        assert!(r.is_err(), "a panicking cell must fail the sweep");
     }
 
     #[test]

@@ -2,13 +2,15 @@
 
 use crate::params::CearParams;
 use crate::plan::{ReservationPlan, SlotPath};
+use crate::pricecache::PriceCache;
 use crate::pricing;
-use crate::search::min_cost_path;
+use crate::search::{min_cost_path_in, SearchScratch};
 use crate::state::NetworkState;
 use sb_demand::Request;
 use sb_energy::SatelliteRole;
 use sb_topology::LinkType;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 /// Why a request was rejected.
@@ -98,6 +100,22 @@ pub trait RoutingAlgorithm {
 pub struct Cear {
     params: CearParams,
     ablation: AblationFlags,
+    /// Reused Dijkstra arena and memoized unit prices. Interior mutability
+    /// because quoting is logically read-only; the caches are pure
+    /// acceleration — every quote is bit-identical with or without them
+    /// (see `tests::cached_quotes_match_reference_bitwise`).
+    hot: RefCell<HotPath>,
+    /// `false` runs the pre-cache reference path (fresh allocations,
+    /// direct `powf`) for equivalence testing — see [`Cear::reference`].
+    use_caches: bool,
+}
+
+/// The per-instance acceleration state behind [`Cear`]'s quote path.
+#[derive(Debug, Clone, Default)]
+struct HotPath {
+    scratch: SearchScratch,
+    /// Built lazily on first quote (needs `μ₁, μ₂`).
+    prices: Option<PriceCache>,
 }
 
 /// Which of CEAR's three mechanisms are active — for ablation studies.
@@ -141,12 +159,27 @@ impl AblationFlags {
 impl Cear {
     /// Creates CEAR with the given pricing parameters.
     pub fn new(params: CearParams) -> Self {
-        Cear { params, ablation: AblationFlags::default() }
+        Cear {
+            params,
+            ablation: AblationFlags::default(),
+            hot: RefCell::new(HotPath::default()),
+            use_caches: true,
+        }
     }
 
     /// Creates an ablated CEAR variant (for the ablation benches).
     pub fn with_ablation(params: CearParams, ablation: AblationFlags) -> Self {
-        Cear { params, ablation }
+        Cear { ablation, ..Cear::new(params) }
+    }
+
+    /// Creates CEAR with the hot-path caches disabled: every quote
+    /// allocates fresh search memory and evaluates every `μ^λ` via `powf`.
+    ///
+    /// This is the pre-optimization code path, kept so equivalence tests
+    /// (and anyone suspicious of a cache) can prove decisions and prices
+    /// are bit-identical to the accelerated path.
+    pub fn reference(params: CearParams) -> Self {
+        Cear { use_caches: false, ..Cear::new(params) }
     }
 
     /// The pricing parameters in use.
@@ -196,6 +229,30 @@ impl Cear {
         state: &NetworkState,
         known: Option<&crate::lifecycle::KnownFailures>,
     ) -> Result<(ReservationPlan, f64), RejectReason> {
+        if self.use_caches {
+            let hot = &mut *self.hot.borrow_mut();
+            let prices = hot
+                .prices
+                .get_or_insert_with(|| PriceCache::new(self.params.mu1(), self.params.mu2()));
+            self.quote_impl(request, state, known, &mut hot.scratch, Some(prices))
+        } else {
+            self.quote_impl(request, state, known, &mut SearchScratch::new(), None)
+        }
+    }
+
+    /// The quote body, generic over the acceleration state: `scratch` is
+    /// either this instance's retained arena or a throwaway, and `prices`
+    /// `Some` exactly when memoized pricing is on. Both branches evaluate
+    /// the same arithmetic in the same order, so the result is
+    /// bit-identical either way.
+    fn quote_impl(
+        &self,
+        request: &Request,
+        state: &NetworkState,
+        known: Option<&crate::lifecycle::KnownFailures>,
+        scratch: &mut SearchScratch,
+        mut prices: Option<&mut PriceCache>,
+    ) -> Result<(ReservationPlan, f64), RejectReason> {
         let ablation = self.ablation;
         let mu1 = self.params.mu1();
         let mu2 = self.params.mu2();
@@ -223,7 +280,8 @@ impl Cear {
             let mut cache: HashMap<(usize, SatelliteRole), Option<f64>> = HashMap::new();
             let found = {
                 let tx_ref = &tx;
-                min_cost_path(snapshot, request.source, request.destination, |ctx| {
+                let prices = &mut prices;
+                min_cost_path_in(scratch, snapshot, request.source, request.destination, |ctx| {
                     // Known-down edges are gone, whatever the price says.
                     if known.is_some_and(|k| k.is_down(slot, ctx.edge_id)) {
                         return None;
@@ -232,10 +290,18 @@ impl Cear {
                     if state.residual_mbps(slot, ctx.edge_id) + 1e-9 < rate {
                         return None;
                     }
-                    let lambda_e = state.utilization(slot, ctx.edge_id);
                     let mut cost = HOP_TIEBREAK * (1.0 + rate);
                     if ablation.price_bandwidth {
-                        cost += pricing::bandwidth_price(mu1, lambda_e, rate);
+                        // Cached and fresh paths compute the same
+                        // `rate · (μ₁^λ − 1)` product bit-identically.
+                        cost += match prices.as_deref_mut() {
+                            Some(pc) => rate * pc.link_unit_price(state, slot, ctx.edge_id),
+                            None => pricing::bandwidth_price(
+                                mu1,
+                                state.utilization(slot, ctx.edge_id),
+                                rate,
+                            ),
+                        };
                     }
                     // Energy feasibility (7c) and price for the edge's
                     // source satellite in its role.
@@ -247,9 +313,14 @@ impl Cear {
                         let cached = cache.entry((sat, role)).or_insert_with(|| {
                             let consumption = energy.consumption_j(role, rate, slot_s);
                             tx_ref.peek(sat, t, consumption).map(|trace| {
-                                pricing::deficit_price(mu2, &trace, |tt| {
-                                    ledger.battery_utilization(sat, tt)
-                                })
+                                match prices.as_deref_mut() {
+                                    Some(pc) => pricing::deficit_price_with(&trace, |tt| {
+                                        pc.battery_unit_price(state, sat, tt)
+                                    }),
+                                    None => pricing::deficit_price(mu2, &trace, |tt| {
+                                        ledger.battery_utilization(sat, tt)
+                                    }),
+                                }
                             })
                         });
                         // Feasibility always applies; the price only when
@@ -345,6 +416,36 @@ pub fn plan_slot_cost(
             .peek(sat, sp.slot.index(), consumption)
             .expect("committed path must be energy-feasible");
         cost += pricing::deficit_price(mu2, &trace, |tt| ledger.battery_utilization(sat, tt));
+    }
+    cost
+}
+
+/// [`plan_slot_cost`] priced through a [`PriceCache`] (whose `μ₁, μ₂`
+/// replace the explicit parameters): every `μ^λ` becomes a table read,
+/// and the result is bit-identical to the uncached function.
+pub fn plan_slot_cost_cached(
+    sp: &SlotPath,
+    request: &Request,
+    state: &NetworkState,
+    prices: &mut PriceCache,
+) -> f64 {
+    let snapshot = state.series().snapshot(sp.slot);
+    let rate = request.rate_at(sp.slot);
+    let slot_s = state.slot_duration_s();
+    let ledger = state.ledger();
+    let params = state.energy_params();
+
+    let mut cost = 0.0;
+    for &e in &sp.edges {
+        cost += rate * prices.link_unit_price(state, sp.slot, e);
+    }
+    for (node, role) in sp.satellite_roles(snapshot) {
+        let sat = state.satellite_index(node).expect("role on non-satellite");
+        let consumption = params.consumption_j(role, rate, slot_s);
+        let trace = ledger
+            .peek(sat, sp.slot.index(), consumption)
+            .expect("committed path must be energy-feasible");
+        cost += pricing::deficit_price_with(&trace, |tt| prices.battery_unit_price(state, sat, tt));
     }
     cost
 }
@@ -574,6 +675,71 @@ mod tests {
             }
             for s in 0..state.num_satellites() {
                 assert!(state.ledger().battery_level_j(s, t as usize) >= -1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn cached_quotes_match_reference_bitwise() {
+        // The tentpole's correctness bar: CEAR with the search arena and
+        // price cache makes exactly the decisions of the pre-optimization
+        // path — same plans, same price bits — over a request stream that
+        // exercises commits, rejections and mid-stream releases.
+        let (mut state_fast, src, dst) = build_state(3);
+        let mut state_ref = state_fast.clone();
+        let mut fast = Cear::new(CearParams::default());
+        let mut reference = Cear::reference(CearParams::default());
+        let mut accepted = 0;
+        for k in 0..30u32 {
+            let rate = 400.0 + 150.0 * (k % 7) as f64;
+            let valuation = if k % 5 == 4 { 1e-9 } else { f64::MAX };
+            let req = request(src, dst, rate, 0, 2, valuation);
+            let a = fast.process(&req, &mut state_fast);
+            let b = reference.process(&req, &mut state_ref);
+            match (&a, &b) {
+                (
+                    Decision::Accepted { plan: pa, price: qa },
+                    Decision::Accepted { plan: pb, price: qb },
+                ) => {
+                    accepted += 1;
+                    assert_eq!(pa, pb, "request {k}: plans differ");
+                    assert_eq!(qa.to_bits(), qb.to_bits(), "request {k}: price bits differ");
+                }
+                _ => assert_eq!(a, b, "request {k}: decisions differ"),
+            }
+            // Exercise the release invalidation path mid-stream.
+            if k % 6 == 5 {
+                if let (Some(ia), Some(ib)) = (state_fast.last_booking(), state_ref.last_booking())
+                {
+                    state_fast.release_from(ia, SlotIndex(1));
+                    state_ref.release_from(ib, SlotIndex(1));
+                }
+            }
+        }
+        assert!(accepted >= 2, "stream must admit some requests");
+        assert_eq!(state_fast.ledger(), state_ref.ledger(), "final ledgers diverged");
+    }
+
+    #[test]
+    fn plan_slot_cost_cached_matches_uncached_bitwise() {
+        let (mut state, src, dst) = build_state(1);
+        let mut cear = Cear::new(CearParams::default());
+        for _ in 0..3 {
+            let filler = request(src, dst, 1200.0, 0, 0, f64::MAX);
+            let _ = cear.process(&filler, &mut state);
+        }
+        let req = request(src, dst, 800.0, 0, 0, f64::MAX);
+        let (plan, _) = cear.quote(&req, &state).expect("feasible");
+        let mu1 = cear.params().mu1();
+        let mu2 = cear.params().mu2();
+        let mut prices = PriceCache::new(mu1, mu2);
+        for sp in &plan.slot_paths {
+            let fresh = plan_slot_cost(sp, &req, &state, mu1, mu2);
+            // Twice: a cold pass (fills the cache) and a warm pass (pure
+            // table reads) must both reproduce the exact bits.
+            for pass in 0..2 {
+                let cached = plan_slot_cost_cached(sp, &req, &state, &mut prices);
+                assert_eq!(cached.to_bits(), fresh.to_bits(), "pass {pass}");
             }
         }
     }

@@ -34,10 +34,18 @@ pub use ssp::Ssp;
 use crate::algorithm::{Decision, RejectReason};
 use crate::lifecycle::KnownFailures;
 use crate::plan::{ReservationPlan, SlotPath};
-use crate::search::{min_cost_path, EdgeContext};
+use crate::search::{min_cost_path_in, EdgeContext, SearchScratch};
 use crate::state::NetworkState;
 use sb_demand::Request;
 use sb_topology::SlotIndex;
+use std::cell::RefCell;
+
+thread_local! {
+    /// One search arena per thread, shared by every baseline: the per-slot
+    /// searches of all baseline calls on a thread reuse the same buffers
+    /// (see [`SearchScratch`]), which is bit-transparent to the results.
+    static BASELINE_SCRATCH: RefCell<SearchScratch> = RefCell::new(SearchScratch::new());
+}
 
 /// Shared baseline search: routes every active slot with `weight_fn`
 /// (bandwidth feasibility and known-down pruning are pre-checked before
@@ -49,25 +57,29 @@ pub(crate) fn route_plan(
     known: Option<&KnownFailures>,
     mut weight_fn: impl FnMut(&EdgeContext<'_>, SlotIndex, &NetworkState) -> Option<f64>,
 ) -> Result<ReservationPlan, RejectReason> {
-    let mut slot_paths = Vec::with_capacity(request.duration_slots());
-    for slot in request.active_slots() {
-        let rate = request.rate_at(slot);
-        let snapshot = state.series().snapshot(slot);
-        let found = min_cost_path(snapshot, request.source, request.destination, |ctx| {
-            if known.is_some_and(|k| k.is_down(slot, ctx.edge_id)) {
-                return None;
+    BASELINE_SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        let mut slot_paths = Vec::with_capacity(request.duration_slots());
+        for slot in request.active_slots() {
+            let rate = request.rate_at(slot);
+            let snapshot = state.series().snapshot(slot);
+            let found =
+                min_cost_path_in(scratch, snapshot, request.source, request.destination, |ctx| {
+                    if known.is_some_and(|k| k.is_down(slot, ctx.edge_id)) {
+                        return None;
+                    }
+                    if state.residual_mbps(slot, ctx.edge_id) + 1e-9 < rate {
+                        return None;
+                    }
+                    weight_fn(ctx, slot, state)
+                });
+            match found {
+                Some(p) => slot_paths.push(SlotPath { slot, nodes: p.nodes, edges: p.edges }),
+                None => return Err(RejectReason::NoFeasiblePath),
             }
-            if state.residual_mbps(slot, ctx.edge_id) + 1e-9 < rate {
-                return None;
-            }
-            weight_fn(ctx, slot, state)
-        });
-        match found {
-            Some(p) => slot_paths.push(SlotPath { slot, nodes: p.nodes, edges: p.edges }),
-            None => return Err(RejectReason::NoFeasiblePath),
         }
-    }
-    Ok(ReservationPlan { slot_paths, total_cost: 0.0 })
+        Ok(ReservationPlan { slot_paths, total_cost: 0.0 })
+    })
 }
 
 /// Shared baseline driver: [`route_plan`], then atomically commit. No

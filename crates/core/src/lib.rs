@@ -29,6 +29,8 @@
 //! * [`params`] — the pricing parameters `F₁, F₂, n, 𝕋 → μ₁, μ₂` and the
 //!   competitive ratio;
 //! * [`pricing`] — the exponential price functions (Eqs. 8–12);
+//! * [`pricecache`] — memoized unit prices keyed on state change epochs
+//!   (the hot-path `powf` becomes a table read, bit-identically);
 //! * [`state`] — mutable network state: per-slot bandwidth reservations
 //!   plus the satellite energy ledger, with atomic plan commits;
 //! * [`search`] — the per-slot min-cost path search over
@@ -95,6 +97,7 @@ pub mod multipath;
 pub mod offline;
 pub mod params;
 pub mod plan;
+pub mod pricecache;
 pub mod pricing;
 pub mod search;
 pub mod state;
@@ -107,4 +110,6 @@ pub use lifecycle::{repair, try_repair, KnownFailures, RepairOutcome, RepairPoli
 pub use multipath::MultipathCear;
 pub use params::CearParams;
 pub use plan::{ReservationPlan, SlotPath};
+pub use pricecache::PriceCache;
+pub use search::SearchScratch;
 pub use state::{BookingId, NetworkState};

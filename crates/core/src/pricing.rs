@@ -63,7 +63,19 @@ pub fn deficit_price(
     trace: &sb_energy::DeficitTrace,
     utilization_at: impl Fn(usize) -> f64,
 ) -> f64 {
-    trace.per_slot.iter().map(|&(t, d)| unit_price(mu2, utilization_at(t)) * d).sum()
+    deficit_price_with(trace, |t| unit_price(mu2, utilization_at(t)))
+}
+
+/// [`deficit_price`] with the unit price supplied directly per slot —
+/// the entry point for cached prices (see [`crate::PriceCache`]). Both
+/// functions share this summation, so a cached price that reproduces the
+/// per-slot unit prices bit-exactly reproduces the total bit-exactly.
+#[inline]
+pub fn deficit_price_with(
+    trace: &sb_energy::DeficitTrace,
+    mut unit_price_at: impl FnMut(usize) -> f64,
+) -> f64 {
+    trace.per_slot.iter().map(|&(t, d)| unit_price_at(t) * d).sum()
 }
 
 #[cfg(test)]

@@ -50,7 +50,7 @@ pub struct FoundPath {
 }
 
 /// Max-heap entry inverted into a min-heap by ordering on `Reverse`d cost.
-#[derive(Debug, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 struct HeapEntry {
     cost: f64,
     state: usize,
@@ -91,8 +91,79 @@ fn incoming_of_state(state: usize) -> LinkType {
     }
 }
 
+/// Reusable Dijkstra working memory for [`min_cost_path_in`].
+///
+/// A fresh search needs a dist array, a predecessor array and a binary
+/// heap sized to the snapshot's state space — three allocations plus an
+/// O(states) reinitialization per call, which dominates the per-slot
+/// admission path on large constellations. The scratch keeps all three
+/// alive across calls and replaces the reinit with a generation stamp:
+/// a `dist`/`pred` entry is only valid when its stamp matches the current
+/// generation, so starting a new search is O(1) (bump the generation,
+/// clear the heap in place).
+///
+/// Reusing one scratch is **bit-identical** to fresh allocation: the same
+/// relaxations run in the same order against the same (logical) initial
+/// state, which `tests::prop_scratch_reuse_is_bit_identical` checks.
+#[derive(Debug, Clone, Default)]
+pub struct SearchScratch {
+    dist: Vec<f64>,
+    /// Predecessor: (previous state or usize::MAX for the source, edge id).
+    pred: Vec<(usize, EdgeId)>,
+    /// Entry `i` of `dist`/`pred` is valid iff `stamp[i] == generation`.
+    stamp: Vec<u32>,
+    generation: u32,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl SearchScratch {
+    /// An empty scratch; arrays grow to fit the first snapshot searched.
+    pub fn new() -> Self {
+        SearchScratch::default()
+    }
+
+    /// Prepares for a search over `n_states` states: grows the arrays if
+    /// needed and invalidates every entry by advancing the generation.
+    fn begin(&mut self, n_states: usize) {
+        if self.dist.len() < n_states {
+            self.dist.resize(n_states, f64::INFINITY);
+            self.pred.resize(n_states, (usize::MAX, EdgeId(0)));
+            self.stamp.resize(n_states, 0);
+        }
+        self.generation = match self.generation.checked_add(1) {
+            Some(g) => g,
+            None => {
+                // Wrapped after 2^32 searches: restamp everything once.
+                self.stamp.fill(0);
+                1
+            }
+        };
+        self.heap.clear();
+    }
+
+    #[inline]
+    fn dist(&self, state: usize) -> f64 {
+        if self.stamp[state] == self.generation {
+            self.dist[state]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    #[inline]
+    fn relax(&mut self, state: usize, cost: f64, pred: (usize, EdgeId)) {
+        self.dist[state] = cost;
+        self.pred[state] = pred;
+        self.stamp[state] = self.generation;
+    }
+}
+
 /// Finds the minimum-cost path from `source` to `destination` in one
 /// snapshot under an arbitrary edge-cost model.
+///
+/// Allocates fresh working memory per call; hot paths should hold a
+/// [`SearchScratch`] and use [`min_cost_path_in`] instead — the results
+/// are identical.
 ///
 /// `cost_fn` is called once per relaxation attempt and returns the
 /// non-negative cost of taking that edge, or `None` to prune it. Costs may
@@ -105,6 +176,20 @@ pub fn min_cost_path(
     snapshot: &TopologySnapshot,
     source: NodeId,
     destination: NodeId,
+    cost_fn: impl FnMut(&EdgeContext<'_>) -> Option<f64>,
+) -> Option<FoundPath> {
+    min_cost_path_in(&mut SearchScratch::new(), snapshot, source, destination, cost_fn)
+}
+
+/// [`min_cost_path`] against caller-owned working memory.
+///
+/// `scratch` is reset (O(1)) at the start of every call, so one scratch
+/// can serve any number of sequential searches over snapshots of any size.
+pub fn min_cost_path_in(
+    scratch: &mut SearchScratch,
+    snapshot: &TopologySnapshot,
+    source: NodeId,
+    destination: NodeId,
     mut cost_fn: impl FnMut(&EdgeContext<'_>) -> Option<f64>,
 ) -> Option<FoundPath> {
     if source == destination {
@@ -112,10 +197,7 @@ pub fn min_cost_path(
     }
     let slot = snapshot.slot();
     let n_states = snapshot.num_nodes() * 2;
-    let mut dist = vec![f64::INFINITY; n_states];
-    // Predecessor: (previous state or usize::MAX for the source, edge id).
-    let mut pred: Vec<(usize, EdgeId)> = vec![(usize::MAX, EdgeId(0)); n_states];
-    let mut heap = BinaryHeap::new();
+    scratch.begin(n_states);
 
     // Seed with the source's out-edges.
     for (edge_id, edge) in snapshot.out_edges(source) {
@@ -126,17 +208,16 @@ pub fn min_cost_path(
         if let Some(cost) = cost_fn(&ctx) {
             debug_assert!(cost >= 0.0, "negative edge cost {cost}");
             let state = state_of(edge.dst, edge.link_type);
-            if cost < dist[state] {
-                dist[state] = cost;
-                pred[state] = (usize::MAX, edge_id);
-                heap.push(HeapEntry { cost, state });
+            if cost < scratch.dist(state) {
+                scratch.relax(state, cost, (usize::MAX, edge_id));
+                scratch.heap.push(HeapEntry { cost, state });
             }
         }
     }
 
     let mut best_final: Option<usize> = None;
-    while let Some(HeapEntry { cost, state }) = heap.pop() {
-        if cost > dist[state] {
+    while let Some(HeapEntry { cost, state }) = scratch.heap.pop() {
+        if cost > scratch.dist(state) {
             continue; // stale entry
         }
         let node = node_of_state(state);
@@ -160,10 +241,9 @@ pub fn min_cost_path(
             debug_assert!(step >= 0.0, "negative edge cost {step}");
             let next = state_of(edge.dst, edge.link_type);
             let next_cost = cost + step;
-            if next_cost < dist[next] {
-                dist[next] = next_cost;
-                pred[next] = (state, edge_id);
-                heap.push(HeapEntry { cost: next_cost, state: next });
+            if next_cost < scratch.dist(next) {
+                scratch.relax(next, next_cost, (state, edge_id));
+                scratch.heap.push(HeapEntry { cost: next_cost, state: next });
             }
         }
     }
@@ -175,7 +255,7 @@ pub fn min_cost_path(
     let mut nodes = vec![destination];
     let mut cur = final_state;
     loop {
-        let (prev, edge_id) = pred[cur];
+        let (prev, edge_id) = scratch.pred[cur];
         edges.push(edge_id);
         if prev == usize::MAX {
             nodes.push(source);
@@ -186,7 +266,7 @@ pub fn min_cost_path(
     }
     nodes.reverse();
     edges.reverse();
-    Some(FoundPath { nodes, edges, cost: dist[final_state] })
+    Some(FoundPath { nodes, edges, cost: scratch.dist(final_state) })
 }
 
 #[cfg(test)]
@@ -479,7 +559,66 @@ mod tests {
         TopologySnapshot::from_edges(SlotIndex(0), kinds, pos, vec![true; n], edges)
     }
 
+    /// Runs `queries` sequential searches over varying random snapshots
+    /// through one reused scratch and asserts every [`FoundPath`] is
+    /// bit-identical (nodes, edges, exact cost bits) to a fresh-allocation
+    /// call.
+    fn assert_scratch_matches_fresh(base_seed: u64, queries: u64) {
+        let mut scratch = SearchScratch::new();
+        for q in 0..queries {
+            let seed = base_seed.wrapping_add(q);
+            // Vary the node count so the scratch also regrows mid-stream.
+            let n = 4 + (seed % 5) as usize;
+            let snapshot = random_snapshot(n, seed);
+            let w = 1 + (seed % 29) as u32;
+            let cost = |a: u32, b: u32| ((a * w + b * 17) % 23) as f64 + 0.25;
+            let fresh = min_cost_path(&snapshot, NodeId(0), NodeId(n as u32 - 1), |ctx| {
+                Some(cost(ctx.edge.src.0, ctx.edge.dst.0))
+            });
+            let reused =
+                min_cost_path_in(&mut scratch, &snapshot, NodeId(0), NodeId(n as u32 - 1), |ctx| {
+                    Some(cost(ctx.edge.src.0, ctx.edge.dst.0))
+                });
+            match (&fresh, &reused) {
+                (None, None) => {}
+                (Some(f), Some(r)) => {
+                    assert_eq!(f.nodes, r.nodes, "query {q}");
+                    assert_eq!(f.edges, r.edges, "query {q}");
+                    assert_eq!(f.cost.to_bits(), r.cost.to_bits(), "query {q}");
+                }
+                _ => panic!("query {q}: reachability disagrees: {fresh:?} vs {reused:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_over_many_queries() {
+        assert_scratch_matches_fresh(0xC0FFEE, 200);
+    }
+
+    #[test]
+    fn scratch_survives_generation_wraparound() {
+        let mut scratch = SearchScratch::new();
+        scratch.generation = u32::MAX - 1;
+        let g = diamond();
+        for _ in 0..4 {
+            // Crosses the u32 wrap; results must stay correct throughout.
+            let p = min_cost_path_in(&mut scratch, &g, NodeId(0), NodeId(5), |_| Some(1.0))
+                .expect("diamond is connected");
+            assert_eq!(p.cost, 3.0);
+        }
+    }
+
     proptest! {
+        /// A reused [`SearchScratch`] must return exactly the same
+        /// [`FoundPath`] (nodes, edges, cost bits) as a fresh-allocation
+        /// call, across many sequential queries over random snapshots and
+        /// cost models.
+        #[test]
+        fn prop_scratch_reuse_is_bit_identical(base_seed in 0u64..500, queries in 1u64..40) {
+            assert_scratch_matches_fresh(base_seed, queries);
+        }
+
         /// Dijkstra over (node, link-type) states must agree with an
         /// exhaustive enumeration of simple paths whenever edge costs do
         /// not depend on the incoming link type (then the state expansion

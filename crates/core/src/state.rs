@@ -13,6 +13,21 @@ use sb_energy::{EnergyLedger, EnergyParams};
 use sb_topology::graph::EdgeId;
 use sb_topology::{NodeKind, SlotIndex, TopologySeries};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide epoch source for resource-cell change tracking.
+///
+/// Every mutation of a priced resource cell stamps the cell with a fresh
+/// value drawn from this counter, so an epoch value is assigned at most
+/// once across *all* states and their clones. A cached price stamped with
+/// epoch `e` is therefore valid against any state whose cell still reads
+/// `e`: equal epochs imply the cells were copied from a common ancestor
+/// before either side mutated them, hence hold bit-identical values.
+static EPOCH_SOURCE: AtomicU64 = AtomicU64::new(1);
+
+fn next_epoch() -> u64 {
+    EPOCH_SOURCE.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Why a plan commit was refused.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,6 +101,14 @@ pub struct NetworkState {
     ledger: EnergyLedger,
     /// Reserved bandwidth per slot, indexed by the slot's snapshot edge id.
     reserved_mbps: Vec<Vec<f64>>,
+    /// Change epoch per `reserved_mbps` cell (see [`EPOCH_SOURCE`]): bumped
+    /// whenever the cell's value may have changed, so price caches keyed on
+    /// (slot, edge) can revalidate in O(1).
+    bandwidth_epoch: Vec<Vec<u64>>,
+    /// Change epoch per ledger deficit cell, indexed by
+    /// [`EnergyLedger::flat_index`]; bumped whenever the cell's cumulative
+    /// deficit (what battery prices read) may have changed.
+    battery_epoch: Vec<u64>,
     /// Every committed booking, in commit order (see [`BookingEntry`]).
     bookings: Vec<BookingEntry>,
 }
@@ -102,13 +125,19 @@ impl NetworkState {
             .map(|i| series.sunlit_profile(sb_topology::NodeId(i as u32)))
             .collect();
         let ledger = EnergyLedger::new(energy_params, series.slot_duration_s(), &sunlit);
-        let reserved_mbps = series.snapshots().iter().map(|s| vec![0.0; s.num_edges()]).collect();
+        let reserved_mbps: Vec<Vec<f64>> =
+            series.snapshots().iter().map(|s| vec![0.0; s.num_edges()]).collect();
+        let epoch = next_epoch();
+        let bandwidth_epoch = reserved_mbps.iter().map(|row| vec![epoch; row.len()]).collect();
+        let battery_epoch = vec![epoch; num_satellites * series.num_slots()];
         NetworkState {
             series,
             num_satellites,
             energy_params: *energy_params,
             ledger,
             reserved_mbps,
+            bandwidth_epoch,
+            battery_epoch,
             bookings: Vec::new(),
         }
     }
@@ -171,6 +200,25 @@ impl NetworkState {
             return 0.0;
         }
         utilization.clamp(0.0, 1.0)
+    }
+
+    /// Change epoch of the reserved-bandwidth cell `(slot, edge)`.
+    ///
+    /// Two reads returning the same epoch bracket a window in which the
+    /// cell's value — and hence [`Self::utilization`] — was unchanged, even
+    /// across state clones. Anything derived from the cell (e.g. a cached
+    /// congestion price) stays valid exactly as long as the epoch does.
+    #[inline]
+    pub fn bandwidth_epoch(&self, slot: SlotIndex, edge: EdgeId) -> u64 {
+        self.bandwidth_epoch[slot.index()][edge.index()]
+    }
+
+    /// Change epoch of satellite `sat`'s deficit cell at slot `t` — the
+    /// input of [`EnergyLedger::battery_utilization`]. Same contract as
+    /// [`Self::bandwidth_epoch`].
+    #[inline]
+    pub fn battery_epoch(&self, sat: usize, t: usize) -> u64 {
+        self.battery_epoch[self.ledger.flat_index(sat, t)]
     }
 
     /// The constellation index of a node, when it is a broadband satellite.
@@ -243,9 +291,16 @@ impl NetworkState {
         }
         let delta = tx.into_delta();
 
-        // All checks passed: apply.
+        // All checks passed: apply. One fresh epoch stamps every touched
+        // cell; untouched cells keep their epoch, so cached prices
+        // elsewhere stay valid.
+        let epoch = next_epoch();
         for (&(slot, edge), &mbps) in &demand {
             self.reserved_mbps[slot.index()][edge.index()] += mbps;
+            self.bandwidth_epoch[slot.index()][edge.index()] = epoch;
+        }
+        for i in delta.deficit_indices() {
+            self.battery_epoch[i] = epoch;
         }
         self.ledger.absorb(delta);
         let mut bw: Vec<(SlotIndex, EdgeId, f64)> =
@@ -299,8 +354,10 @@ impl NetworkState {
         entry.energy.retain(|&(_, t, _)| t < from.index());
 
         // Re-fold affected bandwidth cells from the surviving log.
+        let epoch = next_epoch();
         for &(s, e) in &released_cells {
             self.reserved_mbps[s.index()][e.index()] = 0.0;
+            self.bandwidth_epoch[s.index()][e.index()] = epoch;
         }
         for b in &self.bookings {
             for &(s, e, mbps) in &b.bw {
@@ -314,8 +371,13 @@ impl NetworkState {
         // was feasible in the original sequence, which drained strictly
         // more (it included the released consumptions), and adding energy
         // headroom never breaks feasibility — so replay cannot panic.
+        // Reset + replay can move any cell of the row, so the whole row's
+        // epochs advance.
         for &sat in &released_sats {
             self.ledger.reset_satellite(sat);
+            for t in 0..self.horizon() {
+                self.battery_epoch[self.ledger.flat_index(sat, t)] = epoch;
+            }
         }
         for b in &self.bookings {
             for &(sat, t, j) in &b.energy {
@@ -453,7 +515,22 @@ impl NetworkState {
             bookings.push(BookingEntry { bw, energy });
         }
         let energy_params = *ledger.params();
-        Ok(NetworkState { series, num_satellites, energy_params, ledger, reserved_mbps, bookings })
+        // Epochs are transient cache-coherence data, not wire state: a
+        // decoded state gets one fresh epoch everywhere, which can never
+        // collide with a stamp a price cache took against another state.
+        let epoch = next_epoch();
+        let bandwidth_epoch = reserved_mbps.iter().map(|row| vec![epoch; row.len()]).collect();
+        let battery_epoch = vec![epoch; num_satellites * series.num_slots()];
+        Ok(NetworkState {
+            series,
+            num_satellites,
+            energy_params,
+            ledger,
+            reserved_mbps,
+            bandwidth_epoch,
+            battery_epoch,
+            bookings,
+        })
     }
 
     /// Test-only corruption injector: overwrites one reserved-bandwidth
@@ -463,11 +540,16 @@ impl NetworkState {
     #[doc(hidden)]
     pub fn debug_set_reserved(&mut self, slot: SlotIndex, edge: EdgeId, mbps: f64) {
         self.reserved_mbps[slot.index()][edge.index()] = mbps;
+        self.bandwidth_epoch[slot.index()][edge.index()] = next_epoch();
     }
 
     /// Test-only mutable ledger access, for injecting ledger corruption.
+    /// Conservatively advances every battery epoch — the caller may mutate
+    /// any cell through the returned reference.
     #[doc(hidden)]
     pub fn debug_ledger_mut(&mut self) -> &mut EnergyLedger {
+        let epoch = next_epoch();
+        self.battery_epoch.fill(epoch);
         &mut self.ledger
     }
 

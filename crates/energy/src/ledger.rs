@@ -105,8 +105,14 @@ impl EnergyLedger {
         sat * self.horizon + t
     }
 
+    /// The flat satellite-major index of `(sat, t)`: `sat · horizon + t`.
+    ///
+    /// Public so callers keying per-(satellite, slot) side tables (e.g.
+    /// cached battery prices invalidated via
+    /// [`LedgerDelta::deficit_indices`](crate::overlay::LedgerDelta::deficit_indices))
+    /// can share the ledger's cell addressing.
     #[inline]
-    pub(crate) fn flat_index(&self, sat: usize, t: usize) -> usize {
+    pub fn flat_index(&self, sat: usize, t: usize) -> usize {
         self.idx(sat, t)
     }
 

@@ -22,6 +22,16 @@ impl LedgerDelta {
     pub(crate) fn into_parts(self) -> (HashMap<usize, f64>, HashMap<usize, f64>) {
         (self.solar, self.deficit)
     }
+
+    /// Flat ledger indices (see [`EnergyLedger::flat_index`]) whose
+    /// cumulative deficit this delta modifies, in unspecified order.
+    ///
+    /// Deficit cells are exactly what
+    /// [`EnergyLedger::battery_utilization`] reads, so absorbing the delta
+    /// invalidates cached battery prices for these cells and no others.
+    pub fn deficit_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.deficit.keys().copied()
+    }
 }
 
 /// A copy-on-write transactional view of an [`EnergyLedger`].

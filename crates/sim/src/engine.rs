@@ -964,6 +964,27 @@ mod tests {
     }
 
     #[test]
+    fn hot_path_caches_leave_run_metrics_bit_identical() {
+        // The reusable search arena and the epoch-validated price cache
+        // are pure accelerations: a full engine run through the cached
+        // CEAR must equal a run through the cache-free reference path in
+        // every metric (only wall clock may differ).
+        let scenario = ScenarioConfig::tiny();
+        let params = CearParams::default();
+        for seed in [0, 3] {
+            let prepared = prepare(&scenario, seed);
+            let requests = workload(&scenario, &prepared, seed);
+            let mut reference = sb_cear::Cear::reference(params);
+            let a = run_with_algorithm(&scenario, &prepared, &requests, &mut reference, seed);
+            let mut b =
+                run_prepared(&scenario, &prepared, &requests, &AlgorithmKind::Cear(params), seed);
+            b.processing_ms = a.processing_ms; // wall clock may differ
+            assert_eq!(a, b, "seed {seed}");
+            assert!(a.accepted_requests > 0, "seed {seed}: vacuous equivalence");
+        }
+    }
+
+    #[test]
     fn different_seeds_differ() {
         let scenario = ScenarioConfig::tiny();
         let a = run(&scenario, &AlgorithmKind::Ssp, 1);
