@@ -192,12 +192,34 @@ fn bench_single_slot_admission(c: &mut Criterion) {
     });
 }
 
+fn bench_parallel_quote(c: &mut Criterion) {
+    // The speculative slot-parallel quote vs the serial chain on a
+    // 10-slot request (quotes only — no commit — so one state serves
+    // every iteration). Both variants return bit-identical results; the
+    // benchmark measures what the parallelism buys.
+    let (state, src, dst) = network();
+    let request = Request {
+        id: RequestId(0),
+        source: src,
+        destination: dst,
+        rate: RateProfile::Constant(1250.0),
+        start: SlotIndex(0),
+        end: SlotIndex(9),
+        valuation: 2.3e9,
+    };
+    let serial = Cear::new(CearParams::default());
+    c.bench_function("quote_10slot_serial", |b| b.iter(|| serial.quote(&request, &state)));
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let parallel = Cear::new(CearParams::default()).with_quote_threads(threads);
+    c.bench_function("quote_10slot_parallel", |b| b.iter(|| parallel.quote(&request, &state)));
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_snapshot_build, bench_cear_decision, bench_energy_recursion,
               bench_tiny_end_to_end, bench_ground_grid, bench_tle_parse,
               bench_coverage, bench_failure_injection, bench_search_arena,
-              bench_price_cache, bench_single_slot_admission
+              bench_price_cache, bench_single_slot_admission, bench_parallel_quote
 }
 criterion_main!(benches);

@@ -11,7 +11,9 @@
 //!
 //! Supports `--checkpoint-every N` (durable runs under `OUT/durable/`)
 //! and `--resume DIR` to continue an interrupted sweep; see the
-//! robustness binary for the workflow.
+//! robustness binary for the workflow. `--jobs N` and `--quote-threads N`
+//! parallelize across sweep cells and within each CEAR admission
+//! respectively, byte-identically.
 
 use sb_bench::{parse_args, run_cell, run_cells};
 use sb_cear::AblationFlags;

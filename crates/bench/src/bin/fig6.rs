@@ -7,6 +7,9 @@
 //! cargo run -p sb-bench --release --bin fig6 -- --scale paper   # full
 //! cargo run -p sb-bench --release --bin fig6 -- --jobs 8       # parallel
 //! ```
+//!
+//! `--quote-threads N` additionally parallelizes each CEAR admission
+//! across its slots (bit-identical outputs; see `sb_cear::parquote`).
 
 use sb_bench::{parse_args, run_cells, write_csv};
 use sb_sim::engine::{self, AlgorithmKind};

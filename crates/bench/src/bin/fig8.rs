@@ -4,6 +4,10 @@
 //! ```text
 //! cargo run -p sb-bench --release --bin fig8 -- --scale fast
 //! ```
+//!
+//! `--jobs N` fans sweep cells across workers; `--quote-threads N`
+//! parallelizes each CEAR admission across its slots. Outputs are
+//! byte-identical for every value of both.
 
 use sb_bench::{parse_args, run_cells, write_csv};
 use sb_sim::engine::{self, AlgorithmKind};

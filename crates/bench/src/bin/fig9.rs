@@ -4,6 +4,10 @@
 //! ```text
 //! cargo run -p sb-bench --release --bin fig9 -- --scale fast
 //! ```
+//!
+//! `--jobs N` fans sweep cells across workers; `--quote-threads N`
+//! parallelizes each CEAR admission across its slots. Outputs are
+//! byte-identical for every value of both.
 
 use sb_bench::{parse_args, run_cells, write_csv};
 use sb_demand::ValuationModel;

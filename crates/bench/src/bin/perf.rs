@@ -1,6 +1,7 @@
 //! Performance measurement harness: times the sweep runner serially and in
-//! parallel, plus the two hot-path micro-kernels (search arena, price
-//! cache), and emits machine-readable `BENCH_perf.json`.
+//! parallel, the speculative slot-parallel admission quote, plus the two
+//! hot-path micro-kernels (search arena, price cache), and emits
+//! machine-readable `BENCH_perf.json`.
 //!
 //! ```text
 //! cargo run -p sb-bench --release --bin perf -- --scale fast --jobs 4
@@ -9,14 +10,22 @@
 //! The sweep section runs the fig6-style (algorithm × seed) grid once with
 //! one worker and once with `--jobs` workers, asserting the two result
 //! vectors are bit-identical (the parallel runner's determinism contract)
-//! before reporting the speedup. The micro section measures the per-slot
-//! path search with and without the reusable [`sb_cear::SearchScratch`]
-//! arena, and the exponential unit price via `powf` against the
-//! epoch-validated [`sb_cear::PriceCache`].
+//! before reporting the speedup. The quote section times a multi-slot CEAR
+//! admission quote serially and with `--quote-threads` workers (defaulting
+//! to the host parallelism when the flag is absent), asserts bitwise
+//! equality, and reports the speculation hit rate. The micro section
+//! measures the per-slot path search with and without the reusable
+//! [`sb_cear::SearchScratch`] arena, and the exponential unit price via
+//! `powf` against the epoch-validated [`sb_cear::PriceCache`].
+//!
+//! The report carries the host's available parallelism alongside `--jobs`
+//! and `--quote-threads`, so a disappointing speedup measured on a 1-core
+//! container is machine-readably distinguishable from a real regression.
 
 use sb_bench::{parse_args, run_cells};
 use sb_cear::search::{min_cost_path, min_cost_path_in};
-use sb_cear::{pricing, CearParams, NetworkState, PriceCache, SearchScratch};
+use sb_cear::{pricing, Cear, CearParams, NetworkState, PriceCache, SearchScratch};
+use sb_demand::{RateProfile, Request, RequestId};
 use sb_energy::EnergyParams;
 use sb_geo::coords::Geodetic;
 use sb_orbit::walker::WalkerConstellation;
@@ -26,13 +35,13 @@ use sb_topology::{NetworkNodes, SlotIndex, TopologyConfig, TopologySeries};
 use std::hint::black_box;
 use std::time::Instant;
 
-fn micro_network() -> (NetworkState, sb_topology::NodeId, sb_topology::NodeId) {
+fn micro_network(slots: usize) -> (NetworkState, sb_topology::NodeId, sb_topology::NodeId) {
     let shell = WalkerConstellation::delta(16, 16, 5, 550e3, 53f64.to_radians());
     let mut nodes = NetworkNodes::from_walker(&shell);
     let a = nodes.add_ground_site(Geodetic::from_degrees(35.8, -78.6, 0.0));
     let b = nodes.add_ground_site(Geodetic::from_degrees(48.9, 2.3, 0.0));
     let cfg = TopologyConfig { min_elevation_rad: 15f64.to_radians(), ..TopologyConfig::default() };
-    let series = TopologySeries::build(&nodes, &cfg, 4, 60.0);
+    let series = TopologySeries::build(&nodes, &cfg, slots, 60.0);
     (NetworkState::new(series, &EnergyParams::default()), a, b)
 }
 
@@ -67,8 +76,75 @@ fn main() {
     let speedup = serial_s / parallel_s;
     eprintln!("sweep: serial {serial_s:.2}s, parallel {parallel_s:.2}s, speedup {speedup:.2}x");
 
+    // ---- Quote: serial vs speculative slot-parallel admission ----------
+    // A 12-slot horizon gives the quote 12 per-slot searches to fan out;
+    // one committed reservation makes the quoted state non-trivial.
+    let quote_threads =
+        if opts.quote_threads > 1 { opts.quote_threads } else { sb_bench::default_jobs() };
+    let (mut qstate, qsrc, qdst) = micro_network(12);
+    let params = CearParams::default();
+    let mk_request = |id: u32, rate: f64| Request {
+        id: RequestId(id),
+        source: qsrc,
+        destination: qdst,
+        rate: RateProfile::Constant(rate),
+        start: SlotIndex(0),
+        end: SlotIndex(11),
+        valuation: f64::MAX,
+    };
+    // Rates are kept solar-covered (consumption within each slot's
+    // harvest): that is the regime where speculation validates — a slot
+    // that draws on the battery propagates into later slots' solar
+    // budget, so the request's own earlier commits would perturb every
+    // later deficit trace and force the serial fallback. That divergence
+    // regime is covered by the parquote property tests; here we measure
+    // what the parallel phase buys when it validates.
+    {
+        use sb_cear::RoutingAlgorithm;
+        let mut warm = Cear::new(params);
+        black_box(warm.process(&mk_request(0, 30.0), &mut qstate));
+    }
+    let quote_requests: Vec<Request> =
+        (0..16).map(|id| mk_request(100 + id, 10.0 + 2.0 * id as f64)).collect();
+    let quote_passes = 12u32;
+    let serial_cear = Cear::new(params);
+    let t = Instant::now();
+    let mut serial_quotes = Vec::new();
+    for _ in 0..quote_passes {
+        serial_quotes.clear();
+        for r in &quote_requests {
+            serial_quotes.push(black_box(serial_cear.quote(r, &qstate)));
+        }
+    }
+    let quote_serial_us =
+        t.elapsed().as_secs_f64() * 1e6 / (quote_passes as usize * quote_requests.len()) as f64;
+    let parallel_cear = Cear::new(params).with_quote_threads(quote_threads);
+    let t = Instant::now();
+    let mut parallel_quotes = Vec::new();
+    for _ in 0..quote_passes {
+        parallel_quotes.clear();
+        for r in &quote_requests {
+            parallel_quotes.push(black_box(parallel_cear.quote(r, &qstate)));
+        }
+    }
+    let quote_parallel_us =
+        t.elapsed().as_secs_f64() * 1e6 / (quote_passes as usize * quote_requests.len()) as f64;
+    let quote_deterministic =
+        serial_quotes.iter().zip(&parallel_quotes).all(|(a, b)| match (a, b) {
+            (Ok((pa, qa)), Ok((pb, qb))) => pa == pb && qa.to_bits() == qb.to_bits(),
+            (a, b) => a == b,
+        });
+    assert!(quote_deterministic, "speculative quote diverged from the serial path");
+    let quote_stats = parallel_cear.quote_stats();
+    let quote_speedup = quote_serial_us / quote_parallel_us;
+    eprintln!(
+        "quote: serial {quote_serial_us:.1}µs, {quote_threads}-thread {quote_parallel_us:.1}µs, \
+         speedup {quote_speedup:.2}x, hit rate {:.3}",
+        quote_stats.hit_rate()
+    );
+
     // ---- Micro: per-slot search, fresh allocation vs reused arena ------
-    let (state, src, dst) = micro_network();
+    let (state, src, dst) = micro_network(4);
     let snap = state.series().snapshot(SlotIndex(0));
     let iters = 300u32;
     let t = Instant::now();
@@ -87,7 +163,6 @@ fn main() {
     eprintln!("search: fresh {fresh_us:.1}µs, arena {scratch_us:.1}µs");
 
     // ---- Micro: exponential unit price, powf vs cached -----------------
-    let params = CearParams::default();
     let slot = SlotIndex(0);
     let n_edges = snap.num_edges();
     let passes = 100usize;
@@ -114,18 +189,26 @@ fn main() {
 
     // ---- Report --------------------------------------------------------
     let json = format!(
-        "{{\n  \"scale\": \"{}\",\n  \"seeds\": {},\n  \"jobs\": {},\n  \
-         \"host_parallelism\": {},\n  \"sweep\": {{\n    \"cells\": {},\n    \
+        "{{\n  \"scale\": \"{}\",\n  \"seeds\": {},\n  \"host\": {{\n    \
+         \"available_parallelism\": {},\n    \"jobs\": {},\n    \
+         \"quote_threads\": {}\n  }},\n  \"sweep\": {{\n    \"cells\": {},\n    \
          \"serial_s\": {:.4},\n    \"parallel_s\": {:.4},\n    \
          \"serial_cells_per_s\": {:.4},\n    \"parallel_cells_per_s\": {:.4},\n    \
-         \"speedup\": {:.4},\n    \"deterministic\": {}\n  }},\n  \"micro\": {{\n    \
+         \"speedup\": {:.4},\n    \"deterministic\": {}\n  }},\n  \"quote\": {{\n    \
+         \"horizon_slots\": 12,\n    \"requests\": {},\n    \"passes\": {},\n    \
+         \"serial_us\": {:.3},\n    \"parallel_us\": {:.3},\n    \
+         \"speedup\": {:.4},\n    \"speculated_slots\": {},\n    \
+         \"validated_slots\": {},\n    \"fallback_slots\": {},\n    \
+         \"speculation_hit_rate\": {:.4},\n    \"deterministic\": {}\n  }},\n  \
+         \"micro\": {{\n    \
          \"search_fresh_us\": {:.3},\n    \"search_arena_us\": {:.3},\n    \
          \"search_speedup\": {:.4},\n    \"unit_price_powf_ns\": {:.3},\n    \
          \"unit_price_cached_ns\": {:.3},\n    \"pricing_speedup\": {:.4}\n  }}\n}}\n",
         scenario.name,
         opts.seeds,
-        opts.jobs,
         sb_bench::default_jobs(),
+        opts.jobs,
+        quote_threads,
         cells.len(),
         serial_s,
         parallel_s,
@@ -133,6 +216,16 @@ fn main() {
         cells.len() as f64 / parallel_s,
         speedup,
         deterministic,
+        quote_requests.len(),
+        quote_passes,
+        quote_serial_us,
+        quote_parallel_us,
+        quote_speedup,
+        quote_stats.speculated_slots,
+        quote_stats.validated_slots,
+        quote_stats.fallback_slots,
+        quote_stats.hit_rate(),
+        quote_deterministic,
         fresh_us,
         scratch_us,
         fresh_us / scratch_us,

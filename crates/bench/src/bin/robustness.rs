@@ -23,7 +23,9 @@
 //! after an interruption rerun with `--resume OUT/durable` to pick up at
 //! the last checkpoint (completed cells replay from their cached metrics).
 //! `--jobs N` fans the independent sweep cells across N worker threads;
-//! outputs are byte-identical for every worker count.
+//! `--quote-threads N` parallelizes each CEAR admission across its slots.
+//! Outputs are byte-identical for every value of both (CI diffs the CSVs
+//! of `--quote-threads 1` vs `--quote-threads 4` to prove it end-to-end).
 
 use sb_bench::{parse_args, run_cell, run_cells, write_csv};
 use sb_cear::RepairPolicy;

@@ -4,7 +4,7 @@
 //! `--scale {paper,fast}` and `--seeds N`; this crate holds the argument
 //! parsing and run-loop plumbing they share.
 
-use sb_sim::engine::{self, AlgorithmKind, PreparedNetwork};
+use sb_sim::engine::{self, AlgorithmKind, ExecOptions, PreparedNetwork};
 use sb_sim::{DurabilityOptions, RunMetrics, RunOutcome, ScenarioConfig};
 
 /// Command-line options shared by every figure binary.
@@ -27,6 +27,10 @@ pub struct FigureOptions {
     /// parallelism). Cell *results* are ordered deterministically no matter
     /// how many workers run, so CSVs are byte-identical across values.
     pub jobs: usize,
+    /// Worker threads for speculative slot-parallel quoting inside each
+    /// CEAR admission (`--quote-threads N`; default 1 = serial). Quotes
+    /// are bit-identical for every value, so CSVs never change with it.
+    pub quote_threads: usize,
 }
 
 impl Default for FigureOptions {
@@ -38,6 +42,7 @@ impl Default for FigureOptions {
             checkpoint_every: None,
             resume_from: None,
             jobs: default_jobs(),
+            quote_threads: 1,
         }
     }
 }
@@ -49,8 +54,8 @@ pub fn default_jobs() -> usize {
 }
 
 /// Parses `--scale {paper,fast,tiny}`, `--seeds N`, `--out DIR`,
-/// `--checkpoint-every N`, `--resume DIR` and `--jobs N` from an argument
-/// iterator.
+/// `--checkpoint-every N`, `--resume DIR`, `--jobs N` and
+/// `--quote-threads N` from an argument iterator.
 ///
 /// `--scale paper` defaults the seed count to the paper's 5, but an
 /// explicit `--seeds N` wins regardless of argument order.
@@ -107,9 +112,16 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> FigureOptions {
                     args.next().and_then(|v| v.parse().ok()).expect("--jobs needs an integer");
                 opts.jobs = n.max(1);
             }
+            "--quote-threads" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--quote-threads needs an integer");
+                opts.quote_threads = n.max(1);
+            }
             other => panic!(
                 "unknown argument `{other}` \
-                 (use --scale/--seeds/--out/--checkpoint-every/--resume/--jobs)"
+                 (use --scale/--seeds/--out/--checkpoint-every/--resume/--jobs/--quote-threads)"
             ),
         }
     }
@@ -142,8 +154,9 @@ pub fn run_cell(
     seed: u64,
     cell: &str,
 ) -> RunMetrics {
+    let exec = ExecOptions { quote_threads: opts.quote_threads };
     if opts.checkpoint_every.is_none() && opts.resume_from.is_none() {
-        return engine::run_prepared(scenario, prepared, requests, kind, seed);
+        return engine::run_prepared_exec(scenario, prepared, requests, kind, seed, &exec);
     }
     let base = opts.resume_from.clone().unwrap_or_else(|| opts.out_dir.join("durable"));
     // Cell labels may carry '/' (model/policy); keep the directory flat.
@@ -156,6 +169,7 @@ pub fn run_cell(
         checkpoint_every: opts.checkpoint_every.unwrap_or(1),
         resume: opts.resume_from.is_some(),
         halt_before_slot: None,
+        exec,
     };
     match sb_sim::run_durable(scenario, prepared, requests, kind, seed, &durability) {
         Ok(RunOutcome::Completed(metrics)) => *metrics,
@@ -273,6 +287,13 @@ mod tests {
         assert_eq!(parse(&["--jobs", "4"]).jobs, 4);
         assert_eq!(parse(&["--jobs", "0"]).jobs, 1);
         assert!(parse(&[]).jobs >= 1);
+    }
+
+    #[test]
+    fn quote_threads_flag_parses_and_floors_at_one() {
+        assert_eq!(parse(&["--quote-threads", "4"]).quote_threads, 4);
+        assert_eq!(parse(&["--quote-threads", "0"]).quote_threads, 1);
+        assert_eq!(parse(&[]).quote_threads, 1);
     }
 
     #[test]

@@ -1,17 +1,17 @@
 //! The online decision interface and the CEAR algorithm (Algorithm 1).
 
 use crate::params::CearParams;
+use crate::parquote::{EnergyPriceCache, EnergyProbe, QuoteStats, QuoteWorker};
 use crate::plan::{ReservationPlan, SlotPath};
 use crate::pricecache::PriceCache;
 use crate::pricing;
-use crate::search::{min_cost_path_in, SearchScratch};
+use crate::search::{min_cost_path_in, FoundPath, SearchScratch};
 use crate::state::NetworkState;
 use sb_demand::Request;
-use sb_energy::SatelliteRole;
-use sb_topology::LinkType;
+use sb_energy::{LedgerOverlay, SatelliteRole};
+use sb_topology::{LinkType, SlotIndex};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
-use std::collections::HashMap;
 
 /// Why a request was rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -98,24 +98,44 @@ pub trait RoutingAlgorithm {
 /// its valuation.
 #[derive(Debug, Clone)]
 pub struct Cear {
-    params: CearParams,
-    ablation: AblationFlags,
+    pub(crate) params: CearParams,
+    pub(crate) ablation: AblationFlags,
     /// Reused Dijkstra arena and memoized unit prices. Interior mutability
     /// because quoting is logically read-only; the caches are pure
     /// acceleration — every quote is bit-identical with or without them
     /// (see `tests::cached_quotes_match_reference_bitwise`).
-    hot: RefCell<HotPath>,
+    hot: RefCell<CearHot>,
     /// `false` runs the pre-cache reference path (fresh allocations,
     /// direct `powf`) for equivalence testing — see [`Cear::reference`].
     use_caches: bool,
+    /// Worker threads for the speculative slot-parallel quote path
+    /// (see [`crate::parquote`]); `1` quotes serially.
+    pub(crate) quote_threads: usize,
 }
 
 /// The per-instance acceleration state behind [`Cear`]'s quote path.
 #[derive(Debug, Clone, Default)]
-struct HotPath {
-    scratch: SearchScratch,
+pub(crate) struct CearHot {
+    pub(crate) scratch: SearchScratch,
     /// Built lazily on first quote (needs `μ₁, μ₂`).
-    prices: Option<PriceCache>,
+    pub(crate) prices: Option<PriceCache>,
+    /// Per-slot `(satellite, role)` energy memo — a reusable flat array,
+    /// where it used to be a fresh `HashMap` per active slot.
+    pub(crate) energy: EnergyPriceCache,
+    /// Speculative-phase workers, created on first parallel quote and
+    /// retained so their arenas and price caches stay warm.
+    pub(crate) workers: Vec<QuoteWorker>,
+    /// Lifetime speculation counters — see [`Cear::quote_stats`].
+    pub(crate) stats: QuoteStats,
+}
+
+impl CearHot {
+    /// Grows the worker pool to at least `n` entries.
+    pub(crate) fn ensure_workers(&mut self, n: usize, params: &CearParams) {
+        while self.workers.len() < n {
+            self.workers.push(QuoteWorker::new(params));
+        }
+    }
 }
 
 /// Which of CEAR's three mechanisms are active — for ablation studies.
@@ -162,9 +182,32 @@ impl Cear {
         Cear {
             params,
             ablation: AblationFlags::default(),
-            hot: RefCell::new(HotPath::default()),
+            hot: RefCell::new(CearHot::default()),
             use_caches: true,
+            quote_threads: 1,
         }
+    }
+
+    /// Sets the number of worker threads for the speculative slot-parallel
+    /// quote path (floored at 1, which quotes serially).
+    ///
+    /// Purely an execution knob: quotes are **bit-identical** for every
+    /// thread count (see [`crate::parquote`]), so it must never enter run
+    /// digests or scenario configuration.
+    pub fn with_quote_threads(mut self, threads: usize) -> Self {
+        self.quote_threads = threads.max(1);
+        self
+    }
+
+    /// The configured speculative-quote worker count.
+    pub fn quote_threads(&self) -> usize {
+        self.quote_threads
+    }
+
+    /// Speculation counters accumulated by this instance's quotes — hit
+    /// rate reporting for the perf harness.
+    pub fn quote_stats(&self) -> QuoteStats {
+        self.hot.borrow().stats
     }
 
     /// Creates an ablated CEAR variant (for the ablation benches).
@@ -231,35 +274,44 @@ impl Cear {
     ) -> Result<(ReservationPlan, f64), RejectReason> {
         if self.use_caches {
             let hot = &mut *self.hot.borrow_mut();
-            let prices = hot
-                .prices
-                .get_or_insert_with(|| PriceCache::new(self.params.mu1(), self.params.mu2()));
-            self.quote_impl(request, state, known, &mut hot.scratch, Some(prices))
+            if hot.prices.is_none() {
+                hot.prices = Some(PriceCache::new(self.params.mu1(), self.params.mu2()));
+            }
+            // Single-slot requests have no cross-slot coupling to
+            // speculate around; quote them serially whatever the thread
+            // count.
+            if self.quote_threads > 1 && request.duration_slots() > 1 {
+                return self.quote_speculative(request, state, known, hot);
+            }
+            hot.stats.serial_quotes += 1;
+            let CearHot { scratch, prices, energy, .. } = hot;
+            self.quote_serial(request, state, known, scratch, prices.as_mut(), energy)
         } else {
-            self.quote_impl(request, state, known, &mut SearchScratch::new(), None)
+            self.quote_serial(
+                request,
+                state,
+                known,
+                &mut SearchScratch::new(),
+                None,
+                &mut EnergyPriceCache::new(),
+            )
         }
     }
 
-    /// The quote body, generic over the acceleration state: `scratch` is
-    /// either this instance's retained arena or a throwaway, and `prices`
-    /// `Some` exactly when memoized pricing is on. Both branches evaluate
-    /// the same arithmetic in the same order, so the result is
-    /// bit-identical either way.
-    fn quote_impl(
+    /// The serial quote body, generic over the acceleration state:
+    /// `scratch`/`energy` are either this instance's retained arenas or
+    /// throwaways, and `prices` is `Some` exactly when memoized pricing is
+    /// on. All branches evaluate the same arithmetic in the same order, so
+    /// the result is bit-identical every way.
+    fn quote_serial(
         &self,
         request: &Request,
         state: &NetworkState,
         known: Option<&crate::lifecycle::KnownFailures>,
         scratch: &mut SearchScratch,
         mut prices: Option<&mut PriceCache>,
+        energy: &mut EnergyPriceCache,
     ) -> Result<(ReservationPlan, f64), RejectReason> {
-        let ablation = self.ablation;
-        let mu1 = self.params.mu1();
-        let mu2 = self.params.mu2();
-        let slot_s = state.slot_duration_s();
-        let energy = state.energy_params();
-        let ledger = state.ledger();
-
         // Algorithm 1 line 5: the min-price plan, one path per active slot.
         // Successive slots are searched against a transactional overlay that
         // carries the request's *own* consumption forward — a plan feasible
@@ -267,94 +319,152 @@ impl Cear {
         // its early slots consume the solar energy its late slots counted
         // on. Prices (σ) still use the pre-request utilizations, per the
         // paper's "before the i-th request arrives" definition (Eqs. 8–9).
-        let mut tx = ledger.overlay();
+        let mut tx = state.ledger().overlay();
         let mut slot_paths = Vec::with_capacity(request.duration_slots());
         let mut total_cost = 0.0;
         for slot in request.active_slots() {
-            let snapshot = state.series().snapshot(slot);
-            let rate = request.rate_at(slot);
-            let t = slot.index();
-            // Energy cost of satellite `sat` playing `role` at this slot,
-            // cached per (sat, role): the deficit trace priced per Eq. (12),
-            // or None when the battery cannot absorb the consumption.
-            let mut cache: HashMap<(usize, SatelliteRole), Option<f64>> = HashMap::new();
-            let found = {
-                let tx_ref = &tx;
-                let prices = &mut prices;
-                min_cost_path_in(scratch, snapshot, request.source, request.destination, |ctx| {
-                    // Known-down edges are gone, whatever the price says.
-                    if known.is_some_and(|k| k.is_down(slot, ctx.edge_id)) {
-                        return None;
-                    }
-                    // Bandwidth feasibility (7b) and price.
-                    if state.residual_mbps(slot, ctx.edge_id) + 1e-9 < rate {
-                        return None;
-                    }
-                    let mut cost = HOP_TIEBREAK * (1.0 + rate);
-                    if ablation.price_bandwidth {
-                        // Cached and fresh paths compute the same
-                        // `rate · (μ₁^λ − 1)` product bit-identically.
-                        cost += match prices.as_deref_mut() {
-                            Some(pc) => rate * pc.link_unit_price(state, slot, ctx.edge_id),
-                            None => pricing::bandwidth_price(
-                                mu1,
-                                state.utilization(slot, ctx.edge_id),
-                                rate,
-                            ),
-                        };
-                    }
-                    // Energy feasibility (7c) and price for the edge's
-                    // source satellite in its role.
-                    if let Some(sat) = state.satellite_index(ctx.edge.src) {
-                        let role = SatelliteRole::from_link_types(
-                            ctx.incoming == Some(LinkType::Isl),
-                            ctx.edge.link_type == LinkType::Isl,
-                        );
-                        let cached = cache.entry((sat, role)).or_insert_with(|| {
-                            let consumption = energy.consumption_j(role, rate, slot_s);
-                            tx_ref.peek(sat, t, consumption).map(|trace| {
-                                match prices.as_deref_mut() {
-                                    Some(pc) => pricing::deficit_price_with(&trace, |tt| {
-                                        pc.battery_unit_price(state, sat, tt)
-                                    }),
-                                    None => pricing::deficit_price(mu2, &trace, |tt| {
-                                        ledger.battery_utilization(sat, tt)
-                                    }),
-                                }
-                            })
-                        });
-                        // Feasibility always applies; the price only when
-                        // the energy term is not ablated.
-                        let energy_price = (*cached)?;
-                        if ablation.price_energy {
-                            cost += energy_price;
-                        }
-                    }
-                    Some(cost)
-                })
-            };
-            let Some(found) = found else {
-                return Err(RejectReason::NoFeasiblePath);
-            };
-            total_cost +=
-                (found.cost - HOP_TIEBREAK * (1.0 + rate) * found.edges.len() as f64).max(0.0);
-            let sp = SlotPath { slot, nodes: found.nodes, edges: found.edges };
-            // Roll this slot's consumption into the overlay so later slots
-            // of the same request see it.
-            for (node, role) in sp.satellite_roles(snapshot) {
-                let sat = state.satellite_index(node).expect("role on non-satellite");
-                let consumption = energy.consumption_j(role, rate, slot_s);
-                if tx.try_commit(sat, t, consumption).is_none() {
-                    // Only reachable when a path revisits a satellite
-                    // (a zero-cost walk) — reject conservatively.
-                    return Err(RejectReason::CommitFailed);
-                }
-            }
-            slot_paths.push(sp);
+            let found = search_slot(
+                &self.params,
+                self.ablation,
+                request,
+                state,
+                known,
+                slot,
+                &tx,
+                scratch,
+                prices.as_deref_mut(),
+                energy,
+                None,
+            )
+            .ok_or(RejectReason::NoFeasiblePath)?;
+            fold_slot(request, state, slot, found, &mut tx, &mut slot_paths, &mut total_cost)?;
         }
         let plan = ReservationPlan { slot_paths, total_cost };
         Ok((plan, total_cost))
     }
+}
+
+/// Searches one active slot's min-price path for `request` against the
+/// energy overlay `tx` — the per-slot kernel of Algorithm 1 line 5, shared
+/// by the serial quote, the speculative phase-1 workers (which pass a
+/// *clean* overlay over the base ledger) and the phase-2 fallback.
+///
+/// When `probes` is `Some`, every first-query `(satellite, role)` energy
+/// evaluation records the [`DeficitTrace`](sb_energy::DeficitTrace) it
+/// consumed — the complete set of overlay-dependent inputs, which phase 2
+/// validates bitwise against the real overlay.
+#[allow(clippy::too_many_arguments)] // a packed context struct would just rename the coupling
+pub(crate) fn search_slot(
+    params: &CearParams,
+    ablation: AblationFlags,
+    request: &Request,
+    state: &NetworkState,
+    known: Option<&crate::lifecycle::KnownFailures>,
+    slot: SlotIndex,
+    tx: &LedgerOverlay<'_>,
+    scratch: &mut SearchScratch,
+    mut prices: Option<&mut PriceCache>,
+    energy_cache: &mut EnergyPriceCache,
+    mut probes: Option<&mut Vec<EnergyProbe>>,
+) -> Option<FoundPath> {
+    let mu1 = params.mu1();
+    let mu2 = params.mu2();
+    let slot_s = state.slot_duration_s();
+    let energy = state.energy_params();
+    let ledger = state.ledger();
+    let snapshot = state.series().snapshot(slot);
+    let rate = request.rate_at(slot);
+    let t = slot.index();
+    // Energy cost of satellite `sat` playing `role` at this slot, memoized
+    // per (sat, role): the deficit trace priced per Eq. (12), or None when
+    // the battery cannot absorb the consumption.
+    energy_cache.begin_slot(state.num_satellites());
+    let prices = &mut prices;
+    let probes = &mut probes;
+    min_cost_path_in(scratch, snapshot, request.source, request.destination, |ctx| {
+        // Known-down edges are gone, whatever the price says.
+        if known.is_some_and(|k| k.is_down(slot, ctx.edge_id)) {
+            return None;
+        }
+        // Bandwidth feasibility (7b) and price.
+        if state.residual_mbps(slot, ctx.edge_id) + 1e-9 < rate {
+            return None;
+        }
+        let mut cost = HOP_TIEBREAK * (1.0 + rate);
+        if ablation.price_bandwidth {
+            // Cached and fresh paths compute the same
+            // `rate · (μ₁^λ − 1)` product bit-identically.
+            cost += match prices.as_deref_mut() {
+                Some(pc) => rate * pc.link_unit_price(state, slot, ctx.edge_id),
+                None => pricing::bandwidth_price(mu1, state.utilization(slot, ctx.edge_id), rate),
+            };
+        }
+        // Energy feasibility (7c) and price for the edge's source
+        // satellite in its role.
+        if let Some(sat) = state.satellite_index(ctx.edge.src) {
+            let role = SatelliteRole::from_link_types(
+                ctx.incoming == Some(LinkType::Isl),
+                ctx.edge.link_type == LinkType::Isl,
+            );
+            let cached = energy_cache.get_or_insert_with(sat, role, || {
+                let consumption = energy.consumption_j(role, rate, slot_s);
+                let trace = tx.peek(sat, t, consumption);
+                let price = trace.as_ref().map(|trace| match prices.as_deref_mut() {
+                    Some(pc) => pricing::deficit_price_with(trace, |tt| {
+                        pc.battery_unit_price(state, sat, tt)
+                    }),
+                    None => {
+                        pricing::deficit_price(mu2, trace, |tt| ledger.battery_utilization(sat, tt))
+                    }
+                });
+                if let Some(rec) = probes.as_deref_mut() {
+                    rec.push(EnergyProbe { sat, t, consumption_j: consumption, trace });
+                }
+                price
+            });
+            // Feasibility always applies; the price only when the energy
+            // term is not ablated.
+            let energy_price = cached?;
+            if ablation.price_energy {
+                cost += energy_price;
+            }
+        }
+        Some(cost)
+    })
+}
+
+/// Folds one slot's found path into the quote under construction: strips
+/// the tie-break epsilon from the accumulated cost, rolls the slot's
+/// consumption into the overlay so later slots of the same request see it,
+/// and appends the [`SlotPath`]. Shared by the serial quote and both
+/// phase-2 arms of the speculative path, so every route through the code
+/// folds identically.
+pub(crate) fn fold_slot(
+    request: &Request,
+    state: &NetworkState,
+    slot: SlotIndex,
+    found: FoundPath,
+    tx: &mut LedgerOverlay<'_>,
+    slot_paths: &mut Vec<SlotPath>,
+    total_cost: &mut f64,
+) -> Result<(), RejectReason> {
+    let rate = request.rate_at(slot);
+    let slot_s = state.slot_duration_s();
+    let energy = state.energy_params();
+    let snapshot = state.series().snapshot(slot);
+    *total_cost += (found.cost - HOP_TIEBREAK * (1.0 + rate) * found.edges.len() as f64).max(0.0);
+    let sp = SlotPath { slot, nodes: found.nodes, edges: found.edges };
+    for (node, role) in sp.satellite_roles(snapshot) {
+        let sat = state.satellite_index(node).expect("role on non-satellite");
+        let consumption = energy.consumption_j(role, rate, slot_s);
+        if tx.try_commit(sat, slot.index(), consumption).is_none() {
+            // Only reachable when a path revisits a satellite
+            // (a zero-cost walk) — reject conservatively.
+            return Err(RejectReason::CommitFailed);
+        }
+    }
+    slot_paths.push(sp);
+    Ok(())
 }
 
 impl RoutingAlgorithm for Cear {

@@ -35,6 +35,10 @@
 //!   plus the satellite energy ledger, with atomic plan commits;
 //! * [`search`] — the per-slot min-cost path search over
 //!   (node × link-type) states;
+//! * [`parquote`] — speculative slot-parallel quoting: per-slot searches
+//!   fan across workers against the base ledger, then an overlay replay
+//!   validates each slot's deficit traces bitwise (bit-identical to the
+//!   serial quote, with a serial fallback from the first divergence);
 //! * [`plan`] — reservation plans and role extraction;
 //! * [`algorithm`] — the [`RoutingAlgorithm`] trait and [`Cear`] itself;
 //! * [`adaptive`] — the §V-B feedback loop that retunes `F₂` from
@@ -96,6 +100,7 @@ pub mod lifecycle;
 pub mod multipath;
 pub mod offline;
 pub mod params;
+pub mod parquote;
 pub mod plan;
 pub mod pricecache;
 pub mod pricing;
@@ -109,6 +114,7 @@ pub use baselines::{Ecars, Era, Eru, Ssp};
 pub use lifecycle::{repair, try_repair, KnownFailures, RepairOutcome, RepairPolicy};
 pub use multipath::MultipathCear;
 pub use params::CearParams;
+pub use parquote::QuoteStats;
 pub use plan::{ReservationPlan, SlotPath};
 pub use pricecache::PriceCache;
 pub use search::SearchScratch;

@@ -1,0 +1,580 @@
+//! Speculative slot-parallel admission quoting.
+//!
+//! A CEAR quote (Algorithm 1 line 5) runs one min-cost search per active
+//! slot. The searches are *almost* independent: every price is defined on
+//! the pre-request state (Eqs. 8–9), so the only cross-slot coupling is the
+//! transactional energy overlay — a request's early slots can consume the
+//! solar energy its late slots counted on, which changes late slots'
+//! deficit traces (feasibility and the Eq. 12 energy price).
+//!
+//! This module exploits that structure in two phases:
+//!
+//! 1. **Speculate** — fan the per-slot searches across a worker pool, each
+//!    worker with its own [`SearchScratch`] arena, [`PriceCache`] and
+//!    [`EnergyPriceCache`], searching against the *base* ledger (a clean
+//!    overlay). Every worker records, for each distinct `(satellite, role)`
+//!    its search queried, the [`DeficitTrace`] it computed — the complete
+//!    set of overlay-dependent inputs its search consumed.
+//! 2. **Validate** — serially replay the overlay in slot order. For each
+//!    slot, recompute every recorded trace through the overlay and compare
+//!    **bitwise** with the speculative one. If all match, the serial search
+//!    would have seen identical cost-callback answers at every relaxation,
+//!    so (Dijkstra being deterministic) it would have produced the identical
+//!    path and cost — accept the speculative result and commit its roles
+//!    into the overlay. On the first divergent slot, fall back to today's
+//!    serial search for that slot and every later one.
+//!
+//! The returned `(ReservationPlan, f64)` is therefore **bit-identical** to
+//! the serial quote for every request, which
+//! `tests::prop_parallel_quotes_match_serial_bitwise` checks under tight
+//! battery budgets (forcing divergence and the fallback) and under failure
+//! injection with [`KnownFailures`] pruning.
+
+use crate::algorithm::{fold_slot, search_slot, Cear, CearHot, RejectReason};
+use crate::params::CearParams;
+use crate::plan::ReservationPlan;
+use crate::pricecache::PriceCache;
+use crate::search::SearchScratch;
+use crate::state::NetworkState;
+use sb_demand::Request;
+use sb_energy::{DeficitTrace, LedgerOverlay, SatelliteRole};
+use sb_topology::SlotIndex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Counters describing how the speculative quote path is doing, aggregated
+/// over an instance's lifetime — see [`Cear::quote_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QuoteStats {
+    /// Quotes that took the slot-parallel path (multi-slot requests with
+    /// `quote_threads > 1`).
+    pub parallel_quotes: u64,
+    /// Quotes answered entirely by the serial path.
+    pub serial_quotes: u64,
+    /// Slots searched speculatively against the base ledger (phase 1).
+    pub speculated_slots: u64,
+    /// Speculative slot results whose recorded deficit traces survived
+    /// overlay validation and were accepted as-is (phase 2).
+    pub validated_slots: u64,
+    /// Slots re-searched serially after a divergent trace was detected.
+    pub fallback_slots: u64,
+}
+
+impl QuoteStats {
+    /// Fraction of speculated slots accepted without a serial re-search;
+    /// `1.0` when nothing was speculated yet.
+    pub fn hit_rate(&self) -> f64 {
+        if self.speculated_slots == 0 {
+            1.0
+        } else {
+            self.validated_slots as f64 / self.speculated_slots as f64
+        }
+    }
+}
+
+/// Index of a role in the flat [`EnergyPriceCache`] (4 variants).
+#[inline]
+fn role_index(role: SatelliteRole) -> usize {
+    match role {
+        SatelliteRole::Middle => 0,
+        SatelliteRole::IngressGateway => 1,
+        SatelliteRole::EgressGateway => 2,
+        SatelliteRole::BentPipe => 3,
+    }
+}
+
+/// One memoized per-slot energy evaluation.
+#[derive(Debug, Clone, Copy)]
+struct EnergyCell {
+    stamp: u32,
+    /// The Eq. (12) deficit price, `None` when the battery cannot absorb
+    /// the consumption (constraint 7c).
+    price: Option<f64>,
+}
+
+const EMPTY: EnergyCell = EnergyCell { stamp: 0, price: None };
+
+/// The per-slot `(satellite, role) → Option<price>` energy memo of the
+/// quote search, as a generation-stamped flat array.
+///
+/// The search queries the same satellite in the same role many times per
+/// slot (once per out-edge relaxation); the memo makes each distinct pair
+/// cost one deficit-trace recursion. It used to be a per-slot
+/// `HashMap<(usize, SatelliteRole), Option<f64>>`, allocated afresh for
+/// every active slot of every quote; the flat array lives in [`CearHot`]
+/// (or a [`Cear::quote_speculative`] worker) across quotes, and starting a
+/// new slot is O(1): bump the generation, exactly like
+/// [`SearchScratch`]'s arena reset. Values are identical to the map's —
+/// each pair is still computed exactly once per slot, in first-query order
+/// — so quotes are bit-identical.
+#[derive(Debug, Clone, Default)]
+pub struct EnergyPriceCache {
+    /// `sat * 4 + role_index(role)`; entry valid iff its stamp matches the
+    /// current generation.
+    cells: Vec<EnergyCell>,
+    generation: u32,
+}
+
+impl EnergyPriceCache {
+    /// An empty cache; grows to fit the first slot begun.
+    pub fn new() -> Self {
+        EnergyPriceCache::default()
+    }
+
+    /// Starts a new slot: grows to `num_satellites` satellites if needed
+    /// and invalidates every entry by advancing the generation.
+    pub(crate) fn begin_slot(&mut self, num_satellites: usize) {
+        let n = num_satellites * 4;
+        if self.cells.len() < n {
+            self.cells.resize(n, EMPTY);
+        }
+        self.generation = match self.generation.checked_add(1) {
+            Some(g) => g,
+            None => {
+                // Wrapped after 2^32 slots: restamp everything once.
+                self.cells.fill(EMPTY);
+                1
+            }
+        };
+    }
+
+    /// The memoized energy evaluation of `(sat, role)` for the current
+    /// slot, computing it with `f` on first query.
+    #[inline]
+    pub(crate) fn get_or_insert_with(
+        &mut self,
+        sat: usize,
+        role: SatelliteRole,
+        f: impl FnOnce() -> Option<f64>,
+    ) -> Option<f64> {
+        let cell = &mut self.cells[sat * 4 + role_index(role)];
+        if cell.stamp != self.generation {
+            cell.price = f();
+            cell.stamp = self.generation;
+        }
+        cell.price
+    }
+}
+
+/// One overlay-dependent input consumed by a speculative slot search: the
+/// deficit trace of `(sat, role)` at slot `t`, computed against the base
+/// ledger. Phase 2 recomputes it through the overlay and compares bitwise.
+#[derive(Debug, Clone)]
+pub(crate) struct EnergyProbe {
+    pub(crate) sat: usize,
+    pub(crate) t: usize,
+    pub(crate) consumption_j: f64,
+    pub(crate) trace: Option<DeficitTrace>,
+}
+
+/// A speculative per-slot result: the found path (or proven
+/// infeasibility) plus every trace the search consumed.
+#[derive(Debug)]
+struct SlotSpec {
+    found: Option<crate::search::FoundPath>,
+    probes: Vec<EnergyProbe>,
+}
+
+/// Per-worker acceleration state of the speculative phase, retained across
+/// quotes so arenas stay warm and price caches stay populated (entries are
+/// epoch-validated, so retaining them across commits is safe and
+/// bit-transparent — see [`PriceCache`]).
+#[derive(Debug, Clone)]
+pub(crate) struct QuoteWorker {
+    pub(crate) scratch: SearchScratch,
+    pub(crate) prices: PriceCache,
+    pub(crate) energy: EnergyPriceCache,
+}
+
+impl QuoteWorker {
+    pub(crate) fn new(params: &CearParams) -> Self {
+        QuoteWorker {
+            scratch: SearchScratch::new(),
+            prices: PriceCache::new(params.mu1(), params.mu2()),
+            energy: EnergyPriceCache::new(),
+        }
+    }
+}
+
+/// Bitwise equality of two optional deficit traces. `PartialEq` on `f64`
+/// is not quite it (`-0.0 == 0.0`); the contract here is that the serial
+/// search would reproduce the speculative result *bit for bit*, so the
+/// comparison is on bits too.
+fn traces_match(a: &Option<DeficitTrace>, b: &Option<DeficitTrace>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(x), Some(y)) => {
+            x.added_deficit_j.to_bits() == y.added_deficit_j.to_bits()
+                && x.per_slot.len() == y.per_slot.len()
+                && x.per_slot
+                    .iter()
+                    .zip(&y.per_slot)
+                    .all(|((ta, da), (tb, db))| ta == tb && da.to_bits() == db.to_bits())
+        }
+        _ => false,
+    }
+}
+
+/// Would the serial search, run against `tx`, have seen exactly the
+/// answers the speculative search recorded?
+fn validates(probes: &[EnergyProbe], tx: &LedgerOverlay<'_>) -> bool {
+    if tx.is_clean() {
+        // A clean overlay reads through to the base ledger the speculation
+        // ran against; every trace matches by construction.
+        return true;
+    }
+    probes.iter().all(|p| traces_match(&p.trace, &tx.peek(p.sat, p.t, p.consumption_j)))
+}
+
+impl Cear {
+    /// The speculative slot-parallel quote path — see the module docs for
+    /// the design. Called by [`Cear::quote_avoiding`] for multi-slot
+    /// requests when `quote_threads > 1`; bit-identical to the serial
+    /// quote.
+    pub(crate) fn quote_speculative(
+        &self,
+        request: &Request,
+        state: &NetworkState,
+        known: Option<&crate::lifecycle::KnownFailures>,
+        hot: &mut CearHot,
+    ) -> Result<(ReservationPlan, f64), RejectReason> {
+        let slots: Vec<SlotIndex> = request.active_slots().collect();
+        let params = self.params;
+        let ablation = self.ablation;
+        let threads = self.quote_threads.min(slots.len()).max(1);
+        hot.ensure_workers(threads, &params);
+        hot.stats.parallel_quotes += 1;
+        hot.stats.speculated_slots += slots.len() as u64;
+        let ledger = state.ledger();
+
+        // Phase 1: speculate. Workers pull slot positions from a shared
+        // atomic index and deposit each result into its slot's dedicated
+        // cell, so results are in slot order and — the per-worker caches
+        // being bit-transparent — independent of which worker ran what.
+        let specs: Vec<Mutex<Option<SlotSpec>>> = slots.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for worker in hot.workers[..threads].iter_mut() {
+                let (specs, next, slots, params) = (&specs, &next, &slots, &params);
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= slots.len() {
+                        break;
+                    }
+                    // A clean overlay *is* the base ledger, through the
+                    // exact code path the serial search reads it by.
+                    let clean = ledger.overlay();
+                    let mut probes = Vec::new();
+                    let found = search_slot(
+                        params,
+                        ablation,
+                        request,
+                        state,
+                        known,
+                        slots[i],
+                        &clean,
+                        &mut worker.scratch,
+                        Some(&mut worker.prices),
+                        &mut worker.energy,
+                        Some(&mut probes),
+                    );
+                    *specs[i].lock().expect("slot cell poisoned") =
+                        Some(SlotSpec { found, probes });
+                });
+            }
+        });
+
+        // Phase 2: validate against the real overlay, serially in slot
+        // order; fall back to the serial search from the first divergence.
+        let mut tx = ledger.overlay();
+        let mut slot_paths = Vec::with_capacity(slots.len());
+        let mut total_cost = 0.0;
+        let mut diverged_at = None;
+        for (k, &slot) in slots.iter().enumerate() {
+            let spec =
+                specs[k].lock().expect("slot cell poisoned").take().expect("worker filled slot");
+            if !validates(&spec.probes, &tx) {
+                diverged_at = Some(k);
+                break;
+            }
+            hot.stats.validated_slots += 1;
+            let Some(found) = spec.found else {
+                // All traces matched, so the serial search would have come
+                // up empty for this slot too.
+                return Err(RejectReason::NoFeasiblePath);
+            };
+            fold_slot(request, state, slot, found, &mut tx, &mut slot_paths, &mut total_cost)?;
+        }
+        if let Some(k0) = diverged_at {
+            hot.stats.fallback_slots += (slots.len() - k0) as u64;
+            for &slot in &slots[k0..] {
+                let found = search_slot(
+                    &params,
+                    ablation,
+                    request,
+                    state,
+                    known,
+                    slot,
+                    &tx,
+                    &mut hot.scratch,
+                    hot.prices.as_mut(),
+                    &mut hot.energy,
+                    None,
+                )
+                .ok_or(RejectReason::NoFeasiblePath)?;
+                fold_slot(request, state, slot, found, &mut tx, &mut slot_paths, &mut total_cost)?;
+            }
+        }
+        let plan = ReservationPlan { slot_paths, total_cost };
+        Ok((plan, total_cost))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{Decision, RoutingAlgorithm};
+    use crate::lifecycle::KnownFailures;
+    use sb_demand::{RateProfile, Request, RequestId};
+    use sb_energy::EnergyParams;
+    use sb_geo::coords::Geodetic;
+    use sb_orbit::walker::WalkerConstellation;
+    use sb_topology::{NetworkNodes, NodeId, TopologyConfig, TopologySeries};
+
+    fn build_state(slots: usize, energy: &EnergyParams) -> (NetworkState, NodeId, NodeId) {
+        let shell = WalkerConstellation::delta(12, 12, 1, 550e3, 53f64.to_radians());
+        let mut nodes = NetworkNodes::from_walker(&shell);
+        let a = nodes.add_ground_site(Geodetic::from_degrees(35.8, -78.6, 0.0));
+        let b = nodes.add_ground_site(Geodetic::from_degrees(48.9, 2.3, 0.0));
+        let cfg =
+            TopologyConfig { min_elevation_rad: 10f64.to_radians(), ..TopologyConfig::default() };
+        let series = TopologySeries::build(&nodes, &cfg, slots, 60.0);
+        (NetworkState::new(series, energy), a, b)
+    }
+
+    fn request(src: NodeId, dst: NodeId, rate: f64, start: u32, end: u32, value: f64) -> Request {
+        Request {
+            id: RequestId(0),
+            source: src,
+            destination: dst,
+            rate: RateProfile::Constant(rate),
+            start: SlotIndex(start),
+            end: SlotIndex(end),
+            valuation: value,
+        }
+    }
+
+    /// A battery regime where a request's early slots eat the solar input
+    /// its late slots counted on: speculation against the base ledger must
+    /// diverge from the overlay-aware serial search, triggering the
+    /// fallback.
+    fn tight_energy() -> EnergyParams {
+        EnergyParams { solar_harvest_w: 5.0, battery_capacity_j: 9_000.0, ..Default::default() }
+    }
+
+    /// Compares one quote between a serial and a slot-parallel CEAR:
+    /// decisions must agree and plans/prices must match bitwise.
+    fn assert_quote_matches(
+        serial: &Cear,
+        parallel: &Cear,
+        req: &Request,
+        state: &NetworkState,
+        known: Option<&KnownFailures>,
+        label: &str,
+    ) {
+        let a = serial.quote_avoiding(req, state, known);
+        let b = parallel.quote_avoiding(req, state, known);
+        match (a, b) {
+            (Ok((pa, qa)), Ok((pb, qb))) => {
+                assert_eq!(pa, pb, "{label}: plans differ");
+                assert_eq!(qa.to_bits(), qb.to_bits(), "{label}: price bits differ");
+            }
+            (a, b) => assert_eq!(a, b, "{label}: outcomes differ"),
+        }
+    }
+
+    /// Drives an identical request stream through a serial and a
+    /// slot-parallel CEAR (committing acceptances on separate state
+    /// clones) and asserts bitwise agreement throughout. The stream mixes
+    /// rates, windows and low valuations derived from `seed` via
+    /// splitmix64.
+    fn assert_stream_matches(seed: u64, energy: &EnergyParams, slots: u32, threads: usize) {
+        let (mut state_s, src, dst) = build_state(slots as usize, energy);
+        let mut state_p = state_s.clone();
+        let mut serial = Cear::new(CearParams::default());
+        let mut parallel = Cear::new(CearParams::default()).with_quote_threads(threads);
+        let mut x = seed;
+        let mut split = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for k in 0..24u32 {
+            let z = split();
+            let rate = 200.0 + (z % 1800) as f64;
+            let start = (z >> 16) as u32 % slots;
+            let end = start + ((z >> 24) as u32 % (slots - start).max(1));
+            let valuation = if z % 7 == 0 { 1e-9 } else { f64::MAX };
+            let req = request(src, dst, rate, start, end, valuation);
+            assert_quote_matches(&serial, &parallel, &req, &state_s, None, &format!("req {k}"));
+            let a = serial.process(&req, &mut state_s);
+            let b = parallel.process(&req, &mut state_p);
+            match (&a, &b) {
+                (
+                    Decision::Accepted { plan: pa, price: qa },
+                    Decision::Accepted { plan: pb, price: qb },
+                ) => {
+                    assert_eq!(pa, pb, "req {k}: committed plans differ");
+                    assert_eq!(qa.to_bits(), qb.to_bits(), "req {k}: prices differ");
+                }
+                _ => assert_eq!(a, b, "req {k}: decisions differ"),
+            }
+        }
+        assert_eq!(state_s.ledger(), state_p.ledger(), "final ledgers diverged");
+    }
+
+    #[test]
+    fn parallel_stream_matches_serial_on_default_energy() {
+        assert_stream_matches(7, &EnergyParams::default(), 4, 4);
+    }
+
+    #[test]
+    fn parallel_stream_matches_serial_under_tight_battery() {
+        // Tight budgets force overlay divergence: assert the fallback
+        // actually fired somewhere in the stream, so the test proves the
+        // serial-fallback arm bit-identical too (not just the happy path).
+        let (mut state_s, src, dst) = build_state(6, &tight_energy());
+        let mut state_p = state_s.clone();
+        let mut serial = Cear::new(CearParams::default());
+        let mut parallel = Cear::new(CearParams::default()).with_quote_threads(3);
+        for k in 0..12u32 {
+            let req = request(src, dst, 300.0 + 100.0 * (k % 4) as f64, 0, 5, f64::MAX);
+            let a = serial.process(&req, &mut state_s);
+            let b = parallel.process(&req, &mut state_p);
+            assert_eq!(a, b, "req {k}");
+        }
+        assert_eq!(state_s.ledger(), state_p.ledger());
+        let stats = parallel.quote_stats();
+        assert!(stats.parallel_quotes > 0);
+        assert!(
+            stats.fallback_slots > 0,
+            "tight budgets must force at least one divergence: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn parallel_quote_matches_serial_with_known_failures() {
+        let (state, src, dst) = build_state(4, &EnergyParams::default());
+        let serial = Cear::new(CearParams::default());
+        let parallel = Cear::new(CearParams::default()).with_quote_threads(4);
+        let req = request(src, dst, 800.0, 0, 3, f64::MAX);
+        let (plan, _) = serial.quote(&req, &state).expect("feasible");
+        // Knock out the chosen path's edges slot by slot, comparing
+        // quotes as the pruned search is pushed onto detours (and
+        // eventually, possibly, into infeasibility).
+        let mut known = KnownFailures::new();
+        for sp in &plan.slot_paths {
+            for &e in &sp.edges {
+                known.insert(sp.slot, e);
+            }
+            assert_quote_matches(
+                &serial,
+                &parallel,
+                &req,
+                &state,
+                Some(&known),
+                &format!("slot {} pruned", sp.slot.index()),
+            );
+        }
+    }
+
+    #[test]
+    fn single_slot_and_single_thread_quotes_stay_serial() {
+        let (state, src, dst) = build_state(2, &EnergyParams::default());
+        let one_thread = Cear::new(CearParams::default()).with_quote_threads(1);
+        let threaded = Cear::new(CearParams::default()).with_quote_threads(4);
+        let single_slot = request(src, dst, 500.0, 0, 0, f64::MAX);
+        let multi_slot = request(src, dst, 500.0, 0, 1, f64::MAX);
+        let _ = one_thread.quote(&multi_slot, &state);
+        let _ = threaded.quote(&single_slot, &state);
+        assert_eq!(one_thread.quote_stats().parallel_quotes, 0);
+        assert_eq!(one_thread.quote_stats().serial_quotes, 1);
+        assert_eq!(threaded.quote_stats().parallel_quotes, 0);
+        assert_eq!(threaded.quote_stats().serial_quotes, 1);
+        let _ = threaded.quote(&multi_slot, &state);
+        assert_eq!(threaded.quote_stats().parallel_quotes, 1);
+    }
+
+    #[test]
+    fn quote_threads_floor_at_one() {
+        let cear = Cear::new(CearParams::default()).with_quote_threads(0);
+        assert_eq!(cear.quote_threads(), 1);
+    }
+
+    #[test]
+    fn hit_rate_arithmetic() {
+        let empty = QuoteStats::default();
+        assert_eq!(empty.hit_rate(), 1.0);
+        let stats = QuoteStats { speculated_slots: 8, validated_slots: 6, ..empty };
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traces_match_is_bitwise() {
+        let t = DeficitTrace { per_slot: vec![(3, 1.5)], added_deficit_j: 1.5 };
+        assert!(traces_match(&Some(t.clone()), &Some(t.clone())));
+        assert!(traces_match(&None, &None));
+        assert!(!traces_match(&Some(t.clone()), &None));
+        let longer = DeficitTrace { per_slot: vec![(3, 1.5), (4, 0.5)], added_deficit_j: 2.0 };
+        assert!(!traces_match(&Some(t.clone()), &Some(longer)));
+        // -0.0 == 0.0 under PartialEq, but the bits differ — the serial
+        // search would not reproduce the speculative result exactly.
+        let pos = DeficitTrace { per_slot: vec![(3, 0.0)], added_deficit_j: 0.0 };
+        let neg = DeficitTrace { per_slot: vec![(3, -0.0)], added_deficit_j: 0.0 };
+        assert!(!traces_match(&Some(pos), &Some(neg)));
+    }
+
+    #[test]
+    fn energy_price_cache_generations_isolate_slots() {
+        let mut cache = EnergyPriceCache::new();
+        cache.begin_slot(2);
+        let mut calls = 0;
+        let v = cache.get_or_insert_with(1, SatelliteRole::Middle, || {
+            calls += 1;
+            Some(2.5)
+        });
+        assert_eq!(v, Some(2.5));
+        // Hit: the closure must not run again within the slot.
+        let v = cache.get_or_insert_with(1, SatelliteRole::Middle, || {
+            calls += 1;
+            Some(9.9)
+        });
+        assert_eq!(v, Some(2.5));
+        assert_eq!(calls, 1);
+        // Distinct role, same satellite: its own cell.
+        let v = cache.get_or_insert_with(1, SatelliteRole::BentPipe, || None);
+        assert_eq!(v, None);
+        // New slot invalidates everything in O(1).
+        cache.begin_slot(2);
+        let v = cache.get_or_insert_with(1, SatelliteRole::Middle, || Some(7.0));
+        assert_eq!(v, Some(7.0));
+    }
+
+    proptest::proptest! {
+        /// The speculative slot-parallel quote path must be bit-identical
+        /// to the serial path over randomized request streams — including
+        /// tight battery budgets (overlay divergence → serial fallback)
+        /// and varying worker counts.
+        #[test]
+        fn prop_parallel_quotes_match_serial_bitwise(
+            seed in 0u64..64,
+            threads in 2usize..5,
+            tight in proptest::bool::ANY,
+        ) {
+            let energy = if tight { tight_energy() } else { EnergyParams::default() };
+            assert_stream_matches(seed, &energy, 5, threads);
+        }
+    }
+}

@@ -37,6 +37,13 @@ const EMPTY: CacheCell = CacheCell { stamp: 0, price: 0.0 };
 /// holds the value the price was computed from — even across state clones
 /// or a different state of the same shape. The cache is an acceleration
 /// only; one instance must simply never mix `μ` parameterizations.
+///
+/// The same property makes *per-worker* instances sound: the speculative
+/// slot-parallel quote (`crate::parquote`) gives every worker its own
+/// `PriceCache`, and no matter how slots are distributed across workers,
+/// each instance either recomputes a price from identical inputs or
+/// returns the identical `f64` it computed earlier — bit-identical
+/// regardless of the slot→worker assignment.
 #[derive(Debug, Clone)]
 pub struct PriceCache {
     mu1: f64,

@@ -105,6 +105,9 @@ fn incoming_of_state(state: usize) -> LinkType {
 /// Reusing one scratch is **bit-identical** to fresh allocation: the same
 /// relaxations run in the same order against the same (logical) initial
 /// state, which `tests::prop_scratch_reuse_is_bit_identical` checks.
+/// The speculative slot-parallel quote (`crate::parquote`) pools one
+/// scratch per worker on exactly this property — any worker's arena
+/// reproduces a fresh search for whatever slot it pulls next.
 #[derive(Debug, Clone, Default)]
 pub struct SearchScratch {
     dist: Vec<f64>,

@@ -30,7 +30,7 @@
 //! [`crate::engine::run_digest`].
 
 use crate::checkpoint;
-use crate::engine::{run_digest, AlgorithmKind, EngineCore, PreparedNetwork};
+use crate::engine::{run_digest, AlgorithmKind, EngineCore, ExecOptions, PreparedNetwork};
 use crate::journal::{self, Journal, JournalRecord};
 use crate::metrics::RunMetrics;
 use crate::scenario::ScenarioConfig;
@@ -144,6 +144,10 @@ pub struct DurabilityOptions {
     /// Stop (returning [`RunOutcome::Halted`]) before executing this
     /// slot — a testing hook that simulates a crash at an exact boundary.
     pub halt_before_slot: Option<usize>,
+    /// Execution knobs (quote worker threads). Bit-identical for every
+    /// configuration, so checkpoints and journals written under one
+    /// thread count resume cleanly under another.
+    pub exec: ExecOptions,
 }
 
 impl DurabilityOptions {
@@ -154,6 +158,7 @@ impl DurabilityOptions {
             checkpoint_every: 1,
             resume: false,
             halt_before_slot: None,
+            exec: ExecOptions::default(),
         }
     }
 }
@@ -264,7 +269,7 @@ pub fn run_durable(
     fs::create_dir_all(&opts.dir).map_err(io_at(&opts.dir))?;
     let journal_path = opts.dir.join("journal.bin");
     let final_path = opts.dir.join("final.bin");
-    let mut algorithm = kind.instantiate();
+    let mut algorithm = kind.instantiate_exec(&opts.exec);
 
     let mut core;
     let mut verify: VecDeque<JournalRecord> = VecDeque::new();

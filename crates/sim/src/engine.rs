@@ -75,13 +75,25 @@ impl AlgorithmKind {
         ]
     }
 
-    /// Instantiates the algorithm.
+    /// Instantiates the algorithm with default execution options.
     pub fn instantiate(&self) -> Box<dyn RoutingAlgorithm> {
+        self.instantiate_exec(&ExecOptions::default())
+    }
+
+    /// Instantiates the algorithm with explicit execution options.
+    ///
+    /// Execution options tune *how* the algorithm computes (worker
+    /// threads), never *what* it computes — every configuration is
+    /// bit-identical, so `ExecOptions` deliberately stays out of
+    /// [`ScenarioConfig`] and the run digest.
+    pub fn instantiate_exec(&self, exec: &ExecOptions) -> Box<dyn RoutingAlgorithm> {
         match self {
-            AlgorithmKind::Cear(params) => Box::new(Cear::new(*params)),
-            AlgorithmKind::CearAblated(params, flags) => {
-                Box::new(Cear::with_ablation(*params, *flags))
+            AlgorithmKind::Cear(params) => {
+                Box::new(Cear::new(*params).with_quote_threads(exec.quote_threads))
             }
+            AlgorithmKind::CearAblated(params, flags) => Box::new(
+                Cear::with_ablation(*params, *flags).with_quote_threads(exec.quote_threads),
+            ),
             AlgorithmKind::Ssp => Box::new(sb_cear::Ssp::new()),
             AlgorithmKind::Ecars => Box::new(sb_cear::Ecars::new()),
             AlgorithmKind::Eru => Box::new(sb_cear::Eru::new()),
@@ -106,6 +118,23 @@ impl AlgorithmKind {
             AlgorithmKind::Eru => "ERU",
             AlgorithmKind::Era => "ERA",
         }
+    }
+}
+
+/// Execution knobs that tune *how* a run computes, never *what* it
+/// computes: every setting is bit-identical to the default. Kept apart
+/// from [`ScenarioConfig`] so checkpoints and run digests are portable
+/// across hosts and thread counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Worker threads for speculative slot-parallel admission quoting
+    /// (CEAR variants only; floored at 1 = serial).
+    pub quote_threads: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { quote_threads: 1 }
     }
 }
 
@@ -197,7 +226,20 @@ pub fn run_prepared(
     kind: &AlgorithmKind,
     seed: u64,
 ) -> RunMetrics {
-    let mut algorithm = kind.instantiate();
+    run_prepared_exec(scenario, prepared, requests, kind, seed, &ExecOptions::default())
+}
+
+/// [`run_prepared`] with explicit execution options (bit-identical for
+/// every `exec` configuration — the options tune speed, not results).
+pub fn run_prepared_exec(
+    scenario: &ScenarioConfig,
+    prepared: &PreparedNetwork,
+    requests: &[Request],
+    kind: &AlgorithmKind,
+    seed: u64,
+    exec: &ExecOptions,
+) -> RunMetrics {
+    let mut algorithm = kind.instantiate_exec(exec);
     run_with_algorithm(scenario, prepared, requests, algorithm.as_mut(), seed)
 }
 
@@ -981,6 +1023,41 @@ mod tests {
             b.processing_ms = a.processing_ms; // wall clock may differ
             assert_eq!(a, b, "seed {seed}");
             assert!(a.accepted_requests > 0, "seed {seed}: vacuous equivalence");
+        }
+    }
+
+    #[test]
+    fn quote_threads_leave_run_metrics_bit_identical() {
+        // Speculative slot-parallel quoting is validated against the
+        // overlay replay per slot, so a full engine run must produce the
+        // same metrics for any worker count (only wall clock may differ).
+        let scenario = ScenarioConfig::tiny();
+        let params = CearParams::default();
+        let no_bw = AblationFlags { price_bandwidth: false, ..AblationFlags::default() };
+        for kind in [AlgorithmKind::Cear(params), AlgorithmKind::CearAblated(params, no_bw)] {
+            for seed in [0, 3] {
+                let prepared = prepare(&scenario, seed);
+                let requests = workload(&scenario, &prepared, seed);
+                let a = run_prepared_exec(
+                    &scenario,
+                    &prepared,
+                    &requests,
+                    &kind,
+                    seed,
+                    &ExecOptions { quote_threads: 1 },
+                );
+                let mut b = run_prepared_exec(
+                    &scenario,
+                    &prepared,
+                    &requests,
+                    &kind,
+                    seed,
+                    &ExecOptions { quote_threads: 4 },
+                );
+                b.processing_ms = a.processing_ms; // wall clock may differ
+                assert_eq!(a, b, "{} seed {seed}", kind.name());
+                assert!(a.accepted_requests > 0, "seed {seed}: vacuous equivalence");
+            }
         }
     }
 

@@ -49,7 +49,7 @@ pub mod trace;
 pub mod viz;
 
 pub use durable::{run_durable, DurabilityOptions, EngineError, RunOutcome};
-pub use engine::AlgorithmKind;
+pub use engine::{AlgorithmKind, ExecOptions};
 pub use metrics::RunMetrics;
 pub use outage::FailureOracle;
 pub use scenario::{ScenarioConfig, UnforeseenFailures};
