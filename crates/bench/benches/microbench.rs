@@ -35,6 +35,24 @@ fn bench_snapshot_build(c: &mut Criterion) {
     });
 }
 
+fn bench_series_build(c: &mut Criterion) {
+    // The full horizon build, serially and fanned across the host's
+    // cores — the two are bit-identical, so this measures exactly what
+    // `--build-threads` buys on a 256-sat shell.
+    let shell = WalkerConstellation::delta(16, 16, 5, 550e3, 53f64.to_radians());
+    let mut nodes = NetworkNodes::from_walker(&shell);
+    nodes.add_ground_site(Geodetic::from_degrees(35.8, -78.6, 0.0));
+    nodes.add_ground_site(Geodetic::from_degrees(48.9, 2.3, 0.0));
+    let cfg = TopologyConfig::default();
+    c.bench_function("series_build_serial_24slots_256sats", |b| {
+        b.iter(|| TopologySeries::build(&nodes, &cfg, 24, 60.0))
+    });
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    c.bench_function("series_build_parallel_24slots_256sats", |b| {
+        b.iter(|| TopologySeries::build_par(&nodes, &cfg, 24, 60.0, threads))
+    });
+}
+
 fn bench_cear_decision(c: &mut Criterion) {
     let (state, src, dst) = network();
     let request = Request {
@@ -217,7 +235,7 @@ fn bench_parallel_quote(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_snapshot_build, bench_cear_decision, bench_energy_recursion,
+    targets = bench_snapshot_build, bench_series_build, bench_cear_decision, bench_energy_recursion,
               bench_tiny_end_to_end, bench_ground_grid, bench_tle_parse,
               bench_coverage, bench_failure_injection, bench_search_arena,
               bench_price_cache, bench_single_slot_admission, bench_parallel_quote

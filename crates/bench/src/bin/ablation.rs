@@ -15,7 +15,7 @@
 //! parallelize across sweep cells and within each CEAR admission
 //! respectively, byte-identically.
 
-use sb_bench::{parse_args, run_cell, run_cells};
+use sb_bench::{parse_args, prepared_cache, report_cache, run_cell, run_cells};
 use sb_cear::AblationFlags;
 use sb_sim::engine::{self, AlgorithmKind};
 use sb_sim::metrics;
@@ -49,12 +49,14 @@ fn main() {
     // distinct per cell and seed, so parallel workers never collide.
     let cells: Vec<(AlgorithmKind, u64)> =
         variants.iter().flat_map(|&kind| (0..opts.seeds).map(move |seed| (kind, seed))).collect();
+    let cache = prepared_cache(&opts);
     let flat = run_cells(opts.jobs, &cells, |_, (kind, seed)| {
         let cell = format!("ablation-{}", kind.name());
-        let prepared = engine::prepare(&scenario, *seed);
+        let prepared = cache.get(&scenario, *seed);
         let requests = engine::workload(&scenario, &prepared, *seed);
         run_cell(&opts, &scenario, &prepared, &requests, kind, *seed, &cell)
     });
+    report_cache(&cache);
 
     println!("# CEAR ablation ({} scale, {} seeds)\n", scenario.name, opts.seeds);
     println!("| variant | welfare ratio | mean congested links | mean depleted sats | revenue |");

@@ -9,9 +9,13 @@
 //! ```
 //!
 //! `--quote-threads N` additionally parallelizes each CEAR admission
-//! across its slots (bit-identical outputs; see `sb_cear::parquote`).
+//! across its slots (bit-identical outputs; see `sb_cear::parquote`), and
+//! `--build-threads N` parallelizes each per-slot topology build. The
+//! shared prepared-network cache gives the five algorithm cells (and, here,
+//! every rate) of one seed a single topology build; `SB_NO_PREPARE_CACHE=1`
+//! restores per-cell builds. All knobs are byte-identical on the CSVs.
 
-use sb_bench::{parse_args, run_cells, write_csv};
+use sb_bench::{parse_args, prepared_cache, report_cache, run_cells, write_csv};
 use sb_sim::engine::{self, AlgorithmKind};
 use sb_sim::output::{markdown_table, write_series_csv, SeriesPoint};
 use sb_sim::{metrics, RunMetrics, ScenarioConfig};
@@ -41,11 +45,13 @@ fn main() {
             }
         }
     }
+    let cache = prepared_cache(&opts);
     let metrics_flat = run_cells(opts.jobs, &cells, |_, c| {
-        let prepared = engine::prepare(&c.scenario, c.seed);
+        let prepared = cache.get(&c.scenario, c.seed);
         let requests = engine::workload(&c.scenario, &prepared, c.seed);
         engine::run_prepared(&c.scenario, &prepared, &requests, &c.kind, c.seed)
     });
+    report_cache(&cache);
 
     let mut results = metrics_flat.into_iter();
     let mut points = Vec::new();

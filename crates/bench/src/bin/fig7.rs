@@ -6,11 +6,13 @@
 //! cargo run -p sb-bench --release --bin fig7 -- --scale fast
 //! ```
 //!
-//! `--jobs N` fans sweep cells across workers; `--quote-threads N`
-//! parallelizes each CEAR admission across its slots. Outputs are
-//! byte-identical for every value of both.
+//! `--jobs N` fans sweep cells across workers, `--quote-threads N`
+//! parallelizes each CEAR admission across its slots, `--build-threads N`
+//! parallelizes the topology build, and the prepared-network cache shares
+//! one build across all ten cells (both subfigures differ only in load).
+//! Outputs are byte-identical for every knob.
 
-use sb_bench::{parse_args, run_cells, write_csv};
+use sb_bench::{parse_args, prepared_cache, report_cache, run_cells, write_csv};
 use sb_sim::engine::{self, AlgorithmKind};
 use sb_sim::output::write_timeseries_csv;
 use sb_sim::ScenarioConfig;
@@ -28,11 +30,13 @@ fn main() {
         .map(|k| (scenario.clone(), k))
         .chain(AlgorithmKind::all(&hot).into_iter().map(|k| (hot.clone(), k)))
         .collect();
+    let cache = prepared_cache(&opts);
     let runs = run_cells(opts.jobs, &cells, |_, (sc, kind)| {
-        let prepared = engine::prepare(sc, 0);
+        let prepared = cache.get(sc, 0);
         let requests = engine::workload(sc, &prepared, 0);
         engine::run_prepared(sc, &prepared, &requests, kind, 0)
     });
+    report_cache(&cache);
     let n_left = AlgorithmKind::all(&scenario).len();
 
     // Left subfigure: depleted satellites at the default rate.

@@ -5,11 +5,13 @@
 //! cargo run -p sb-bench --release --bin fig8 -- --scale fast
 //! ```
 //!
-//! `--jobs N` fans sweep cells across workers; `--quote-threads N`
-//! parallelizes each CEAR admission across its slots. Outputs are
-//! byte-identical for every value of both.
+//! `--jobs N` fans sweep cells across workers, `--quote-threads N`
+//! parallelizes each CEAR admission across its slots, `--build-threads N`
+//! parallelizes the topology build, and the prepared-network cache shares
+//! one build across the five algorithm cells. Outputs are byte-identical
+//! for every knob.
 
-use sb_bench::{parse_args, run_cells, write_csv};
+use sb_bench::{parse_args, prepared_cache, report_cache, run_cells, write_csv};
 use sb_sim::engine::{self, AlgorithmKind};
 use sb_sim::output::write_timeseries_csv;
 
@@ -18,11 +20,13 @@ fn main() {
     let scenario = opts.scenario.clone();
 
     let kinds = AlgorithmKind::all(&scenario);
+    let cache = prepared_cache(&opts);
     let runs = run_cells(opts.jobs, &kinds, |_, kind| {
-        let prepared = engine::prepare(&scenario, 0);
+        let prepared = cache.get(&scenario, 0);
         let requests = engine::workload(&scenario, &prepared, 0);
         engine::run_prepared(&scenario, &prepared, &requests, kind, 0)
     });
+    report_cache(&cache);
 
     let mut series = Vec::new();
     for (kind, m) in kinds.iter().zip(&runs) {

@@ -5,30 +5,44 @@
 //! cargo run -p sb-bench --release --bin fig9 -- --scale fast
 //! ```
 //!
-//! `--jobs N` fans sweep cells across workers; `--quote-threads N`
-//! parallelizes each CEAR admission across its slots. Outputs are
-//! byte-identical for every value of both.
+//! `--jobs N` fans sweep cells across workers, `--quote-threads N`
+//! parallelizes each CEAR admission across its slots, `--build-threads N`
+//! parallelizes the topology build, and the prepared-network cache gives
+//! each seed a single build across both sweeps (valuation and `F₂` are
+//! workload/pricing knobs, invisible to `prepare`). Outputs are
+//! byte-identical for every knob.
 
 use sb_bench::{parse_args, run_cells, write_csv};
 use sb_demand::ValuationModel;
 use sb_sim::engine::{self, AlgorithmKind};
 use sb_sim::metrics;
 use sb_sim::output::{markdown_table, write_series_csv, SeriesPoint};
+use sb_sim::PreparedCache;
 use sb_sim::{RunMetrics, ScenarioConfig};
 
 /// Runs one sweep — `(scenario, seed)` cells in deterministic order — and
-/// regroups the flat results into per-configuration seed batches.
-fn sweep(jobs: usize, seeds: u64, scenarios: &[ScenarioConfig]) -> Vec<Vec<RunMetrics>> {
+/// regroups the flat results into per-configuration seed batches. Cells
+/// pull their prepared network from the shared cache instead of
+/// rebuilding it per configuration.
+fn sweep(
+    jobs: usize,
+    seeds: u64,
+    scenarios: &[ScenarioConfig],
+    cache: &PreparedCache,
+) -> Vec<Vec<RunMetrics>> {
     let cells: Vec<(ScenarioConfig, u64)> =
         scenarios.iter().flat_map(|sc| (0..seeds).map(move |seed| (sc.clone(), seed))).collect();
     let flat = run_cells(jobs, &cells, |_, (sc, seed)| {
-        engine::run(sc, &AlgorithmKind::Cear(sc.cear), *seed)
+        let prepared = cache.get(sc, *seed);
+        let requests = engine::workload(sc, &prepared, *seed);
+        engine::run_prepared(sc, &prepared, &requests, &AlgorithmKind::Cear(sc.cear), *seed)
     });
     flat.chunks(seeds as usize).map(|c| c.to_vec()).collect()
 }
 
 fn main() {
     let opts = parse_args(std::env::args().skip(1));
+    let cache = sb_bench::prepared_cache(&opts);
 
     // Left: valuation sweep. The paper saturates at its default 2.3e9, so
     // the sweep reaches down to where prices actually bind (the interesting
@@ -43,7 +57,7 @@ fn main() {
         })
         .collect();
     let mut val_points = Vec::new();
-    for (&v, runs) in valuations.iter().zip(sweep(opts.jobs, opts.seeds, &val_scenarios)) {
+    for (&v, runs) in valuations.iter().zip(sweep(opts.jobs, opts.seeds, &val_scenarios, &cache)) {
         let ratios: Vec<f64> = runs.iter().map(|m| m.social_welfare_ratio).collect();
         eprintln!("valuation {v:>10.2e}: ratio {:.4}", metrics::mean_std(&ratios).mean);
         val_points.push(SeriesPoint {
@@ -63,7 +77,7 @@ fn main() {
         })
         .collect();
     let mut f2_points = Vec::new();
-    for (&f2, runs) in f2s.iter().zip(sweep(opts.jobs, opts.seeds, &f2_scenarios)) {
+    for (&f2, runs) in f2s.iter().zip(sweep(opts.jobs, opts.seeds, &f2_scenarios, &cache)) {
         let ratios: Vec<f64> = runs.iter().map(|m| m.social_welfare_ratio).collect();
         let depleted = runs.iter().map(|m| m.mean_depleted()).sum::<f64>() / runs.len() as f64;
         eprintln!(
@@ -76,6 +90,7 @@ fn main() {
         });
     }
 
+    sb_bench::report_cache(&cache);
     println!("\n# Fig. 9 — CEAR sensitivity ({} scale)\n", opts.scenario.name);
     println!("## Social welfare ratio vs valuation\n");
     println!("{}", markdown_table("valuation", &val_points));

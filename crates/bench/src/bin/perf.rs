@@ -18,9 +18,16 @@
 //! [`sb_cear::SearchScratch`] arena, and the exponential unit price via
 //! `powf` against the epoch-validated [`sb_cear::PriceCache`].
 //!
-//! The report carries the host's available parallelism alongside `--jobs`
-//! and `--quote-threads`, so a disappointing speedup measured on a 1-core
-//! container is machine-readably distinguishable from a real regression.
+//! The topology section times `engine::prepare` with a serial and a
+//! `--build-threads`-wide parallel series build (asserting the two are
+//! bit-identical), micro-benchmarks one `build_snapshot` call, and replays
+//! the sweep grid against the shared [`sb_sim::PreparedCache`] to report
+//! its hit/miss tally.
+//!
+//! The report carries the host's available parallelism alongside `--jobs`,
+//! `--quote-threads` and `--build-threads`, so a disappointing speedup
+//! measured on a 1-core container is machine-readably distinguishable from
+//! a real regression.
 
 use sb_bench::{parse_args, run_cells};
 use sb_cear::search::{min_cost_path, min_cost_path_in};
@@ -30,7 +37,9 @@ use sb_energy::EnergyParams;
 use sb_geo::coords::Geodetic;
 use sb_orbit::walker::WalkerConstellation;
 use sb_sim::engine::{self, AlgorithmKind};
+use sb_sim::PreparedCache;
 use sb_topology::graph::EdgeId;
+use sb_topology::series::build_snapshot;
 use sb_topology::{NetworkNodes, SlotIndex, TopologyConfig, TopologySeries};
 use std::hint::black_box;
 use std::time::Instant;
@@ -187,11 +196,62 @@ fn main() {
     let cached_ns = t.elapsed().as_secs_f64() * 1e9 / (passes * n_edges) as f64;
     eprintln!("unit price: powf {powf_ns:.1}ns, cached {cached_ns:.1}ns");
 
+    // ---- Topology: serial vs parallel build, cache tally ---------------
+    let build_threads = opts.build_threads;
+    eprintln!("topology: serial prepare…");
+    let t = Instant::now();
+    let serial_prepared = engine::prepare(&scenario, 0);
+    let build_serial_s = t.elapsed().as_secs_f64();
+    eprintln!("topology: parallel prepare with {build_threads} build threads…");
+    let t = Instant::now();
+    let parallel_prepared = engine::prepare_with(&scenario, 0, build_threads);
+    let build_parallel_s = t.elapsed().as_secs_f64();
+    let build_deterministic = serial_prepared.pairs == parallel_prepared.pairs
+        && serial_prepared.series.as_ref() == parallel_prepared.series.as_ref();
+    assert!(build_deterministic, "parallel topology build diverged from the serial one");
+    let build_speedup = build_serial_s / build_parallel_s;
+    eprintln!(
+        "topology: serial {build_serial_s:.2}s, parallel {build_parallel_s:.2}s, \
+         speedup {build_speedup:.2}x"
+    );
+
+    // Per-slot build cost on the micro shell (16×16 + 2 ground users).
+    let shell = WalkerConstellation::delta(16, 16, 5, 550e3, 53f64.to_radians());
+    let mut bench_nodes = NetworkNodes::from_walker(&shell);
+    bench_nodes.add_ground_site(Geodetic::from_degrees(35.8, -78.6, 0.0));
+    bench_nodes.add_ground_site(Geodetic::from_degrees(48.9, 2.3, 0.0));
+    let bench_cfg = TopologyConfig::default();
+    let slot_iters = 16u32;
+    let t = Instant::now();
+    for i in 0..slot_iters {
+        black_box(build_snapshot(
+            &bench_nodes,
+            &bench_cfg,
+            SlotIndex(i),
+            sb_geo::Epoch::from_seconds(i as f64 * 60.0),
+        ));
+    }
+    let slot_build_us = t.elapsed().as_secs_f64() * 1e6 / slot_iters as f64;
+    eprintln!("topology: per-slot build {slot_build_us:.1}µs (16×16 shell)");
+
+    // Replay the sweep grid through the shared cache: the five algorithm
+    // cells of each seed collapse to one build.
+    let cache = PreparedCache::new(build_threads);
+    for (_, seed) in &cells {
+        black_box(cache.get(&scenario, *seed));
+    }
+    let (cache_hits, cache_misses) = (cache.hits(), cache.misses());
+    let cache_hit_rate = cache_hits as f64 / (cache_hits + cache_misses).max(1) as f64;
+    eprintln!(
+        "topology: cache replay of {} cells — {cache_hits} hits, {cache_misses} misses",
+        cells.len()
+    );
+
     // ---- Report --------------------------------------------------------
     let json = format!(
         "{{\n  \"scale\": \"{}\",\n  \"seeds\": {},\n  \"host\": {{\n    \
          \"available_parallelism\": {},\n    \"jobs\": {},\n    \
-         \"quote_threads\": {}\n  }},\n  \"sweep\": {{\n    \"cells\": {},\n    \
+         \"quote_threads\": {},\n    \"build_threads\": {}\n  }},\n  \"sweep\": {{\n    \"cells\": {},\n    \
          \"serial_s\": {:.4},\n    \"parallel_s\": {:.4},\n    \
          \"serial_cells_per_s\": {:.4},\n    \"parallel_cells_per_s\": {:.4},\n    \
          \"speedup\": {:.4},\n    \"deterministic\": {}\n  }},\n  \"quote\": {{\n    \
@@ -200,7 +260,11 @@ fn main() {
          \"speedup\": {:.4},\n    \"speculated_slots\": {},\n    \
          \"validated_slots\": {},\n    \"fallback_slots\": {},\n    \
          \"speculation_hit_rate\": {:.4},\n    \"deterministic\": {}\n  }},\n  \
-         \"micro\": {{\n    \
+         \"topology\": {{\n    \"horizon_slots\": {},\n    \"build_serial_s\": {:.4},\n    \
+         \"build_parallel_s\": {:.4},\n    \"build_speedup\": {:.4},\n    \
+         \"deterministic\": {},\n    \"slot_build_us\": {:.3},\n    \"cache\": {{\n      \
+         \"gets\": {},\n      \"hits\": {},\n      \"misses\": {},\n      \
+         \"hit_rate\": {:.4}\n    }}\n  }},\n  \"micro\": {{\n    \
          \"search_fresh_us\": {:.3},\n    \"search_arena_us\": {:.3},\n    \
          \"search_speedup\": {:.4},\n    \"unit_price_powf_ns\": {:.3},\n    \
          \"unit_price_cached_ns\": {:.3},\n    \"pricing_speedup\": {:.4}\n  }}\n}}\n",
@@ -209,6 +273,7 @@ fn main() {
         sb_bench::default_jobs(),
         opts.jobs,
         quote_threads,
+        build_threads,
         cells.len(),
         serial_s,
         parallel_s,
@@ -226,6 +291,16 @@ fn main() {
         quote_stats.fallback_slots,
         quote_stats.hit_rate(),
         quote_deterministic,
+        scenario.horizon_slots,
+        build_serial_s,
+        build_parallel_s,
+        build_speedup,
+        build_deterministic,
+        slot_build_us,
+        cells.len(),
+        cache_hits,
+        cache_misses,
+        cache_hit_rate,
         fresh_us,
         scratch_us,
         fresh_us / scratch_us,

@@ -27,7 +27,7 @@
 //! Outputs are byte-identical for every value of both (CI diffs the CSVs
 //! of `--quote-threads 1` vs `--quote-threads 4` to prove it end-to-end).
 
-use sb_bench::{parse_args, run_cell, run_cells, write_csv};
+use sb_bench::{parse_args, prepared_cache, report_cache, run_cell, run_cells, write_csv};
 use sb_cear::RepairPolicy;
 use sb_sim::engine::{self, AlgorithmKind};
 use sb_sim::metrics::{self, RunMetrics};
@@ -74,8 +74,9 @@ fn main() {
             }
         }
     }
+    let cache = prepared_cache(&opts);
     let foresight_ratios = run_cells(opts.jobs, &foresight_cells, |_, c| {
-        let prepared = engine::prepare(&c.scenario, c.seed);
+        let prepared = cache.get(&c.scenario, c.seed);
         let requests = engine::workload(&c.scenario, &prepared, c.seed);
         run_cell(&opts, &c.scenario, &prepared, &requests, &c.kind, c.seed, &c.cell)
             .social_welfare_ratio
@@ -102,7 +103,7 @@ fn main() {
     let clean = opts.scenario.clone();
     let seeds: Vec<u64> = (0..opts.seeds).collect();
     let prep = run_cells(opts.jobs, &seeds, |_, &s| {
-        let prepared = engine::prepare(&clean, s);
+        let prepared = cache.get(&clean, s);
         let workload = engine::workload(&clean, &prepared, s);
         (prepared, workload)
     });
@@ -137,6 +138,7 @@ fn main() {
         let (prepared, workload) = &prep[c.seed as usize];
         run_cell(&opts, &c.scenario, prepared, workload, &kind, c.seed, &c.cell)
     });
+    report_cache(&cache);
 
     let mut run_chunks = unforeseen_runs.chunks(opts.seeds as usize);
     let mut delivered_points = Vec::new();

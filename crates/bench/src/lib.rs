@@ -5,7 +5,7 @@
 //! parsing and run-loop plumbing they share.
 
 use sb_sim::engine::{self, AlgorithmKind, ExecOptions, PreparedNetwork};
-use sb_sim::{DurabilityOptions, RunMetrics, RunOutcome, ScenarioConfig};
+use sb_sim::{DurabilityOptions, PreparedCache, RunMetrics, RunOutcome, ScenarioConfig};
 
 /// Command-line options shared by every figure binary.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +31,11 @@ pub struct FigureOptions {
     /// CEAR admission (`--quote-threads N`; default 1 = serial). Quotes
     /// are bit-identical for every value, so CSVs never change with it.
     pub quote_threads: usize,
+    /// Worker threads for each per-slot topology build inside `prepare`
+    /// (`--build-threads N`; default: available parallelism). The built
+    /// series is bit-identical for every value, so CSVs never change with
+    /// it.
+    pub build_threads: usize,
 }
 
 impl Default for FigureOptions {
@@ -43,6 +48,7 @@ impl Default for FigureOptions {
             resume_from: None,
             jobs: default_jobs(),
             quote_threads: 1,
+            build_threads: default_jobs(),
         }
     }
 }
@@ -54,8 +60,8 @@ pub fn default_jobs() -> usize {
 }
 
 /// Parses `--scale {paper,fast,tiny}`, `--seeds N`, `--out DIR`,
-/// `--checkpoint-every N`, `--resume DIR`, `--jobs N` and
-/// `--quote-threads N` from an argument iterator.
+/// `--checkpoint-every N`, `--resume DIR`, `--jobs N`,
+/// `--quote-threads N` and `--build-threads N` from an argument iterator.
 ///
 /// `--scale paper` defaults the seed count to the paper's 5, but an
 /// explicit `--seeds N` wins regardless of argument order.
@@ -119,9 +125,16 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> FigureOptions {
                     .expect("--quote-threads needs an integer");
                 opts.quote_threads = n.max(1);
             }
+            "--build-threads" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--build-threads needs an integer");
+                opts.build_threads = n.max(1);
+            }
             other => panic!(
-                "unknown argument `{other}` \
-                 (use --scale/--seeds/--out/--checkpoint-every/--resume/--jobs/--quote-threads)"
+                "unknown argument `{other}` (use --scale/--seeds/--out/--checkpoint-every\
+                 /--resume/--jobs/--quote-threads/--build-threads)"
             ),
         }
     }
@@ -129,6 +142,28 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> FigureOptions {
         opts.seeds = 5;
     }
     opts
+}
+
+/// The shared prepared-network cache for one sweep, sized from the
+/// command line: builds fan per-slot snapshot construction across
+/// `--build-threads` workers, and the `(scenario-digest, seed)` keying
+/// lets every cell of a comparison point share one build. Consult it from
+/// inside the [`run_cells`] closure — concurrent `get`s for the same key
+/// block on a single builder.
+pub fn prepared_cache(opts: &FigureOptions) -> PreparedCache {
+    PreparedCache::new(opts.build_threads)
+}
+
+/// Reports a sweep's cache tally to stderr, so a paper-scale run shows at
+/// a glance how many prepares the cache saved.
+pub fn report_cache(cache: &PreparedCache) {
+    eprintln!(
+        "prepared-network cache: {} hits, {} misses, {} distinct networks{}",
+        cache.hits(),
+        cache.misses(),
+        cache.len(),
+        if cache.is_disabled() { " (memoization disabled by SB_NO_PREPARE_CACHE)" } else { "" }
+    );
 }
 
 /// Runs one `(cell, seed)` of a sweep, durably when the command line asked
@@ -294,6 +329,13 @@ mod tests {
         assert_eq!(parse(&["--quote-threads", "4"]).quote_threads, 4);
         assert_eq!(parse(&["--quote-threads", "0"]).quote_threads, 1);
         assert_eq!(parse(&[]).quote_threads, 1);
+    }
+
+    #[test]
+    fn build_threads_flag_parses_and_floors_at_one() {
+        assert_eq!(parse(&["--build-threads", "4"]).build_threads, 4);
+        assert_eq!(parse(&["--build-threads", "0"]).build_threads, 1);
+        assert!(parse(&[]).build_threads >= 1);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use sb_topology::graph::EdgeId;
 use sb_topology::{NodeKind, SlotIndex, TopologySeries};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Process-wide epoch source for resource-cell change tracking.
 ///
@@ -95,7 +96,10 @@ pub(crate) struct BookingEntry {
 /// The operator's view of the network over the whole horizon.
 #[derive(Debug, Clone)]
 pub struct NetworkState {
-    series: TopologySeries,
+    /// Shared, immutable topology: cloning a state (or building five
+    /// algorithm states from one cached [`sb_topology::TopologySeries`])
+    /// bumps a refcount instead of copying every snapshot.
+    series: Arc<TopologySeries>,
     num_satellites: usize,
     energy_params: EnergyParams,
     ledger: EnergyLedger,
@@ -116,7 +120,8 @@ pub struct NetworkState {
 impl NetworkState {
     /// Creates a fresh state over a topology series: no reservations, full
     /// batteries, solar input derived from each satellite's sunlit profile.
-    pub fn new(series: TopologySeries, energy_params: &EnergyParams) -> Self {
+    pub fn new(series: impl Into<Arc<TopologySeries>>, energy_params: &EnergyParams) -> Self {
+        let series = series.into();
         let num_satellites = series
             .snapshots()
             .first()
@@ -444,9 +449,10 @@ impl NetworkState {
     /// Returns a [`sb_wire::WireError`] on truncated input or any
     /// dimension mismatch.
     pub fn decode_snapshot(
-        series: TopologySeries,
+        series: impl Into<Arc<TopologySeries>>,
         r: &mut sb_wire::Reader<'_>,
     ) -> Result<Self, sb_wire::WireError> {
+        let series = series.into();
         let invalid = |detail: String| sb_wire::WireError::Invalid { detail };
         let ledger = EnergyLedger::decode(r)?;
         let num_satellites = r.usize()?;

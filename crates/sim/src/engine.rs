@@ -142,13 +142,16 @@ impl Default for ExecOptions {
 /// series and endpoint pairs. Building this is the expensive step at paper
 /// scale, so it is exposed separately for reuse across algorithms (the
 /// comparison figures run all five algorithms on the *same* prepared
-/// network and workload).
+/// network and workload), and memoized across sweep cells by
+/// [`crate::prepared::PreparedCache`].
 #[derive(Debug, Clone)]
 pub struct PreparedNetwork {
     /// The node table used to build the series.
     pub pairs: Vec<(NodeId, NodeId)>,
-    /// The topology snapshots for the whole horizon.
-    pub series: TopologySeries,
+    /// The topology snapshots for the whole horizon, shared so that the
+    /// per-algorithm [`NetworkState`]s built from one prepared network
+    /// bump a refcount instead of cloning every snapshot.
+    pub series: std::sync::Arc<TopologySeries>,
 }
 
 /// Builds the constellation, selects endpoint pairs and builds the
@@ -156,6 +159,15 @@ pub struct PreparedNetwork {
 /// stream derived from `seed` so workload and topology draws never
 /// interfere.
 pub fn prepare(scenario: &ScenarioConfig, seed: u64) -> PreparedNetwork {
+    prepare_with(scenario, seed, 1)
+}
+
+/// [`prepare`] with the per-slot snapshot builds fanned across
+/// `build_threads` worker threads ([`TopologySeries::build_par`]). The
+/// result is bit-identical for every thread count — the knob tunes build
+/// speed, never what gets built, which is why it is a plain argument and
+/// not part of [`ScenarioConfig`] or any digest.
+pub fn prepare_with(scenario: &ScenarioConfig, seed: u64, build_threads: usize) -> PreparedNetwork {
     let shell = WalkerConstellation::delta(
         scenario.planes,
         scenario.sats_per_plane,
@@ -184,11 +196,12 @@ pub fn prepare(scenario: &ScenarioConfig, seed: u64) -> PreparedNetwork {
         pairs.push((src, dst));
     }
 
-    let mut series = TopologySeries::build(
+    let mut series = TopologySeries::build_par(
         &nodes,
         &scenario.topology,
         scenario.horizon_slots,
         scenario.slot_duration_s,
+        build_threads,
     );
     if scenario.isl_failure_prob > 0.0 {
         let model = sb_topology::failures::LinkFailureModel::new(
@@ -197,7 +210,32 @@ pub fn prepare(scenario: &ScenarioConfig, seed: u64) -> PreparedNetwork {
         );
         series = series.with_failures(&model);
     }
-    PreparedNetwork { pairs, series }
+    PreparedNetwork { pairs, series: std::sync::Arc::new(series) }
+}
+
+/// Digest of exactly the [`ScenarioConfig`] fields [`prepare`] reads —
+/// constellation shape, topology knobs, horizon, endpoint selection and
+/// the foreseen ISL-failure probability. Workload-only fields (arrival
+/// rate, valuation, CEAR pricing, energy) deliberately stay out, so two
+/// sweep cells that differ only in load share one prepared network in
+/// [`crate::prepared::PreparedCache`].
+pub fn prepare_digest(scenario: &ScenarioConfig) -> u64 {
+    let mut w = Writer::new();
+    w.usize(scenario.planes);
+    w.usize(scenario.sats_per_plane);
+    w.usize(scenario.phasing);
+    w.f64(scenario.altitude_m);
+    w.f64(scenario.inclination_deg);
+    w.str(&format!("{:?}", scenario.topology));
+    w.usize(scenario.horizon_slots);
+    w.f64(scenario.slot_duration_s);
+    w.usize(scenario.num_pairs);
+    w.f64(scenario.eo_pair_fraction);
+    w.usize(scenario.eo_fleet_size);
+    w.usize(scenario.ground_site_count);
+    w.u32(scenario.grid_subdivisions);
+    w.f64(scenario.isl_failure_prob);
+    sb_wire::checksum(&w.into_bytes())
 }
 
 /// Generates the workload for a prepared network.

@@ -44,6 +44,7 @@ pub mod journal;
 pub mod metrics;
 pub mod outage;
 pub mod output;
+pub mod prepared;
 pub mod scenario;
 pub mod trace;
 pub mod viz;
@@ -52,4 +53,5 @@ pub use durable::{run_durable, DurabilityOptions, EngineError, RunOutcome};
 pub use engine::{AlgorithmKind, ExecOptions};
 pub use metrics::RunMetrics;
 pub use outage::FailureOracle;
+pub use prepared::PreparedCache;
 pub use scenario::{ScenarioConfig, UnforeseenFailures};

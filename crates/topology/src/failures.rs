@@ -78,6 +78,19 @@ impl LinkFailureModel {
             e.link_type == LinkType::Isl && self.is_down(slot, e.src.0, e.dst.0)
         })
     }
+
+    /// [`LinkFailureModel::apply`] on an owned snapshot: when no drawn
+    /// failure hits an existing ISL the snapshot is returned unchanged
+    /// (moved), skipping the rebuild entirely. Bit-identical to `apply`.
+    pub fn apply_owned(&self, snapshot: TopologySnapshot) -> TopologySnapshot {
+        if self.isl_failure_prob <= 0.0 {
+            return snapshot;
+        }
+        let slot = snapshot.slot();
+        rebuild_owned_without(snapshot, |e| {
+            e.link_type == LinkType::Isl && self.is_down(slot, e.src.0, e.dst.0)
+        })
+    }
 }
 
 /// Whole-satellite outage model: with probability `outage_prob` a new
@@ -161,6 +174,25 @@ impl NodeOutageModel {
             })
         })
     }
+
+    /// [`NodeOutageModel::apply`] on an owned snapshot: slots with no
+    /// active outage touching an edge are returned unchanged (moved).
+    pub fn apply_owned(&self, snapshot: TopologySnapshot) -> TopologySnapshot {
+        if self.outage_prob <= 0.0 {
+            return snapshot;
+        }
+        let slot = snapshot.slot();
+        let down = |snap: &TopologySnapshot, e: &Edge| {
+            [e.src, e.dst].into_iter().any(|n| match snap.kind(n) {
+                NodeKind::Satellite(i) => self.is_down(slot, i as u32),
+                _ => false,
+            })
+        };
+        if !snapshot.edges().iter().any(|e| down(&snapshot, e)) {
+            return snapshot;
+        }
+        rebuild_without(&snapshot, |e| down(&snapshot, e))
+    }
 }
 
 /// Correlated burst ISL failures: each unordered satellite pair carries an
@@ -235,6 +267,19 @@ impl GilbertElliottModel {
             e.link_type == LinkType::Isl && self.is_down(slot, e.src.0, e.dst.0)
         })
     }
+
+    /// [`GilbertElliottModel::apply`] on an owned snapshot: slots where no
+    /// chain is in the bad state on an existing ISL are returned unchanged
+    /// (moved).
+    pub fn apply_owned(&self, snapshot: TopologySnapshot) -> TopologySnapshot {
+        if self.p_fail <= 0.0 {
+            return snapshot;
+        }
+        let slot = snapshot.slot();
+        rebuild_owned_without(snapshot, |e| {
+            e.link_type == LinkType::Isl && self.is_down(slot, e.src.0, e.dst.0)
+        })
+    }
 }
 
 /// One of the failure models (or none), for configuration plumbing.
@@ -293,6 +338,29 @@ impl FailureModel {
             FailureModel::GilbertElliott(m) => m.apply(snapshot),
         }
     }
+
+    /// [`FailureModel::apply`] on an owned snapshot: unchanged slots are
+    /// moved instead of rebuilt. Bit-identical to `apply`.
+    pub fn apply_owned(&self, snapshot: TopologySnapshot) -> TopologySnapshot {
+        match self {
+            FailureModel::None => snapshot,
+            FailureModel::IndependentLinks(m) => m.apply_owned(snapshot),
+            FailureModel::NodeOutages(m) => m.apply_owned(snapshot),
+            FailureModel::GilbertElliott(m) => m.apply_owned(snapshot),
+        }
+    }
+}
+
+/// [`rebuild_without`] on an owned snapshot, returning it unchanged when
+/// no edge matches `down`.
+fn rebuild_owned_without(
+    snapshot: TopologySnapshot,
+    mut down: impl FnMut(&Edge) -> bool,
+) -> TopologySnapshot {
+    if !snapshot.edges().iter().any(&mut down) {
+        return snapshot;
+    }
+    rebuild_without(&snapshot, down)
 }
 
 /// Rebuilds a snapshot without the edges matched by `down`.

@@ -192,7 +192,7 @@ impl NetworkNodes {
 }
 
 /// The full time-slotted topology: one snapshot per slot.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TopologySeries {
     slot_duration_s: f64,
     snapshots: Vec<TopologySnapshot>,
@@ -215,6 +215,59 @@ impl TopologySeries {
                     SlotIndex(t as u32),
                     Epoch::from_seconds(t as f64 * slot_duration_s),
                 )
+            })
+            .collect();
+        TopologySeries { slot_duration_s, snapshots }
+    }
+
+    /// [`TopologySeries::build`] with the per-slot snapshot builds fanned
+    /// across `threads` worker threads.
+    ///
+    /// Each snapshot is a pure function of `(nodes, config, slot epoch)`,
+    /// so workers share nothing and the result is **bit-identical** to the
+    /// serial build for every thread count — the same determinism
+    /// discipline as the sweep runner and the speculative quote. Workers
+    /// pull slots from a shared atomic counter (later slots cost the same
+    /// as early ones, but dynamic assignment keeps stragglers balanced)
+    /// and deposit each snapshot into its slot's dedicated cell, so
+    /// collection order never depends on completion order.
+    ///
+    /// `threads <= 1` takes the serial path with no thread machinery.
+    pub fn build_par(
+        nodes: &NetworkNodes,
+        config: &TopologyConfig,
+        num_slots: usize,
+        slot_duration_s: f64,
+        threads: usize,
+    ) -> TopologySeries {
+        let threads = threads.clamp(1, num_slots.max(1));
+        if threads == 1 {
+            return Self::build(nodes, config, num_slots, slot_duration_s);
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let cells: Vec<std::sync::Mutex<Option<TopologySnapshot>>> =
+            (0..num_slots).map(|_| std::sync::Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if t >= num_slots {
+                        break;
+                    }
+                    let snapshot = build_snapshot(
+                        nodes,
+                        config,
+                        SlotIndex(t as u32),
+                        Epoch::from_seconds(t as f64 * slot_duration_s),
+                    );
+                    *cells[t].lock().expect("snapshot cell poisoned") = Some(snapshot);
+                });
+            }
+        });
+        let snapshots = cells
+            .into_iter()
+            .map(|c| {
+                c.into_inner().expect("snapshot cell poisoned").expect("worker built every slot")
             })
             .collect();
         TopologySeries { slot_duration_s, snapshots }
@@ -260,21 +313,27 @@ impl TopologySeries {
         self.snapshots.iter().map(|s| s.is_sunlit(sat_node)).collect()
     }
 
-    /// Returns a copy of the series with an ISL failure model applied to
-    /// every snapshot (see [`crate::failures::LinkFailureModel`]).
-    pub fn with_failures(&self, model: &crate::failures::LinkFailureModel) -> TopologySeries {
+    /// Returns the series with an ISL failure model applied to every
+    /// snapshot (see [`crate::failures::LinkFailureModel`]).
+    ///
+    /// Takes `self` by value and moves every snapshot the model leaves
+    /// untouched — slots where no drawn failure hits an existing ISL are
+    /// *not* rebuilt or cloned, so applying a sparse overlay to a
+    /// paper-scale series costs only the slots that actually change.
+    pub fn with_failures(self, model: &crate::failures::LinkFailureModel) -> TopologySeries {
         TopologySeries {
             slot_duration_s: self.slot_duration_s,
-            snapshots: self.snapshots.iter().map(|s| model.apply(s)).collect(),
+            snapshots: self.snapshots.into_iter().map(|s| model.apply_owned(s)).collect(),
         }
     }
 
-    /// Returns a copy of the series with any [`crate::failures::FailureModel`]
-    /// applied to every snapshot.
-    pub fn with_failure_model(&self, model: &crate::failures::FailureModel) -> TopologySeries {
+    /// Returns the series with any [`crate::failures::FailureModel`]
+    /// applied to every snapshot. Unchanged slots are moved, not rebuilt
+    /// (see [`TopologySeries::with_failures`]).
+    pub fn with_failure_model(self, model: &crate::failures::FailureModel) -> TopologySeries {
         TopologySeries {
             slot_duration_s: self.slot_duration_s,
-            snapshots: self.snapshots.iter().map(|s| model.apply(s)).collect(),
+            snapshots: self.snapshots.into_iter().map(|s| model.apply_owned(s)).collect(),
         }
     }
 }
@@ -365,7 +424,9 @@ pub fn build_snapshot(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::failures::LinkFailureModel;
     use crate::graph::LinkType;
+    use proptest::prelude::*;
     use sb_orbit::walker::WalkerConstellation;
 
     fn small_nodes() -> NetworkNodes {
@@ -480,5 +541,73 @@ mod tests {
         let mut nodes = NetworkNodes::from_walker(&shell);
         let sat = nodes.broadband().satellites()[0].clone();
         nodes.add_space_user(sat);
+    }
+
+    #[test]
+    fn build_par_matches_serial_build() {
+        let nodes = small_nodes();
+        let cfg = TopologyConfig::default();
+        let serial = TopologySeries::build(&nodes, &cfg, 6, 120.0);
+        for threads in [1, 2, 4, 16] {
+            let par = TopologySeries::build_par(&nodes, &cfg, 6, 120.0, threads);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn build_par_empty_series() {
+        let nodes = small_nodes();
+        let par = TopologySeries::build_par(&nodes, &TopologyConfig::default(), 0, 60.0, 4);
+        assert_eq!(par.num_slots(), 0);
+    }
+
+    #[test]
+    fn failure_overlay_bit_identical_through_owned_path() {
+        // Pins the by-value `with_failures` (move-unchanged-slots fast
+        // path) to the per-snapshot reference overlay, on a shell sparse
+        // enough that both the "slot untouched" and "slot rebuilt" paths
+        // are exercised.
+        let shell = WalkerConstellation::delta(4, 8, 0, 550e3, 53f64.to_radians());
+        let nodes = NetworkNodes::from_walker(&shell);
+        let original = TopologySeries::build(&nodes, &TopologyConfig::default(), 16, 300.0);
+        let model = LinkFailureModel::new(0.01, 0xfa11_0005);
+        let expected: Vec<TopologySnapshot> =
+            original.snapshots().iter().map(|s| model.apply(s)).collect();
+        let overlaid = original.clone().with_failures(&model);
+        assert_eq!(overlaid.snapshots(), expected.as_slice());
+        assert_eq!(overlaid.slot_duration_s(), original.slot_duration_s());
+        let changed =
+            overlaid.snapshots().iter().zip(original.snapshots()).filter(|(a, b)| a != b).count();
+        assert!(changed > 0, "overlay should drop at least one ISL at p=0.01");
+        assert!(changed < original.num_slots(), "some slots should survive untouched");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn prop_build_par_bit_identical(
+            planes in 2usize..5,
+            sats_per_plane in 2usize..6,
+            phasing in 0usize..4,
+            num_slots in 1usize..4,
+            threads in 1usize..5,
+        ) {
+            let shell = WalkerConstellation::delta(
+                planes,
+                sats_per_plane,
+                phasing % planes,
+                550e3,
+                53f64.to_radians(),
+            );
+            let mut nodes = NetworkNodes::from_walker(&shell);
+            nodes.add_ground_site(Geodetic::from_degrees(35.8, -78.6, 0.0));
+            for eo in sb_orbit::eo::synthetic_fleet(1) {
+                nodes.add_space_user(eo);
+            }
+            let cfg = TopologyConfig::default();
+            let serial = TopologySeries::build(&nodes, &cfg, num_slots, 60.0);
+            let par = TopologySeries::build_par(&nodes, &cfg, num_slots, 60.0, threads);
+            prop_assert_eq!(par, serial);
+        }
     }
 }

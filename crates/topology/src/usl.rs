@@ -9,21 +9,65 @@
 
 use crate::graph::{Edge, LinkType, NodeId};
 use sb_geo::coords::Eci;
-use sb_geo::visibility;
+use sb_geo::{visibility, EARTH_RADIUS_M};
+
+/// Relative slack on the squared-distance early-reject bounds, absorbing
+/// the floating-point error between the exact geometric test and the
+/// law-of-cosines slant range. Generous by many orders of magnitude — the
+/// point of the reject is to skip satellites on the far side of the
+/// planet, not to shave the last meter.
+const REJECT_SLACK: f64 = 1e-9;
+
+/// Squared upper bound on the distance from a ground user to *any*
+/// satellite above `min_elevation_rad`, or `f64::INFINITY` when no sound
+/// bound exists.
+///
+/// The slant range to a satellite sitting exactly at the mask elevation is
+/// decreasing in elevation and increasing in orbit radius, so
+/// `slant_range(user_alt, max_sat_alt, mask)` dominates every visible
+/// satellite's distance. The bound is skipped (infinite) for negative
+/// masks and for shells at or below the observer radius, where that
+/// monotonicity argument does not hold.
+fn ground_reject_bound_sq(user: Eci, sat_positions: &[Eci], min_elevation_rad: f64) -> f64 {
+    if min_elevation_rad < 0.0 {
+        return f64::INFINITY;
+    }
+    let r_user = user.0.norm();
+    let max_sat_r_sq = sat_positions.iter().map(|sp| sp.0.norm_squared()).fold(0.0, f64::max);
+    let max_sat_r = max_sat_r_sq.sqrt();
+    if max_sat_r <= r_user {
+        return f64::INFINITY;
+    }
+    let bound = visibility::slant_range(
+        r_user - EARTH_RADIUS_M,
+        max_sat_r - EARTH_RADIUS_M,
+        min_elevation_rad,
+    ) * (1.0 + REJECT_SLACK);
+    bound * bound
+}
 
 /// Returns the indices of the `max_links` nearest satellites (into
 /// `sat_positions`) visible from a ground user, i.e. above
 /// `min_elevation_rad`.
+///
+/// A squared-distance compare against the slant-range bound rejects
+/// far-side satellites before the full elevation test (normalise + acos);
+/// the bound is conservative, so the discovered link set is identical to
+/// the brute-force scan.
 pub fn visible_sats_from_ground(
     user: Eci,
     sat_positions: &[Eci],
     min_elevation_rad: f64,
     max_links: usize,
 ) -> Vec<usize> {
+    let reject_sq = ground_reject_bound_sq(user, sat_positions, min_elevation_rad);
     let mut candidates: Vec<(f64, usize)> = sat_positions
         .iter()
         .enumerate()
-        .filter(|(_, &sp)| visibility::visible_above_elevation(user, sp, min_elevation_rad))
+        .filter(|(_, &sp)| {
+            (user.0 - sp.0).norm_squared() <= reject_sq
+                && visibility::visible_above_elevation(user, sp, min_elevation_rad)
+        })
         .map(|(i, &sp)| (user.distance(sp), i))
         .collect();
     candidates.sort_by(|a, b| a.0.total_cmp(&b.0));
@@ -33,6 +77,10 @@ pub fn visible_sats_from_ground(
 
 /// Returns the indices of the `max_links` nearest satellites visible from a
 /// space user: within `max_range_m` and with an Earth-clear line of sight.
+///
+/// A squared-distance compare rejects out-of-range satellites before the
+/// sqrt and the line-of-sight test; the exact `d <= max_range_m` check is
+/// kept for survivors so link sets match the brute-force scan bit for bit.
 pub fn visible_sats_from_space(
     user: Eci,
     sat_positions: &[Eci],
@@ -40,10 +88,14 @@ pub fn visible_sats_from_space(
     grazing_margin_m: f64,
     max_links: usize,
 ) -> Vec<usize> {
+    let reject_sq = max_range_m * max_range_m * (1.0 + REJECT_SLACK);
     let mut candidates: Vec<(f64, usize)> = sat_positions
         .iter()
         .enumerate()
         .filter_map(|(i, &sp)| {
+            if (user.0 - sp.0).norm_squared() > reject_sq {
+                return None;
+            }
             let d = user.distance(sp);
             (d <= max_range_m && visibility::line_of_sight_clear(user, sp, grazing_margin_m))
                 .then_some((d, i))
@@ -84,6 +136,7 @@ pub fn usl_edges(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use sb_geo::{Vec3, EARTH_RADIUS_M};
 
     fn ground_at_origin() -> Eci {
@@ -159,5 +212,105 @@ mod tests {
         let sats = vec![sat_above(0.0)];
         let v = visible_sats_from_ground(ground_at_origin(), &sats, 25f64.to_radians(), 0);
         assert!(v.is_empty());
+    }
+
+    // Brute-force references for the early-reject property tests: the
+    // full-scan discovery loops, kept verbatim from before the
+    // squared-distance reject was added.
+    #[allow(dead_code)] // used only inside `proptest!`, which the offline stub swallows
+    fn ground_reference(
+        user: Eci,
+        sat_positions: &[Eci],
+        min_elevation_rad: f64,
+        max_links: usize,
+    ) -> Vec<usize> {
+        let mut candidates: Vec<(f64, usize)> = sat_positions
+            .iter()
+            .enumerate()
+            .filter(|(_, &sp)| visibility::visible_above_elevation(user, sp, min_elevation_rad))
+            .map(|(i, &sp)| (user.distance(sp), i))
+            .collect();
+        candidates.sort_by(|a, b| a.0.total_cmp(&b.0));
+        candidates.truncate(max_links);
+        candidates.into_iter().map(|(_, i)| i).collect()
+    }
+
+    #[allow(dead_code)] // used only inside `proptest!`, which the offline stub swallows
+    fn space_reference(
+        user: Eci,
+        sat_positions: &[Eci],
+        max_range_m: f64,
+        grazing_margin_m: f64,
+        max_links: usize,
+    ) -> Vec<usize> {
+        let mut candidates: Vec<(f64, usize)> = sat_positions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &sp)| {
+                let d = user.distance(sp);
+                (d <= max_range_m && visibility::line_of_sight_clear(user, sp, grazing_margin_m))
+                    .then_some((d, i))
+            })
+            .collect();
+        candidates.sort_by(|a, b| a.0.total_cmp(&b.0));
+        candidates.truncate(max_links);
+        candidates.into_iter().map(|(_, i)| i).collect()
+    }
+
+    #[allow(dead_code)] // used only inside `proptest!`, which the offline stub swallows
+    fn sats_from_spherical(raw: &[(f64, f64, f64)]) -> Vec<Eci> {
+        raw.iter()
+            .map(|&(r, theta, phi)| {
+                Eci(Vec3::new(
+                    r * theta.sin() * phi.cos(),
+                    r * theta.sin() * phi.sin(),
+                    r * theta.cos(),
+                ))
+            })
+            .collect()
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ground_link_set_unchanged_by_early_reject(
+            raw in proptest::collection::vec(
+                (6.4e6..7.8e6f64, 0.0..std::f64::consts::PI, 0.0..std::f64::consts::TAU),
+                1..40,
+            ),
+            user_lon in 0.0..std::f64::consts::TAU,
+            mask_deg in -10.0..60.0f64,
+            max_links in 0usize..6,
+        ) {
+            let sats = sats_from_spherical(&raw);
+            let user = Eci(Vec3::new(
+                EARTH_RADIUS_M * user_lon.cos(),
+                EARTH_RADIUS_M * user_lon.sin(),
+                0.0,
+            ));
+            let mask = mask_deg.to_radians();
+            prop_assert_eq!(
+                visible_sats_from_ground(user, &sats, mask, max_links),
+                ground_reference(user, &sats, mask, max_links)
+            );
+        }
+
+        #[test]
+        fn prop_space_link_set_unchanged_by_early_reject(
+            raw in proptest::collection::vec(
+                (6.4e6..7.8e6f64, 0.0..std::f64::consts::PI, 0.0..std::f64::consts::TAU),
+                1..40,
+            ),
+            eo_r in 6.6e6..7.0e6f64,
+            eo_lon in 0.0..std::f64::consts::TAU,
+            max_range in 5.0e5..3.0e6f64,
+            max_links in 0usize..6,
+        ) {
+            let sats = sats_from_spherical(&raw);
+            let eo = Eci(Vec3::new(eo_r * eo_lon.cos(), eo_r * eo_lon.sin(), 0.0));
+            prop_assert_eq!(
+                visible_sats_from_space(eo, &sats, max_range, 80_000.0, max_links),
+                space_reference(eo, &sats, max_range, 80_000.0, max_links)
+            );
+        }
     }
 }
