@@ -1,0 +1,209 @@
+//! Service load harness: drives the [`sb_serve::AdmissionService`]
+//! through a closed-loop latency/throughput phase and an overload burst,
+//! and emits machine-readable `BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run -p sb-bench --release --bin serve_load -- --scale tiny --jobs 4
+//! ```
+//!
+//! The closed-loop phase runs `--jobs` quote workers against as many
+//! client threads, each submitting its share of the scenario workload
+//! with [`AdmissionService::submit_blocking`] and timing every answer:
+//! the report carries p50/p95/p99 ack latency and the sustained decision
+//! rate. The queue is sized so nothing sheds — every request gets a real
+//! quote-based decision.
+//!
+//! The overload phase then aims a burst several times larger at a
+//! deliberately tiny queue (depth 4) with a short deadline: value-density
+//! shedding and deadline shedding must engage, every ticket must still
+//! resolve, the service must stay live (no fault was injected), and the
+//! final drain must be clean. The report records each shed counter so a
+//! regression in overload behavior is machine-readably visible.
+
+use sb_bench::parse_args;
+use sb_cear::{CearParams, NetworkState};
+use sb_serve::{AckBody, AdmissionService, ServeConfig};
+use sb_sim::engine::{self, AlgorithmKind};
+use sb_sim::faultio::{FaultIo, FaultPlan};
+use sb_sim::journal::Journal;
+use std::time::{Duration, Instant};
+
+/// Percentile of an already-sorted latency sample (nearest-rank).
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_us.len() as f64 * p / 100.0).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1]
+}
+
+fn main() {
+    let opts = parse_args(std::env::args().skip(1));
+    let scenario = opts.scenario.clone();
+    let seed = 0u64;
+    let workers = opts.jobs;
+    let kind = AlgorithmKind::Cear(CearParams::default());
+    let digest = engine::run_digest(&scenario, &kind, seed);
+    let prepared = engine::prepare(&scenario, seed);
+    let requests = engine::workload(&scenario, &prepared, seed);
+    assert!(!requests.is_empty(), "scenario workload is empty");
+
+    // ---- Closed loop: per-ack latency and sustained decision rate ------
+    eprintln!("closed loop: {} requests, {workers} workers / {workers} clients…", requests.len());
+    let mut cfg = ServeConfig::new(digest, seed);
+    cfg.workers = workers;
+    cfg.queue_depth = (requests.len() + workers).max(64);
+    cfg.degraded_enter = cfg.queue_depth; // occupancy can never reach it
+    cfg.degraded_exit = cfg.queue_depth / 4;
+    let state = NetworkState::new(prepared.series.clone(), &scenario.energy);
+    let journal = Journal::from_io(Box::new(FaultIo::new(FaultPlan::none())));
+    let service = AdmissionService::start(state, journal, cfg, None, 0)
+        .unwrap_or_else(|e| panic!("cannot start admission service: {e}"));
+    let t = Instant::now();
+    let mut latencies_us: Vec<u64> = std::thread::scope(|scope| {
+        let service = &service;
+        let handles: Vec<_> = (0..workers)
+            .map(|client| {
+                let chunk: Vec<_> =
+                    requests.iter().skip(client).step_by(workers).cloned().collect();
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(chunk.len());
+                    for req in chunk {
+                        let t = Instant::now();
+                        let ack = service.submit_blocking(req).expect("service stays alive");
+                        lat.push(t.elapsed().as_micros() as u64);
+                        assert!(
+                            !matches!(ack.body, AckBody::Shed { .. }),
+                            "closed loop must not shed (queue is oversized)"
+                        );
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+    });
+    let closed_s = t.elapsed().as_secs_f64();
+    let closed_stats = service.stats();
+    let closed_live = !service.is_dead();
+    let closed_report = service.drain();
+    let closed_clean = closed_report.failure.is_none();
+    latencies_us.sort_unstable();
+    let (p50, p95, p99) = (
+        percentile(&latencies_us, 50.0),
+        percentile(&latencies_us, 95.0),
+        percentile(&latencies_us, 99.0),
+    );
+    let mean_us = latencies_us.iter().sum::<u64>() as f64 / latencies_us.len().max(1) as f64;
+    let decisions_per_s = closed_stats.decisions() as f64 / closed_s;
+    eprintln!(
+        "closed loop: {:.0} decisions/s, p50 {p50}µs, p95 {p95}µs, p99 {p99}µs, \
+         {} admitted / {} decisions",
+        decisions_per_s,
+        closed_stats.admitted,
+        closed_stats.decisions()
+    );
+    assert!(closed_live && closed_clean, "closed loop must stay live and drain cleanly");
+
+    // ---- Overload burst: tiny queue + deadline, shedding must engage ---
+    let burst: Vec<_> = requests.iter().cycle().take(requests.len().max(400)).cloned().collect();
+    let deadline_us = 3_000u64;
+    eprintln!("overload: burst of {} into a depth-4 queue, {deadline_us}µs deadline…", burst.len());
+    let mut cfg = ServeConfig::new(digest, seed);
+    cfg.workers = workers;
+    cfg.queue_depth = 4;
+    cfg.deadline = Some(Duration::from_micros(deadline_us));
+    cfg.degraded_enter = 3;
+    cfg.degraded_exit = 1;
+    let state = NetworkState::new(prepared.series.clone(), &scenario.energy);
+    let journal = Journal::from_io(Box::new(FaultIo::new(FaultPlan::none())));
+    let service = AdmissionService::start(state, journal, cfg, None, 0)
+        .unwrap_or_else(|e| panic!("cannot start admission service: {e}"));
+    // Bursts of 40 against a depth-4 queue, with a short gap between
+    // bursts: each burst saturates the queue (value-density shedding
+    // engages), each gap lets the committer land a few real decisions —
+    // so the report shows admissions AND shedding side by side.
+    let t = Instant::now();
+    let mut tickets = Vec::with_capacity(burst.len());
+    for chunk in burst.chunks(40) {
+        for req in chunk {
+            tickets.push(service.submit(req.clone()).expect("burst submissions are accepted"));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let submitted = tickets.len() as u64;
+    for ticket in tickets {
+        ticket.wait().expect("every burst ticket resolves");
+    }
+    let burst_s = t.elapsed().as_secs_f64();
+    let over = service.stats();
+    let over_live = !service.is_dead();
+    let over_report = service.drain();
+    let over_clean = over_report.failure.is_none();
+    let total_shed = over.shed_queue_full + over.shed_deadline + over.shed_retries;
+    eprintln!(
+        "overload: {total_shed} shed ({} queue-full, {} deadline, {} retries), \
+         {} admitted, {} degraded entries, live={over_live}, clean drain={over_clean}",
+        over.shed_queue_full,
+        over.shed_deadline,
+        over.shed_retries,
+        over.admitted,
+        over.degraded_entries
+    );
+    assert!(total_shed > 0, "a {}x-queue-depth burst must shed", submitted / 4);
+    assert!(over_live && over_clean, "overload must not kill the service");
+
+    // ---- Report --------------------------------------------------------
+    let json = format!(
+        "{{\n  \"scale\": \"{}\",\n  \"host\": {{\n    \"available_parallelism\": {},\n    \
+         \"workers\": {},\n    \"clients\": {}\n  }},\n  \"closed_loop\": {{\n    \
+         \"requests\": {},\n    \"admitted\": {},\n    \"rejected\": {},\n    \
+         \"shed\": 0,\n    \"conflicts\": {},\n    \"requotes\": {},\n    \
+         \"max_occupancy\": {},\n    \"elapsed_s\": {:.4},\n    \
+         \"decisions_per_s\": {:.1},\n    \"latency_us\": {{\n      \"mean\": {:.1},\n      \
+         \"p50\": {},\n      \"p95\": {},\n      \"p99\": {}\n    }},\n    \
+         \"service_live\": {},\n    \"drain_clean\": {}\n  }},\n  \"overload\": {{\n    \
+         \"queue_depth\": 4,\n    \"deadline_us\": {},\n    \"submitted\": {},\n    \
+         \"admitted\": {},\n    \"rejected\": {},\n    \"shed_queue_full\": {},\n    \
+         \"shed_deadline\": {},\n    \"shed_retries\": {},\n    \"conflicts\": {},\n    \
+         \"degraded_entries\": {},\n    \"elapsed_s\": {:.4},\n    \"service_live\": {},\n    \
+         \"drain_clean\": {}\n  }}\n}}\n",
+        scenario.name,
+        sb_bench::default_jobs(),
+        workers,
+        workers,
+        requests.len(),
+        closed_stats.admitted,
+        closed_stats.rejected_no_path + closed_stats.rejected_price + closed_stats.rejected_commit,
+        closed_stats.conflicts,
+        closed_stats.requotes,
+        closed_stats.max_occupancy,
+        closed_s,
+        decisions_per_s,
+        mean_us,
+        p50,
+        p95,
+        p99,
+        closed_live,
+        closed_clean,
+        deadline_us,
+        submitted,
+        over.admitted,
+        over.rejected_no_path + over.rejected_price + over.rejected_commit,
+        over.shed_queue_full,
+        over.shed_deadline,
+        over.shed_retries,
+        over.conflicts,
+        over.degraded_entries,
+        burst_s,
+        over_live,
+        over_clean,
+    );
+    let path = opts.out_dir.join("BENCH_serve.json");
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("{json}");
+    println!("written to {}", path.display());
+}

@@ -68,8 +68,10 @@ pub fn default_jobs() -> usize {
 ///
 /// # Panics
 ///
-/// Panics with a usage message on unknown arguments — these are
-/// experiment drivers, not long-lived services.
+/// Panics with a usage message on unknown arguments, and rejects `0` for
+/// `--jobs`/`--quote-threads`/`--build-threads` instead of silently
+/// flooring it — these are experiment drivers, not long-lived services,
+/// and a zero thread count is a typo worth surfacing.
 pub fn parse_args(args: impl Iterator<Item = String>) -> FigureOptions {
     let mut opts = FigureOptions::default();
     let mut seeds_given = false;
@@ -114,23 +116,13 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> FigureOptions {
                 opts.resume_from = Some(args.next().expect("--resume needs a directory").into());
             }
             "--jobs" => {
-                let n: usize =
-                    args.next().and_then(|v| v.parse().ok()).expect("--jobs needs an integer");
-                opts.jobs = n.max(1);
+                opts.jobs = parse_at_least_one(args.next(), "--jobs");
             }
             "--quote-threads" => {
-                let n: usize = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--quote-threads needs an integer");
-                opts.quote_threads = n.max(1);
+                opts.quote_threads = parse_at_least_one(args.next(), "--quote-threads");
             }
             "--build-threads" => {
-                let n: usize = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--build-threads needs an integer");
-                opts.build_threads = n.max(1);
+                opts.build_threads = parse_at_least_one(args.next(), "--build-threads");
             }
             other => panic!(
                 "unknown argument `{other}` (use --scale/--seeds/--out/--checkpoint-every\
@@ -142,6 +134,15 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> FigureOptions {
         opts.seeds = 5;
     }
     opts
+}
+
+/// Parses a thread-count flag value, rejecting zero outright: a floored
+/// `0` would silently serialize a sweep the user asked to parallelize.
+fn parse_at_least_one(value: Option<String>, flag: &str) -> usize {
+    let n: usize =
+        value.and_then(|v| v.parse().ok()).unwrap_or_else(|| panic!("{flag} needs an integer"));
+    assert!(n >= 1, "{flag} must be >= 1, got {n}");
+    n
 }
 
 /// The shared prepared-network cache for one sweep, sized from the
@@ -318,24 +319,39 @@ mod tests {
     }
 
     #[test]
-    fn jobs_flag_parses_and_floors_at_one() {
+    fn jobs_flag_parses_and_defaults() {
         assert_eq!(parse(&["--jobs", "4"]).jobs, 4);
-        assert_eq!(parse(&["--jobs", "0"]).jobs, 1);
         assert!(parse(&[]).jobs >= 1);
     }
 
     #[test]
-    fn quote_threads_flag_parses_and_floors_at_one() {
+    #[should_panic(expected = "--jobs must be >= 1")]
+    fn zero_jobs_is_rejected_not_floored() {
+        parse(&["--jobs", "0"]);
+    }
+
+    #[test]
+    fn quote_threads_flag_parses_and_defaults() {
         assert_eq!(parse(&["--quote-threads", "4"]).quote_threads, 4);
-        assert_eq!(parse(&["--quote-threads", "0"]).quote_threads, 1);
         assert_eq!(parse(&[]).quote_threads, 1);
     }
 
     #[test]
-    fn build_threads_flag_parses_and_floors_at_one() {
+    #[should_panic(expected = "--quote-threads must be >= 1")]
+    fn zero_quote_threads_is_rejected_not_floored() {
+        parse(&["--quote-threads", "0"]);
+    }
+
+    #[test]
+    fn build_threads_flag_parses_and_defaults() {
         assert_eq!(parse(&["--build-threads", "4"]).build_threads, 4);
-        assert_eq!(parse(&["--build-threads", "0"]).build_threads, 1);
         assert!(parse(&[]).build_threads >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "--build-threads must be >= 1")]
+    fn zero_build_threads_is_rejected_not_floored() {
+        parse(&["--build-threads", "0"]);
     }
 
     #[test]

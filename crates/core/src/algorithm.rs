@@ -6,7 +6,7 @@ use crate::plan::{ReservationPlan, SlotPath};
 use crate::pricecache::PriceCache;
 use crate::pricing;
 use crate::search::{min_cost_path_in, FoundPath, SearchScratch};
-use crate::state::NetworkState;
+use crate::state::{EpochReadSet, NetworkState};
 use sb_demand::Request;
 use sb_energy::{LedgerOverlay, SatelliteRole};
 use sb_topology::{LinkType, SlotIndex};
@@ -303,7 +303,24 @@ impl Cear {
     /// throwaways, and `prices` is `Some` exactly when memoized pricing is
     /// on. All branches evaluate the same arithmetic in the same order, so
     /// the result is bit-identical every way.
-    fn quote_serial(
+    pub(crate) fn quote_serial(
+        &self,
+        request: &Request,
+        state: &NetworkState,
+        known: Option<&crate::lifecycle::KnownFailures>,
+        scratch: &mut SearchScratch,
+        prices: Option<&mut PriceCache>,
+        energy: &mut EnergyPriceCache,
+    ) -> Result<(ReservationPlan, f64), RejectReason> {
+        self.quote_serial_recording(request, state, known, scratch, prices, energy, None)
+    }
+
+    /// [`Cear::quote_serial`] with an optional epoch read-set collector:
+    /// when `reads` is `Some`, every resource cell the search consults is
+    /// recorded at its current epoch (see [`EpochReadSet`]). Recording
+    /// changes no arithmetic — the quote is bit-identical either way.
+    #[allow(clippy::too_many_arguments)] // mirrors search_slot's acceleration-state plumbing
+    pub(crate) fn quote_serial_recording(
         &self,
         request: &Request,
         state: &NetworkState,
@@ -311,6 +328,7 @@ impl Cear {
         scratch: &mut SearchScratch,
         mut prices: Option<&mut PriceCache>,
         energy: &mut EnergyPriceCache,
+        mut reads: Option<&mut EpochReadSet>,
     ) -> Result<(ReservationPlan, f64), RejectReason> {
         // Algorithm 1 line 5: the min-price plan, one path per active slot.
         // Successive slots are searched against a transactional overlay that
@@ -335,12 +353,60 @@ impl Cear {
                 prices.as_deref_mut(),
                 energy,
                 None,
+                reads.as_deref_mut(),
             )
             .ok_or(RejectReason::NoFeasiblePath)?;
             fold_slot(request, state, slot, found, &mut tx, &mut slot_paths, &mut total_cost)?;
         }
         let plan = ReservationPlan { slot_paths, total_cost };
         Ok((plan, total_cost))
+    }
+
+    /// [`Cear::quote`] that also returns the epoch read-set of every
+    /// resource cell the search consulted — the optimistic-concurrency
+    /// entry point for `sb-serve`'s quote workers.
+    ///
+    /// Always quotes serially: recording is defined over the serial read
+    /// order, and a service quote worker owns a whole `Cear` instance
+    /// anyway. The read set is returned for **rejections too** — a
+    /// rejection is as much a function of the cells read as an admission
+    /// is, and a committer must revalidate it before answering honestly,
+    /// or a concurrent release could have made the path affordable.
+    pub fn quote_recording(
+        &self,
+        request: &Request,
+        state: &NetworkState,
+    ) -> (Result<(ReservationPlan, f64), RejectReason>, EpochReadSet) {
+        let mut reads = EpochReadSet::new();
+        let result = if self.use_caches {
+            let hot = &mut *self.hot.borrow_mut();
+            if hot.prices.is_none() {
+                hot.prices = Some(PriceCache::new(self.params.mu1(), self.params.mu2()));
+            }
+            hot.stats.serial_quotes += 1;
+            let CearHot { scratch, prices, energy, .. } = hot;
+            self.quote_serial_recording(
+                request,
+                state,
+                None,
+                scratch,
+                prices.as_mut(),
+                energy,
+                Some(&mut reads),
+            )
+        } else {
+            self.quote_serial_recording(
+                request,
+                state,
+                None,
+                &mut SearchScratch::new(),
+                None,
+                &mut EnergyPriceCache::new(),
+                Some(&mut reads),
+            )
+        };
+        reads.normalize();
+        (result, reads)
     }
 }
 
@@ -366,6 +432,7 @@ pub(crate) fn search_slot(
     mut prices: Option<&mut PriceCache>,
     energy_cache: &mut EnergyPriceCache,
     mut probes: Option<&mut Vec<EnergyProbe>>,
+    mut reads: Option<&mut EpochReadSet>,
 ) -> Option<FoundPath> {
     let mu1 = params.mu1();
     let mu2 = params.mu2();
@@ -381,10 +448,18 @@ pub(crate) fn search_slot(
     energy_cache.begin_slot(state.num_satellites());
     let prices = &mut prices;
     let probes = &mut probes;
+    let reads = &mut reads;
     min_cost_path_in(scratch, snapshot, request.source, request.destination, |ctx| {
         // Known-down edges are gone, whatever the price says.
         if known.is_some_and(|k| k.is_down(slot, ctx.edge_id)) {
             return None;
+        }
+        // Every relaxation below reads the cell's reservation (residual
+        // and, when priced, utilization) — record it before the first read
+        // so rejected edges are in the read set too: a foreign commit that
+        // frees capacity on one of them could flip the quote.
+        if let Some(rec) = reads.as_deref_mut() {
+            rec.record_bandwidth(state, slot, ctx.edge_id);
         }
         // Bandwidth feasibility (7b) and price.
         if state.residual_mbps(slot, ctx.edge_id) + 1e-9 < rate {
@@ -407,6 +482,11 @@ pub(crate) fn search_slot(
                 ctx.edge.link_type == LinkType::Isl,
             );
             let cached = energy_cache.get_or_insert_with(sat, role, || {
+                // First probe of this satellite in this slot: the peek and
+                // the pricing below read its deficit row, so record it.
+                if let Some(rec) = reads.as_deref_mut() {
+                    rec.record_battery_row(state, sat);
+                }
                 let consumption = energy.consumption_j(role, rate, slot_s);
                 let trace = tx.peek(sat, t, consumption);
                 let price = trace.as_ref().map(|trace| match prices.as_deref_mut() {

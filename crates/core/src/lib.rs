@@ -118,4 +118,4 @@ pub use parquote::QuoteStats;
 pub use plan::{ReservationPlan, SlotPath};
 pub use pricecache::PriceCache;
 pub use search::SearchScratch;
-pub use state::{BookingId, NetworkState};
+pub use state::{BookingId, CommitError, EpochReadSet, NetworkState};

@@ -277,6 +277,7 @@ impl Cear {
                         Some(&mut worker.prices),
                         &mut worker.energy,
                         Some(&mut probes),
+                        None,
                     );
                     *specs[i].lock().expect("slot cell poisoned") =
                         Some(SlotSpec { found, probes });
@@ -320,6 +321,7 @@ impl Cear {
                     hot.prices.as_mut(),
                     &mut hot.energy,
                     None,
+                    None,
                 )
                 .ok_or(RejectReason::NoFeasiblePath)?;
                 fold_slot(request, state, slot, found, &mut tx, &mut slot_paths, &mut total_cost)?;
@@ -339,6 +341,7 @@ mod tests {
     use sb_energy::EnergyParams;
     use sb_geo::coords::Geodetic;
     use sb_orbit::walker::WalkerConstellation;
+    use sb_topology::graph::EdgeId;
     use sb_topology::{NetworkNodes, NodeId, TopologyConfig, TopologySeries};
 
     fn build_state(slots: usize, energy: &EnergyParams) -> (NetworkState, NodeId, NodeId) {
@@ -562,6 +565,112 @@ mod tests {
         assert_eq!(v, Some(7.0));
     }
 
+    /// Exercises the [`EpochReadSet`](crate::EpochReadSet) soundness
+    /// contract for one request against one state:
+    ///
+    /// * replaying the quote against a state with untouched read-set
+    ///   epochs — a clean clone, and a clone whose *unread* cells were
+    ///   mutated — reproduces outcome, plan, price and read set bit for
+    ///   bit, across accelerator configurations (cached recorder vs.
+    ///   uncached reference replayer);
+    /// * mutating any single recorded cell flips
+    ///   [`is_current`](crate::EpochReadSet::is_current) to `false`
+    ///   (sampled here to bound clone count; the proptest below draws
+    ///   random cells);
+    /// * committing the quoted plan itself conflicts the read set (every
+    ///   plan resource was, by construction, read).
+    fn assert_read_set_sound(req: &Request, state: &NetworkState, label: &str) {
+        let (outcome, reads) = Cear::new(CearParams::default()).quote_recording(req, state);
+        assert!(!reads.is_empty(), "{label}: quote recorded no reads");
+        assert!(reads.is_current(state), "{label}: fresh read set already stale");
+
+        let assert_replay_matches = |replay_state: &NetworkState, what: &str| {
+            let (replayed, re_reads) =
+                Cear::reference(CearParams::default()).quote_recording(req, replay_state);
+            match (&outcome, &replayed) {
+                (Ok((pa, qa)), Ok((pb, qb))) => {
+                    assert_eq!(pa, pb, "{label}/{what}: plans differ");
+                    assert_eq!(qa.to_bits(), qb.to_bits(), "{label}/{what}: price bits differ");
+                }
+                (a, b) => assert_eq!(a, b, "{label}/{what}: outcomes differ"),
+            }
+            assert_eq!(reads, re_reads, "{label}/{what}: read sets differ");
+        };
+
+        // Unchanged read-set epochs → bit-identical replay. Clones
+        // preserve epochs, so a clean clone qualifies.
+        assert_replay_matches(&state.clone(), "clean clone");
+
+        // A cell the quote never read is free to change: no conflict, and
+        // the replay must not notice.
+        let read_bw: std::collections::HashSet<(usize, usize)> =
+            reads.bandwidth_cells().map(|(s, e)| (s.index(), e.index())).collect();
+        'unread: for t in 0..state.horizon() {
+            let slot = SlotIndex(t as u32);
+            for e in 0..state.series().snapshot(slot).num_edges() {
+                if !read_bw.contains(&(t, e)) {
+                    let mut other = state.clone();
+                    other.debug_set_reserved(slot, EdgeId(e as u32), 1.0);
+                    assert!(
+                        reads.is_current(&other),
+                        "{label}: unread cell ({t},{e}) flagged as a conflict"
+                    );
+                    assert_replay_matches(&other, "unread cell mutated");
+                    break 'unread;
+                }
+            }
+        }
+
+        // Any single recorded bandwidth cell, touched → conflict.
+        let cells: Vec<_> = reads.bandwidth_cells().collect();
+        for &(slot, edge) in cells.iter().step_by((cells.len() / 8).max(1)) {
+            let mut touched = state.clone();
+            touched.debug_set_reserved(slot, edge, 1.0);
+            assert!(
+                !reads.is_current(&touched),
+                "{label}: missed bandwidth conflict at slot {} edge {}",
+                slot.index(),
+                edge.index()
+            );
+        }
+
+        // Any single recorded battery cell, touched → conflict.
+        let sats: Vec<_> = reads.battery_sats().collect();
+        for (k, &sat) in sats.iter().enumerate().step_by((sats.len() / 8).max(1)) {
+            let mut touched = state.clone();
+            touched.debug_bump_battery_epoch(sat, k % state.horizon());
+            assert!(!reads.is_current(&touched), "{label}: missed battery conflict at sat {sat}");
+        }
+
+        // Committing the quote's own plan must invalidate its read set.
+        if let Ok((plan, _)) = &outcome {
+            let mut committed = state.clone();
+            committed.try_commit_plan(req, plan).expect("quoted plan must commit");
+            assert!(!reads.is_current(&committed), "{label}: commit left its own read set current");
+        }
+    }
+
+    /// Deterministic read-set soundness sweep (the offline-runnable
+    /// companion to the proptest below): admissions and price rejections,
+    /// single- and multi-slot windows, against fresh and partially
+    /// committed states.
+    #[test]
+    fn epoch_read_set_replay_and_conflicts() {
+        let (mut state, src, dst) = build_state(3, &EnergyParams::default());
+        let admit = request(src, dst, 800.0, 0, 2, f64::MAX);
+        assert_read_set_sound(&admit, &state, "multi-slot admit");
+        assert_read_set_sound(&request(src, dst, 500.0, 1, 1, f64::MAX), &state, "single slot");
+        assert_read_set_sound(&request(src, dst, 800.0, 0, 2, 1e-9), &state, "price reject");
+
+        // Reads recorded against a loaded state must see *those* epochs.
+        let mut cear = Cear::new(CearParams::default());
+        for k in 0..6u32 {
+            let _ = cear
+                .process(&request(src, dst, 400.0 + 150.0 * k as f64, 0, 2, f64::MAX), &mut state);
+        }
+        assert_read_set_sound(&admit, &state, "loaded state");
+    }
+
     proptest::proptest! {
         /// The speculative slot-parallel quote path must be bit-identical
         /// to the serial path over randomized request streams — including
@@ -575,6 +684,26 @@ mod tests {
         ) {
             let energy = if tight { tight_energy() } else { EnergyParams::default() };
             assert_stream_matches(seed, &energy, 5, threads);
+        }
+
+        /// Epoch read-set soundness over randomized requests: replay with
+        /// unchanged read-set epochs is bit-identical; any touched read
+        /// cell conflicts.
+        #[test]
+        fn prop_epoch_read_set_is_sound(
+            seed in 0u64..48,
+            tight in proptest::bool::ANY,
+        ) {
+            let energy = if tight { tight_energy() } else { EnergyParams::default() };
+            let (state, src, dst) = build_state(4, &energy);
+            let mut z = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            let rate = 200.0 + (z % 1700) as f64;
+            let start = (z >> 16) as u32 % 4;
+            let end = start + ((z >> 24) as u32 % (4 - start));
+            let valuation = if z % 5 == 0 { 1e-9 } else { f64::MAX };
+            let req = request(src, dst, rate, start, end, valuation);
+            assert_read_set_sound(&req, &state, &format!("seed {seed}"));
         }
     }
 }

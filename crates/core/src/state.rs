@@ -30,6 +30,117 @@ fn next_epoch() -> u64 {
     EPOCH_SOURCE.fetch_add(1, Ordering::Relaxed)
 }
 
+/// The epochs of every priced resource cell a quote read, recorded so the
+/// quote can later be revalidated in O(read set) without re-running the
+/// search — the optimistic-concurrency primitive behind `sb-serve`.
+///
+/// Soundness contract: a quote is a deterministic function of the cells it
+/// read. If every recorded cell still holds its recorded epoch, those
+/// cells hold bit-identical values (see [`EPOCH_SOURCE`]), so re-running
+/// the quote against the current state would reproduce it bit for bit —
+/// the quote may be committed as-is. If any epoch moved, the quote is
+/// stale and must be recomputed.
+///
+/// Bandwidth reads are recorded per cell. Battery reads are recorded as
+/// the *whole horizon row* of the probed satellite: the energy recursion
+/// walks forward from the probe slot, so the row is a sound superset of
+/// the cells actually read, and committing/releasing always re-stamps
+/// whole rows anyway (see [`NetworkState::release_from`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EpochReadSet {
+    /// `(slot, edge, epoch)` per bandwidth cell read, deduplicated by
+    /// [`EpochReadSet::normalize`].
+    bandwidth: Vec<(SlotIndex, EdgeId, u64)>,
+    /// `(satellite, row epochs over the whole horizon)` per satellite
+    /// whose battery was probed.
+    battery: Vec<(usize, Vec<u64>)>,
+}
+
+impl EpochReadSet {
+    /// An empty read set.
+    pub fn new() -> Self {
+        EpochReadSet::default()
+    }
+
+    /// Forgets all recorded reads (for reuse across quotes).
+    pub fn clear(&mut self) {
+        self.bandwidth.clear();
+        self.battery.clear();
+    }
+
+    /// Records a read of the bandwidth cell `(slot, edge)` at its current
+    /// epoch in `state`.
+    #[inline]
+    pub fn record_bandwidth(&mut self, state: &NetworkState, slot: SlotIndex, edge: EdgeId) {
+        self.bandwidth.push((slot, edge, state.bandwidth_epoch(slot, edge)));
+    }
+
+    /// Records a read of satellite `sat`'s battery (the whole horizon row
+    /// of deficit-cell epochs — a sound superset of any forward
+    /// recursion's actual reads).
+    pub fn record_battery_row(&mut self, state: &NetworkState, sat: usize) {
+        if self.battery.iter().any(|&(s, _)| s == sat) {
+            return;
+        }
+        let row = (0..state.horizon()).map(|t| state.battery_epoch(sat, t)).collect();
+        self.battery.push((sat, row));
+    }
+
+    /// Sorts and deduplicates the recorded reads. Duplicate reads of one
+    /// cell always carry the same epoch (they were taken against one
+    /// immutable snapshot), so dedup loses nothing.
+    pub fn normalize(&mut self) {
+        self.bandwidth.sort_unstable_by_key(|&(s, e, _)| (s, e));
+        self.bandwidth.dedup();
+        self.battery.sort_unstable_by_key(|&(sat, _)| sat);
+    }
+
+    /// True when every recorded cell still holds its recorded epoch in
+    /// `state` — i.e. replaying the quote there would reproduce it
+    /// bit-identically. A state with a different shape (horizon, edge
+    /// count) reads as stale, never panics.
+    pub fn is_current(&self, state: &NetworkState) -> bool {
+        for &(slot, edge, epoch) in &self.bandwidth {
+            if slot.index() >= state.horizon()
+                || edge.index() >= state.series().snapshot(slot).num_edges()
+                || state.bandwidth_epoch(slot, edge) != epoch
+            {
+                return false;
+            }
+        }
+        for (sat, row) in &self.battery {
+            if *sat >= state.num_satellites() || row.len() != state.horizon() {
+                return false;
+            }
+            if (0..row.len()).any(|t| state.battery_epoch(*sat, t) != row[t]) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Number of recorded bandwidth cells.
+    pub fn bandwidth_len(&self) -> usize {
+        self.bandwidth.len()
+    }
+
+    /// The recorded bandwidth cells (sorted after
+    /// [`EpochReadSet::normalize`]).
+    pub fn bandwidth_cells(&self) -> impl Iterator<Item = (SlotIndex, EdgeId)> + '_ {
+        self.bandwidth.iter().map(|&(s, e, _)| (s, e))
+    }
+
+    /// The satellites whose battery rows were recorded.
+    pub fn battery_sats(&self) -> impl Iterator<Item = usize> + '_ {
+        self.battery.iter().map(|&(s, _)| s)
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.bandwidth.is_empty() && self.battery.is_empty()
+    }
+}
+
 /// Why a plan commit was refused.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CommitError {
@@ -547,6 +658,15 @@ impl NetworkState {
     pub fn debug_set_reserved(&mut self, slot: SlotIndex, edge: EdgeId, mbps: f64) {
         self.reserved_mbps[slot.index()][edge.index()] = mbps;
         self.bandwidth_epoch[slot.index()][edge.index()] = next_epoch();
+    }
+
+    /// Test-only epoch invalidator: advances the epoch of one battery
+    /// cell without touching its value, as if a foreign commit had
+    /// re-stamped it. Exists so read-set conflict paths can be exercised
+    /// deterministically; never call it from production code.
+    #[doc(hidden)]
+    pub fn debug_bump_battery_epoch(&mut self, sat: usize, t: usize) {
+        self.battery_epoch[self.ledger.flat_index(sat, t)] = next_epoch();
     }
 
     /// Test-only mutable ledger access, for injecting ledger corruption.

@@ -1,0 +1,117 @@
+//! Batch-engine adapter: drive every decision of a `sb-sim` run through a
+//! live [`AdmissionService`], proving at the [`RunMetrics`] level that the
+//! service is behaviorally identical to the serial batch algorithm.
+//!
+//! [`ServedCear`] implements [`RoutingAlgorithm`] by submitting each
+//! request to the service and mirroring admitted plans into the engine's
+//! own state. Because the engine drives requests one at a time
+//! (closed-loop, occupancy ≤ 1), no quote can conflict and nothing is
+//! shed, so the service's decision stream — and therefore every metric —
+//! equals serial CEAR's, at *any* worker count.
+
+use crate::service::{AckBody, AdmissionService, DrainReport};
+use crate::ServeConfig;
+use sb_cear::{
+    Cear, CearParams, Decision, KnownFailures, NetworkState, RejectReason, ReservationPlan,
+    RoutingAlgorithm,
+};
+use sb_demand::Request;
+use sb_sim::engine::{run_with_algorithm, PreparedNetwork};
+use sb_sim::faultio::{FaultIo, FaultPlan};
+use sb_sim::journal::Journal;
+use sb_sim::{RunMetrics, ScenarioConfig};
+
+/// A [`RoutingAlgorithm`] whose every decision is made by a live
+/// [`AdmissionService`] instead of in-process CEAR.
+///
+/// Reports its name as `"CEAR"` — the decision stream is CEAR's, the
+/// service is just where it runs — so [`RunMetrics`] from a serviced run
+/// compare equal to a serial batch run.
+pub struct ServedCear {
+    service: AdmissionService,
+    /// Local quoter backing [`RoutingAlgorithm::quote_plan`] (plan
+    /// repair); decisions never flow through it.
+    fallback: Cear,
+}
+
+impl ServedCear {
+    /// Wraps a running service.
+    pub fn new(service: AdmissionService, params: CearParams) -> Self {
+        ServedCear { service, fallback: Cear::new(params) }
+    }
+
+    /// Hands the service back (e.g. to [`AdmissionService::drain`]).
+    pub fn into_service(self) -> AdmissionService {
+        self.service
+    }
+}
+
+impl RoutingAlgorithm for ServedCear {
+    fn name(&self) -> &'static str {
+        "CEAR"
+    }
+
+    /// Submits to the service and mirrors the outcome into the engine's
+    /// state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service has died, if it shed the request (impossible
+    /// in the engine's closed loop with no deadline configured), or if an
+    /// admitted plan fails to commit into the engine's state — the states
+    /// evolve in lockstep, so divergence is a bug, not a condition to
+    /// handle.
+    fn process(&mut self, request: &Request, state: &mut NetworkState) -> Decision {
+        let ack = self
+            .service
+            .submit_blocking(request.clone())
+            .unwrap_or_else(|e| panic!("admission service unavailable: {e}"));
+        match ack.body {
+            AckBody::Admitted { price, plan } => {
+                state
+                    .try_commit_plan(request, &plan)
+                    .unwrap_or_else(|e| panic!("service/engine state diverged: {e:?}"));
+                Decision::Accepted { plan, price }
+            }
+            AckBody::Rejected { reason } => Decision::Rejected { reason },
+            AckBody::Shed { reason } => {
+                panic!("request {} shed ({reason:?}) in closed-loop mode", request.id.0)
+            }
+        }
+    }
+
+    fn quote_plan(
+        &self,
+        request: &Request,
+        state: &NetworkState,
+        known: Option<&KnownFailures>,
+    ) -> Result<(ReservationPlan, f64), RejectReason> {
+        self.fallback.quote_avoiding(request, state, known)
+    }
+}
+
+/// Runs the full batch engine with every decision serviced: starts an
+/// [`AdmissionService`] over an in-memory WAL (a no-fault
+/// [`FaultIo`]), drives [`run_with_algorithm`] through a [`ServedCear`],
+/// and drains. Returns the run's metrics and the service's drain report.
+///
+/// # Panics
+///
+/// Panics if the service fails to start or misbehaves mid-run (see
+/// [`ServedCear`]).
+pub fn run_served(
+    scenario: &ScenarioConfig,
+    prepared: &PreparedNetwork,
+    requests: &[Request],
+    seed: u64,
+    cfg: ServeConfig,
+) -> (RunMetrics, DrainReport) {
+    let state = NetworkState::new(prepared.series.clone(), &scenario.energy);
+    let journal = Journal::from_io(Box::new(FaultIo::new(FaultPlan::none())));
+    let service = AdmissionService::start(state, journal, cfg.clone(), None, 0)
+        .unwrap_or_else(|e| panic!("cannot start admission service: {e}"));
+    let mut algorithm = ServedCear::new(service, cfg.params);
+    let metrics = run_with_algorithm(scenario, prepared, requests, &mut algorithm, seed);
+    let report = algorithm.into_service().drain();
+    (metrics, report)
+}

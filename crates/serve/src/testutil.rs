@@ -1,0 +1,99 @@
+//! Shared test fixtures: a small real constellation, request streams,
+//! and the serial admission rule the service must reproduce.
+
+use crate::service::AckBody;
+use sb_cear::{Cear, NetworkState, RejectReason};
+use sb_demand::{RateProfile, Request, RequestId};
+use sb_energy::EnergyParams;
+use sb_geo::coords::Geodetic;
+use sb_orbit::walker::WalkerConstellation;
+use sb_topology::{NetworkNodes, NodeId, SlotIndex, TopologyConfig, TopologySeries};
+use std::sync::Arc;
+
+/// A 12×12 LEO shell with two ground sites, ready to serve.
+pub(crate) struct TestNet {
+    pub series: Arc<TopologySeries>,
+    pub state: NetworkState,
+    pub src: NodeId,
+    pub dst: NodeId,
+}
+
+/// Builds the test constellation with `slots` topology slots.
+pub(crate) fn build_net(slots: usize) -> TestNet {
+    let shell = WalkerConstellation::delta(12, 12, 1, 550e3, 53f64.to_radians());
+    let mut nodes = NetworkNodes::from_walker(&shell);
+    let src = nodes.add_ground_site(Geodetic::from_degrees(35.8, -78.6, 0.0));
+    let dst = nodes.add_ground_site(Geodetic::from_degrees(48.9, 2.3, 0.0));
+    let cfg = TopologyConfig { min_elevation_rad: 10f64.to_radians(), ..TopologyConfig::default() };
+    let series = Arc::new(TopologySeries::build(&nodes, &cfg, slots, 60.0));
+    let state = NetworkState::new(Arc::clone(&series), &EnergyParams::default());
+    TestNet { series, state, src, dst }
+}
+
+/// A constant-rate request between the test sites.
+pub(crate) fn request(
+    id: u32,
+    src: NodeId,
+    dst: NodeId,
+    rate: f64,
+    start: u32,
+    end: u32,
+    valuation: f64,
+) -> Request {
+    Request {
+        id: RequestId(id),
+        source: src,
+        destination: dst,
+        rate: RateProfile::Constant(rate),
+        start: SlotIndex(start),
+        end: SlotIndex(end),
+        valuation,
+    }
+}
+
+/// A mixed request stream: varying rates and windows, with every fourth
+/// valuation low enough to draw price rejections.
+pub(crate) fn stream(src: NodeId, dst: NodeId, horizon: u32, n: usize, seed: u64) -> Vec<Request> {
+    let mut x = seed;
+    let mut split = move || {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    (0..n)
+        .map(|i| {
+            let rate = 100.0 + (split() % 800) as f64;
+            let start = (split() % u64::from(horizon - 1)) as u32;
+            let end = start + (split() % u64::from(horizon - start)) as u32;
+            let valuation = if split() % 4 == 0 { 1.0 } else { 1e7 };
+            request(i as u32, src, dst, rate, start, end, valuation)
+        })
+        .collect()
+}
+
+/// The service's admission rule applied serially — quote, price check,
+/// atomic commit — exactly what the committer does at each job's turn.
+pub(crate) fn serial_decide(cear: &Cear, state: &mut NetworkState, req: &Request) -> AckBody {
+    match cear.quote(req, state) {
+        Err(reason) => AckBody::Rejected { reason },
+        Ok((plan, price)) => {
+            if price > req.valuation {
+                return AckBody::Rejected { reason: RejectReason::PriceAboveValuation };
+            }
+            match state.try_commit_plan(req, &plan) {
+                Ok(()) => AckBody::Admitted { price, plan },
+                Err(_) => AckBody::Rejected { reason: RejectReason::CommitFailed },
+            }
+        }
+    }
+}
+
+/// The state's canonical serialized form (epochs excluded), for
+/// bit-identity assertions.
+pub(crate) fn snapshot(state: &NetworkState) -> Vec<u8> {
+    let mut w = sb_wire::Writer::new();
+    state.encode_snapshot(&mut w);
+    w.into_bytes()
+}

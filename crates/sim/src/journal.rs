@@ -40,13 +40,26 @@
 //! | 4 | [`JournalRecord::FailureDraw`] | `slot: u32`, `edges: seq u32` |
 //! | 5 | [`JournalRecord::Repair`] | `slot: u32`, `booking_index: u32`, `outcome: u8` (+ `price: f64` when repaired) |
 //! | 6 | [`JournalRecord::SlotEnd`] | `slot: u32` |
+//! | 7 | [`JournalRecord::Shed`] | `request_id: u32`, `reason: u8` |
 //!
 //! All integers are little-endian; `f64` fields are raw IEEE-754 bits, so
 //! replaying a journal reproduces prices and valuations bit-for-bit.
+//!
+//! # IO backends
+//!
+//! [`Journal`] writes through the [`JournalIo`] trait: production code
+//! uses the real file backend ([`Journal::create`] /
+//! [`Journal::open_append`]), while robustness tests inject
+//! [`crate::faultio::FaultIo`] to exercise short writes, `EINTR`, fsync
+//! failure and crashes at every byte boundary. The append loop handles
+//! short writes and `EINTR` transparently; any other error kills the
+//! journal (the frame may be half-written) and surfaces as a typed
+//! [`io::Error`], never a panic.
 
 use sb_cear::{RejectReason, SlotPath};
 use sb_demand::Request;
-use sb_wire::{checksum, Reader, WireError, Writer};
+use sb_wire::frame::{self, FrameStatus};
+use sb_wire::{Reader, WireError, Writer};
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read as _, Seek, SeekFrom, Write as _};
 use std::path::Path;
@@ -56,7 +69,7 @@ use std::path::Path;
 pub const MAX_RECORD_BYTES: u32 = 1 << 26;
 
 /// Bytes of framing overhead per record (`len` + `checksum`).
-const FRAME_HEADER_BYTES: usize = 4 + 8;
+const FRAME_HEADER_BYTES: usize = frame::HEADER_BYTES;
 
 /// How a repair attempt ended, as recorded in the journal. The full
 /// [`sb_cear::RepairOutcome`] carries the re-routed paths; the journal
@@ -153,6 +166,32 @@ pub enum JournalRecord {
         /// The slot.
         slot: u32,
     },
+    /// The admission service (`sb-serve`) dropped a request without a
+    /// quote-based decision. Never produced by the batch engine; recorded
+    /// in the service WAL so resume knows the request's stream position
+    /// was consumed. Shed decisions are load-dependent (queue occupancy,
+    /// deadlines), so replay applies them as-is instead of re-deriving
+    /// them.
+    Shed {
+        /// Which request.
+        request_id: u32,
+        /// Why it was dropped.
+        reason: ShedReason,
+    },
+}
+
+/// Why the admission service dropped a request without pricing it — the
+/// load-shedding arm of [`JournalRecord::Shed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded admission queue was full and this request had the
+    /// lowest value density of the candidates.
+    QueueFull,
+    /// The request's service deadline passed before its commit turn.
+    DeadlineExceeded,
+    /// Concurrent commits invalidated its quote more times than the
+    /// retry limit allows.
+    RetriesExhausted,
 }
 
 impl JournalRecord {
@@ -226,6 +265,15 @@ impl JournalRecord {
                 w.u8(6);
                 w.u32(*slot);
             }
+            JournalRecord::Shed { request_id, reason } => {
+                w.u8(7);
+                w.u32(*request_id);
+                w.u8(match reason {
+                    ShedReason::QueueFull => 0,
+                    ShedReason::DeadlineExceeded => 1,
+                    ShedReason::RetriesExhausted => 2,
+                });
+            }
         }
     }
 
@@ -291,6 +339,15 @@ impl JournalRecord {
                 },
             }),
             6 => Ok(JournalRecord::SlotEnd { slot: r.u32()? }),
+            7 => Ok(JournalRecord::Shed {
+                request_id: r.u32()?,
+                reason: match r.u8()? {
+                    0 => ShedReason::QueueFull,
+                    1 => ShedReason::DeadlineExceeded,
+                    2 => ShedReason::RetriesExhausted,
+                    tag => return Err(WireError::BadTag { tag, context: "ShedReason" }),
+                },
+            }),
             tag => Err(WireError::BadTag { tag, context: "JournalRecord" }),
         }
     }
@@ -319,19 +376,14 @@ pub fn scan_bytes(bytes: &[u8]) -> JournalScan {
     let mut scan = JournalScan::default();
     let mut pos = 0usize;
     loop {
-        let remaining = bytes.len() - pos;
-        if remaining < FRAME_HEADER_BYTES {
+        // Torn (`Incomplete`) and corrupt frames end the scan identically:
+        // appends are sequential, so nothing past the first bad frame can
+        // be trusted.
+        let FrameStatus::Complete { payload, consumed } =
+            frame::read_frame(&bytes[pos..], MAX_RECORD_BYTES)
+        else {
             break;
-        }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
-        if len > MAX_RECORD_BYTES || (len as usize) > remaining - FRAME_HEADER_BYTES {
-            break; // torn or nonsensical length prefix
-        }
-        let want = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap());
-        let payload = &bytes[pos + FRAME_HEADER_BYTES..pos + FRAME_HEADER_BYTES + len as usize];
-        if checksum(payload) != want {
-            break; // bit rot or a torn overwrite
-        }
+        };
         let mut r = Reader::new(payload);
         let Ok(record) = JournalRecord::decode(&mut r) else { break };
         if !r.is_exhausted() {
@@ -339,7 +391,7 @@ pub fn scan_bytes(bytes: &[u8]) -> JournalScan {
         }
         scan.offsets.push(pos as u64);
         scan.records.push(record);
-        pos += FRAME_HEADER_BYTES + len as usize;
+        pos += consumed;
     }
     scan.valid_len = pos as u64;
     scan.discarded_tail_bytes = (bytes.len() - pos) as u64;
@@ -365,11 +417,60 @@ pub fn scan(path: &Path) -> io::Result<JournalScan> {
     Ok(scan_bytes(&bytes))
 }
 
-/// An open journal file, positioned for appending.
+/// Backend behind [`Journal`]: the minimal file surface the journal
+/// needs, abstracted so robustness tests can swap the real file for a
+/// fault-injecting in-memory disk ([`crate::faultio::FaultIo`]).
+///
+/// Contract: [`JournalIo::write`] appends at the current position and may
+/// accept fewer bytes than offered (short write) or fail with
+/// [`io::ErrorKind::Interrupted`] (`EINTR`) having accepted none — the
+/// journal's append loop retries both. Written bytes only count as
+/// durable once [`JournalIo::sync_data`] returns `Ok`; a failed sync
+/// means the bytes may be gone.
+pub trait JournalIo: Send {
+    /// Writes a prefix of `buf` at the current position, returning how
+    /// many bytes were accepted.
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize>;
+    /// Flushes accepted bytes to durable storage.
+    fn sync_data(&mut self) -> io::Result<()>;
+    /// Truncates the backing store to `len` bytes.
+    fn truncate(&mut self, len: u64) -> io::Result<()>;
+    /// Moves the write position to `pos`.
+    fn seek_to(&mut self, pos: u64) -> io::Result<()>;
+}
+
+/// The production [`JournalIo`]: a real file.
 #[derive(Debug)]
+pub struct FileIo(File);
+
+impl JournalIo for FileIo {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        io::Write::write(&mut self.0, buf)
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.0.set_len(len)
+    }
+
+    fn seek_to(&mut self, pos: u64) -> io::Result<()> {
+        self.0.seek(SeekFrom::Start(pos)).map(|_| ())
+    }
+}
+
+/// An open journal, positioned for appending.
 pub struct Journal {
-    file: File,
+    io: Box<dyn JournalIo>,
     len: u64,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal").field("len", &self.len).finish_non_exhaustive()
+    }
 }
 
 impl Journal {
@@ -380,7 +481,7 @@ impl Journal {
     /// Returns the underlying [`io::Error`].
     pub fn create(path: &Path) -> io::Result<Journal> {
         let file = OpenOptions::new().write(true).create(true).truncate(true).open(path)?;
-        Ok(Journal { file, len: 0 })
+        Ok(Journal { io: Box::new(FileIo(file)), len: 0 })
     }
 
     /// Opens the journal at `path` for appending, first truncating it to
@@ -392,11 +493,26 @@ impl Journal {
     /// Returns the underlying [`io::Error`].
     pub fn open_append(path: &Path, valid_len: u64) -> io::Result<Journal> {
         let file = OpenOptions::new().write(true).open(path)?;
-        file.set_len(valid_len)?;
-        let mut journal = Journal { file, len: valid_len };
-        journal.file.seek(SeekFrom::Start(valid_len))?;
-        journal.file.sync_data()?;
-        Ok(journal)
+        Journal::open_append_io(Box::new(FileIo(file)), valid_len)
+    }
+
+    /// A fresh, empty journal over a custom backend (fault injection,
+    /// in-memory tests).
+    pub fn from_io(io: Box<dyn JournalIo>) -> Journal {
+        Journal { io, len: 0 }
+    }
+
+    /// [`Journal::open_append`] over a custom backend: truncates it to
+    /// `valid_len`, positions the cursor there, and syncs the truncation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`io::Error`].
+    pub fn open_append_io(mut io: Box<dyn JournalIo>, valid_len: u64) -> io::Result<Journal> {
+        io.truncate(valid_len)?;
+        io.seek_to(valid_len)?;
+        io.sync_data()?;
+        Ok(Journal { io, len: valid_len })
     }
 
     /// Current journal length in bytes (all of it complete records).
@@ -410,23 +526,37 @@ impl Journal {
     }
 
     /// Appends one record and fsyncs, so the record survives anything
-    /// short of media failure once this returns.
+    /// short of media failure once this returns. Short writes and `EINTR`
+    /// from the backend are retried transparently (resuming mid-frame, so
+    /// no byte is written twice).
     ///
     /// # Errors
     ///
     /// Returns the underlying [`io::Error`]; the journal must be treated
-    /// as dead after a failed append (the frame may be half-written).
+    /// as dead after a failed append (the frame may be half-written, and
+    /// after a failed sync the kernel may have dropped the dirty pages).
     pub fn append(&mut self, record: &JournalRecord) -> io::Result<()> {
         let mut w = Writer::new();
         record.encode(&mut w);
         let payload = w.into_bytes();
-        let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&checksum(&payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
-        self.file.write_all(&frame)?;
-        self.file.sync_data()?;
-        self.len += frame.len() as u64;
+        let mut framed = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+        frame::write_frame(&mut framed, &payload);
+        let mut off = 0usize;
+        while off < framed.len() {
+            match self.io.write(&framed[off..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "journal backend accepted no bytes",
+                    ));
+                }
+                Ok(n) => off += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.io.sync_data()?;
+        self.len += framed.len() as u64;
         Ok(())
     }
 }
@@ -480,6 +610,8 @@ mod tests {
                 outcome: RepairEvent::Repaired { price: 0.125 },
             },
             JournalRecord::Repair { slot: 3, booking_index: 1, outcome: RepairEvent::Pending },
+            JournalRecord::Shed { request_id: 11, reason: ShedReason::QueueFull },
+            JournalRecord::Shed { request_id: 12, reason: ShedReason::RetriesExhausted },
             JournalRecord::SlotEnd { slot: 3 },
         ]
     }
@@ -537,10 +669,7 @@ mod tests {
         for record in &records {
             let mut w = Writer::new();
             record.encode(&mut w);
-            let payload = w.into_bytes();
-            bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-            bytes.extend_from_slice(&checksum(&payload).to_le_bytes());
-            bytes.extend_from_slice(&payload);
+            frame::write_frame(&mut bytes, &w.into_bytes());
         }
         // Flip one bit at a time (stride keeps the test fast): everything
         // before the damaged frame must still be recovered verbatim.

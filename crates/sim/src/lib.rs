@@ -16,6 +16,8 @@
 //! * [`checkpoint`] — atomic, versioned snapshots of the engine state;
 //! * [`durable`] — crash-consistent runs: journal + checkpoints + resume
 //!   with verified replay;
+//! * [`faultio`] — a fault-injecting journal backend (short writes,
+//!   `EINTR`, fsync failure, scripted crashes) for recovery tests;
 //! * [`metrics`] — the paper's metrics plus reject-reason, delivered-
 //!   welfare and repair accounting;
 //! * [`outage`] — slot-boundary discovery of unforeseen failures (the
@@ -40,6 +42,7 @@
 pub mod checkpoint;
 pub mod durable;
 pub mod engine;
+pub mod faultio;
 pub mod journal;
 pub mod metrics;
 pub mod outage;

@@ -78,6 +78,74 @@ pub fn checksum(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Length + checksum framing shared by every durability artifact that is
+/// a *sequence* of self-checking payloads: the admission journal, the
+/// `sb-serve` WAL, and the service's request/ack frame logs.
+///
+/// One frame is `len: u32 | checksum: u64 | payload (len bytes)`, all
+/// little-endian. The reader never panics and never allocates: a torn or
+/// corrupt head is reported as a status, so file scanners can treat it as
+/// the start of the torn tail and stream decoders as "wait for more
+/// bytes".
+pub mod frame {
+    use super::checksum;
+
+    /// Bytes of framing overhead per frame (`len: u32` + `checksum: u64`).
+    pub const HEADER_BYTES: usize = 12;
+
+    /// Appends one frame (`len | checksum | payload`) to `out`.
+    pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
+        out.reserve(HEADER_BYTES + payload.len());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&checksum(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+    }
+
+    /// Outcome of reading one frame from the head of a buffer.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum FrameStatus<'a> {
+        /// A complete frame whose checksum verified.
+        Complete {
+            /// The frame's payload bytes (borrowed from the input).
+            payload: &'a [u8],
+            /// Total bytes consumed, header included.
+            consumed: usize,
+        },
+        /// Not enough bytes for a whole frame: more input is needed
+        /// (stream case) or this is a torn tail (file case).
+        Incomplete,
+        /// The header or payload is inconsistent — a length prefix beyond
+        /// `max_payload` or a checksum mismatch. File scanners treat this
+        /// exactly like [`FrameStatus::Incomplete`] (stop and discard);
+        /// stream decoders must drop the connection, since resynchronizing
+        /// inside a corrupt stream is guesswork.
+        Corrupt,
+    }
+
+    /// Reads one frame from the head of `buf` without copying.
+    pub fn read_frame(buf: &[u8], max_payload: u32) -> FrameStatus<'_> {
+        let Some((len_bytes, rest)) = buf.split_first_chunk::<4>() else {
+            return FrameStatus::Incomplete;
+        };
+        let Some((sum_bytes, rest)) = rest.split_first_chunk::<8>() else {
+            return FrameStatus::Incomplete;
+        };
+        let len = u32::from_le_bytes(*len_bytes);
+        if len > max_payload {
+            return FrameStatus::Corrupt;
+        }
+        let len = len as usize;
+        if rest.len() < len {
+            return FrameStatus::Incomplete;
+        }
+        let payload = &rest[..len];
+        if checksum(payload) != u64::from_le_bytes(*sum_bytes) {
+            return FrameStatus::Corrupt;
+        }
+        FrameStatus::Complete { payload, consumed: HEADER_BYTES + len }
+    }
+}
+
 /// Append-only encoder over a growable byte buffer.
 #[derive(Debug, Default, Clone)]
 pub struct Writer {
@@ -338,6 +406,52 @@ mod tests {
         // FNV-1a 64 reference values.
         assert_eq!(checksum(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(checksum(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn frame_roundtrip_and_truncation() {
+        use frame::{read_frame, write_frame, FrameStatus};
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first");
+        write_frame(&mut buf, b"");
+        write_frame(&mut buf, b"third payload");
+        let mut pos = 0;
+        let mut payloads = Vec::new();
+        while let FrameStatus::Complete { payload, consumed } = read_frame(&buf[pos..], 1 << 20) {
+            payloads.push(payload.to_vec());
+            pos += consumed;
+        }
+        assert_eq!(payloads, vec![b"first".to_vec(), b"".to_vec(), b"third payload".to_vec()]);
+        assert_eq!(pos, buf.len());
+        // Every truncation of a frame stream reads as Incomplete at the
+        // cut, never as a bogus frame and never as a panic.
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            loop {
+                match read_frame(&buf[pos..cut], 1 << 20) {
+                    FrameStatus::Complete { consumed, .. } => pos += consumed,
+                    FrameStatus::Incomplete => break,
+                    FrameStatus::Corrupt => panic!("truncation at {cut} read as corrupt"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frame_corruption_detected() {
+        use frame::{read_frame, write_frame, FrameStatus};
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload under test");
+        // Oversized length prefix.
+        let mut big = buf.clone();
+        big[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(read_frame(&big, 1 << 20), FrameStatus::Corrupt);
+        // Any flipped payload bit fails the checksum.
+        for byte in frame::HEADER_BYTES..buf.len() {
+            let mut copy = buf.clone();
+            copy[byte] ^= 0x10;
+            assert_eq!(read_frame(&copy, 1 << 20), FrameStatus::Corrupt, "flip at {byte}");
+        }
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! * [`sb_energy`] — the battery-deficit energy model and wear accounting;
 //! * [`sb_demand`] — requests and workload generation;
 //! * [`sb_cear`] — the CEAR algorithm, baselines and offline references;
-//! * [`sb_sim`] — scenarios, the simulation engine, metrics and traces.
+//! * [`sb_sim`] — scenarios, the simulation engine, metrics and traces;
+//! * [`sb_serve`] — the fault-tolerant online admission service.
 //!
 //! See the README for a guided tour and `DESIGN.md`/`EXPERIMENTS.md` for
 //! the reproduction methodology.
@@ -22,5 +23,6 @@ pub use sb_demand;
 pub use sb_energy;
 pub use sb_geo;
 pub use sb_orbit;
+pub use sb_serve;
 pub use sb_sim;
 pub use sb_topology;
