@@ -6,6 +6,7 @@
 //! cargo run -p sb-bench --release --bin fig6 -- --scale fast
 //! cargo run -p sb-bench --release --bin fig6 -- --scale paper   # full
 //! cargo run -p sb-bench --release --bin fig6 -- --jobs 8       # parallel
+//! cargo run -p sb-bench --release --bin fig6 -- --fleet 4      # processes
 //! ```
 //!
 //! `--quote-threads N` additionally parallelizes each CEAR admission
@@ -14,43 +15,30 @@
 //! shared prepared-network cache gives the five algorithm cells (and, here,
 //! every rate) of one seed a single topology build; `SB_NO_PREPARE_CACHE=1`
 //! restores per-cell builds. All knobs are byte-identical on the CSVs.
+//!
+//! `--fleet N` runs the same cells across N worker *processes* with
+//! heartbeat supervision, retries and durable per-cell results (resume a
+//! killed sweep by rerunning the same command); `--chaos SPEC` injects
+//! scripted faults. CSVs stay byte-identical to `--jobs` runs.
 
-use sb_bench::{parse_args, prepared_cache, report_cache, run_cells, write_csv};
-use sb_sim::engine::{self, AlgorithmKind};
+use sb_bench::cells::{fig6_cells, fig6_rates};
+use sb_bench::{parse_args, prepared_cache, report_cache, run_sweep, write_csv};
+use sb_sim::engine::AlgorithmKind;
+use sb_sim::metrics;
 use sb_sim::output::{markdown_table, write_series_csv, SeriesPoint};
-use sb_sim::{metrics, RunMetrics, ScenarioConfig};
-
-struct Cell {
-    scenario: ScenarioConfig,
-    kind: AlgorithmKind,
-    seed: u64,
-}
+use sb_sim::RunMetrics;
 
 fn main() {
     let opts = parse_args(std::env::args().skip(1));
     // The paper sweeps 5..=25 requests/min; the fast scenario scales the
     // sweep around its own default load.
-    let base = opts.scenario.arrivals_per_slot;
-    let rates: Vec<f64> = [0.5, 1.0, 1.5, 2.0, 2.5].iter().map(|m| m * base).collect();
+    let rates = fig6_rates(&opts.scenario);
 
-    // Flat cell list in deterministic (rate, algorithm, seed) order; the
-    // parallel runner returns results in exactly this order.
-    let mut cells = Vec::new();
-    for &rate in &rates {
-        let mut scenario = opts.scenario.clone();
-        scenario.arrivals_per_slot = rate;
-        for kind in AlgorithmKind::all(&scenario) {
-            for seed in 0..opts.seeds {
-                cells.push(Cell { scenario: scenario.clone(), kind, seed });
-            }
-        }
-    }
+    // Flat cell list in deterministic (rate, algorithm, seed) order; both
+    // runners return results in exactly this order.
+    let cells = fig6_cells(&opts.scenario, opts.seeds);
     let cache = prepared_cache(&opts);
-    let metrics_flat = run_cells(opts.jobs, &cells, |_, c| {
-        let prepared = cache.get(&c.scenario, c.seed);
-        let requests = engine::workload(&c.scenario, &prepared, c.seed);
-        engine::run_prepared(&c.scenario, &prepared, &requests, &c.kind, c.seed)
-    });
+    let metrics_flat = run_sweep(&opts, &cache, &cells);
     report_cache(&cache);
 
     let mut results = metrics_flat.into_iter();

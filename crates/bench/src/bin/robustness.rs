@@ -24,67 +24,36 @@
 //! the last checkpoint (completed cells replay from their cached metrics).
 //! `--jobs N` fans the independent sweep cells across N worker threads;
 //! `--quote-threads N` parallelizes each CEAR admission across its slots.
-//! Outputs are byte-identical for every value of both (CI diffs the CSVs
-//! of `--quote-threads 1` vs `--quote-threads 4` to prove it end-to-end).
+//! `--fleet N` runs the same cells across N supervised worker *processes*
+//! with per-cell durable results (rerun the same command to resume a
+//! killed sweep), and `--chaos SPEC` injects scripted worker kills/hangs
+//! for the fault-tolerance tests. Outputs are byte-identical for every
+//! value of every knob (CI diffs the CSVs of `--jobs` vs `--fleet` runs
+//! under chaos to prove it end-to-end).
 
-use sb_bench::{parse_args, prepared_cache, report_cache, run_cell, run_cells, write_csv};
+use sb_bench::cells::{
+    failure_models, robustness_foresight_cells, robustness_unforeseen_cells, FORESIGHT_PROBS,
+    UNFORESEEN_PROBS,
+};
+use sb_bench::{parse_args, prepared_cache, report_cache, run_sweep, write_csv};
 use sb_cear::RepairPolicy;
-use sb_sim::engine::{self, AlgorithmKind};
+use sb_sim::engine::AlgorithmKind;
 use sb_sim::metrics::{self, RunMetrics};
 use sb_sim::output::{markdown_table, write_series_csv, SeriesPoint};
-use sb_sim::{ScenarioConfig, UnforeseenFailures};
-use sb_topology::failures::{FailureModel, GilbertElliottModel, LinkFailureModel, NodeOutageModel};
-
-/// The unforeseen failure models exercised at intensity `p`, in report
-/// order.
-fn failure_models(p: f64) -> [(&'static str, FailureModel); 3] {
-    [
-        ("independent", FailureModel::IndependentLinks(LinkFailureModel::new(p, 0xfa11))),
-        // A tenth of the link rate: a whole satellite dying for 1–5
-        // slots takes out dozens of links at once.
-        ("node-outage", FailureModel::NodeOutages(NodeOutageModel::new(p / 10.0, 1, 5, 0xfa11))),
-        ("ge-burst", FailureModel::GilbertElliott(GilbertElliottModel::new(p, 0.3, 0xfa11))),
-    ]
-}
 
 fn main() {
     let opts = parse_args(std::env::args().skip(1));
+    let cache = prepared_cache(&opts);
 
     // ---- Part 1: foresight sweep, all algorithms ----------------------
-    let foresight_probs = [0.0, 0.02, 0.05, 0.1, 0.2];
-    struct ForesightCell {
-        scenario: ScenarioConfig,
-        kind: AlgorithmKind,
-        seed: u64,
-        cell: String,
-    }
-    let mut foresight_cells = Vec::new();
-    for &p in &foresight_probs {
-        let mut scenario = opts.scenario.clone();
-        scenario.isl_failure_prob = p;
-        for kind in AlgorithmKind::all(&scenario) {
-            let cell = format!("foresight-p{:03}-{}", (p * 100.0).round() as u32, kind.name());
-            for seed in 0..opts.seeds {
-                foresight_cells.push(ForesightCell {
-                    scenario: scenario.clone(),
-                    kind,
-                    seed,
-                    cell: cell.clone(),
-                });
-            }
-        }
-    }
-    let cache = prepared_cache(&opts);
-    let foresight_ratios = run_cells(opts.jobs, &foresight_cells, |_, c| {
-        let prepared = cache.get(&c.scenario, c.seed);
-        let requests = engine::workload(&c.scenario, &prepared, c.seed);
-        run_cell(&opts, &c.scenario, &prepared, &requests, &c.kind, c.seed, &c.cell)
-            .social_welfare_ratio
-    });
+    let foresight_cells = robustness_foresight_cells(&opts.scenario, opts.seeds);
+    let foresight_runs = run_sweep(&opts, &cache, &foresight_cells);
+    let foresight_ratios: Vec<f64> =
+        foresight_runs.iter().map(|m| m.social_welfare_ratio).collect();
 
     let mut ratio_chunks = foresight_ratios.chunks(opts.seeds as usize);
     let mut foresight_points = Vec::new();
-    for &p in &foresight_probs {
+    for &p in &FORESIGHT_PROBS {
         let mut values = Vec::new();
         for kind in AlgorithmKind::all(&opts.scenario) {
             let ratios = ratio_chunks.next().expect("one chunk per (prob, algorithm)");
@@ -96,48 +65,11 @@ fn main() {
     }
 
     // ---- Part 2: unforeseen failures, CEAR, model × policy ------------
-    let unforeseen_probs = [0.05, 0.1];
-    let kind = AlgorithmKind::Cear(opts.scenario.cear);
-    // The routed series is clean for every unforeseen config, so network
-    // and workload are shared per seed across all models and policies.
-    let clean = opts.scenario.clone();
-    let seeds: Vec<u64> = (0..opts.seeds).collect();
-    let prep = run_cells(opts.jobs, &seeds, |_, &s| {
-        let prepared = cache.get(&clean, s);
-        let workload = engine::workload(&clean, &prepared, s);
-        (prepared, workload)
-    });
-
-    struct UnforeseenCell {
-        scenario: ScenarioConfig,
-        seed: u64,
-        cell: String,
-    }
-    let mut unforeseen_cells = Vec::new();
-    for &p in &unforeseen_probs {
-        for (model_name, model) in failure_models(p) {
-            for policy in RepairPolicy::all() {
-                let mut scenario = clean.clone();
-                scenario.unforeseen = Some(UnforeseenFailures { model, policy });
-                let cell = format!(
-                    "unforeseen-p{:03}-{model_name}-{}",
-                    (p * 100.0).round() as u32,
-                    policy.name()
-                );
-                for seed in 0..opts.seeds {
-                    unforeseen_cells.push(UnforeseenCell {
-                        scenario: scenario.clone(),
-                        seed,
-                        cell: cell.clone(),
-                    });
-                }
-            }
-        }
-    }
-    let unforeseen_runs = run_cells(opts.jobs, &unforeseen_cells, |_, c| {
-        let (prepared, workload) = &prep[c.seed as usize];
-        run_cell(&opts, &c.scenario, prepared, workload, &kind, c.seed, &c.cell)
-    });
+    // The routed series is clean for every unforeseen config (`prepare`
+    // ignores the `unforeseen` field), so all cells of one seed share a
+    // single prepared network through the cache.
+    let unforeseen_cells = robustness_unforeseen_cells(&opts.scenario, opts.seeds);
+    let unforeseen_runs = run_sweep(&opts, &cache, &unforeseen_cells);
     report_cache(&cache);
 
     let mut run_chunks = unforeseen_runs.chunks(opts.seeds as usize);
@@ -145,7 +77,7 @@ fn main() {
     let mut interruption_points = Vec::new();
     let mut repair_points = Vec::new();
     let mut latency_points = Vec::new();
-    for &p in &unforeseen_probs {
+    for &p in &UNFORESEEN_PROBS {
         let mut delivered = Vec::new();
         let mut interruption = Vec::new();
         let mut repair = Vec::new();

@@ -1,0 +1,136 @@
+//! Shared sweep-cell enumeration for the figure binaries.
+//!
+//! Each sweep is a flat list of [`SweepCell`]s in a deterministic
+//! (config, algorithm, seed) order. Both dispatch modes — the in-process
+//! `--jobs` runner and the `--fleet` process coordinator — consume the
+//! same list and return results in the same order, which is what makes
+//! their CSVs byte-identical. The aggregation code in the binaries
+//! re-walks the same nesting to chunk the flat result vector.
+
+use sb_cear::RepairPolicy;
+use sb_fleet::SweepCell;
+use sb_sim::engine::AlgorithmKind;
+use sb_sim::{ScenarioConfig, UnforeseenFailures};
+use sb_topology::failures::{FailureModel, GilbertElliottModel, LinkFailureModel, NodeOutageModel};
+
+/// Fig. 6 arrival-rate multipliers over the scenario's base rate.
+pub const FIG6_RATE_MULTIPLIERS: [f64; 5] = [0.5, 1.0, 1.5, 2.0, 2.5];
+
+/// The foreseen ISL failure probabilities of the robustness study.
+pub const FORESIGHT_PROBS: [f64; 5] = [0.0, 0.02, 0.05, 0.1, 0.2];
+
+/// The unforeseen failure intensities of the robustness study.
+pub const UNFORESEEN_PROBS: [f64; 2] = [0.05, 0.1];
+
+/// Fig. 6's absolute arrival rates for a scenario.
+pub fn fig6_rates(scenario: &ScenarioConfig) -> Vec<f64> {
+    FIG6_RATE_MULTIPLIERS.iter().map(|m| m * scenario.arrivals_per_slot).collect()
+}
+
+/// Fig. 6 cells: every (rate, algorithm, seed), rates outermost.
+pub fn fig6_cells(scenario: &ScenarioConfig, seeds: u64) -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for &rate in &fig6_rates(scenario) {
+        let mut s = scenario.clone();
+        s.arrivals_per_slot = rate;
+        for kind in AlgorithmKind::all(&s) {
+            for seed in 0..seeds {
+                cells.push(SweepCell {
+                    label: format!("fig6-r{rate:.2}-{}", kind.name()),
+                    scenario: s.clone(),
+                    kind,
+                    seed,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// The unforeseen failure models exercised at intensity `p`, in report
+/// order.
+pub fn failure_models(p: f64) -> [(&'static str, FailureModel); 3] {
+    [
+        ("independent", FailureModel::IndependentLinks(LinkFailureModel::new(p, 0xfa11))),
+        // A tenth of the link rate: a whole satellite dying for 1–5
+        // slots takes out dozens of links at once.
+        ("node-outage", FailureModel::NodeOutages(NodeOutageModel::new(p / 10.0, 1, 5, 0xfa11))),
+        ("ge-burst", FailureModel::GilbertElliott(GilbertElliottModel::new(p, 0.3, 0xfa11))),
+    ]
+}
+
+/// Robustness part 1: the foresight sweep — every (probability,
+/// algorithm, seed), probabilities outermost.
+pub fn robustness_foresight_cells(scenario: &ScenarioConfig, seeds: u64) -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for &p in &FORESIGHT_PROBS {
+        let mut s = scenario.clone();
+        s.isl_failure_prob = p;
+        for kind in AlgorithmKind::all(&s) {
+            let label = format!("foresight-p{:03}-{}", (p * 100.0).round() as u32, kind.name());
+            for seed in 0..seeds {
+                cells.push(SweepCell { label: label.clone(), scenario: s.clone(), kind, seed });
+            }
+        }
+    }
+    cells
+}
+
+/// Robustness part 2: the unforeseen sweep — CEAR under every
+/// (intensity, failure model, repair policy, seed).
+///
+/// `prepare` and `workload` ignore the `unforeseen` field, so all cells
+/// of one seed share a single prepared network through the cache (and a
+/// fleet worker recomputing from the cell's own scenario builds the
+/// identical one).
+pub fn robustness_unforeseen_cells(scenario: &ScenarioConfig, seeds: u64) -> Vec<SweepCell> {
+    let kind = AlgorithmKind::Cear(scenario.cear);
+    let mut cells = Vec::new();
+    for &p in &UNFORESEEN_PROBS {
+        for (model_name, model) in failure_models(p) {
+            for policy in RepairPolicy::all() {
+                let mut s = scenario.clone();
+                s.unforeseen = Some(UnforeseenFailures { model, policy });
+                let label = format!(
+                    "unforeseen-p{:03}-{model_name}-{}",
+                    (p * 100.0).round() as u32,
+                    policy.name()
+                );
+                for seed in 0..seeds {
+                    cells.push(SweepCell { label: label.clone(), scenario: s.clone(), kind, seed });
+                }
+            }
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_enumeration_is_flat_and_ordered() {
+        let scenario = ScenarioConfig::tiny();
+        let cells = fig6_cells(&scenario, 2);
+        let algos = AlgorithmKind::all(&scenario).len();
+        assert_eq!(cells.len(), FIG6_RATE_MULTIPLIERS.len() * algos * 2);
+        // Seeds innermost: consecutive cells share a label.
+        assert_eq!(cells[0].label, cells[1].label);
+        assert_eq!((cells[0].seed, cells[1].seed), (0, 1));
+    }
+
+    #[test]
+    fn robustness_enumeration_matches_report_order() {
+        let scenario = ScenarioConfig::tiny();
+        let fore = robustness_foresight_cells(&scenario, 1);
+        let algos = AlgorithmKind::all(&scenario).len();
+        assert_eq!(fore.len(), FORESIGHT_PROBS.len() * algos);
+        assert!(fore[0].label.starts_with("foresight-p000-"));
+
+        let unf = robustness_unforeseen_cells(&scenario, 1);
+        assert_eq!(unf.len(), UNFORESEEN_PROBS.len() * 3 * RepairPolicy::all().len());
+        assert!(unf.iter().all(|c| c.scenario.unforeseen.is_some()));
+        assert!(unf[0].label.starts_with("unforeseen-p005-independent-"));
+    }
+}

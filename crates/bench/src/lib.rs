@@ -4,6 +4,11 @@
 //! `--scale {paper,fast}` and `--seeds N`; this crate holds the argument
 //! parsing and run-loop plumbing they share.
 
+pub mod cells;
+
+pub use sb_fleet::SweepCell;
+
+use sb_fleet::ChaosPlan;
 use sb_sim::engine::{self, AlgorithmKind, ExecOptions, PreparedNetwork};
 use sb_sim::{DurabilityOptions, PreparedCache, RunMetrics, RunOutcome, ScenarioConfig};
 
@@ -36,6 +41,15 @@ pub struct FigureOptions {
     /// series is bit-identical for every value, so CSVs never change with
     /// it.
     pub build_threads: usize,
+    /// Run the sweep across N worker *processes* via `sb-fleet`
+    /// (`--fleet N`) instead of in-process threads. Results are
+    /// byte-identical to `--jobs`; completed cells persist durably under
+    /// `OUT/fleet/` so a killed sweep resumes where it stopped.
+    pub fleet: Option<usize>,
+    /// Fault-injection plan for `--fleet` runs (`--chaos SPEC`; see
+    /// [`sb_fleet::ChaosPlan`] for the grammar). Ignored without
+    /// `--fleet`.
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl Default for FigureOptions {
@@ -49,6 +63,8 @@ impl Default for FigureOptions {
             jobs: default_jobs(),
             quote_threads: 1,
             build_threads: default_jobs(),
+            fleet: None,
+            chaos: None,
         }
     }
 }
@@ -124,9 +140,17 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> FigureOptions {
             "--build-threads" => {
                 opts.build_threads = parse_at_least_one(args.next(), "--build-threads");
             }
+            "--fleet" => {
+                opts.fleet = Some(parse_at_least_one(args.next(), "--fleet"));
+            }
+            "--chaos" => {
+                let spec = args.next().expect("--chaos needs a spec string");
+                opts.chaos =
+                    Some(ChaosPlan::parse(&spec).unwrap_or_else(|e| panic!("--chaos: {e}")));
+            }
             other => panic!(
                 "unknown argument `{other}` (use --scale/--seeds/--out/--checkpoint-every\
-                 /--resume/--jobs/--quote-threads/--build-threads)"
+                 /--resume/--jobs/--quote-threads/--build-threads/--fleet/--chaos)"
             ),
         }
     }
@@ -260,16 +284,71 @@ pub fn run_cells<I: Sync, T: Send>(
         .collect()
 }
 
-/// Runs a CSV writer against `path`, creating the output directory first.
+/// Runs the cells of a sweep and returns their metrics **in cell order**.
 ///
-/// The figure binaries used to `expect("write CSV")`, which on a missing
-/// or read-only output directory died without saying *which* path failed.
-/// This wrapper names the path in both failure modes.
+/// This is the single dispatch point behind every figure binary's sweep:
+///
+/// * default — in-process across `--jobs` threads ([`run_cells`]), with
+///   the shared `cache` and per-cell durability ([`run_cell`]);
+/// * `--fleet N` — across N worker *processes* via
+///   [`sb_fleet::run_fleet`], with per-cell durable results under
+///   `OUT/fleet/` and optional `--chaos` fault injection.
+///
+/// Both paths compute bit-identical metrics, so the CSVs written from the
+/// returned vector are byte-identical regardless of the dispatch mode,
+/// worker count, kill schedule or resume point.
+///
+/// # Exits
+///
+/// Under `--fleet`, a quarantined cell terminates the process with exit
+/// code 1 after printing the quarantine report (cell names plus the dead
+/// workers' stderr tails), and a chaos-scripted coordinator exit
+/// (`exit:after=N`) terminates with exit code 2 — rerun the same command
+/// to resume from the durable results.
+pub fn run_sweep(
+    opts: &FigureOptions,
+    cache: &PreparedCache,
+    cells: &[SweepCell],
+) -> Vec<RunMetrics> {
+    let Some(workers) = opts.fleet else {
+        return run_cells(opts.jobs, cells, |_, c| {
+            let prepared = cache.get(&c.scenario, c.seed);
+            let requests = engine::workload(&c.scenario, &prepared, c.seed);
+            run_cell(opts, &c.scenario, &prepared, &requests, &c.kind, c.seed, &c.label)
+        });
+    };
+    let mut fleet_opts = sb_fleet::FleetOptions::new(workers, opts.out_dir.join("fleet"));
+    fleet_opts.quote_threads = opts.quote_threads;
+    fleet_opts.build_threads = opts.build_threads;
+    if let Some(plan) = &opts.chaos {
+        fleet_opts.chaos = plan.clone();
+    }
+    match sb_fleet::run_fleet(cells, &fleet_opts) {
+        Ok(sb_fleet::FleetOutcome::Completed(metrics)) => metrics,
+        Ok(sb_fleet::FleetOutcome::Halted { completed_this_session }) => {
+            eprintln!(
+                "fleet: coordinator halted by chaos after {completed_this_session} cell(s); \
+                 rerun the same command to resume"
+            );
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Runs a CSV writer against `path`, creating the output directory first
+/// and publishing the result **atomically**: the writer targets a
+/// temporary file which is fsynced and renamed over `path` only on
+/// success. A sweep that dies mid-write — or a writer that errors —
+/// leaves any previous CSV at `path` byte-for-byte intact.
 ///
 /// # Panics
 ///
-/// Panics with the offending path when the directory cannot be created or
-/// the writer reports an I/O error.
+/// Panics with the offending path when the directory cannot be created,
+/// the writer reports an I/O error, or the final rename fails.
 pub fn write_csv(
     path: &std::path::Path,
     write: impl FnOnce(&std::path::Path) -> std::io::Result<()>,
@@ -278,7 +357,23 @@ pub fn write_csv(
         std::fs::create_dir_all(parent)
             .unwrap_or_else(|e| panic!("cannot create output directory {}: {e}", parent.display()));
     }
-    write(path).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    if let Err(e) = write(&tmp) {
+        let _ = std::fs::remove_file(&tmp);
+        panic!("cannot write {}: {e}", path.display());
+    }
+    // Make the bytes durable before the rename makes them visible.
+    match std::fs::File::open(&tmp).and_then(|f| f.sync_all()) {
+        Ok(()) => {}
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            panic!("cannot sync {}: {e}", tmp.display());
+        }
+    }
+    std::fs::rename(&tmp, path)
+        .unwrap_or_else(|e| panic!("cannot publish {}: {e}", path.display()));
 }
 
 #[cfg(test)]
@@ -401,6 +496,33 @@ mod tests {
     }
 
     #[test]
+    fn fleet_flag_parses_and_defaults_off() {
+        assert_eq!(parse(&["--fleet", "4"]).fleet, Some(4));
+        assert_eq!(parse(&[]).fleet, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "--fleet must be >= 1")]
+    fn zero_fleet_is_rejected() {
+        parse(&["--fleet", "0"]);
+    }
+
+    #[test]
+    fn chaos_flag_parses_a_plan() {
+        let o = parse(&["--chaos", "kill:cell=3;exit:after=2"]);
+        let plan = o.chaos.expect("plan parsed");
+        assert!(plan.has_worker_chaos());
+        assert_eq!(plan.exit_after, Some(2));
+        assert_eq!(parse(&[]).chaos, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown directive")]
+    fn bad_chaos_spec_panics_with_the_directive() {
+        parse(&["--chaos", "explode:cell=1"]);
+    }
+
+    #[test]
     fn write_csv_creates_missing_directories() {
         let dir = std::env::temp_dir().join("sb_bench_write_csv_test").join("nested");
         let path = dir.join("out.csv");
@@ -422,5 +544,40 @@ mod tests {
         let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(msg.contains(&blocker.display().to_string()), "panic message was: {msg}");
         let _ = std::fs::remove_file(&blocker);
+    }
+
+    #[test]
+    fn write_csv_failure_leaves_previous_file_intact() {
+        // Regression: a writer that dies mid-CSV must not clobber the
+        // previous sweep's output. The atomic temp+rename publish means
+        // the old bytes survive and no temp litter remains.
+        let dir = std::env::temp_dir().join("sb_bench_write_csv_atomic");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("out.csv");
+        write_csv(&path, |p| std::fs::write(p, "old,complete\n1,2\n"));
+
+        let err = std::panic::catch_unwind(|| {
+            write_csv(&path, |p| {
+                // Simulate a crash after a partial write.
+                std::fs::write(p, "new,truncated")?;
+                Err(std::io::Error::other("simulated mid-write failure"))
+            })
+        })
+        .expect_err("failing writer must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("simulated mid-write failure"), "panic message was: {msg}");
+
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "old,complete\n1,2\n",
+            "previous CSV must survive a failed rewrite byte-for-byte"
+        );
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n != "out.csv")
+            .collect();
+        assert!(leftovers.is_empty(), "no temp litter, got {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,12 @@
+//! The sb-fleet worker binary: serves framed jobs on stdin, emits
+//! heartbeats and results on stdout, and puts its dying words on stderr
+//! (the coordinator keeps the tail as failure evidence).
+
+fn main() {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    if let Err(msg) = sb_fleet::worker::worker_main(stdin.lock(), stdout.lock()) {
+        eprintln!("sb-fleet-worker: {msg}");
+        std::process::exit(1);
+    }
+}

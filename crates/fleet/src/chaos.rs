@@ -1,0 +1,250 @@
+//! Scripted and randomized fault injection for fleet sweeps.
+//!
+//! A chaos plan is parsed from a `--chaos` spec string — `;`-separated
+//! directives:
+//!
+//! * `kill:cell=3` — SIGABRT the worker running cell 3 mid-run (at slot 1
+//!   by default; `kill:cell=3,slot=5` picks the slot). Fires on the
+//!   cell's **first attempt only**, so the retry completes and the sweep
+//!   still produces byte-identical output.
+//! * `hang:cell=7` — the worker running cell 7 stops heartbeating and
+//!   spins; only the coordinator's hard heartbeat deadline can recover
+//!   this one. First attempt only.
+//! * `poison:cell=5` — kill on **every** attempt: cell 5 burns through
+//!   its retry budget and lands in quarantine. This is the directive the
+//!   quarantine-report test uses.
+//! * `rand:p=0.2,seed=42` — the seeded random killer: each cell's first
+//!   attempt is killed with probability `p`, drawn from a splitmix64
+//!   stream over `(seed, cell)` so the schedule is reproducible.
+//! * `exit:after=5` — **coordinator** chaos: stop dispatching and return
+//!   [`halted`](crate::coordinator::FleetOutcome::Halted) after 5 cells
+//!   have been durably recorded — a scripted coordinator crash. Rerunning
+//!   the same sweep resumes from the results directory.
+//!
+//! Worker-directed chaos travels *inside the job frame*
+//! ([`crate::proto::CellSpec::chaos`]): the worker sabotages itself at an
+//! exact slot, which makes "SIGKILL mid-cell" a deterministic, replayable
+//! event instead of a race against an external killer.
+
+use crate::proto::WorkerChaos;
+
+/// A parsed chaos plan. See the module docs for the spec grammar.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Kill directives: `(cell, slot, every_attempt)`.
+    kills: Vec<(usize, u32, bool)>,
+    /// Hang directives: `(cell, slot)`.
+    hangs: Vec<(usize, u32)>,
+    /// Random killer `(probability per mille, seed)`.
+    rand: Option<(u32, u64)>,
+    /// Coordinator exit after N durable completions.
+    pub exit_after: Option<usize>,
+}
+
+/// A malformed `--chaos` spec, with the offending directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosParseError(pub String);
+
+impl core::fmt::Display for ChaosParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "bad chaos spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for ChaosParseError {}
+
+fn parse_kv(item: &str, directive: &str) -> Result<Vec<(String, String)>, ChaosParseError> {
+    item.split(',')
+        .map(|kv| {
+            let (k, v) = kv.split_once('=').ok_or_else(|| {
+                ChaosParseError(format!("`{directive}`: expected key=value, got `{kv}`"))
+            })?;
+            Ok((k.trim().to_owned(), v.trim().to_owned()))
+        })
+        .collect()
+}
+
+fn get_num<T: std::str::FromStr>(
+    kvs: &[(String, String)],
+    key: &str,
+    directive: &str,
+) -> Result<Option<T>, ChaosParseError> {
+    match kvs.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, v)) => v.parse::<T>().map(Some).map_err(|_| {
+            ChaosParseError(format!("`{directive}`: `{key}` needs a number, got `{v}`"))
+        }),
+    }
+}
+
+impl ChaosPlan {
+    /// Parses a `--chaos` spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChaosParseError`] naming the directive on unknown verbs,
+    /// missing keys or unparsable numbers.
+    pub fn parse(spec: &str) -> Result<Self, ChaosParseError> {
+        let mut plan = ChaosPlan::default();
+        for directive in spec.split(';').map(str::trim).filter(|s| !s.is_empty()) {
+            let (verb, rest) = directive
+                .split_once(':')
+                .ok_or_else(|| ChaosParseError(format!("`{directive}`: expected verb:args")))?;
+            let kvs = parse_kv(rest, directive)?;
+            let cell = get_num::<usize>(&kvs, "cell", directive)?;
+            let slot = get_num::<u32>(&kvs, "slot", directive)?.unwrap_or(1);
+            match verb.trim() {
+                "kill" | "poison" => {
+                    let cell = cell
+                        .ok_or_else(|| ChaosParseError(format!("`{directive}`: needs cell=N")))?;
+                    plan.kills.push((cell, slot, verb.trim() == "poison"));
+                }
+                "hang" => {
+                    let cell = cell
+                        .ok_or_else(|| ChaosParseError(format!("`{directive}`: needs cell=N")))?;
+                    plan.hangs.push((cell, slot));
+                }
+                "rand" => {
+                    let p = get_num::<f64>(&kvs, "p", directive)?
+                        .ok_or_else(|| ChaosParseError(format!("`{directive}`: needs p=F")))?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(ChaosParseError(format!(
+                            "`{directive}`: p must be in [0,1], got {p}"
+                        )));
+                    }
+                    let seed = get_num::<u64>(&kvs, "seed", directive)?.unwrap_or(0xc4a0);
+                    plan.rand = Some(((p * 1000.0).round() as u32, seed));
+                }
+                "exit" => {
+                    let after = get_num::<usize>(&kvs, "after", directive)?
+                        .ok_or_else(|| ChaosParseError(format!("`{directive}`: needs after=N")))?;
+                    plan.exit_after = Some(after);
+                }
+                other => {
+                    return Err(ChaosParseError(format!(
+                        "unknown directive `{other}` (use kill|hang|poison|rand|exit)"
+                    )));
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The sabotage (if any) to embed in `cell`'s job frame for its
+    /// `attempt`-th run (0-based). Scripted one-shot faults fire on
+    /// attempt 0 only; `poison` fires on every attempt.
+    pub fn worker_chaos(&self, cell: usize, attempt: u32) -> Option<WorkerChaos> {
+        for &(c, slot, every) in &self.kills {
+            if c == cell && (attempt == 0 || every) {
+                return Some(WorkerChaos::KillAtSlot(slot));
+            }
+        }
+        for &(c, slot) in &self.hangs {
+            if c == cell && attempt == 0 {
+                return Some(WorkerChaos::HangAtSlot(slot));
+            }
+        }
+        if let Some((per_mille, seed)) = self.rand {
+            if attempt == 0 {
+                let mut state = seed ^ (cell as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                let draw = splitmix64(&mut state);
+                if (draw % 1000) < u64::from(per_mille) {
+                    // A pseudo-random (but reproducible) kill slot ≥ 1.
+                    let slot = 1 + (splitmix64(&mut state) % 8) as u32;
+                    return Some(WorkerChaos::KillAtSlot(slot));
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether any directive can sabotage workers (vs a pure `exit` plan).
+    pub fn has_worker_chaos(&self) -> bool {
+        !self.kills.is_empty() || !self.hangs.is_empty() || self.rand.is_some()
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_issue_example() {
+        let plan = ChaosPlan::parse("kill:cell=3;hang:cell=7").unwrap();
+        assert_eq!(plan.worker_chaos(3, 0), Some(WorkerChaos::KillAtSlot(1)));
+        assert_eq!(plan.worker_chaos(7, 0), Some(WorkerChaos::HangAtSlot(1)));
+        assert_eq!(plan.worker_chaos(5, 0), None);
+        // One-shot: the retry runs clean.
+        assert_eq!(plan.worker_chaos(3, 1), None);
+        assert_eq!(plan.worker_chaos(7, 1), None);
+    }
+
+    #[test]
+    fn poison_fires_on_every_attempt() {
+        let plan = ChaosPlan::parse("poison:cell=5,slot=2").unwrap();
+        for attempt in 0..5 {
+            assert_eq!(plan.worker_chaos(5, attempt), Some(WorkerChaos::KillAtSlot(2)));
+        }
+    }
+
+    #[test]
+    fn random_killer_is_seeded_and_reproducible() {
+        let a = ChaosPlan::parse("rand:p=0.5,seed=42").unwrap();
+        let b = ChaosPlan::parse("rand:p=0.5,seed=42").unwrap();
+        let hits_a: Vec<_> = (0..100).map(|c| a.worker_chaos(c, 0)).collect();
+        let hits_b: Vec<_> = (0..100).map(|c| b.worker_chaos(c, 0)).collect();
+        assert_eq!(hits_a, hits_b);
+        let n = hits_a.iter().filter(|h| h.is_some()).count();
+        assert!((20..=80).contains(&n), "p=0.5 over 100 cells hit {n} times");
+        // Retries are never re-killed.
+        assert!((0..100).all(|c| a.worker_chaos(c, 1).is_none()));
+        // A different seed gives a different schedule.
+        let c = ChaosPlan::parse("rand:p=0.5,seed=43").unwrap();
+        assert_ne!(hits_a, (0..100).map(|i| c.worker_chaos(i, 0)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn exit_after_parses() {
+        let plan = ChaosPlan::parse("exit:after=5").unwrap();
+        assert_eq!(plan.exit_after, Some(5));
+        assert!(!plan.has_worker_chaos());
+    }
+
+    #[test]
+    fn combined_spec() {
+        let plan = ChaosPlan::parse("kill:cell=1,slot=4; exit:after=3; rand:p=0.1").unwrap();
+        assert_eq!(plan.worker_chaos(1, 0), Some(WorkerChaos::KillAtSlot(4)));
+        assert_eq!(plan.exit_after, Some(3));
+        assert!(plan.has_worker_chaos());
+    }
+
+    #[test]
+    fn bad_specs_name_the_directive() {
+        for (spec, needle) in [
+            ("explode:cell=1", "unknown directive"),
+            ("kill:slot=2", "needs cell=N"),
+            ("kill:cell=x", "needs a number"),
+            ("rand:p=1.5", "must be in [0,1]"),
+            ("exit:now", "expected key=value"),
+            ("kill", "expected verb:args"),
+        ] {
+            let err = ChaosPlan::parse(spec).unwrap_err();
+            assert!(err.to_string().contains(needle), "{spec}: {err}");
+        }
+    }
+
+    #[test]
+    fn empty_spec_is_a_no_op_plan() {
+        let plan = ChaosPlan::parse("").unwrap();
+        assert_eq!(plan, ChaosPlan::default());
+        assert!(!plan.has_worker_chaos());
+    }
+}

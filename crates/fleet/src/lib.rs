@@ -1,0 +1,59 @@
+//! # sb-fleet — fault-tolerant multi-process sweep orchestration
+//!
+//! Runs a sweep's `(config × algorithm × seed)` cells across a fleet of
+//! worker **processes** and produces output byte-identical to the
+//! in-process `--jobs` runner, no matter how many workers die, hang, or
+//! how often the coordinator itself is killed and restarted.
+//!
+//! The moving parts:
+//!
+//! * [`proto`] — the length-framed, checksummed job protocol spoken over
+//!   worker stdin/stdout pipes. Every decoder returns
+//!   [`sb_wire::WireError`] on garbage; none panic.
+//! * [`sched`] — the pure scheduler state machine: heartbeat deadlines
+//!   with slow-vs-dead hysteresis (suspect at the soft timeout, kill at
+//!   the hard one), decorrelated-jitter retry backoff, and poison-cell
+//!   quarantine. Takes explicit timestamps, so every transition is
+//!   testable with a fake clock and zero sleeps.
+//! * [`worker`] — the per-process cell executor: runs the engine slot by
+//!   slot and heartbeats after every slot, so liveness means *progress*.
+//! * [`results`] — the durable per-cell results directory (temp + fsync +
+//!   rename, keyed by config digest): the crash-resumable unit.
+//! * [`chaos`] — scripted and seeded-random fault injection
+//!   (`kill:cell=3;hang:cell=7`, `rand:p=0.2,seed=42`, `exit:after=5`)
+//!   used by the chaos integration tests and the CI chaos job.
+//! * [`coordinator`] — the I/O shell tying it together: spawn, dispatch,
+//!   SIGKILL-and-respawn, durable-write-before-ack, resume-by-scan, and
+//!   graceful degradation to in-process execution when spawning fails.
+//!
+//! The headline invariant, proven by `tests/fleet_chaos.rs`: **for any
+//! worker count, kill schedule and resume point, the final metrics are
+//! byte-identical** to an uninterrupted in-process run.
+
+pub mod chaos;
+pub mod coordinator;
+pub mod proto;
+pub mod results;
+pub mod sched;
+pub mod worker;
+
+pub use chaos::{ChaosParseError, ChaosPlan};
+pub use coordinator::{run_fleet, FleetError, FleetOptions, FleetOutcome, QuarantineReport};
+pub use sched::SchedConfig;
+
+use sb_sim::engine::AlgorithmKind;
+use sb_sim::ScenarioConfig;
+
+/// One cell of a sweep: everything a worker needs to recompute the run
+/// from scratch, plus a human-readable label for failure reports.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Human-readable cell name (shows up in quarantine reports).
+    pub label: String,
+    /// The full scenario configuration.
+    pub scenario: ScenarioConfig,
+    /// The admission algorithm to run.
+    pub kind: AlgorithmKind,
+    /// The workload seed.
+    pub seed: u64,
+}

@@ -1,0 +1,124 @@
+//! The per-cell durable results directory — the fleet's resumable unit.
+//!
+//! Every completed cell is persisted as `cell_<digest>.bin` under the
+//! results directory, keyed by [`sb_sim::engine::run_digest`] over the
+//! cell's `(scenario, algorithm, seed)`. Writes are atomic (temp file +
+//! `fsync` + rename, then a directory fsync) so a coordinator killed at
+//! any instant leaves either the complete old state or the complete new
+//! state — never a torn record. Resume is a directory scan: cells whose
+//! file exists and verifies are done, everything else is re-dispatched.
+//! Because the key is the config digest, a results directory can never
+//! leak a stale result into a changed sweep — a different config is a
+//! different file name.
+
+use sb_sim::RunMetrics;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of a cell-result file.
+const CELL_MAGIC: &[u8; 8] = b"SBCELL01";
+
+/// The path of one cell's result file.
+pub fn cell_path(dir: &Path, digest: u64) -> PathBuf {
+    dir.join(format!("cell_{digest:016x}.bin"))
+}
+
+/// Durably writes one cell's metrics: temp + fsync + rename + dir fsync.
+///
+/// # Errors
+///
+/// Propagates I/O errors (the caller maps them onto the owning cell).
+pub fn store(dir: &Path, digest: u64, metrics: &RunMetrics) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let mut body = sb_wire::Writer::new();
+    body.u64(digest);
+    metrics.encode(&mut body);
+    let body = body.into_bytes();
+    let mut bytes = Vec::with_capacity(CELL_MAGIC.len() + 8 + body.len());
+    bytes.extend_from_slice(CELL_MAGIC);
+    bytes.extend_from_slice(&sb_wire::checksum(&body).to_le_bytes());
+    bytes.extend_from_slice(&body);
+
+    let path = cell_path(dir, digest);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, &path)?;
+    // The rename itself must survive a crash: fsync the directory entry.
+    // Failure here is non-fatal on filesystems that cannot open dirs.
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Loads one cell's metrics if its file exists and verifies (magic,
+/// checksum, digest). Anything torn, corrupt or foreign reads as `None` —
+/// the cell simply re-runs.
+pub fn load(dir: &Path, digest: u64) -> Option<RunMetrics> {
+    let bytes = fs::read(cell_path(dir, digest)).ok()?;
+    let body = bytes.strip_prefix(CELL_MAGIC.as_slice())?;
+    let (sum, body) = body.split_first_chunk::<8>()?;
+    if u64::from_le_bytes(*sum) != sb_wire::checksum(body) {
+        return None;
+    }
+    let mut r = sb_wire::Reader::new(body);
+    if r.u64().ok()? != digest {
+        return None;
+    }
+    let metrics = RunMetrics::decode(&mut r).ok()?;
+    r.is_exhausted().then_some(metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_sim::engine::{run, AlgorithmKind};
+    use sb_sim::ScenarioConfig;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sb_fleet_results_{tag}"));
+        fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn roundtrips_bit_exactly() {
+        let dir = tmp("roundtrip");
+        let m = run(&ScenarioConfig::tiny(), &AlgorithmKind::Ssp, 3);
+        store(&dir, 0xfeed, &m).unwrap();
+        assert_eq!(load(&dir, 0xfeed), Some(m));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_digest_and_corruption_read_as_absent() {
+        let dir = tmp("corrupt");
+        let m = run(&ScenarioConfig::tiny(), &AlgorithmKind::Ssp, 3);
+        store(&dir, 0xfeed, &m).unwrap();
+        assert_eq!(load(&dir, 0xbeef), None, "different digest, different file");
+        // Flip one payload byte: checksum must catch it.
+        let path = cell_path(&dir, 0xfeed);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(load(&dir, 0xfeed), None);
+        // Truncations never panic, never load.
+        for cut in 0..bytes.len() {
+            bytes[last] ^= 0x40; // restore
+            fs::write(&path, &bytes[..cut]).unwrap();
+            assert_eq!(load(&dir, 0xfeed), None, "cut at {cut}");
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_directory_reads_as_absent() {
+        assert_eq!(load(Path::new("/nonexistent/sb-fleet"), 1), None);
+    }
+}

@@ -1,0 +1,669 @@
+//! The coordinator's scheduling brain, as a pure state machine.
+//!
+//! Everything time-dependent — heartbeat deadlines, the slow-vs-dead
+//! hysteresis, retry backoff — takes an explicit `now_ms` timestamp
+//! instead of reading a clock, so unit tests drive every transition with
+//! a fake clock and zero sleeps. The I/O shell
+//! ([`crate::coordinator`]) feeds it three kinds of input — worker
+//! messages, worker deaths, and clock ticks — and executes the
+//! [`Action`]s it returns (dispatch a job, SIGKILL a worker).
+//!
+//! # Liveness: slow vs dead
+//!
+//! A worker with a job heartbeats at every slot boundary. Silence is
+//! judged in two stages with hysteresis between them:
+//!
+//! * past `soft_timeout_ms` the worker is **suspect** — recorded (and
+//!   counted) but not touched, because a paper-scale topology build or a
+//!   pathological cell legitimately goes quiet for a while;
+//! * a single fresh heartbeat fully rehabilitates a suspect — the next
+//!   silence is measured from that heartbeat, not from old suspicion, so
+//!   a worker oscillating around the soft deadline is never escalated;
+//! * only silence past `hard_timeout_ms` declares the worker **dead**:
+//!   the shell SIGKILLs and respawns it, and the cell goes back to the
+//!   queue with a retry debit.
+//!
+//! # Retry, backoff, quarantine
+//!
+//! A cell whose worker died (or that reported failure) is retried with
+//! decorrelated-jitter backoff (deterministically seeded — the whole
+//! machine is reproducible). A cell that fails [`SchedConfig::max_attempts`]
+//! times is **quarantined**: recorded as failed with its last stderr tail
+//! and never dispatched again, so one poison cell cannot kill workers
+//! forever. Quarantine fails the sweep (nonzero exit) but does not stop
+//! the other cells from finishing first.
+
+/// Tuning knobs for the scheduler. All in milliseconds of the caller's
+/// clock (wall time in production, a counter in tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedConfig {
+    /// Heartbeat silence after which a worker is suspect (recorded, not
+    /// killed).
+    pub soft_timeout_ms: u64,
+    /// Heartbeat silence after which a worker is declared dead and
+    /// SIGKILLed. Must exceed `soft_timeout_ms`.
+    pub hard_timeout_ms: u64,
+    /// Attempts (first run + retries) before a cell is quarantined.
+    pub max_attempts: u32,
+    /// Decorrelated-jitter backoff: base delay before a cell's first
+    /// retry.
+    pub backoff_base_ms: u64,
+    /// Decorrelated-jitter backoff: delay ceiling.
+    pub backoff_cap_ms: u64,
+    /// Seed for the (deterministic) backoff jitter.
+    pub backoff_seed: u64,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            soft_timeout_ms: 5_000,
+            hard_timeout_ms: 30_000,
+            max_attempts: 3,
+            backoff_base_ms: 50,
+            backoff_cap_ms: 2_000,
+            backoff_seed: 0x5b_f1ee7,
+        }
+    }
+}
+
+/// What the shell must do next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Send this cell to this worker's stdin.
+    Dispatch {
+        /// The worker slot to dispatch to.
+        worker: usize,
+        /// The cell index to run.
+        cell: usize,
+        /// Which attempt this is (0-based) — chaos scripting keys on it.
+        attempt: u32,
+    },
+    /// SIGKILL this worker (it is dead by heartbeat deadline); the shell
+    /// respawns into the same slot and calls
+    /// [`Scheduler::on_worker_ready`] when the replacement greets.
+    KillWorker {
+        /// The worker slot to kill.
+        worker: usize,
+    },
+}
+
+/// Where one cell stands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellStatus {
+    /// Waiting for a worker (and, after a failure, for its backoff
+    /// deadline).
+    Pending,
+    /// Running on this worker slot.
+    Running(usize),
+    /// Finished and durably recorded.
+    Done,
+    /// Failed [`SchedConfig::max_attempts`] times; never retried again.
+    Quarantined,
+}
+
+/// A quarantined cell, for the failure report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedCell {
+    /// The cell index.
+    pub cell: usize,
+    /// Attempts consumed.
+    pub attempts: u32,
+    /// The last failure: what the worker reported, or the tail of the
+    /// dead worker's stderr.
+    pub detail: String,
+}
+
+#[derive(Debug)]
+struct CellSlot {
+    status: CellStatus,
+    attempts: u32,
+    eligible_at_ms: u64,
+    /// Previous backoff delay (decorrelated jitter feeds on it).
+    prev_backoff_ms: u64,
+    last_error: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WorkerHealth {
+    /// Greeted and heartbeating on time.
+    Healthy,
+    /// Past the soft deadline; watched, not killed.
+    Suspect,
+}
+
+#[derive(Debug)]
+struct WorkerSlot {
+    /// Greeted and usable. False between a kill and the replacement's
+    /// `Ready`.
+    alive: bool,
+    job: Option<usize>,
+    last_beat_ms: u64,
+    health: WorkerHealth,
+    /// Kill already ordered; await the shell's respawn + `Ready` before
+    /// touching this slot again (prevents double-kill actions).
+    kill_pending: bool,
+}
+
+/// The scheduler. See the module docs for the model.
+#[derive(Debug)]
+pub struct Scheduler {
+    cfg: SchedConfig,
+    cells: Vec<CellSlot>,
+    workers: Vec<WorkerSlot>,
+    done: usize,
+    suspect_transitions: u64,
+    backoff_rng: u64,
+}
+
+impl Scheduler {
+    /// A scheduler over `n_cells` cells and `n_workers` worker slots.
+    /// Workers start not-alive; the shell calls
+    /// [`Scheduler::on_worker_ready`] as their greetings arrive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hard_timeout_ms <= soft_timeout_ms` or
+    /// `max_attempts == 0` — misconfigurations that would make liveness
+    /// judgments or retries meaningless.
+    pub fn new(n_cells: usize, n_workers: usize, cfg: SchedConfig) -> Self {
+        assert!(
+            cfg.hard_timeout_ms > cfg.soft_timeout_ms,
+            "hard timeout ({}) must exceed soft timeout ({})",
+            cfg.hard_timeout_ms,
+            cfg.soft_timeout_ms
+        );
+        assert!(cfg.max_attempts >= 1, "max_attempts must be >= 1");
+        Scheduler {
+            cfg,
+            cells: (0..n_cells)
+                .map(|_| CellSlot {
+                    status: CellStatus::Pending,
+                    attempts: 0,
+                    eligible_at_ms: 0,
+                    prev_backoff_ms: 0,
+                    last_error: String::new(),
+                })
+                .collect(),
+            workers: (0..n_workers)
+                .map(|_| WorkerSlot {
+                    alive: false,
+                    job: None,
+                    last_beat_ms: 0,
+                    health: WorkerHealth::Healthy,
+                    kill_pending: false,
+                })
+                .collect(),
+            done: 0,
+            suspect_transitions: 0,
+            backoff_rng: cfg.backoff_seed,
+        }
+    }
+
+    /// Marks a cell complete before scheduling starts — used by resume to
+    /// skip cells whose durable results already exist on disk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell already ran (resume marking happens first).
+    pub fn mark_done_upfront(&mut self, cell: usize) {
+        assert_eq!(self.cells[cell].status, CellStatus::Pending, "cell {cell} already scheduled");
+        self.cells[cell].status = CellStatus::Done;
+        self.done += 1;
+    }
+
+    /// A worker greeted (first spawn or post-kill respawn). The slot
+    /// becomes dispatchable.
+    pub fn on_worker_ready(&mut self, worker: usize, now_ms: u64) {
+        let w = &mut self.workers[worker];
+        w.alive = true;
+        w.job = None;
+        w.last_beat_ms = now_ms;
+        w.health = WorkerHealth::Healthy;
+        w.kill_pending = false;
+    }
+
+    /// A heartbeat arrived. Fully rehabilitates a suspect worker: the
+    /// next silence window starts here.
+    pub fn on_heartbeat(&mut self, worker: usize, now_ms: u64) {
+        let w = &mut self.workers[worker];
+        if !w.alive {
+            return; // stale beat from a generation already killed
+        }
+        w.last_beat_ms = now_ms;
+        w.health = WorkerHealth::Healthy;
+    }
+
+    /// The worker finished its cell. Returns `true` if this `(worker,
+    /// job)` pairing was current — a stale `Done` from a superseded
+    /// attempt returns `false` and must not be recorded.
+    pub fn on_done(&mut self, worker: usize, cell: usize, now_ms: u64) -> bool {
+        let current = self.workers.get(worker).is_some_and(|w| w.alive && w.job == Some(cell))
+            && self.cells[cell].status == CellStatus::Running(worker);
+        if !current {
+            return false;
+        }
+        self.workers[worker].job = None;
+        self.workers[worker].last_beat_ms = now_ms;
+        self.cells[cell].status = CellStatus::Done;
+        self.done += 1;
+        true
+    }
+
+    /// The worker reported an in-process failure for its cell (it
+    /// survives and can take new work). The cell is debited an attempt.
+    pub fn on_failed(&mut self, worker: usize, cell: usize, detail: &str, now_ms: u64) {
+        let current = self.workers.get(worker).is_some_and(|w| w.alive && w.job == Some(cell))
+            && self.cells[cell].status == CellStatus::Running(worker);
+        if !current {
+            return;
+        }
+        self.workers[worker].job = None;
+        self.workers[worker].last_beat_ms = now_ms;
+        self.retry_or_quarantine(cell, detail, now_ms);
+    }
+
+    /// The worker process died (EOF on its pipe, or reaped). Any in-flight
+    /// cell is debited an attempt with `stderr_tail` as the evidence. The
+    /// slot is unusable until the shell respawns and the replacement
+    /// greets.
+    pub fn on_worker_dead(&mut self, worker: usize, stderr_tail: &str, now_ms: u64) {
+        let w = &mut self.workers[worker];
+        w.alive = false;
+        w.kill_pending = false;
+        if let Some(cell) = w.job.take() {
+            if self.cells[cell].status == CellStatus::Running(worker) {
+                self.retry_or_quarantine(cell, stderr_tail, now_ms);
+            }
+        }
+    }
+
+    fn retry_or_quarantine(&mut self, cell: usize, detail: &str, now_ms: u64) {
+        let c = &mut self.cells[cell];
+        c.attempts += 1;
+        c.last_error = detail.to_owned();
+        if c.attempts >= self.cfg.max_attempts {
+            c.status = CellStatus::Quarantined;
+            return;
+        }
+        // Decorrelated jitter: next = min(cap, uniform(base, prev * 3)),
+        // from a deterministic splitmix64 stream.
+        let base = self.cfg.backoff_base_ms;
+        let prev = c.prev_backoff_ms.max(base);
+        let span = (prev * 3).saturating_sub(base).max(1);
+        let delay = (base + splitmix64(&mut self.backoff_rng) % span).min(self.cfg.backoff_cap_ms);
+        c.prev_backoff_ms = delay;
+        c.eligible_at_ms = now_ms + delay;
+        c.status = CellStatus::Pending;
+    }
+
+    /// Advances liveness judgments to `now_ms` and dispatches eligible
+    /// pending cells onto idle workers. Call on every shell wakeup.
+    pub fn tick(&mut self, now_ms: u64) -> Vec<Action> {
+        let mut actions = Vec::new();
+        // Liveness first: a dead worker's cell re-enters the pending pool
+        // in this same tick only after its backoff.
+        for (i, w) in self.workers.iter_mut().enumerate() {
+            if !w.alive || w.kill_pending || w.job.is_none() {
+                continue;
+            }
+            let silent = now_ms.saturating_sub(w.last_beat_ms);
+            if silent >= self.cfg.hard_timeout_ms {
+                w.kill_pending = true;
+                actions.push(Action::KillWorker { worker: i });
+            } else if silent >= self.cfg.soft_timeout_ms && w.health == WorkerHealth::Healthy {
+                w.health = WorkerHealth::Suspect;
+                self.suspect_transitions += 1;
+            }
+        }
+        // Dispatch: lowest cell index first, onto the lowest idle worker.
+        for (wi, w) in self.workers.iter_mut().enumerate() {
+            if !w.alive || w.kill_pending || w.job.is_some() {
+                continue;
+            }
+            let next = self
+                .cells
+                .iter()
+                .position(|c| c.status == CellStatus::Pending && c.eligible_at_ms <= now_ms);
+            if let Some(ci) = next {
+                self.cells[ci].status = CellStatus::Running(wi);
+                w.job = Some(ci);
+                w.last_beat_ms = now_ms; // deadline restarts at dispatch
+                w.health = WorkerHealth::Healthy;
+                actions.push(Action::Dispatch {
+                    worker: wi,
+                    cell: ci,
+                    attempt: self.cells[ci].attempts,
+                });
+            }
+        }
+        actions
+    }
+
+    /// The earliest future instant at which [`Scheduler::tick`] could act
+    /// (a liveness deadline or a backoff expiry) — the shell sleeps until
+    /// then (or an event). `None` when nothing is pending or running.
+    pub fn next_deadline(&self, now_ms: u64) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        let mut fold = |t: u64| next = Some(next.map_or(t, |n: u64| n.min(t)));
+        for w in &self.workers {
+            if w.alive && !w.kill_pending && w.job.is_some() {
+                let silent = now_ms.saturating_sub(w.last_beat_ms);
+                if silent < self.cfg.hard_timeout_ms {
+                    fold(w.last_beat_ms + self.cfg.hard_timeout_ms);
+                } else {
+                    fold(now_ms); // already past due; tick immediately
+                }
+                if silent < self.cfg.soft_timeout_ms {
+                    fold(w.last_beat_ms + self.cfg.soft_timeout_ms);
+                }
+            }
+        }
+        for c in &self.cells {
+            if c.status == CellStatus::Pending && c.eligible_at_ms > now_ms {
+                fold(c.eligible_at_ms);
+            }
+        }
+        next
+    }
+
+    /// Whether every cell is done or quarantined.
+    pub fn is_complete(&self) -> bool {
+        self.cells.iter().all(|c| matches!(c.status, CellStatus::Done | CellStatus::Quarantined))
+    }
+
+    /// Cells finished so far.
+    pub fn done_count(&self) -> usize {
+        self.done
+    }
+
+    /// One cell's status.
+    pub fn cell_status(&self, cell: usize) -> &CellStatus {
+        &self.cells[cell].status
+    }
+
+    /// The quarantine report, in cell order. Empty means the sweep is
+    /// clean.
+    pub fn quarantined(&self) -> Vec<QuarantinedCell> {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.status == CellStatus::Quarantined)
+            .map(|(i, c)| QuarantinedCell {
+                cell: i,
+                attempts: c.attempts,
+                detail: c.last_error.clone(),
+            })
+            .collect()
+    }
+
+    /// How many healthy→suspect transitions liveness recorded (the
+    /// "slow worker" counter; killing requires the hard deadline).
+    pub fn suspect_transitions(&self) -> u64 {
+        self.suspect_transitions
+    }
+
+    /// Whether there is any live worker slot (greeted and not being
+    /// killed). When spawning fails everywhere the coordinator degrades
+    /// to in-process execution.
+    pub fn any_worker_alive(&self) -> bool {
+        self.workers.iter().any(|w| w.alive && !w.kill_pending)
+    }
+}
+
+/// SplitMix64 — the workspace's standard tiny deterministic stream.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SchedConfig {
+        SchedConfig {
+            soft_timeout_ms: 100,
+            hard_timeout_ms: 300,
+            max_attempts: 3,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 80,
+            backoff_seed: 42,
+        }
+    }
+
+    fn dispatches(actions: &[Action]) -> Vec<(usize, usize)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Dispatch { worker, cell, .. } => Some((*worker, *cell)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn kills(actions: &[Action]) -> Vec<usize> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::KillWorker { worker } => Some(*worker),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dispatches_cells_in_order_to_ready_workers() {
+        let mut s = Scheduler::new(3, 2, cfg());
+        assert!(s.tick(0).is_empty(), "no greeted workers yet");
+        s.on_worker_ready(0, 0);
+        s.on_worker_ready(1, 0);
+        let a = s.tick(0);
+        assert_eq!(dispatches(&a), vec![(0, 0), (1, 1)]);
+        assert!(s.tick(1).is_empty(), "both workers busy");
+        assert!(s.on_done(0, 0, 10));
+        let a = s.tick(10);
+        assert_eq!(dispatches(&a), vec![(0, 2)]);
+        assert!(s.on_done(1, 1, 20));
+        assert!(s.on_done(0, 2, 30));
+        assert!(s.is_complete());
+        assert!(s.quarantined().is_empty());
+    }
+
+    #[test]
+    fn silent_worker_becomes_suspect_then_dead() {
+        let mut s = Scheduler::new(1, 1, cfg());
+        s.on_worker_ready(0, 0);
+        s.tick(0);
+        // Before the soft deadline: healthy, nothing happens.
+        assert!(s.tick(99).is_empty());
+        assert_eq!(s.suspect_transitions(), 0);
+        // Past soft: suspect, counted, NOT killed.
+        assert!(s.tick(100).is_empty());
+        assert_eq!(s.suspect_transitions(), 1);
+        // Still suspect, still not killed, not double-counted.
+        assert!(s.tick(299).is_empty());
+        assert_eq!(s.suspect_transitions(), 1);
+        // Past hard: killed, exactly once.
+        assert_eq!(kills(&s.tick(300)), vec![0]);
+        assert!(s.tick(301).is_empty(), "kill is not re-issued while pending");
+    }
+
+    #[test]
+    fn heartbeat_rehabilitates_suspect_worker_hysteresis() {
+        // A slow worker that beats at 1.5× the soft deadline flaps
+        // suspect→healthy forever but is never killed: the hard deadline
+        // is measured from the latest heartbeat, not from suspicion.
+        let mut s = Scheduler::new(1, 1, cfg());
+        s.on_worker_ready(0, 0);
+        s.tick(0);
+        let mut now = 0;
+        for _ in 0..10 {
+            now += 150; // soft=100 < 150 < hard=300
+            assert!(s.tick(now).is_empty(), "no kill at t={now}");
+            s.on_heartbeat(0, now);
+        }
+        assert_eq!(s.suspect_transitions(), 10, "each lapse recorded");
+        // And the cell is still running — never re-queued.
+        assert_eq!(*s.cell_status(0), CellStatus::Running(0));
+    }
+
+    #[test]
+    fn dead_worker_requeues_cell_with_backoff() {
+        let mut s = Scheduler::new(1, 2, cfg());
+        s.on_worker_ready(0, 0);
+        s.on_worker_ready(1, 0);
+        s.tick(0);
+        assert_eq!(*s.cell_status(0), CellStatus::Running(0));
+        s.on_worker_dead(0, "killed by signal 9", 50);
+        assert_eq!(*s.cell_status(0), CellStatus::Pending);
+        // Worker 1 is idle but the cell is under backoff: nothing at t=50.
+        assert!(dispatches(&s.tick(50)).is_empty(), "backoff must delay the retry");
+        // Backoff is bounded by the cap; at t=50+cap it must dispatch —
+        // to worker 1 (worker 0's slot is dead until respawn+ready).
+        let a = s.tick(50 + 80);
+        assert_eq!(dispatches(&a), vec![(1, 0)]);
+        match &a[0] {
+            Action::Dispatch { attempt, .. } => assert_eq!(*attempt, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poison_cell_quarantines_after_max_attempts() {
+        let mut s = Scheduler::new(2, 1, cfg());
+        s.on_worker_ready(0, 0);
+        let mut now = 0;
+        for attempt in 0..3 {
+            let a = s.tick(now);
+            assert_eq!(dispatches(&a), vec![(0, 0)], "attempt {attempt}");
+            now += 10;
+            s.on_worker_dead(0, &format!("boom {attempt}"), now);
+            s.on_worker_ready(0, now); // shell respawns
+            now += 100; // past any backoff
+        }
+        assert_eq!(*s.cell_status(0), CellStatus::Quarantined);
+        let q = s.quarantined();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].cell, 0);
+        assert_eq!(q[0].attempts, 3);
+        assert_eq!(q[0].detail, "boom 2", "report carries the last stderr tail");
+        // The healthy cell still runs and completes; quarantine does not
+        // wedge the sweep.
+        let a = s.tick(now);
+        assert_eq!(dispatches(&a), vec![(0, 1)]);
+        assert!(s.on_done(0, 1, now + 5));
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn worker_reported_failure_debits_attempt_without_killing() {
+        let mut s = Scheduler::new(1, 1, cfg());
+        s.on_worker_ready(0, 0);
+        s.tick(0);
+        s.on_failed(0, 0, "durable write failed", 10);
+        assert_eq!(*s.cell_status(0), CellStatus::Pending);
+        assert!(s.any_worker_alive(), "an in-worker failure keeps the process");
+        // Retried on the same worker after backoff.
+        let a = s.tick(10 + 80);
+        assert_eq!(dispatches(&a), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn stale_done_from_superseded_attempt_is_ignored() {
+        let mut s = Scheduler::new(1, 2, cfg());
+        s.on_worker_ready(0, 0);
+        s.on_worker_ready(1, 0);
+        s.tick(0);
+        // Worker 0 goes silent past hard; its cell is re-dispatched to 1.
+        let a = s.tick(300);
+        assert_eq!(kills(&a), vec![0]);
+        s.on_worker_dead(0, "", 300);
+        let a = s.tick(300 + 80);
+        assert_eq!(dispatches(&a), vec![(1, 0)]);
+        // A Done from the dead slot must be ignored.
+        assert!(!s.on_done(0, 0, 400), "stale done accepted");
+        assert_eq!(*s.cell_status(0), CellStatus::Running(1));
+        // The live attempt's Done still lands.
+        assert!(s.on_done(1, 0, 410));
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let delays: Vec<u64> = {
+            let mut s = Scheduler::new(1, 1, cfg());
+            s.on_worker_ready(0, 0);
+            let mut out = Vec::new();
+            let mut now = 0;
+            for _ in 0..2 {
+                s.tick(now);
+                s.on_worker_dead(0, "x", now);
+                out.push(s.cells[0].eligible_at_ms - now);
+                s.on_worker_ready(0, now);
+                now += 1000;
+            }
+            out
+        };
+        let again: Vec<u64> = {
+            let mut s = Scheduler::new(1, 1, cfg());
+            s.on_worker_ready(0, 0);
+            let mut out = Vec::new();
+            let mut now = 0;
+            for _ in 0..2 {
+                s.tick(now);
+                s.on_worker_dead(0, "x", now);
+                out.push(s.cells[0].eligible_at_ms - now);
+                s.on_worker_ready(0, now);
+                now += 1000;
+            }
+            out
+        };
+        assert_eq!(delays, again, "same seed, same jitter");
+        for d in delays {
+            assert!((10..=80).contains(&d), "delay {d} outside [base, cap]");
+        }
+    }
+
+    #[test]
+    fn next_deadline_tracks_heartbeats_and_backoff() {
+        let mut s = Scheduler::new(2, 1, cfg());
+        assert_eq!(s.next_deadline(0), None, "nothing running, nothing pending-delayed");
+        s.on_worker_ready(0, 0);
+        s.tick(0);
+        // Running worker: next interesting instant is the soft deadline.
+        assert_eq!(s.next_deadline(0), Some(100));
+        s.on_heartbeat(0, 40);
+        assert_eq!(s.next_deadline(41), Some(140));
+        // Past soft, the hard deadline is what remains.
+        assert_eq!(s.next_deadline(150), Some(340));
+        // A backoff-delayed pending cell contributes its expiry.
+        s.on_worker_dead(0, "x", 150);
+        let eligible = s.cells[0].eligible_at_ms;
+        assert_eq!(s.next_deadline(150), Some(eligible));
+    }
+
+    #[test]
+    fn resume_marking_skips_cells() {
+        let mut s = Scheduler::new(3, 1, cfg());
+        s.mark_done_upfront(1);
+        s.on_worker_ready(0, 0);
+        assert_eq!(dispatches(&s.tick(0)), vec![(0, 0)]);
+        assert!(s.on_done(0, 0, 1));
+        assert_eq!(dispatches(&s.tick(1)), vec![(0, 2)]);
+        assert!(s.on_done(0, 2, 2));
+        assert!(s.is_complete());
+        assert_eq!(s.done_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "hard timeout")]
+    fn inverted_timeouts_rejected() {
+        let mut c = cfg();
+        c.hard_timeout_ms = c.soft_timeout_ms;
+        Scheduler::new(1, 1, c);
+    }
+}

@@ -11,7 +11,8 @@
 //! * [`sb_demand`] — requests and workload generation;
 //! * [`sb_cear`] — the CEAR algorithm, baselines and offline references;
 //! * [`sb_sim`] — scenarios, the simulation engine, metrics and traces;
-//! * [`sb_serve`] — the fault-tolerant online admission service.
+//! * [`sb_serve`] — the fault-tolerant online admission service;
+//! * [`sb_fleet`] — fault-tolerant multi-process sweep orchestration.
 //!
 //! See the README for a guided tour and `DESIGN.md`/`EXPERIMENTS.md` for
 //! the reproduction methodology.
@@ -21,6 +22,7 @@
 pub use sb_cear;
 pub use sb_demand;
 pub use sb_energy;
+pub use sb_fleet;
 pub use sb_geo;
 pub use sb_orbit;
 pub use sb_serve;
