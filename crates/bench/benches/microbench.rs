@@ -151,6 +151,74 @@ fn bench_search_arena(c: &mut Criterion) {
     });
 }
 
+fn bench_search_kernels(c: &mut Criterion) {
+    // The three bit-identical search kernels on one 256-sat snapshot:
+    // plain Dijkstra, goal-directed A\* under the hop-bound heuristic, and
+    // a `path_via_tree` read of a pre-settled tree (the SPT-cache hit
+    // path). Weight ≥ 1 per edge, so BFS hop counts × 0.999 are an
+    // admissible, consistent heuristic.
+    use sb_cear::search::{
+        min_cost_path_in, min_cost_path_with, path_via_tree, settle_tree_in, HopBoundHeuristic,
+    };
+    let (state, src, dst) = network();
+    let snap = state.series().snapshot(SlotIndex(0));
+    let weight = |ctx: &sb_cear::search::EdgeContext<'_>| Some(1.0 + ctx.edge.length_m * 1e-9);
+    let mut scratch = sb_cear::SearchScratch::new();
+    c.bench_function("search_kernel_dijkstra_256sats", |b| {
+        b.iter(|| min_cost_path_in(&mut scratch, snap, src, dst, weight))
+    });
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); snap.num_nodes()];
+    for edge in snap.edges() {
+        adj[edge.src.index()].push(edge.dst.index());
+        adj[edge.dst.index()].push(edge.src.index());
+    }
+    let mut hops = vec![u32::MAX; snap.num_nodes()];
+    let mut queue = std::collections::VecDeque::from([dst.index()]);
+    hops[dst.index()] = 0;
+    while let Some(u) = queue.pop_front() {
+        for &v in &adj[u] {
+            if hops[v] == u32::MAX {
+                hops[v] = hops[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    hops.iter_mut().for_each(|h| {
+        if *h == u32::MAX {
+            *h = 0;
+        }
+    });
+    let heuristic = HopBoundHeuristic { hops_lb: &hops, unit: 0.999 };
+    c.bench_function("search_kernel_astar_256sats", |b| {
+        b.iter(|| min_cost_path_with(&mut scratch, snap, src, dst, &heuristic, weight))
+    });
+    let tree = settle_tree_in(&mut scratch, snap, src, weight);
+    c.bench_function("search_kernel_tree_read_256sats", |b| {
+        b.iter(|| path_via_tree(&tree, snap, src, dst, weight))
+    });
+}
+
+fn bench_quote_search_kinds(c: &mut Criterion) {
+    // A full 5-slot CEAR quote under each search kernel — what the
+    // `--search` flag changes end to end (results are bit-identical).
+    let (state, src, dst) = network();
+    let request = Request {
+        id: RequestId(0),
+        source: src,
+        destination: dst,
+        rate: RateProfile::Constant(1250.0),
+        start: SlotIndex(0),
+        end: SlotIndex(4),
+        valuation: 2.3e9,
+    };
+    let reference = Cear::new(CearParams::default()).with_search(sb_cear::SearchKind::Reference);
+    c.bench_function("quote_5slot_search_reference", |b| {
+        b.iter(|| reference.quote(&request, &state))
+    });
+    let astar = Cear::new(CearParams::default());
+    c.bench_function("quote_5slot_search_astar", |b| b.iter(|| astar.quote(&request, &state)));
+}
+
 fn bench_price_cache(c: &mut Criterion) {
     use sb_cear::pricing;
     let (state, _, _) = network();
@@ -238,6 +306,7 @@ criterion_group! {
     targets = bench_snapshot_build, bench_series_build, bench_cear_decision, bench_energy_recursion,
               bench_tiny_end_to_end, bench_ground_grid, bench_tle_parse,
               bench_coverage, bench_failure_injection, bench_search_arena,
+              bench_search_kernels, bench_quote_search_kinds,
               bench_price_cache, bench_single_slot_admission, bench_parallel_quote
 }
 criterion_main!(benches);

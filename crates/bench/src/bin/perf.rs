@@ -24,14 +24,29 @@
 //! the sweep grid against the shared [`sb_sim::PreparedCache`] to report
 //! its hit/miss tally.
 //!
+//! The search section compares the admission kernels three ways: raw
+//! per-slot search (Dijkstra vs goal-directed A\* vs a cached settled-tree
+//! read), full CEAR quotes under each kernel (asserted bit-identical, with
+//! per-kernel [`sb_cear::SearchStats`] work counters), and the SPT cache
+//! tallies both for the quote loop and across one serial pass of the
+//! sweep grid. The scaling section reruns the sweep grid at fixed worker
+//! counts (1, 2, 4, 8, 16) against pre-built networks, reporting cells/s
+//! per point and flagging points that oversubscribe the host.
+//!
 //! The report carries the host's available parallelism alongside `--jobs`,
 //! `--quote-threads` and `--build-threads`, so a disappointing speedup
 //! measured on a 1-core container is machine-readably distinguishable from
 //! a real regression.
 
 use sb_bench::{parse_args, run_cells};
-use sb_cear::search::{min_cost_path, min_cost_path_in};
-use sb_cear::{pricing, Cear, CearParams, NetworkState, PriceCache, SearchScratch};
+use sb_cear::search::{
+    min_cost_path, min_cost_path_in, min_cost_path_with, path_via_tree, settle_tree_in,
+    EdgeContext, HopBoundHeuristic,
+};
+use sb_cear::{
+    global_spt_stats, pricing, reset_global_spt_stats, Cear, CearParams, NetworkState, PriceCache,
+    SearchKind, SearchScratch,
+};
 use sb_demand::{RateProfile, Request, RequestId};
 use sb_energy::EnergyParams;
 use sb_geo::coords::Geodetic;
@@ -70,9 +85,14 @@ fn main() {
         engine::run_prepared(&scenario, &prepared, &requests, kind, *seed)
     };
     eprintln!("sweep: {} cells, serial pass…", cells.len());
+    reset_global_spt_stats();
     let t = Instant::now();
     let serial = run_cells(1, &cells, run);
     let serial_s = t.elapsed().as_secs_f64();
+    // One clean pass of the fig6-style grid through the default A*+SPT
+    // kernel: the process-wide tallies tell us how often the admission
+    // searches reused a cached tree across the whole sweep.
+    let sweep_spt = global_spt_stats();
     eprintln!("sweep: parallel pass with {} workers…", opts.jobs);
     let t = Instant::now();
     let parallel = run_cells(opts.jobs, &cells, run);
@@ -84,6 +104,41 @@ fn main() {
     assert!(deterministic, "parallel sweep diverged from the serial run");
     let speedup = serial_s / parallel_s;
     eprintln!("sweep: serial {serial_s:.2}s, parallel {parallel_s:.2}s, speedup {speedup:.2}x");
+
+    // ---- Scaling: the same grid at fixed worker counts -----------------
+    // Prepared networks are warmed through the shared cache first, so the
+    // curve measures admission throughput, not repeated topology builds.
+    // Points beyond the host's parallelism are still measured (and
+    // flagged): an honest curve shows where oversubscription flattens it.
+    let host = sb_bench::default_jobs();
+    let scale_cache = PreparedCache::new(opts.build_threads);
+    for seed in 0..opts.seeds {
+        black_box(scale_cache.get(&scenario, seed));
+    }
+    let scale_run = |_: usize, c: &(AlgorithmKind, u64)| {
+        let (kind, seed) = c;
+        let prepared = scale_cache.get(&scenario, *seed);
+        let requests = engine::workload(&scenario, &prepared, *seed);
+        engine::run_prepared(&scenario, &prepared, &requests, kind, *seed)
+    };
+    let mut scaling: Vec<(usize, f64, f64, bool)> = Vec::new();
+    for jobs in [1usize, 2, 4, 8, 16] {
+        let t = Instant::now();
+        let metrics = run_cells(jobs, &cells, scale_run);
+        let wall_s = t.elapsed().as_secs_f64();
+        let same = metrics
+            .iter()
+            .zip(&serial)
+            .all(|(a, b)| a.social_welfare_ratio.to_bits() == b.social_welfare_ratio.to_bits());
+        assert!(same, "scaling sweep with {jobs} workers diverged from the serial run");
+        let cells_per_s = cells.len() as f64 / wall_s;
+        let overcommitted = jobs > host;
+        eprintln!(
+            "scaling: {jobs} jobs → {wall_s:.2}s, {cells_per_s:.2} cells/s{}",
+            if overcommitted { " [overcommitted]" } else { "" }
+        );
+        scaling.push((jobs, wall_s, cells_per_s, overcommitted));
+    }
 
     // ---- Quote: serial vs speculative slot-parallel admission ----------
     // A 12-slot horizon gives the quote 12 per-slot searches to fan out;
@@ -152,6 +207,88 @@ fn main() {
         quote_stats.hit_rate()
     );
 
+    // ---- Quote: reference Dijkstra vs goal-directed A* + SPT -----------
+    // Same request stream, same state, serial quoting — only the search
+    // kernel differs. The quotes must agree bit for bit; the timing and
+    // the per-kernel search counters quantify what goal direction and
+    // tree reuse buy inside a real admission.
+    let reference_cear = Cear::new(params).with_search(SearchKind::Reference);
+    let t = Instant::now();
+    let mut reference_quotes = Vec::new();
+    for _ in 0..quote_passes {
+        reference_quotes.clear();
+        for r in &quote_requests {
+            reference_quotes.push(black_box(reference_cear.quote(r, &qstate)));
+        }
+    }
+    let quote_reference_us =
+        t.elapsed().as_secs_f64() * 1e6 / (quote_passes as usize * quote_requests.len()) as f64;
+    let astar_cear = Cear::new(params);
+    let t = Instant::now();
+    let mut astar_quotes = Vec::new();
+    for _ in 0..quote_passes {
+        astar_quotes.clear();
+        for r in &quote_requests {
+            astar_quotes.push(black_box(astar_cear.quote(r, &qstate)));
+        }
+    }
+    let quote_astar_us =
+        t.elapsed().as_secs_f64() * 1e6 / (quote_passes as usize * quote_requests.len()) as f64;
+    let kernels_agree = reference_quotes.iter().zip(&astar_quotes).all(|(a, b)| match (a, b) {
+        (Ok((pa, qa)), Ok((pb, qb))) => pa == pb && qa.to_bits() == qb.to_bits(),
+        (a, b) => a == b,
+    });
+    assert!(kernels_agree, "A* quote diverged from the reference kernel");
+    let reference_search = reference_cear.quote_stats().search;
+    let astar_all = astar_cear.quote_stats();
+    let (astar_search, astar_spt) = (astar_all.search, astar_all.spt);
+    let quote_search_speedup = quote_reference_us / quote_astar_us;
+    eprintln!(
+        "search quote: reference {quote_reference_us:.1}µs, astar {quote_astar_us:.1}µs, \
+         speedup {quote_search_speedup:.2}x, spt hit rate {:.3}",
+        astar_spt.hit_rate()
+    );
+
+    // Re-quoting one request against an unchanged state (the online
+    // service's conflict-retry pattern) is where the SPT cache engages:
+    // the interleaved rates above keep it at the promotion gate, but a
+    // repeated identical quote promotes after two sightings and every
+    // later per-slot search is a cached tree read.
+    let repeat_request = mk_request(999, 21.0);
+    let repeats = 64u32;
+    let repeat_reference = Cear::new(params).with_search(SearchKind::Reference);
+    let repeat_astar = Cear::new(params);
+    for cear in [&repeat_reference, &repeat_astar] {
+        for _ in 0..2 {
+            let _ = black_box(cear.quote(&repeat_request, &qstate));
+        }
+    }
+    let t = Instant::now();
+    for _ in 0..repeats {
+        let _ = black_box(repeat_reference.quote(&repeat_request, &qstate));
+    }
+    let repeat_reference_us = t.elapsed().as_secs_f64() * 1e6 / repeats as f64;
+    let t = Instant::now();
+    for _ in 0..repeats {
+        let _ = black_box(repeat_astar.quote(&repeat_request, &qstate));
+    }
+    let repeat_astar_us = t.elapsed().as_secs_f64() * 1e6 / repeats as f64;
+    let repeat_agree = match (
+        repeat_reference.quote(&repeat_request, &qstate),
+        repeat_astar.quote(&repeat_request, &qstate),
+    ) {
+        (Ok((pa, qa)), Ok((pb, qb))) => pa == pb && qa.to_bits() == qb.to_bits(),
+        (a, b) => a == b,
+    };
+    assert!(repeat_agree, "cached-tree repeat quote diverged from the reference kernel");
+    let repeat_spt = repeat_astar.quote_stats().spt;
+    let repeat_speedup = repeat_reference_us / repeat_astar_us;
+    eprintln!(
+        "search repeat quote: reference {repeat_reference_us:.1}µs, astar+spt \
+         {repeat_astar_us:.1}µs, speedup {repeat_speedup:.2}x, spt hit rate {:.3}",
+        repeat_spt.hit_rate()
+    );
+
     // ---- Micro: per-slot search, fresh allocation vs reused arena ------
     let (state, src, dst) = micro_network(4);
     let snap = state.series().snapshot(SlotIndex(0));
@@ -170,6 +307,59 @@ fn main() {
     }
     let scratch_us = t.elapsed().as_secs_f64() * 1e6 / iters as f64;
     eprintln!("search: fresh {fresh_us:.1}µs, arena {scratch_us:.1}µs");
+
+    // ---- Micro: search kernels — Dijkstra vs A* vs settled tree --------
+    // An undirected BFS from the destination yields an admissible hop
+    // lower bound for this raw-kernel comparison (the engine derives its
+    // bounds from geometry; any valid bound drives the same machinery).
+    // Every edge below costs at least 1.0, so 0.999 underestimates any
+    // single hop.
+    let weight = |ctx: &EdgeContext<'_>| Some(1.0 + ctx.edge.length_m * 1e-9);
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); snap.num_nodes()];
+    for edge in snap.edges() {
+        adj[edge.src.index()].push(edge.dst.0);
+        adj[edge.dst.index()].push(edge.src.0);
+    }
+    let mut hops_lb = vec![u32::MAX; snap.num_nodes()];
+    hops_lb[dst.index()] = 0;
+    let mut frontier = std::collections::VecDeque::from([dst.0]);
+    while let Some(n) = frontier.pop_front() {
+        let d = hops_lb[n as usize];
+        for &m in &adj[n as usize] {
+            if hops_lb[m as usize] == u32::MAX {
+                hops_lb[m as usize] = d + 1;
+                frontier.push_back(m);
+            }
+        }
+    }
+    for h in &mut hops_lb {
+        if *h == u32::MAX {
+            *h = 0; // unreachable: no useful bound, 0 stays admissible
+        }
+    }
+    let heuristic = HopBoundHeuristic { hops_lb: &hops_lb, unit: 0.999 };
+    let t = Instant::now();
+    for _ in 0..iters {
+        black_box(min_cost_path_with(&mut scratch, snap, src, dst, &heuristic, weight));
+    }
+    let astar_kernel_us = t.elapsed().as_secs_f64() * 1e6 / iters as f64;
+    let tree = settle_tree_in(&mut scratch, snap, src, weight);
+    let t = Instant::now();
+    for _ in 0..iters {
+        black_box(path_via_tree(&tree, snap, src, dst, weight));
+    }
+    let tree_kernel_us = t.elapsed().as_secs_f64() * 1e6 / iters as f64;
+    let reference_found = min_cost_path_in(&mut scratch, snap, src, dst, weight);
+    let astar_found = min_cost_path_with(&mut scratch, snap, src, dst, &heuristic, weight);
+    let tree_found = path_via_tree(&tree, snap, src, dst, weight);
+    assert!(
+        reference_found == astar_found && astar_found == tree_found,
+        "search kernels disagree on the micro network"
+    );
+    eprintln!(
+        "search kernels: dijkstra {scratch_us:.1}µs, astar {astar_kernel_us:.1}µs, \
+         tree read {tree_kernel_us:.1}µs"
+    );
 
     // ---- Micro: exponential unit price, powf vs cached -----------------
     let slot = SlotIndex(0);
@@ -248,6 +438,58 @@ fn main() {
     );
 
     // ---- Report --------------------------------------------------------
+    let scaling_points = scaling
+        .iter()
+        .map(|(jobs, wall_s, cells_per_s, overcommitted)| {
+            format!(
+                "{{ \"jobs\": {jobs}, \"wall_s\": {wall_s:.4}, \"cells_per_s\": \
+                 {cells_per_s:.4}, \"overcommitted\": {overcommitted} }}"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n      ");
+    let scaling_json = format!(
+        "{{\n    \"host_parallelism\": {host},\n    \"points\": [\n      \
+         {scaling_points}\n    ]\n  }}"
+    );
+    let stats_json = |s: &sb_cear::SearchStats| {
+        format!(
+            "{{ \"pops\": {}, \"stale_skips\": {}, \"relaxations\": {}, \
+             \"heuristic_prunes\": {} }}",
+            s.pops, s.stale_skips, s.relaxations, s.heuristic_prunes
+        )
+    };
+    let spt_json = |s: &sb_cear::SptStats| {
+        format!(
+            "{{ \"hits\": {}, \"misses\": {}, \"deferred\": {}, \"hit_rate\": {:.4} }}",
+            s.hits,
+            s.misses,
+            s.deferred,
+            s.hit_rate()
+        )
+    };
+    let search_json = format!(
+        "{{\n    \"kernel_dijkstra_us\": {scratch_us:.3},\n    \
+         \"kernel_astar_us\": {astar_kernel_us:.3},\n    \
+         \"kernel_tree_us\": {tree_kernel_us:.3},\n    \
+         \"kernel_astar_speedup\": {:.4},\n    \"kernel_tree_speedup\": {:.4},\n    \
+         \"quote_reference_us\": {quote_reference_us:.3},\n    \
+         \"quote_astar_us\": {quote_astar_us:.3},\n    \
+         \"quote_speedup\": {quote_search_speedup:.4},\n    \
+         \"repeat_quote_reference_us\": {repeat_reference_us:.3},\n    \
+         \"repeat_quote_astar_us\": {repeat_astar_us:.3},\n    \
+         \"repeat_quote_speedup\": {repeat_speedup:.4},\n    \
+         \"deterministic\": {kernels_agree},\n    \"reference_stats\": {},\n    \
+         \"astar_stats\": {},\n    \"spt\": {},\n    \"repeat_spt\": {},\n    \
+         \"sweep_spt\": {}\n  }}",
+        scratch_us / astar_kernel_us,
+        scratch_us / tree_kernel_us,
+        stats_json(&reference_search),
+        stats_json(&astar_search),
+        spt_json(&astar_spt),
+        spt_json(&repeat_spt),
+        spt_json(&sweep_spt),
+    );
     let json = format!(
         "{{\n  \"scale\": \"{}\",\n  \"seeds\": {},\n  \"host\": {{\n    \
          \"available_parallelism\": {},\n    \"jobs\": {},\n    \
@@ -267,7 +509,8 @@ fn main() {
          \"hit_rate\": {:.4}\n    }}\n  }},\n  \"micro\": {{\n    \
          \"search_fresh_us\": {:.3},\n    \"search_arena_us\": {:.3},\n    \
          \"search_speedup\": {:.4},\n    \"unit_price_powf_ns\": {:.3},\n    \
-         \"unit_price_cached_ns\": {:.3},\n    \"pricing_speedup\": {:.4}\n  }}\n}}\n",
+         \"unit_price_cached_ns\": {:.3},\n    \"pricing_speedup\": {:.4}\n  }},\n  \
+         \"search\": {},\n  \"scaling\": {}\n}}\n",
         scenario.name,
         opts.seeds,
         sb_bench::default_jobs(),
@@ -307,6 +550,8 @@ fn main() {
         powf_ns,
         cached_ns,
         powf_ns / cached_ns,
+        search_json,
+        scaling_json,
     );
     let path = opts.out_dir.join("BENCH_perf.json");
     if let Some(parent) = path.parent() {

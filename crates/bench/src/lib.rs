@@ -10,7 +10,9 @@ pub use sb_fleet::SweepCell;
 
 use sb_fleet::ChaosPlan;
 use sb_sim::engine::{self, AlgorithmKind, ExecOptions, PreparedNetwork};
-use sb_sim::{DurabilityOptions, PreparedCache, RunMetrics, RunOutcome, ScenarioConfig};
+use sb_sim::{
+    DurabilityOptions, PreparedCache, RunMetrics, RunOutcome, ScenarioConfig, SearchKind,
+};
 
 /// Command-line options shared by every figure binary.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +52,11 @@ pub struct FigureOptions {
     /// [`sb_fleet::ChaosPlan`] for the grammar). Ignored without
     /// `--fleet`.
     pub chaos: Option<ChaosPlan>,
+    /// Shortest-path kernel inside every admission
+    /// (`--search {reference,astar}`; default astar). Both kernels quote
+    /// bit-identical paths, so CSVs never change with it — the flag exists
+    /// so CI can prove exactly that by diffing the outputs.
+    pub search: SearchKind,
 }
 
 impl Default for FigureOptions {
@@ -65,6 +72,7 @@ impl Default for FigureOptions {
             build_threads: default_jobs(),
             fleet: None,
             chaos: None,
+            search: SearchKind::default(),
         }
     }
 }
@@ -77,17 +85,19 @@ pub fn default_jobs() -> usize {
 
 /// Parses `--scale {paper,fast,tiny}`, `--seeds N`, `--out DIR`,
 /// `--checkpoint-every N`, `--resume DIR`, `--jobs N`,
-/// `--quote-threads N` and `--build-threads N` from an argument iterator.
+/// `--quote-threads N`, `--build-threads N` and
+/// `--search {reference,astar}` from an argument iterator.
 ///
 /// `--scale paper` defaults the seed count to the paper's 5, but an
 /// explicit `--seeds N` wins regardless of argument order.
 ///
 /// # Panics
 ///
-/// Panics with a usage message on unknown arguments, and rejects `0` for
+/// Panics with a usage message on unknown arguments, rejects `0` for
 /// `--jobs`/`--quote-threads`/`--build-threads` instead of silently
 /// flooring it — these are experiment drivers, not long-lived services,
-/// and a zero thread count is a typo worth surfacing.
+/// and a zero thread count is a typo worth surfacing — and rejects an
+/// unknown `--search` kind instead of defaulting it.
 pub fn parse_args(args: impl Iterator<Item = String>) -> FigureOptions {
     let mut opts = FigureOptions::default();
     let mut seeds_given = false;
@@ -148,9 +158,13 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> FigureOptions {
                 opts.chaos =
                     Some(ChaosPlan::parse(&spec).unwrap_or_else(|e| panic!("--chaos: {e}")));
             }
+            "--search" => {
+                let v = args.next().expect("--search needs a value (reference|astar)");
+                opts.search = v.parse().unwrap_or_else(|e| panic!("--search: {e}"));
+            }
             other => panic!(
                 "unknown argument `{other}` (use --scale/--seeds/--out/--checkpoint-every\
-                 /--resume/--jobs/--quote-threads/--build-threads/--fleet/--chaos)"
+                 /--resume/--jobs/--quote-threads/--build-threads/--fleet/--chaos/--search)"
             ),
         }
     }
@@ -214,7 +228,7 @@ pub fn run_cell(
     seed: u64,
     cell: &str,
 ) -> RunMetrics {
-    let exec = ExecOptions { quote_threads: opts.quote_threads };
+    let exec = ExecOptions { quote_threads: opts.quote_threads, search: opts.search };
     if opts.checkpoint_every.is_none() && opts.resume_from.is_none() {
         return engine::run_prepared_exec(scenario, prepared, requests, kind, seed, &exec);
     }
@@ -320,6 +334,7 @@ pub fn run_sweep(
     let mut fleet_opts = sb_fleet::FleetOptions::new(workers, opts.out_dir.join("fleet"));
     fleet_opts.quote_threads = opts.quote_threads;
     fleet_opts.build_threads = opts.build_threads;
+    fleet_opts.search = opts.search;
     if let Some(plan) = &opts.chaos {
         fleet_opts.chaos = plan.clone();
     }
@@ -447,6 +462,19 @@ mod tests {
     #[should_panic(expected = "--build-threads must be >= 1")]
     fn zero_build_threads_is_rejected_not_floored() {
         parse(&["--build-threads", "0"]);
+    }
+
+    #[test]
+    fn search_flag_parses_and_defaults_to_astar() {
+        assert_eq!(parse(&["--search", "reference"]).search, SearchKind::Reference);
+        assert_eq!(parse(&["--search", "astar"]).search, SearchKind::Astar);
+        assert_eq!(parse(&[]).search, SearchKind::Astar);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown search kind")]
+    fn bogus_search_is_rejected_not_defaulted() {
+        parse(&["--search", "dijkstra"]);
     }
 
     #[test]

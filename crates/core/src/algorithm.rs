@@ -5,7 +5,14 @@ use crate::parquote::{EnergyPriceCache, EnergyProbe, QuoteStats, QuoteWorker};
 use crate::plan::{ReservationPlan, SlotPath};
 use crate::pricecache::PriceCache;
 use crate::pricing;
-use crate::search::{min_cost_path_in, FoundPath, SearchScratch};
+use crate::search::{
+    min_cost_path_in, min_cost_path_with, path_via_tree, settle_tree_in, EdgeContext, FoundPath,
+    HopBoundHeuristic, SearchScratch,
+};
+use crate::sptcache::{
+    model_key, spt_cache_disabled, GeomCache, MinUnitPriceCache, SearchKind, SptCache,
+    StrictLookup, UNIT_SLACK,
+};
 use crate::state::{EpochReadSet, NetworkState};
 use sb_demand::Request;
 use sb_energy::{LedgerOverlay, SatelliteRole};
@@ -111,6 +118,11 @@ pub struct Cear {
     /// Worker threads for the speculative slot-parallel quote path
     /// (see [`crate::parquote`]); `1` quotes serially.
     pub(crate) quote_threads: usize,
+    /// Which search kernel the per-slot searches run — the reference
+    /// Dijkstra or goal-directed A\* with SPT caching. Bit-identical
+    /// results either way (see [`crate::sptcache`]), so, like
+    /// `quote_threads`, it must never enter run digests.
+    pub(crate) search: SearchKind,
 }
 
 /// The per-instance acceleration state behind [`Cear`]'s quote path.
@@ -127,6 +139,12 @@ pub(crate) struct CearHot {
     pub(crate) workers: Vec<QuoteWorker>,
     /// Lifetime speculation counters — see [`Cear::quote_stats`].
     pub(crate) stats: QuoteStats,
+    /// Hop-bound geometry for the A\* heuristic.
+    pub(crate) geom: GeomCache,
+    /// Per-slot minimum link unit price (the heuristic's price floor).
+    pub(crate) hmin: MinUnitPriceCache,
+    /// Strict (generation-exact) shortest-path-tree cache.
+    pub(crate) spt: SptCache,
 }
 
 impl CearHot {
@@ -185,7 +203,20 @@ impl Cear {
             hot: RefCell::new(CearHot::default()),
             use_caches: true,
             quote_threads: 1,
+            search: SearchKind::default(),
         }
+    }
+
+    /// Selects the search kernel. Purely an execution knob — quotes are
+    /// **bit-identical** for either kind (see [`crate::sptcache`]).
+    pub fn with_search(mut self, search: SearchKind) -> Self {
+        self.search = search;
+        self
+    }
+
+    /// The configured search kernel.
+    pub fn search_kind(&self) -> SearchKind {
+        self.search
     }
 
     /// Sets the number of worker threads for the speculative slot-parallel
@@ -204,10 +235,20 @@ impl Cear {
         self.quote_threads
     }
 
-    /// Speculation counters accumulated by this instance's quotes — hit
-    /// rate reporting for the perf harness.
+    /// Speculation, search-work and SPT-cache counters accumulated by this
+    /// instance's quotes — hit-rate reporting for the perf harness. Search
+    /// and SPT counters are summed over the serial path and every
+    /// speculative worker.
     pub fn quote_stats(&self) -> QuoteStats {
-        self.hot.borrow().stats
+        let hot = self.hot.borrow();
+        let mut stats = hot.stats;
+        stats.search.merge(&hot.scratch.stats());
+        stats.spt.merge(&hot.spt.stats);
+        for worker in &hot.workers {
+            stats.search.merge(&worker.scratch.stats());
+            stats.spt.merge(&worker.spt.stats);
+        }
+        stats
     }
 
     /// Creates an ablated CEAR variant (for the ablation benches).
@@ -222,7 +263,7 @@ impl Cear {
     /// (and anyone suspicious of a cache) can prove decisions and prices
     /// are bit-identical to the accelerated path.
     pub fn reference(params: CearParams) -> Self {
-        Cear { use_caches: false, ..Cear::new(params) }
+        Cear { use_caches: false, search: SearchKind::Reference, ..Cear::new(params) }
     }
 
     /// The pricing parameters in use.
@@ -284,8 +325,16 @@ impl Cear {
                 return self.quote_speculative(request, state, known, hot);
             }
             hot.stats.serial_quotes += 1;
-            let CearHot { scratch, prices, energy, .. } = hot;
-            self.quote_serial(request, state, known, scratch, prices.as_mut(), energy)
+            let CearHot { scratch, prices, energy, geom, hmin, spt, .. } = hot;
+            self.quote_serial(
+                request,
+                state,
+                known,
+                scratch,
+                prices.as_mut(),
+                energy,
+                Some(SearchAccel { geom, hmin, spt }),
+            )
         } else {
             self.quote_serial(
                 request,
@@ -294,6 +343,7 @@ impl Cear {
                 &mut SearchScratch::new(),
                 None,
                 &mut EnergyPriceCache::new(),
+                None,
             )
         }
     }
@@ -303,6 +353,7 @@ impl Cear {
     /// throwaways, and `prices` is `Some` exactly when memoized pricing is
     /// on. All branches evaluate the same arithmetic in the same order, so
     /// the result is bit-identical every way.
+    #[allow(clippy::too_many_arguments)] // mirrors search_slot's acceleration-state plumbing
     pub(crate) fn quote_serial(
         &self,
         request: &Request,
@@ -311,8 +362,9 @@ impl Cear {
         scratch: &mut SearchScratch,
         prices: Option<&mut PriceCache>,
         energy: &mut EnergyPriceCache,
+        accel: Option<SearchAccel<'_>>,
     ) -> Result<(ReservationPlan, f64), RejectReason> {
-        self.quote_serial_recording(request, state, known, scratch, prices, energy, None)
+        self.quote_serial_recording(request, state, known, scratch, prices, energy, accel, None)
     }
 
     /// [`Cear::quote_serial`] with an optional epoch read-set collector:
@@ -328,6 +380,7 @@ impl Cear {
         scratch: &mut SearchScratch,
         mut prices: Option<&mut PriceCache>,
         energy: &mut EnergyPriceCache,
+        mut accel: Option<SearchAccel<'_>>,
         mut reads: Option<&mut EpochReadSet>,
     ) -> Result<(ReservationPlan, f64), RejectReason> {
         // Algorithm 1 line 5: the min-price plan, one path per active slot.
@@ -354,6 +407,8 @@ impl Cear {
                 energy,
                 None,
                 reads.as_deref_mut(),
+                self.search,
+                accel.as_mut(),
             )
             .ok_or(RejectReason::NoFeasiblePath)?;
             fold_slot(request, state, slot, found, &mut tx, &mut slot_paths, &mut total_cost)?;
@@ -385,6 +440,9 @@ impl Cear {
             }
             hot.stats.serial_quotes += 1;
             let CearHot { scratch, prices, energy, .. } = hot;
+            // No acceleration state: a recorded read set is defined over
+            // the reference expansion order (search_slot also forces the
+            // reference kernel whenever `reads` is `Some`).
             self.quote_serial_recording(
                 request,
                 state,
@@ -392,6 +450,7 @@ impl Cear {
                 scratch,
                 prices.as_mut(),
                 energy,
+                None,
                 Some(&mut reads),
             )
         } else {
@@ -402,12 +461,29 @@ impl Cear {
                 &mut SearchScratch::new(),
                 None,
                 &mut EnergyPriceCache::new(),
+                None,
                 Some(&mut reads),
             )
         };
         reads.normalize();
         (result, reads)
     }
+}
+
+/// The goal-direction and SPT acceleration state a [`search_slot`] call
+/// may borrow: hop-bound geometry and price floor for the A\* heuristic,
+/// and the strict shortest-path-tree cache. `Some` on the cached quote
+/// paths, `None` on the reference path.
+pub(crate) struct SearchAccel<'a> {
+    pub(crate) geom: &'a mut GeomCache,
+    pub(crate) hmin: &'a mut MinUnitPriceCache,
+    pub(crate) spt: &'a mut SptCache,
+}
+
+/// The search-relevant ablation bits for the SPT model key (admission
+/// control never changes edge weights, so it is excluded).
+fn ablation_code(a: AblationFlags) -> u64 {
+    u64::from(a.price_bandwidth) | (u64::from(a.price_energy) << 1)
 }
 
 /// Searches one active slot's min-price path for `request` against the
@@ -419,6 +495,19 @@ impl Cear {
 /// evaluation records the [`DeficitTrace`](sb_energy::DeficitTrace) it
 /// consumed — the complete set of overlay-dependent inputs, which phase 2
 /// validates bitwise against the real overlay.
+///
+/// `search` selects the kernel. With [`SearchKind::Astar`] and `accel`
+/// present, the search is goal-directed by the hop-bound heuristic (unit =
+/// the tie-break floor plus, when bandwidth is priced, the slot's minimum
+/// link unit price — both lower bounds on any edge weight, so the
+/// heuristic is admissible and consistent and the result is bit-identical
+/// to the reference). Clean-overlay searches additionally go through the
+/// strict SPT cache: a generation-exact stored tree answers via
+/// [`path_via_tree`], replaying its build-time energy probes so
+/// speculative validation still sees every ledger read; destination edges
+/// are always evaluated fresh. Read-set recording forces the reference
+/// kernel — the recorded set is defined over the reference expansion
+/// order.
 #[allow(clippy::too_many_arguments)] // a packed context struct would just rename the coupling
 pub(crate) fn search_slot(
     params: &CearParams,
@@ -433,6 +522,8 @@ pub(crate) fn search_slot(
     energy_cache: &mut EnergyPriceCache,
     mut probes: Option<&mut Vec<EnergyProbe>>,
     mut reads: Option<&mut EpochReadSet>,
+    search: SearchKind,
+    mut accel: Option<&mut SearchAccel<'_>>,
 ) -> Option<FoundPath> {
     let mu1 = params.mu1();
     let mu2 = params.mu2();
@@ -446,71 +537,195 @@ pub(crate) fn search_slot(
     // per (sat, role): the deficit trace priced per Eq. (12), or None when
     // the battery cannot absorb the consumption.
     energy_cache.begin_slot(state.num_satellites());
+    // Heuristic inputs are computed before the cost closure below captures
+    // the price cache mutably. Every edge weight is at least the tie-break
+    // term plus (when bandwidth is priced) rate × the slot's minimum unit
+    // price, so hop-bound × that unit is an admissible lower bound; the
+    // slack keeps float rounding from ever tipping it over.
+    let astar = search == SearchKind::Astar && reads.is_none();
+    let mut hops = None;
+    let mut unit = 0.0;
+    if astar {
+        if let Some(a) = accel.as_deref_mut() {
+            hops = Some(a.geom.hop_bounds(state.series_arc(), slot, request.destination));
+            unit = HOP_TIEBREAK * (1.0 + rate);
+            if ablation.price_bandwidth {
+                if let Some(pc) = prices.as_deref_mut() {
+                    unit += rate * a.hmin.min_unit_price(state, slot, pc);
+                }
+            }
+            unit *= UNIT_SLACK;
+        }
+    }
     let prices = &mut prices;
     let probes = &mut probes;
     let reads = &mut reads;
-    min_cost_path_in(scratch, snapshot, request.source, request.destination, |ctx| {
-        // Known-down edges are gone, whatever the price says.
-        if known.is_some_and(|k| k.is_down(slot, ctx.edge_id)) {
-            return None;
-        }
-        // Every relaxation below reads the cell's reservation (residual
-        // and, when priced, utilization) — record it before the first read
-        // so rejected edges are in the read set too: a foreign commit that
-        // frees capacity on one of them could flip the quote.
-        if let Some(rec) = reads.as_deref_mut() {
-            rec.record_bandwidth(state, slot, ctx.edge_id);
-        }
-        // Bandwidth feasibility (7b) and price.
-        if state.residual_mbps(slot, ctx.edge_id) + 1e-9 < rate {
-            return None;
-        }
-        let mut cost = HOP_TIEBREAK * (1.0 + rate);
-        if ablation.price_bandwidth {
-            // Cached and fresh paths compute the same
-            // `rate · (μ₁^λ − 1)` product bit-identically.
-            cost += match prices.as_deref_mut() {
-                Some(pc) => rate * pc.link_unit_price(state, slot, ctx.edge_id),
-                None => pricing::bandwidth_price(mu1, state.utilization(slot, ctx.edge_id), rate),
-            };
-        }
-        // Energy feasibility (7c) and price for the edge's source
-        // satellite in its role.
-        if let Some(sat) = state.satellite_index(ctx.edge.src) {
-            let role = SatelliteRole::from_link_types(
-                ctx.incoming == Some(LinkType::Isl),
-                ctx.edge.link_type == LinkType::Isl,
-            );
-            let cached = energy_cache.get_or_insert_with(sat, role, || {
-                // First probe of this satellite in this slot: the peek and
-                // the pricing below read its deficit row, so record it.
+    // The cost closure is instantiated up to three times per call (tree
+    // read, tree settle, direct search) with different energy-probe sinks;
+    // the macro keeps the bodies textually identical so every
+    // instantiation computes the same bits.
+    macro_rules! cost_fn {
+        ($sink:expr) => {
+            |ctx: &EdgeContext<'_>| {
+                // Known-down edges are gone, whatever the price says.
+                if known.is_some_and(|k| k.is_down(slot, ctx.edge_id)) {
+                    return None;
+                }
+                // Every relaxation below reads the cell's reservation
+                // (residual and, when priced, utilization) — record it
+                // before the first read so rejected edges are in the read
+                // set too: a foreign commit that frees capacity on one of
+                // them could flip the quote.
                 if let Some(rec) = reads.as_deref_mut() {
-                    rec.record_battery_row(state, sat);
+                    rec.record_bandwidth(state, slot, ctx.edge_id);
                 }
-                let consumption = energy.consumption_j(role, rate, slot_s);
-                let trace = tx.peek(sat, t, consumption);
-                let price = trace.as_ref().map(|trace| match prices.as_deref_mut() {
-                    Some(pc) => pricing::deficit_price_with(trace, |tt| {
-                        pc.battery_unit_price(state, sat, tt)
-                    }),
-                    None => {
-                        pricing::deficit_price(mu2, trace, |tt| ledger.battery_utilization(sat, tt))
+                // Bandwidth feasibility (7b) and price.
+                if state.residual_mbps(slot, ctx.edge_id) + 1e-9 < rate {
+                    return None;
+                }
+                let mut cost = HOP_TIEBREAK * (1.0 + rate);
+                if ablation.price_bandwidth {
+                    // Cached and fresh paths compute the same
+                    // `rate · (μ₁^λ − 1)` product bit-identically.
+                    cost += match prices.as_deref_mut() {
+                        Some(pc) => rate * pc.link_unit_price(state, slot, ctx.edge_id),
+                        None => pricing::bandwidth_price(
+                            mu1,
+                            state.utilization(slot, ctx.edge_id),
+                            rate,
+                        ),
+                    };
+                }
+                // Energy feasibility (7c) and price for the edge's source
+                // satellite in its role.
+                if let Some(sat) = state.satellite_index(ctx.edge.src) {
+                    let role = SatelliteRole::from_link_types(
+                        ctx.incoming == Some(LinkType::Isl),
+                        ctx.edge.link_type == LinkType::Isl,
+                    );
+                    let cached = energy_cache.get_or_insert_with(sat, role, || {
+                        // First probe of this satellite in this slot: the
+                        // peek and the pricing below read its deficit row,
+                        // so record it.
+                        if let Some(rec) = reads.as_deref_mut() {
+                            rec.record_battery_row(state, sat);
+                        }
+                        let consumption = energy.consumption_j(role, rate, slot_s);
+                        let trace = tx.peek(sat, t, consumption);
+                        let price = trace.as_ref().map(|trace| match prices.as_deref_mut() {
+                            Some(pc) => pricing::deficit_price_with(trace, |tt| {
+                                pc.battery_unit_price(state, sat, tt)
+                            }),
+                            None => pricing::deficit_price(mu2, trace, |tt| {
+                                ledger.battery_utilization(sat, tt)
+                            }),
+                        });
+                        if let Some(rec) = $sink {
+                            rec.push(EnergyProbe { sat, t, consumption_j: consumption, trace });
+                        }
+                        price
+                    });
+                    // Feasibility always applies; the price only when the
+                    // energy term is not ablated.
+                    let energy_price = cached?;
+                    if ablation.price_energy {
+                        cost += energy_price;
                     }
-                });
-                if let Some(rec) = probes.as_deref_mut() {
-                    rec.push(EnergyProbe { sat, t, consumption_j: consumption, trace });
                 }
-                price
-            });
-            // Feasibility always applies; the price only when the energy
-            // term is not ablated.
-            let energy_price = cached?;
-            if ablation.price_energy {
-                cost += energy_price;
+                Some(cost)
+            }
+        };
+    }
+    // Strict SPT reuse: only for clean-overlay, unpruned searches — the
+    // stored tree (and its probes) were recorded against the base ledger
+    // with no failure overlay, and generation-exact matching guarantees
+    // the base ledger is bit-identical now. Destination edges are never in
+    // the tree; `path_via_tree` evaluates them fresh either way.
+    if astar && known.is_none() && tx.is_clean() && !spt_cache_disabled() {
+        if let Some(a) = accel {
+            a.spt.ensure_anchor(state.series_arc());
+            let model = model_key(0, &[mu1.to_bits(), mu2.to_bits(), ablation_code(ablation)]);
+            let slot_gen = state.slot_bandwidth_gen(slot);
+            let battery_gen = state.battery_gen();
+            let lookup = a.spt.probe_strict(
+                slot,
+                request.source,
+                model,
+                slot_gen,
+                battery_gen,
+                rate.to_bits(),
+            );
+            match lookup {
+                StrictLookup::Hit => {
+                    let (tree, stored) = a.spt.strict_entry(slot, request.source, model);
+                    // Replay the build-time probes into the caller's sink:
+                    // a speculative phase-2 validator must still see every
+                    // ledger read the settle consumed.
+                    if let Some(rec) = probes.as_deref_mut() {
+                        rec.extend_from_slice(stored);
+                    }
+                    return path_via_tree(
+                        tree,
+                        snapshot,
+                        request.source,
+                        request.destination,
+                        cost_fn!(probes.as_deref_mut()),
+                    );
+                }
+                StrictLookup::Build => {
+                    // Settle probes go into the entry (later hits replay
+                    // them) and are copied to the caller's sink; the
+                    // destination evaluations below probe fresh.
+                    let mut build_probes: Vec<EnergyProbe> = Vec::new();
+                    let tree = settle_tree_in(
+                        scratch,
+                        snapshot,
+                        request.source,
+                        cost_fn!(Some(&mut build_probes)),
+                    );
+                    if let Some(rec) = probes.as_deref_mut() {
+                        rec.extend_from_slice(&build_probes);
+                    }
+                    let found = path_via_tree(
+                        &tree,
+                        snapshot,
+                        request.source,
+                        request.destination,
+                        cost_fn!(probes.as_deref_mut()),
+                    );
+                    a.spt.insert_strict(
+                        slot,
+                        request.source,
+                        model,
+                        slot_gen,
+                        battery_gen,
+                        rate.to_bits(),
+                        tree,
+                        build_probes,
+                    );
+                    return found;
+                }
+                StrictLookup::Defer => {}
             }
         }
-        Some(cost)
-    })
+    }
+    match &hops {
+        Some(hops) => min_cost_path_with(
+            scratch,
+            snapshot,
+            request.source,
+            request.destination,
+            &HopBoundHeuristic { hops_lb: hops, unit },
+            cost_fn!(probes.as_deref_mut()),
+        ),
+        None => min_cost_path_in(
+            scratch,
+            snapshot,
+            request.source,
+            request.destination,
+            cost_fn!(probes.as_deref_mut()),
+        ),
+    }
 }
 
 /// Folds one slot's found path into the quote under construction: strips

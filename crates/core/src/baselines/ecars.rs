@@ -12,9 +12,15 @@ use crate::algorithm::{Decision, RejectReason, RoutingAlgorithm};
 use crate::baselines::{edge_battery_utilization, route_and_commit, route_plan, DELAY_NORM_M};
 use crate::lifecycle::KnownFailures;
 use crate::plan::ReservationPlan;
+use crate::sptcache::{model_key, ModelSpec, SearchKind};
 use crate::state::NetworkState;
 use sb_demand::Request;
 use serde::{Deserialize, Serialize};
+
+/// The constant added to every linear-metric edge cost so that an idle
+/// network still prefers fewer hops — and the per-edge cost floor the
+/// ECARS-family A\* heuristics build on (every factor term is ≥ 0).
+pub(crate) const HOP_EPSILON: f64 = 1e-3;
 
 /// The linear weights of the ECARS path metric.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -44,7 +50,6 @@ impl EcarsFactors {
         battery_utilization: f64,
         length_m: f64,
     ) -> f64 {
-        const HOP_EPSILON: f64 = 1e-3;
         self.congestion * utilization
             + self.energy * battery_utilization
             + self.delay * (length_m / DELAY_NORM_M).min(1.0)
@@ -56,6 +61,7 @@ impl EcarsFactors {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Ecars {
     factors: EcarsFactors,
+    search: SearchKind,
 }
 
 impl Ecars {
@@ -66,12 +72,43 @@ impl Ecars {
 
     /// ECARS with custom factors.
     pub fn with_factors(factors: EcarsFactors) -> Self {
-        Ecars { factors }
+        Ecars { factors, search: SearchKind::default() }
+    }
+
+    /// Selects the search kernel (bitwise-identical results either way).
+    pub fn with_search(mut self, search: SearchKind) -> Self {
+        self.search = search;
+        self
     }
 
     /// The factors in use.
     pub fn factors(&self) -> &EcarsFactors {
         &self.factors
+    }
+
+    /// Congestion and energy factors read the reservation state, so the
+    /// weights move on every commit: `volatile` (no SPT caching).
+    fn model(&self) -> ModelSpec {
+        ModelSpec {
+            key: model_key(2, &factor_bits(&self.factors)),
+            floor: factor_floor(&self.factors),
+            volatile: true,
+        }
+    }
+}
+
+pub(crate) fn factor_bits(f: &EcarsFactors) -> [u64; 3] {
+    [f.congestion.to_bits(), f.energy.to_bits(), f.delay.to_bits()]
+}
+
+/// The per-edge cost floor of the linear metric: [`HOP_EPSILON`] when all
+/// factor terms are guaranteed non-negative, else the trivially admissible
+/// 0 (a pathological negative factor must not break A\* optimality).
+pub(crate) fn factor_floor(f: &EcarsFactors) -> f64 {
+    if f.congestion >= 0.0 && f.energy >= 0.0 && f.delay >= 0.0 {
+        HOP_EPSILON
+    } else {
+        0.0
     }
 }
 
@@ -82,7 +119,7 @@ impl RoutingAlgorithm for Ecars {
 
     fn process(&mut self, request: &Request, state: &mut NetworkState) -> Decision {
         let factors = self.factors;
-        route_and_commit(request, state, |ctx, slot, st| {
+        route_and_commit(request, state, self.search, self.model(), |ctx, slot, st| {
             let lambda_e = st.utilization(slot, ctx.edge_id);
             let lambda_s = edge_battery_utilization(ctx, slot, st);
             Some(factors.edge_cost(lambda_e, lambda_s, ctx.edge.length_m))
@@ -96,7 +133,7 @@ impl RoutingAlgorithm for Ecars {
         known: Option<&KnownFailures>,
     ) -> Result<(ReservationPlan, f64), RejectReason> {
         let factors = self.factors;
-        route_plan(request, state, known, |ctx, slot, st| {
+        route_plan(request, state, known, self.search, self.model(), |ctx, slot, st| {
             let lambda_e = st.utilization(slot, ctx.edge_id);
             let lambda_s = edge_battery_utilization(ctx, slot, st);
             Some(factors.edge_cost(lambda_e, lambda_s, ctx.edge.length_m))

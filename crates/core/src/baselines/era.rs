@@ -6,12 +6,13 @@
 //! in the paper — steering traffic away without forbidding it.
 
 use crate::algorithm::{Decision, RejectReason, RoutingAlgorithm};
-use crate::baselines::ecars::EcarsFactors;
+use crate::baselines::ecars::{factor_bits, factor_floor, EcarsFactors};
 use crate::baselines::{
     edge_battery_deficit_j, edge_battery_utilization, route_and_commit, route_plan,
 };
 use crate::lifecycle::KnownFailures;
 use crate::plan::ReservationPlan;
+use crate::sptcache::{model_key, ModelSpec, SearchKind};
 use crate::state::NetworkState;
 use sb_demand::Request;
 
@@ -21,6 +22,7 @@ pub struct Era {
     base: EcarsFactors,
     hot: EcarsFactors,
     threshold_frac: f64,
+    search: SearchKind,
 }
 
 impl Default for Era {
@@ -30,6 +32,7 @@ impl Default for Era {
             // Paper: beyond the threshold, congestion 0.15, energy 0.7.
             hot: EcarsFactors { congestion: 0.15, energy: 0.7, delay: 0.15 },
             threshold_frac: 0.01,
+            search: SearchKind::default(),
         }
     }
 }
@@ -50,6 +53,12 @@ impl Era {
         Era { threshold_frac, ..Self::default() }
     }
 
+    /// Selects the search kernel (bitwise-identical results either way).
+    pub fn with_search(mut self, search: SearchKind) -> Self {
+        self.search = search;
+        self
+    }
+
     /// The factors applied below the threshold.
     pub fn base_factors(&self) -> &EcarsFactors {
         &self.base
@@ -58,6 +67,19 @@ impl Era {
     /// The penalized factors applied beyond the threshold.
     pub fn hot_factors(&self) -> &EcarsFactors {
         &self.hot
+    }
+
+    /// Both factor profiles include the additive hop epsilon, so the floor
+    /// is the smaller of the two profiles' floors.
+    fn model(&self) -> ModelSpec {
+        let mut bits = factor_bits(&self.base).to_vec();
+        bits.extend_from_slice(&factor_bits(&self.hot));
+        bits.push(self.threshold_frac.to_bits());
+        ModelSpec {
+            key: model_key(4, &bits),
+            floor: factor_floor(&self.base).min(factor_floor(&self.hot)),
+            volatile: true,
+        }
     }
 }
 
@@ -69,7 +91,7 @@ impl RoutingAlgorithm for Era {
     fn process(&mut self, request: &Request, state: &mut NetworkState) -> Decision {
         let (base, hot) = (self.base, self.hot);
         let threshold_j = self.threshold_frac * state.energy_params().battery_capacity_j;
-        route_and_commit(request, state, |ctx, slot, st| {
+        route_and_commit(request, state, self.search, self.model(), |ctx, slot, st| {
             let lambda_e = st.utilization(slot, ctx.edge_id);
             let lambda_s = edge_battery_utilization(ctx, slot, st);
             let factors =
@@ -86,7 +108,7 @@ impl RoutingAlgorithm for Era {
     ) -> Result<(ReservationPlan, f64), RejectReason> {
         let (base, hot) = (self.base, self.hot);
         let threshold_j = self.threshold_frac * state.energy_params().battery_capacity_j;
-        route_plan(request, state, known, |ctx, slot, st| {
+        route_plan(request, state, known, self.search, self.model(), |ctx, slot, st| {
             let lambda_e = st.utilization(slot, ctx.edge_id);
             let lambda_s = edge_battery_utilization(ctx, slot, st);
             let factors =

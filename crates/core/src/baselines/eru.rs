@@ -8,12 +8,13 @@
 //! difficult and lowering the social welfare ratio".
 
 use crate::algorithm::{Decision, RejectReason, RoutingAlgorithm};
-use crate::baselines::ecars::EcarsFactors;
+use crate::baselines::ecars::{factor_bits, factor_floor, EcarsFactors};
 use crate::baselines::{
     edge_battery_deficit_j, edge_battery_utilization, route_and_commit, route_plan,
 };
 use crate::lifecycle::KnownFailures;
 use crate::plan::ReservationPlan;
+use crate::sptcache::{model_key, ModelSpec, SearchKind};
 use crate::state::NetworkState;
 use sb_demand::Request;
 
@@ -24,11 +25,16 @@ pub struct Eru {
     /// Links of satellites whose battery deficit exceeds this fraction of
     /// capacity are pruned for the slot.
     threshold_frac: f64,
+    search: SearchKind,
 }
 
 impl Default for Eru {
     fn default() -> Self {
-        Eru { factors: EcarsFactors::default(), threshold_frac: 0.01 }
+        Eru {
+            factors: EcarsFactors::default(),
+            threshold_frac: 0.01,
+            search: SearchKind::default(),
+        }
     }
 }
 
@@ -50,9 +56,23 @@ impl Eru {
         Eru { threshold_frac, ..Self::default() }
     }
 
+    /// Selects the search kernel (bitwise-identical results either way).
+    pub fn with_search(mut self, search: SearchKind) -> Self {
+        self.search = search;
+        self
+    }
+
     /// The pruning threshold fraction.
     pub fn threshold_frac(&self) -> f64 {
         self.threshold_frac
+    }
+
+    /// Pruning only removes edges, so the surviving edges keep the ECARS
+    /// floor — the heuristic stays admissible.
+    fn model(&self) -> ModelSpec {
+        let mut bits = factor_bits(&self.factors).to_vec();
+        bits.push(self.threshold_frac.to_bits());
+        ModelSpec { key: model_key(3, &bits), floor: factor_floor(&self.factors), volatile: true }
     }
 }
 
@@ -64,7 +84,7 @@ impl RoutingAlgorithm for Eru {
     fn process(&mut self, request: &Request, state: &mut NetworkState) -> Decision {
         let factors = self.factors;
         let threshold_j = self.threshold_frac * state.energy_params().battery_capacity_j;
-        route_and_commit(request, state, |ctx, slot, st| {
+        route_and_commit(request, state, self.search, self.model(), |ctx, slot, st| {
             if edge_battery_deficit_j(ctx, slot, st) > threshold_j {
                 return None; // prune
             }
@@ -82,7 +102,7 @@ impl RoutingAlgorithm for Eru {
     ) -> Result<(ReservationPlan, f64), RejectReason> {
         let factors = self.factors;
         let threshold_j = self.threshold_frac * state.energy_params().battery_capacity_j;
-        route_plan(request, state, known, |ctx, slot, st| {
+        route_plan(request, state, known, self.search, self.model(), |ctx, slot, st| {
             if edge_battery_deficit_j(ctx, slot, st) > threshold_j {
                 return None; // prune
             }

@@ -34,7 +34,12 @@ pub use ssp::Ssp;
 use crate::algorithm::{Decision, RejectReason};
 use crate::lifecycle::KnownFailures;
 use crate::plan::{ReservationPlan, SlotPath};
-use crate::search::{min_cost_path_in, EdgeContext, SearchScratch};
+use crate::search::{
+    min_cost_path_in, min_cost_path_with, EdgeContext, HopBoundHeuristic, SearchScratch,
+};
+use crate::sptcache::{
+    baseline_route_slot, spt_cache_disabled, GeomCache, ModelSpec, SearchKind, SptCache, UNIT_SLACK,
+};
 use crate::state::NetworkState;
 use sb_demand::Request;
 use sb_topology::SlotIndex;
@@ -45,16 +50,34 @@ thread_local! {
     /// searches of all baseline calls on a thread reuse the same buffers
     /// (see [`SearchScratch`]), which is bit-transparent to the results.
     static BASELINE_SCRATCH: RefCell<SearchScratch> = RefCell::new(SearchScratch::new());
+    /// One SPT cache per thread, shared by every baseline on it: entries
+    /// carry their cost model in the key and self-validate against state
+    /// generations (process-unique), so sharing across states and sweep
+    /// cells is sound. The capacity covers a sweep's working set of
+    /// `(slot, source, model)` keys — a tight cap thrashes the LRU long
+    /// before memory matters (entries are tens of KB).
+    static BASELINE_SPT: RefCell<SptCache> = RefCell::new(SptCache::new(4096));
+    /// Per-thread hop-bound geometry for the A\* heuristic.
+    static BASELINE_GEOM: RefCell<GeomCache> = RefCell::new(GeomCache::default());
 }
 
 /// Shared baseline search: routes every active slot with `weight_fn`
 /// (bandwidth feasibility and known-down pruning are pre-checked before
 /// the weight function runs) without committing anything. Baselines are
 /// price-oblivious, so the plan's `total_cost` is zero.
+///
+/// `search` picks the kernel: the reference Dijkstra, or goal-directed
+/// A\* backed by the per-thread SPT cache (bitwise identical results —
+/// see [`crate::sptcache`]). The SPT path is skipped for volatile cost
+/// models (commit-churned weights invalidate their trees faster than
+/// they can be reused) and when a known-failure overlay is active:
+/// pruned edges are not part of the cached transcripts.
 pub(crate) fn route_plan(
     request: &Request,
     state: &NetworkState,
     known: Option<&KnownFailures>,
+    search: SearchKind,
+    model: ModelSpec,
     mut weight_fn: impl FnMut(&EdgeContext<'_>, SlotIndex, &NetworkState) -> Option<f64>,
 ) -> Result<ReservationPlan, RejectReason> {
     BASELINE_SCRATCH.with(|cell| {
@@ -63,8 +86,26 @@ pub(crate) fn route_plan(
         for slot in request.active_slots() {
             let rate = request.rate_at(slot);
             let snapshot = state.series().snapshot(slot);
-            let found =
-                min_cost_path_in(scratch, snapshot, request.source, request.destination, |ctx| {
+            let use_spt = search == SearchKind::Astar
+                && !model.volatile
+                && known.is_none()
+                && !spt_cache_disabled();
+            let found = if use_spt {
+                BASELINE_SPT.with(|spt| {
+                    baseline_route_slot(
+                        &mut spt.borrow_mut(),
+                        scratch,
+                        state,
+                        slot,
+                        request.source,
+                        request.destination,
+                        rate,
+                        model,
+                        &mut weight_fn,
+                    )
+                })
+            } else {
+                let full = |ctx: &EdgeContext<'_>| {
                     if known.is_some_and(|k| k.is_down(slot, ctx.edge_id)) {
                         return None;
                     }
@@ -72,7 +113,36 @@ pub(crate) fn route_plan(
                         return None;
                     }
                     weight_fn(ctx, slot, state)
-                });
+                };
+                match search {
+                    SearchKind::Reference => min_cost_path_in(
+                        scratch,
+                        snapshot,
+                        request.source,
+                        request.destination,
+                        full,
+                    ),
+                    SearchKind::Astar => {
+                        let hops = BASELINE_GEOM.with(|geom| {
+                            geom.borrow_mut().hop_bounds(
+                                state.series_arc(),
+                                slot,
+                                request.destination,
+                            )
+                        });
+                        let heuristic =
+                            HopBoundHeuristic { hops_lb: &hops, unit: model.floor * UNIT_SLACK };
+                        min_cost_path_with(
+                            scratch,
+                            snapshot,
+                            request.source,
+                            request.destination,
+                            &heuristic,
+                            full,
+                        )
+                    }
+                }
+            };
             match found {
                 Some(p) => slot_paths.push(SlotPath { slot, nodes: p.nodes, edges: p.edges }),
                 None => return Err(RejectReason::NoFeasiblePath),
@@ -87,9 +157,11 @@ pub(crate) fn route_plan(
 pub(crate) fn route_and_commit(
     request: &Request,
     state: &mut NetworkState,
+    search: SearchKind,
+    model: ModelSpec,
     weight_fn: impl FnMut(&EdgeContext<'_>, SlotIndex, &NetworkState) -> Option<f64>,
 ) -> Decision {
-    let plan = match route_plan(request, state, None, weight_fn) {
+    let plan = match route_plan(request, state, None, search, model, weight_fn) {
         Ok(plan) => plan,
         Err(reason) => return Decision::Rejected { reason },
     };

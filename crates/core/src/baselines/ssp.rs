@@ -10,17 +10,33 @@ use crate::algorithm::{Decision, RejectReason, RoutingAlgorithm};
 use crate::baselines::{route_and_commit, route_plan};
 use crate::lifecycle::KnownFailures;
 use crate::plan::ReservationPlan;
+use crate::sptcache::{model_key, ModelSpec, SearchKind};
 use crate::state::NetworkState;
 use sb_demand::Request;
 
 /// The Single Shortest Path baseline.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct Ssp;
+pub struct Ssp {
+    search: SearchKind,
+}
 
 impl Ssp {
     /// Creates the baseline.
     pub fn new() -> Self {
-        Ssp
+        Ssp::default()
+    }
+
+    /// Selects the search kernel (bitwise-identical results either way).
+    pub fn with_search(mut self, search: SearchKind) -> Self {
+        self.search = search;
+        self
+    }
+
+    /// Every hop costs exactly 1, so 1.0 is also the exact per-edge floor.
+    /// Hop counts read no reservation state, so SSP's trees survive
+    /// commits and the SPT cache applies (`volatile: false`).
+    fn model(&self) -> ModelSpec {
+        ModelSpec { key: model_key(1, &[]), floor: 1.0, volatile: false }
     }
 }
 
@@ -30,7 +46,7 @@ impl RoutingAlgorithm for Ssp {
     }
 
     fn process(&mut self, request: &Request, state: &mut NetworkState) -> Decision {
-        route_and_commit(request, state, |_ctx, _slot, _state| Some(1.0))
+        route_and_commit(request, state, self.search, self.model(), |_ctx, _slot, _state| Some(1.0))
     }
 
     fn quote_plan(
@@ -39,7 +55,10 @@ impl RoutingAlgorithm for Ssp {
         state: &NetworkState,
         known: Option<&KnownFailures>,
     ) -> Result<(ReservationPlan, f64), RejectReason> {
-        route_plan(request, state, known, |_ctx, _slot, _state| Some(1.0)).map(|p| (p, 0.0))
+        route_plan(request, state, known, self.search, self.model(), |_ctx, _slot, _state| {
+            Some(1.0)
+        })
+        .map(|p| (p, 0.0))
     }
 }
 

@@ -34,7 +34,11 @@
 //! * [`state`] — mutable network state: per-slot bandwidth reservations
 //!   plus the satellite energy ledger, with atomic plan commits;
 //! * [`search`] — the per-slot min-cost path search over
-//!   (node × link-type) states;
+//!   (node × link-type) states, generic over an admissible A\* heuristic
+//!   (`ZeroHeuristic` is the reference Dijkstra);
+//! * [`sptcache`] — search acceleration: goal-direction geometry caches
+//!   and the epoch-validated shortest-path-tree cache, both bitwise
+//!   transparent;
 //! * [`parquote`] — speculative slot-parallel quoting: per-slot searches
 //!   fan across workers against the base ledger, then an overlay replay
 //!   validates each slot's deficit traces bitwise (bit-identical to the
@@ -105,6 +109,7 @@ pub mod plan;
 pub mod pricecache;
 pub mod pricing;
 pub mod search;
+pub mod sptcache;
 pub mod state;
 
 pub use adaptive::{AdaptiveCear, AdaptivePolicy};
@@ -117,5 +122,8 @@ pub use params::CearParams;
 pub use parquote::QuoteStats;
 pub use plan::{ReservationPlan, SlotPath};
 pub use pricecache::PriceCache;
-pub use search::SearchScratch;
+pub use search::{SearchScratch, SearchStats};
+pub use sptcache::{
+    global_spt_stats, reset_global_spt_stats, spt_cache_disabled, SearchKind, SptStats,
+};
 pub use state::{BookingId, CommitError, EpochReadSet, NetworkState};

@@ -30,11 +30,12 @@
 //! battery budgets (forcing divergence and the fallback) and under failure
 //! injection with [`KnownFailures`] pruning.
 
-use crate::algorithm::{fold_slot, search_slot, Cear, CearHot, RejectReason};
+use crate::algorithm::{fold_slot, search_slot, Cear, CearHot, RejectReason, SearchAccel};
 use crate::params::CearParams;
 use crate::plan::ReservationPlan;
 use crate::pricecache::PriceCache;
-use crate::search::SearchScratch;
+use crate::search::{SearchScratch, SearchStats};
+use crate::sptcache::{GeomCache, MinUnitPriceCache, SptCache, SptStats};
 use crate::state::NetworkState;
 use sb_demand::Request;
 use sb_energy::{DeficitTrace, LedgerOverlay, SatelliteRole};
@@ -58,6 +59,11 @@ pub struct QuoteStats {
     pub validated_slots: u64,
     /// Slots re-searched serially after a divergent trace was detected.
     pub fallback_slots: u64,
+    /// Search work counters, summed over the serial scratch and every
+    /// speculative worker's (see [`SearchStats`]).
+    pub search: SearchStats,
+    /// SPT-cache counters, summed likewise (see [`SptStats`]).
+    pub spt: SptStats,
 }
 
 impl QuoteStats {
@@ -184,6 +190,9 @@ pub(crate) struct QuoteWorker {
     pub(crate) scratch: SearchScratch,
     pub(crate) prices: PriceCache,
     pub(crate) energy: EnergyPriceCache,
+    pub(crate) geom: GeomCache,
+    pub(crate) hmin: MinUnitPriceCache,
+    pub(crate) spt: SptCache,
 }
 
 impl QuoteWorker {
@@ -192,6 +201,9 @@ impl QuoteWorker {
             scratch: SearchScratch::new(),
             prices: PriceCache::new(params.mu1(), params.mu2()),
             energy: EnergyPriceCache::new(),
+            geom: GeomCache::default(),
+            hmin: MinUnitPriceCache::default(),
+            spt: SptCache::default(),
         }
     }
 }
@@ -241,6 +253,7 @@ impl Cear {
         let slots: Vec<SlotIndex> = request.active_slots().collect();
         let params = self.params;
         let ablation = self.ablation;
+        let search = self.search;
         let threads = self.quote_threads.min(slots.len()).max(1);
         hot.ensure_workers(threads, &params);
         hot.stats.parallel_quotes += 1;
@@ -265,6 +278,11 @@ impl Cear {
                     // exact code path the serial search reads it by.
                     let clean = ledger.overlay();
                     let mut probes = Vec::new();
+                    let mut accel = SearchAccel {
+                        geom: &mut worker.geom,
+                        hmin: &mut worker.hmin,
+                        spt: &mut worker.spt,
+                    };
                     let found = search_slot(
                         params,
                         ablation,
@@ -278,6 +296,8 @@ impl Cear {
                         &mut worker.energy,
                         Some(&mut probes),
                         None,
+                        search,
+                        Some(&mut accel),
                     );
                     *specs[i].lock().expect("slot cell poisoned") =
                         Some(SlotSpec { found, probes });
@@ -308,6 +328,8 @@ impl Cear {
         }
         if let Some(k0) = diverged_at {
             hot.stats.fallback_slots += (slots.len() - k0) as u64;
+            let mut accel =
+                SearchAccel { geom: &mut hot.geom, hmin: &mut hot.hmin, spt: &mut hot.spt };
             for &slot in &slots[k0..] {
                 let found = search_slot(
                     &params,
@@ -322,6 +344,8 @@ impl Cear {
                     &mut hot.energy,
                     None,
                     None,
+                    search,
+                    Some(&mut accel),
                 )
                 .ok_or(RejectReason::NoFeasiblePath)?;
                 fold_slot(request, state, slot, found, &mut tx, &mut slot_paths, &mut total_cost)?;

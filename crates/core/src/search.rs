@@ -49,10 +49,100 @@ pub struct FoundPath {
     pub cost: f64,
 }
 
-/// Max-heap entry inverted into a min-heap by ordering on `Reverse`d cost.
+/// A lower bound on the remaining cost from a node to the search's
+/// destination, used to goal-direct the search (A\*).
+///
+/// The search orders its heap on `(f, g)` where `f = g + estimate(node)`.
+/// With [`ZeroHeuristic`] (`f == g` bit-for-bit) the search is plain
+/// Dijkstra — the reference everything else is proven against. Any other
+/// implementation must be *admissible in floating-point terms*: for every
+/// node, `estimate(node)` must be `<=` the float-arithmetic cost of every
+/// feasible path from that node to the destination. Tie-breaking is
+/// canonical (see [`min_cost_path_with`]), so any admissible heuristic
+/// returns a [`FoundPath`] bit-identical to the reference.
+pub trait Heuristic {
+    /// Lower bound on the remaining cost from `node` to the destination.
+    fn estimate(&self, node: NodeId) -> f64;
+
+    /// The heap key for a settled cost `g` at `node`.
+    ///
+    /// Default is `g + estimate(node)`; [`ZeroHeuristic`] overrides it to
+    /// return `g` unchanged so the reference path never perturbs cost bits
+    /// (not even `-0.0 + 0.0`).
+    #[inline]
+    fn fscore(&self, g: f64, node: NodeId) -> f64 {
+        g + self.estimate(node)
+    }
+}
+
+/// The trivial heuristic: `f == g`, i.e. plain Dijkstra.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZeroHeuristic;
+
+impl Heuristic for ZeroHeuristic {
+    #[inline]
+    fn estimate(&self, _node: NodeId) -> f64 {
+        0.0
+    }
+
+    #[inline]
+    fn fscore(&self, g: f64, _node: NodeId) -> f64 {
+        g
+    }
+}
+
+/// Geometry-derived heuristic: a per-node lower bound on the remaining
+/// *hop count* (straight-line distance to the destination divided by the
+/// slot's maximum per-hop reach, rounded up with a relative slack so float
+/// noise can never make it inadmissible) times `unit`, a lower bound on
+/// the cost of any single hop under the active cost model.
+#[derive(Debug, Clone, Copy)]
+pub struct HopBoundHeuristic<'a> {
+    /// `hops_lb[node.index()]` = lower bound on hops from node to dest.
+    pub hops_lb: &'a [u32],
+    /// Lower bound on any single edge's cost (already slack-scaled).
+    pub unit: f64,
+}
+
+impl Heuristic for HopBoundHeuristic<'_> {
+    #[inline]
+    fn estimate(&self, node: NodeId) -> f64 {
+        self.hops_lb[node.index()] as f64 * self.unit
+    }
+}
+
+/// Per-search work counters, accumulated in [`SearchScratch`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Heap entries popped.
+    pub pops: u64,
+    /// Popped entries discarded because a cheaper cost was already settled.
+    pub stale_skips: u64,
+    /// Cost-model evaluations that returned a cost (relaxation attempts).
+    pub relaxations: u64,
+    /// Heap entries abandoned unexpanded when the goal bound cut the
+    /// search off — the work the heuristic avoided.
+    pub heuristic_prunes: u64,
+}
+
+impl SearchStats {
+    /// Field-wise sum.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.pops += other.pops;
+        self.stale_skips += other.stale_skips;
+        self.relaxations += other.relaxations;
+        self.heuristic_prunes += other.heuristic_prunes;
+    }
+}
+
+/// Min-heap entry ordered on `(f asc, g desc)` via `total_cmp`.
+///
+/// With [`ZeroHeuristic`] `f == g` bitwise, so the `g` tiebreak compares
+/// `Equal` and the ordering degenerates to the historical cost-only order.
 #[derive(Debug, Clone, PartialEq)]
 struct HeapEntry {
-    cost: f64,
+    f: f64,
+    g: f64,
     state: usize,
 }
 
@@ -60,8 +150,9 @@ impl Eq for HeapEntry {}
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the cheapest first.
-        other.cost.total_cmp(&self.cost)
+        // Reversed on f: BinaryHeap is a max-heap, we want the smallest f
+        // first; on equal f prefer the larger g (closer to the goal).
+        other.f.total_cmp(&self.f).then_with(|| self.g.total_cmp(&other.g))
     }
 }
 
@@ -117,6 +208,8 @@ pub struct SearchScratch {
     stamp: Vec<u32>,
     generation: u32,
     heap: BinaryHeap<HeapEntry>,
+    /// Cumulative work counters since the last [`SearchScratch::take_stats`].
+    stats: SearchStats,
 }
 
 impl SearchScratch {
@@ -159,6 +252,61 @@ impl SearchScratch {
         self.pred[state] = pred;
         self.stamp[state] = self.generation;
     }
+
+    /// Canonical relaxation: `Less` when `cost` strictly improves `state`
+    /// (relax and push), `Equal` when the cost bits tie and the smaller
+    /// predecessor key `(pred_state, edge_id)` should win (update the
+    /// predecessor only, no push). The source marker `usize::MAX` sorts
+    /// last under plain tuple order, so real predecessors beat it.
+    ///
+    /// Tie-breaking on the *key* rather than arrival order is what makes
+    /// the final predecessor array independent of expansion order — the
+    /// property that lets A\* and settled-tree reads reproduce the
+    /// reference Dijkstra's [`FoundPath`] bit-for-bit.
+    #[inline]
+    fn offer(&mut self, state: usize, cost: f64, pred: (usize, EdgeId)) -> bool {
+        if self.stamp[state] != self.generation {
+            self.relax(state, cost, pred);
+            return true;
+        }
+        match cost.total_cmp(&self.dist[state]) {
+            Ordering::Less => {
+                self.relax(state, cost, pred);
+                true
+            }
+            Ordering::Equal => {
+                if pred < self.pred[state] {
+                    self.pred[state] = pred;
+                }
+                false
+            }
+            Ordering::Greater => false,
+        }
+    }
+
+    /// Returns and resets the accumulated [`SearchStats`].
+    pub fn take_stats(&mut self) -> SearchStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// The accumulated [`SearchStats`] without resetting them.
+    pub fn stats(&self) -> SearchStats {
+        self.stats
+    }
+
+    /// Copies the settled state out into a standalone [`SettledTree`];
+    /// unsettled states get `INFINITY` / source-marker predecessors.
+    fn export_tree(&self, n_states: usize, user_edges: Vec<(EdgeId, usize)>) -> SettledTree {
+        let mut dist = vec![f64::INFINITY; n_states];
+        let mut pred = vec![(usize::MAX, EdgeId(0)); n_states];
+        for s in 0..n_states {
+            if self.stamp[s] == self.generation {
+                dist[s] = self.dist[s];
+                pred[s] = self.pred[s];
+            }
+        }
+        SettledTree { dist, pred, user_edges }
+    }
 }
 
 /// Finds the minimum-cost path from `source` to `destination` in one
@@ -188,11 +336,46 @@ pub fn min_cost_path(
 ///
 /// `scratch` is reset (O(1)) at the start of every call, so one scratch
 /// can serve any number of sequential searches over snapshots of any size.
+/// This is the reference search: [`min_cost_path_with`] instantiated at
+/// [`ZeroHeuristic`].
 pub fn min_cost_path_in(
     scratch: &mut SearchScratch,
     snapshot: &TopologySnapshot,
     source: NodeId,
     destination: NodeId,
+    cost_fn: impl FnMut(&EdgeContext<'_>) -> Option<f64>,
+) -> Option<FoundPath> {
+    min_cost_path_with(scratch, snapshot, source, destination, &ZeroHeuristic, cost_fn)
+}
+
+/// Relative slack on the goal bound: the search keeps expanding until the
+/// heap minimum's `f` exceeds `best_cost * (1 + GOAL_BOUND_SLACK)`. The
+/// slack makes the cutoff conservative against ulp-level heuristic
+/// inconsistency, so every state that could supply an equal-cost canonical
+/// predecessor is expanded under *any* admissible heuristic — expanding a
+/// superset never changes the canonical argmin, only the work counters.
+const GOAL_BOUND_SLACK: f64 = 1e-12;
+
+/// [`min_cost_path_in`] goal-directed by an admissible [`Heuristic`].
+///
+/// Bit-for-bit identical to the [`ZeroHeuristic`] reference for any
+/// admissible heuristic, because every cost-relevant choice is canonical
+/// rather than expansion-order-dependent:
+///
+/// * relaxation replaces a predecessor on *bit-equal* cost iff the new
+///   key `(pred_state, edge_id)` is smaller ([`SearchScratch::offer`]);
+/// * the search does not stop at the first destination pop — it keeps
+///   expanding until the heap minimum's `f` exceeds the best destination
+///   cost (plus [`GOAL_BOUND_SLACK`]), so all equal-cost predecessors are
+///   seen regardless of pop order;
+/// * among the destination's two `(node, incoming)` states the winner is
+///   the bitwise-cheapest, then the smaller state id.
+pub fn min_cost_path_with<H: Heuristic>(
+    scratch: &mut SearchScratch,
+    snapshot: &TopologySnapshot,
+    source: NodeId,
+    destination: NodeId,
+    heuristic: &H,
     mut cost_fn: impl FnMut(&EdgeContext<'_>) -> Option<f64>,
 ) -> Option<FoundPath> {
     if source == destination {
@@ -210,27 +393,51 @@ pub fn min_cost_path_in(
         let ctx = EdgeContext { slot, edge_id, edge, incoming: None };
         if let Some(cost) = cost_fn(&ctx) {
             debug_assert!(cost >= 0.0, "negative edge cost {cost}");
+            scratch.stats.relaxations += 1;
             let state = state_of(edge.dst, edge.link_type);
-            if cost < scratch.dist(state) {
-                scratch.relax(state, cost, (usize::MAX, edge_id));
-                scratch.heap.push(HeapEntry { cost, state });
+            if scratch.offer(state, cost, (usize::MAX, edge_id)) {
+                let f =
+                    if edge.dst == destination { cost } else { heuristic.fscore(cost, edge.dst) };
+                scratch.heap.push(HeapEntry { f, g: cost, state });
             }
         }
     }
 
-    let mut best_final: Option<usize> = None;
-    while let Some(HeapEntry { cost, state }) = scratch.heap.pop() {
-        if cost > scratch.dist(state) {
+    // Best destination state popped so far: (cost, state), ordered by
+    // (total_cmp on cost, then state id).
+    let mut best_final: Option<(f64, usize)> = None;
+    while let Some(HeapEntry { f, g, state }) = scratch.heap.pop() {
+        if let Some((best_cost, _)) = best_final {
+            if f > best_cost + best_cost * GOAL_BOUND_SLACK {
+                // Heap pops in nondecreasing f: nothing left can improve
+                // or retie any state on an optimal path.
+                scratch.stats.heuristic_prunes += 1 + scratch.heap.len() as u64;
+                break;
+            }
+        }
+        scratch.stats.pops += 1;
+        if g > scratch.dist(state) {
+            scratch.stats.stale_skips += 1;
             continue; // stale entry
         }
         let node = node_of_state(state);
         if node == destination {
-            best_final = Some(state);
-            break;
+            let better = match best_final {
+                None => true,
+                Some((bc, bs)) => {
+                    matches!(g.total_cmp(&bc), Ordering::Less)
+                        || (g.to_bits() == bc.to_bits() && state < bs)
+                }
+            };
+            if better {
+                best_final = Some((g, state));
+            }
+            continue; // never expand the destination
         }
         if snapshot.kind(node).is_user() {
             continue; // never expand out of a user node (only the source is)
         }
+        let g = scratch.dist(state);
         let incoming = incoming_of_state(state);
         for (edge_id, edge) in snapshot.out_edges(node) {
             if edge.dst == source {
@@ -242,16 +449,21 @@ pub fn min_cost_path_in(
             let ctx = EdgeContext { slot, edge_id, edge, incoming: Some(incoming) };
             let Some(step) = cost_fn(&ctx) else { continue };
             debug_assert!(step >= 0.0, "negative edge cost {step}");
+            scratch.stats.relaxations += 1;
             let next = state_of(edge.dst, edge.link_type);
-            let next_cost = cost + step;
-            if next_cost < scratch.dist(next) {
-                scratch.relax(next, next_cost, (state, edge_id));
-                scratch.heap.push(HeapEntry { cost: next_cost, state: next });
+            let next_cost = g + step;
+            if scratch.offer(next, next_cost, (state, edge_id)) {
+                let f = if edge.dst == destination {
+                    next_cost
+                } else {
+                    heuristic.fscore(next_cost, edge.dst)
+                };
+                scratch.heap.push(HeapEntry { f, g: next_cost, state: next });
             }
         }
     }
 
-    let final_state = best_final?;
+    let (_, final_state) = best_final?;
 
     // Reconstruct.
     let mut edges = Vec::new();
@@ -270,6 +482,178 @@ pub fn min_cost_path_in(
     nodes.reverse();
     edges.reverse();
     Some(FoundPath { nodes, edges, cost: scratch.dist(final_state) })
+}
+
+/// A fully settled shortest-path tree from one source in one snapshot,
+/// exported from a [`settle_tree_in`] run.
+///
+/// `dist[s]` / `pred[s]` are the final Dijkstra arrays over states
+/// (`INFINITY` / source marker when unreachable). `user_edges` lists every
+/// edge into a user node the settle skipped, as `(edge_id, from_state)`
+/// with `from_state == usize::MAX` for the source's own out-edges — the
+/// candidates [`path_via_tree`] evaluates to answer a concrete
+/// destination query without re-running the search.
+#[derive(Debug, Clone)]
+pub struct SettledTree {
+    /// Final settled cost per state.
+    pub dist: Vec<f64>,
+    /// Final predecessor per state: (previous state or `usize::MAX`, edge).
+    pub pred: Vec<(usize, EdgeId)>,
+    /// Edges into user nodes: (edge id, settled origin state).
+    pub user_edges: Vec<(EdgeId, usize)>,
+}
+
+/// Runs the reference search from `source` with **no destination** until
+/// the heap is exhausted, settling every reachable satellite state, and
+/// exports the tree. Edges into user nodes are recorded (not relaxed, and
+/// their cost model is *not* consulted — destination queries evaluate them
+/// fresh against the then-current state).
+///
+/// Because predecessor ties are broken canonically, reading this tree via
+/// [`path_via_tree`] reproduces a direct [`min_cost_path_in`] call
+/// bit-for-bit for every destination, as long as the cost model gives the
+/// same answers it gave during the settle.
+pub fn settle_tree_in(
+    scratch: &mut SearchScratch,
+    snapshot: &TopologySnapshot,
+    source: NodeId,
+    mut cost_fn: impl FnMut(&EdgeContext<'_>) -> Option<f64>,
+) -> SettledTree {
+    let slot = snapshot.slot();
+    let n_states = snapshot.num_nodes() * 2;
+    scratch.begin(n_states);
+    let mut user_edges = Vec::new();
+
+    for (edge_id, edge) in snapshot.out_edges(source) {
+        if snapshot.kind(edge.dst).is_user() {
+            user_edges.push((edge_id, usize::MAX));
+            continue;
+        }
+        let ctx = EdgeContext { slot, edge_id, edge, incoming: None };
+        if let Some(cost) = cost_fn(&ctx) {
+            debug_assert!(cost >= 0.0, "negative edge cost {cost}");
+            scratch.stats.relaxations += 1;
+            let state = state_of(edge.dst, edge.link_type);
+            if scratch.offer(state, cost, (usize::MAX, edge_id)) {
+                scratch.heap.push(HeapEntry { f: cost, g: cost, state });
+            }
+        }
+    }
+
+    while let Some(HeapEntry { f: _, g, state }) = scratch.heap.pop() {
+        scratch.stats.pops += 1;
+        if g > scratch.dist(state) {
+            scratch.stats.stale_skips += 1;
+            continue;
+        }
+        let g = scratch.dist(state);
+        let incoming = incoming_of_state(state);
+        for (edge_id, edge) in snapshot.out_edges(node_of_state(state)) {
+            if edge.dst == source {
+                continue;
+            }
+            if snapshot.kind(edge.dst).is_user() {
+                user_edges.push((edge_id, state));
+                continue;
+            }
+            let ctx = EdgeContext { slot, edge_id, edge, incoming: Some(incoming) };
+            let Some(step) = cost_fn(&ctx) else { continue };
+            debug_assert!(step >= 0.0, "negative edge cost {step}");
+            scratch.stats.relaxations += 1;
+            let next = state_of(edge.dst, edge.link_type);
+            let next_cost = g + step;
+            if scratch.offer(next, next_cost, (state, edge_id)) {
+                scratch.heap.push(HeapEntry { f: next_cost, g: next_cost, state: next });
+            }
+        }
+    }
+
+    scratch.export_tree(n_states, user_edges)
+}
+
+/// Answers one `(source, destination)` query from a [`SettledTree`]:
+/// evaluates the destination's candidate in-edges (fresh, via `cost_fn`)
+/// against the settled tree and picks the winner under exactly the
+/// canonical rules of [`min_cost_path_with`]. Returns the bit-identical
+/// [`FoundPath`] a direct search would have produced.
+pub fn path_via_tree(
+    tree: &SettledTree,
+    snapshot: &TopologySnapshot,
+    source: NodeId,
+    destination: NodeId,
+    mut cost_fn: impl FnMut(&EdgeContext<'_>) -> Option<f64>,
+) -> Option<FoundPath> {
+    if source == destination {
+        return None;
+    }
+    let slot = snapshot.slot();
+    // Best (cost, pred) per destination state, tie-broken like offer().
+    let mut best: [Option<(f64, (usize, EdgeId))>; 2] = [None, None];
+    for &(edge_id, from_state) in &tree.user_edges {
+        let edge = snapshot.edge(edge_id);
+        if edge.dst != destination {
+            continue;
+        }
+        let (g0, incoming) = if from_state == usize::MAX {
+            (0.0, None)
+        } else {
+            let d = tree.dist[from_state];
+            if d.is_infinite() {
+                continue;
+            }
+            (d, Some(incoming_of_state(from_state)))
+        };
+        let ctx = EdgeContext { slot, edge_id, edge, incoming };
+        let Some(step) = cost_fn(&ctx) else { continue };
+        debug_assert!(step >= 0.0, "negative edge cost {step}");
+        let g = if from_state == usize::MAX { step } else { g0 + step };
+        let pred = (from_state, edge_id);
+        let slot_idx = usize::from(edge.link_type == LinkType::Usl);
+        best[slot_idx] = Some(match best[slot_idx] {
+            None => (g, pred),
+            Some((bg, bp)) => match g.total_cmp(&bg) {
+                Ordering::Less => (g, pred),
+                Ordering::Equal => (bg, bp.min(pred)),
+                Ordering::Greater => (bg, bp),
+            },
+        });
+    }
+
+    // Canonical destination-state selection: bitwise-cheapest cost, then
+    // the smaller state id (Isl state = 2·node < Usl state = 2·node+1).
+    let mut winner: Option<(f64, usize, (usize, EdgeId))> = None;
+    for (i, entry) in best.iter().enumerate() {
+        let Some((g, pred)) = *entry else { continue };
+        let state = destination.index() * 2 + i;
+        winner = Some(match winner {
+            None => (g, state, pred),
+            Some((bg, bs, bp)) => match g.total_cmp(&bg) {
+                Ordering::Less => (g, state, pred),
+                _ => (bg, bs, bp),
+            },
+        });
+    }
+    let (cost, _state, pred) = winner?;
+
+    let mut edges = Vec::new();
+    let mut nodes = vec![destination];
+    let (mut cur, first_edge) = pred;
+    edges.push(first_edge);
+    while cur != usize::MAX {
+        nodes.push(node_of_state(cur));
+        let (prev, edge_id) = tree.pred[cur];
+        if prev == usize::MAX {
+            cur = usize::MAX;
+            edges.push(edge_id);
+        } else {
+            edges.push(edge_id);
+            cur = prev;
+        }
+    }
+    nodes.push(source);
+    nodes.reverse();
+    edges.reverse();
+    Some(FoundPath { nodes, edges, cost })
 }
 
 #[cfg(test)]
@@ -612,7 +996,174 @@ mod tests {
         }
     }
 
+    /// Like [`random_snapshot`] but with real positions (so the hop-bound
+    /// heuristic is non-trivial) and three user nodes: 0 and the last two.
+    fn random_geo_snapshot(n: usize, seed: u64) -> TopologySnapshot {
+        assert!(n >= 6);
+        let mut kinds = vec![NodeKind::GroundUser(0)];
+        for i in 1..n - 2 {
+            kinds.push(NodeKind::Satellite(i - 1));
+        }
+        kinds.push(NodeKind::GroundUser(1));
+        kinds.push(NodeKind::GroundUser(2));
+        let mut rng = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng >> 33
+        };
+        let pos: Vec<Eci> = (0..n)
+            .map(|_| {
+                let x = (next() % 2_000_000) as f64 - 1_000_000.0;
+                let y = (next() % 2_000_000) as f64 - 1_000_000.0;
+                let z = (next() % 2_000_000) as f64 - 1_000_000.0;
+                Eci(Vec3 { x, y, z })
+            })
+            .collect();
+        let is_user = |i: usize| i == 0 || i >= n - 2;
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                if next() % 100 < 45 {
+                    edges.push(Edge {
+                        src: NodeId(a as u32),
+                        dst: NodeId(b as u32),
+                        link_type: if is_user(a) || is_user(b) {
+                            LinkType::Usl
+                        } else {
+                            LinkType::Isl
+                        },
+                        capacity_mbps: 4000.0,
+                        length_m: pos[a].distance(pos[b]),
+                    });
+                }
+            }
+        }
+        TopologySnapshot::from_edges(SlotIndex(0), kinds, pos, vec![true; n], edges)
+    }
+
+    /// Conservative per-node hop lower bounds toward `dest` from raw
+    /// geometry: `ceil(chord·(1−1e-9) / L_max)` with `L_max` the longest
+    /// edge reach in the snapshot.
+    fn hop_bounds_to(snapshot: &TopologySnapshot, dest: NodeId) -> Vec<u32> {
+        let mut l_max = 0.0f64;
+        for (_, e) in (0..snapshot.num_nodes()).flat_map(|i| snapshot.out_edges(NodeId(i as u32))) {
+            l_max = l_max.max(snapshot.position(e.src).distance(snapshot.position(e.dst)));
+        }
+        let dp = snapshot.position(dest);
+        (0..snapshot.num_nodes())
+            .map(|i| {
+                let chord = snapshot.position(NodeId(i as u32)).distance(dp);
+                if l_max <= 0.0 || chord <= 0.0 {
+                    0
+                } else {
+                    (chord * (1.0 - 1e-9) / l_max).ceil() as u32
+                }
+            })
+            .collect()
+    }
+
+    fn assert_same(tag: &str, a: &Option<FoundPath>, b: &Option<FoundPath>) {
+        match (a, b) {
+            (None, None) => {}
+            (Some(x), Some(y)) => {
+                assert_eq!(x.nodes, y.nodes, "{tag}: nodes");
+                assert_eq!(x.edges, y.edges, "{tag}: edges");
+                assert_eq!(x.cost.to_bits(), y.cost.to_bits(), "{tag}: cost bits");
+            }
+            _ => panic!("{tag}: reachability disagrees: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Reference Dijkstra, goal-directed A\* and a settled-tree read must
+    /// all return bit-identical [`FoundPath`]s, for every destination
+    /// served by one tree, under a pruning cost model with a known floor.
+    fn assert_astar_and_tree_match_reference(seed: u64) {
+        let n = 8 + (seed % 5) as usize;
+        let snapshot = random_geo_snapshot(n, seed);
+        let w = 1 + (seed % 13) as u32;
+        // Per-edge cost >= 1.0, with ~10% of edges pruned.
+        let cost = move |a: u32, b: u32| -> Option<f64> {
+            if (a * 7 + b * 11 + w).is_multiple_of(10) {
+                None
+            } else {
+                Some(((a * w + b * 17) % 23) as f64 + 1.0)
+            }
+        };
+        let source = NodeId(0);
+        let mut scratch = SearchScratch::new();
+        let tree = settle_tree_in(&mut scratch, &snapshot, source, |ctx| {
+            cost(ctx.edge.src.0, ctx.edge.dst.0)
+        });
+        for dest_i in [n - 2, n - 1] {
+            let dest = NodeId(dest_i as u32);
+            let reference = min_cost_path_in(&mut scratch, &snapshot, source, dest, |ctx| {
+                cost(ctx.edge.src.0, ctx.edge.dst.0)
+            });
+            let hops = hop_bounds_to(&snapshot, dest);
+            let heuristic = HopBoundHeuristic { hops_lb: &hops, unit: 1.0 * (1.0 - 1e-9) };
+            let astar =
+                min_cost_path_with(&mut scratch, &snapshot, source, dest, &heuristic, |ctx| {
+                    cost(ctx.edge.src.0, ctx.edge.dst.0)
+                });
+            let via_tree = path_via_tree(&tree, &snapshot, source, dest, |ctx| {
+                cost(ctx.edge.src.0, ctx.edge.dst.0)
+            });
+            assert_same(&format!("seed {seed} dest {dest_i} astar"), &reference, &astar);
+            assert_same(&format!("seed {seed} dest {dest_i} tree"), &reference, &via_tree);
+        }
+    }
+
+    #[test]
+    fn astar_and_tree_reads_are_bit_identical_to_reference() {
+        for seed in 0..300 {
+            assert_astar_and_tree_match_reference(seed);
+        }
+    }
+
+    #[test]
+    fn astar_prunes_work_on_goal_directed_instances() {
+        // On at least some random instances the heuristic must abandon
+        // part of the frontier (otherwise it is doing nothing).
+        let mut pruned = 0u64;
+        for seed in 0..50 {
+            let n = 10;
+            let snapshot = random_geo_snapshot(n, seed);
+            let dest = NodeId(n as u32 - 1);
+            let hops = hop_bounds_to(&snapshot, dest);
+            let heuristic = HopBoundHeuristic { hops_lb: &hops, unit: 1.0 * (1.0 - 1e-9) };
+            let mut scratch = SearchScratch::new();
+            let _ =
+                min_cost_path_with(&mut scratch, &snapshot, NodeId(0), dest, &heuristic, |ctx| {
+                    Some(((ctx.edge.src.0 * 3 + ctx.edge.dst.0 * 17) % 23) as f64 + 1.0)
+                });
+            pruned += scratch.take_stats().heuristic_prunes;
+        }
+        assert!(pruned > 0, "A* never cut the frontier across 50 instances");
+    }
+
+    #[test]
+    fn search_stats_count_work() {
+        let g = diamond();
+        let mut scratch = SearchScratch::new();
+        let _ = min_cost_path_in(&mut scratch, &g, NodeId(0), NodeId(5), |_| Some(1.0));
+        let stats = scratch.take_stats();
+        assert!(stats.pops > 0);
+        assert!(stats.relaxations > 0);
+        // take_stats resets.
+        assert_eq!(scratch.take_stats(), SearchStats::default());
+    }
+
     proptest! {
+        /// Reference Dijkstra vs A* vs settled-tree reads: bit-identical
+        /// paths over random geometric snapshots and pruning cost models.
+        #[test]
+        fn prop_astar_and_tree_match_reference(seed in 0u64..2000) {
+            assert_astar_and_tree_match_reference(seed);
+        }
+
         /// A reused [`SearchScratch`] must return exactly the same
         /// [`FoundPath`] (nodes, edges, cost bits) as a fresh-allocation
         /// call, across many sequential queries over random snapshots and

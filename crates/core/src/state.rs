@@ -224,6 +224,15 @@ pub struct NetworkState {
     /// [`EnergyLedger::flat_index`]; bumped whenever the cell's cumulative
     /// deficit (what battery prices read) may have changed.
     battery_epoch: Vec<u64>,
+    /// Coarse per-slot bandwidth generation: the epoch of the most recent
+    /// mutation that touched *any* bandwidth cell of the slot. Lets a
+    /// whole-slot artifact (e.g. a cached shortest-path tree) revalidate
+    /// in O(1) instead of per cell; conservative — a commit on any edge of
+    /// the slot invalidates it.
+    slot_bandwidth_gen: Vec<u64>,
+    /// Coarse battery generation: the epoch of the most recent mutation
+    /// that touched any battery deficit cell of any satellite.
+    battery_gen: u64,
     /// Every committed booking, in commit order (see [`BookingEntry`]).
     bookings: Vec<BookingEntry>,
 }
@@ -246,6 +255,7 @@ impl NetworkState {
         let epoch = next_epoch();
         let bandwidth_epoch = reserved_mbps.iter().map(|row| vec![epoch; row.len()]).collect();
         let battery_epoch = vec![epoch; num_satellites * series.num_slots()];
+        let slot_bandwidth_gen = vec![epoch; series.num_slots()];
         NetworkState {
             series,
             num_satellites,
@@ -254,12 +264,20 @@ impl NetworkState {
             reserved_mbps,
             bandwidth_epoch,
             battery_epoch,
+            slot_bandwidth_gen,
+            battery_gen: epoch,
             bookings: Vec::new(),
         }
     }
 
     /// The underlying topology series.
     pub fn series(&self) -> &TopologySeries {
+        &self.series
+    }
+
+    /// The shared handle to the topology series (cache anchors key on its
+    /// `Arc` identity).
+    pub fn series_arc(&self) -> &Arc<TopologySeries> {
         &self.series
     }
 
@@ -335,6 +353,21 @@ impl NetworkState {
     #[inline]
     pub fn battery_epoch(&self, sat: usize, t: usize) -> u64 {
         self.battery_epoch[self.ledger.flat_index(sat, t)]
+    }
+
+    /// Coarse generation of `slot`'s whole bandwidth plane: unchanged iff
+    /// no bandwidth cell of the slot was mutated since. Same epoch
+    /// semantics as [`Self::bandwidth_epoch`], one value per slot.
+    #[inline]
+    pub fn slot_bandwidth_gen(&self, slot: SlotIndex) -> u64 {
+        self.slot_bandwidth_gen[slot.index()]
+    }
+
+    /// Coarse generation of the whole battery plane: unchanged iff no
+    /// deficit cell of any satellite was mutated since.
+    #[inline]
+    pub fn battery_gen(&self) -> u64 {
+        self.battery_gen
     }
 
     /// The constellation index of a node, when it is a broadband satellite.
@@ -414,9 +447,11 @@ impl NetworkState {
         for (&(slot, edge), &mbps) in &demand {
             self.reserved_mbps[slot.index()][edge.index()] += mbps;
             self.bandwidth_epoch[slot.index()][edge.index()] = epoch;
+            self.slot_bandwidth_gen[slot.index()] = epoch;
         }
         for i in delta.deficit_indices() {
             self.battery_epoch[i] = epoch;
+            self.battery_gen = epoch;
         }
         self.ledger.absorb(delta);
         let mut bw: Vec<(SlotIndex, EdgeId, f64)> =
@@ -474,6 +509,7 @@ impl NetworkState {
         for &(s, e) in &released_cells {
             self.reserved_mbps[s.index()][e.index()] = 0.0;
             self.bandwidth_epoch[s.index()][e.index()] = epoch;
+            self.slot_bandwidth_gen[s.index()] = epoch;
         }
         for b in &self.bookings {
             for &(s, e, mbps) in &b.bw {
@@ -491,6 +527,7 @@ impl NetworkState {
         // epochs advance.
         for &sat in &released_sats {
             self.ledger.reset_satellite(sat);
+            self.battery_gen = epoch;
             for t in 0..self.horizon() {
                 self.battery_epoch[self.ledger.flat_index(sat, t)] = epoch;
             }
@@ -638,6 +675,7 @@ impl NetworkState {
         let epoch = next_epoch();
         let bandwidth_epoch = reserved_mbps.iter().map(|row| vec![epoch; row.len()]).collect();
         let battery_epoch = vec![epoch; num_satellites * series.num_slots()];
+        let slot_bandwidth_gen = vec![epoch; series.num_slots()];
         Ok(NetworkState {
             series,
             num_satellites,
@@ -646,6 +684,8 @@ impl NetworkState {
             reserved_mbps,
             bandwidth_epoch,
             battery_epoch,
+            slot_bandwidth_gen,
+            battery_gen: epoch,
             bookings,
         })
     }
@@ -656,8 +696,10 @@ impl NetworkState {
     /// production code.
     #[doc(hidden)]
     pub fn debug_set_reserved(&mut self, slot: SlotIndex, edge: EdgeId, mbps: f64) {
+        let epoch = next_epoch();
         self.reserved_mbps[slot.index()][edge.index()] = mbps;
-        self.bandwidth_epoch[slot.index()][edge.index()] = next_epoch();
+        self.bandwidth_epoch[slot.index()][edge.index()] = epoch;
+        self.slot_bandwidth_gen[slot.index()] = epoch;
     }
 
     /// Test-only epoch invalidator: advances the epoch of one battery
@@ -666,7 +708,9 @@ impl NetworkState {
     /// deterministically; never call it from production code.
     #[doc(hidden)]
     pub fn debug_bump_battery_epoch(&mut self, sat: usize, t: usize) {
-        self.battery_epoch[self.ledger.flat_index(sat, t)] = next_epoch();
+        let epoch = next_epoch();
+        self.battery_epoch[self.ledger.flat_index(sat, t)] = epoch;
+        self.battery_gen = epoch;
     }
 
     /// Test-only mutable ledger access, for injecting ledger corruption.
@@ -676,6 +720,7 @@ impl NetworkState {
     pub fn debug_ledger_mut(&mut self) -> &mut EnergyLedger {
         let epoch = next_epoch();
         self.battery_epoch.fill(epoch);
+        self.battery_gen = epoch;
         &mut self.ledger
     }
 
@@ -1173,6 +1218,46 @@ mod tests {
         // Healthy cells are unaffected by the guard.
         state.debug_set_reserved(slot, edge, 250.0);
         assert_eq!(state.utilization(slot, edge), 0.25);
+    }
+
+    #[test]
+    fn slot_and_battery_generations_track_mutations() {
+        let (mut state, src, dst) = small_state();
+        let g0 = state.slot_bandwidth_gen(SlotIndex(0));
+        let g1 = state.slot_bandwidth_gen(SlotIndex(1));
+        let b0 = state.battery_gen();
+
+        // A bandwidth write to slot 0 moves only slot 0's generation.
+        state.debug_set_reserved(SlotIndex(0), EdgeId(0), 10.0);
+        assert_ne!(state.slot_bandwidth_gen(SlotIndex(0)), g0);
+        assert_eq!(state.slot_bandwidth_gen(SlotIndex(1)), g1);
+        assert_eq!(state.battery_gen(), b0);
+
+        // A battery bump moves only the battery generation.
+        let g0 = state.slot_bandwidth_gen(SlotIndex(0));
+        state.debug_bump_battery_epoch(0, 0);
+        assert_ne!(state.battery_gen(), b0);
+        assert_eq!(state.slot_bandwidth_gen(SlotIndex(0)), g0);
+
+        // A commit moves the touched slot's generation and the battery
+        // generation; a release moves them again.
+        if let Some(plan) = direct_plan(&state, src, dst, SlotIndex(0)) {
+            let req = request(src, dst, 900.0);
+            let (g0, g1, b) = (
+                state.slot_bandwidth_gen(SlotIndex(0)),
+                state.slot_bandwidth_gen(SlotIndex(1)),
+                state.battery_gen(),
+            );
+            state.try_commit_plan(&req, &plan).unwrap();
+            assert_ne!(state.slot_bandwidth_gen(SlotIndex(0)), g0);
+            assert_eq!(state.slot_bandwidth_gen(SlotIndex(1)), g1);
+            assert_ne!(state.battery_gen(), b);
+
+            let (g0, b) = (state.slot_bandwidth_gen(SlotIndex(0)), state.battery_gen());
+            state.release_from(state.last_booking().unwrap(), SlotIndex(0));
+            assert_ne!(state.slot_bandwidth_gen(SlotIndex(0)), g0);
+            assert_ne!(state.battery_gen(), b);
+        }
     }
 
     #[test]

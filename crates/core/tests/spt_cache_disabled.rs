@@ -1,0 +1,75 @@
+//! `SB_NO_SPT_CACHE=1` escape hatch: searches stay goal-directed but no
+//! tree is ever stored or served, and results are unchanged.
+//!
+//! This lives in its own integration-test binary because the switch is
+//! read once per process and latched ([`sb_cear::spt_cache_disabled`]);
+//! the env var must be set before the first cache query anywhere in the
+//! process, which a shared test binary cannot guarantee.
+
+use sb_cear::{
+    global_spt_stats, spt_cache_disabled, Decision, NetworkState, RoutingAlgorithm, SearchKind, Ssp,
+};
+use sb_demand::{RateProfile, Request, RequestId};
+use sb_energy::EnergyParams;
+use sb_geo::coords::Geodetic;
+use sb_orbit::walker::WalkerConstellation;
+use sb_topology::{NetworkNodes, NodeId, SlotIndex, TopologyConfig, TopologySeries};
+use std::sync::Arc;
+
+fn build_series(slots: usize) -> (Arc<TopologySeries>, NodeId, NodeId) {
+    let shell = WalkerConstellation::delta(10, 10, 2, 550e3, 53f64.to_radians());
+    let mut nodes = NetworkNodes::from_walker(&shell);
+    let a = nodes.add_ground_site(Geodetic::from_degrees(35.8, -78.6, 0.0));
+    let b = nodes.add_ground_site(Geodetic::from_degrees(48.9, 2.3, 0.0));
+    let cfg = TopologyConfig { min_elevation_rad: 10f64.to_radians(), ..TopologyConfig::default() };
+    (Arc::new(TopologySeries::build(&nodes, &cfg, slots, 60.0)), a, b)
+}
+
+fn request(id: u32, src: NodeId, dst: NodeId, start: u32, end: u32) -> Request {
+    Request {
+        id: RequestId(id),
+        source: src,
+        destination: dst,
+        rate: RateProfile::Constant(25.0),
+        start: SlotIndex(start),
+        end: SlotIndex(end),
+        valuation: 2.3e9,
+    }
+}
+
+#[test]
+fn disabled_cache_serves_nothing_and_changes_nothing() {
+    std::env::set_var("SB_NO_SPT_CACHE", "1");
+    assert!(spt_cache_disabled(), "latch must see the env var");
+
+    let (series, a, b) = build_series(4);
+    let energy = EnergyParams::default();
+    // SSP is the cache's best customer (non-volatile weights), so it is
+    // the strongest witness that the bypass really bypasses.
+    let mut state_plain = NetworkState::new(Arc::clone(&series), &energy);
+    let mut state_ref = NetworkState::new(Arc::clone(&series), &energy);
+    let mut ssp = Ssp::new();
+    let mut ssp_ref = Ssp::new().with_search(SearchKind::Reference);
+    for (id, start, end) in [(0u32, 0u32, 2u32), (1, 1, 3), (2, 0, 3)] {
+        let req = request(id, a, b, start, end);
+        let d = ssp.process(&req, &mut state_plain);
+        let d_ref = ssp_ref.process(&req, &mut state_ref);
+        match (&d, &d_ref) {
+            (Decision::Accepted { plan: pa, .. }, Decision::Accepted { plan: pb, .. }) => {
+                for (sa, sb) in pa.slot_paths.iter().zip(&pb.slot_paths) {
+                    assert_eq!((sa.slot, &sa.nodes, &sa.edges), (sb.slot, &sb.nodes, &sb.edges));
+                }
+            }
+            (Decision::Rejected { reason: ra }, Decision::Rejected { reason: rb }) => {
+                assert_eq!(ra, rb);
+            }
+            _ => panic!("decisions diverge with the cache disabled: {d:?} vs {d_ref:?}"),
+        }
+    }
+    let stats = global_spt_stats();
+    assert_eq!(
+        (stats.hits, stats.misses, stats.deferred),
+        (0, 0, 0),
+        "no SPT lookup may be counted while the cache is disabled"
+    );
+}

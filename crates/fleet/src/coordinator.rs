@@ -54,6 +54,8 @@ pub struct FleetOptions {
     pub quote_threads: usize,
     /// Topology build threads inside each worker (bit-identical).
     pub build_threads: usize,
+    /// Shortest-path kernel inside each admission (bit-identical).
+    pub search: sb_sim::SearchKind,
 }
 
 impl FleetOptions {
@@ -68,6 +70,7 @@ impl FleetOptions {
             chaos: ChaosPlan::default(),
             quote_threads: 1,
             build_threads: 1,
+            search: sb_sim::SearchKind::default(),
         }
     }
 }
@@ -315,6 +318,7 @@ pub fn run_fleet(cells: &[SweepCell], opts: &FleetOptions) -> Result<FleetOutcom
                         digest: digests[cell],
                         quote_threads: opts.quote_threads,
                         build_threads: opts.build_threads,
+                        search: opts.search,
                         chaos: opts.chaos.worker_chaos(cell, attempt),
                     };
                     let msg = JobMsg::Run { job: cell as u64, spec: Box::new(spec) };
@@ -486,6 +490,7 @@ fn run_in_process(
             digest: digests[i],
             quote_threads: opts.quote_threads,
             build_threads: opts.build_threads,
+            search: opts.search,
             chaos: None,
         };
         let metrics = crate::worker::run_cell_local(&spec, &cache, |_| {});

@@ -18,13 +18,13 @@
 //! not the one it dispatched.
 
 use sb_sim::engine::{run_digest, AlgorithmKind};
-use sb_sim::ScenarioConfig;
+use sb_sim::{ScenarioConfig, SearchKind};
 use sb_wire::{Reader, WireError, Writer};
 
 /// Protocol version; bumped on any frame-format change. A worker greets
 /// with its version and the coordinator refuses a mismatch outright
 /// rather than misparse jobs.
-pub const PROTO_VERSION: u32 = 1;
+pub const PROTO_VERSION: u32 = 2;
 
 /// Upper bound on one protocol frame's payload. Cells are a few KB of
 /// JSON and metrics a few KB of wire encoding; 16 MiB is comfortably
@@ -89,6 +89,8 @@ pub struct CellSpec {
     pub quote_threads: usize,
     /// Topology build threads (bit-identical).
     pub build_threads: usize,
+    /// Shortest-path kernel inside each admission (bit-identical).
+    pub search: SearchKind,
     /// Scripted self-sabotage, if the chaos plan targets this attempt.
     pub chaos: Option<WorkerChaos>,
 }
@@ -103,6 +105,10 @@ impl CellSpec {
         w.u64(self.digest);
         w.usize(self.quote_threads);
         w.usize(self.build_threads);
+        w.u8(match self.search {
+            SearchKind::Reference => 0,
+            SearchKind::Astar => 1,
+        });
         WorkerChaos::encode(&self.chaos, w);
     }
 
@@ -129,6 +135,11 @@ impl CellSpec {
                 ),
             });
         }
+        let search = match r.u8()? {
+            0 => SearchKind::Reference,
+            1 => SearchKind::Astar,
+            tag => return Err(WireError::BadTag { tag, context: "SearchKind" }),
+        };
         let chaos = WorkerChaos::decode(r)?;
         let expected = run_digest(&scenario, &kind, seed);
         if expected != digest {
@@ -139,7 +150,17 @@ impl CellSpec {
                 ),
             });
         }
-        Ok(CellSpec { label, scenario, kind, seed, digest, quote_threads, build_threads, chaos })
+        Ok(CellSpec {
+            label,
+            scenario,
+            kind,
+            seed,
+            digest,
+            quote_threads,
+            build_threads,
+            search,
+            chaos,
+        })
     }
 }
 
@@ -381,6 +402,7 @@ mod tests {
             seed,
             quote_threads: 1,
             build_threads: 2,
+            search: SearchKind::Reference,
             chaos: Some(WorkerChaos::KillAtSlot(3)),
         }
     }

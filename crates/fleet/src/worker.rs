@@ -32,8 +32,10 @@ pub fn run_cell_local(
 ) -> RunMetrics {
     let prepared = cache.get(&spec.scenario, spec.seed);
     let requests = sb_sim::engine::workload(&spec.scenario, &prepared, spec.seed);
-    let mut algorithm =
-        spec.kind.instantiate_exec(&sb_sim::ExecOptions { quote_threads: spec.quote_threads });
+    let mut algorithm = spec.kind.instantiate_exec(&sb_sim::ExecOptions {
+        quote_threads: spec.quote_threads,
+        search: spec.search,
+    });
     let mut core = EngineCore::new(&spec.scenario, &prepared, &requests, spec.seed);
     while !core.is_complete() {
         match spec.chaos {
@@ -137,6 +139,7 @@ mod tests {
             seed,
             quote_threads: 1,
             build_threads: 1,
+            search: sb_sim::SearchKind::default(),
             chaos: None,
         }
     }

@@ -50,6 +50,7 @@ fn reference(cells: &[SweepCell]) -> Vec<RunMetrics> {
                 digest: run_digest(&c.scenario, &c.kind, c.seed),
                 quote_threads: 1,
                 build_threads: 1,
+                search: sb_sim::SearchKind::default(),
                 chaos: None,
             };
             normalized(run_cell_local(&spec, &cache, |_| {}))

@@ -34,7 +34,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sb_cear::{
     repair, try_repair, AblationFlags, BookingId, Cear, CearParams, Decision, KnownFailures,
-    NetworkState, RejectReason, RepairOutcome, RepairPolicy, RoutingAlgorithm, SlotPath,
+    NetworkState, RejectReason, RepairOutcome, RepairPolicy, RoutingAlgorithm, SearchKind,
+    SlotPath,
 };
 use sb_demand::generator::{generate_workload, WorkloadConfig};
 use sb_demand::Request;
@@ -88,16 +89,18 @@ impl AlgorithmKind {
     /// [`ScenarioConfig`] and the run digest.
     pub fn instantiate_exec(&self, exec: &ExecOptions) -> Box<dyn RoutingAlgorithm> {
         match self {
-            AlgorithmKind::Cear(params) => {
-                Box::new(Cear::new(*params).with_quote_threads(exec.quote_threads))
-            }
-            AlgorithmKind::CearAblated(params, flags) => Box::new(
-                Cear::with_ablation(*params, *flags).with_quote_threads(exec.quote_threads),
+            AlgorithmKind::Cear(params) => Box::new(
+                Cear::new(*params).with_quote_threads(exec.quote_threads).with_search(exec.search),
             ),
-            AlgorithmKind::Ssp => Box::new(sb_cear::Ssp::new()),
-            AlgorithmKind::Ecars => Box::new(sb_cear::Ecars::new()),
-            AlgorithmKind::Eru => Box::new(sb_cear::Eru::new()),
-            AlgorithmKind::Era => Box::new(sb_cear::Era::new()),
+            AlgorithmKind::CearAblated(params, flags) => Box::new(
+                Cear::with_ablation(*params, *flags)
+                    .with_quote_threads(exec.quote_threads)
+                    .with_search(exec.search),
+            ),
+            AlgorithmKind::Ssp => Box::new(sb_cear::Ssp::new().with_search(exec.search)),
+            AlgorithmKind::Ecars => Box::new(sb_cear::Ecars::new().with_search(exec.search)),
+            AlgorithmKind::Eru => Box::new(sb_cear::Eru::new().with_search(exec.search)),
+            AlgorithmKind::Era => Box::new(sb_cear::Era::new().with_search(exec.search)),
         }
     }
 
@@ -130,11 +133,15 @@ pub struct ExecOptions {
     /// Worker threads for speculative slot-parallel admission quoting
     /// (CEAR variants only; floored at 1 = serial).
     pub quote_threads: usize,
+    /// The per-slot search kernel (all algorithms): the reference Dijkstra
+    /// or goal-directed A\* with SPT caching — bit-identical results
+    /// either way (see `sb_cear::SearchKind`).
+    pub search: SearchKind,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { quote_threads: 1 }
+        ExecOptions { quote_threads: 1, search: SearchKind::default() }
     }
 }
 
@@ -1082,7 +1089,7 @@ mod tests {
                     &requests,
                     &kind,
                     seed,
-                    &ExecOptions { quote_threads: 1 },
+                    &ExecOptions { quote_threads: 1, ..ExecOptions::default() },
                 );
                 let mut b = run_prepared_exec(
                     &scenario,
@@ -1090,11 +1097,55 @@ mod tests {
                     &requests,
                     &kind,
                     seed,
-                    &ExecOptions { quote_threads: 4 },
+                    &ExecOptions { quote_threads: 4, ..ExecOptions::default() },
                 );
                 b.processing_ms = a.processing_ms; // wall clock may differ
                 assert_eq!(a, b, "{} seed {seed}", kind.name());
                 assert!(a.accepted_requests > 0, "seed {seed}: vacuous equivalence");
+            }
+        }
+    }
+
+    #[test]
+    fn search_kinds_leave_run_metrics_bit_identical() {
+        // Goal-directed A* with SPT caching is a pure acceleration: full
+        // engine runs — all five algorithms, failure-free and with
+        // unforeseen failures (repair quotes go through the pruned,
+        // reference-style path) — must produce identical metrics for both
+        // kernels. This covers admission, commit, release and repair
+        // epochs against live SPT caches.
+        use crate::scenario::UnforeseenFailures;
+        use sb_topology::failures::{FailureModel, LinkFailureModel};
+
+        let mut with_failures = ScenarioConfig::tiny();
+        with_failures.unforeseen = Some(UnforeseenFailures {
+            model: FailureModel::IndependentLinks(LinkFailureModel::new(0.1, 0xfee1)),
+            policy: RepairPolicy::Repair,
+        });
+        for scenario in [ScenarioConfig::tiny(), with_failures] {
+            for kind in AlgorithmKind::all(&scenario) {
+                for seed in [0, 3] {
+                    let prepared = prepare(&scenario, seed);
+                    let requests = workload(&scenario, &prepared, seed);
+                    let a = run_prepared_exec(
+                        &scenario,
+                        &prepared,
+                        &requests,
+                        &kind,
+                        seed,
+                        &ExecOptions { search: SearchKind::Reference, ..ExecOptions::default() },
+                    );
+                    let mut b = run_prepared_exec(
+                        &scenario,
+                        &prepared,
+                        &requests,
+                        &kind,
+                        seed,
+                        &ExecOptions { search: SearchKind::Astar, ..ExecOptions::default() },
+                    );
+                    b.processing_ms = a.processing_ms; // wall clock may differ
+                    assert_eq!(a, b, "{} seed {seed}", kind.name());
+                }
             }
         }
     }

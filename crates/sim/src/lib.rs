@@ -57,4 +57,5 @@ pub use engine::{AlgorithmKind, ExecOptions};
 pub use metrics::RunMetrics;
 pub use outage::FailureOracle;
 pub use prepared::PreparedCache;
+pub use sb_cear::SearchKind;
 pub use scenario::{ScenarioConfig, UnforeseenFailures};
