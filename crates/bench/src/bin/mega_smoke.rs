@@ -1,0 +1,90 @@
+//! CI smoke test for the mega-constellation topology path: builds a
+//! reduced-horizon two-shell ≥10k-satellite series with the delta
+//! compiler, verifies it is bit-identical to the dense full rebuild, and
+//! asserts the shared-structure memory contract (series heap ceiling and
+//! the ≥5× per-slot marginal reduction over the dense representation).
+//!
+//! ```text
+//! cargo run -p sb-bench --release --bin mega_smoke
+//! ```
+//!
+//! Exits non-zero (panics) on any violated contract, so CI can run it
+//! bare. The full-horizon measured numbers live in `BENCH_perf.json`'s
+//! `mega` section (see the `perf` bin); this bin is the fast gate.
+
+use sb_geo::coords::Geodetic;
+use sb_orbit::walker::WalkerConstellation;
+use sb_sim::ScenarioConfig;
+use sb_topology::{NetworkNodes, TopologySeries};
+use std::time::Instant;
+
+/// Reduced horizon: enough slots to exercise base + delta + parallel
+/// range splits, short enough for a CI smoke job.
+const SMOKE_SLOTS: usize = 4;
+
+/// Same retained-series ceiling the perf bin asserts at the full mega
+/// horizon; the smoke horizon is shorter, so this is strictly looser.
+const HEAP_CEILING_BYTES: usize = 256 << 20;
+
+fn main() {
+    let mega = ScenarioConfig::mega();
+    let mut shells = vec![WalkerConstellation::delta(
+        mega.planes,
+        mega.sats_per_plane,
+        mega.phasing,
+        mega.altitude_m,
+        mega.inclination_deg.to_radians(),
+    )];
+    for s in &mega.extra_shells {
+        shells.push(WalkerConstellation::delta(
+            s.planes,
+            s.sats_per_plane,
+            s.phasing,
+            s.altitude_m,
+            s.inclination_deg.to_radians(),
+        ));
+    }
+    let mut nodes = NetworkNodes::from_shells(&shells);
+    nodes.add_ground_site(Geodetic::from_degrees(35.8, -78.6, 0.0));
+    nodes.add_ground_site(Geodetic::from_degrees(48.9, 2.3, 0.0));
+    for eo in sb_orbit::eo::synthetic_fleet(4) {
+        nodes.add_space_user(eo);
+    }
+    assert!(nodes.num_satellites() >= 10_000, "mega preset must be ≥10k satellites");
+    assert!(shells.len() >= 2, "mega preset must be multi-shell");
+
+    eprintln!(
+        "mega-smoke: {} satellites, {} shells, {SMOKE_SLOTS} slots…",
+        nodes.num_satellites(),
+        shells.len()
+    );
+    let t = Instant::now();
+    let delta = TopologySeries::build_par(&nodes, &mega.topology, SMOKE_SLOTS, 60.0, 4);
+    let delta_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let full = TopologySeries::build_full(&nodes, &mega.topology, SMOKE_SLOTS, 60.0);
+    let full_s = t.elapsed().as_secs_f64();
+
+    assert!(delta == full, "delta-compiled mega series diverged from the full rebuild");
+
+    let heap = delta.heap_bytes();
+    assert!(
+        heap <= HEAP_CEILING_BYTES,
+        "mega series heap {heap} B exceeds the {HEAP_CEILING_BYTES} B ceiling"
+    );
+    let marginal: usize =
+        delta.snapshots().iter().map(|s| s.marginal_heap_bytes()).sum::<usize>() / SMOKE_SLOTS;
+    let dense: usize =
+        full.snapshots().iter().map(|s| s.marginal_heap_bytes()).sum::<usize>() / SMOKE_SLOTS;
+    let ratio = dense as f64 / marginal.max(1) as f64;
+    assert!(ratio >= 5.0, "per-slot marginal ratio {ratio:.2}x is below the required 5x");
+
+    println!(
+        "mega-smoke OK: build {delta_s:.2}s (full rebuild {full_s:.2}s), heap {:.1} MiB \
+         (ceiling {} MiB), per-slot marginal {:.1} KiB vs dense {:.1} KiB ({ratio:.1}x)",
+        heap as f64 / (1 << 20) as f64,
+        HEAP_CEILING_BYTES >> 20,
+        marginal as f64 / 1024.0,
+        dense as f64 / 1024.0,
+    );
+}

@@ -59,6 +59,27 @@ use sb_topology::{NetworkNodes, SlotIndex, TopologyConfig, TopologySeries};
 use std::hint::black_box;
 use std::time::Instant;
 
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), `None` off Linux or when the field is absent.
+fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+        let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+        Some(kib * 1024)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// `Some(n)` → `n`, `None` → JSON `null`.
+fn json_opt_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_owned(), |n| n.to_string())
+}
+
 fn micro_network(slots: usize) -> (NetworkState, sb_topology::NodeId, sb_topology::NodeId) {
     let shell = WalkerConstellation::delta(16, 16, 5, 550e3, 53f64.to_radians());
     let mut nodes = NetworkNodes::from_walker(&shell);
@@ -437,6 +458,128 @@ fn main() {
         cells.len()
     );
 
+    // ---- Memory: delta-compiled vs full-rebuild representation ---------
+    // The same scenario series built both ways. The delta builder shares
+    // one static ISL template across slots, so its per-slot *marginal*
+    // bytes must be a fraction of the dense per-slot footprint.
+    let delta_series = &serial_prepared.series;
+    // `SB_FULL_REBUILD=1` routes the same prepare path through the dense
+    // per-slot builder — identical node table, identical series content,
+    // dense representation.
+    std::env::set_var("SB_FULL_REBUILD", "1");
+    let full_prepared = engine::prepare(&scenario, 0);
+    std::env::remove_var("SB_FULL_REBUILD");
+    let full_series = &full_prepared.series;
+    assert!(
+        full_series.as_ref() == delta_series.as_ref(),
+        "delta series must equal the full rebuild"
+    );
+    let slots = scenario.horizon_slots.max(1);
+    let delta_marginal_per_slot = delta_series
+        .snapshots()
+        .iter()
+        .map(sb_topology::TopologySnapshot::marginal_heap_bytes)
+        .sum::<usize>()
+        / slots;
+    let dense_per_slot = full_series
+        .snapshots()
+        .iter()
+        .map(sb_topology::TopologySnapshot::marginal_heap_bytes)
+        .sum::<usize>()
+        / slots;
+    let memory_ratio = dense_per_slot as f64 / delta_marginal_per_slot.max(1) as f64;
+    let memory_rss = peak_rss_bytes();
+    eprintln!(
+        "memory: delta marginal {delta_marginal_per_slot} B/slot, dense {dense_per_slot} B/slot, \
+         ratio {memory_ratio:.2}x"
+    );
+
+    // ---- Mega: two-shell 10k-satellite build under a memory ceiling ----
+    let mega = sb_sim::ScenarioConfig::mega();
+    let mut mega_shells = vec![WalkerConstellation::delta(
+        mega.planes,
+        mega.sats_per_plane,
+        mega.phasing,
+        mega.altitude_m,
+        mega.inclination_deg.to_radians(),
+    )];
+    for s in &mega.extra_shells {
+        mega_shells.push(WalkerConstellation::delta(
+            s.planes,
+            s.sats_per_plane,
+            s.phasing,
+            s.altitude_m,
+            s.inclination_deg.to_radians(),
+        ));
+    }
+    let mut mega_nodes = NetworkNodes::from_shells(&mega_shells);
+    mega_nodes.add_ground_site(Geodetic::from_degrees(35.8, -78.6, 0.0));
+    mega_nodes.add_ground_site(Geodetic::from_degrees(48.9, 2.3, 0.0));
+    for eo in sb_orbit::eo::synthetic_fleet(4) {
+        mega_nodes.add_space_user(eo);
+    }
+    eprintln!(
+        "mega: building {} satellites × {} slots with {build_threads} threads…",
+        mega.total_satellites(),
+        mega.horizon_slots
+    );
+    let t = Instant::now();
+    let mega_series = TopologySeries::build_par(
+        &mega_nodes,
+        &mega.topology,
+        mega.horizon_slots,
+        mega.slot_duration_s,
+        build_threads,
+    );
+    let mega_build_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let mega_full = TopologySeries::build_full_par(
+        &mega_nodes,
+        &mega.topology,
+        mega.horizon_slots,
+        mega.slot_duration_s,
+        build_threads,
+    );
+    let mega_full_build_s = t.elapsed().as_secs_f64();
+    assert!(mega_series == mega_full, "mega delta series must equal the full rebuild");
+    let mega_heap = mega_series.heap_bytes();
+    let mega_dense_heap = mega_full.heap_bytes();
+    let mega_slots = mega.horizon_slots.max(1);
+    let mega_marginal_per_slot = mega_series
+        .snapshots()
+        .iter()
+        .map(sb_topology::TopologySnapshot::marginal_heap_bytes)
+        .sum::<usize>()
+        / mega_slots;
+    let mega_dense_per_slot = mega_full
+        .snapshots()
+        .iter()
+        .map(sb_topology::TopologySnapshot::marginal_heap_bytes)
+        .sum::<usize>()
+        / mega_slots;
+    let mega_ratio = mega_dense_per_slot as f64 / mega_marginal_per_slot.max(1) as f64;
+    // Ceiling on the retained series representation: the shared template
+    // plus per-slot dynamic state for two dense shells must stay far below
+    // the dense-per-slot regime. 256 MiB leaves ~8× headroom over the
+    // measured footprint while still catching an accidental return to
+    // per-slot cloning.
+    const MEGA_HEAP_CEILING_BYTES: usize = 256 << 20;
+    assert!(
+        mega_heap <= MEGA_HEAP_CEILING_BYTES,
+        "mega series heap {mega_heap} B exceeds the {MEGA_HEAP_CEILING_BYTES} B ceiling"
+    );
+    assert!(
+        mega_ratio >= 5.0,
+        "mega per-slot marginal memory ratio {mega_ratio:.2}x is below the required 5x"
+    );
+    let mega_rss = peak_rss_bytes();
+    eprintln!(
+        "mega: delta build {mega_build_s:.2}s, full rebuild {mega_full_build_s:.2}s, \
+         heap {:.1} MiB vs dense {:.1} MiB, marginal ratio {mega_ratio:.2}x",
+        mega_heap as f64 / (1 << 20) as f64,
+        mega_dense_heap as f64 / (1 << 20) as f64,
+    );
+
     // ---- Report --------------------------------------------------------
     let scaling_points = scaling
         .iter()
@@ -468,6 +611,31 @@ fn main() {
             s.hit_rate()
         )
     };
+    let memory_json = format!(
+        "{{\n    \"scale\": \"{}\",\n    \"delta_series_bytes\": {},\n    \
+         \"full_series_bytes\": {},\n    \"delta_marginal_per_slot_bytes\": \
+         {delta_marginal_per_slot},\n    \"dense_per_slot_bytes\": {dense_per_slot},\n    \
+         \"marginal_ratio\": {memory_ratio:.4},\n    \"peak_rss_bytes\": {}\n  }}",
+        scenario.name,
+        delta_series.heap_bytes(),
+        full_series.heap_bytes(),
+        json_opt_u64(memory_rss),
+    );
+    let mega_json = format!(
+        "{{\n    \"satellites\": {},\n    \"shells\": {},\n    \"horizon_slots\": {},\n    \
+         \"build_threads\": {build_threads},\n    \"build_wall_s\": {mega_build_s:.4},\n    \
+         \"full_rebuild_wall_s\": {mega_full_build_s:.4},\n    \
+         \"series_heap_bytes\": {mega_heap},\n    \
+         \"dense_series_heap_bytes\": {mega_dense_heap},\n    \
+         \"heap_ceiling_bytes\": {MEGA_HEAP_CEILING_BYTES},\n    \
+         \"marginal_per_slot_bytes\": {mega_marginal_per_slot},\n    \
+         \"dense_per_slot_bytes\": {mega_dense_per_slot},\n    \
+         \"marginal_ratio\": {mega_ratio:.4},\n    \"peak_rss_bytes\": {}\n  }}",
+        mega.total_satellites(),
+        1 + mega.extra_shells.len(),
+        mega.horizon_slots,
+        json_opt_u64(mega_rss),
+    );
     let search_json = format!(
         "{{\n    \"kernel_dijkstra_us\": {scratch_us:.3},\n    \
          \"kernel_astar_us\": {astar_kernel_us:.3},\n    \
@@ -510,7 +678,7 @@ fn main() {
          \"search_fresh_us\": {:.3},\n    \"search_arena_us\": {:.3},\n    \
          \"search_speedup\": {:.4},\n    \"unit_price_powf_ns\": {:.3},\n    \
          \"unit_price_cached_ns\": {:.3},\n    \"pricing_speedup\": {:.4}\n  }},\n  \
-         \"search\": {},\n  \"scaling\": {}\n}}\n",
+         \"search\": {},\n  \"scaling\": {},\n  \"memory\": {},\n  \"mega\": {}\n}}\n",
         scenario.name,
         opts.seeds,
         sb_bench::default_jobs(),
@@ -552,6 +720,8 @@ fn main() {
         powf_ns / cached_ns,
         search_json,
         scaling_json,
+        memory_json,
+        mega_json,
     );
     let path = opts.out_dir.join("BENCH_perf.json");
     if let Some(parent) = path.parent() {

@@ -83,7 +83,7 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
-/// Parses `--scale {paper,fast,tiny}`, `--seeds N`, `--out DIR`,
+/// Parses `--scale {paper,fast,tiny,mega}`, `--seeds N`, `--out DIR`,
 /// `--checkpoint-every N`, `--resume DIR`, `--jobs N`,
 /// `--quote-threads N`, `--build-threads N` and
 /// `--search {reference,astar}` from an argument iterator.
@@ -120,7 +120,11 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> FigureOptions {
                         scale_paper = false;
                         ScenarioConfig::tiny()
                     }
-                    other => panic!("unknown scale `{other}` (use paper|fast|tiny)"),
+                    "mega" => {
+                        scale_paper = false;
+                        ScenarioConfig::mega()
+                    }
+                    other => panic!("unknown scale `{other}` (use paper|fast|tiny|mega)"),
                 };
             }
             "--seeds" => {
@@ -509,6 +513,15 @@ mod tests {
             })
         });
         assert!(r.is_err(), "a panicking cell must fail the sweep");
+    }
+
+    #[test]
+    fn mega_scale_selects_multi_shell_preset() {
+        let o = parse(&["--scale", "mega"]);
+        assert_eq!(o.scenario.name, "mega");
+        assert!(o.scenario.total_satellites() >= 10_000);
+        assert!(!o.scenario.extra_shells.is_empty());
+        assert_eq!(o.seeds, FigureOptions::default().seeds);
     }
 
     #[test]

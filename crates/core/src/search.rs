@@ -390,7 +390,7 @@ pub fn min_cost_path_with<H: Heuristic>(
         if edge.dst != destination && snapshot.kind(edge.dst).is_user() {
             continue; // users are never intermediate
         }
-        let ctx = EdgeContext { slot, edge_id, edge, incoming: None };
+        let ctx = EdgeContext { slot, edge_id, edge: &edge, incoming: None };
         if let Some(cost) = cost_fn(&ctx) {
             debug_assert!(cost >= 0.0, "negative edge cost {cost}");
             scratch.stats.relaxations += 1;
@@ -446,7 +446,7 @@ pub fn min_cost_path_with<H: Heuristic>(
             if edge.dst != destination && snapshot.kind(edge.dst).is_user() {
                 continue;
             }
-            let ctx = EdgeContext { slot, edge_id, edge, incoming: Some(incoming) };
+            let ctx = EdgeContext { slot, edge_id, edge: &edge, incoming: Some(incoming) };
             let Some(step) = cost_fn(&ctx) else { continue };
             debug_assert!(step >= 0.0, "negative edge cost {step}");
             scratch.stats.relaxations += 1;
@@ -529,7 +529,7 @@ pub fn settle_tree_in(
             user_edges.push((edge_id, usize::MAX));
             continue;
         }
-        let ctx = EdgeContext { slot, edge_id, edge, incoming: None };
+        let ctx = EdgeContext { slot, edge_id, edge: &edge, incoming: None };
         if let Some(cost) = cost_fn(&ctx) {
             debug_assert!(cost >= 0.0, "negative edge cost {cost}");
             scratch.stats.relaxations += 1;
@@ -556,7 +556,7 @@ pub fn settle_tree_in(
                 user_edges.push((edge_id, state));
                 continue;
             }
-            let ctx = EdgeContext { slot, edge_id, edge, incoming: Some(incoming) };
+            let ctx = EdgeContext { slot, edge_id, edge: &edge, incoming: Some(incoming) };
             let Some(step) = cost_fn(&ctx) else { continue };
             debug_assert!(step >= 0.0, "negative edge cost {step}");
             scratch.stats.relaxations += 1;
@@ -603,7 +603,7 @@ pub fn path_via_tree(
             }
             (d, Some(incoming_of_state(from_state)))
         };
-        let ctx = EdgeContext { slot, edge_id, edge, incoming };
+        let ctx = EdgeContext { slot, edge_id, edge: &edge, incoming };
         let Some(step) = cost_fn(&ctx) else { continue };
         debug_assert!(step >= 0.0, "negative edge cost {step}");
         let g = if from_state == usize::MAX { step } else { g0 + step };

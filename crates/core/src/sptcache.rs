@@ -595,10 +595,11 @@ where
                     if !ev.feasible {
                         return true;
                     }
+                    let edge = snapshot.edge(ev.edge);
                     let ctx = EdgeContext {
                         slot,
                         edge_id: ev.edge,
-                        edge: snapshot.edge(ev.edge),
+                        edge: &edge,
                         incoming: ev.incoming(),
                     };
                     weight_bits(weight(&ctx, slot, state)) == ev.cost_bits

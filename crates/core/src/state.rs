@@ -734,7 +734,6 @@ impl NetworkState {
         let snap = self.series.snapshot(slot);
         let congested_directed = snap
             .edges()
-            .iter()
             .enumerate()
             .filter(|(idx, e)| {
                 let residual = e.capacity_mbps - self.reserved_mbps[slot.index()][*idx];

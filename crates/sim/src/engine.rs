@@ -175,14 +175,24 @@ pub fn prepare(scenario: &ScenarioConfig, seed: u64) -> PreparedNetwork {
 /// speed, never what gets built, which is why it is a plain argument and
 /// not part of [`ScenarioConfig`] or any digest.
 pub fn prepare_with(scenario: &ScenarioConfig, seed: u64, build_threads: usize) -> PreparedNetwork {
-    let shell = WalkerConstellation::delta(
+    let mut shells = Vec::with_capacity(1 + scenario.extra_shells.len());
+    shells.push(WalkerConstellation::delta(
         scenario.planes,
         scenario.sats_per_plane,
         scenario.phasing,
         scenario.altitude_m,
         scenario.inclination_deg.to_radians(),
-    );
-    let mut nodes = NetworkNodes::from_walker(&shell);
+    ));
+    for s in &scenario.extra_shells {
+        shells.push(WalkerConstellation::delta(
+            s.planes,
+            s.sats_per_plane,
+            s.phasing,
+            s.altitude_m,
+            s.inclination_deg.to_radians(),
+        ));
+    }
+    let mut nodes = NetworkNodes::from_shells(&shells);
 
     let grid = GroundGrid::generate(scenario.grid_subdivisions, scenario.ground_site_count);
     let fleet = sb_orbit::eo::synthetic_fleet(scenario.eo_fleet_size);
@@ -233,6 +243,16 @@ pub fn prepare_digest(scenario: &ScenarioConfig) -> u64 {
     w.usize(scenario.phasing);
     w.f64(scenario.altitude_m);
     w.f64(scenario.inclination_deg);
+    // Extra shells are appended only when present so every single-shell
+    // scenario keeps its pre-multi-shell digest (prepared caches and
+    // recorded digests stay valid).
+    for s in &scenario.extra_shells {
+        w.usize(s.planes);
+        w.usize(s.sats_per_plane);
+        w.usize(s.phasing);
+        w.f64(s.altitude_m);
+        w.f64(s.inclination_deg);
+    }
     w.str(&format!("{:?}", scenario.topology));
     w.usize(scenario.horizon_slots);
     w.f64(scenario.slot_duration_s);

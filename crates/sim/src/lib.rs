@@ -58,4 +58,4 @@ pub use metrics::RunMetrics;
 pub use outage::FailureOracle;
 pub use prepared::PreparedCache;
 pub use sb_cear::SearchKind;
-pub use scenario::{ScenarioConfig, UnforeseenFailures};
+pub use scenario::{ScenarioConfig, ShellConfig, UnforeseenFailures};

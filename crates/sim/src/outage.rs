@@ -61,7 +61,7 @@ impl FailureOracle {
         match &self.model {
             FailureModel::None => {}
             FailureModel::IndependentLinks(m) => {
-                for (idx, e) in snapshot.edges().iter().enumerate() {
+                for (idx, e) in snapshot.edges().enumerate() {
                     if e.link_type == LinkType::Isl && m.is_down(slot, e.src.0, e.dst.0) {
                         down.push(EdgeId(idx as u32));
                     }
@@ -77,7 +77,7 @@ impl FailureOracle {
                     }
                     _ => false,
                 };
-                for (idx, e) in snapshot.edges().iter().enumerate() {
+                for (idx, e) in snapshot.edges().enumerate() {
                     if sat_down(e.src) || sat_down(e.dst) {
                         down.push(EdgeId(idx as u32));
                     }
@@ -87,7 +87,7 @@ impl FailureOracle {
                 // Both directed copies of an ISL share one chain; step each
                 // pair at most once per slot.
                 let mut stepped: HashMap<(u32, u32), bool> = HashMap::new();
-                for (idx, e) in snapshot.edges().iter().enumerate() {
+                for (idx, e) in snapshot.edges().enumerate() {
                     if e.link_type != LinkType::Isl {
                         continue;
                     }
@@ -208,7 +208,7 @@ mod tests {
         for t in 0..40 {
             let snap = snapshot(t);
             let down = oracle.advance(&snap);
-            for (idx, e) in snap.edges().iter().enumerate() {
+            for (idx, e) in snap.edges().enumerate() {
                 let expect =
                     e.link_type == LinkType::Isl && model.is_down(SlotIndex(t), e.src.0, e.dst.0);
                 assert_eq!(down.contains(&EdgeId(idx as u32)), expect, "slot {t} edge {idx}");
@@ -223,7 +223,7 @@ mod tests {
         let mut oracle = FailureOracle::new(FailureModel::NodeOutages(model));
         let snap = snapshot(0);
         let down = oracle.advance(&snap);
-        assert_eq!(down.len(), snap.edges().len(), "USLs of out satellites must fail");
+        assert_eq!(down.len(), snap.num_edges(), "USLs of out satellites must fail");
     }
 
     #[test]
@@ -234,7 +234,7 @@ mod tests {
         let down = oracle.advance(&snap);
         assert_eq!(down.len(), 6, "all six directed ISLs down, both USLs up");
         for &e in &down {
-            assert_eq!(snap.edges()[e.0 as usize].link_type, LinkType::Isl);
+            assert_eq!(snap.edge(e).link_type, LinkType::Isl);
         }
     }
 

@@ -48,6 +48,33 @@ pub struct UnforeseenFailures {
     pub policy: RepairPolicy,
 }
 
+/// One additional Walker shell of a multi-shell constellation.
+///
+/// The primary shell stays in [`ScenarioConfig`]'s flat fields (so every
+/// existing preset, digest and sweep is untouched); mega-scale scenarios
+/// append shells here. Satellite node ids are assigned shell by shell in
+/// order: primary first, then each extra shell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShellConfig {
+    /// Number of orbital planes.
+    pub planes: usize,
+    /// Satellites per plane.
+    pub sats_per_plane: usize,
+    /// Phasing factor.
+    pub phasing: usize,
+    /// Orbit altitude, meters.
+    pub altitude_m: f64,
+    /// Orbit inclination, degrees.
+    pub inclination_deg: f64,
+}
+
+impl ShellConfig {
+    /// Satellites in this shell.
+    pub fn num_satellites(&self) -> usize {
+        self.planes * self.sats_per_plane
+    }
+}
+
 /// A complete experiment configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioConfig {
@@ -63,6 +90,9 @@ pub struct ScenarioConfig {
     pub altitude_m: f64,
     /// Orbit inclination, degrees.
     pub inclination_deg: f64,
+    /// Additional Walker shells beyond the primary one (empty for every
+    /// single-shell preset; see [`ShellConfig`]).
+    pub extra_shells: Vec<ShellConfig>,
     /// Topology construction parameters.
     pub topology: TopologyConfig,
     /// Physical energy parameters.
@@ -125,6 +155,7 @@ impl ScenarioConfig {
             phasing: 17,
             altitude_m: 550_000.0,
             inclination_deg: 53.0,
+            extra_shells: Vec::new(),
             topology: TopologyConfig::default(),
             energy: EnergyParams::default(),
             cear: CearParams::default(),
@@ -195,9 +226,41 @@ impl ScenarioConfig {
         }
     }
 
-    /// Total satellites in the shell.
+    /// A mega-constellation configuration: two dense Walker shells
+    /// totalling 10 368 satellites (production-scale, Starlink-Gen2-like)
+    /// over a short horizon. Exists to exercise the delta-compiled
+    /// shared-structure topology representation at scale — the workload
+    /// is kept light because the interesting costs are series build time
+    /// and memory, not admission.
+    pub fn mega() -> Self {
+        ScenarioConfig {
+            name: "mega".to_owned(),
+            planes: 72,
+            sats_per_plane: 72,
+            phasing: 17,
+            altitude_m: 550_000.0,
+            inclination_deg: 53.0,
+            extra_shells: vec![ShellConfig {
+                planes: 72,
+                sats_per_plane: 72,
+                phasing: 11,
+                altitude_m: 570_000.0,
+                inclination_deg: 70.0,
+            }],
+            horizon_slots: 12,
+            num_pairs: 4,
+            eo_fleet_size: 8,
+            ground_site_count: 200,
+            grid_subdivisions: 3,
+            arrivals_per_slot: 2.0,
+            ..Self::paper()
+        }
+    }
+
+    /// Total satellites across the primary shell and every extra shell.
     pub fn total_satellites(&self) -> usize {
         self.planes * self.sats_per_plane
+            + self.extra_shells.iter().map(ShellConfig::num_satellites).sum::<usize>()
     }
 }
 
@@ -230,6 +293,15 @@ mod tests {
         assert!(fast.total_satellites() > tiny.total_satellites());
         assert!(paper.horizon_slots > fast.horizon_slots);
         assert!(fast.horizon_slots > tiny.horizon_slots);
+    }
+
+    #[test]
+    fn mega_is_multi_shell_at_scale() {
+        let m = ScenarioConfig::mega();
+        assert!(m.total_satellites() >= 10_000);
+        assert!(!m.extra_shells.is_empty());
+        assert!(m.horizon_slots <= 24, "mega keeps the horizon short");
+        assert_eq!(m.total_satellites(), 72 * 72 * 2);
     }
 
     #[test]

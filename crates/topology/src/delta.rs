@@ -1,0 +1,572 @@
+//! Delta compilation of topology series.
+//!
+//! At mega-constellation scale, rebuilding and storing a dense snapshot
+//! per slot is wasteful: the +Grid ISL structure never changes (only its
+//! line-of-sight blockage does), and USL visibility churns slowly. The
+//! [`SeriesBuilder`] exploits this:
+//!
+//! * the **static template** — node kinds, the directed ISL adjacency and
+//!   the uniform capacities — is built once per series as a
+//!   [`StaticCore`] and shared across every slot behind an `Arc`;
+//! * slot 0 is computed as a full **base state**; every later slot is
+//!   expressed as a [`SlotDelta`] against its predecessor (new positions
+//!   and sunlight, ISL blockage adds/removes, and replacement visible-sat
+//!   lists for users whose USLs changed) and materialized by *applying*
+//!   the delta;
+//! * materialized snapshots use the split static/dynamic CSR layout of
+//!   [`TopologySnapshot`], so each slot owns only its dynamic data.
+//!
+//! Every snapshot remains a pure function of `(nodes, config, slot
+//! epoch)`: deltas change how a slot is *computed*, never what it
+//! contains, so the compiled series is bit-identical to
+//! [`TopologySeries::build_full`] — and identical for every parallel
+//! range partition in [`SeriesBuilder::compile_par`].
+
+use std::sync::Arc;
+
+use crate::graph::{NodeId, StaticCore, TopologySnapshot};
+use crate::series::{node_states, NetworkNodes, TopologyConfig, TopologySeries};
+use crate::usl;
+use crate::SlotIndex;
+use sb_geo::coords::Eci;
+use sb_geo::{visibility, Epoch};
+
+/// The change from one slot to the next, relative to the shared
+/// [`StaticCore`] template.
+///
+/// Applying a delta to the predecessor's state reproduces the successor's
+/// state exactly (see [`SeriesBuilder`] module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotDelta {
+    /// The slot this delta produces.
+    pub slot: SlotIndex,
+    /// New positions for every node (satellites all move every slot, so
+    /// positions are inherently per-slot dense).
+    pub positions: Vec<Eci>,
+    /// New sunlight flags for every node.
+    pub sunlit: Vec<bool>,
+    /// Directed template indices newly blocked (line of sight lost since
+    /// the previous slot), sorted.
+    pub isl_blocked_add: Vec<u32>,
+    /// Directed template indices newly unblocked, sorted.
+    pub isl_blocked_remove: Vec<u32>,
+    /// Users whose ordered visible-satellite list changed: `(user ordinal,
+    /// new list)`. The full list is carried because its nearest-first
+    /// order is part of the edge-id contract.
+    pub usl_changed: Vec<(u32, Vec<u32>)>,
+}
+
+impl SlotDelta {
+    /// Estimated heap bytes of this delta.
+    pub fn heap_bytes(&self) -> usize {
+        self.positions.len() * core::mem::size_of::<Eci>()
+            + self.sunlit.len()
+            + (self.isl_blocked_add.len() + self.isl_blocked_remove.len()) * 4
+            + self
+                .usl_changed
+                .iter()
+                .map(|(_, l)| core::mem::size_of::<(u32, Vec<u32>)>() + l.len() * 4)
+                .sum::<usize>()
+    }
+}
+
+/// The fully-resolved dynamic state of one slot (what a delta applies to
+/// and produces).
+struct SlotState {
+    slot: u32,
+    positions: Vec<Eci>,
+    sunlit: Vec<bool>,
+    /// Sorted directed template indices blocked at this slot.
+    blocked: Vec<u32>,
+    /// Per user ordinal (ground users then space users): visible
+    /// satellite constellation indices, nearest-first.
+    user_lists: Vec<Vec<u32>>,
+}
+
+/// A compiled series: the materialized snapshots plus the delta stream
+/// that produced slots `1..`.
+pub struct CompiledSeries {
+    series: TopologySeries,
+    deltas: Vec<SlotDelta>,
+}
+
+impl CompiledSeries {
+    /// The materialized series.
+    pub fn series(&self) -> &TopologySeries {
+        &self.series
+    }
+
+    /// Consumes the compilation, keeping only the series.
+    pub fn into_series(self) -> TopologySeries {
+        self.series
+    }
+
+    /// The deltas for slots `1..num_slots` (empty for horizons ≤ 1).
+    pub fn deltas(&self) -> &[SlotDelta] {
+        &self.deltas
+    }
+}
+
+/// Compiles a [`TopologySeries`] as a shared static template plus
+/// per-slot deltas. See the module docs for the representation.
+pub struct SeriesBuilder<'a> {
+    nodes: &'a NetworkNodes,
+    config: &'a TopologyConfig,
+    core: Arc<StaticCore>,
+}
+
+impl<'a> SeriesBuilder<'a> {
+    /// Builds the static template for `nodes` once; subsequent compiles
+    /// share it.
+    pub fn new(nodes: &'a NetworkNodes, config: &'a TopologyConfig) -> Self {
+        let core = Arc::new(build_core(nodes, config));
+        SeriesBuilder { nodes, config, core }
+    }
+
+    /// The shared static template.
+    pub fn core(&self) -> &Arc<StaticCore> {
+        &self.core
+    }
+
+    /// Compiles slots `0..num_slots` serially: a base state, then one
+    /// [`SlotDelta`] per subsequent slot, each applied and materialized.
+    pub fn compile(&self, num_slots: usize, slot_duration_s: f64) -> CompiledSeries {
+        let mut snapshots = Vec::with_capacity(num_slots);
+        let mut deltas = Vec::with_capacity(num_slots.saturating_sub(1));
+        let mut prev: Option<SlotState> = None;
+        for t in 0..num_slots {
+            let fresh = self.slot_state(t as u32, slot_duration_s);
+            let state = match prev.take() {
+                None => fresh,
+                Some(p) => {
+                    let delta = delta_between(&p, &fresh);
+                    let applied = apply_delta(&p, &delta);
+                    deltas.push(delta);
+                    applied
+                }
+            };
+            snapshots.push(self.materialize(&state));
+            prev = Some(state);
+        }
+        CompiledSeries {
+            series: TopologySeries::from_snapshots(snapshots, slot_duration_s),
+            deltas,
+        }
+    }
+
+    /// Compiles the slot range in `threads` contiguous chunks, each
+    /// delta-compiled independently (fresh base at the chunk start).
+    /// Chunk results land in write-once cells indexed by chunk, so the
+    /// assembled series is bit-identical to [`SeriesBuilder::compile`]
+    /// for every thread count.
+    pub fn compile_par(
+        &self,
+        num_slots: usize,
+        slot_duration_s: f64,
+        threads: usize,
+    ) -> TopologySeries {
+        let threads = threads.clamp(1, num_slots.max(1));
+        if threads == 1 {
+            return self.compile(num_slots, slot_duration_s).into_series();
+        }
+        let chunk = num_slots / threads;
+        let rem = num_slots % threads;
+        let mut ranges = Vec::with_capacity(threads);
+        let mut start = 0usize;
+        for i in 0..threads {
+            let len = chunk + usize::from(i < rem);
+            ranges.push(start..start + len);
+            start += len;
+        }
+        let cells: Vec<std::sync::OnceLock<Vec<TopologySnapshot>>> =
+            (0..threads).map(|_| std::sync::OnceLock::new()).collect();
+        std::thread::scope(|scope| {
+            for (i, range) in ranges.into_iter().enumerate() {
+                let cells = &cells;
+                scope.spawn(move || {
+                    let mut out = Vec::with_capacity(range.len());
+                    let mut prev: Option<SlotState> = None;
+                    for t in range {
+                        let fresh = self.slot_state(t as u32, slot_duration_s);
+                        let state = match prev.take() {
+                            None => fresh,
+                            Some(p) => {
+                                let delta = delta_between(&p, &fresh);
+                                apply_delta(&p, &delta)
+                            }
+                        };
+                        out.push(self.materialize(&state));
+                        prev = Some(state);
+                    }
+                    assert!(cells[i].set(out).is_ok(), "chunk cell set twice");
+                });
+            }
+        });
+        let snapshots = cells
+            .into_iter()
+            .flat_map(|c| c.into_inner().expect("worker compiled its chunk"))
+            .collect();
+        TopologySeries::from_snapshots(snapshots, slot_duration_s)
+    }
+
+    /// Computes the fully-resolved dynamic state of one slot from orbits
+    /// alone (no predecessor needed).
+    fn slot_state(&self, t: u32, slot_duration_s: f64) -> SlotState {
+        let epoch = Epoch::from_seconds(f64::from(t) * slot_duration_s);
+        let (positions, sunlit) = node_states(self.nodes, epoch);
+
+        let mut blocked = Vec::new();
+        for (q, &(a, b)) in self.core.pair_nodes.iter().enumerate() {
+            if !visibility::line_of_sight_clear(
+                positions[a.index()],
+                positions[b.index()],
+                self.config.isl_grazing_margin_m,
+            ) {
+                blocked.extend_from_slice(&self.core.pair_dirs[q]);
+            }
+        }
+        blocked.sort_unstable();
+
+        let sat_positions = &positions[..self.nodes.num_satellites()];
+        let mut user_lists =
+            Vec::with_capacity(self.nodes.num_ground_users() + self.nodes.num_space_users());
+        for gi in 0..self.nodes.num_ground_users() {
+            let user_pos = positions[self.nodes.ground_node(gi).index()];
+            let visible = usl::visible_sats_from_ground(
+                user_pos,
+                sat_positions,
+                self.config.min_elevation_rad,
+                self.config.max_usl_per_ground,
+            );
+            user_lists.push(visible.into_iter().map(|i| i as u32).collect());
+        }
+        for ei in 0..self.nodes.num_space_users() {
+            let user_pos = positions[self.nodes.space_user_node(ei).index()];
+            let visible = usl::visible_sats_from_space(
+                user_pos,
+                sat_positions,
+                self.config.eo_link_range_m,
+                self.config.grazing_margin_m,
+                self.config.max_usl_per_eo,
+            );
+            user_lists.push(visible.into_iter().map(|i| i as u32).collect());
+        }
+        SlotState { slot: t, positions, sunlit, blocked, user_lists }
+    }
+
+    /// Materializes a state as a split snapshot over the shared core.
+    ///
+    /// Edge-id order contract (must match the dense stable sort): per
+    /// source node, present template ISLs first in template order, then
+    /// dynamic USLs in push order — a user's own entries nearest-first,
+    /// a satellite's entries in ascending user node id.
+    fn materialize(&self, st: &SlotState) -> TopologySnapshot {
+        let n = self.core.kinds.len();
+        let num_sats = self.nodes.num_satellites();
+        let mut counts = vec![0u32; n];
+        for (u, list) in st.user_lists.iter().enumerate() {
+            counts[num_sats + u] += list.len() as u32;
+            for &s in list {
+                counts[s as usize] += 1;
+            }
+        }
+        let mut dyn_offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            dyn_offsets[i + 1] = dyn_offsets[i] + counts[i];
+        }
+        let mut cursor: Vec<u32> = dyn_offsets[..n].to_vec();
+        let mut dyn_peers = vec![NodeId(0); dyn_offsets[n] as usize];
+        for (u, list) in st.user_lists.iter().enumerate() {
+            let unode = (num_sats + u) as u32;
+            for &s in list {
+                dyn_peers[cursor[unode as usize] as usize] = NodeId(s);
+                cursor[unode as usize] += 1;
+                dyn_peers[cursor[s as usize] as usize] = NodeId(unode);
+                cursor[s as usize] += 1;
+            }
+        }
+        TopologySnapshot::from_split(
+            SlotIndex(st.slot),
+            Arc::clone(&self.core),
+            st.positions.clone(),
+            st.sunlit.clone(),
+            st.blocked.clone(),
+            dyn_offsets,
+            dyn_peers,
+        )
+    }
+}
+
+/// Builds the static template: ISL pairs enumerated exactly as
+/// [`crate::isl::plus_grid_edges`] does (per shell, +Grid neighbors with
+/// `a < b`), minus the per-slot line-of-sight check.
+fn build_core(nodes: &NetworkNodes, config: &TopologyConfig) -> StaticCore {
+    let kinds = nodes.kinds();
+    let n = kinds.len();
+    let mut pair_nodes: Vec<(NodeId, NodeId)> = Vec::new();
+    for &(base, ref grid) in nodes.shell_grids() {
+        for p in 0..grid.planes() {
+            for k in 0..grid.sats_per_plane() {
+                let a = grid.at(p as isize, k as isize);
+                for b in grid.neighbors(p, k) {
+                    if a >= b {
+                        continue;
+                    }
+                    pair_nodes.push((NodeId((base + a) as u32), NodeId((base + b) as u32)));
+                }
+            }
+        }
+    }
+    // Directed entries in the dense push order — per pair `(a, b)` then
+    // `(b, a)` — stably sorted by source, so each source's block keeps
+    // the push order exactly as `from_edges`'s stable sort would.
+    let mut dirs: Vec<(NodeId, NodeId, u32)> = Vec::with_capacity(pair_nodes.len() * 2);
+    for (q, &(a, b)) in pair_nodes.iter().enumerate() {
+        dirs.push((a, b, q as u32));
+        dirs.push((b, a, q as u32));
+    }
+    dirs.sort_by_key(|d| d.0);
+    let mut tmpl_offsets = vec![0u32; n + 1];
+    for d in &dirs {
+        tmpl_offsets[d.0.index() + 1] += 1;
+    }
+    for i in 0..n {
+        tmpl_offsets[i + 1] += tmpl_offsets[i];
+    }
+    let tmpl_dst: Vec<NodeId> = dirs.iter().map(|d| d.1).collect();
+    let mut pair_dirs = vec![[u32::MAX; 2]; pair_nodes.len()];
+    for (i, d) in dirs.iter().enumerate() {
+        let entry = &mut pair_dirs[d.2 as usize];
+        if entry[0] == u32::MAX {
+            entry[0] = i as u32;
+        } else {
+            entry[1] = i as u32;
+        }
+    }
+    StaticCore {
+        kinds,
+        tmpl_offsets,
+        tmpl_dst,
+        pair_dirs,
+        pair_nodes,
+        isl_capacity_mbps: config.isl_capacity_mbps,
+        usl_capacity_mbps: config.usl_capacity_mbps,
+    }
+}
+
+/// Expresses `next` as a delta against `prev`.
+fn delta_between(prev: &SlotState, next: &SlotState) -> SlotDelta {
+    debug_assert_eq!(prev.slot + 1, next.slot);
+    let mut isl_blocked_add = Vec::new();
+    let mut isl_blocked_remove = Vec::new();
+    // Both lists are sorted: a merge walk yields the symmetric difference.
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < prev.blocked.len() || j < next.blocked.len() {
+        match (prev.blocked.get(i), next.blocked.get(j)) {
+            (Some(&p), Some(&q)) if p == q => {
+                i += 1;
+                j += 1;
+            }
+            (Some(&p), Some(&q)) if p < q => {
+                isl_blocked_remove.push(p);
+                i += 1;
+            }
+            (Some(_), Some(&q)) => {
+                isl_blocked_add.push(q);
+                j += 1;
+            }
+            (Some(&p), None) => {
+                isl_blocked_remove.push(p);
+                i += 1;
+            }
+            (None, Some(&q)) => {
+                isl_blocked_add.push(q);
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    let usl_changed = prev
+        .user_lists
+        .iter()
+        .zip(&next.user_lists)
+        .enumerate()
+        .filter(|(_, (p, q))| p != q)
+        .map(|(u, (_, q))| (u as u32, q.clone()))
+        .collect();
+    SlotDelta {
+        slot: SlotIndex(next.slot),
+        positions: next.positions.clone(),
+        sunlit: next.sunlit.clone(),
+        isl_blocked_add,
+        isl_blocked_remove,
+        usl_changed,
+    }
+}
+
+/// Applies a delta to a state, producing the successor state.
+fn apply_delta(prev: &SlotState, delta: &SlotDelta) -> SlotState {
+    debug_assert_eq!(prev.slot + 1, delta.slot.0);
+    let mut blocked: Vec<u32> = prev
+        .blocked
+        .iter()
+        .copied()
+        .filter(|b| delta.isl_blocked_remove.binary_search(b).is_err())
+        .collect();
+    blocked.extend_from_slice(&delta.isl_blocked_add);
+    blocked.sort_unstable();
+    let mut user_lists = prev.user_lists.clone();
+    for (u, list) in &delta.usl_changed {
+        user_lists[*u as usize] = list.clone();
+    }
+    SlotState {
+        slot: delta.slot.0,
+        positions: delta.positions.clone(),
+        sunlit: delta.sunlit.clone(),
+        blocked,
+        user_lists,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failures::{FailureModel, GilbertElliottModel, LinkFailureModel, NodeOutageModel};
+    use crate::graph::LinkType;
+    use proptest::prelude::*;
+    use sb_geo::coords::Geodetic;
+    use sb_orbit::walker::WalkerConstellation;
+
+    fn two_shell_nodes() -> NetworkNodes {
+        let shells = [
+            WalkerConstellation::delta(4, 8, 1, 550e3, 53f64.to_radians()),
+            WalkerConstellation::delta(3, 6, 0, 570e3, 70f64.to_radians()),
+        ];
+        let mut nodes = NetworkNodes::from_shells(&shells);
+        nodes.add_ground_site(Geodetic::from_degrees(35.8, -78.6, 0.0));
+        nodes.add_ground_site(Geodetic::from_degrees(-33.9, 151.2, 0.0));
+        for eo in sb_orbit::eo::synthetic_fleet(2) {
+            nodes.add_space_user(eo);
+        }
+        nodes
+    }
+
+    #[test]
+    fn core_template_covers_all_plus_grid_pairs() {
+        let nodes = two_shell_nodes();
+        let cfg = TopologyConfig::default();
+        let builder = SeriesBuilder::new(&nodes, &cfg);
+        let core = builder.core();
+        // +Grid: 2 undirected links per satellite in a regular shell.
+        assert_eq!(core.num_pairs(), 2 * 32 + 2 * 18);
+        // Every pair is within one shell.
+        for &(a, b) in &core.pair_nodes {
+            assert!(a < b);
+            assert_eq!(a.index() < 32, b.index() < 32, "cross-shell pair");
+        }
+    }
+
+    #[test]
+    fn compiled_series_matches_full_rebuild_bitwise() {
+        let nodes = two_shell_nodes();
+        let cfg = TopologyConfig::default();
+        let compiled = SeriesBuilder::new(&nodes, &cfg).compile(5, 120.0);
+        assert_eq!(compiled.deltas().len(), 4);
+        let full = TopologySeries::build_full(&nodes, &cfg, 5, 120.0);
+        assert_eq!(compiled.series(), &full);
+    }
+
+    #[test]
+    fn deltas_are_smaller_than_dense_snapshots() {
+        let nodes = two_shell_nodes();
+        let cfg = TopologyConfig::default();
+        let compiled = SeriesBuilder::new(&nodes, &cfg).compile(5, 120.0);
+        let full = TopologySeries::build_full(&nodes, &cfg, 5, 120.0);
+        for (delta, snap) in compiled.deltas().iter().zip(&full.snapshots()[1..]) {
+            assert!(
+                delta.heap_bytes() < snap.marginal_heap_bytes(),
+                "delta {} B vs dense {} B",
+                delta.heap_bytes(),
+                snap.marginal_heap_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn split_snapshots_report_isl_and_usl_edges() {
+        let nodes = two_shell_nodes();
+        let cfg = TopologyConfig::default();
+        let series = SeriesBuilder::new(&nodes, &cfg).compile(1, 120.0).into_series();
+        let snap = series.snapshot(SlotIndex(0));
+        assert!(snap.is_split());
+        let isls = snap.edges().filter(|e| e.link_type == LinkType::Isl).count();
+        let usls = snap.edges().filter(|e| e.link_type == LinkType::Usl).count();
+        // Present ISLs are the directed template minus line-of-sight
+        // blocked entries; USLs come in src/dst pairs.
+        assert!(isls > 0 && isls <= 2 * (2 * 32 + 2 * 18));
+        assert!(usls > 0 && usls % 2 == 0);
+        assert_eq!(isls + usls, snap.num_edges());
+    }
+
+    #[test]
+    fn delta_build_matches_full_rebuild_under_failures_and_threads() {
+        let nodes = two_shell_nodes();
+        let cfg = TopologyConfig::default();
+        let models = [
+            FailureModel::None,
+            FailureModel::IndependentLinks(LinkFailureModel::new(0.05, 7)),
+            FailureModel::NodeOutages(NodeOutageModel::new(0.03, 1, 3, 11)),
+            FailureModel::GilbertElliott(GilbertElliottModel::new(0.05, 0.3, 13)),
+        ];
+        for model in &models {
+            let full = TopologySeries::build_full(&nodes, &cfg, 4, 120.0).with_failure_model(model);
+            for threads in [1usize, 2, 4] {
+                let delta = TopologySeries::build_par(&nodes, &cfg, 4, 120.0, threads)
+                    .with_failure_model(model);
+                assert_eq!(delta, full, "threads={threads}");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+        #[test]
+        fn prop_delta_series_bit_identical_to_full_rebuild(
+            planes1 in 2usize..4,
+            spp1 in 2usize..5,
+            second_shell in proptest::option::of((2usize..4, 2usize..5)),
+            num_slots in 1usize..5,
+            model_kind in 0u8..4,
+            seed in 0u64..1_000,
+        ) {
+            let mut shells = vec![WalkerConstellation::delta(
+                planes1, spp1, 1 % planes1, 550e3, 53f64.to_radians(),
+            )];
+            if let Some((planes2, spp2)) = second_shell {
+                shells.push(WalkerConstellation::delta(
+                    planes2, spp2, 0, 600e3, 70f64.to_radians(),
+                ));
+            }
+            let mut nodes = NetworkNodes::from_shells(&shells);
+            nodes.add_ground_site(Geodetic::from_degrees(35.8, -78.6, 0.0));
+            nodes.add_ground_site(Geodetic::from_degrees(48.8, 2.3, 0.0));
+            for eo in sb_orbit::eo::synthetic_fleet(2) {
+                nodes.add_space_user(eo);
+            }
+            let cfg = TopologyConfig::default();
+            let model = match model_kind {
+                0 => FailureModel::None,
+                1 => FailureModel::IndependentLinks(LinkFailureModel::new(0.05, seed)),
+                2 => FailureModel::NodeOutages(NodeOutageModel::new(0.03, 1, 3, seed)),
+                _ => FailureModel::GilbertElliott(GilbertElliottModel::new(0.05, 0.3, seed)),
+            };
+            let full = TopologySeries::build_full(&nodes, &cfg, num_slots, 120.0)
+                .with_failure_model(&model);
+            for threads in [1usize, 2, 4] {
+                let delta = TopologySeries::build_par(&nodes, &cfg, num_slots, 120.0, threads)
+                    .with_failure_model(&model);
+                prop_assert_eq!(&delta, &full, "threads={}", threads);
+            }
+        }
+    }
+}

@@ -69,11 +69,20 @@ impl LinkFailureModel {
     /// Returns a copy of `snapshot` with failed ISLs removed. USLs are
     /// never failed by this model (terminal outages are a user-side
     /// phenomenon, not a network one).
+    ///
+    /// Split (shared-structure) snapshots are filtered structurally —
+    /// failed pairs join the slot's removed-template list — which is
+    /// order-preserving and therefore bit-identical to the dense rebuild.
     pub fn apply(&self, snapshot: &TopologySnapshot) -> TopologySnapshot {
         if self.isl_failure_prob <= 0.0 {
             return snapshot.clone();
         }
         let slot = snapshot.slot();
+        if snapshot.is_split() {
+            return snapshot
+                .split_filtered(|a, b| self.is_down(slot, a.0, b.0), |_| false)
+                .unwrap_or_else(|| snapshot.clone());
+        }
         rebuild_without(snapshot, |e| {
             e.link_type == LinkType::Isl && self.is_down(slot, e.src.0, e.dst.0)
         })
@@ -87,6 +96,12 @@ impl LinkFailureModel {
             return snapshot;
         }
         let slot = snapshot.slot();
+        if snapshot.is_split() {
+            return match snapshot.split_filtered(|a, b| self.is_down(slot, a.0, b.0), |_| false) {
+                Some(out) => out,
+                None => snapshot,
+            };
+        }
         rebuild_owned_without(snapshot, |e| {
             e.link_type == LinkType::Isl && self.is_down(slot, e.src.0, e.dst.0)
         })
@@ -167,12 +182,16 @@ impl NodeOutageModel {
             return snapshot.clone();
         }
         let slot = snapshot.slot();
-        rebuild_without(snapshot, |e| {
-            [e.src, e.dst].into_iter().any(|n| match snapshot.kind(n) {
-                NodeKind::Satellite(i) => self.is_down(slot, i as u32),
-                _ => false,
-            })
-        })
+        let node_down = |n: crate::NodeId| match snapshot.kind(n) {
+            NodeKind::Satellite(i) => self.is_down(slot, i as u32),
+            _ => false,
+        };
+        if snapshot.is_split() {
+            return snapshot
+                .split_filtered(|_, _| false, node_down)
+                .unwrap_or_else(|| snapshot.clone());
+        }
+        rebuild_without(snapshot, |e| node_down(e.src) || node_down(e.dst))
     }
 
     /// [`NodeOutageModel::apply`] on an owned snapshot: slots with no
@@ -182,16 +201,20 @@ impl NodeOutageModel {
             return snapshot;
         }
         let slot = snapshot.slot();
-        let down = |snap: &TopologySnapshot, e: &Edge| {
-            [e.src, e.dst].into_iter().any(|n| match snap.kind(n) {
-                NodeKind::Satellite(i) => self.is_down(slot, i as u32),
-                _ => false,
-            })
+        let node_down = |snap: &TopologySnapshot, n: crate::NodeId| match snap.kind(n) {
+            NodeKind::Satellite(i) => self.is_down(slot, i as u32),
+            _ => false,
         };
-        if !snapshot.edges().iter().any(|e| down(&snapshot, e)) {
+        if snapshot.is_split() {
+            return match snapshot.split_filtered(|_, _| false, |n| node_down(&snapshot, n)) {
+                Some(out) => out,
+                None => snapshot,
+            };
+        }
+        if !snapshot.edges().any(|e| node_down(&snapshot, e.src) || node_down(&snapshot, e.dst)) {
             return snapshot;
         }
-        rebuild_without(&snapshot, |e| down(&snapshot, e))
+        rebuild_without(&snapshot, |e| node_down(&snapshot, e.src) || node_down(&snapshot, e.dst))
     }
 }
 
@@ -263,6 +286,11 @@ impl GilbertElliottModel {
             return snapshot.clone();
         }
         let slot = snapshot.slot();
+        if snapshot.is_split() {
+            return snapshot
+                .split_filtered(|a, b| self.is_down(slot, a.0, b.0), |_| false)
+                .unwrap_or_else(|| snapshot.clone());
+        }
         rebuild_without(snapshot, |e| {
             e.link_type == LinkType::Isl && self.is_down(slot, e.src.0, e.dst.0)
         })
@@ -276,6 +304,12 @@ impl GilbertElliottModel {
             return snapshot;
         }
         let slot = snapshot.slot();
+        if snapshot.is_split() {
+            return match snapshot.split_filtered(|a, b| self.is_down(slot, a.0, b.0), |_| false) {
+                Some(out) => out,
+                None => snapshot,
+            };
+        }
         rebuild_owned_without(snapshot, |e| {
             e.link_type == LinkType::Isl && self.is_down(slot, e.src.0, e.dst.0)
         })
@@ -357,7 +391,7 @@ fn rebuild_owned_without(
     snapshot: TopologySnapshot,
     mut down: impl FnMut(&Edge) -> bool,
 ) -> TopologySnapshot {
-    if !snapshot.edges().iter().any(&mut down) {
+    if !snapshot.edges().any(|e| down(&e)) {
         return snapshot;
     }
     rebuild_without(&snapshot, down)
@@ -368,7 +402,7 @@ fn rebuild_without(
     snapshot: &TopologySnapshot,
     mut down: impl FnMut(&Edge) -> bool,
 ) -> TopologySnapshot {
-    let edges: Vec<Edge> = snapshot.edges().iter().filter(|e| !down(e)).copied().collect();
+    let edges: Vec<Edge> = snapshot.edges().filter(|e| !down(e)).collect();
     TopologySnapshot::from_edges(
         snapshot.slot(),
         snapshot.kinds().to_vec(),
@@ -428,17 +462,17 @@ mod tests {
     fn full_probability_kills_all_isls_but_no_usls() {
         let snap = snapshot();
         let out = LinkFailureModel::new(1.0, 7).apply(&snap);
-        assert!(out.edges().iter().all(|e| e.link_type == LinkType::Usl));
-        let usls_before = snap.edges().iter().filter(|e| e.link_type == LinkType::Usl).count();
+        assert!(out.edges().all(|e| e.link_type == LinkType::Usl));
+        let usls_before = snap.edges().filter(|e| e.link_type == LinkType::Usl).count();
         assert_eq!(out.num_edges(), usls_before);
     }
 
     #[test]
     fn failure_rate_roughly_matches_probability() {
         let snap = snapshot();
-        let isls_before = snap.edges().iter().filter(|e| e.link_type == LinkType::Isl).count();
+        let isls_before = snap.edges().filter(|e| e.link_type == LinkType::Isl).count();
         let out = LinkFailureModel::new(0.3, 42).apply(&snap);
-        let isls_after = out.edges().iter().filter(|e| e.link_type == LinkType::Isl).count();
+        let isls_after = out.edges().filter(|e| e.link_type == LinkType::Isl).count();
         let survival = isls_after as f64 / isls_before as f64;
         assert!((0.55..0.85).contains(&survival), "survival {survival}");
     }
@@ -448,7 +482,7 @@ mod tests {
         let snap = snapshot();
         let model = LinkFailureModel::new(0.5, 9);
         let out = model.apply(&snap);
-        for e in out.edges().iter().filter(|e| e.link_type == LinkType::Isl) {
+        for e in out.edges().filter(|e| e.link_type == LinkType::Isl) {
             assert!(
                 out.find_edge(e.dst, e.src).is_some(),
                 "reverse of surviving ISL must also survive"
@@ -466,8 +500,8 @@ mod tests {
         assert_ne!(a.num_edges(), 0);
         // Different seeds should (overwhelmingly) fail different links.
         assert_ne!(
-            a.edges().iter().map(|e| (e.src, e.dst)).collect::<Vec<_>>(),
-            c.edges().iter().map(|e| (e.src, e.dst)).collect::<Vec<_>>()
+            a.edges().map(|e| (e.src, e.dst)).collect::<Vec<_>>(),
+            c.edges().map(|e| (e.src, e.dst)).collect::<Vec<_>>()
         );
     }
 
@@ -524,9 +558,8 @@ mod tests {
     #[test]
     fn apply_never_removes_usls_for_link_level_models() {
         let snap = snapshot();
-        let usls = |s: &TopologySnapshot| {
-            s.edges().iter().filter(|e| e.link_type == LinkType::Usl).count()
-        };
+        let usls =
+            |s: &TopologySnapshot| s.edges().filter(|e| e.link_type == LinkType::Usl).count();
         let before = usls(&snap);
         assert!(before > 0, "test network must have USLs");
         for model in [
@@ -553,8 +586,7 @@ mod tests {
             assert!(!is_dead(e.src) && !is_dead(e.dst), "edge of a dead satellite survived");
         }
         let removed = snap.num_edges() - out.num_edges();
-        let expected_removed =
-            snap.edges().iter().filter(|e| is_dead(e.src) || is_dead(e.dst)).count();
+        let expected_removed = snap.edges().filter(|e| is_dead(e.src) || is_dead(e.dst)).count();
         assert_eq!(removed, expected_removed);
         // With 144 satellites at 20% outage probability some must be down.
         assert!(removed > 0, "expected at least one outage");

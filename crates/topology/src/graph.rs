@@ -1,9 +1,28 @@
 //! The per-slot snapshot graph.
 //!
 //! Node identities are *stable across slots* (satellite k is node k in every
-//! snapshot); edges change from slot to slot as satellites move. The edge
-//! set is stored flat with a CSR-style adjacency index so that the pricing
-//! layer's Dijkstra runs allocation-free over a snapshot.
+//! snapshot); edges change from slot to slot as satellites move. Two storage
+//! layouts back the same accessor API:
+//!
+//! * **Dense** — a flat edge list with a CSR-style adjacency index, built by
+//!   [`TopologySnapshot::from_edges`]. Used for hand-built test graphs and
+//!   for the full-rebuild reference path.
+//! * **Split** — a static/dynamic CSR split for delta-compiled series
+//!   ([`crate::delta::SeriesBuilder`]): the +Grid ISL template (a
+//!   [`StaticCore`]) is stored once per series behind an `Arc`, and each
+//!   slot owns only its positions, sunlight flags, the sorted list of
+//!   template edges *absent* this slot (line-of-sight blocked or failed),
+//!   and a small CSR of dynamic USL edges. Edge lengths are recomputed from
+//!   positions on access; IEEE negation symmetry makes them bit-identical
+//!   to the dense build in both directions.
+//!
+//! Edge ids number the same logical edge list in both layouts: edges sorted
+//! by source node, and within a source the static ISL template entries first
+//! (in template order) followed by dynamic USL entries (in discovery order).
+//! This matches the dense path's stable sort over the builder's push order,
+//! so the two layouts are observationally identical.
+
+use std::sync::Arc;
 
 use sb_geo::coords::Eci;
 use serde::{Deserialize, Serialize};
@@ -108,25 +127,119 @@ impl EdgeId {
     }
 }
 
-/// The network graph at one time slot: `G(T) = (V(T), E(T))`.
+/// The slot-invariant structure shared by every snapshot of a
+/// delta-compiled series: node kinds, the directed +Grid ISL template
+/// (CSR by source), and the uniform link capacities.
 ///
-/// Construct via [`crate::series::TopologySeries::build`] or
-/// [`TopologySnapshot::from_edges`] (for hand-built test graphs).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct TopologySnapshot {
-    slot: crate::SlotIndex,
+/// Stored once per series behind an [`Arc`]; a snapshot's marginal cost is
+/// only its per-slot dynamic data.
+#[derive(Debug, PartialEq)]
+pub struct StaticCore {
+    pub(crate) kinds: Vec<NodeKind>,
+    /// CSR: `tmpl_offsets[n] .. tmpl_offsets[n+1]` indexes `tmpl_dst` for
+    /// the directed ISL template entries whose source is node `n`.
+    pub(crate) tmpl_offsets: Vec<u32>,
+    pub(crate) tmpl_dst: Vec<NodeId>,
+    /// Undirected pair index → its two directed template indices.
+    pub(crate) pair_dirs: Vec<[u32; 2]>,
+    /// Undirected pair index → endpoints `(a, b)` with `a < b`, in the
+    /// builder's enumeration order (matches the dense push order).
+    pub(crate) pair_nodes: Vec<(NodeId, NodeId)>,
+    pub(crate) isl_capacity_mbps: f64,
+    pub(crate) usl_capacity_mbps: f64,
+}
+
+impl StaticCore {
+    /// Number of undirected ISL template pairs.
+    pub fn num_pairs(&self) -> usize {
+        self.pair_nodes.len()
+    }
+
+    /// Estimated heap bytes of the shared template.
+    pub fn heap_bytes(&self) -> usize {
+        self.kinds.len() * core::mem::size_of::<NodeKind>()
+            + self.tmpl_offsets.len() * 4
+            + self.tmpl_dst.len() * 4
+            + self.pair_dirs.len() * 8
+            + self.pair_nodes.len() * 8
+    }
+}
+
+#[derive(Debug, Clone)]
+struct DenseData {
     kinds: Vec<NodeKind>,
     positions: Vec<Eci>,
     sunlit: Vec<bool>,
     edges: Vec<Edge>,
-    /// CSR: `adj_offsets[n] .. adj_offsets[n+1]` indexes `adj_edges` for the
-    /// out-edges of node `n`.
+    /// CSR: `adj_offsets[n] .. adj_offsets[n+1]` indexes `edges` for the
+    /// out-edges of node `n` (edges are sorted by source, so the adjacency
+    /// permutation is the identity).
     adj_offsets: Vec<u32>,
-    adj_edges: Vec<EdgeId>,
+}
+
+#[derive(Debug, Clone)]
+struct SplitData {
+    core: Arc<StaticCore>,
+    positions: Vec<Eci>,
+    sunlit: Vec<bool>,
+    /// Sorted directed template indices absent at this slot (line-of-sight
+    /// blocked or removed by a failure model). Both directions of a pair are
+    /// always removed together.
+    removed: Vec<u32>,
+    /// CSR over the dynamic (USL) out-edges per node: `dyn_offsets[n] ..
+    /// dyn_offsets[n+1]` indexes `dyn_peers`.
+    dyn_offsets: Vec<u32>,
+    dyn_peers: Vec<NodeId>,
+}
+
+impl SplitData {
+    /// Number of removed template entries strictly below directed index `i`.
+    fn removed_below(&self, i: u32) -> u32 {
+        self.removed.partition_point(|&r| r < i) as u32
+    }
+
+    fn is_removed(&self, i: u32) -> bool {
+        self.removed.binary_search(&i).is_ok()
+    }
+
+    /// Rank of directed template index `i` among *present* entries (also
+    /// valid for `i == tmpl_dst.len()`, giving the present total).
+    fn present_rank(&self, i: u32) -> u32 {
+        i - self.removed_below(i)
+    }
+
+    /// The edge id of node `v`'s first out-edge.
+    fn first_edge_id(&self, v: usize) -> u32 {
+        self.present_rank(self.core.tmpl_offsets[v]) + self.dyn_offsets[v]
+    }
+
+    fn num_edges(&self) -> usize {
+        self.core.tmpl_dst.len() - self.removed.len() + self.dyn_peers.len()
+    }
+
+    fn length(&self, a: NodeId, b: NodeId) -> f64 {
+        self.positions[a.index()].distance(self.positions[b.index()])
+    }
+}
+
+/// The network graph at one time slot: `G(T) = (V(T), E(T))`.
+///
+/// Construct via [`crate::series::TopologySeries::build`] or
+/// [`TopologySnapshot::from_edges`] (for hand-built test graphs).
+#[derive(Debug, Clone)]
+pub struct TopologySnapshot {
+    slot: crate::SlotIndex,
+    storage: Storage,
+}
+
+#[derive(Debug, Clone)]
+enum Storage {
+    Dense(DenseData),
+    Split(SplitData),
 }
 
 impl TopologySnapshot {
-    /// Builds a snapshot from node metadata and a directed edge list.
+    /// Builds a dense snapshot from node metadata and a directed edge list.
     ///
     /// # Panics
     ///
@@ -155,8 +268,42 @@ impl TopologySnapshot {
         for i in 0..n {
             adj_offsets[i + 1] += adj_offsets[i];
         }
-        let adj_edges = (0..edges.len() as u32).map(EdgeId).collect();
-        TopologySnapshot { slot, kinds, positions, sunlit, edges, adj_offsets, adj_edges }
+        TopologySnapshot {
+            slot,
+            storage: Storage::Dense(DenseData { kinds, positions, sunlit, edges, adj_offsets }),
+        }
+    }
+
+    /// Builds a shared-structure snapshot over a series' [`StaticCore`].
+    ///
+    /// `removed` lists the directed template indices absent at this slot
+    /// (sorted, both directions of a pair together); `dyn_offsets` /
+    /// `dyn_peers` form the per-node CSR of dynamic USL out-edges.
+    pub(crate) fn from_split(
+        slot: crate::SlotIndex,
+        core: Arc<StaticCore>,
+        positions: Vec<Eci>,
+        sunlit: Vec<bool>,
+        removed: Vec<u32>,
+        dyn_offsets: Vec<u32>,
+        dyn_peers: Vec<NodeId>,
+    ) -> Self {
+        let n = core.kinds.len();
+        debug_assert_eq!(positions.len(), n);
+        debug_assert_eq!(sunlit.len(), n);
+        debug_assert_eq!(dyn_offsets.len(), n + 1);
+        debug_assert!(removed.windows(2).all(|w| w[0] < w[1]), "removed must be sorted");
+        TopologySnapshot {
+            slot,
+            storage: Storage::Split(SplitData {
+                core,
+                positions,
+                sunlit,
+                removed,
+                dyn_offsets,
+                dyn_peers,
+            }),
+        }
     }
 
     /// The slot this snapshot describes.
@@ -166,55 +313,154 @@ impl TopologySnapshot {
 
     /// Number of nodes (same in every snapshot of a series).
     pub fn num_nodes(&self) -> usize {
-        self.kinds.len()
+        self.kinds().len()
     }
 
     /// Number of directed edges in this snapshot.
     pub fn num_edges(&self) -> usize {
-        self.edges.len()
+        match &self.storage {
+            Storage::Dense(d) => d.edges.len(),
+            Storage::Split(s) => s.num_edges(),
+        }
     }
 
     /// The kind of a node.
     pub fn kind(&self, node: NodeId) -> NodeKind {
-        self.kinds[node.index()]
+        self.kinds()[node.index()]
     }
 
     /// All node kinds, indexed by node id.
     pub fn kinds(&self) -> &[NodeKind] {
-        &self.kinds
+        match &self.storage {
+            Storage::Dense(d) => &d.kinds,
+            Storage::Split(s) => &s.core.kinds,
+        }
+    }
+
+    fn positions(&self) -> &[Eci] {
+        match &self.storage {
+            Storage::Dense(d) => &d.positions,
+            Storage::Split(s) => &s.positions,
+        }
+    }
+
+    fn sunlit_flags(&self) -> &[bool] {
+        match &self.storage {
+            Storage::Dense(d) => &d.sunlit,
+            Storage::Split(s) => &s.sunlit,
+        }
     }
 
     /// The inertial position of a node at this slot.
     pub fn position(&self, node: NodeId) -> Eci {
-        self.positions[node.index()]
+        self.positions()[node.index()]
     }
 
     /// Whether a node is in sunlight at this slot (always `true` for ground
     /// users).
     pub fn is_sunlit(&self, node: NodeId) -> bool {
-        self.sunlit[node.index()]
+        self.sunlit_flags()[node.index()]
     }
 
     /// The edge with the given id.
-    pub fn edge(&self, id: EdgeId) -> &Edge {
-        &self.edges[id.index()]
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn edge(&self, id: EdgeId) -> Edge {
+        match &self.storage {
+            Storage::Dense(d) => d.edges[id.index()],
+            Storage::Split(s) => {
+                assert!(id.index() < s.num_edges(), "edge id out of range");
+                // Find the source node: the last v with first_edge_id(v) <= id.
+                let n = s.core.kinds.len();
+                let mut lo = 0usize;
+                let mut hi = n;
+                while hi - lo > 1 {
+                    let mid = lo + (hi - lo) / 2;
+                    if s.first_edge_id(mid) <= id.0 {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                let v = NodeId(lo as u32);
+                let offset = id.0 - s.first_edge_id(lo);
+                let t_lo = s.core.tmpl_offsets[lo];
+                let t_hi = s.core.tmpl_offsets[lo + 1];
+                let present_isl = s.present_rank(t_hi) - s.present_rank(t_lo);
+                if offset < present_isl {
+                    // The offset-th *present* template entry of this block.
+                    let mut rank = 0;
+                    for i in t_lo..t_hi {
+                        if s.is_removed(i) {
+                            continue;
+                        }
+                        if rank == offset {
+                            let dst = s.core.tmpl_dst[i as usize];
+                            return Edge {
+                                src: v,
+                                dst,
+                                link_type: LinkType::Isl,
+                                capacity_mbps: s.core.isl_capacity_mbps,
+                                length_m: s.length(v, dst),
+                            };
+                        }
+                        rank += 1;
+                    }
+                    unreachable!("present template entry not found");
+                }
+                let dst = s.dyn_peers[(s.dyn_offsets[lo] + (offset - present_isl)) as usize];
+                Edge {
+                    src: v,
+                    dst,
+                    link_type: LinkType::Usl,
+                    capacity_mbps: s.core.usl_capacity_mbps,
+                    length_m: s.length(v, dst),
+                }
+            }
+        }
     }
 
-    /// All edges in CSR order.
-    pub fn edges(&self) -> &[Edge] {
-        &self.edges
+    /// All edges in edge-id order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.num_nodes() as u32).flat_map(move |v| self.out_edges(NodeId(v)).map(|(_, e)| e))
     }
 
-    /// Iterates over the out-edges of `node` as `(EdgeId, &Edge)`.
-    pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
-        let lo = self.adj_offsets[node.index()] as usize;
-        let hi = self.adj_offsets[node.index() + 1] as usize;
-        self.adj_edges[lo..hi].iter().map(move |&id| (id, &self.edges[id.index()]))
+    /// Iterates over the out-edges of `node` as `(EdgeId, Edge)`.
+    pub fn out_edges(&self, node: NodeId) -> OutEdges<'_> {
+        let inner = match &self.storage {
+            Storage::Dense(d) => OutEdgesInner::Dense {
+                edges: &d.edges,
+                idx: d.adj_offsets[node.index()],
+                end: d.adj_offsets[node.index() + 1],
+            },
+            Storage::Split(s) => OutEdgesInner::Split {
+                data: s,
+                src: node,
+                tmpl_idx: s.core.tmpl_offsets[node.index()],
+                tmpl_end: s.core.tmpl_offsets[node.index() + 1],
+                dyn_idx: s.dyn_offsets[node.index()],
+                dyn_end: s.dyn_offsets[node.index() + 1],
+                next_id: s.first_edge_id(node.index()),
+            },
+        };
+        OutEdges { inner }
     }
 
     /// Out-degree of a node.
     pub fn out_degree(&self, node: NodeId) -> usize {
-        (self.adj_offsets[node.index() + 1] - self.adj_offsets[node.index()]) as usize
+        match &self.storage {
+            Storage::Dense(d) => {
+                (d.adj_offsets[node.index() + 1] - d.adj_offsets[node.index()]) as usize
+            }
+            Storage::Split(s) => {
+                let t_lo = s.core.tmpl_offsets[node.index()];
+                let t_hi = s.core.tmpl_offsets[node.index() + 1];
+                let isl = (s.present_rank(t_hi) - s.present_rank(t_lo)) as usize;
+                isl + (s.dyn_offsets[node.index() + 1] - s.dyn_offsets[node.index()]) as usize
+            }
+        }
     }
 
     /// Finds the edge from `src` to `dst`, if present.
@@ -224,7 +470,198 @@ impl TopologySnapshot {
 
     /// Total capacity (Mbps) of all directed edges — a sanity metric.
     pub fn total_capacity_mbps(&self) -> f64 {
-        self.edges.iter().map(|e| e.capacity_mbps).sum()
+        self.edges().map(|e| e.capacity_mbps).sum()
+    }
+
+    /// `true` when this snapshot uses the shared-structure (split) layout.
+    pub fn is_split(&self) -> bool {
+        matches!(self.storage, Storage::Split(_))
+    }
+
+    /// Estimated heap bytes owned by this snapshot alone; for split
+    /// snapshots the `Arc`-shared [`StaticCore`] is excluded (see
+    /// [`TopologySnapshot::shared_heap_bytes`]).
+    pub fn marginal_heap_bytes(&self) -> usize {
+        match &self.storage {
+            Storage::Dense(d) => {
+                d.kinds.len() * core::mem::size_of::<NodeKind>()
+                    + d.positions.len() * core::mem::size_of::<Eci>()
+                    + d.sunlit.len()
+                    + d.edges.len() * core::mem::size_of::<Edge>()
+                    + d.adj_offsets.len() * 4
+            }
+            Storage::Split(s) => {
+                s.positions.len() * core::mem::size_of::<Eci>()
+                    + s.sunlit.len()
+                    + s.removed.len() * 4
+                    + s.dyn_offsets.len() * 4
+                    + s.dyn_peers.len() * 4
+            }
+        }
+    }
+
+    /// Estimated heap bytes of the structure shared across the series
+    /// (0 for dense snapshots).
+    pub fn shared_heap_bytes(&self) -> usize {
+        match &self.storage {
+            Storage::Dense(_) => 0,
+            Storage::Split(s) => s.core.heap_bytes(),
+        }
+    }
+
+    /// Removes edges according to the two predicates, preserving edge
+    /// order, and returns the filtered snapshot — or `None` when either the
+    /// snapshot is dense (caller must take the dense rebuild path) or no
+    /// edge matched (the snapshot is unchanged).
+    ///
+    /// `isl_down` is consulted once per *present* undirected ISL pair;
+    /// `node_down` removes every edge touching a down node.
+    pub(crate) fn split_filtered(
+        &self,
+        mut isl_down: impl FnMut(NodeId, NodeId) -> bool,
+        mut node_down: impl FnMut(NodeId) -> bool,
+    ) -> Option<TopologySnapshot> {
+        let s = match &self.storage {
+            Storage::Split(s) => s,
+            Storage::Dense(_) => return None,
+        };
+        let mut extra: Vec<u32> = Vec::new();
+        for (p, &(a, b)) in s.core.pair_nodes.iter().enumerate() {
+            let dirs = s.core.pair_dirs[p];
+            if s.is_removed(dirs[0]) {
+                continue;
+            }
+            if isl_down(a, b) || node_down(a) || node_down(b) {
+                extra.extend_from_slice(&dirs);
+            }
+        }
+        let n = s.core.kinds.len();
+        let mut dyn_changed = false;
+        let mut dyn_offsets = Vec::with_capacity(n + 1);
+        let mut dyn_peers = Vec::with_capacity(s.dyn_peers.len());
+        dyn_offsets.push(0u32);
+        for v in 0..n {
+            let v_down = node_down(NodeId(v as u32));
+            let lo = s.dyn_offsets[v] as usize;
+            let hi = s.dyn_offsets[v + 1] as usize;
+            for &peer in &s.dyn_peers[lo..hi] {
+                if v_down || node_down(peer) {
+                    dyn_changed = true;
+                } else {
+                    dyn_peers.push(peer);
+                }
+            }
+            dyn_offsets.push(dyn_peers.len() as u32);
+        }
+        if extra.is_empty() && !dyn_changed {
+            return None;
+        }
+        let mut removed = s.removed.clone();
+        removed.extend_from_slice(&extra);
+        removed.sort_unstable();
+        Some(TopologySnapshot::from_split(
+            self.slot,
+            Arc::clone(&s.core),
+            s.positions.clone(),
+            s.sunlit.clone(),
+            removed,
+            dyn_offsets,
+            dyn_peers,
+        ))
+    }
+}
+
+impl PartialEq for TopologySnapshot {
+    /// Logical equality: the two snapshots describe the same graph,
+    /// regardless of storage layout.
+    fn eq(&self, other: &Self) -> bool {
+        self.slot == other.slot
+            && self.kinds() == other.kinds()
+            && self.positions() == other.positions()
+            && self.sunlit_flags() == other.sunlit_flags()
+            && self.num_edges() == other.num_edges()
+            && self.edges().eq(other.edges())
+    }
+}
+
+/// Iterator over a node's out-edges; see
+/// [`TopologySnapshot::out_edges`].
+pub struct OutEdges<'a> {
+    inner: OutEdgesInner<'a>,
+}
+
+enum OutEdgesInner<'a> {
+    Dense {
+        edges: &'a [Edge],
+        idx: u32,
+        end: u32,
+    },
+    Split {
+        data: &'a SplitData,
+        src: NodeId,
+        tmpl_idx: u32,
+        tmpl_end: u32,
+        dyn_idx: u32,
+        dyn_end: u32,
+        next_id: u32,
+    },
+}
+
+impl Iterator for OutEdges<'_> {
+    type Item = (EdgeId, Edge);
+
+    fn next(&mut self) -> Option<(EdgeId, Edge)> {
+        match &mut self.inner {
+            OutEdgesInner::Dense { edges, idx, end } => {
+                if idx < end {
+                    let id = EdgeId(*idx);
+                    let e = edges[*idx as usize];
+                    *idx += 1;
+                    Some((id, e))
+                } else {
+                    None
+                }
+            }
+            OutEdgesInner::Split { data, src, tmpl_idx, tmpl_end, dyn_idx, dyn_end, next_id } => {
+                while tmpl_idx < tmpl_end {
+                    let i = *tmpl_idx;
+                    *tmpl_idx += 1;
+                    if data.is_removed(i) {
+                        continue;
+                    }
+                    let dst = data.core.tmpl_dst[i as usize];
+                    let id = EdgeId(*next_id);
+                    *next_id += 1;
+                    return Some((
+                        id,
+                        Edge {
+                            src: *src,
+                            dst,
+                            link_type: LinkType::Isl,
+                            capacity_mbps: data.core.isl_capacity_mbps,
+                            length_m: data.length(*src, dst),
+                        },
+                    ));
+                }
+                if dyn_idx < dyn_end {
+                    let dst = data.dyn_peers[*dyn_idx as usize];
+                    *dyn_idx += 1;
+                    let id = EdgeId(*next_id);
+                    *next_id += 1;
+                    return Some((
+                        id,
+                        Edge {
+                            src: *src,
+                            dst,
+                            link_type: LinkType::Usl,
+                            capacity_mbps: data.core.usl_capacity_mbps,
+                            length_m: data.length(*src, dst),
+                        },
+                    ));
+                }
+                None
+            }
+        }
     }
 }
 
@@ -294,6 +731,18 @@ mod tests {
     fn total_capacity() {
         let g = tiny();
         assert!((g.total_capacity_mbps() - 6000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edge_ids_enumerate_in_csr_order() {
+        let g = tiny();
+        for (i, e) in g.edges().enumerate() {
+            assert_eq!(g.edge(EdgeId(i as u32)), e);
+        }
+        let ids: Vec<u32> = (0..g.num_nodes() as u32)
+            .flat_map(|v| g.out_edges(NodeId(v)).map(|(id, _)| id.0))
+            .collect();
+        assert_eq!(ids, (0..g.num_edges() as u32).collect::<Vec<_>>());
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   GDP-density weighting (the paper's 1761 candidate sites);
 //! * [`series`] — assembling per-slot [`graph::TopologySnapshot`]s over the
 //!   whole simulation horizon;
+//! * [`delta`] — delta compilation of series: a shared static ISL template
+//!   plus per-slot [`delta::SlotDelta`]s, bit-identical to the full rebuild;
 //! * [`delay`] — propagation-delay estimation for paths (and the
 //!   terrestrial-fiber benchmark they must beat);
 //! * [`failures`] — deterministic ISL failure injection for robustness
@@ -43,6 +45,7 @@
 #![warn(missing_docs)]
 pub mod coverage;
 pub mod delay;
+pub mod delta;
 pub mod failures;
 pub mod graph;
 pub mod ground;
@@ -78,7 +81,8 @@ impl core::fmt::Display for SlotIndex {
     }
 }
 
-pub use graph::{LinkType, NodeId, NodeKind, TopologySnapshot};
+pub use delta::{SeriesBuilder, SlotDelta};
+pub use graph::{LinkType, NodeId, NodeKind, StaticCore, TopologySnapshot};
 pub use series::{NetworkNodes, TopologyConfig, TopologySeries};
 
 #[cfg(test)]

@@ -1,9 +1,19 @@
 //! Building the time-slotted snapshot series.
 //!
-//! [`NetworkNodes`] fixes the node table (broadband satellites, ground
-//! users, space users) with stable [`NodeId`]s; [`TopologySeries::build`]
-//! then produces one [`TopologySnapshot`] per time slot by propagating all
-//! orbits, wiring the +Grid ISLs and discovering USLs.
+//! [`NetworkNodes`] fixes the node table (broadband satellites — possibly
+//! across several Walker shells — ground users, space users) with stable
+//! [`NodeId`]s; [`TopologySeries::build`] then produces one
+//! [`TopologySnapshot`] per time slot.
+//!
+//! Two construction paths exist and are bit-identical:
+//!
+//! * the default **delta-compiled** path ([`crate::delta::SeriesBuilder`]):
+//!   the static +Grid ISL template is built once and shared across slots
+//!   behind an `Arc`, and each slot stores only its dynamic data;
+//! * the **full-rebuild** reference path ([`TopologySeries::build_full`]),
+//!   which assembles a dense edge list per slot. Setting the environment
+//!   variable `SB_FULL_REBUILD=1` forces every build through this path
+//!   (used by CI to byte-diff sweep outputs against the delta compiler).
 
 use crate::graph::{NodeId, NodeKind, TopologySnapshot};
 use crate::ground;
@@ -60,12 +70,15 @@ impl Default for TopologyConfig {
 
 /// The canonical node table: who exists in the network.
 ///
-/// Node ids are assigned contiguously — broadband satellites first, then
-/// ground users, then space users — and remain stable across every slot.
+/// Node ids are assigned contiguously — broadband satellites first (shells
+/// concatenated in declaration order), then ground users, then space users
+/// — and remain stable across every slot.
 #[derive(Debug, Clone)]
 pub struct NetworkNodes {
     broadband: Constellation,
-    grid: Option<GridIndex>,
+    /// One +Grid index per Walker shell, with the constellation index of
+    /// the shell's first satellite. ISLs are wired within shells only.
+    grids: Vec<(usize, GridIndex)>,
     ground_sites: Vec<Geodetic>,
     space_users: Vec<Satellite>,
 }
@@ -77,13 +90,33 @@ impl NetworkNodes {
     /// annotations; constellations without full annotations get no ISLs
     /// (useful only for degenerate tests).
     pub fn new(broadband: Constellation) -> Self {
-        let grid = GridIndex::from_satellites(broadband.satellites());
-        NetworkNodes { broadband, grid, ground_sites: Vec::new(), space_users: Vec::new() }
+        let grids = GridIndex::from_satellites(broadband.satellites())
+            .map(|g| vec![(0, g)])
+            .unwrap_or_default();
+        NetworkNodes { broadband, grids, ground_sites: Vec::new(), space_users: Vec::new() }
     }
 
-    /// Convenience: node table for a Walker shell.
+    /// Convenience: node table for a single Walker shell.
     pub fn from_walker(shell: &sb_orbit::walker::WalkerConstellation) -> Self {
-        Self::new(Constellation::from_walker(shell))
+        Self::from_shells(std::slice::from_ref(shell))
+    }
+
+    /// Node table for a multi-shell constellation: shells are concatenated
+    /// in order, each keeping its own +Grid (no cross-shell ISLs — distinct
+    /// shells differ in altitude/inclination, so +Grid wiring is undefined
+    /// between them; traffic crosses shells via ground/space users).
+    pub fn from_shells(shells: &[sb_orbit::walker::WalkerConstellation]) -> Self {
+        let mut broadband = Constellation::new();
+        let mut grids = Vec::with_capacity(shells.len());
+        for shell in shells {
+            let c = Constellation::from_walker(shell);
+            let base = broadband.len();
+            if let Some(grid) = GridIndex::from_satellites(c.satellites()) {
+                grids.push((base, grid));
+            }
+            broadband.extend_from(&c);
+        }
+        NetworkNodes { broadband, grids, ground_sites: Vec::new(), space_users: Vec::new() }
     }
 
     /// Adds a ground-user site, returning its [`NodeId`].
@@ -118,7 +151,7 @@ impl NetworkNodes {
         self.space_user_node(self.space_users.len() - 1)
     }
 
-    /// Number of broadband satellites.
+    /// Number of broadband satellites (all shells).
     pub fn num_satellites(&self) -> usize {
         self.broadband.len()
     }
@@ -138,9 +171,15 @@ impl NetworkNodes {
         self.num_satellites() + self.num_ground_users() + self.num_space_users()
     }
 
-    /// The broadband constellation.
+    /// The broadband constellation (shells concatenated).
     pub fn broadband(&self) -> &Constellation {
         &self.broadband
+    }
+
+    /// The per-shell +Grid indices with each shell's base constellation
+    /// index.
+    pub fn shell_grids(&self) -> &[(usize, GridIndex)] {
+        &self.grids
     }
 
     /// The ground sites in index order.
@@ -186,9 +225,14 @@ impl NetworkNodes {
     }
 
     /// Builds the node-kind table in node-id order.
-    fn kinds(&self) -> Vec<NodeKind> {
+    pub(crate) fn kinds(&self) -> Vec<NodeKind> {
         (0..self.num_nodes()).map(|i| self.kind_of(NodeId(i as u32))).collect()
     }
+}
+
+/// `true` when `SB_FULL_REBUILD=1` forces the dense full-rebuild path.
+pub(crate) fn full_rebuild_forced() -> bool {
+    std::env::var_os("SB_FULL_REBUILD").is_some_and(|v| v == "1")
 }
 
 /// The full time-slotted topology: one snapshot per slot.
@@ -201,7 +245,60 @@ pub struct TopologySeries {
 impl TopologySeries {
     /// Builds snapshots for slots `0..num_slots`, each `slot_duration_s`
     /// seconds long. Orbits are sampled at each slot's start epoch.
+    ///
+    /// Uses the delta compiler with shared static structure (see
+    /// [`crate::delta::SeriesBuilder`]); set `SB_FULL_REBUILD=1` to force
+    /// the bit-identical dense reference path.
     pub fn build(
+        nodes: &NetworkNodes,
+        config: &TopologyConfig,
+        num_slots: usize,
+        slot_duration_s: f64,
+    ) -> TopologySeries {
+        if full_rebuild_forced() {
+            return Self::build_full(nodes, config, num_slots, slot_duration_s);
+        }
+        crate::delta::SeriesBuilder::new(nodes, config)
+            .compile(num_slots, slot_duration_s)
+            .into_series()
+    }
+
+    /// [`TopologySeries::build`] with construction fanned across `threads`
+    /// worker threads.
+    ///
+    /// The slot range is split into `threads` contiguous chunks and each
+    /// worker delta-compiles its chunk independently (a fresh base state at
+    /// the chunk start, deltas within). Every snapshot is a pure function
+    /// of `(nodes, config, slot epoch)`, so the result is **bit-identical**
+    /// to the serial build for every thread count — the same determinism
+    /// discipline as the sweep runner and the speculative quote.
+    ///
+    /// `threads <= 1` takes the serial path with no thread machinery.
+    pub fn build_par(
+        nodes: &NetworkNodes,
+        config: &TopologyConfig,
+        num_slots: usize,
+        slot_duration_s: f64,
+        threads: usize,
+    ) -> TopologySeries {
+        if full_rebuild_forced() {
+            return Self::build_full_par(nodes, config, num_slots, slot_duration_s, threads);
+        }
+        let threads = threads.clamp(1, num_slots.max(1));
+        if threads == 1 {
+            return Self::build(nodes, config, num_slots, slot_duration_s);
+        }
+        crate::delta::SeriesBuilder::new(nodes, config).compile_par(
+            num_slots,
+            slot_duration_s,
+            threads,
+        )
+    }
+
+    /// The dense full-rebuild reference: one independent
+    /// [`build_snapshot`] per slot, no shared structure. Kept as the
+    /// correctness oracle for the delta compiler.
+    pub fn build_full(
         nodes: &NetworkNodes,
         config: &TopologyConfig,
         num_slots: usize,
@@ -220,20 +317,11 @@ impl TopologySeries {
         TopologySeries { slot_duration_s, snapshots }
     }
 
-    /// [`TopologySeries::build`] with the per-slot snapshot builds fanned
-    /// across `threads` worker threads.
-    ///
-    /// Each snapshot is a pure function of `(nodes, config, slot epoch)`,
-    /// so workers share nothing and the result is **bit-identical** to the
-    /// serial build for every thread count — the same determinism
-    /// discipline as the sweep runner and the speculative quote. Workers
-    /// pull slots from a shared atomic counter (later slots cost the same
-    /// as early ones, but dynamic assignment keeps stragglers balanced)
-    /// and deposit each snapshot into its slot's dedicated cell, so
-    /// collection order never depends on completion order.
-    ///
-    /// `threads <= 1` takes the serial path with no thread machinery.
-    pub fn build_par(
+    /// [`TopologySeries::build_full`] fanned across `threads` workers.
+    /// Workers pull slots from a shared atomic counter and deposit each
+    /// snapshot into its slot's write-once cell, so collection order never
+    /// depends on completion order.
+    pub fn build_full_par(
         nodes: &NetworkNodes,
         config: &TopologyConfig,
         num_slots: usize,
@@ -242,11 +330,11 @@ impl TopologySeries {
     ) -> TopologySeries {
         let threads = threads.clamp(1, num_slots.max(1));
         if threads == 1 {
-            return Self::build(nodes, config, num_slots, slot_duration_s);
+            return Self::build_full(nodes, config, num_slots, slot_duration_s);
         }
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let cells: Vec<std::sync::Mutex<Option<TopologySnapshot>>> =
-            (0..num_slots).map(|_| std::sync::Mutex::new(None)).collect();
+        let cells: Vec<std::sync::OnceLock<TopologySnapshot>> =
+            (0..num_slots).map(|_| std::sync::OnceLock::new()).collect();
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
@@ -260,16 +348,12 @@ impl TopologySeries {
                         SlotIndex(t as u32),
                         Epoch::from_seconds(t as f64 * slot_duration_s),
                     );
-                    *cells[t].lock().expect("snapshot cell poisoned") = Some(snapshot);
+                    assert!(cells[t].set(snapshot).is_ok(), "slot cell set twice");
                 });
             }
         });
-        let snapshots = cells
-            .into_iter()
-            .map(|c| {
-                c.into_inner().expect("snapshot cell poisoned").expect("worker built every slot")
-            })
-            .collect();
+        let snapshots =
+            cells.into_iter().map(|c| c.into_inner().expect("worker built every slot")).collect();
         TopologySeries { slot_duration_s, snapshots }
     }
 
@@ -313,6 +397,15 @@ impl TopologySeries {
         self.snapshots.iter().map(|s| s.is_sunlit(sat_node)).collect()
     }
 
+    /// Estimated heap bytes of the whole series: per-slot marginal bytes
+    /// plus each distinct shared static core counted once.
+    pub fn heap_bytes(&self) -> usize {
+        let marginal: usize = self.snapshots.iter().map(|s| s.marginal_heap_bytes()).sum();
+        // All split snapshots of one series share one core.
+        let shared = self.snapshots.iter().map(|s| s.shared_heap_bytes()).max().unwrap_or(0);
+        marginal + shared
+    }
+
     /// Returns the series with an ISL failure model applied to every
     /// snapshot (see [`crate::failures::LinkFailureModel`]).
     ///
@@ -338,20 +431,14 @@ impl TopologySeries {
     }
 }
 
-/// Builds the snapshot graph for one slot.
-pub fn build_snapshot(
-    nodes: &NetworkNodes,
-    config: &TopologyConfig,
-    slot: SlotIndex,
-    epoch: Epoch,
-) -> TopologySnapshot {
-    // Propagate everything.
+/// Propagates every node to `epoch`: positions and sunlight flags in
+/// node-id order (shared by the dense and delta-compiled builders so the
+/// two paths can never drift).
+pub(crate) fn node_states(nodes: &NetworkNodes, epoch: Epoch) -> (Vec<Eci>, Vec<bool>) {
     let sat_states = nodes.broadband.propagate(epoch);
-    let sat_positions: Vec<Eci> = sat_states.iter().map(|s| s.position).collect();
-
     let mut positions: Vec<Eci> = Vec::with_capacity(nodes.num_nodes());
     let mut sunlit: Vec<bool> = Vec::with_capacity(nodes.num_nodes());
-    positions.extend(sat_positions.iter().copied());
+    positions.extend(sat_states.iter().map(|s| s.position));
     sunlit.extend(sat_states.iter().map(|s| s.sunlit));
 
     for site in nodes.ground_sites() {
@@ -363,15 +450,29 @@ pub fn build_snapshot(
         positions.push(p);
         sunlit.push(!sb_geo::sun::in_umbra(p, epoch));
     }
+    (positions, sunlit)
+}
+
+/// Builds the dense snapshot graph for one slot (the full-rebuild
+/// reference path).
+pub fn build_snapshot(
+    nodes: &NetworkNodes,
+    config: &TopologyConfig,
+    slot: SlotIndex,
+    epoch: Epoch,
+) -> TopologySnapshot {
+    let (positions, sunlit) = node_states(nodes, epoch);
+    let sat_positions = &positions[..nodes.num_satellites()];
 
     let mut edges = Vec::new();
 
-    // ISLs.
-    if let Some(grid) = &nodes.grid {
+    // ISLs: +Grid within each shell.
+    for &(base, ref grid) in nodes.shell_grids() {
+        let count = grid.planes() * grid.sats_per_plane();
         edges.extend(isl::plus_grid_edges(
             grid,
-            &sat_positions,
-            |i| nodes.satellite_node(i),
+            &sat_positions[base..base + count],
+            |i| nodes.satellite_node(base + i),
             config.isl_capacity_mbps,
             config.isl_grazing_margin_m,
         ));
@@ -383,7 +484,7 @@ pub fn build_snapshot(
         let user_pos = positions[user_node.index()];
         let visible = usl::visible_sats_from_ground(
             user_pos,
-            &sat_positions,
+            sat_positions,
             config.min_elevation_rad,
             config.max_usl_per_ground,
         );
@@ -391,7 +492,7 @@ pub fn build_snapshot(
             user_node,
             user_pos,
             &visible,
-            &sat_positions,
+            sat_positions,
             |i| nodes.satellite_node(i),
             config.usl_capacity_mbps,
         ));
@@ -403,7 +504,7 @@ pub fn build_snapshot(
         let user_pos = positions[user_node.index()];
         let visible = usl::visible_sats_from_space(
             user_pos,
-            &sat_positions,
+            sat_positions,
             config.eo_link_range_m,
             config.grazing_margin_m,
             config.max_usl_per_eo,
@@ -412,7 +513,7 @@ pub fn build_snapshot(
             user_node,
             user_pos,
             &visible,
-            &sat_positions,
+            sat_positions,
             |i| nodes.satellite_node(i),
             config.usl_capacity_mbps,
         ));
@@ -453,6 +554,52 @@ mod tests {
     }
 
     #[test]
+    fn multi_shell_nodes_concatenate() {
+        let shells = [
+            WalkerConstellation::delta(4, 6, 1, 550e3, 53f64.to_radians()),
+            WalkerConstellation::delta(3, 5, 0, 570e3, 70f64.to_radians()),
+        ];
+        let nodes = NetworkNodes::from_shells(&shells);
+        assert_eq!(nodes.num_satellites(), 24 + 15);
+        assert_eq!(nodes.shell_grids().len(), 2);
+        assert_eq!(nodes.shell_grids()[0].0, 0);
+        assert_eq!(nodes.shell_grids()[1].0, 24);
+        assert_eq!(nodes.shell_grids()[1].1.planes(), 3);
+    }
+
+    #[test]
+    fn multi_shell_isls_stay_within_shells() {
+        // Denser shells so intra-plane neighbors clear the Earth-grazing
+        // line-of-sight check (sparse rings are mostly blocked).
+        let shells = [
+            WalkerConstellation::delta(6, 10, 1, 550e3, 53f64.to_radians()),
+            WalkerConstellation::delta(5, 8, 0, 570e3, 70f64.to_radians()),
+        ];
+        let cfg = TopologyConfig::default();
+        let nodes = NetworkNodes::from_shells(&shells);
+        let snap = build_snapshot(&nodes, &cfg, SlotIndex(0), Epoch::from_seconds(0.0));
+        let isls: Vec<_> = snap.edges().filter(|e| e.link_type == LinkType::Isl).collect();
+        assert!(!isls.is_empty());
+        for e in &isls {
+            let same_shell = (e.src.index() < 60) == (e.dst.index() < 60);
+            assert!(same_shell, "cross-shell ISL {:?}", (e.src, e.dst));
+        }
+        // The combined graph has exactly the union of the per-shell ISLs:
+        // each shell wired independently, with shifted node ids.
+        let per_shell: usize = shells
+            .iter()
+            .map(|shell| {
+                let solo = NetworkNodes::from_walker(shell);
+                build_snapshot(&solo, &cfg, SlotIndex(0), Epoch::from_seconds(0.0))
+                    .edges()
+                    .filter(|e| e.link_type == LinkType::Isl)
+                    .count()
+            })
+            .sum();
+        assert_eq!(isls.len(), per_shell);
+    }
+
+    #[test]
     fn snapshot_has_isls_and_usls() {
         let nodes = small_nodes();
         let snap = build_snapshot(
@@ -461,8 +608,8 @@ mod tests {
             SlotIndex(0),
             Epoch::from_seconds(0.0),
         );
-        let isls = snap.edges().iter().filter(|e| e.link_type == LinkType::Isl).count();
-        let usls = snap.edges().iter().filter(|e| e.link_type == LinkType::Usl).count();
+        let isls = snap.edges().filter(|e| e.link_type == LinkType::Isl).count();
+        let usls = snap.edges().filter(|e| e.link_type == LinkType::Usl).count();
         assert_eq!(isls, 4 * 96, "+Grid should give 4 directed ISLs per sat");
         assert!(usls > 0, "users should see some satellites");
         assert!(usls % 2 == 0, "USLs come in directed pairs");
@@ -476,10 +623,8 @@ mod tests {
         assert_eq!(series.slot_duration_s(), 300.0);
         // Edge sets should differ across 5-minute slots (satellites move
         // ~1400 km per slot).
-        let e0: Vec<_> =
-            series.snapshot(SlotIndex(0)).edges().iter().map(|e| (e.src, e.dst)).collect();
-        let e3: Vec<_> =
-            series.snapshot(SlotIndex(3)).edges().iter().map(|e| (e.src, e.dst)).collect();
+        let e0: Vec<_> = series.snapshot(SlotIndex(0)).edges().map(|e| (e.src, e.dst)).collect();
+        let e3: Vec<_> = series.snapshot(SlotIndex(3)).edges().map(|e| (e.src, e.dst)).collect();
         assert_ne!(e0, e3, "topology should evolve");
     }
 
@@ -488,7 +633,7 @@ mod tests {
         let nodes = small_nodes();
         let cfg = TopologyConfig { usl_capacity_mbps: 1234.0, ..TopologyConfig::default() };
         let snap = build_snapshot(&nodes, &cfg, SlotIndex(0), Epoch::from_seconds(0.0));
-        for e in snap.edges().iter().filter(|e| e.link_type == LinkType::Usl) {
+        for e in snap.edges().filter(|e| e.link_type == LinkType::Usl) {
             assert_eq!(e.capacity_mbps, 1234.0);
         }
     }
@@ -544,13 +689,27 @@ mod tests {
     }
 
     #[test]
+    fn delta_build_matches_full_rebuild() {
+        let nodes = small_nodes();
+        let cfg = TopologyConfig::default();
+        let full = TopologySeries::build_full(&nodes, &cfg, 6, 120.0);
+        let delta = TopologySeries::build(&nodes, &cfg, 6, 120.0);
+        assert!(delta.snapshots().iter().all(|s| s.is_split()));
+        assert_eq!(delta, full);
+    }
+
+    #[test]
     fn build_par_matches_serial_build() {
         let nodes = small_nodes();
         let cfg = TopologyConfig::default();
         let serial = TopologySeries::build(&nodes, &cfg, 6, 120.0);
+        let full = TopologySeries::build_full(&nodes, &cfg, 6, 120.0);
         for threads in [1, 2, 4, 16] {
             let par = TopologySeries::build_par(&nodes, &cfg, 6, 120.0, threads);
             assert_eq!(par, serial, "threads={threads}");
+            assert_eq!(par, full, "threads={threads} vs full rebuild");
+            let par_full = TopologySeries::build_full_par(&nodes, &cfg, 6, 120.0, threads);
+            assert_eq!(par_full, full, "full par threads={threads}");
         }
     }
 
@@ -559,6 +718,21 @@ mod tests {
         let nodes = small_nodes();
         let par = TopologySeries::build_par(&nodes, &TopologyConfig::default(), 0, 60.0, 4);
         assert_eq!(par.num_slots(), 0);
+    }
+
+    #[test]
+    fn series_heap_bytes_counts_shared_core_once() {
+        let nodes = small_nodes();
+        let cfg = TopologyConfig::default();
+        let delta = TopologySeries::build(&nodes, &cfg, 4, 120.0);
+        let full = TopologySeries::build_full(&nodes, &cfg, 4, 120.0);
+        assert!(delta.heap_bytes() > 0);
+        assert!(
+            delta.heap_bytes() < full.heap_bytes(),
+            "shared-structure series should be smaller: {} vs {}",
+            delta.heap_bytes(),
+            full.heap_bytes()
+        );
     }
 
     #[test]
@@ -580,6 +754,25 @@ mod tests {
             overlaid.snapshots().iter().zip(original.snapshots()).filter(|(a, b)| a != b).count();
         assert!(changed > 0, "overlay should drop at least one ISL at p=0.01");
         assert!(changed < original.num_slots(), "some slots should survive untouched");
+    }
+
+    #[test]
+    fn apply_owned_reuses_untouched_split_slots() {
+        // Regression: the move-unchanged-slot fast path must hold on the
+        // shared-structure representation — untouched split snapshots come
+        // back split (moved, not rebuilt dense) and changed ones stay
+        // split with the same shared core.
+        let shell = WalkerConstellation::delta(4, 8, 0, 550e3, 53f64.to_radians());
+        let nodes = NetworkNodes::from_walker(&shell);
+        let original = TopologySeries::build(&nodes, &TopologyConfig::default(), 16, 300.0);
+        assert!(original.snapshots().iter().all(|s| s.is_split()));
+        let shared_before = original.snapshot(SlotIndex(0)).shared_heap_bytes();
+        let model = LinkFailureModel::new(0.01, 0xfa11_0005);
+        let overlaid = original.with_failures(&model);
+        for s in overlaid.snapshots() {
+            assert!(s.is_split(), "slot {:?} lost its split storage", s.slot());
+            assert_eq!(s.shared_heap_bytes(), shared_before, "core must stay shared");
+        }
     }
 
     proptest! {

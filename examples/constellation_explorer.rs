@@ -54,8 +54,8 @@ fn main() {
     let mut handovers = 0usize;
     for t in (0..96).step_by(8) {
         let snap = series.snapshot(SlotIndex(t));
-        let isls = snap.edges().iter().filter(|e| e.link_type == LinkType::Isl).count();
-        let usls = snap.edges().iter().filter(|e| e.link_type == LinkType::Usl).count();
+        let isls = snap.edges().filter(|e| e.link_type == LinkType::Isl).count();
+        let usls = snap.edges().filter(|e| e.link_type == LinkType::Usl).count();
         let sunlit = (0..shell.total_satellites())
             .filter(|&i| snap.is_sunlit(sb_topology::NodeId(i as u32)))
             .count();

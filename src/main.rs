@@ -216,8 +216,8 @@ fn cmd_topology(args: &[String]) -> Result<(), String> {
     }
     let prepared = engine::prepare(&scenario, seed);
     let snap = prepared.series.snapshot(SlotIndex(slot));
-    let isls = snap.edges().iter().filter(|e| e.link_type == LinkType::Isl).count();
-    let usls = snap.edges().iter().filter(|e| e.link_type == LinkType::Usl).count();
+    let isls = snap.edges().filter(|e| e.link_type == LinkType::Isl).count();
+    let usls = snap.edges().filter(|e| e.link_type == LinkType::Usl).count();
     let sunlit = (0..scenario.total_satellites())
         .filter(|&i| snap.is_sunlit(space_booking::sb_topology::NodeId(i as u32)))
         .count();
