@@ -1,8 +1,10 @@
-//! CI smoke test for the mega-constellation topology path: builds a
-//! reduced-horizon two-shell ≥10k-satellite series with the delta
-//! compiler, verifies it is bit-identical to the dense full rebuild, and
-//! asserts the shared-structure memory contract (series heap ceiling and
-//! the ≥5× per-slot marginal reduction over the dense representation).
+//! CI smoke test for the mega-constellation topology path: builds
+//! reduced-horizon multi-shell series (the two-shell ≥10k-satellite
+//! `mega` preset and the three-shell ≥30k-satellite `mega3` preset) with
+//! the delta compiler, verifies each is bit-identical to the dense full
+//! rebuild, and asserts the shared-structure memory contract (series
+//! heap ceiling and the ≥5× per-slot marginal reduction over the dense
+//! representation).
 //!
 //! ```text
 //! cargo run -p sb-bench --release --bin mega_smoke
@@ -24,18 +26,24 @@ const SMOKE_SLOTS: usize = 4;
 
 /// Same retained-series ceiling the perf bin asserts at the full mega
 /// horizon; the smoke horizon is shorter, so this is strictly looser.
-const HEAP_CEILING_BYTES: usize = 256 << 20;
+const MEGA_HEAP_CEILING_BYTES: usize = 256 << 20;
 
-fn main() {
-    let mega = ScenarioConfig::mega();
+/// The three-shell preset carries ~3× the satellites; the base snapshot
+/// scales linearly with them, so its ceiling does too.
+const MEGA3_HEAP_CEILING_BYTES: usize = 768 << 20;
+
+/// One preset's smoke pass: delta build == full rebuild, heap ceiling,
+/// ≥5× marginal ratio.
+fn smoke(scenario: &ScenarioConfig, min_sats: usize, min_shells: usize, heap_ceiling: usize) {
+    let name = &scenario.name;
     let mut shells = vec![WalkerConstellation::delta(
-        mega.planes,
-        mega.sats_per_plane,
-        mega.phasing,
-        mega.altitude_m,
-        mega.inclination_deg.to_radians(),
+        scenario.planes,
+        scenario.sats_per_plane,
+        scenario.phasing,
+        scenario.altitude_m,
+        scenario.inclination_deg.to_radians(),
     )];
-    for s in &mega.extra_shells {
+    for s in &scenario.extra_shells {
         shells.push(WalkerConstellation::delta(
             s.planes,
             s.sats_per_plane,
@@ -50,41 +58,50 @@ fn main() {
     for eo in sb_orbit::eo::synthetic_fleet(4) {
         nodes.add_space_user(eo);
     }
-    assert!(nodes.num_satellites() >= 10_000, "mega preset must be ≥10k satellites");
-    assert!(shells.len() >= 2, "mega preset must be multi-shell");
+    assert!(
+        nodes.num_satellites() >= min_sats,
+        "{name} preset must be ≥{min_sats} satellites, got {}",
+        nodes.num_satellites()
+    );
+    assert!(shells.len() >= min_shells, "{name} preset must be ≥{min_shells} shells");
 
     eprintln!(
-        "mega-smoke: {} satellites, {} shells, {SMOKE_SLOTS} slots…",
+        "{name}-smoke: {} satellites, {} shells, {SMOKE_SLOTS} slots…",
         nodes.num_satellites(),
         shells.len()
     );
     let t = Instant::now();
-    let delta = TopologySeries::build_par(&nodes, &mega.topology, SMOKE_SLOTS, 60.0, 4);
+    let delta = TopologySeries::build_par(&nodes, &scenario.topology, SMOKE_SLOTS, 60.0, 4);
     let delta_s = t.elapsed().as_secs_f64();
     let t = Instant::now();
-    let full = TopologySeries::build_full(&nodes, &mega.topology, SMOKE_SLOTS, 60.0);
+    let full = TopologySeries::build_full(&nodes, &scenario.topology, SMOKE_SLOTS, 60.0);
     let full_s = t.elapsed().as_secs_f64();
 
-    assert!(delta == full, "delta-compiled mega series diverged from the full rebuild");
+    assert!(delta == full, "delta-compiled {name} series diverged from the full rebuild");
 
     let heap = delta.heap_bytes();
     assert!(
-        heap <= HEAP_CEILING_BYTES,
-        "mega series heap {heap} B exceeds the {HEAP_CEILING_BYTES} B ceiling"
+        heap <= heap_ceiling,
+        "{name} series heap {heap} B exceeds the {heap_ceiling} B ceiling"
     );
     let marginal: usize =
         delta.snapshots().iter().map(|s| s.marginal_heap_bytes()).sum::<usize>() / SMOKE_SLOTS;
     let dense: usize =
         full.snapshots().iter().map(|s| s.marginal_heap_bytes()).sum::<usize>() / SMOKE_SLOTS;
     let ratio = dense as f64 / marginal.max(1) as f64;
-    assert!(ratio >= 5.0, "per-slot marginal ratio {ratio:.2}x is below the required 5x");
+    assert!(ratio >= 5.0, "{name} per-slot marginal ratio {ratio:.2}x is below the required 5x");
 
     println!(
-        "mega-smoke OK: build {delta_s:.2}s (full rebuild {full_s:.2}s), heap {:.1} MiB \
+        "{name}-smoke OK: build {delta_s:.2}s (full rebuild {full_s:.2}s), heap {:.1} MiB \
          (ceiling {} MiB), per-slot marginal {:.1} KiB vs dense {:.1} KiB ({ratio:.1}x)",
         heap as f64 / (1 << 20) as f64,
-        HEAP_CEILING_BYTES >> 20,
+        heap_ceiling >> 20,
         marginal as f64 / 1024.0,
         dense as f64 / 1024.0,
     );
+}
+
+fn main() {
+    smoke(&ScenarioConfig::mega(), 10_000, 2, MEGA_HEAP_CEILING_BYTES);
+    smoke(&ScenarioConfig::mega3(), 30_000, 3, MEGA3_HEAP_CEILING_BYTES);
 }

@@ -55,7 +55,7 @@ use sb_sim::engine::{self, AlgorithmKind};
 use sb_sim::PreparedCache;
 use sb_topology::graph::EdgeId;
 use sb_topology::series::build_snapshot;
-use sb_topology::{NetworkNodes, SlotIndex, TopologyConfig, TopologySeries};
+use sb_topology::{NetworkNodes, SeriesPackage, SlotIndex, TopologyConfig, TopologySeries};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -580,6 +580,113 @@ fn main() {
         mega_dense_heap as f64 / (1 << 20) as f64,
     );
 
+    // ---- Fleet: wire-shipped series vs per-worker rebuild --------------
+    // The coordinator compiles each distinct (prepare_digest, seed) series
+    // once and ships the checksummed package; workers decode + materialize
+    // instead of rebuilding. Measured here: package compile/encode cost,
+    // wire bytes vs the dense snapshot bytes (the delta compression must
+    // carry to the wire), the worker's two preparation paths, and the
+    // affinity hit rate of the scheduler routing the sweep grid.
+    let t = Instant::now();
+    let package = engine::compile_series_package(&scenario, 0);
+    let fleet_compile_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let wire = package.encode();
+    let fleet_encode_s = t.elapsed().as_secs_f64();
+    let wire_bytes = wire.len();
+    let dense_snapshot_bytes = dense_per_slot * slots;
+    let wire_ratio = dense_snapshot_bytes as f64 / wire_bytes.max(1) as f64;
+    assert!(
+        wire_ratio >= 5.0,
+        "wire bytes {wire_bytes} must undercut dense snapshot bytes {dense_snapshot_bytes} \
+         by ≥5x, got {wire_ratio:.2}x"
+    );
+
+    // The worker's shipped path: decode, materialize, prepare.
+    let t = Instant::now();
+    let decoded = SeriesPackage::decode(&wire).expect("self-encoded package must decode");
+    let shipped_series =
+        std::sync::Arc::new(decoded.materialize().expect("self-encoded package must materialize"));
+    let shipped_prepared = engine::prepare_from_series(&scenario, 0, &shipped_series);
+    let fleet_ship_prep_s = t.elapsed().as_secs_f64();
+    // The worker's fallback path: rebuild everything locally.
+    let t = Instant::now();
+    let rebuilt_prepared = engine::prepare_with(&scenario, 0, build_threads);
+    let fleet_rebuild_prep_s = t.elapsed().as_secs_f64();
+    let fleet_prep_speedup = fleet_rebuild_prep_s / fleet_ship_prep_s.max(1e-9);
+    assert!(
+        shipped_prepared.pairs == rebuilt_prepared.pairs
+            && shipped_prepared.series.as_ref() == rebuilt_prepared.series.as_ref(),
+        "shipped preparation must be bit-identical to the local rebuild"
+    );
+    eprintln!(
+        "fleet: package compile {fleet_compile_s:.3}s + encode {fleet_encode_s:.3}s, \
+         {:.1} KiB wire vs {:.1} KiB dense ({wire_ratio:.1}x); prep shipped \
+         {fleet_ship_prep_s:.3}s vs rebuilt {fleet_rebuild_prep_s:.3}s ({fleet_prep_speedup:.2}x)",
+        wire_bytes as f64 / 1024.0,
+        dense_snapshot_bytes as f64 / 1024.0,
+    );
+
+    // Affinity routing over the sweep grid, on the pure scheduler with a
+    // fake clock: every cell of one seed shares a (prepare_digest, seed)
+    // key, so with 4 workers the hit rate shows how often a cell landed
+    // on a worker already holding its series.
+    let fleet_workers = 4usize;
+    let affinity_keys: Vec<u64> = cells
+        .iter()
+        .map(|(_, seed)| {
+            let mut w = sb_wire::Writer::new();
+            w.u64(engine::prepare_digest(&scenario));
+            w.u64(*seed);
+            sb_wire::checksum(&w.into_bytes())
+        })
+        .collect();
+    let distinct_series = {
+        let mut keys = affinity_keys.clone();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.len()
+    };
+    let mut sim = sb_fleet::sched::Scheduler::new(
+        cells.len(),
+        fleet_workers,
+        sb_fleet::sched::SchedConfig::default(),
+    );
+    sim.set_affinity(affinity_keys);
+    for w in 0..fleet_workers {
+        sim.on_worker_ready(w, 0);
+    }
+    let mut sim_now = 0u64;
+    let mut sim_running: Vec<(usize, usize, u64)> = Vec::new();
+    while !sim.is_complete() {
+        for action in sim.tick(sim_now) {
+            if let sb_fleet::sched::Action::Dispatch { worker, cell, .. } = action {
+                sim_running.push((worker, cell, sim_now + 10));
+            }
+        }
+        let Some(next) = sim_running.iter().map(|&(_, _, t)| t).min() else {
+            break;
+        };
+        sim_now = next;
+        let finished: Vec<(usize, usize)> = sim_running
+            .iter()
+            .filter(|&&(_, _, t)| t == sim_now)
+            .map(|&(w, c, _)| (w, c))
+            .collect();
+        sim_running.retain(|&(_, _, t)| t != sim_now);
+        for (w, c) in finished {
+            sim.on_done(w, c, sim_now);
+        }
+    }
+    let (affinity_hits, affinity_misses) = sim.affinity_stats();
+    let affinity_hit_rate = affinity_hits as f64 / (affinity_hits + affinity_misses).max(1) as f64;
+    eprintln!(
+        "fleet: affinity routing over {} cells / {distinct_series} series on {fleet_workers} \
+         workers — {affinity_hits} hits, {affinity_misses} misses ({:.0}%)",
+        cells.len(),
+        affinity_hit_rate * 100.0
+    );
+
     // ---- Report --------------------------------------------------------
     let scaling_points = scaling
         .iter()
@@ -636,6 +743,20 @@ fn main() {
         mega.horizon_slots,
         json_opt_u64(mega_rss),
     );
+    let fleet_json = format!(
+        "{{\n    \"scale\": \"{}\",\n    \"compile_wall_s\": {fleet_compile_s:.4},\n    \
+         \"encode_wall_s\": {fleet_encode_s:.4},\n    \"wire_bytes\": {wire_bytes},\n    \
+         \"dense_snapshot_bytes\": {dense_snapshot_bytes},\n    \
+         \"wire_compression_ratio\": {wire_ratio:.4},\n    \
+         \"shipped_prep_wall_s\": {fleet_ship_prep_s:.4},\n    \
+         \"rebuilt_prep_wall_s\": {fleet_rebuild_prep_s:.4},\n    \
+         \"shipped_prep_speedup\": {fleet_prep_speedup:.4},\n    \
+         \"affinity\": {{\n      \"workers\": {fleet_workers},\n      \"cells\": {},\n      \
+         \"distinct_series\": {distinct_series},\n      \"hits\": {affinity_hits},\n      \
+         \"misses\": {affinity_misses},\n      \"hit_rate\": {affinity_hit_rate:.4}\n    }}\n  }}",
+        scenario.name,
+        cells.len(),
+    );
     let search_json = format!(
         "{{\n    \"kernel_dijkstra_us\": {scratch_us:.3},\n    \
          \"kernel_astar_us\": {astar_kernel_us:.3},\n    \
@@ -678,7 +799,8 @@ fn main() {
          \"search_fresh_us\": {:.3},\n    \"search_arena_us\": {:.3},\n    \
          \"search_speedup\": {:.4},\n    \"unit_price_powf_ns\": {:.3},\n    \
          \"unit_price_cached_ns\": {:.3},\n    \"pricing_speedup\": {:.4}\n  }},\n  \
-         \"search\": {},\n  \"scaling\": {},\n  \"memory\": {},\n  \"mega\": {}\n}}\n",
+         \"search\": {},\n  \"scaling\": {},\n  \"memory\": {},\n  \"mega\": {},\n  \
+         \"fleet\": {}\n}}\n",
         scenario.name,
         opts.seeds,
         sb_bench::default_jobs(),
@@ -722,6 +844,7 @@ fn main() {
         scaling_json,
         memory_json,
         mega_json,
+        fleet_json,
     );
     let path = opts.out_dir.join("BENCH_perf.json");
     if let Some(parent) = path.parent() {

@@ -83,7 +83,7 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
-/// Parses `--scale {paper,fast,tiny,mega}`, `--seeds N`, `--out DIR`,
+/// Parses `--scale {paper,fast,tiny,mega,mega3}`, `--seeds N`, `--out DIR`,
 /// `--checkpoint-every N`, `--resume DIR`, `--jobs N`,
 /// `--quote-threads N`, `--build-threads N` and
 /// `--search {reference,astar}` from an argument iterator.
@@ -124,7 +124,11 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> FigureOptions {
                         scale_paper = false;
                         ScenarioConfig::mega()
                     }
-                    other => panic!("unknown scale `{other}` (use paper|fast|tiny|mega)"),
+                    "mega3" => {
+                        scale_paper = false;
+                        ScenarioConfig::mega3()
+                    }
+                    other => panic!("unknown scale `{other}` (use paper|fast|tiny|mega|mega3)"),
                 };
             }
             "--seeds" => {
@@ -522,6 +526,14 @@ mod tests {
         assert!(o.scenario.total_satellites() >= 10_000);
         assert!(!o.scenario.extra_shells.is_empty());
         assert_eq!(o.seeds, FigureOptions::default().seeds);
+    }
+
+    #[test]
+    fn mega3_scale_selects_the_three_shell_preset() {
+        let o = parse(&["--scale", "mega3"]);
+        assert_eq!(o.scenario.name, "mega3");
+        assert!(o.scenario.total_satellites() >= 30_000);
+        assert_eq!(o.scenario.extra_shells.len(), 2);
     }
 
     #[test]

@@ -19,11 +19,11 @@
 //! [`crate::worker::run_cell_local`] path (identical bytes, no isolation).
 
 use crate::chaos::ChaosPlan;
-use crate::proto::{send_job, CellSpec, FrameReader, JobMsg, NextFrame, WorkerMsg};
+use crate::proto::{send_job, CellSpec, FrameReader, JobMsg, NextFrame, SeriesShipment, WorkerMsg};
 use crate::results;
-use crate::sched::{Action, SchedConfig, Scheduler};
+use crate::sched::{Action, CellStatus, SchedConfig, Scheduler};
 use crate::SweepCell;
-use sb_sim::engine::run_digest;
+use sb_sim::engine::{prepare_digest, run_digest};
 use sb_sim::{PreparedCache, RunMetrics};
 use std::collections::HashMap;
 use std::io;
@@ -35,6 +35,17 @@ use std::time::Instant;
 
 /// Bytes of a dead worker's stderr kept as failure evidence.
 const STDERR_TAIL_BYTES: usize = 4096;
+
+/// Total bytes of joined stderr tails a quarantine report may print. Each
+/// tail is individually bounded by [`STDERR_TAIL_BYTES`], but a sweep can
+/// quarantine many cells; the report stays readable by spending one fixed
+/// budget across all of them, eliding the rest (every cell stays named).
+const QUARANTINE_TAIL_BUDGET_BYTES: usize = 16 * 1024;
+
+/// Largest series package carried inline in a job frame; bigger packages
+/// are spilled next to the results ([`results::store_series`]) and the
+/// frame carries the path. Well under the protocol's frame cap.
+const INLINE_SHIP_MAX_BYTES: usize = 4 << 20;
 
 /// How a fleet sweep should run.
 #[derive(Debug, Clone)]
@@ -133,13 +144,47 @@ pub enum FleetError {
     },
 }
 
+/// The longest prefix of `s` at most `max` bytes long, cut on a char
+/// boundary.
+fn clip_utf8(s: &str, max: usize) -> &str {
+    if s.len() <= max {
+        return s;
+    }
+    let mut end = max;
+    while end > 0 && !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    &s[..end]
+}
+
 impl core::fmt::Display for FleetError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             FleetError::Quarantine(cells) => {
                 writeln!(f, "{} cell(s) quarantined:", cells.len())?;
+                // One fixed byte budget across every joined tail, so a
+                // mass quarantine cannot flood the terminal or a CI log.
+                let mut budget = QUARANTINE_TAIL_BUDGET_BYTES;
                 for c in cells {
-                    writeln!(f, "{c}")?;
+                    writeln!(
+                        f,
+                        "cell {} `{}` quarantined after {} attempts; last stderr tail:",
+                        c.cell, c.label, c.attempts
+                    )?;
+                    let tail =
+                        if c.stderr_tail.is_empty() { "<empty>" } else { c.stderr_tail.trim_end() };
+                    let shown = clip_utf8(tail, budget);
+                    budget -= shown.len();
+                    if shown.len() < tail.len() {
+                        writeln!(
+                            f,
+                            "{shown}… ({} bytes elided by the {}-byte report budget)",
+                            tail.len() - shown.len(),
+                            QUARANTINE_TAIL_BUDGET_BYTES
+                        )?;
+                    } else {
+                        writeln!(f, "{shown}")?;
+                    }
                 }
                 Ok(())
             }
@@ -272,6 +317,63 @@ pub fn run_fleet(cells: &[SweepCell], opts: &FleetOptions) -> Result<FleetOutcom
         return finish(sched, collected, cells);
     }
 
+    // Series shipping and affinity: cells sharing a `(prepare_digest,
+    // seed)` need the same prepared series, so the coordinator compiles
+    // each distinct package once, ships it in the job frame (inline or
+    // spilled), and asks the scheduler to route repeat keys back to a
+    // worker already holding the materialized series. `SB_FLEET_NO_SHIP=1`
+    // disables shipping (workers rebuild locally) — the escape hatch CI
+    // byte-diffs against, since shipping must never change results.
+    let affinity: Vec<u64> = cells
+        .iter()
+        .map(|c| {
+            let mut w = sb_wire::Writer::new();
+            w.u64(prepare_digest(&c.scenario));
+            w.u64(c.seed);
+            sb_wire::checksum(&w.into_bytes())
+        })
+        .collect();
+    sched.set_affinity(affinity.clone());
+    let no_ship = std::env::var_os("SB_FLEET_NO_SHIP").is_some_and(|v| v != "0");
+    let mut shipments: HashMap<u64, Option<SeriesShipment>> = HashMap::new();
+    if no_ship {
+        eprintln!("fleet: SB_FLEET_NO_SHIP set; workers rebuild every series locally");
+    } else {
+        let compile_start = Instant::now();
+        let mut wire_bytes = 0usize;
+        for (i, c) in cells.iter().enumerate() {
+            if *sched.cell_status(i) == CellStatus::Done || shipments.contains_key(&affinity[i]) {
+                continue; // resumed cell, or package already compiled
+            }
+            let bytes = sb_sim::engine::compile_series_package(&c.scenario, c.seed).encode();
+            let digest = sb_wire::checksum(&bytes);
+            wire_bytes += bytes.len();
+            let ship = if bytes.len() <= INLINE_SHIP_MAX_BYTES {
+                Some(SeriesShipment::Inline(bytes))
+            } else {
+                match results::store_series(&opts.results_dir, digest, &bytes) {
+                    Ok(path) => Some(SeriesShipment::Spill {
+                        path: path.to_string_lossy().into_owned(),
+                        digest,
+                    }),
+                    Err(e) => {
+                        eprintln!(
+                            "fleet: cannot spill series {digest:016x} ({e}); shipping nothing for this key"
+                        );
+                        None
+                    }
+                }
+            };
+            shipments.insert(affinity[i], ship);
+        }
+        eprintln!(
+            "fleet: compiled {} series package(s), {} wire bytes, in {} ms",
+            shipments.len(),
+            wire_bytes,
+            compile_start.elapsed().as_millis()
+        );
+    }
+
     // Spawn the fleet. Any spawn failure degrades the whole sweep to
     // in-process execution — the results are identical, only isolation
     // and parallelism are lost.
@@ -320,6 +422,7 @@ pub fn run_fleet(cells: &[SweepCell], opts: &FleetOptions) -> Result<FleetOutcom
                         build_threads: opts.build_threads,
                         search: opts.search,
                         chaos: opts.chaos.worker_chaos(cell, attempt),
+                        ship: shipments.get(&affinity[cell]).cloned().flatten(),
                     };
                     let msg = JobMsg::Run { job: cell as u64, spec: Box::new(spec) };
                     if let Some(stdin) = procs[worker].stdin.as_mut() {
@@ -434,6 +537,11 @@ pub fn run_fleet(cells: &[SweepCell], opts: &FleetOptions) -> Result<FleetOutcom
         let _ = p.child.wait();
     }
 
+    let (hits, misses) = sched.affinity_stats();
+    if hits + misses > 0 {
+        eprintln!("fleet: series affinity routed {hits} of {} dispatch(es) warm", hits + misses);
+    }
+
     if halted {
         return Ok(FleetOutcome::Halted { completed_this_session });
     }
@@ -492,6 +600,7 @@ fn run_in_process(
             build_threads: opts.build_threads,
             search: opts.search,
             chaos: None,
+            ship: None,
         };
         let metrics = crate::worker::run_cell_local(&spec, &cache, |_| {});
         results::store(&opts.results_dir, digests[i], &metrics)
@@ -529,4 +638,56 @@ fn finish(
 
 fn assemble(mut collected: HashMap<usize, RunMetrics>, n: usize) -> Vec<RunMetrics> {
     (0..n).map(|i| collected.remove(&i).expect("complete sweep is missing a cell result")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quarantine_report_joined_tails_stay_within_the_byte_budget() {
+        // 8 cells, each with the maximum per-worker tail: unbounded, the
+        // joined report would be 8 × 4 KiB of stderr.
+        let reports: Vec<QuarantineReport> = (0..8)
+            .map(|i| QuarantineReport {
+                cell: i,
+                label: format!("cell{i}"),
+                attempts: 3,
+                stderr_tail: "x".repeat(STDERR_TAIL_BYTES),
+            })
+            .collect();
+        let text = FleetError::Quarantine(reports).to_string();
+        assert!(
+            text.len() < QUARANTINE_TAIL_BUDGET_BYTES + 2048,
+            "joined tails must respect the budget, got {} bytes",
+            text.len()
+        );
+        assert!(text.contains("elided"), "the cut must be announced");
+        for i in 0..8 {
+            assert!(text.contains(&format!("`cell{i}`")), "every cell stays named");
+        }
+    }
+
+    #[test]
+    fn quarantine_tail_clipping_respects_char_boundaries() {
+        // A tail of multi-byte characters whose total size exceeds the
+        // budget: clipping must land on a boundary, never panic.
+        let reports = vec![QuarantineReport {
+            cell: 0,
+            label: "utf8".into(),
+            attempts: 1,
+            stderr_tail: "é".repeat(QUARANTINE_TAIL_BUDGET_BYTES),
+        }];
+        let text = FleetError::Quarantine(reports).to_string();
+        assert!(text.contains("elided"));
+        assert!(text.len() < QUARANTINE_TAIL_BUDGET_BYTES + 1024);
+    }
+
+    #[test]
+    fn clip_utf8_is_exact_on_boundaries() {
+        assert_eq!(clip_utf8("abcdef", 6), "abcdef");
+        assert_eq!(clip_utf8("abcdef", 3), "abc");
+        assert_eq!(clip_utf8("ééé", 3), "é", "2-byte chars cut down, not through");
+        assert_eq!(clip_utf8("ééé", 0), "");
+    }
 }

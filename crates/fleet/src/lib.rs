@@ -8,17 +8,24 @@
 //! The moving parts:
 //!
 //! * [`proto`] — the length-framed, checksummed job protocol spoken over
-//!   worker stdin/stdout pipes. Every decoder returns
-//!   [`sb_wire::WireError`] on garbage; none panic.
+//!   worker stdin/stdout pipes, including wire-shipped topology series
+//!   ([`proto::SeriesShipment`]: inline package bytes or a digest-keyed
+//!   spill path). Every decoder returns [`sb_wire::WireError`] on
+//!   garbage; none panic.
 //! * [`sched`] — the pure scheduler state machine: heartbeat deadlines
 //!   with slow-vs-dead hysteresis (suspect at the soft timeout, kill at
-//!   the hard one), decorrelated-jitter retry backoff, and poison-cell
-//!   quarantine. Takes explicit timestamps, so every transition is
+//!   the hard one), decorrelated-jitter retry backoff, poison-cell
+//!   quarantine, and opt-in series-affinity dispatch (cells sharing a
+//!   `(prepare_digest, seed)` key route back to a worker already holding
+//!   that series). Takes explicit timestamps, so every transition is
 //!   testable with a fake clock and zero sleeps.
 //! * [`worker`] — the per-process cell executor: runs the engine slot by
 //!   slot and heartbeats after every slot, so liveness means *progress*.
+//!   Materializes shipped series through a per-process cache and falls
+//!   back to the bit-identical local rebuild on any unusable shipment.
 //! * [`results`] — the durable per-cell results directory (temp + fsync +
-//!   rename, keyed by config digest): the crash-resumable unit.
+//!   rename, keyed by config digest): the crash-resumable unit. Also
+//!   spills series packages too large to ship inline.
 //! * [`chaos`] — scripted and seeded-random fault injection
 //!   (`kill:cell=3;hang:cell=7`, `rand:p=0.2,seed=42`, `exit:after=5`)
 //!   used by the chaos integration tests and the CI chaos job.

@@ -23,8 +23,9 @@ use sb_wire::{Reader, WireError, Writer};
 
 /// Protocol version; bumped on any frame-format change. A worker greets
 /// with its version and the coordinator refuses a mismatch outright
-/// rather than misparse jobs.
-pub const PROTO_VERSION: u32 = 2;
+/// rather than misparse jobs. Version 3 added the optional shipped
+/// topology series ([`SeriesShipment`]) to [`CellSpec`].
+pub const PROTO_VERSION: u32 = 3;
 
 /// Upper bound on one protocol frame's payload. Cells are a few KB of
 /// JSON and metrics a few KB of wire encoding; 16 MiB is comfortably
@@ -70,6 +71,61 @@ impl WorkerChaos {
     }
 }
 
+/// A pre-compiled topology series riding along with a job, so the worker
+/// can materialize snapshots instead of rebuilding the series from
+/// orbits. Purely an acceleration: the materialized series is
+/// bit-identical to a local rebuild, and a worker that cannot obtain or
+/// decode the shipment silently rebuilds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeriesShipment {
+    /// The encoded [`sb_topology::shipping::SeriesPackage`] bytes,
+    /// carried inside the job frame (small series).
+    Inline(Vec<u8>),
+    /// A reference to a digest-keyed spill file the coordinator wrote
+    /// durably (temp + fsync + rename; see [`crate::results`]) — used
+    /// when the package would not fit comfortably in one frame.
+    Spill {
+        /// Path of the spill file on the shared local filesystem.
+        path: String,
+        /// FNV-1a checksum of the package bytes, re-verified on load.
+        digest: u64,
+    },
+}
+
+impl SeriesShipment {
+    /// The shipment's content digest — the worker's reuse-cache key.
+    pub fn digest(&self) -> u64 {
+        match self {
+            SeriesShipment::Inline(bytes) => sb_wire::checksum(bytes),
+            SeriesShipment::Spill { digest, .. } => *digest,
+        }
+    }
+
+    fn encode(this: &Option<SeriesShipment>, w: &mut Writer) {
+        match this {
+            None => w.u8(0),
+            Some(SeriesShipment::Inline(bytes)) => {
+                w.u8(1);
+                w.bytes(bytes);
+            }
+            Some(SeriesShipment::Spill { path, digest }) => {
+                w.u8(2);
+                w.str(path);
+                w.u64(*digest);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Option<SeriesShipment>, WireError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(SeriesShipment::Inline(r.bytes()?))),
+            2 => Ok(Some(SeriesShipment::Spill { path: r.str()?, digest: r.u64()? })),
+            tag => Err(WireError::BadTag { tag, context: "SeriesShipment" }),
+        }
+    }
+}
+
 /// One sweep cell, fully specified: everything a worker needs to
 /// reproduce the cell bit-for-bit in its own address space.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,6 +149,9 @@ pub struct CellSpec {
     pub search: SearchKind,
     /// Scripted self-sabotage, if the chaos plan targets this attempt.
     pub chaos: Option<WorkerChaos>,
+    /// The pre-compiled topology series for this cell's
+    /// `(prepare_digest, seed)` key, if the coordinator shipped one.
+    pub ship: Option<SeriesShipment>,
 }
 
 impl CellSpec {
@@ -110,6 +169,7 @@ impl CellSpec {
             SearchKind::Astar => 1,
         });
         WorkerChaos::encode(&self.chaos, w);
+        SeriesShipment::encode(&self.ship, w);
     }
 
     /// Decodes a spec, validating eagerly: malformed JSON, a thread count
@@ -141,6 +201,7 @@ impl CellSpec {
             tag => return Err(WireError::BadTag { tag, context: "SearchKind" }),
         };
         let chaos = WorkerChaos::decode(r)?;
+        let ship = SeriesShipment::decode(r)?;
         let expected = run_digest(&scenario, &kind, seed);
         if expected != digest {
             return Err(WireError::Invalid {
@@ -160,6 +221,7 @@ impl CellSpec {
             build_threads,
             search,
             chaos,
+            ship,
         })
     }
 }
@@ -404,7 +466,32 @@ mod tests {
             build_threads: 2,
             search: SearchKind::Reference,
             chaos: Some(WorkerChaos::KillAtSlot(3)),
+            ship: Some(SeriesShipment::Inline(vec![1, 2, 3, 4])),
         }
+    }
+
+    #[test]
+    fn shipment_variants_roundtrip() {
+        for ship in [
+            None,
+            Some(SeriesShipment::Inline(vec![7; 32])),
+            Some(SeriesShipment::Spill { path: "/tmp/series_abc.bin".into(), digest: 0xfeed }),
+        ] {
+            let mut s = spec();
+            s.ship = ship;
+            let msg = JobMsg::Run { job: 1, spec: Box::new(s) };
+            let mut w = Writer::new();
+            msg.encode(&mut w);
+            assert_eq!(JobMsg::decode(&w.into_bytes()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn shipment_digest_keys_both_variants() {
+        let inline = SeriesShipment::Inline(vec![9, 9, 9]);
+        assert_eq!(inline.digest(), sb_wire::checksum(&[9, 9, 9]));
+        let spill = SeriesShipment::Spill { path: "x".into(), digest: 42 };
+        assert_eq!(spill.digest(), 42);
     }
 
     #[test]

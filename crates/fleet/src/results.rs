@@ -19,6 +19,9 @@ use std::path::{Path, PathBuf};
 /// Magic prefix of a cell-result file.
 const CELL_MAGIC: &[u8; 8] = b"SBCELL01";
 
+/// Magic prefix of a shipped-series spill file.
+const SERIES_MAGIC: &[u8; 8] = b"SBSERS01";
+
 /// The path of one cell's result file.
 pub fn cell_path(dir: &Path, digest: u64) -> PathBuf {
     dir.join(format!("cell_{digest:016x}.bin"))
@@ -74,6 +77,57 @@ pub fn load(dir: &Path, digest: u64) -> Option<RunMetrics> {
     r.is_exhausted().then_some(metrics)
 }
 
+/// The path of one shipped series' spill file, keyed by the package
+/// bytes' FNV-1a checksum.
+pub fn series_path(dir: &Path, digest: u64) -> PathBuf {
+    dir.join(format!("series_{digest:016x}.bin"))
+}
+
+/// Durably spills one encoded series package (temp + fsync + rename +
+/// dir fsync, same discipline as [`store`]) and returns its path. The
+/// coordinator embeds the path in job frames too large to carry the
+/// package inline.
+///
+/// # Errors
+///
+/// Propagates I/O errors (the caller degrades to shipping nothing).
+pub fn store_series(dir: &Path, digest: u64, package: &[u8]) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let mut bytes = Vec::with_capacity(SERIES_MAGIC.len() + 8 + package.len());
+    bytes.extend_from_slice(SERIES_MAGIC);
+    bytes.extend_from_slice(&digest.to_le_bytes());
+    bytes.extend_from_slice(package);
+
+    let path = series_path(dir, digest);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, &path)?;
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(path)
+}
+
+/// Loads one spilled series package if the file exists and verifies:
+/// magic, stored digest, and the package bytes actually hashing to that
+/// digest (the digest *is* the content checksum, so one comparison
+/// covers both identity and integrity). Anything torn, corrupt or
+/// foreign reads as `None` — the worker simply rebuilds the series
+/// locally.
+pub fn load_series(path: &Path, digest: u64) -> Option<Vec<u8>> {
+    let bytes = fs::read(path).ok()?;
+    let body = bytes.strip_prefix(SERIES_MAGIC.as_slice())?;
+    let (stored, package) = body.split_first_chunk::<8>()?;
+    if u64::from_le_bytes(*stored) != digest || sb_wire::checksum(package) != digest {
+        return None;
+    }
+    Some(package.to_vec())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,5 +174,31 @@ mod tests {
     #[test]
     fn missing_directory_reads_as_absent() {
         assert_eq!(load(Path::new("/nonexistent/sb-fleet"), 1), None);
+    }
+
+    #[test]
+    fn series_spill_roundtrips_and_rejects_corruption() {
+        let dir = tmp("series");
+        let package: Vec<u8> = (0..200u16).map(|i| (i % 251) as u8).collect();
+        let digest = sb_wire::checksum(&package);
+        let path = store_series(&dir, digest, &package).unwrap();
+        assert_eq!(path, series_path(&dir, digest));
+        assert_eq!(load_series(&path, digest), Some(package.clone()));
+        // A foreign digest never loads someone else's bytes.
+        assert_eq!(load_series(&path, digest ^ 1), None);
+        // Flip one payload byte: the content checksum must catch it.
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x08;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(load_series(&path, digest), None);
+        // Truncations never panic, never load.
+        bytes[last] ^= 0x08;
+        for cut in 0..bytes.len() {
+            fs::write(&path, &bytes[..cut]).unwrap();
+            assert_eq!(load_series(&path, digest), None, "cut at {cut}");
+        }
+        assert_eq!(load_series(Path::new("/nonexistent/series.bin"), digest), None);
+        fs::remove_dir_all(&dir).ok();
     }
 }

@@ -32,6 +32,17 @@
 //! and never dispatched again, so one poison cell cannot kill workers
 //! forever. Quarantine fails the sweep (nonzero exit) but does not stop
 //! the other cells from finishing first.
+//!
+//! # Affinity (opt-in)
+//!
+//! [`Scheduler::set_affinity`] tags every cell with a key — in the fleet,
+//! the `(prepare_digest, seed)` series identity — and dispatch then
+//! prefers a pending cell whose key the idle worker has already run,
+//! because that worker still holds the materialized series in its cache.
+//! Held keys are process memory: a worker's set is cleared when it dies
+//! or is replaced. Affinity only reorders *which* worker runs a cell,
+//! never whether or how it runs, so results stay byte-identical; without
+//! keys the scheduler behaves exactly as before.
 
 /// Tuning knobs for the scheduler. All in milliseconds of the caller's
 /// clock (wall time in production, a counter in tests).
@@ -143,6 +154,9 @@ struct WorkerSlot {
     /// Kill already ordered; await the shell's respawn + `Ready` before
     /// touching this slot again (prevents double-kill actions).
     kill_pending: bool,
+    /// Affinity keys of cells this worker process has run — the series it
+    /// plausibly still holds in memory. Cleared on death/replacement.
+    held: Vec<u64>,
 }
 
 /// The scheduler. See the module docs for the model.
@@ -154,6 +168,10 @@ pub struct Scheduler {
     done: usize,
     suspect_transitions: u64,
     backoff_rng: u64,
+    /// Per-cell affinity keys; empty = affinity off (vanilla dispatch).
+    affinity: Vec<u64>,
+    affinity_hits: u64,
+    affinity_misses: u64,
 }
 
 impl Scheduler {
@@ -192,12 +210,35 @@ impl Scheduler {
                     last_beat_ms: 0,
                     health: WorkerHealth::Healthy,
                     kill_pending: false,
+                    held: Vec::new(),
                 })
                 .collect(),
             done: 0,
             suspect_transitions: 0,
             backoff_rng: cfg.backoff_seed,
+            affinity: Vec::new(),
+            affinity_hits: 0,
+            affinity_misses: 0,
         }
+    }
+
+    /// Enables affinity routing: `keys[cell]` identifies the prepared
+    /// series the cell needs, and dispatch prefers workers that already
+    /// ran that key. See the module docs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` does not name every cell.
+    pub fn set_affinity(&mut self, keys: Vec<u64>) {
+        assert_eq!(keys.len(), self.cells.len(), "one affinity key per cell");
+        self.affinity = keys;
+    }
+
+    /// Dispatches answered by a worker already holding the cell's series
+    /// vs not, since [`Scheduler::set_affinity`]. `(0, 0)` when affinity
+    /// is off.
+    pub fn affinity_stats(&self) -> (u64, u64) {
+        (self.affinity_hits, self.affinity_misses)
     }
 
     /// Marks a cell complete before scheduling starts — used by resume to
@@ -221,6 +262,8 @@ impl Scheduler {
         w.last_beat_ms = now_ms;
         w.health = WorkerHealth::Healthy;
         w.kill_pending = false;
+        // A fresh process holds nothing, whatever its predecessor ran.
+        w.held.clear();
     }
 
     /// A heartbeat arrived. Fully rehabilitates a suspect worker: the
@@ -271,6 +314,7 @@ impl Scheduler {
         let w = &mut self.workers[worker];
         w.alive = false;
         w.kill_pending = false;
+        w.held.clear();
         if let Some(cell) = w.job.take() {
             if self.cells[cell].status == CellStatus::Running(worker) {
                 self.retry_or_quarantine(cell, stderr_tail, now_ms);
@@ -316,16 +360,33 @@ impl Scheduler {
                 self.suspect_transitions += 1;
             }
         }
-        // Dispatch: lowest cell index first, onto the lowest idle worker.
+        // Dispatch: lowest cell index first, onto the lowest idle worker —
+        // except that with affinity keys set, an idle worker first looks
+        // for the lowest pending cell whose series it already holds.
         for (wi, w) in self.workers.iter_mut().enumerate() {
             if !w.alive || w.kill_pending || w.job.is_some() {
                 continue;
             }
-            let next = self
-                .cells
-                .iter()
-                .position(|c| c.status == CellStatus::Pending && c.eligible_at_ms <= now_ms);
+            let eligible =
+                |c: &CellSlot| c.status == CellStatus::Pending && c.eligible_at_ms <= now_ms;
+            let preferred = (!self.affinity.is_empty())
+                .then(|| {
+                    self.cells
+                        .iter()
+                        .enumerate()
+                        .position(|(i, c)| eligible(c) && w.held.contains(&self.affinity[i]))
+                })
+                .flatten();
+            let next = preferred.or_else(|| self.cells.iter().position(eligible));
             if let Some(ci) = next {
+                if !self.affinity.is_empty() {
+                    if preferred.is_some() {
+                        self.affinity_hits += 1;
+                    } else {
+                        self.affinity_misses += 1;
+                        w.held.push(self.affinity[ci]);
+                    }
+                }
                 self.cells[ci].status = CellStatus::Running(wi);
                 w.job = Some(ci);
                 w.last_beat_ms = now_ms; // deadline restarts at dispatch
@@ -657,6 +718,61 @@ mod tests {
         assert!(s.on_done(0, 2, 2));
         assert!(s.is_complete());
         assert_eq!(s.done_count(), 3);
+    }
+
+    #[test]
+    fn affinity_routes_cells_to_the_worker_holding_their_series() {
+        // Keys [A, B, B, A]: after the first round, worker 0 holds A and
+        // worker 1 holds B — so worker 0 must skip cell 2 (B) and take
+        // cell 3 (A), out of index order.
+        let (a, b) = (0xaaaa, 0xbbbb);
+        let mut s = Scheduler::new(4, 2, cfg());
+        s.set_affinity(vec![a, b, b, a]);
+        s.on_worker_ready(0, 0);
+        s.on_worker_ready(1, 0);
+        assert_eq!(dispatches(&s.tick(0)), vec![(0, 0), (1, 1)]);
+        assert_eq!(s.affinity_stats(), (0, 2), "first dispatches are cold");
+        assert!(s.on_done(0, 0, 10));
+        assert_eq!(dispatches(&s.tick(10)), vec![(0, 3)], "held key beats index order");
+        assert!(s.on_done(1, 1, 20));
+        assert_eq!(dispatches(&s.tick(20)), vec![(1, 2)]);
+        assert_eq!(s.affinity_stats(), (2, 2));
+        assert!(s.on_done(0, 3, 30));
+        assert!(s.on_done(1, 2, 30));
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn worker_death_forgets_held_affinity_keys() {
+        let mut s = Scheduler::new(2, 1, cfg());
+        s.set_affinity(vec![7, 7]);
+        s.on_worker_ready(0, 0);
+        assert_eq!(dispatches(&s.tick(0)), vec![(0, 0)]);
+        assert!(s.on_done(0, 0, 10));
+        assert_eq!(dispatches(&s.tick(10)), vec![(0, 1)]);
+        assert_eq!(s.affinity_stats(), (1, 1), "same key on the same process is a hit");
+        // The worker dies mid-cell; the respawned process holds nothing,
+        // so the retry of the same key is a miss.
+        s.on_worker_dead(0, "killed", 20);
+        s.on_worker_ready(0, 20);
+        assert_eq!(dispatches(&s.tick(20 + 80)), vec![(0, 1)]);
+        assert_eq!(s.affinity_stats(), (1, 2), "held keys do not survive the process");
+    }
+
+    #[test]
+    fn without_affinity_keys_stats_stay_zero() {
+        let mut s = Scheduler::new(2, 1, cfg());
+        s.on_worker_ready(0, 0);
+        s.tick(0);
+        assert!(s.on_done(0, 0, 1));
+        s.tick(1);
+        assert_eq!(s.affinity_stats(), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one affinity key per cell")]
+    fn affinity_keys_must_cover_every_cell() {
+        Scheduler::new(3, 1, cfg()).set_affinity(vec![1, 2]);
     }
 
     #[test]

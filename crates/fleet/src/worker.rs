@@ -12,12 +12,97 @@
 //! spawn processes still computes the identical bytes.
 
 use crate::proto::{
-    send_worker_msg, CellSpec, FrameReader, JobMsg, NextFrame, WorkerChaos, WorkerMsg,
-    PROTO_VERSION,
+    send_worker_msg, CellSpec, FrameReader, JobMsg, NextFrame, SeriesShipment, WorkerChaos,
+    WorkerMsg, PROTO_VERSION,
 };
-use sb_sim::engine::EngineCore;
+use crate::results;
+use sb_sim::engine::{EngineCore, PreparedNetwork};
 use sb_sim::{PreparedCache, RunMetrics};
+use sb_topology::{SeriesPackage, TopologySeries};
+use std::collections::HashMap;
 use std::io::{Read, Write};
+use std::sync::Arc;
+
+/// Distinct shipped series a worker keeps materialized at once. Affinity
+/// routing concentrates a worker on few keys; past the cap the cache is
+/// simply dropped (correctness never depends on it).
+const SHIP_CACHE_CAP: usize = 8;
+
+/// Materialized shipped series, keyed by package digest — one decode and
+/// one materialization per series per worker process, however many cells
+/// the coordinator routes here for it.
+#[derive(Debug, Default)]
+pub struct ShipCache {
+    series: HashMap<u64, Arc<TopologySeries>>,
+}
+
+impl ShipCache {
+    /// Distinct series currently held.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether nothing is held yet.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+}
+
+/// Resolves one shipment to its materialized series, through the cache.
+/// Any failure — unreadable spill, corrupt bytes, violated invariants —
+/// returns `None`: a shipment is an optimization hint, and the caller
+/// falls back to the bit-identical local rebuild.
+fn shipped_series(ship: &SeriesShipment, ships: &mut ShipCache) -> Option<Arc<TopologySeries>> {
+    let digest = ship.digest();
+    if let Some(series) = ships.series.get(&digest) {
+        return Some(Arc::clone(series));
+    }
+    let bytes = match ship {
+        SeriesShipment::Inline(bytes) => std::borrow::Cow::Borrowed(bytes.as_slice()),
+        SeriesShipment::Spill { path, digest } => {
+            std::borrow::Cow::Owned(results::load_series(std::path::Path::new(path), *digest)?)
+        }
+    };
+    let package = SeriesPackage::decode(&bytes).ok()?;
+    let series = Arc::new(package.materialize().ok()?);
+    if ships.series.len() >= SHIP_CACHE_CAP {
+        ships.series.clear();
+    }
+    ships.series.insert(digest, Arc::clone(&series));
+    Some(series)
+}
+
+/// The prepared network for a cell: materialized from the attached
+/// shipment when it loads cleanly, rebuilt locally otherwise. Both paths
+/// produce bit-identical networks (proven by the engine's shipped-series
+/// proptests), so the choice never shows in the results.
+fn prepared_for(
+    spec: &CellSpec,
+    cache: &PreparedCache,
+    ships: &mut ShipCache,
+) -> Arc<PreparedNetwork> {
+    if let Some(ship) = &spec.ship {
+        if let Some(series) = shipped_series(ship, ships) {
+            return Arc::new(sb_sim::engine::prepare_from_series(
+                &spec.scenario,
+                spec.seed,
+                &series,
+            ));
+        }
+        eprintln!("worker: shipment for cell `{}` unusable; rebuilding locally", spec.label);
+    }
+    cache.get(&spec.scenario, spec.seed)
+}
+
+/// [`run_cell`] without a ship cache — the coordinator's in-process
+/// degradation path, which never attaches shipments.
+pub fn run_cell_local(
+    spec: &CellSpec,
+    cache: &PreparedCache,
+    heartbeat: impl FnMut(u32),
+) -> RunMetrics {
+    run_cell(spec, cache, &mut ShipCache::default(), heartbeat)
+}
 
 /// Runs one cell to completion, invoking `heartbeat(slots_done)` after
 /// every slot boundary and honoring the spec's scripted chaos.
@@ -25,12 +110,13 @@ use std::io::{Read, Write};
 /// Chaos actions are taken *before* executing their trigger slot, so a
 /// `KillAtSlot(3)` dies with slots 0–2 done and slot 3 not yet run —
 /// mid-cell by construction.
-pub fn run_cell_local(
+pub fn run_cell(
     spec: &CellSpec,
     cache: &PreparedCache,
+    ships: &mut ShipCache,
     mut heartbeat: impl FnMut(u32),
 ) -> RunMetrics {
-    let prepared = cache.get(&spec.scenario, spec.seed);
+    let prepared = prepared_for(spec, cache, ships);
     let requests = sb_sim::engine::workload(&spec.scenario, &prepared, spec.seed);
     let mut algorithm = spec.kind.instantiate_exec(&sb_sim::ExecOptions {
         quote_threads: spec.quote_threads,
@@ -84,8 +170,11 @@ pub fn worker_main(stdin: impl Read, stdout: impl Write) -> Result<(), String> {
     send_worker_msg(&mut out, &WorkerMsg::Ready { pid: std::process::id(), proto: PROTO_VERSION })
         .map_err(|e| format!("cannot greet coordinator: {e}"))?;
     // One worker serves many cells of one sweep; reuse prepared networks
-    // across them exactly like the in-process runner does.
+    // across them exactly like the in-process runner does, and keep
+    // shipped series materialized so affinity-routed cells pay for the
+    // decode once.
     let mut cache: Option<(usize, PreparedCache)> = None;
+    let mut ships = ShipCache::default();
     loop {
         let payload = match reader.next_frame().map_err(|e| format!("stdin read failed: {e}"))? {
             NextFrame::Payload(p) => p,
@@ -106,7 +195,7 @@ pub fn worker_main(stdin: impl Read, stdout: impl Write) -> Result<(), String> {
         send_worker_msg(&mut out, &WorkerMsg::Heartbeat { job, slot: 0 })
             .map_err(|e| format!("heartbeat write failed: {e}"))?;
         let mut beat_err = None;
-        let metrics = run_cell_local(&spec, cache, |slot| {
+        let metrics = run_cell(&spec, cache, &mut ships, |slot| {
             if beat_err.is_none() {
                 beat_err = send_worker_msg(&mut out, &WorkerMsg::Heartbeat { job, slot }).err();
             }
@@ -141,6 +230,55 @@ mod tests {
             build_threads: 1,
             search: sb_sim::SearchKind::default(),
             chaos: None,
+            ship: None,
+        }
+    }
+
+    fn shipment_for(spec: &CellSpec) -> SeriesShipment {
+        let package = sb_sim::engine::compile_series_package(&spec.scenario, spec.seed);
+        SeriesShipment::Inline(package.encode())
+    }
+
+    #[test]
+    fn shipped_cell_matches_local_rebuild_and_caches_the_series() {
+        let local = spec(5);
+        let mut shipped = spec(5);
+        shipped.ship = Some(shipment_for(&shipped));
+
+        let cache = PreparedCache::with_disabled(1, false);
+        let mut ships = ShipCache::default();
+        let mut from_ship = run_cell(&shipped, &cache, &mut ships, |_| {});
+        assert_eq!(ships.len(), 1, "the materialized series must be cached");
+        assert!(cache.is_empty(), "a usable shipment must bypass the local build");
+        let mut from_local = run_cell_local(&local, &cache, |_| {});
+        from_ship.processing_ms = 0;
+        from_local.processing_ms = 0;
+        assert_eq!(from_ship, from_local, "shipped preparation must be bit-identical");
+
+        // A second cell on the same series decodes nothing new.
+        let mut again = spec(5);
+        again.ship = shipped.ship.clone();
+        run_cell(&again, &cache, &mut ships, |_| {});
+        assert_eq!(ships.len(), 1);
+    }
+
+    #[test]
+    fn unusable_shipment_falls_back_to_local_rebuild() {
+        let reference = run_cell_local(&spec(4), &PreparedCache::with_disabled(1, false), |_| {});
+        let corrupt = [
+            SeriesShipment::Inline(vec![0xff; 48]),
+            SeriesShipment::Spill { path: "/nonexistent/series.bin".into(), digest: 1 },
+        ];
+        for ship in corrupt {
+            let mut s = spec(4);
+            s.ship = Some(ship);
+            let mut ships = ShipCache::default();
+            let mut got = run_cell(&s, &PreparedCache::with_disabled(1, false), &mut ships, |_| {});
+            assert!(ships.is_empty(), "garbage must not be cached");
+            let mut want = reference.clone();
+            got.processing_ms = 0;
+            want.processing_ms = 0;
+            assert_eq!(got, want, "fallback must still compute the exact result");
         }
     }
 

@@ -52,6 +52,7 @@ fn reference(cells: &[SweepCell]) -> Vec<RunMetrics> {
                 build_threads: 1,
                 search: sb_sim::SearchKind::default(),
                 chaos: None,
+                ship: None,
             };
             normalized(run_cell_local(&spec, &cache, |_| {}))
         })

@@ -26,6 +26,10 @@ fn sample_spec() -> CellSpec {
         build_threads: 3,
         search: sb_sim::SearchKind::Astar,
         chaos: Some(sb_fleet::proto::WorkerChaos::KillAtSlot(4)),
+        ship: Some(sb_fleet::proto::SeriesShipment::Spill {
+            path: "/tmp/series_0123.bin".into(),
+            digest: 0x0123_4567_89ab_cdef,
+        }),
     }
 }
 

@@ -41,7 +41,7 @@ use sb_demand::generator::{generate_workload, WorkloadConfig};
 use sb_demand::Request;
 use sb_orbit::walker::WalkerConstellation;
 use sb_topology::ground::GroundGrid;
-use sb_topology::{NetworkNodes, NodeId, SlotIndex, TopologySeries};
+use sb_topology::{NetworkNodes, NodeId, SeriesPackage, SlotIndex, TopologySeries};
 use sb_wire::{Reader, WireError, Writer};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -175,6 +175,26 @@ pub fn prepare(scenario: &ScenarioConfig, seed: u64) -> PreparedNetwork {
 /// speed, never what gets built, which is why it is a plain argument and
 /// not part of [`ScenarioConfig`] or any digest.
 pub fn prepare_with(scenario: &ScenarioConfig, seed: u64, build_threads: usize) -> PreparedNetwork {
+    let (nodes, pairs) = draw_nodes_and_pairs(scenario, seed);
+    let series = TopologySeries::build_par(
+        &nodes,
+        &scenario.topology,
+        scenario.horizon_slots,
+        scenario.slot_duration_s,
+        build_threads,
+    );
+    let series = apply_foreseen_failures(scenario, seed, series);
+    PreparedNetwork { pairs, series: std::sync::Arc::new(series) }
+}
+
+/// The node-table half of [`prepare`]: builds the constellation shells and
+/// draws the endpoint pairs (mutating the node table with the ground sites
+/// and space users each pair adds). Cheap compared to the series build, so
+/// a worker receiving a shipped series redoes this part locally.
+fn draw_nodes_and_pairs(
+    scenario: &ScenarioConfig,
+    seed: u64,
+) -> (NetworkNodes, Vec<(NodeId, NodeId)>) {
     let mut shells = Vec::with_capacity(1 + scenario.extra_shells.len());
     shells.push(WalkerConstellation::delta(
         scenario.planes,
@@ -212,22 +232,62 @@ pub fn prepare_with(scenario: &ScenarioConfig, seed: u64, build_threads: usize) 
         };
         pairs.push((src, dst));
     }
+    (nodes, pairs)
+}
 
-    let mut series = TopologySeries::build_par(
-        &nodes,
-        &scenario.topology,
-        scenario.horizon_slots,
-        scenario.slot_duration_s,
-        build_threads,
-    );
+/// Prunes the series with the foreseen ISL-failure model when the
+/// scenario has one — the deterministic post-build step both the local
+/// and the shipped preparation paths share.
+fn apply_foreseen_failures(
+    scenario: &ScenarioConfig,
+    seed: u64,
+    series: TopologySeries,
+) -> TopologySeries {
     if scenario.isl_failure_prob > 0.0 {
         let model = sb_topology::failures::LinkFailureModel::new(
             scenario.isl_failure_prob,
             seed ^ 0xfa11_fa11,
         );
-        series = series.with_failures(&model);
+        series.with_failures(&model)
+    } else {
+        series
     }
-    PreparedNetwork { pairs, series: std::sync::Arc::new(series) }
+}
+
+/// Compiles the shippable topology package for `(scenario, seed)`: the
+/// series a fleet coordinator sends instead of having every worker rebuild
+/// it. The package covers the **pre-failure** series over the nodes the
+/// pair draw adds — exactly what [`prepare_from_series`] needs on the
+/// receiving side, and exactly the reuse unit keyed by
+/// `(prepare_digest, seed)` in [`crate::prepared::PreparedCache`].
+pub fn compile_series_package(scenario: &ScenarioConfig, seed: u64) -> SeriesPackage {
+    let (nodes, _pairs) = draw_nodes_and_pairs(scenario, seed);
+    SeriesPackage::compile(
+        &nodes,
+        &scenario.topology,
+        scenario.horizon_slots,
+        scenario.slot_duration_s,
+    )
+}
+
+/// Builds a [`PreparedNetwork`] from a received, already-materialized
+/// series (see [`compile_series_package`]): redraws the cheap endpoint
+/// pairs locally and applies the foreseen failure model, which operates
+/// *after* the shipped pre-failure series. Bit-identical to
+/// [`prepare_with`] for every thread count — proven by the
+/// `prop_prepare_from_shipped_series_bit_identical` proptest.
+pub fn prepare_from_series(
+    scenario: &ScenarioConfig,
+    seed: u64,
+    series: &std::sync::Arc<TopologySeries>,
+) -> PreparedNetwork {
+    let (_nodes, pairs) = draw_nodes_and_pairs(scenario, seed);
+    let series = if scenario.isl_failure_prob > 0.0 {
+        std::sync::Arc::new(apply_foreseen_failures(scenario, seed, (**series).clone()))
+    } else {
+        std::sync::Arc::clone(series)
+    };
+    PreparedNetwork { pairs, series }
 }
 
 /// Digest of exactly the [`ScenarioConfig`] fields [`prepare`] reads —
@@ -1345,5 +1405,66 @@ mod tests {
             &AlgorithmKind::Cear(CearParams::default()),
             1,
         );
+    }
+
+    /// Builds a small scenario, ships its series through the full wire
+    /// round trip (compile → encode → decode → materialize) and asserts
+    /// the received preparation is bit-identical to the local one —
+    /// pairs, every snapshot, for any build thread count.
+    fn check_shipped_identity(
+        extra: Option<(usize, usize)>,
+        failure_prob: f64,
+        seed: u64,
+        build_threads: usize,
+    ) {
+        let mut scenario = ScenarioConfig::tiny();
+        scenario.planes = 4;
+        scenario.sats_per_plane = 4;
+        scenario.phasing = 1;
+        scenario.horizon_slots = 6;
+        scenario.num_pairs = 2;
+        scenario.ground_site_count = 60;
+        scenario.isl_failure_prob = failure_prob;
+        if let Some((planes, sats_per_plane)) = extra {
+            scenario.extra_shells.push(crate::scenario::ShellConfig {
+                planes,
+                sats_per_plane,
+                phasing: 0,
+                altitude_m: 600_000.0,
+                inclination_deg: 70.0,
+            });
+        }
+        let local = prepare_with(&scenario, seed, build_threads);
+        let bytes = compile_series_package(&scenario, seed).encode();
+        let package = SeriesPackage::decode(&bytes).expect("shipped bytes decode");
+        let series = std::sync::Arc::new(package.materialize().expect("shipped bytes materialize"));
+        let shipped = prepare_from_series(&scenario, seed, &series);
+        assert_eq!(shipped.pairs, local.pairs, "pair draw must be identical");
+        assert_eq!(shipped.series, local.series, "shipped series must be bit-identical");
+    }
+
+    #[test]
+    fn shipped_series_round_trip_matches_local_prepare_bitwise() {
+        for (extra, failure_prob) in
+            [(None, 0.0), (None, 0.05), (Some((3, 4)), 0.0), (Some((3, 4)), 0.05)]
+        {
+            for build_threads in [1, 3] {
+                check_shipped_identity(extra, failure_prob, 7, build_threads);
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+        #[test]
+        fn prop_prepare_from_shipped_series_bit_identical(
+            extra in proptest::option::of((2usize..4, 2usize..5)),
+            failure_model in 0u8..2,
+            seed in 0u64..1_000,
+            build_threads in 1usize..4,
+        ) {
+            let failure_prob = if failure_model == 0 { 0.0 } else { 0.05 };
+            check_shipped_identity(extra, failure_prob, seed, build_threads);
+        }
     }
 }

@@ -257,6 +257,48 @@ impl ScenarioConfig {
         }
     }
 
+    /// The three-shell mega-constellation: 30 000 satellites across a
+    /// low broadband shell, a higher inclined shell and a near-polar
+    /// shell — the next constellation generation up from [`mega`].
+    /// Same philosophy: an even shorter horizon and a minimal workload,
+    /// because what this preset stresses is topology construction,
+    /// delta compilation and series shipping at scale.
+    ///
+    /// [`mega`]: ScenarioConfig::mega
+    pub fn mega3() -> Self {
+        ScenarioConfig {
+            name: "mega3".to_owned(),
+            planes: 100,
+            sats_per_plane: 100,
+            phasing: 17,
+            altitude_m: 550_000.0,
+            inclination_deg: 53.0,
+            extra_shells: vec![
+                ShellConfig {
+                    planes: 100,
+                    sats_per_plane: 100,
+                    phasing: 11,
+                    altitude_m: 570_000.0,
+                    inclination_deg: 70.0,
+                },
+                ShellConfig {
+                    planes: 100,
+                    sats_per_plane: 100,
+                    phasing: 23,
+                    altitude_m: 590_000.0,
+                    inclination_deg: 97.6,
+                },
+            ],
+            horizon_slots: 8,
+            num_pairs: 2,
+            eo_fleet_size: 4,
+            ground_site_count: 100,
+            grid_subdivisions: 3,
+            arrivals_per_slot: 1.0,
+            ..Self::paper()
+        }
+    }
+
     /// Total satellites across the primary shell and every extra shell.
     pub fn total_satellites(&self) -> usize {
         self.planes * self.sats_per_plane
@@ -302,6 +344,21 @@ mod tests {
         assert!(!m.extra_shells.is_empty());
         assert!(m.horizon_slots <= 24, "mega keeps the horizon short");
         assert_eq!(m.total_satellites(), 72 * 72 * 2);
+    }
+
+    #[test]
+    fn mega3_is_three_shells_at_thirty_thousand() {
+        let m = ScenarioConfig::mega3();
+        assert_eq!(m.extra_shells.len(), 2, "one primary + two extra shells");
+        assert!(m.total_satellites() >= 30_000);
+        assert_eq!(m.total_satellites(), 3 * 100 * 100);
+        assert!(m.horizon_slots <= ScenarioConfig::mega().horizon_slots);
+        // Every shell is phased differently and flies at its own altitude.
+        let mut alts = vec![m.altitude_m];
+        alts.extend(m.extra_shells.iter().map(|s| s.altitude_m));
+        alts.sort_by(f64::total_cmp);
+        alts.dedup();
+        assert_eq!(alts.len(), 3, "shells must not coincide");
     }
 
     #[test]

@@ -71,16 +71,18 @@ impl SlotDelta {
 }
 
 /// The fully-resolved dynamic state of one slot (what a delta applies to
-/// and produces).
-struct SlotState {
-    slot: u32,
-    positions: Vec<Eci>,
-    sunlit: Vec<bool>,
+/// and produces). Crate-visible so [`crate::shipping`] can carry the base
+/// state of a compiled series over the wire.
+#[derive(Clone)]
+pub(crate) struct SlotState {
+    pub(crate) slot: u32,
+    pub(crate) positions: Vec<Eci>,
+    pub(crate) sunlit: Vec<bool>,
     /// Sorted directed template indices blocked at this slot.
-    blocked: Vec<u32>,
+    pub(crate) blocked: Vec<u32>,
     /// Per user ordinal (ground users then space users): visible
     /// satellite constellation indices, nearest-first.
-    user_lists: Vec<Vec<u32>>,
+    pub(crate) user_lists: Vec<Vec<u32>>,
 }
 
 /// A compiled series: the materialized snapshots plus the delta stream
@@ -211,7 +213,7 @@ impl<'a> SeriesBuilder<'a> {
 
     /// Computes the fully-resolved dynamic state of one slot from orbits
     /// alone (no predecessor needed).
-    fn slot_state(&self, t: u32, slot_duration_s: f64) -> SlotState {
+    pub(crate) fn slot_state(&self, t: u32, slot_duration_s: f64) -> SlotState {
         let epoch = Epoch::from_seconds(f64::from(t) * slot_duration_s);
         let (positions, sunlit) = node_states(self.nodes, epoch);
 
@@ -261,40 +263,51 @@ impl<'a> SeriesBuilder<'a> {
     /// dynamic USLs in push order — a user's own entries nearest-first,
     /// a satellite's entries in ascending user node id.
     fn materialize(&self, st: &SlotState) -> TopologySnapshot {
-        let n = self.core.kinds.len();
-        let num_sats = self.nodes.num_satellites();
-        let mut counts = vec![0u32; n];
-        for (u, list) in st.user_lists.iter().enumerate() {
-            counts[num_sats + u] += list.len() as u32;
-            for &s in list {
-                counts[s as usize] += 1;
-            }
-        }
-        let mut dyn_offsets = vec![0u32; n + 1];
-        for i in 0..n {
-            dyn_offsets[i + 1] = dyn_offsets[i] + counts[i];
-        }
-        let mut cursor: Vec<u32> = dyn_offsets[..n].to_vec();
-        let mut dyn_peers = vec![NodeId(0); dyn_offsets[n] as usize];
-        for (u, list) in st.user_lists.iter().enumerate() {
-            let unode = (num_sats + u) as u32;
-            for &s in list {
-                dyn_peers[cursor[unode as usize] as usize] = NodeId(s);
-                cursor[unode as usize] += 1;
-                dyn_peers[cursor[s as usize] as usize] = NodeId(unode);
-                cursor[s as usize] += 1;
-            }
-        }
-        TopologySnapshot::from_split(
-            SlotIndex(st.slot),
-            Arc::clone(&self.core),
-            st.positions.clone(),
-            st.sunlit.clone(),
-            st.blocked.clone(),
-            dyn_offsets,
-            dyn_peers,
-        )
+        materialize_split(&self.core, self.nodes.num_satellites(), st)
     }
+}
+
+/// Materializes a state as a split snapshot over a shared core, with the
+/// satellite count passed explicitly so callers without a [`NetworkNodes`]
+/// (a decoded wire package) can materialize too. See
+/// [`SeriesBuilder::materialize`] for the edge-id order contract.
+pub(crate) fn materialize_split(
+    core: &Arc<StaticCore>,
+    num_sats: usize,
+    st: &SlotState,
+) -> TopologySnapshot {
+    let n = core.kinds.len();
+    let mut counts = vec![0u32; n];
+    for (u, list) in st.user_lists.iter().enumerate() {
+        counts[num_sats + u] += list.len() as u32;
+        for &s in list {
+            counts[s as usize] += 1;
+        }
+    }
+    let mut dyn_offsets = vec![0u32; n + 1];
+    for i in 0..n {
+        dyn_offsets[i + 1] = dyn_offsets[i] + counts[i];
+    }
+    let mut cursor: Vec<u32> = dyn_offsets[..n].to_vec();
+    let mut dyn_peers = vec![NodeId(0); dyn_offsets[n] as usize];
+    for (u, list) in st.user_lists.iter().enumerate() {
+        let unode = (num_sats + u) as u32;
+        for &s in list {
+            dyn_peers[cursor[unode as usize] as usize] = NodeId(s);
+            cursor[unode as usize] += 1;
+            dyn_peers[cursor[s as usize] as usize] = NodeId(unode);
+            cursor[s as usize] += 1;
+        }
+    }
+    TopologySnapshot::from_split(
+        SlotIndex(st.slot),
+        Arc::clone(core),
+        st.positions.clone(),
+        st.sunlit.clone(),
+        st.blocked.clone(),
+        dyn_offsets,
+        dyn_peers,
+    )
 }
 
 /// Builds the static template: ISL pairs enumerated exactly as
@@ -302,7 +315,6 @@ impl<'a> SeriesBuilder<'a> {
 /// `a < b`), minus the per-slot line-of-sight check.
 fn build_core(nodes: &NetworkNodes, config: &TopologyConfig) -> StaticCore {
     let kinds = nodes.kinds();
-    let n = kinds.len();
     let mut pair_nodes: Vec<(NodeId, NodeId)> = Vec::new();
     for &(base, ref grid) in nodes.shell_grids() {
         for p in 0..grid.planes() {
@@ -317,6 +329,21 @@ fn build_core(nodes: &NetworkNodes, config: &TopologyConfig) -> StaticCore {
             }
         }
     }
+    core_from_pairs(kinds, pair_nodes, config.isl_capacity_mbps, config.usl_capacity_mbps)
+}
+
+/// Derives the full static template from its irreducible parts: node
+/// kinds, the undirected ISL pair list and the uniform capacities. The
+/// directed adjacency (`tmpl_offsets`/`tmpl_dst`/`pair_dirs`) is a pure
+/// function of `pair_nodes`, so the wire format ([`crate::shipping`])
+/// ships only the parts and rebuilds the rest here.
+pub(crate) fn core_from_pairs(
+    kinds: Vec<crate::graph::NodeKind>,
+    pair_nodes: Vec<(NodeId, NodeId)>,
+    isl_capacity_mbps: f64,
+    usl_capacity_mbps: f64,
+) -> StaticCore {
+    let n = kinds.len();
     // Directed entries in the dense push order — per pair `(a, b)` then
     // `(b, a)` — stably sorted by source, so each source's block keeps
     // the push order exactly as `from_edges`'s stable sort would.
@@ -349,13 +376,13 @@ fn build_core(nodes: &NetworkNodes, config: &TopologyConfig) -> StaticCore {
         tmpl_dst,
         pair_dirs,
         pair_nodes,
-        isl_capacity_mbps: config.isl_capacity_mbps,
-        usl_capacity_mbps: config.usl_capacity_mbps,
+        isl_capacity_mbps,
+        usl_capacity_mbps,
     }
 }
 
 /// Expresses `next` as a delta against `prev`.
-fn delta_between(prev: &SlotState, next: &SlotState) -> SlotDelta {
+pub(crate) fn delta_between(prev: &SlotState, next: &SlotState) -> SlotDelta {
     debug_assert_eq!(prev.slot + 1, next.slot);
     let mut isl_blocked_add = Vec::new();
     let mut isl_blocked_remove = Vec::new();
@@ -405,7 +432,7 @@ fn delta_between(prev: &SlotState, next: &SlotState) -> SlotDelta {
 }
 
 /// Applies a delta to a state, producing the successor state.
-fn apply_delta(prev: &SlotState, delta: &SlotDelta) -> SlotState {
+pub(crate) fn apply_delta(prev: &SlotState, delta: &SlotDelta) -> SlotState {
     debug_assert_eq!(prev.slot + 1, delta.slot.0);
     let mut blocked: Vec<u32> = prev
         .blocked

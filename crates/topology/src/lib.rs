@@ -18,6 +18,9 @@
 //!   whole simulation horizon;
 //! * [`delta`] — delta compilation of series: a shared static ISL template
 //!   plus per-slot [`delta::SlotDelta`]s, bit-identical to the full rebuild;
+//! * [`shipping`] — canonical sb-wire encoding of a compiled series
+//!   ([`shipping::SeriesPackage`]): compile once, ship the checksummed
+//!   bytes, materialize bit-identical snapshots on the receiving side;
 //! * [`delay`] — propagation-delay estimation for paths (and the
 //!   terrestrial-fiber benchmark they must beat);
 //! * [`failures`] — deterministic ISL failure injection for robustness
@@ -51,6 +54,7 @@ pub mod graph;
 pub mod ground;
 pub mod isl;
 pub mod series;
+pub mod shipping;
 pub mod usl;
 
 use serde::{Deserialize, Serialize};
@@ -84,6 +88,7 @@ impl core::fmt::Display for SlotIndex {
 pub use delta::{SeriesBuilder, SlotDelta};
 pub use graph::{LinkType, NodeId, NodeKind, StaticCore, TopologySnapshot};
 pub use series::{NetworkNodes, TopologyConfig, TopologySeries};
+pub use shipping::SeriesPackage;
 
 #[cfg(test)]
 mod tests {

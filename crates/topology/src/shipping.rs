@@ -1,0 +1,475 @@
+//! Canonical sb-wire shipping of compiled topology series.
+//!
+//! At fleet scale the expensive part of preparing a sweep cell is the
+//! topology series build; the [`crate::delta`] compiler already expresses
+//! a series as a shared [`StaticCore`] plus a base state and per-slot
+//! [`SlotDelta`]s. This module gives that representation a canonical wire
+//! form so a coordinator can **compile once and ship many**: a
+//! [`SeriesPackage`] is compiled from nodes, encoded to checksummed,
+//! version-tagged bytes, and materialized on the receiving side into a
+//! [`TopologySeries`] bit-identical to a local
+//! [`TopologySeries::build_par`] of the same nodes.
+//!
+//! Wire layout (everything little-endian, per [`sb_wire`]):
+//!
+//! ```text
+//! u32  version tag (SERIES_WIRE_VERSION)
+//! u64  FNV-1a checksum of every byte that follows
+//! f64  slot duration, seconds
+//! usize×3  node counts: satellites, ground users, space users
+//! seq  undirected ISL pairs (u32 a, u32 b), a < b
+//! f64×2    ISL and USL capacities, Mbps
+//! state    base slot state (slot 0)
+//! seq  one SlotDelta per subsequent slot
+//! ```
+//!
+//! Only the irreducible parts travel: node kinds collapse to three
+//! counts (node order is satellites, then ground users, then space
+//! users, by construction of [`NetworkNodes`]), and the directed ISL
+//! adjacency is rebuilt from the pair list on decode — the same pure
+//! function the local builder uses, so a decoded core is structurally
+//! identical to a locally built one.
+//!
+//! Decoders never panic: every length is bounded by the remaining input,
+//! every index is validated against the decoded node counts, and
+//! [`SeriesPackage::materialize`] re-checks the cross-slot invariants
+//! (slot continuity, strictly-sorted blocked lists) that a bit-flipped
+//! but checksum-colliding payload could violate, returning
+//! [`WireError::Invalid`] instead of corrupting a snapshot.
+
+use std::sync::Arc;
+
+use crate::delta::{
+    apply_delta, core_from_pairs, delta_between, materialize_split, SeriesBuilder, SlotDelta,
+    SlotState,
+};
+use crate::graph::{NodeId, NodeKind, StaticCore};
+use crate::series::{NetworkNodes, TopologyConfig, TopologySeries};
+use crate::SlotIndex;
+use sb_geo::coords::Eci;
+use sb_geo::Vec3;
+use sb_wire::{Reader, WireError, Writer};
+
+/// Version tag leading every encoded series package.
+pub const SERIES_WIRE_VERSION: u32 = 1;
+
+/// Bytes of the version tag + checksum header preceding the body.
+const HEADER_BYTES: usize = 4 + 8;
+
+/// A compiled, shippable topology series: the static template, the base
+/// slot state and the delta stream. Compile with
+/// [`SeriesPackage::compile`], move as bytes via
+/// [`encode`](SeriesPackage::encode) / [`decode`](SeriesPackage::decode),
+/// and turn back into snapshots with
+/// [`materialize`](SeriesPackage::materialize).
+pub struct SeriesPackage {
+    core: Arc<StaticCore>,
+    base: SlotState,
+    deltas: Vec<SlotDelta>,
+    slot_duration_s: f64,
+}
+
+impl SeriesPackage {
+    /// Compiles the package for `num_slots` slots. Unlike
+    /// [`SeriesBuilder::compile`] this does **not** materialize any
+    /// snapshot — the sender only needs states and deltas, so compiling
+    /// a package is cheaper than building the series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_slots` is zero (an empty series cannot carry a
+    /// base state).
+    pub fn compile(
+        nodes: &NetworkNodes,
+        config: &TopologyConfig,
+        num_slots: usize,
+        slot_duration_s: f64,
+    ) -> SeriesPackage {
+        assert!(num_slots >= 1, "a series package needs at least one slot");
+        let builder = SeriesBuilder::new(nodes, config);
+        let base = builder.slot_state(0, slot_duration_s);
+        let mut deltas = Vec::with_capacity(num_slots - 1);
+        let mut prev = base.clone();
+        for t in 1..num_slots {
+            let fresh = builder.slot_state(t as u32, slot_duration_s);
+            let delta = delta_between(&prev, &fresh);
+            prev = apply_delta(&prev, &delta);
+            deltas.push(delta);
+        }
+        SeriesPackage { core: Arc::clone(builder.core()), base, deltas, slot_duration_s }
+    }
+
+    /// Number of slots the package materializes to.
+    pub fn num_slots(&self) -> usize {
+        1 + self.deltas.len()
+    }
+
+    /// Slot duration in seconds.
+    pub fn slot_duration_s(&self) -> f64 {
+        self.slot_duration_s
+    }
+
+    /// Materializes the full series: base state first, then each delta
+    /// applied in order, every slot rendered as a split snapshot over the
+    /// shared decoded core — byte-for-byte what the sender's own
+    /// [`TopologySeries::build_par`] produces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Invalid`] when the delta stream violates a
+    /// cross-slot invariant (non-contiguous slots, a blocked-list
+    /// add/remove that leaves duplicates) — possible only for corrupt or
+    /// hand-built packages, never for [`SeriesPackage::compile`] output.
+    pub fn materialize(&self) -> Result<TopologySeries, WireError> {
+        let num_sats = self.core.kinds.iter().filter(|k| k.is_satellite()).count();
+        if self.base.slot != 0 {
+            return Err(invalid(format!("series base state is slot {}, not 0", self.base.slot)));
+        }
+        let mut snapshots = Vec::with_capacity(self.num_slots());
+        let mut state = self.base.clone();
+        snapshots.push(materialize_split(&self.core, num_sats, &state));
+        for delta in &self.deltas {
+            if delta.slot.0 != state.slot + 1 {
+                return Err(invalid(format!(
+                    "delta for slot {} follows slot {}",
+                    delta.slot.0, state.slot
+                )));
+            }
+            state = apply_delta(&state, delta);
+            check_strictly_sorted(&state.blocked, "applied blocked list")?;
+            snapshots.push(materialize_split(&self.core, num_sats, &state));
+        }
+        Ok(TopologySeries::from_snapshots(snapshots, self.slot_duration_s))
+    }
+
+    /// Encodes the package to its canonical checksummed wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Writer::new();
+        body.f64(self.slot_duration_s);
+        let (num_sats, num_ground, num_space) = kind_counts(&self.core.kinds);
+        body.usize(num_sats);
+        body.usize(num_ground);
+        body.usize(num_space);
+        body.seq(&self.core.pair_nodes, |w, &(a, b)| {
+            w.u32(a.0);
+            w.u32(b.0);
+        });
+        body.f64(self.core.isl_capacity_mbps);
+        body.f64(self.core.usl_capacity_mbps);
+        encode_state(&self.base, &mut body);
+        body.seq(&self.deltas, encode_delta);
+        let body = body.into_bytes();
+        let mut w = Writer::new();
+        w.u32(SERIES_WIRE_VERSION);
+        w.u64(sb_wire::checksum(&body));
+        w.raw(&body);
+        w.into_bytes()
+    }
+
+    /// Decodes a package from its wire form, validating the version tag,
+    /// the checksum and every structural invariant a later
+    /// [`materialize`](SeriesPackage::materialize) relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on any truncated, corrupt or
+    /// wrong-version input; never panics.
+    pub fn decode(bytes: &[u8]) -> Result<SeriesPackage, WireError> {
+        let mut r = Reader::new(bytes);
+        let version = r.u32()?;
+        if version != SERIES_WIRE_VERSION {
+            return Err(invalid(format!(
+                "series package version {version}, expected {SERIES_WIRE_VERSION}"
+            )));
+        }
+        let sum = r.u64()?;
+        let body = &bytes[HEADER_BYTES..];
+        if sb_wire::checksum(body) != sum {
+            return Err(invalid("series package checksum mismatch".to_owned()));
+        }
+
+        let slot_duration_s = r.f64()?;
+        let num_sats = r.usize()?;
+        let num_ground = r.usize()?;
+        let num_space = r.usize()?;
+        let n = num_sats
+            .checked_add(num_ground)
+            .and_then(|v| v.checked_add(num_space))
+            .ok_or_else(|| invalid("node counts overflow".to_owned()))?;
+        // Every node carries at least a 1-byte sunlit flag in the base
+        // state, so a count beyond the remaining input is garbage — bound
+        // it before allocating the kind table.
+        if n > r.remaining() {
+            return Err(WireError::Truncated { needed: n, remaining: r.remaining() });
+        }
+        let mut kinds = Vec::with_capacity(n);
+        kinds.extend((0..num_sats).map(NodeKind::Satellite));
+        kinds.extend((0..num_ground).map(NodeKind::GroundUser));
+        kinds.extend((0..num_space).map(NodeKind::SpaceUser));
+
+        let num_pairs = r.seq_len(8)?;
+        let mut pair_nodes = Vec::with_capacity(num_pairs);
+        for _ in 0..num_pairs {
+            let a = r.u32()?;
+            let b = r.u32()?;
+            if a >= b || b as usize >= num_sats {
+                return Err(invalid(format!("bad ISL pair ({a}, {b}) for {num_sats} satellites")));
+            }
+            pair_nodes.push((NodeId(a), NodeId(b)));
+        }
+        let dirs_len = pair_nodes.len() * 2;
+        let isl_capacity_mbps = r.f64()?;
+        let usl_capacity_mbps = r.f64()?;
+        let core =
+            Arc::new(core_from_pairs(kinds, pair_nodes, isl_capacity_mbps, usl_capacity_mbps));
+
+        let num_users = num_ground + num_space;
+        let base = decode_state(&mut r, n, num_sats, num_users, dirs_len)?;
+        let num_deltas = r.seq_len(1)?;
+        let mut deltas = Vec::with_capacity(num_deltas.min(r.remaining()));
+        for _ in 0..num_deltas {
+            deltas.push(decode_delta(&mut r, n, num_sats, num_users, dirs_len)?);
+        }
+        if !r.is_exhausted() {
+            return Err(invalid(format!("{} trailing bytes after series package", r.remaining())));
+        }
+        Ok(SeriesPackage { core, base, deltas, slot_duration_s })
+    }
+}
+
+fn invalid(detail: String) -> WireError {
+    WireError::Invalid { detail }
+}
+
+fn kind_counts(kinds: &[NodeKind]) -> (usize, usize, usize) {
+    let mut counts = (0, 0, 0);
+    for k in kinds {
+        match k {
+            NodeKind::Satellite(_) => counts.0 += 1,
+            NodeKind::GroundUser(_) => counts.1 += 1,
+            NodeKind::SpaceUser(_) => counts.2 += 1,
+        }
+    }
+    counts
+}
+
+fn encode_eci(w: &mut Writer, p: &Eci) {
+    w.f64(p.0.x);
+    w.f64(p.0.y);
+    w.f64(p.0.z);
+}
+
+fn decode_eci(r: &mut Reader<'_>) -> Result<Eci, WireError> {
+    let x = r.f64()?;
+    let y = r.f64()?;
+    let z = r.f64()?;
+    Ok(Eci(Vec3::new(x, y, z)))
+}
+
+fn encode_state(st: &SlotState, w: &mut Writer) {
+    w.u32(st.slot);
+    w.seq(&st.positions, encode_eci);
+    w.seq(&st.sunlit, |w, &s| w.bool(s));
+    w.seq(&st.blocked, |w, &b| w.u32(b));
+    w.seq(&st.user_lists, |w, list| w.seq(list, |w, &s| w.u32(s)));
+}
+
+fn decode_positions(r: &mut Reader<'_>, n: usize) -> Result<Vec<Eci>, WireError> {
+    let len = r.seq_len(24)?;
+    if len != n {
+        return Err(invalid(format!("{len} positions for {n} nodes")));
+    }
+    (0..n).map(|_| decode_eci(r)).collect()
+}
+
+fn decode_sunlit(r: &mut Reader<'_>, n: usize) -> Result<Vec<bool>, WireError> {
+    let len = r.seq_len(1)?;
+    if len != n {
+        return Err(invalid(format!("{len} sunlit flags for {n} nodes")));
+    }
+    (0..n).map(|_| r.bool()).collect()
+}
+
+/// Decodes a strictly-increasing directed-template index list.
+fn decode_dir_list(r: &mut Reader<'_>, dirs_len: usize, what: &str) -> Result<Vec<u32>, WireError> {
+    let len = r.seq_len(4)?;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        let v = r.u32()?;
+        if v as usize >= dirs_len {
+            return Err(invalid(format!("{what} entry {v} out of range ({dirs_len} dirs)")));
+        }
+        if out.last().is_some_and(|&last| last >= v) {
+            return Err(invalid(format!("{what} not strictly sorted at {v}")));
+        }
+        out.push(v);
+    }
+    Ok(out)
+}
+
+/// Decodes one user's visible-satellite list (order matters, no sort).
+fn decode_sat_list(r: &mut Reader<'_>, num_sats: usize) -> Result<Vec<u32>, WireError> {
+    let len = r.seq_len(4)?;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        let s = r.u32()?;
+        if s as usize >= num_sats {
+            return Err(invalid(format!("visible satellite {s} out of range ({num_sats})")));
+        }
+        out.push(s);
+    }
+    Ok(out)
+}
+
+fn decode_state(
+    r: &mut Reader<'_>,
+    n: usize,
+    num_sats: usize,
+    num_users: usize,
+    dirs_len: usize,
+) -> Result<SlotState, WireError> {
+    let slot = r.u32()?;
+    let positions = decode_positions(r, n)?;
+    let sunlit = decode_sunlit(r, n)?;
+    let blocked = decode_dir_list(r, dirs_len, "base blocked list")?;
+    let len = r.seq_len(8)?;
+    if len != num_users {
+        return Err(invalid(format!("{len} user lists for {num_users} users")));
+    }
+    let user_lists =
+        (0..num_users).map(|_| decode_sat_list(r, num_sats)).collect::<Result<_, _>>()?;
+    Ok(SlotState { slot, positions, sunlit, blocked, user_lists })
+}
+
+fn encode_delta(w: &mut Writer, d: &SlotDelta) {
+    w.u32(d.slot.0);
+    w.seq(&d.positions, encode_eci);
+    w.seq(&d.sunlit, |w, &s| w.bool(s));
+    w.seq(&d.isl_blocked_add, |w, &b| w.u32(b));
+    w.seq(&d.isl_blocked_remove, |w, &b| w.u32(b));
+    w.seq(&d.usl_changed, |w, (u, list)| {
+        w.u32(*u);
+        w.seq(list, |w, &s| w.u32(s));
+    });
+}
+
+fn decode_delta(
+    r: &mut Reader<'_>,
+    n: usize,
+    num_sats: usize,
+    num_users: usize,
+    dirs_len: usize,
+) -> Result<SlotDelta, WireError> {
+    let slot = SlotIndex(r.u32()?);
+    let positions = decode_positions(r, n)?;
+    let sunlit = decode_sunlit(r, n)?;
+    let isl_blocked_add = decode_dir_list(r, dirs_len, "blocked adds")?;
+    let isl_blocked_remove = decode_dir_list(r, dirs_len, "blocked removes")?;
+    let len = r.seq_len(12)?;
+    let mut usl_changed = Vec::with_capacity(len);
+    for _ in 0..len {
+        let u = r.u32()?;
+        if u as usize >= num_users {
+            return Err(invalid(format!("changed user {u} out of range ({num_users} users)")));
+        }
+        usl_changed.push((u, decode_sat_list(r, num_sats)?));
+    }
+    Ok(SlotDelta { slot, positions, sunlit, isl_blocked_add, isl_blocked_remove, usl_changed })
+}
+
+fn check_strictly_sorted(list: &[u32], what: &str) -> Result<(), WireError> {
+    if list.windows(2).all(|w| w[0] < w[1]) {
+        Ok(())
+    } else {
+        Err(invalid(format!("{what} has duplicates or disorder")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_geo::coords::Geodetic;
+    use sb_orbit::walker::WalkerConstellation;
+
+    fn two_shell_nodes() -> NetworkNodes {
+        let shells = [
+            WalkerConstellation::delta(4, 8, 1, 550e3, 53f64.to_radians()),
+            WalkerConstellation::delta(3, 6, 0, 570e3, 70f64.to_radians()),
+        ];
+        let mut nodes = NetworkNodes::from_shells(&shells);
+        nodes.add_ground_site(Geodetic::from_degrees(35.8, -78.6, 0.0));
+        nodes.add_ground_site(Geodetic::from_degrees(-33.9, 151.2, 0.0));
+        for eo in sb_orbit::eo::synthetic_fleet(2) {
+            nodes.add_space_user(eo);
+        }
+        nodes
+    }
+
+    #[test]
+    fn materialized_package_matches_local_build_bitwise() {
+        let nodes = two_shell_nodes();
+        let cfg = TopologyConfig::default();
+        let package = SeriesPackage::compile(&nodes, &cfg, 5, 120.0);
+        assert_eq!(package.num_slots(), 5);
+        let local = TopologySeries::build_par(&nodes, &cfg, 5, 120.0, 2);
+        assert_eq!(package.materialize().unwrap(), local);
+    }
+
+    #[test]
+    fn encode_decode_is_identity() {
+        let nodes = two_shell_nodes();
+        let cfg = TopologyConfig::default();
+        let package = SeriesPackage::compile(&nodes, &cfg, 4, 120.0);
+        let bytes = package.encode();
+        let back = SeriesPackage::decode(&bytes).unwrap();
+        assert_eq!(back.encode(), bytes, "encode ∘ decode must be the identity");
+        assert_eq!(back.materialize().unwrap(), package.materialize().unwrap());
+    }
+
+    #[test]
+    fn single_slot_package_has_no_deltas() {
+        let nodes = two_shell_nodes();
+        let cfg = TopologyConfig::default();
+        let package = SeriesPackage::compile(&nodes, &cfg, 1, 60.0);
+        assert_eq!(package.num_slots(), 1);
+        let bytes = package.encode();
+        let back = SeriesPackage::decode(&bytes).unwrap();
+        assert_eq!(back.materialize().unwrap(), TopologySeries::build_full(&nodes, &cfg, 1, 60.0));
+    }
+
+    #[test]
+    fn wire_bytes_beat_dense_snapshot_bytes() {
+        let nodes = two_shell_nodes();
+        let cfg = TopologyConfig::default();
+        let package = SeriesPackage::compile(&nodes, &cfg, 5, 120.0);
+        let dense: usize = TopologySeries::build_full(&nodes, &cfg, 5, 120.0)
+            .snapshots()
+            .iter()
+            .map(|s| s.marginal_heap_bytes())
+            .sum();
+        assert!(package.encode().len() < dense, "wire form should undercut the dense snapshots");
+    }
+
+    #[test]
+    fn corrupt_checksum_and_version_are_refused() {
+        let nodes = two_shell_nodes();
+        let cfg = TopologyConfig::default();
+        let mut bytes = SeriesPackage::compile(&nodes, &cfg, 2, 120.0).encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        assert!(SeriesPackage::decode(&bytes).is_err(), "payload flip must fail the checksum");
+        bytes[last] ^= 0x10;
+        bytes[0] ^= 0xff;
+        assert!(SeriesPackage::decode(&bytes).is_err(), "wrong version tag must be refused");
+    }
+
+    #[test]
+    fn truncations_never_panic_and_never_decode() {
+        let nodes = two_shell_nodes();
+        let cfg = TopologyConfig::default();
+        let bytes = SeriesPackage::compile(&nodes, &cfg, 2, 120.0).encode();
+        for cut in 0..bytes.len() {
+            assert!(SeriesPackage::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

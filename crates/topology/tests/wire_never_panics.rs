@@ -1,0 +1,170 @@
+//! The series-package wire decoder must return `WireError` on any input —
+//! truncated, bit-flipped or pure noise — and never panic. A panicking
+//! decoder would let one corrupt shipment byte take down a fleet worker,
+//! defeating the "shipment is only a hint" fallback design.
+//!
+//! Two layers, mirroring the fleet's `proto_never_panics` suite: plain
+//! `#[test]` seeded-fuzz versions that run everywhere (exhaustive
+//! truncations, deterministic bit flips, random noise, checksummed
+//! noise), and `proptest!` versions for richer exploration where the
+//! real proptest crate is available.
+
+use sb_geo::coords::Geodetic;
+use sb_orbit::walker::WalkerConstellation;
+use sb_topology::series::{NetworkNodes, TopologyConfig};
+use sb_topology::shipping::SERIES_WIRE_VERSION;
+use sb_topology::SeriesPackage;
+
+/// A one-shell constellation with both user kinds.
+fn single_shell_nodes() -> NetworkNodes {
+    let shell = WalkerConstellation::delta(4, 6, 1, 550e3, 53f64.to_radians());
+    let mut nodes = NetworkNodes::from_walker(&shell);
+    nodes.add_ground_site(Geodetic::from_degrees(35.8, -78.6, 0.0));
+    for eo in sb_orbit::eo::synthetic_fleet(1) {
+        nodes.add_space_user(eo);
+    }
+    nodes
+}
+
+/// A two-shell constellation with ground and space users.
+fn two_shell_nodes() -> NetworkNodes {
+    let shells = [
+        WalkerConstellation::delta(4, 8, 1, 550e3, 53f64.to_radians()),
+        WalkerConstellation::delta(3, 6, 0, 570e3, 70f64.to_radians()),
+    ];
+    let mut nodes = NetworkNodes::from_shells(&shells);
+    nodes.add_ground_site(Geodetic::from_degrees(35.8, -78.6, 0.0));
+    nodes.add_ground_site(Geodetic::from_degrees(48.9, 2.3, 0.0));
+    for eo in sb_orbit::eo::synthetic_fleet(2) {
+        nodes.add_space_user(eo);
+    }
+    nodes
+}
+
+/// Every wire shape the encoder can produce: single- and multi-shell,
+/// single-slot (no deltas) and multi-slot (delta stream).
+fn corpus() -> Vec<Vec<u8>> {
+    let cfg = TopologyConfig::default();
+    vec![
+        SeriesPackage::compile(&single_shell_nodes(), &cfg, 1, 60.0).encode(),
+        SeriesPackage::compile(&single_shell_nodes(), &cfg, 3, 120.0).encode(),
+        SeriesPackage::compile(&two_shell_nodes(), &cfg, 2, 120.0).encode(),
+    ]
+}
+
+/// Throws `bytes` at the decoder; the only requirement is "no panic".
+/// When the bytes happen to decode, materialization must not panic
+/// either — that is the layer catching checksum-colliding corruption.
+fn decode_all(bytes: &[u8]) {
+    if let Ok(package) = SeriesPackage::decode(bytes) {
+        let _ = package.materialize();
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn every_truncation_of_every_package_is_rejected_not_panicked() {
+    for payload in corpus() {
+        for cut in 0..payload.len() {
+            assert!(SeriesPackage::decode(&payload[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}
+
+#[test]
+fn seeded_bit_flips_never_panic_the_decoder() {
+    let mut rng = 0x5eed_f1ee_u64;
+    for payload in corpus() {
+        for _ in 0..200 {
+            let mut bytes = payload.clone();
+            let flips = 1 + (splitmix64(&mut rng) % 4) as usize;
+            for _ in 0..flips {
+                let bit = (splitmix64(&mut rng) as usize) % (bytes.len() * 8);
+                bytes[bit / 8] ^= 1 << (bit % 8);
+            }
+            decode_all(&bytes);
+        }
+    }
+}
+
+#[test]
+fn random_noise_never_panics_the_decoder() {
+    let mut rng = 0xbad_cafe_u64;
+    for len in [0usize, 1, 2, 11, 12, 13, 64, 512, 4096] {
+        for _ in 0..50 {
+            let bytes: Vec<u8> = (0..len).map(|_| (splitmix64(&mut rng) & 0xff) as u8).collect();
+            decode_all(&bytes);
+        }
+    }
+}
+
+#[test]
+fn checksummed_noise_reaches_the_structural_decoders_without_panicking() {
+    // Pure noise dies at the checksum; wrapping noise in a *valid*
+    // header drives the structural layer underneath — node counts,
+    // bounded allocations, index validation — which must reject without
+    // panicking or allocating absurdly.
+    let mut rng = 0xc0de_c0de_u64;
+    for len in [0usize, 1, 8, 24, 64, 256, 2048] {
+        for _ in 0..50 {
+            let body: Vec<u8> = (0..len).map(|_| (splitmix64(&mut rng) & 0xff) as u8).collect();
+            let mut w = sb_wire::Writer::new();
+            w.u32(SERIES_WIRE_VERSION);
+            w.u64(sb_wire::checksum(&body));
+            w.raw(&body);
+            decode_all(&w.into_bytes());
+        }
+    }
+}
+
+#[test]
+fn corpus_itself_roundtrips() {
+    // Sanity anchor: the fuzz tests above exercise real reject paths,
+    // not a corpus that was already broken.
+    for payload in corpus() {
+        let package = SeriesPackage::decode(&payload).expect("corpus entry must decode");
+        assert_eq!(package.encode(), payload, "encode ∘ decode must be the identity");
+        package.materialize().expect("corpus entry must materialize");
+    }
+}
+
+// Property-test layer: explores arbitrary byte soup, arbitrary cut
+// points and arbitrary flips. With the offline proptest stub these
+// compile but stay inert; under the real crate (networked CI) they fuzz
+// for real.
+mod prop {
+    // Used by the expanded proptest! bodies; an inert stub leaves it unused.
+    #[allow(unused_imports)]
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            decode_all(&bytes);
+        }
+
+        #[test]
+        fn arbitrary_mutations_of_valid_packages_never_panic(
+            idx in 0usize..3,
+            cut in any::<u16>(),
+            flip in any::<u64>(),
+        ) {
+            let corpus = corpus();
+            let payload = &corpus[idx % corpus.len()];
+            let mut bytes = payload[..(cut as usize) % (payload.len() + 1)].to_vec();
+            if !bytes.is_empty() {
+                let bit = (flip as usize) % (bytes.len() * 8);
+                bytes[bit / 8] ^= 1 << (bit % 8);
+            }
+            decode_all(&bytes);
+        }
+    }
+}

@@ -215,6 +215,12 @@ impl Writer {
         self.buf.extend_from_slice(v);
     }
 
+    /// Writes a length-prefixed byte blob.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
     /// Writes a length prefix followed by per-element encoding.
     pub fn seq<T>(&mut self, items: &[T], mut each: impl FnMut(&mut Writer, &T)) {
         self.usize(items.len());
@@ -315,6 +321,14 @@ impl<'a> Reader<'a> {
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
     }
+
+    /// Reads a length-prefixed byte blob. The length is bounded by the
+    /// remaining input, so a corrupt prefix cannot trigger a huge
+    /// allocation.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let n = self.seq_len(1)?;
+        Ok(self.take(n)?.to_vec())
+    }
 }
 
 #[cfg(test)]
@@ -333,6 +347,7 @@ mod tests {
         w.f64(-0.0);
         w.f64(f64::NAN);
         w.str("hëllo");
+        w.bytes(&[0xde, 0xad, 0x00]);
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         assert_eq!(r.u8().unwrap(), 7);
@@ -344,6 +359,7 @@ mod tests {
         assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
         assert!(r.f64().unwrap().is_nan());
         assert_eq!(r.str().unwrap(), "hëllo");
+        assert_eq!(r.bytes().unwrap(), vec![0xde, 0xad, 0x00]);
         assert!(r.is_exhausted());
     }
 
